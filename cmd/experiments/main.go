@@ -1,0 +1,255 @@
+// Command experiments regenerates every table and figure of the paper on
+// the synthetic targets and writes EXPERIMENTS.md (paper numbers vs
+// measured numbers, with a shape verdict per experiment).
+//
+//	go run ./cmd/experiments -budget 50000 -out EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pbse/internal/experiments"
+	"pbse/internal/symex"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		budget = flag.Int64("budget", 50_000, "virtual-time budget B (the paper's '1h'); '10h' uses 10x")
+		out    = flag.String("out", "EXPERIMENTS.md", "output file ('-' for stdout)")
+		seed   = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.BudgetB = *budget
+	cfg.Seed = *seed
+	startT := time.Now()
+	cfg.Progress = func(line string) {
+		fmt.Fprintf(os.Stderr, "[%7.1fs]   %s\n", time.Since(startT).Seconds(), line)
+	}
+
+	var b strings.Builder
+	start := time.Now()
+	fmt.Fprintf(&b, `# EXPERIMENTS — paper vs measured
+
+Reproduction of every table and figure of *pbSE: Phase-based Symbolic
+Execution* (DSN 2017) on the synthetic targets (see DESIGN.md for the
+substitutions). Wall-clock budgets map to virtual time: the paper's "1h"
+column is B = %d executed instructions, "10h" is 10B = %d. Absolute
+numbers differ from the paper by construction (our substrate is a small
+deterministic engine, the targets are scaled-down parsers); the claims
+checked here are the *shapes*: who wins, roughly by how much, and where
+the curves flatten.
+
+Regenerate with:
+
+    go run ./cmd/experiments -budget %d
+
+`, cfg.BudgetB, 10*cfg.BudgetB, cfg.BudgetB)
+
+	progress := func(name string) { fmt.Fprintf(os.Stderr, "[%7.1fs] %s...\n", time.Since(start).Seconds(), name) }
+
+	// ---- Table I ----
+	progress("Table I (readelf searcher comparison)")
+	t1, err := experiments.TableI(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&b, "## Table I — basic blocks covered on readelf, per searcher\n\n")
+	fmt.Fprintf(&b, "Paper: KLEE's best searcher (random-path) reaches 1239 BBs in 10h; "+
+		"random-state/covnew/md2u plateau in the 600s; dfs starts worst and recovers; "+
+		"pbSE reaches 2597 (+109%% over the best KLEE result). c-time and p-time are "+
+		"negligible next to the search budget.\n\n")
+	fmt.Fprintf(&b, "Measured (target has %d basic blocks):\n\n", t1.Blocks)
+	fmt.Fprintf(&b, "| searcher | sym-10 B/10B | sym-100 B/10B | sym-1000 B/10B | sym-10000 B/10B |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|\n")
+	for _, kind := range symex.AllSearcherKinds {
+		fmt.Fprintf(&b, "| %s |", kind)
+		for _, size := range cfg.SymSizes {
+			for _, c := range t1.Baselines {
+				if c.Searcher == kind && c.SymSize == size {
+					fmt.Fprintf(&b, " %d / %d |", c.CovB, c.Cov10B)
+				}
+			}
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "\n| pbSE | c-time | p-time | B | 10B | phases (trap) | bugs |\n|---|---|---|---|---|---|---|\n")
+	for _, c := range t1.PBSE {
+		fmt.Fprintf(&b, "| seed(%d) | %d | %.1fms | %d | %d | %d (%d) | %d |\n",
+			c.SeedSize, c.CTime, c.PTimeMS, c.CovB, c.Cov10B, c.Phases, c.Traps, c.Bugs)
+	}
+	bestKLEE := 0
+	for _, c := range t1.Baselines {
+		if c.Cov10B > bestKLEE {
+			bestKLEE = c.Cov10B
+		}
+	}
+	bestPBSE := 0
+	for _, c := range t1.PBSE {
+		if c.Cov10B > bestPBSE {
+			bestPBSE = c.Cov10B
+		}
+	}
+	fmt.Fprintf(&b, "\nShape: pbSE %d vs best KLEE %d (**%+.0f%%**; paper: +109%%). c-time/p-time ≪ budget: %s.\n\n",
+		bestPBSE, bestKLEE, 100*float64(bestPBSE-bestKLEE)/float64(max(bestKLEE, 1)), verdict(bestPBSE > bestKLEE))
+
+	// ---- Table II ----
+	progress("Table II (gif2tiff / pngtest / dwarfdump)")
+	t2, err := experiments.TableII(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&b, "## Table II — coverage on libtiff/libpng/libdwarf analogues\n\n")
+	fmt.Fprintf(&b, "Paper: pbSE beats the best of random-path/covnew by +134%% (gif2tiff), "+
+		"+121%% (pngtest), +112%% (dwarfdump); KLEE's 1h and 10h numbers are close "+
+		"(the plateau), pbSE keeps growing.\n\n")
+	for _, row := range t2 {
+		fmt.Fprintf(&b, "**%s** (%d blocks)\n\n", row.Driver, row.Blocks)
+		fmt.Fprintf(&b, "| searcher | sym-10 B/10B | sym-100 B/10B | sym-1000 B/10B | sym-10000 B/10B |\n|---|---|---|---|---|\n")
+		line := func(name string, cells []experiments.BaselineCell) {
+			fmt.Fprintf(&b, "| %s |", name)
+			for _, c := range cells {
+				fmt.Fprintf(&b, " %d / %d |", c.CovB, c.Cov10B)
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+		line("random-path", row.RandomPath)
+		line("covnew", row.CovNew)
+		fmt.Fprintf(&b, "| **pbSE** (seed 576) | %d / %d | | | |\n\n", row.PBSE.CovB, row.PBSE.Cov10B)
+		fmt.Fprintf(&b, "pbSE over best baseline: **%+.0f%%** — %s\n\n", row.IncreasePct, verdict(row.IncreasePct > 0))
+	}
+
+	// ---- Table III ----
+	progress("Table III (bug hunting)")
+	t3, err := experiments.TableIII(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&b, "## Table III — bugs found by pbSE\n\n")
+	fmt.Fprintf(&b, "Paper: 21 bugs across the four packages (OOB reads/writes, an integer "+
+		"overflow, a null dereference), each attributed to the trap phase it was found "+
+		"in. Here the targets carry seeded bugs of the same classes; every witness "+
+		"input is replayed in the concrete interpreter.\n\n")
+	fmt.Fprintf(&b, "| driver | s-size | t-p | bugs (class @ phase) | witnesses reproduce |\n|---|---|---|---|---|\n")
+	totalBugs, totalRepro := 0, 0
+	for _, row := range t3 {
+		var descs []string
+		for _, bug := range row.Bugs {
+			descs = append(descs, fmt.Sprintf("%s @ p%d", bug.Kind, bug.Phase))
+		}
+		fmt.Fprintf(&b, "| %s | %d | %d | %s | %d/%d |\n",
+			row.Driver, row.SeedSize, row.Traps, strings.Join(descs, "; "), row.Reproduce, len(row.Bugs))
+		totalBugs += len(row.Bugs)
+		totalRepro += row.Reproduce
+	}
+	fmt.Fprintf(&b, "\n%d bugs total, %d with concretely-reproducing witnesses — %s\n\n",
+		totalBugs, totalRepro, verdict(totalBugs >= 5 && totalRepro == totalBugs))
+
+	// ---- Fig 1 ----
+	progress("Fig 1 (BB distribution, concrete vs symbolic)")
+	f1, err := experiments.Fig1(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&b, "## Fig 1 — concrete vs symbolic block distribution\n\n")
+	fmt.Fprintf(&b, "Paper: for each program there is a band of blocks the concrete seed run "+
+		"covers that symbolic execution misses even after an hour (the boxed regions).\n\n")
+	fmt.Fprintf(&b, "| program | concrete blocks | symbolic blocks (B) | concrete-only (the boxes) |\n|---|---|---|---|\n")
+	anyMissed := true
+	for _, r := range f1 {
+		fmt.Fprintf(&b, "| %s | %d | %d | %d |\n", r.Driver, r.ConcreteBlocks, r.SymbolicBlocks, r.Missed)
+		if r.Missed == 0 {
+			anyMissed = false
+		}
+	}
+	fmt.Fprintf(&b, "\nEvery program has concrete-covered blocks the symbolic run misses — %s\n", verdict(anyMissed))
+	fmt.Fprintf(&b, "(Scatter data: `go run ./cmd/phaseviz -driver <name> -out /tmp/fig1`.)\n\n")
+
+	// ---- Fig 4 ----
+	progress("Fig 4 (phase division with/without coverage)")
+	f4, err := experiments.Fig4(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&b, "## Fig 4 — trap phases, BBV-only vs BBV+coverage\n\n")
+	fmt.Fprintf(&b, "Paper: BBV-only clustering finds 2 trap phases on gif2tiff; adding the "+
+		"coverage element finds 4.\n\nMeasured: BBV-only %d trap phases (k=%d); "+
+		"BBV+coverage %d trap phases (k=%d) — %s\n\n",
+		f4.TrapsBBVOnly, f4.K1, f4.TrapsBBVCoverage, f4.K2, verdict(f4.TrapsBBVCoverage >= f4.TrapsBBVOnly))
+
+	// ---- Fig 5 / Fig 6 ----
+	progress("Fig 5 (tiff2rgba case study)")
+	f5, err := experiments.Fig5(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&b, "## Fig 5/6 — the tiff2rgba CIELab out-of-bounds read\n\n")
+	fmt.Fprintf(&b, "Paper: the putcontig8bitCIELab OOB read (w·h·3 past a 257-byte buffer) "+
+		"sits in trap phase 3; pbSE finds it within an hour, KLEE misses it in 10.\n\n")
+	fmt.Fprintf(&b, "Measured: pbSE found the CIELab OOB read: %v (phase %d of %d traps); "+
+		"KLEE default at 10B found it: %v — %s\n\n",
+		f5.PBSEFoundOOB, f5.BugPhase, f5.Traps, f5.KLEEFoundOOB,
+		verdict(f5.PBSEFoundOOB))
+	fmt.Fprintf(&b, "Figs 7/8 (the libpng CVE analogues) are seeded in minipng and exercised "+
+		"by the Table III rows and targets' unit tests.\n\n")
+
+	// ---- ablations ----
+	progress("Ablations (pbSE design choices)")
+	abl, err := experiments.Ablations(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&b, "## Ablations — pbSE design choices (readelf, budget 4B)\n\n")
+	fmt.Fprintf(&b, "| design choice | coverage on | coverage off | bugs on | bugs off | notes |\n|---|---|---|---|---|---|\n")
+	for _, a := range abl {
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %s |\n",
+			a.Name, a.CoverageOn, a.CoverageOff, a.BugsOn, a.BugsOff, a.Detail)
+	}
+	fmt.Fprintf(&b, "\n")
+
+	progress("Solver ablations")
+	sabl, err := experiments.SolverAblations(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&b, "## Ablations — solver fast paths (KLEE default on readelf, budget B)\n\n")
+	fmt.Fprintf(&b, "| variant | covered | queries | cache hits | candidate hits | interval hits | SAT runs |\n|---|---|---|---|---|---|---|\n")
+	for _, a := range sabl {
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %d | %d |\n",
+			a.Name, a.Covered, a.Stats.Queries, a.Stats.CacheHits, a.Stats.CandidateSat, a.Stats.IntervalFast, a.Stats.SATRuns)
+	}
+	fmt.Fprintf(&b, "\nGenerated in %.1fs with budget B=%d on %s.\n",
+		time.Since(start).Seconds(), cfg.BudgetB, time.Now().UTC().Format("2006-01-02"))
+
+	if *out == "-" {
+		fmt.Print(b.String())
+		return nil
+	}
+	return os.WriteFile(*out, []byte(b.String()), 0o644)
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "**shape holds**"
+	}
+	return "**shape does NOT hold**"
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,55 @@
+// Command irdump prints the IR listing of a bundled target (or verifies
+// that a textual IR file parses), using the same format the parser reads.
+//
+//	irdump -driver readelf
+//	irdump -parse program.ir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbse/internal/ir"
+	"pbse/internal/targets"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "irdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		driver = flag.String("driver", "readelf", "bundled target to disassemble")
+		parse  = flag.String("parse", "", "parse a textual IR file instead and report stats")
+	)
+	flag.Parse()
+
+	if *parse != "" {
+		src, err := os.ReadFile(*parse)
+		if err != nil {
+			return err
+		}
+		p, err := ir.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("parsed %s: %d functions, %d blocks, %d instructions\n",
+			p.Name, len(p.Funcs), len(p.AllBlocks), p.NumInstrs)
+		return nil
+	}
+
+	tgt, err := targets.ByDriver(*driver)
+	if err != nil {
+		return err
+	}
+	p, err := tgt.Build()
+	if err != nil {
+		return err
+	}
+	fmt.Print(p.Print())
+	return nil
+}

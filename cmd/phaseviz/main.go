@@ -1,0 +1,157 @@
+// Command phaseviz reproduces the paper's figure data: basic-block
+// distribution scatter data for concrete and symbolic execution (Fig 1,
+// Fig 5) and phase divisions with and without the coverage element
+// (Fig 4). It prints ASCII previews and optionally writes CSV files.
+//
+// Usage:
+//
+//	phaseviz -driver gif2tiff -seedsize 407 -out /tmp/fig
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"pbse/internal/concolic"
+	"pbse/internal/ir"
+	"pbse/internal/phase"
+	"pbse/internal/symex"
+	"pbse/internal/targets"
+	"pbse/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "phaseviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		driver   = flag.String("driver", "readelf", "target test driver")
+		seedSize = flag.Int("seedsize", 576, "generated seed size in bytes")
+		budget   = flag.Int64("symbudget", 500_000, "symbolic execution budget for the Fig 1(b)-style run")
+		rngSeed  = flag.Int64("rng", 42, "random seed")
+		out      = flag.String("out", "", "prefix for CSV output files (empty: ASCII only)")
+		buggy    = flag.Bool("buggy-seed", false, "also trace the bug-triggering seed (Fig 5(b))")
+	)
+	flag.Parse()
+
+	tgt, err := targets.ByDriver(*driver)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*rngSeed))
+	seed := tgt.GenSeed(rng, *seedSize)
+
+	// concrete/concolic run with trace (Fig 1(a))
+	progA, err := tgt.Build()
+	if err != nil {
+		return err
+	}
+	exA := symex.NewExecutor(progA, symex.Options{InputSize: len(seed)})
+	con, err := concolic.Run(exA, seed, concolic.Options{RecordTrace: true})
+	if err != nil {
+		return err
+	}
+	ix := trace.NewIndexer()
+	concretePts := ix.Series(con.Trace)
+	fmt.Printf("— concrete execution of %s on a %d-byte seed (%d block entries) —\n",
+		tgt.Driver, len(seed), len(con.Trace))
+	fmt.Print(trace.ScatterASCII(concretePts, 16, 72))
+
+	// symbolic run with the default searcher, shared indexer (Fig 1(b))
+	progB, err := tgt.Build()
+	if err != nil {
+		return err
+	}
+	exB := symex.NewExecutor(progB, symex.Options{InputSize: len(seed)})
+	var symEvents []concolic.TracePoint
+	exB.BlockHook = func(_ *symex.State, b *ir.Block, clock int64) {
+		symEvents = append(symEvents, concolic.TracePoint{Time: clock, BlockID: b.ID})
+	}
+	s, _ := symex.NewSearcher(symex.SearchDefault, exB, rand.New(rand.NewSource(*rngSeed)))
+	s.Add(exB.NewEntryState())
+	(&symex.Runner{Ex: exB, Search: s}).Run(*budget)
+	symbolicPts := ix.Series(symEvents)
+	fmt.Printf("\n— symbolic execution (default searcher, %d instructions) —\n", *budget)
+	fmt.Print(trace.ScatterASCII(symbolicPts, 16, 72))
+
+	missed := trace.MissedBlocks(concreteCovered(con), exB.CoveredBlocks())
+	fmt.Printf("\nblocks covered concretely but missed by symbolic execution: %d\n", len(missed))
+
+	// phase divisions with and without the coverage element (Fig 4)
+	withCov := phase.Divide(con.BBVs, phase.DefaultOptions())
+	woOpts := phase.DefaultOptions()
+	woOpts.IncludeCoverage = false
+	withoutCov := phase.Divide(con.BBVs, woOpts)
+	fmt.Printf("\n— phase division (Fig 4) —\n")
+	fmt.Printf("BBV-only:      k=%-2d trap phases=%d\n", withoutCov.K, withoutCov.NumTrap)
+	fmt.Print("  ", trace.PhaseBandsASCII(withoutCov.Assign, func(p int) bool { return withoutCov.Phases[p].Trap }))
+	fmt.Printf("BBV+coverage:  k=%-2d trap phases=%d\n", withCov.K, withCov.NumTrap)
+	fmt.Print("  ", trace.PhaseBandsASCII(withCov.Assign, func(p int) bool { return withCov.Phases[p].Trap }))
+
+	if *buggy && tgt.GenBuggySeed != nil {
+		bseed := tgt.GenBuggySeed(rand.New(rand.NewSource(*rngSeed)))
+		progC, err := tgt.Build()
+		if err != nil {
+			return err
+		}
+		exC := symex.NewExecutor(progC, symex.Options{InputSize: len(bseed)})
+		bcon, err := concolic.Run(exC, bseed, concolic.Options{RecordTrace: true})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n— concrete execution of the buggy seed (Fig 5(b)) —\n")
+		fmt.Print(trace.ScatterASCII(ix.Series(bcon.Trace), 16, 72))
+		if *out != "" {
+			if err := writeCSV(*out+"_buggy_concrete.csv", ix.Series(bcon.Trace)); err != nil {
+				return err
+			}
+		}
+	}
+
+	if *out != "" {
+		if err := writeCSV(*out+"_concrete.csv", concretePts); err != nil {
+			return err
+		}
+		if err := writeCSV(*out+"_symbolic.csv", symbolicPts); err != nil {
+			return err
+		}
+		f, err := os.Create(*out + "_phases.csv")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WritePhaseCSV(f, con.BBVs, withCov.Assign,
+			func(p int) bool { return withCov.Phases[p].Trap }); err != nil {
+			return err
+		}
+		fmt.Printf("\nCSV written with prefix %s\n", *out)
+	}
+	return nil
+}
+
+func concreteCovered(con *concolic.Result) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, p := range con.Trace {
+		if !seen[p.BlockID] {
+			seen[p.BlockID] = true
+			out = append(out, p.BlockID)
+		}
+	}
+	return out
+}
+
+func writeCSV(path string, pts []trace.Point) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteCSV(f, pts)
+}

@@ -1,0 +1,3 @@
+module pbse
+
+go 1.22

@@ -1,0 +1,113 @@
+// Package bugs defines bug reports produced by the symbolic executor and
+// the deduplicating collector that accumulates them across a run.
+package bugs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind classifies a detected bug, mirroring the classes reported in the
+// pbSE paper (Table III): memory out-of-bounds read/write, integer
+// division by zero, null dereference, and assertion failures.
+type Kind int
+
+// Bug kinds.
+const (
+	OOBRead Kind = iota + 1
+	OOBWrite
+	DivByZero
+	NullDeref
+	AssertFail
+)
+
+var kindNames = map[Kind]string{
+	OOBRead:    "memory-out-of-bound-read",
+	OOBWrite:   "memory-out-of-bound-write",
+	DivByZero:  "divide-by-zero",
+	NullDeref:  "null-pointer-dereference",
+	AssertFail: "assertion-failure",
+}
+
+// String returns the paper-style class name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("bug(%d)", int(k))
+}
+
+// Report is one detected bug with a witness test case.
+type Report struct {
+	Kind    Kind
+	Func    string
+	Block   string
+	BlockID int
+	Index   int    // instruction index within the block
+	Msg     string // human-readable details
+	Input   []byte // generated test case (may be nil if no model)
+	Time    int64  // virtual time of detection
+	Phase   int    // pbSE phase in which the bug was found (-1 when N/A)
+}
+
+// Site returns the deduplication key: a bug is "the same" when it has the
+// same kind at the same instruction.
+func (r *Report) Site() string {
+	return fmt.Sprintf("%s@bb%d[%d]", r.Kind, r.BlockID, r.Index)
+}
+
+// String formats the report as one line.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s in %s.%s[%d] t=%d: %s", r.Kind, r.Func, r.Block, r.Index, r.Time, r.Msg)
+}
+
+// Collector accumulates reports, keeping the earliest report per site.
+type Collector struct {
+	bySite map[string]*Report
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{bySite: make(map[string]*Report)}
+}
+
+// Add records the report unless an earlier report exists for the same
+// site; it returns true when the report was new.
+func (c *Collector) Add(r *Report) bool {
+	key := r.Site()
+	if old, ok := c.bySite[key]; ok {
+		if r.Time < old.Time {
+			c.bySite[key] = r
+		}
+		return false
+	}
+	c.bySite[key] = r
+	return true
+}
+
+// Len returns the number of distinct bug sites.
+func (c *Collector) Len() int { return len(c.bySite) }
+
+// Reports returns the distinct reports ordered by detection time.
+func (c *Collector) Reports() []*Report {
+	out := make([]*Report, 0, len(c.bySite))
+	for _, r := range c.bySite {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].Site() < out[j].Site()
+	})
+	return out
+}
+
+// CountByKind returns how many distinct sites exist per kind.
+func (c *Collector) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, r := range c.bySite {
+		out[r.Kind]++
+	}
+	return out
+}

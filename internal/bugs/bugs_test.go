@@ -1,0 +1,94 @@
+package bugs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCollectorDedup(t *testing.T) {
+	c := NewCollector()
+	r1 := &Report{Kind: OOBRead, BlockID: 5, Index: 2, Time: 100}
+	r2 := &Report{Kind: OOBRead, BlockID: 5, Index: 2, Time: 50} // same site, earlier
+	r3 := &Report{Kind: OOBWrite, BlockID: 5, Index: 2, Time: 10}
+
+	if !c.Add(r1) {
+		t.Error("first report should be new")
+	}
+	if c.Add(r2) {
+		t.Error("same site should not be new")
+	}
+	if !c.Add(r3) {
+		t.Error("different kind at same site is a different bug")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+	// earliest report kept per site
+	for _, r := range c.Reports() {
+		if r.Kind == OOBRead && r.Time != 50 {
+			t.Errorf("earliest report not kept: t=%d", r.Time)
+		}
+	}
+}
+
+func TestReportsSortedByTime(t *testing.T) {
+	c := NewCollector()
+	c.Add(&Report{Kind: OOBRead, BlockID: 1, Time: 300})
+	c.Add(&Report{Kind: OOBRead, BlockID: 2, Time: 100})
+	c.Add(&Report{Kind: OOBRead, BlockID: 3, Time: 200})
+	rs := c.Reports()
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Time < rs[i-1].Time {
+			t.Fatalf("reports not time-ordered: %v", rs)
+		}
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	c := NewCollector()
+	c.Add(&Report{Kind: OOBRead, BlockID: 1})
+	c.Add(&Report{Kind: OOBRead, BlockID: 2})
+	c.Add(&Report{Kind: DivByZero, BlockID: 3})
+	got := c.CountByKind()
+	if got[OOBRead] != 2 || got[DivByZero] != 1 {
+		t.Errorf("counts = %v", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		OOBRead:    "memory-out-of-bound-read",
+		OOBWrite:   "memory-out-of-bound-write",
+		DivByZero:  "divide-by-zero",
+		NullDeref:  "null-pointer-dereference",
+		AssertFail: "assertion-failure",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+// TestCollectorLenInvariant: Len always equals the number of distinct
+// (kind, block, index) sites added, whatever the insertion order.
+func TestCollectorLenInvariant(t *testing.T) {
+	f := func(sites []struct {
+		Kind  uint8
+		Block uint8
+		Index uint8
+		Time  uint16
+	}) bool {
+		c := NewCollector()
+		distinct := map[[3]int]bool{}
+		for _, s := range sites {
+			kind := Kind(int(s.Kind)%5 + 1)
+			r := &Report{Kind: kind, BlockID: int(s.Block), Index: int(s.Index), Time: int64(s.Time)}
+			c.Add(r)
+			distinct[[3]int{int(kind), int(s.Block), int(s.Index)}] = true
+		}
+		return c.Len() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package concolic implements Algorithm 2 of the pbSE paper: lockstep
+// concrete/symbolic execution of a seed input, gathering basic block
+// vectors (BBVs) per virtual-time interval and recording a seedState at
+// every symbolic fork point along the seed path.
+package concolic
+
+import (
+	"fmt"
+
+	"pbse/internal/ir"
+	"pbse/internal/symex"
+)
+
+// BBV is one basic block vector: per-block entry counts over one gathering
+// interval, plus the running code-coverage fraction at gathering time (the
+// extra element §III-B1 adds to make trap phases separable).
+type BBV struct {
+	Index    int
+	Time     int64 // virtual time at the end of the interval
+	Counts   map[int]int
+	Coverage float64
+}
+
+// TracePoint is one basic-block entry event (for Fig 1/5-style plots).
+type TracePoint struct {
+	Time    int64
+	BlockID int
+}
+
+// Options configure a concolic run.
+type Options struct {
+	// Interval is the BBV gathering interval in executed instructions.
+	// Default 4096.
+	Interval int64
+	// MaxSteps bounds the run (the seed path is finite, but input-
+	// independent infinite loops would otherwise hang). Default 20M.
+	MaxSteps int64
+	// RecordTrace keeps every block entry for plotting.
+	RecordTrace bool
+}
+
+// Result is the outcome of one concolic execution.
+type Result struct {
+	BBVs       []BBV
+	SeedStates []*symex.State
+	Trace      []TracePoint
+	Start      int64 // executor clock when the run began
+	Steps      int64 // virtual cost of the run ("c-time" in Table I)
+	Exited     bool  // seed path reached a clean exit
+}
+
+// Run executes the program concolically on seed using ex. The executor
+// must be freshly created (or at least hold no live states); its clock,
+// coverage and context are shared with subsequent symbolic execution, so
+// pbSE runs concolic + symbolic on one executor.
+func Run(ex *symex.Executor, seed []byte, opts Options) (*Result, error) {
+	if opts.Interval == 0 {
+		opts.Interval = 4096
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 20_000_000
+	}
+
+	res := &Result{Start: ex.Clock()}
+	ex.EnableConcolic(seed, func(s *symex.State) {
+		res.SeedStates = append(res.SeedStates, s)
+	})
+	defer ex.DisableConcolic()
+
+	start := ex.Clock()
+	total := len(ex.Prog.AllBlocks)
+	covered := make([]bool, total)
+	numCovered := 0
+
+	cur := BBV{Index: 0, Counts: make(map[int]int)}
+	nextFlush := start + opts.Interval
+
+	flush := func(now int64) {
+		cur.Time = now
+		cur.Coverage = float64(numCovered) / float64(total)
+		res.BBVs = append(res.BBVs, cur)
+		cur = BBV{Index: cur.Index + 1, Counts: make(map[int]int, len(cur.Counts))}
+	}
+
+	st := ex.NewEntryState()
+	ex.BlockHook = func(s *symex.State, b *ir.Block, clock int64) {
+		if s != st {
+			return // seedStates are not part of the seed path
+		}
+		cur.Counts[b.ID]++
+		if !covered[b.ID] {
+			covered[b.ID] = true
+			numCovered++
+		}
+		if opts.RecordTrace {
+			res.Trace = append(res.Trace, TracePoint{Time: clock - start, BlockID: b.ID})
+		}
+	}
+	defer func() { ex.BlockHook = nil }()
+
+	for {
+		if ex.Clock()-start >= opts.MaxSteps {
+			break
+		}
+		r := ex.StepBlock(st)
+		for ex.Clock() >= nextFlush {
+			flush(ex.Clock() - start)
+			nextFlush += opts.Interval
+		}
+		if r.Terminated {
+			res.Exited = r.Reason == symex.TermExit
+			break
+		}
+	}
+	if len(cur.Counts) > 0 {
+		flush(ex.Clock() - start)
+	}
+	res.Steps = ex.Clock() - start
+	if len(res.BBVs) == 0 {
+		return nil, fmt.Errorf("concolic: seed produced no BBVs (program exited in under one interval; lower Options.Interval)")
+	}
+	return res, nil
+}

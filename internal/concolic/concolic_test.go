@@ -1,0 +1,237 @@
+package concolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbse/internal/interp"
+	"pbse/internal/ir"
+	"pbse/internal/symex"
+)
+
+// loopProg: n = input[0]; loop n times; then exit — one symbolic branch
+// per loop-head evaluation.
+func loopProg(t *testing.T) *ir.Program {
+	t.Helper()
+	p := ir.NewProgram("loop")
+	fb := p.NewFunc("main", 0)
+	entry := fb.NewBlock("entry")
+	head := fb.NewBlock("head")
+	body := fb.NewBlock("body")
+	deep := fb.NewBlock("deep")
+
+	i := fb.NewReg()
+	n := fb.NewReg()
+	ip := entry.Input()
+	nv := entry.Load(ip, 0, 8)
+	n32 := entry.Zext(nv, 32)
+	entry.MovTo(n, n32, 32)
+	entry.ConstTo(i, 0, 32)
+	entry.Jmp(head.Blk())
+
+	c := head.Cmp(ir.Ult, i, n, 32)
+	head.Br(c, body.Blk(), deep.Blk())
+
+	ni := body.AddImm(i, 1, 32)
+	body.MovTo(i, ni, 32)
+	body.Jmp(head.Blk())
+
+	deep.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConcolicFollowsSeedPath(t *testing.T) {
+	p := loopProg(t)
+	seed := []byte{10}
+	ex := symex.NewExecutor(p, symex.Options{InputSize: 1})
+	res, err := Run(ex, seed, Options{Interval: 16, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exited {
+		t.Error("seed path should exit cleanly")
+	}
+
+	// cross-validate BBV totals against the concrete interpreter
+	wantEntries := 0
+	interp.New(p, seed, interp.Options{Tracer: func(*ir.Block, int64) { wantEntries++ }}).Run()
+	gotEntries := 0
+	for _, bbv := range res.BBVs {
+		for _, c := range bbv.Counts {
+			gotEntries += c
+		}
+	}
+	if gotEntries != wantEntries {
+		t.Errorf("BBV total entries = %d, interp counted %d", gotEntries, wantEntries)
+	}
+	if len(res.Trace) != wantEntries {
+		t.Errorf("trace length = %d, want %d", len(res.Trace), wantEntries)
+	}
+
+	// one seedState per loop-head evaluation (11: i=0..10)
+	if len(res.SeedStates) != 11 {
+		t.Errorf("seedStates = %d, want 11", len(res.SeedStates))
+	}
+	for _, s := range res.SeedStates {
+		if s.SeedForkBlockID < 0 {
+			t.Errorf("seedState missing fork point")
+		}
+		if s.NumConstraints() == 0 {
+			t.Errorf("seedState has no constraints")
+		}
+	}
+}
+
+func TestBBVCoverageMonotone(t *testing.T) {
+	p := loopProg(t)
+	ex := symex.NewExecutor(p, symex.Options{InputSize: 1})
+	res, err := Run(ex, []byte{50}, Options{Interval: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BBVs) < 3 {
+		t.Fatalf("expected several BBVs, got %d", len(res.BBVs))
+	}
+	prev := 0.0
+	for i, bbv := range res.BBVs {
+		if bbv.Coverage < prev {
+			t.Errorf("coverage decreased at BBV %d: %f -> %f", i, prev, bbv.Coverage)
+		}
+		prev = bbv.Coverage
+		if bbv.Index != i {
+			t.Errorf("BBV index %d != position %d", bbv.Index, i)
+		}
+	}
+	if prev <= 0 || prev > 1 {
+		t.Errorf("final coverage fraction %f out of range", prev)
+	}
+}
+
+func TestSeedStateExploresNotTakenSide(t *testing.T) {
+	// magic check: seed misses the magic byte; the seedState recorded at
+	// the branch must reach the "ok" block when stepped symbolically.
+	p := ir.NewProgram("magic")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	okB := fb.NewBlock("ok")
+	badB := fb.NewBlock("bad")
+	ip := b.Input()
+	v := b.Load(ip, 0, 8)
+	c := b.CmpImm(ir.Eq, v, 0x7f, 8)
+	b.Br(c, okB.Blk(), badB.Blk())
+	okB.Exit()
+	badB.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	ex := symex.NewExecutor(p, symex.Options{InputSize: 1})
+	res, err := Run(ex, []byte{0x00}, Options{Interval: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SeedStates) != 1 {
+		t.Fatalf("seedStates = %d, want 1", len(res.SeedStates))
+	}
+	okID := p.Func("main").Blocks[1].ID
+	if ex.Covered(okID) {
+		t.Fatal("ok block covered during concolic run already")
+	}
+	// step the seedState symbolically
+	rng := rand.New(rand.NewSource(1))
+	s, _ := symex.NewSearcher(symex.SearchDFS, ex, rng)
+	s.Add(res.SeedStates[0])
+	(&symex.Runner{Ex: ex, Search: s}).Run(ex.Clock() + 10_000)
+	if !ex.Covered(okID) {
+		t.Error("seedState did not reach the not-taken block")
+	}
+}
+
+func TestInfeasibleSeedStateDies(t *testing.T) {
+	// branch condition duplicated: second occurrence's not-taken side is
+	// infeasible; its seedState must terminate as infeasible when stepped
+	p := ir.NewProgram("dup")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	mid := fb.NewBlock("mid")
+	okB := fb.NewBlock("ok")
+	badB := fb.NewBlock("bad")
+	dead := fb.NewBlock("dead")
+	v := fb.NewReg()
+	ip := b.Input()
+	lv := b.Load(ip, 0, 8)
+	b.MovTo(v, lv, 8)
+	c1 := b.CmpImm(ir.Ult, v, 10, 8)
+	b.Br(c1, mid.Blk(), badB.Blk())
+	c2 := mid.CmpImm(ir.Ult, v, 10, 8) // same condition again
+	mid.Br(c2, okB.Blk(), dead.Blk())
+	okB.Exit()
+	badB.Exit()
+	dead.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	ex := symex.NewExecutor(p, symex.Options{InputSize: 1})
+	res, err := Run(ex, []byte{5}, Options{Interval: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SeedStates) != 2 {
+		t.Fatalf("seedStates = %d, want 2", len(res.SeedStates))
+	}
+	// the second seedState (v>=10 while v<10 on path) is infeasible
+	rng := rand.New(rand.NewSource(1))
+	s, _ := symex.NewSearcher(symex.SearchBFS, ex, rng)
+	for _, ss := range res.SeedStates {
+		s.Add(ss)
+	}
+	(&symex.Runner{Ex: ex, Search: s}).Run(ex.Clock() + 10_000)
+	deadID := p.Func("main").Blocks[4].ID
+	if ex.Covered(deadID) {
+		t.Error("infeasible seedState explored an impossible block")
+	}
+	badID := p.Func("main").Blocks[3].ID
+	if !ex.Covered(badID) {
+		t.Error("feasible seedState did not reach its block")
+	}
+}
+
+func TestTraceTimesIncrease(t *testing.T) {
+	p := loopProg(t)
+	ex := symex.NewExecutor(p, symex.Options{InputSize: 1})
+	res, err := Run(ex, []byte{20}, Options{Interval: 16, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Time <= res.Trace[i-1].Time {
+			t.Fatalf("trace times not increasing at %d", i)
+		}
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	// input-independent infinite loop: concolic must stop at MaxSteps
+	p := ir.NewProgram("spin")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	b.Jmp(b.Blk())
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	ex := symex.NewExecutor(p, symex.Options{InputSize: 1})
+	res, err := Run(ex, []byte{0}, Options{Interval: 64, MaxSteps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exited {
+		t.Error("spin loop cannot exit")
+	}
+	if res.Steps < 1000 || res.Steps > 2000 {
+		t.Errorf("steps = %d, want ~1000", res.Steps)
+	}
+}

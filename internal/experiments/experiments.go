@@ -1,0 +1,574 @@
+// Package experiments regenerates the paper's tables and figures on the
+// synthetic targets. Each experiment returns structured rows that
+// cmd/experiments renders into EXPERIMENTS.md and bench_test.go wraps as
+// benchmarks.
+//
+// Wall-clock budgets from the paper (1 h / 10 h) map to virtual-time
+// budgets B and 10B; the shapes of interest (who wins, plateau vs growth,
+// crossovers) are budget-ratio phenomena, not absolute-time ones.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pbse/internal/bugs"
+	"pbse/internal/concolic"
+	"pbse/internal/interp"
+	"pbse/internal/ir"
+	"pbse/internal/pbse"
+	"pbse/internal/phase"
+	"pbse/internal/solver"
+	"pbse/internal/symex"
+	"pbse/internal/targets"
+	"pbse/internal/trace"
+)
+
+// Config scales every experiment.
+type Config struct {
+	// BudgetB is the "1 hour" virtual-time budget; the "10 hour" column
+	// uses 10x this value.
+	BudgetB int64
+	// SymSizes are the symbolic-file sizes of Tables I/II.
+	SymSizes []int
+	// Seed drives all randomness.
+	Seed int64
+	// Progress, when set, receives one line per measurement cell.
+	Progress func(string)
+}
+
+func (c Config) progress(format string, args ...any) {
+	if c.Progress != nil {
+		c.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// DefaultConfig returns budgets sized for a full run on a laptop
+// (tens of minutes).
+func DefaultConfig() Config {
+	return Config{BudgetB: 50_000, SymSizes: []int{10, 100, 1000, 10000}, Seed: 42}
+}
+
+// BaselineCell is one searcher × size measurement with both budget
+// snapshots.
+type BaselineCell struct {
+	Searcher symex.SearcherKind
+	SymSize  int
+	CovB     int // blocks covered at budget B  ("1h")
+	Cov10B   int // blocks covered at 10B       ("10h")
+}
+
+// PBSECell is a pbSE measurement for one seed.
+type PBSECell struct {
+	SeedSize int
+	CTime    int64
+	PTimeMS  float64
+	CovB     int
+	Cov10B   int
+	Phases   int
+	Traps    int
+	Bugs     int
+}
+
+// runBaseline measures one searcher at B and 10B in a single run.
+func runBaseline(prog *ir.Program, kind symex.SearcherKind, symSize int, budgetB, seed int64) (BaselineCell, error) {
+	ex := symex.NewExecutor(prog, symex.Options{InputSize: symSize})
+	s, err := symex.NewSearcher(kind, ex, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return BaselineCell{}, err
+	}
+	s.Add(ex.NewEntryState())
+	r := &symex.Runner{Ex: ex, Search: s}
+	r.Run(budgetB)
+	covB := ex.NumCovered()
+	r.Run(10 * budgetB)
+	return BaselineCell{Searcher: kind, SymSize: symSize, CovB: covB, Cov10B: ex.NumCovered()}, nil
+}
+
+// runPBSE measures pbSE at B and 10B (two runs; the schedule adapts to
+// the budget).
+func runPBSE(tgt *targets.Target, seedSize int, budgetB, seed int64) (PBSECell, error) {
+	// (progress for these cells is reported by the callers)
+	gen := func(budget int64) (*pbse.Result, error) {
+		prog, err := tgt.Build()
+		if err != nil {
+			return nil, err
+		}
+		in := tgt.GenSeed(rand.New(rand.NewSource(seed)), seedSize)
+		return pbse.Run(prog, in, pbse.Options{Budget: budget, Seed: seed},
+			symex.Options{InputSize: len(in)})
+	}
+	rB, err := gen(budgetB)
+	if err != nil {
+		return PBSECell{}, err
+	}
+	r10, err := gen(10 * budgetB)
+	if err != nil {
+		return PBSECell{}, err
+	}
+	return PBSECell{
+		SeedSize: seedSize,
+		CTime:    r10.CTime,
+		PTimeMS:  float64(r10.PTime.Microseconds()) / 1000,
+		CovB:     rB.Covered,
+		Cov10B:   r10.Covered,
+		Phases:   len(r10.Division.Phases),
+		Traps:    r10.Division.NumTrap,
+		Bugs:     len(r10.Bugs),
+	}, nil
+}
+
+// TableIResult holds the readelf searcher comparison (Table I).
+type TableIResult struct {
+	Baselines []BaselineCell // 7 searchers × sizes
+	PBSE      []PBSECell     // two seed sizes (paper: 576 and 7981)
+	Blocks    int
+}
+
+// TableI reproduces Table I on the readelf analogue.
+func TableI(cfg Config) (*TableIResult, error) {
+	tgt, err := targets.ByDriver("readelf")
+	if err != nil {
+		return nil, err
+	}
+	res := &TableIResult{}
+	for _, kind := range symex.AllSearcherKinds {
+		for _, size := range cfg.SymSizes {
+			cfg.progress("table1 %s sym-%d", kind, size)
+			prog, err := tgt.Build()
+			if err != nil {
+				return nil, err
+			}
+			res.Blocks = len(prog.AllBlocks)
+			cell, err := runBaseline(prog, kind, size, cfg.BudgetB, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			res.Baselines = append(res.Baselines, cell)
+		}
+	}
+	// the paper's two seeds (576 and 7981 bytes) scale to 576 and 998
+	for _, seedSize := range []int{576, 998} {
+		cfg.progress("table1 pbSE seed-%d", seedSize)
+		cell, err := runPBSE(tgt, seedSize, cfg.BudgetB, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.PBSE = append(res.PBSE, cell)
+	}
+	return res, nil
+}
+
+// TableIIRow is one program's comparison (Table II).
+type TableIIRow struct {
+	Driver      string
+	Blocks      int
+	RandomPath  []BaselineCell // per size
+	CovNew      []BaselineCell
+	PBSE        PBSECell
+	IncreasePct float64 // pbSE 10B over best baseline 10B
+}
+
+// TableII reproduces Table II on gif2tiff, pngtest and dwarfdump.
+func TableII(cfg Config) ([]TableIIRow, error) {
+	var out []TableIIRow
+	for _, driver := range []string{"gif2tiff", "pngtest", "dwarfdump"} {
+		tgt, err := targets.ByDriver(driver)
+		if err != nil {
+			return nil, err
+		}
+		row := TableIIRow{Driver: driver}
+		best := 0
+		for _, kind := range []symex.SearcherKind{symex.SearchRandomPath, symex.SearchCovNew} {
+			for _, size := range cfg.SymSizes {
+				cfg.progress("table2 %s %s sym-%d", driver, kind, size)
+				prog, err := tgt.Build()
+				if err != nil {
+					return nil, err
+				}
+				row.Blocks = len(prog.AllBlocks)
+				cell, err := runBaseline(prog, kind, size, cfg.BudgetB, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				if kind == symex.SearchRandomPath {
+					row.RandomPath = append(row.RandomPath, cell)
+				} else {
+					row.CovNew = append(row.CovNew, cell)
+				}
+				if cell.Cov10B > best {
+					best = cell.Cov10B
+				}
+			}
+		}
+		cfg.progress("table2 %s pbSE", driver)
+		cell, err := runPBSE(tgt, 576, cfg.BudgetB, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row.PBSE = cell
+		if best > 0 {
+			row.IncreasePct = 100 * float64(cell.Cov10B-best) / float64(best)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// TableIIIRow is one (driver, seed) bug-hunt result.
+type TableIIIRow struct {
+	Driver    string
+	SeedSize  int
+	Traps     int
+	Bugs      []*bugs.Report
+	Reproduce int // witnesses that crash the concrete interpreter
+}
+
+// TableIII reproduces the bug table: pbSE runs per driver with the
+// paper's seed sizes, reporting bug class and the phase it was found in.
+func TableIII(cfg Config) ([]TableIIIRow, error) {
+	// Seed sizes follow the paper's Table III rows scaled to the targets
+	// (the paper's sizes are real-file sizes; ours are divided by ~8 to
+	// match the scaled-down formats).
+	cases := []struct {
+		driver   string
+		seedSize int
+	}{
+		{"pngtest", 576},
+		{"gif2tiff", 407},
+		{"tiff2rgba", 243},
+		{"dwarfdump", 1042},
+		{"readelf", 995},
+	}
+	var out []TableIIIRow
+	for _, c := range cases {
+		cfg.progress("table3 %s", c.driver)
+		tgt, err := targets.ByDriver(c.driver)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := tgt.Build()
+		if err != nil {
+			return nil, err
+		}
+		in := tgt.GenSeed(rand.New(rand.NewSource(cfg.Seed)), c.seedSize)
+		res, err := pbse.Run(prog, in, pbse.Options{Budget: 10 * cfg.BudgetB, Seed: cfg.Seed},
+			symex.Options{InputSize: len(in)})
+		if err != nil {
+			return nil, err
+		}
+		row := TableIIIRow{Driver: c.driver, SeedSize: c.seedSize, Traps: res.Division.NumTrap, Bugs: res.Bugs}
+		for _, b := range res.Bugs {
+			if b.Input == nil {
+				continue
+			}
+			r := interp.New(prog, b.Input, interp.Options{MaxSteps: 20_000_000}).Run()
+			if r.Reason == interp.StopFault {
+				row.Reproduce++
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Fig1Result compares concrete and symbolic block distributions.
+type Fig1Result struct {
+	Driver         string
+	ConcreteBlocks int // distinct blocks on the seed path
+	SymbolicBlocks int // distinct blocks covered by KLEE default in B
+	Missed         int // concrete-covered blocks KLEE missed (the boxes)
+	ConcretePts    []trace.Point
+	SymbolicPts    []trace.Point
+}
+
+// Fig1 reproduces the Fig 1 panels for readelf, gif2tiff and pngtest.
+func Fig1(cfg Config) ([]Fig1Result, error) {
+	var out []Fig1Result
+	for _, driver := range []string{"readelf", "gif2tiff", "pngtest"} {
+		tgt, err := targets.ByDriver(driver)
+		if err != nil {
+			return nil, err
+		}
+		progA, err := tgt.Build()
+		if err != nil {
+			return nil, err
+		}
+		seed := tgt.GenSeed(rand.New(rand.NewSource(cfg.Seed)), 576)
+		exA := symex.NewExecutor(progA, symex.Options{InputSize: len(seed)})
+		con, err := concolic.Run(exA, seed, concolic.Options{RecordTrace: true})
+		if err != nil {
+			return nil, err
+		}
+
+		progB, err := tgt.Build()
+		if err != nil {
+			return nil, err
+		}
+		exB := symex.NewExecutor(progB, symex.Options{InputSize: len(seed)})
+		var symEvents []concolic.TracePoint
+		exB.BlockHook = func(_ *symex.State, b *ir.Block, clock int64) {
+			symEvents = append(symEvents, concolic.TracePoint{Time: clock, BlockID: b.ID})
+		}
+		s, _ := symex.NewSearcher(symex.SearchDefault, exB, rand.New(rand.NewSource(cfg.Seed)))
+		s.Add(exB.NewEntryState())
+		(&symex.Runner{Ex: exB, Search: s}).Run(cfg.BudgetB)
+
+		concCov := map[int]bool{}
+		var concIDs []int
+		for _, p := range con.Trace {
+			if !concCov[p.BlockID] {
+				concCov[p.BlockID] = true
+				concIDs = append(concIDs, p.BlockID)
+			}
+		}
+		ix := trace.NewIndexer()
+		r := Fig1Result{
+			Driver:         driver,
+			ConcreteBlocks: len(concIDs),
+			SymbolicBlocks: exB.NumCovered(),
+			Missed:         len(trace.MissedBlocks(concIDs, exB.CoveredBlocks())),
+			ConcretePts:    ix.Series(con.Trace),
+			SymbolicPts:    ix.Series(symEvents),
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Fig4Result compares phase division with and without the coverage
+// element.
+type Fig4Result struct {
+	TrapsBBVOnly     int
+	TrapsBBVCoverage int
+	K1, K2           int
+}
+
+// Fig4 reproduces the Fig 4 comparison on gif2tiff.
+func Fig4(cfg Config) (*Fig4Result, error) {
+	tgt, err := targets.ByDriver("gif2tiff")
+	if err != nil {
+		return nil, err
+	}
+	prog, err := tgt.Build()
+	if err != nil {
+		return nil, err
+	}
+	seed := tgt.GenSeed(rand.New(rand.NewSource(cfg.Seed)), 800)
+	dry := interp.New(prog, seed, interp.Options{}).Run()
+	interval := dry.Steps / 64
+	if interval < 32 {
+		interval = 32
+	}
+	ex := symex.NewExecutor(prog, symex.Options{InputSize: len(seed)})
+	con, err := concolic.Run(ex, seed, concolic.Options{Interval: interval})
+	if err != nil {
+		return nil, err
+	}
+	wo := phase.DefaultOptions()
+	wo.IncludeCoverage = false
+	without := phase.Divide(con.BBVs, wo)
+	with := phase.Divide(con.BBVs, phase.DefaultOptions())
+	return &Fig4Result{
+		TrapsBBVOnly:     without.NumTrap,
+		TrapsBBVCoverage: with.NumTrap,
+		K1:               without.K,
+		K2:               with.K,
+	}, nil
+}
+
+// Fig5Result is the tiff2rgba case study: the CIELab bug is in a trap
+// phase reached by pbSE but (ideally) not by the baseline at 10B.
+type Fig5Result struct {
+	NormalSeedPts []trace.Point
+	BuggySeedPts  []trace.Point
+	PBSEBugs      []*bugs.Report
+	PBSEFoundOOB  bool
+	BugPhase      int
+	Traps         int
+	KLEEFoundOOB  bool // KLEE default at 10B
+}
+
+// Fig5 reproduces the Fig 5/Fig 6 case study.
+func Fig5(cfg Config) (*Fig5Result, error) {
+	tgt, err := targets.ByDriver("tiff2rgba")
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig5Result{BugPhase: -1}
+
+	// (a) concrete distribution with the normal seed
+	progA, _ := tgt.Build()
+	seed := tgt.GenSeed(rand.New(rand.NewSource(cfg.Seed)), 243)
+	exA := symex.NewExecutor(progA, symex.Options{InputSize: len(seed)})
+	conA, err := concolic.Run(exA, seed, concolic.Options{RecordTrace: true})
+	if err != nil {
+		return nil, err
+	}
+	ix := trace.NewIndexer()
+	out.NormalSeedPts = ix.Series(conA.Trace)
+
+	// (b) concrete distribution with the buggy seed
+	progB, _ := tgt.Build()
+	bseed := tgt.GenBuggySeed(rand.New(rand.NewSource(cfg.Seed)))
+	exB := symex.NewExecutor(progB, symex.Options{InputSize: len(bseed)})
+	conB, err := concolic.Run(exB, bseed, concolic.Options{RecordTrace: true})
+	if err != nil {
+		return nil, err
+	}
+	out.BuggySeedPts = ix.Series(conB.Trace)
+
+	// pbSE with the normal seed: must find the CIELab OOB read
+	progC, _ := tgt.Build()
+	res, err := pbse.Run(progC, seed, pbse.Options{Budget: cfg.BudgetB, Seed: cfg.Seed},
+		symex.Options{InputSize: len(seed)})
+	if err != nil {
+		return nil, err
+	}
+	out.PBSEBugs = res.Bugs
+	out.Traps = res.Division.NumTrap
+	for _, b := range res.Bugs {
+		if b.Kind == bugs.OOBRead && b.Func == "put_cielab" {
+			out.PBSEFoundOOB = true
+			out.BugPhase = b.Phase
+		}
+	}
+
+	// KLEE default at 10B, CIELab bug specifically
+	progD, _ := tgt.Build()
+	exD := symex.NewExecutor(progD, symex.Options{InputSize: len(seed)})
+	s, _ := symex.NewSearcher(symex.SearchDefault, exD, rand.New(rand.NewSource(cfg.Seed)))
+	s.Add(exD.NewEntryState())
+	(&symex.Runner{Ex: exD, Search: s}).Run(10 * cfg.BudgetB)
+	for _, b := range exD.Bugs.Reports() {
+		if b.Kind == bugs.OOBRead && b.Func == "put_cielab" {
+			out.KLEEFoundOOB = true
+		}
+	}
+	return out, nil
+}
+
+// AblationResult compares a design choice on/off at equal budget.
+type AblationResult struct {
+	Name        string
+	CoverageOn  int
+	CoverageOff int
+	BugsOn      int
+	BugsOff     int
+	Detail      string
+}
+
+// Ablations measures the design choices DESIGN.md calls out, on readelf.
+func Ablations(cfg Config) ([]AblationResult, error) {
+	tgt, err := targets.ByDriver("readelf")
+	if err != nil {
+		return nil, err
+	}
+	budget := 4 * cfg.BudgetB
+	run := func(opts pbse.Options) (*pbse.Result, error) {
+		prog, err := tgt.Build()
+		if err != nil {
+			return nil, err
+		}
+		in := tgt.GenSeed(rand.New(rand.NewSource(cfg.Seed)), 576)
+		opts.Budget = budget
+		opts.Seed = cfg.Seed
+		return pbse.Run(prog, in, opts, symex.Options{InputSize: len(in)})
+	}
+	var out []AblationResult
+
+	base, err := run(pbse.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	// coverage-augmented BBVs (Fig 4 mechanism applied end to end)
+	po := phase.DefaultOptions()
+	po.IncludeCoverage = false
+	noCov, err := run(pbse.Options{PhaseOpts: po})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AblationResult{
+		Name:       "coverage-augmented BBVs",
+		CoverageOn: base.Covered, CoverageOff: noCov.Covered,
+		BugsOn: len(base.Bugs), BugsOff: len(noCov.Bugs),
+		Detail: fmt.Sprintf("traps %d vs %d", base.Division.NumTrap, noCov.Division.NumTrap),
+	})
+
+	// seedState dedup by fork point (§III-B3)
+	noDedup, err := run(pbse.Options{DisableDedup: true})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AblationResult{
+		Name:       "seedState dedup",
+		CoverageOn: base.Covered, CoverageOff: noDedup.Covered,
+		BugsOn: len(base.Bugs), BugsOff: len(noDedup.Bugs),
+	})
+
+	// round-robin vs sequential scheduling (Algorithm 3)
+	seq, err := run(pbse.Options{Sequential: true})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AblationResult{
+		Name:       "round-robin scheduling",
+		CoverageOn: base.Covered, CoverageOff: seq.Covered,
+		BugsOn: len(base.Bugs), BugsOff: len(seq.Bugs),
+	})
+
+	// adaptive k selection vs fixed k=4
+	pf := phase.DefaultOptions()
+	pf.KMin, pf.KMax = 4, 4
+	fixedK, err := run(pbse.Options{PhaseOpts: pf})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AblationResult{
+		Name:       "adaptive k selection",
+		CoverageOn: base.Covered, CoverageOff: fixedK.Covered,
+		BugsOn: len(base.Bugs), BugsOff: len(fixedK.Bugs),
+		Detail: fmt.Sprintf("k %d vs fixed 4", base.Division.K),
+	})
+	return out, nil
+}
+
+// SolverAblation measures the solver fast paths on a fixed baseline
+// workload (KLEE default on readelf at budget B).
+type SolverAblation struct {
+	Name    string
+	Covered int
+	Stats   solver.Stats
+}
+
+// SolverAblations runs the same workload with each fast path disabled.
+func SolverAblations(cfg Config) ([]SolverAblation, error) {
+	tgt, err := targets.ByDriver("readelf")
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		opts solver.Options
+	}{
+		{"all fast paths", solver.Options{}},
+		{"no candidates", solver.Options{DisableCandidates: true}},
+		{"no cache", solver.Options{DisableCache: true}},
+		{"no intervals", solver.Options{DisableIntervals: true}},
+		{"no slicing", solver.Options{DisableSlicing: true}},
+	}
+	var out []SolverAblation
+	for _, v := range variants {
+		prog, err := tgt.Build()
+		if err != nil {
+			return nil, err
+		}
+		ex := symex.NewExecutor(prog, symex.Options{InputSize: 100, SolverOpts: v.opts})
+		s, _ := symex.NewSearcher(symex.SearchDefault, ex, rand.New(rand.NewSource(cfg.Seed)))
+		s.Add(ex.NewEntryState())
+		(&symex.Runner{Ex: ex, Search: s}).Run(cfg.BudgetB)
+		out = append(out, SolverAblation{Name: v.name, Covered: ex.NumCovered(), Stats: ex.Solver.Stats()})
+	}
+	return out, nil
+}

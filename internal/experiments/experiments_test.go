@@ -1,0 +1,112 @@
+package experiments
+
+import "testing"
+
+// smokeConfig keeps experiment smoke tests fast.
+func smokeConfig() Config {
+	return Config{BudgetB: 2_000, SymSizes: []int{10, 100}, Seed: 42}
+}
+
+func TestTableISmoke(t *testing.T) {
+	res, err := TableI(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Baselines) != 7*2 {
+		t.Errorf("baseline cells = %d, want 14", len(res.Baselines))
+	}
+	if len(res.PBSE) != 2 {
+		t.Errorf("pbSE cells = %d, want 2", len(res.PBSE))
+	}
+	for _, c := range res.Baselines {
+		if c.Cov10B < c.CovB {
+			t.Errorf("%s sym-%d: coverage decreased %d -> %d", c.Searcher, c.SymSize, c.CovB, c.Cov10B)
+		}
+	}
+}
+
+func TestTableIISmoke(t *testing.T) {
+	rows, err := TableII(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.RandomPath) != 2 || len(r.CovNew) != 2 {
+			t.Errorf("%s: missing cells", r.Driver)
+		}
+		if r.PBSE.Cov10B == 0 {
+			t.Errorf("%s: pbSE covered nothing", r.Driver)
+		}
+	}
+}
+
+func TestTableIIISmoke(t *testing.T) {
+	rows, err := TableIII(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Reproduce < 0 || r.Reproduce > len(r.Bugs) {
+			t.Errorf("%s: reproduce count inconsistent", r.Driver)
+		}
+	}
+}
+
+func TestFig1Smoke(t *testing.T) {
+	rows, err := Fig1(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.ConcreteBlocks == 0 || len(r.ConcretePts) == 0 {
+			t.Errorf("%s: empty concrete trace", r.Driver)
+		}
+		if r.Missed < 0 || r.Missed > r.ConcreteBlocks {
+			t.Errorf("%s: missed count inconsistent", r.Driver)
+		}
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	r, err := Fig4(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K1 < 1 || r.K2 < 1 {
+		t.Errorf("bad k values: %+v", r)
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	r, err := Fig5(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.NormalSeedPts) == 0 || len(r.BuggySeedPts) == 0 {
+		t.Error("empty figure series")
+	}
+}
+
+func TestSolverAblationsSmoke(t *testing.T) {
+	rows, err := SolverAblations(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("variants = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Stats.Queries == 0 {
+			t.Errorf("%s: no queries recorded", r.Name)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package expr
+
+// Assignment binds every symbolic array to concrete bytes. Arrays absent
+// from the assignment evaluate as all-zero.
+type Assignment map[*Array][]byte
+
+// ByteOf returns the assigned value of arr[idx], defaulting to zero.
+func (a Assignment) ByteOf(arr *Array, idx int) byte {
+	bs, ok := a[arr]
+	if !ok || idx >= len(bs) {
+		return 0
+	}
+	return bs[idx]
+}
+
+// Clone returns a deep copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	for arr, bs := range a {
+		cp := make([]byte, len(bs))
+		copy(cp, bs)
+		out[arr] = cp
+	}
+	return out
+}
+
+// Evaluator computes concrete values of expressions under an Assignment,
+// memoising per-node results. Reset the cache (or make a new Evaluator)
+// when the assignment changes.
+type Evaluator struct {
+	asn   Assignment
+	cache map[*Expr]uint64
+}
+
+// NewEvaluator returns an evaluator for the given assignment.
+func NewEvaluator(asn Assignment) *Evaluator {
+	return &Evaluator{asn: asn, cache: make(map[*Expr]uint64, 256)}
+}
+
+// Eval returns the value of e under the evaluator's assignment, truncated
+// to e's width.
+func (ev *Evaluator) Eval(e *Expr) uint64 {
+	if e.kind == Const {
+		return e.val
+	}
+	if v, ok := ev.cache[e]; ok {
+		return v
+	}
+	v := ev.eval(e)
+	ev.cache[e] = v
+	return v
+}
+
+// EvalBool returns the truth value of a width-1 expression.
+func (ev *Evaluator) EvalBool(e *Expr) bool { return ev.Eval(e) == 1 }
+
+func (ev *Evaluator) eval(e *Expr) uint64 {
+	w := e.Width()
+	switch e.kind {
+	case Read:
+		return uint64(ev.asn.ByteOf(e.arr, int(e.val)))
+	case Add:
+		return (ev.Eval(e.kids[0]) + ev.Eval(e.kids[1])) & mask(w)
+	case Sub:
+		return (ev.Eval(e.kids[0]) - ev.Eval(e.kids[1])) & mask(w)
+	case Mul:
+		return (ev.Eval(e.kids[0]) * ev.Eval(e.kids[1])) & mask(w)
+	case UDiv:
+		b := ev.Eval(e.kids[1])
+		if b == 0 {
+			return mask(w)
+		}
+		return ev.Eval(e.kids[0]) / b
+	case SDiv:
+		b := ev.Eval(e.kids[1])
+		if b == 0 {
+			return mask(w)
+		}
+		q := int64(sext(ev.Eval(e.kids[0]), w)) / int64(sext(b, w))
+		return uint64(q) & mask(w)
+	case URem:
+		b := ev.Eval(e.kids[1])
+		if b == 0 {
+			return ev.Eval(e.kids[0])
+		}
+		return ev.Eval(e.kids[0]) % b
+	case SRem:
+		b := ev.Eval(e.kids[1])
+		if b == 0 {
+			return ev.Eval(e.kids[0])
+		}
+		r := int64(sext(ev.Eval(e.kids[0]), w)) % int64(sext(b, w))
+		return uint64(r) & mask(w)
+	case And:
+		return ev.Eval(e.kids[0]) & ev.Eval(e.kids[1])
+	case Or:
+		return ev.Eval(e.kids[0]) | ev.Eval(e.kids[1])
+	case Xor:
+		return ev.Eval(e.kids[0]) ^ ev.Eval(e.kids[1])
+	case Not:
+		return ^ev.Eval(e.kids[0]) & mask(w)
+	case Shl:
+		sh := ev.Eval(e.kids[1])
+		if sh >= uint64(w) {
+			return 0
+		}
+		return (ev.Eval(e.kids[0]) << sh) & mask(w)
+	case LShr:
+		sh := ev.Eval(e.kids[1])
+		if sh >= uint64(w) {
+			return 0
+		}
+		return ev.Eval(e.kids[0]) >> sh
+	case AShr:
+		sh := ev.Eval(e.kids[1])
+		if sh >= uint64(w) {
+			sh = uint64(w) - 1
+		}
+		return uint64(int64(sext(ev.Eval(e.kids[0]), w))>>sh) & mask(w)
+	case Eq:
+		return b2u(ev.Eval(e.kids[0]) == ev.Eval(e.kids[1]))
+	case Ult:
+		return b2u(ev.Eval(e.kids[0]) < ev.Eval(e.kids[1]))
+	case Ule:
+		return b2u(ev.Eval(e.kids[0]) <= ev.Eval(e.kids[1]))
+	case Slt:
+		kw := e.kids[0].Width()
+		return b2u(int64(sext(ev.Eval(e.kids[0]), kw)) < int64(sext(ev.Eval(e.kids[1]), kw)))
+	case Sle:
+		kw := e.kids[0].Width()
+		return b2u(int64(sext(ev.Eval(e.kids[0]), kw)) <= int64(sext(ev.Eval(e.kids[1]), kw)))
+	case ZExt:
+		return ev.Eval(e.kids[0])
+	case SExt:
+		return sext(ev.Eval(e.kids[0]), e.kids[0].Width()) & mask(w)
+	case Trunc:
+		return ev.Eval(e.kids[0]) & mask(w)
+	case Concat:
+		return (ev.Eval(e.kids[0])<<e.kids[1].Width() | ev.Eval(e.kids[1])) & mask(w)
+	case ITE:
+		if ev.Eval(e.kids[0]) == 1 {
+			return ev.Eval(e.kids[1])
+		}
+		return ev.Eval(e.kids[2])
+	default:
+		panic("expr: eval: unknown kind " + e.kind.String())
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SymByte identifies a single symbolic byte of some array.
+type SymByte struct {
+	Arr *Array
+	Idx int
+}
+
+// CollectReads appends every distinct symbolic byte referenced by e into
+// the set, using seen to avoid re-walking shared subgraphs across calls.
+func CollectReads(e *Expr, seen map[*Expr]bool, set map[SymByte]bool) {
+	if e.kind == Const || seen[e] {
+		return
+	}
+	seen[e] = true
+	if e.kind == Read {
+		set[SymByte{Arr: e.arr, Idx: int(e.val)}] = true
+		return
+	}
+	for i := 0; i < int(e.nkids); i++ {
+		CollectReads(e.kids[i], seen, set)
+	}
+}
+
+// Reads returns the distinct symbolic bytes referenced by e.
+func Reads(e *Expr) []SymByte {
+	set := make(map[SymByte]bool)
+	CollectReads(e, make(map[*Expr]bool), set)
+	out := make([]SymByte, 0, len(set))
+	for sb := range set {
+		out = append(out, sb)
+	}
+	return out
+}

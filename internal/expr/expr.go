@@ -1,0 +1,807 @@
+// Package expr implements the bitvector expression language used by the
+// symbolic executor and the constraint solver.
+//
+// Expressions are immutable, hash-consed DAG nodes created through a
+// Context. The constructors perform aggressive local simplification
+// (constant folding, algebraic identities), so the rest of the system can
+// build expressions freely without worrying about blow-up from trivially
+// reducible terms. Widths are 1..64 bits; width-1 expressions act as
+// booleans.
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies the operator of an expression node.
+type Kind uint8
+
+// Expression kinds. Width-1 results are produced by the comparison kinds.
+const (
+	Const Kind = iota + 1
+	Read       // one symbolic byte: Array[Index], width 8
+
+	Add
+	Sub
+	Mul
+	UDiv
+	SDiv
+	URem
+	SRem
+
+	And
+	Or
+	Xor
+	Not // bitwise complement
+	Shl
+	LShr
+	AShr
+
+	Eq  // width 1
+	Ult // width 1
+	Ule // width 1
+	Slt // width 1
+	Sle // width 1
+
+	ZExt
+	SExt
+	Trunc // keep low Width bits
+
+	Concat // hi ++ lo; width = hi.Width + lo.Width
+	ITE    // cond (width 1), then, else
+)
+
+var kindNames = map[Kind]string{
+	Const: "const", Read: "read",
+	Add: "add", Sub: "sub", Mul: "mul", UDiv: "udiv", SDiv: "sdiv",
+	URem: "urem", SRem: "srem",
+	And: "and", Or: "or", Xor: "xor", Not: "not",
+	Shl: "shl", LShr: "lshr", AShr: "ashr",
+	Eq: "eq", Ult: "ult", Ule: "ule", Slt: "slt", Sle: "sle",
+	ZExt: "zext", SExt: "sext", Trunc: "trunc",
+	Concat: "concat", ITE: "ite",
+}
+
+// String returns the lower-case mnemonic for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Array names a source of symbolic bytes (e.g. the symbolic input file).
+// Arrays are compared by identity.
+type Array struct {
+	Name string
+	Size int // number of bytes
+}
+
+// NewArray returns a fresh symbolic array.
+func NewArray(name string, size int) *Array {
+	return &Array{Name: name, Size: size}
+}
+
+// Expr is one immutable node of the expression DAG. Nodes are created only
+// through a Context, which hash-conses them: two structurally identical
+// expressions built in the same Context are pointer-equal.
+type Expr struct {
+	kind  Kind
+	width uint8
+	val   uint64 // Const: value; Read: byte index
+	arr   *Array // Read only
+	kids  [3]*Expr
+	nkids uint8
+	id    uint64 // creation order within the Context; stable sort key
+}
+
+// Kind returns the node operator.
+func (e *Expr) Kind() Kind { return e.kind }
+
+// Width returns the bit width of the value the node produces.
+func (e *Expr) Width() uint { return uint(e.width) }
+
+// IsConst reports whether the node is a constant.
+func (e *Expr) IsConst() bool { return e.kind == Const }
+
+// IsBool reports whether the node has width 1.
+func (e *Expr) IsBool() bool { return e.width == 1 }
+
+// Value returns the constant value; it panics when the node is not const.
+func (e *Expr) Value() uint64 {
+	if e.kind != Const {
+		panic("expr: Value on non-const")
+	}
+	return e.val
+}
+
+// IsTrue reports whether the node is the width-1 constant 1.
+func (e *Expr) IsTrue() bool { return e.kind == Const && e.width == 1 && e.val == 1 }
+
+// IsFalse reports whether the node is the width-1 constant 0.
+func (e *Expr) IsFalse() bool { return e.kind == Const && e.width == 1 && e.val == 0 }
+
+// Array returns the symbolic array of a Read node (nil otherwise).
+func (e *Expr) Array() *Array {
+	if e.kind != Read {
+		return nil
+	}
+	return e.arr
+}
+
+// ReadIndex returns the byte index of a Read node.
+func (e *Expr) ReadIndex() int {
+	if e.kind != Read {
+		panic("expr: ReadIndex on non-read")
+	}
+	return int(e.val)
+}
+
+// NumKids returns the number of child expressions.
+func (e *Expr) NumKids() int { return int(e.nkids) }
+
+// Kid returns the i-th child expression.
+func (e *Expr) Kid(i int) *Expr { return e.kids[i] }
+
+// ID returns the creation-order id of this node within its Context.
+func (e *Expr) ID() uint64 { return e.id }
+
+// String renders the expression as an s-expression, for debugging and tests.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.format(&b)
+	return b.String()
+}
+
+func (e *Expr) format(b *strings.Builder) {
+	switch e.kind {
+	case Const:
+		fmt.Fprintf(b, "%d:w%d", e.val, e.width)
+	case Read:
+		fmt.Fprintf(b, "%s[%d]", e.arr.Name, e.val)
+	default:
+		b.WriteByte('(')
+		b.WriteString(e.kind.String())
+		if e.kind == ZExt || e.kind == SExt || e.kind == Trunc {
+			fmt.Fprintf(b, ":w%d", e.width)
+		}
+		for i := 0; i < int(e.nkids); i++ {
+			b.WriteByte(' ')
+			e.kids[i].format(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// mask returns the all-ones mask for a width in bits.
+func mask(w uint) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << w) - 1
+}
+
+// signBit reports whether v's sign bit is set at width w.
+func signBit(v uint64, w uint) bool { return v>>(w-1)&1 == 1 }
+
+// sext sign-extends the w-bit value v to 64 bits.
+func sext(v uint64, w uint) uint64 {
+	if w >= 64 || !signBit(v, w) {
+		return v
+	}
+	return v | ^mask(w)
+}
+
+// key is the hash-cons identity of a node.
+type key struct {
+	kind       Kind
+	width      uint8
+	val        uint64
+	arr        *Array
+	k0, k1, k2 *Expr
+}
+
+// Context creates and interns expressions. A Context is not safe for
+// concurrent use; each executor run owns one.
+type Context struct {
+	intern map[key]*Expr
+	nextID uint64
+
+	// small cache of common constants
+	true1, false1 *Expr
+}
+
+// NewContext returns an empty expression context.
+func NewContext() *Context {
+	c := &Context{intern: make(map[key]*Expr, 1024)}
+	c.false1 = c.Const(0, 1)
+	c.true1 = c.Const(1, 1)
+	return c
+}
+
+// NumNodes returns the number of distinct nodes interned so far.
+func (c *Context) NumNodes() int { return len(c.intern) }
+
+func (c *Context) mk(k key) *Expr {
+	if e, ok := c.intern[k]; ok {
+		return e
+	}
+	e := &Expr{kind: k.kind, width: k.width, val: k.val, arr: k.arr, id: c.nextID}
+	c.nextID++
+	switch {
+	case k.k2 != nil:
+		e.kids = [3]*Expr{k.k0, k.k1, k.k2}
+		e.nkids = 3
+	case k.k1 != nil:
+		e.kids = [3]*Expr{k.k0, k.k1, nil}
+		e.nkids = 2
+	case k.k0 != nil:
+		e.kids = [3]*Expr{k.k0, nil, nil}
+		e.nkids = 1
+	}
+	c.intern[k] = e
+	return e
+}
+
+// Const returns the constant v truncated to width w.
+func (c *Context) Const(v uint64, w uint) *Expr {
+	if w == 0 || w > 64 {
+		panic(fmt.Sprintf("expr: bad width %d", w))
+	}
+	return c.mk(key{kind: Const, width: uint8(w), val: v & mask(w)})
+}
+
+// True returns the width-1 constant 1.
+func (c *Context) True() *Expr { return c.true1 }
+
+// False returns the width-1 constant 0.
+func (c *Context) False() *Expr { return c.false1 }
+
+// Bool returns the width-1 constant for b.
+func (c *Context) Bool(b bool) *Expr {
+	if b {
+		return c.true1
+	}
+	return c.false1
+}
+
+// ByteAt returns the symbolic byte arr[idx] (width 8).
+func (c *Context) ByteAt(arr *Array, idx int) *Expr {
+	if idx < 0 || idx >= arr.Size {
+		panic(fmt.Sprintf("expr: read %s[%d] out of range (size %d)", arr.Name, idx, arr.Size))
+	}
+	return c.mk(key{kind: Read, width: 8, val: uint64(idx), arr: arr})
+}
+
+// ReadLE returns the little-endian concatenation of n bytes starting at idx.
+func (c *Context) ReadLE(arr *Array, idx, n int) *Expr {
+	e := c.ByteAt(arr, idx)
+	for i := 1; i < n; i++ {
+		e = c.Concat(c.ByteAt(arr, idx+i), e)
+	}
+	return e
+}
+
+func checkSameWidth(op Kind, a, b *Expr) {
+	if a.width != b.width {
+		panic(fmt.Sprintf("expr: %s width mismatch %d vs %d", op, a.width, b.width))
+	}
+}
+
+// binary builds a (possibly folded) binary node.
+func (c *Context) binary(k Kind, w uint, a, b *Expr) *Expr {
+	return c.mk(key{kind: k, width: uint8(w), k0: a, k1: b})
+}
+
+// Add returns a+b (modular).
+func (c *Context) Add(a, b *Expr) *Expr {
+	checkSameWidth(Add, a, b)
+	w := a.Width()
+	if a.IsConst() && b.IsConst() {
+		return c.Const(a.val+b.val, w)
+	}
+	// canonicalise: constant on the left
+	if b.IsConst() {
+		a, b = b, a
+	}
+	if a.IsConst() && a.val == 0 {
+		return b
+	}
+	// (c1 + (c2 + x)) -> (c1+c2) + x
+	if a.IsConst() && b.kind == Add && b.kids[0].IsConst() {
+		return c.Add(c.Const(a.val+b.kids[0].val, w), b.kids[1])
+	}
+	if !a.IsConst() && a.id > b.id { // commutative canonical order
+		a, b = b, a
+	}
+	return c.binary(Add, w, a, b)
+}
+
+// Sub returns a-b (modular).
+func (c *Context) Sub(a, b *Expr) *Expr {
+	checkSameWidth(Sub, a, b)
+	w := a.Width()
+	if a.IsConst() && b.IsConst() {
+		return c.Const(a.val-b.val, w)
+	}
+	if b.IsConst() && b.val == 0 {
+		return a
+	}
+	if a == b {
+		return c.Const(0, w)
+	}
+	// a - c  ->  (-c) + a
+	if b.IsConst() {
+		return c.Add(c.Const(-b.val, w), a)
+	}
+	return c.binary(Sub, w, a, b)
+}
+
+// Mul returns a*b (modular).
+func (c *Context) Mul(a, b *Expr) *Expr {
+	checkSameWidth(Mul, a, b)
+	w := a.Width()
+	if a.IsConst() && b.IsConst() {
+		return c.Const(a.val*b.val, w)
+	}
+	if b.IsConst() {
+		a, b = b, a
+	}
+	if a.IsConst() {
+		switch a.val {
+		case 0:
+			return c.Const(0, w)
+		case 1:
+			return b
+		}
+	}
+	if !a.IsConst() && a.id > b.id {
+		a, b = b, a
+	}
+	return c.binary(Mul, w, a, b)
+}
+
+// UDiv returns the unsigned quotient a/b; division by zero yields all-ones
+// (the usual SMT-LIB bitvector convention).
+func (c *Context) UDiv(a, b *Expr) *Expr {
+	checkSameWidth(UDiv, a, b)
+	w := a.Width()
+	if a.IsConst() && b.IsConst() {
+		if b.val == 0 {
+			return c.Const(mask(w), w)
+		}
+		return c.Const(a.val/b.val, w)
+	}
+	if b.IsConst() && b.val == 1 {
+		return a
+	}
+	return c.binary(UDiv, w, a, b)
+}
+
+// SDiv returns the signed quotient; division by zero yields all-ones.
+func (c *Context) SDiv(a, b *Expr) *Expr {
+	checkSameWidth(SDiv, a, b)
+	w := a.Width()
+	if a.IsConst() && b.IsConst() {
+		if b.val == 0 {
+			return c.Const(mask(w), w)
+		}
+		q := int64(sext(a.val, w)) / int64(sext(b.val, w))
+		return c.Const(uint64(q), w)
+	}
+	if b.IsConst() && b.val == 1 {
+		return a
+	}
+	return c.binary(SDiv, w, a, b)
+}
+
+// URem returns the unsigned remainder; x%0 = x (SMT-LIB convention).
+func (c *Context) URem(a, b *Expr) *Expr {
+	checkSameWidth(URem, a, b)
+	w := a.Width()
+	if a.IsConst() && b.IsConst() {
+		if b.val == 0 {
+			return a
+		}
+		return c.Const(a.val%b.val, w)
+	}
+	if b.IsConst() && b.val == 1 {
+		return c.Const(0, w)
+	}
+	// x % 2^k  ->  x & (2^k - 1)
+	if b.IsConst() && b.val != 0 && b.val&(b.val-1) == 0 {
+		return c.And(a, c.Const(b.val-1, w))
+	}
+	return c.binary(URem, w, a, b)
+}
+
+// SRem returns the signed remainder (sign follows the dividend); x%0 = x.
+func (c *Context) SRem(a, b *Expr) *Expr {
+	checkSameWidth(SRem, a, b)
+	w := a.Width()
+	if a.IsConst() && b.IsConst() {
+		if b.val == 0 {
+			return a
+		}
+		r := int64(sext(a.val, w)) % int64(sext(b.val, w))
+		return c.Const(uint64(r), w)
+	}
+	return c.binary(SRem, w, a, b)
+}
+
+// And returns the bitwise conjunction.
+func (c *Context) And(a, b *Expr) *Expr {
+	checkSameWidth(And, a, b)
+	w := a.Width()
+	if a.IsConst() && b.IsConst() {
+		return c.Const(a.val&b.val, w)
+	}
+	if b.IsConst() {
+		a, b = b, a
+	}
+	if a.IsConst() {
+		if a.val == 0 {
+			return c.Const(0, w)
+		}
+		if a.val == mask(w) {
+			return b
+		}
+	}
+	if a == b {
+		return a
+	}
+	if !a.IsConst() && a.id > b.id {
+		a, b = b, a
+	}
+	return c.binary(And, w, a, b)
+}
+
+// Or returns the bitwise disjunction.
+func (c *Context) Or(a, b *Expr) *Expr {
+	checkSameWidth(Or, a, b)
+	w := a.Width()
+	if a.IsConst() && b.IsConst() {
+		return c.Const(a.val|b.val, w)
+	}
+	if b.IsConst() {
+		a, b = b, a
+	}
+	if a.IsConst() {
+		if a.val == 0 {
+			return b
+		}
+		if a.val == mask(w) {
+			return c.Const(mask(w), w)
+		}
+	}
+	if a == b {
+		return a
+	}
+	if !a.IsConst() && a.id > b.id {
+		a, b = b, a
+	}
+	return c.binary(Or, w, a, b)
+}
+
+// Xor returns the bitwise exclusive-or.
+func (c *Context) Xor(a, b *Expr) *Expr {
+	checkSameWidth(Xor, a, b)
+	w := a.Width()
+	if a.IsConst() && b.IsConst() {
+		return c.Const(a.val^b.val, w)
+	}
+	if b.IsConst() {
+		a, b = b, a
+	}
+	if a.IsConst() && a.val == 0 {
+		return b
+	}
+	// (c1 ^ (c2 ^ x)) -> (c1^c2) ^ x
+	if a.IsConst() && b.kind == Xor && b.kids[0].IsConst() {
+		return c.Xor(c.Const(a.val^b.kids[0].val, w), b.kids[1])
+	}
+	if a == b {
+		return c.Const(0, w)
+	}
+	if !a.IsConst() && a.id > b.id {
+		a, b = b, a
+	}
+	return c.binary(Xor, w, a, b)
+}
+
+// NotE returns the bitwise complement of a.
+func (c *Context) NotE(a *Expr) *Expr {
+	w := a.Width()
+	if a.IsConst() {
+		return c.Const(^a.val, w)
+	}
+	if a.kind == Not {
+		return a.kids[0]
+	}
+	return c.mk(key{kind: Not, width: uint8(w), k0: a})
+}
+
+// NotB returns the logical negation of a width-1 expression.
+func (c *Context) NotB(a *Expr) *Expr {
+	if !a.IsBool() {
+		panic("expr: NotB on non-bool")
+	}
+	return c.Xor(a, c.true1)
+}
+
+// Shl returns a << b; shifts ≥ width yield 0.
+func (c *Context) Shl(a, b *Expr) *Expr {
+	checkSameWidth(Shl, a, b)
+	w := a.Width()
+	if a.IsConst() && b.IsConst() {
+		if b.val >= uint64(w) {
+			return c.Const(0, w)
+		}
+		return c.Const(a.val<<b.val, w)
+	}
+	if b.IsConst() && b.val == 0 {
+		return a
+	}
+	return c.binary(Shl, w, a, b)
+}
+
+// LShr returns the logical right shift; shifts ≥ width yield 0.
+func (c *Context) LShr(a, b *Expr) *Expr {
+	checkSameWidth(LShr, a, b)
+	w := a.Width()
+	if a.IsConst() && b.IsConst() {
+		if b.val >= uint64(w) {
+			return c.Const(0, w)
+		}
+		return c.Const((a.val&mask(w))>>b.val, w)
+	}
+	if b.IsConst() && b.val == 0 {
+		return a
+	}
+	return c.binary(LShr, w, a, b)
+}
+
+// AShr returns the arithmetic right shift; shifts ≥ width replicate the
+// sign bit.
+func (c *Context) AShr(a, b *Expr) *Expr {
+	checkSameWidth(AShr, a, b)
+	w := a.Width()
+	if a.IsConst() && b.IsConst() {
+		sh := b.val
+		if sh >= uint64(w) {
+			sh = uint64(w) - 1
+		}
+		return c.Const(uint64(int64(sext(a.val, w))>>sh), w)
+	}
+	if b.IsConst() && b.val == 0 {
+		return a
+	}
+	return c.binary(AShr, w, a, b)
+}
+
+// EqE returns a == b as a width-1 expression.
+func (c *Context) EqE(a, b *Expr) *Expr {
+	checkSameWidth(Eq, a, b)
+	if a == b {
+		return c.true1
+	}
+	if a.IsConst() && b.IsConst() {
+		return c.Bool(a.val == b.val)
+	}
+	if b.IsConst() {
+		a, b = b, a
+	}
+	// (eq c1 (add c2 x)) -> (eq (c1-c2) x)
+	if a.IsConst() && b.kind == Add && b.kids[0].IsConst() {
+		return c.EqE(c.Const(a.val-b.kids[0].val, a.Width()), b.kids[1])
+	}
+	// booleans: (eq true x) -> x ; (eq false x) -> !x
+	if a.IsBool() && a.IsConst() {
+		if a.val == 1 {
+			return b
+		}
+		return c.NotB(b)
+	}
+	// (eq c (zext x)) with c outside x's range -> false
+	if a.IsConst() && (b.kind == ZExt) && a.val > mask(b.kids[0].Width()) {
+		return c.false1
+	}
+	if !a.IsConst() && a.id > b.id {
+		a, b = b, a
+	}
+	return c.mk(key{kind: Eq, width: 1, k0: a, k1: b})
+}
+
+// NeE returns a != b as a width-1 expression.
+func (c *Context) NeE(a, b *Expr) *Expr { return c.NotB(c.EqE(a, b)) }
+
+// UltE returns the unsigned comparison a < b.
+func (c *Context) UltE(a, b *Expr) *Expr {
+	checkSameWidth(Ult, a, b)
+	if a == b {
+		return c.false1
+	}
+	if a.IsConst() && b.IsConst() {
+		return c.Bool(a.val < b.val)
+	}
+	if b.IsConst() && b.val == 0 {
+		return c.false1 // nothing is < 0 unsigned
+	}
+	if a.IsConst() && a.val == mask(a.Width()) {
+		return c.false1 // max is < nothing
+	}
+	return c.mk(key{kind: Ult, width: 1, k0: a, k1: b})
+}
+
+// UleE returns the unsigned comparison a <= b.
+func (c *Context) UleE(a, b *Expr) *Expr {
+	checkSameWidth(Ule, a, b)
+	if a == b {
+		return c.true1
+	}
+	if a.IsConst() && b.IsConst() {
+		return c.Bool(a.val <= b.val)
+	}
+	if a.IsConst() && a.val == 0 {
+		return c.true1
+	}
+	if b.IsConst() && b.val == mask(b.Width()) {
+		return c.true1
+	}
+	return c.mk(key{kind: Ule, width: 1, k0: a, k1: b})
+}
+
+// SltE returns the signed comparison a < b.
+func (c *Context) SltE(a, b *Expr) *Expr {
+	checkSameWidth(Slt, a, b)
+	if a == b {
+		return c.false1
+	}
+	if a.IsConst() && b.IsConst() {
+		w := a.Width()
+		return c.Bool(int64(sext(a.val, w)) < int64(sext(b.val, w)))
+	}
+	return c.mk(key{kind: Slt, width: 1, k0: a, k1: b})
+}
+
+// SleE returns the signed comparison a <= b.
+func (c *Context) SleE(a, b *Expr) *Expr {
+	checkSameWidth(Sle, a, b)
+	if a == b {
+		return c.true1
+	}
+	if a.IsConst() && b.IsConst() {
+		w := a.Width()
+		return c.Bool(int64(sext(a.val, w)) <= int64(sext(b.val, w)))
+	}
+	return c.mk(key{kind: Sle, width: 1, k0: a, k1: b})
+}
+
+// UgtE returns a > b unsigned.
+func (c *Context) UgtE(a, b *Expr) *Expr { return c.UltE(b, a) }
+
+// UgeE returns a >= b unsigned.
+func (c *Context) UgeE(a, b *Expr) *Expr { return c.UleE(b, a) }
+
+// SgtE returns a > b signed.
+func (c *Context) SgtE(a, b *Expr) *Expr { return c.SltE(b, a) }
+
+// SgeE returns a >= b signed.
+func (c *Context) SgeE(a, b *Expr) *Expr { return c.SleE(b, a) }
+
+// ZExtE zero-extends a to width w.
+func (c *Context) ZExtE(a *Expr, w uint) *Expr {
+	if w < a.Width() {
+		panic("expr: zext to narrower width")
+	}
+	if w == a.Width() {
+		return a
+	}
+	if a.IsConst() {
+		return c.Const(a.val, w)
+	}
+	if a.kind == ZExt {
+		return c.ZExtE(a.kids[0], w)
+	}
+	return c.mk(key{kind: ZExt, width: uint8(w), k0: a})
+}
+
+// SExtE sign-extends a to width w.
+func (c *Context) SExtE(a *Expr, w uint) *Expr {
+	if w < a.Width() {
+		panic("expr: sext to narrower width")
+	}
+	if w == a.Width() {
+		return a
+	}
+	if a.IsConst() {
+		return c.Const(sext(a.val, a.Width()), w)
+	}
+	return c.mk(key{kind: SExt, width: uint8(w), k0: a})
+}
+
+// TruncE keeps the low w bits of a.
+func (c *Context) TruncE(a *Expr, w uint) *Expr {
+	if w > a.Width() {
+		panic("expr: trunc to wider width")
+	}
+	if w == a.Width() {
+		return a
+	}
+	if a.IsConst() {
+		return c.Const(a.val, w)
+	}
+	// trunc(zext/sext x) back to x's width (or narrower than x)
+	if (a.kind == ZExt || a.kind == SExt) && w <= a.kids[0].Width() {
+		return c.TruncE(a.kids[0], w)
+	}
+	// trunc(zext x) to w >= x's width -> zext x to w
+	if a.kind == ZExt && w >= a.kids[0].Width() {
+		return c.ZExtE(a.kids[0], w)
+	}
+	// trunc(concat hi lo) to w <= lo.width -> trunc lo
+	if a.kind == Concat && w <= a.kids[1].Width() {
+		return c.TruncE(a.kids[1], w)
+	}
+	return c.mk(key{kind: Trunc, width: uint8(w), k0: a})
+}
+
+// Concat returns hi ++ lo, a value of width hi.Width()+lo.Width().
+func (c *Context) Concat(hi, lo *Expr) *Expr {
+	w := hi.Width() + lo.Width()
+	if w > 64 {
+		panic("expr: concat wider than 64 bits")
+	}
+	if hi.IsConst() && lo.IsConst() {
+		return c.Const(hi.val<<lo.Width()|lo.val, w)
+	}
+	// (concat 0 x) -> zext x
+	if hi.IsConst() && hi.val == 0 {
+		return c.ZExtE(lo, w)
+	}
+	return c.mk(key{kind: Concat, width: uint8(w), k0: hi, k1: lo})
+}
+
+// ITEe returns if cond then a else b.
+func (c *Context) ITEe(cond, a, b *Expr) *Expr {
+	if !cond.IsBool() {
+		panic("expr: ITE condition must be width 1")
+	}
+	checkSameWidth(ITE, a, b)
+	if cond.IsConst() {
+		if cond.val == 1 {
+			return a
+		}
+		return b
+	}
+	if a == b {
+		return a
+	}
+	// boolean ITE special cases
+	if a.IsBool() {
+		if a.IsTrue() && b.IsFalse() {
+			return cond
+		}
+		if a.IsFalse() && b.IsTrue() {
+			return c.NotB(cond)
+		}
+	}
+	return c.mk(key{kind: ITE, width: a.width, k0: cond, k1: a, k2: b})
+}
+
+// AndB returns the logical conjunction of width-1 expressions.
+func (c *Context) AndB(a, b *Expr) *Expr {
+	if !a.IsBool() || !b.IsBool() {
+		panic("expr: AndB on non-bool")
+	}
+	return c.And(a, b)
+}
+
+// OrB returns the logical disjunction of width-1 expressions.
+func (c *Context) OrB(a, b *Expr) *Expr {
+	if !a.IsBool() || !b.IsBool() {
+		panic("expr: OrB on non-bool")
+	}
+	return c.Or(a, b)
+}

@@ -1,0 +1,106 @@
+package expr
+
+import "math/rand"
+
+// RandExpr generates a random expression of the given width over bytes of
+// arr, with the given maximum DAG depth. It is used by property-based tests
+// in this module (solver correctness is checked against direct evaluation
+// on random expressions), and by fuzz-style failure-injection tests.
+func RandExpr(c *Context, rng *rand.Rand, arr *Array, width uint, depth int) *Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		// leaf: constant or (extended/truncated) symbolic byte
+		if rng.Intn(2) == 0 {
+			return c.Const(rng.Uint64(), width)
+		}
+		b := c.ByteAt(arr, rng.Intn(arr.Size))
+		switch {
+		case width == 8:
+			return b
+		case width < 8:
+			return c.TruncE(b, width)
+		case rng.Intn(2) == 0:
+			return c.ZExtE(b, width)
+		default:
+			return c.SExtE(b, width)
+		}
+	}
+	sub := func(w uint) *Expr { return RandExpr(c, rng, arr, w, depth-1) }
+	switch rng.Intn(16) {
+	case 0:
+		return c.Add(sub(width), sub(width))
+	case 1:
+		return c.Sub(sub(width), sub(width))
+	case 2:
+		return c.Mul(sub(width), sub(width))
+	case 3:
+		return c.And(sub(width), sub(width))
+	case 4:
+		return c.Or(sub(width), sub(width))
+	case 5:
+		return c.Xor(sub(width), sub(width))
+	case 6:
+		return c.NotE(sub(width))
+	case 7:
+		return c.Shl(sub(width), c.Const(uint64(rng.Intn(int(width)+2)), width))
+	case 8:
+		return c.LShr(sub(width), c.Const(uint64(rng.Intn(int(width)+2)), width))
+	case 9:
+		return c.AShr(sub(width), c.Const(uint64(rng.Intn(int(width)+2)), width))
+	case 10:
+		cond := RandBoolExpr(c, rng, arr, depth-1)
+		return c.ITEe(cond, sub(width), sub(width))
+	case 11:
+		if width > 1 {
+			lo := uint(rng.Intn(int(width)-1)) + 1
+			return c.Concat(sub(width-lo), sub(lo))
+		}
+		return sub(width)
+	case 12:
+		if width > 1 {
+			narrow := uint(rng.Intn(int(width)-1)) + 1
+			if rng.Intn(2) == 0 {
+				return c.ZExtE(sub(narrow), width)
+			}
+			return c.SExtE(sub(narrow), width)
+		}
+		return sub(width)
+	case 13:
+		return c.UDiv(sub(width), sub(width))
+	case 14:
+		return c.URem(sub(width), sub(width))
+	default:
+		wide := width
+		if width < 64 {
+			wide = width + uint(rng.Intn(int(64-width)+1))
+		}
+		return c.TruncE(sub(wide), width)
+	}
+}
+
+// RandBoolExpr generates a random width-1 expression over bytes of arr.
+func RandBoolExpr(c *Context, rng *rand.Rand, arr *Array, depth int) *Expr {
+	if depth <= 0 {
+		return c.Bool(rng.Intn(2) == 0)
+	}
+	w := uint(1 << (3 + rng.Intn(3))) // 8, 16, 32
+	a := RandExpr(c, rng, arr, w, depth-1)
+	b := RandExpr(c, rng, arr, w, depth-1)
+	switch rng.Intn(8) {
+	case 0:
+		return c.EqE(a, b)
+	case 1:
+		return c.NeE(a, b)
+	case 2:
+		return c.UltE(a, b)
+	case 3:
+		return c.UleE(a, b)
+	case 4:
+		return c.SltE(a, b)
+	case 5:
+		return c.SleE(a, b)
+	case 6:
+		return c.AndB(RandBoolExpr(c, rng, arr, depth-1), RandBoolExpr(c, rng, arr, depth-1))
+	default:
+		return c.OrB(RandBoolExpr(c, rng, arr, depth-1), RandBoolExpr(c, rng, arr, depth-1))
+	}
+}

@@ -1,0 +1,111 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestConstOpsMatchGoSemantics uses testing/quick to compare every
+// constant-folded operator against direct Go arithmetic at width 32.
+func TestConstOpsMatchGoSemantics(t *testing.T) {
+	c := NewContext()
+	const w = 32
+	m := uint64(0xffffffff)
+	f := func(a, b uint32) bool {
+		av, bv := uint64(a), uint64(b)
+		ca, cb := c.Const(av, w), c.Const(bv, w)
+		checks := []struct {
+			got  *Expr
+			want uint64
+		}{
+			{c.Add(ca, cb), (av + bv) & m},
+			{c.Sub(ca, cb), (av - bv) & m},
+			{c.Mul(ca, cb), (av * bv) & m},
+			{c.And(ca, cb), av & bv},
+			{c.Or(ca, cb), av | bv},
+			{c.Xor(ca, cb), av ^ bv},
+			{c.NotE(ca), ^av & m},
+		}
+		if bv != 0 {
+			checks = append(checks,
+				struct {
+					got  *Expr
+					want uint64
+				}{c.UDiv(ca, cb), av / bv},
+				struct {
+					got  *Expr
+					want uint64
+				}{c.URem(ca, cb), av % bv},
+			)
+		}
+		for _, ch := range checks {
+			if !ch.got.IsConst() || ch.got.Value() != ch.want {
+				return false
+			}
+		}
+		// comparisons
+		if c.UltE(ca, cb).Value() != b2u(av < bv) {
+			return false
+		}
+		if c.SltE(ca, cb).Value() != b2u(int32(a) < int32(b)) {
+			return false
+		}
+		if c.EqE(ca, cb).Value() != b2u(av == bv) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShiftsMatchGoSemantics covers the shift overshoot conventions.
+func TestShiftsMatchGoSemantics(t *testing.T) {
+	c := NewContext()
+	const w = 16
+	m := uint64(0xffff)
+	f := func(a uint16, shRaw uint8) bool {
+		sh := uint64(shRaw % 24) // exercises overshift
+		av := uint64(a)
+		ca := c.Const(av, w)
+		cs := c.Const(sh, w)
+		var wantShl, wantShr, wantSar uint64
+		if sh >= w {
+			wantShl, wantShr = 0, 0
+			if av>>15&1 == 1 {
+				wantSar = m
+			}
+		} else {
+			wantShl = (av << sh) & m
+			wantShr = av >> sh
+			wantSar = uint64(int64(int16(a))>>sh) & m
+		}
+		return c.Shl(ca, cs).Value() == wantShl &&
+			c.LShr(ca, cs).Value() == wantShr &&
+			c.AShr(ca, cs).Value() == wantSar
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvalMatchesConstFold: for random expressions over a concrete
+// assignment, constant-folding the assignment in (by building with Const
+// leaves) equals evaluating the symbolic expression under the assignment.
+func TestEvalMatchesConstFold(t *testing.T) {
+	c := NewContext()
+	arr := NewArray("in", 4)
+	f := func(b0, b1, b2, b3 byte, pick uint8) bool {
+		bs := []byte{b0, b1, b2, b3}
+		asn := Assignment{arr: bs}
+		ev := NewEvaluator(asn)
+		i := int(pick) % 3
+		sym := c.Add(c.ZExtE(c.ByteAt(arr, i), 32), c.ZExtE(c.ByteAt(arr, i+1), 32))
+		conc := c.Add(c.Const(uint64(bs[i]), 32), c.Const(uint64(bs[i+1]), 32))
+		return ev.Eval(sym) == conc.Value()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,435 @@
+// Package interp is the fast concrete interpreter for the IR. It executes
+// a program on a concrete input file, reporting basic-block entries to an
+// optional tracer (virtual time = executed instruction count) and
+// detecting the same runtime faults the symbolic executor detects
+// (out-of-bounds access, null dereference, division by zero, assertion
+// failure).
+package interp
+
+import (
+	"fmt"
+
+	"pbse/internal/ir"
+)
+
+// FaultKind classifies a runtime fault.
+type FaultKind int
+
+// Fault kinds.
+const (
+	FaultOOBRead FaultKind = iota + 1
+	FaultOOBWrite
+	FaultNullDeref
+	FaultDivByZero
+	FaultAssert
+)
+
+var faultNames = map[FaultKind]string{
+	FaultOOBRead:   "out-of-bounds read",
+	FaultOOBWrite:  "out-of-bounds write",
+	FaultNullDeref: "null dereference",
+	FaultDivByZero: "division by zero",
+	FaultAssert:    "assertion failure",
+}
+
+// String returns a human-readable fault class.
+func (k FaultKind) String() string {
+	if s, ok := faultNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Fault describes a concrete runtime fault.
+type Fault struct {
+	Kind  FaultKind
+	Block *ir.Block
+	Index int // instruction index within Block
+	Msg   string
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("%s at %s[%d]: %s", f.Kind, f.Block, f.Index, f.Msg)
+}
+
+// StopReason says why execution ended.
+type StopReason int
+
+// Stop reasons.
+const (
+	StopExited StopReason = iota + 1 // OpExit or main returned
+	StopFault                        // runtime fault
+	StopSteps                        // step budget exhausted
+)
+
+// Result summarises one concrete run.
+type Result struct {
+	Reason StopReason
+	Fault  *Fault // set when Reason == StopFault
+	Steps  int64
+}
+
+// Tracer receives basic-block entries with the virtual time (number of
+// instructions executed so far).
+type Tracer func(b *ir.Block, step int64)
+
+// Options configure a run.
+type Options struct {
+	MaxSteps int64  // 0 means a generous default (100M)
+	Tracer   Tracer // may be nil
+}
+
+// InputObjID is the object id of the symbolic/concrete input buffer.
+const InputObjID = 1
+
+// Machine executes one program on one input. Create a fresh Machine per
+// run.
+type Machine struct {
+	prog   *ir.Program
+	input  []byte
+	opts   Options
+	objs   [][]byte // by object id; 0 = null, 1 = input
+	frames []frame
+	steps  int64
+}
+
+type frame struct {
+	fn     *ir.Func
+	vals   []uint64
+	widths []uint8
+	// resume point in the caller
+	retDst   ir.Reg
+	retBlock *ir.Block
+	retIndex int
+}
+
+// New returns a machine ready to run prog on input.
+func New(prog *ir.Program, input []byte, opts Options) *Machine {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 100_000_000
+	}
+	m := &Machine{prog: prog, input: input, opts: opts}
+	m.objs = make([][]byte, 2)
+	m.objs[InputObjID] = input
+	return m
+}
+
+// Run executes until exit, fault, or the step budget.
+func (m *Machine) Run() Result {
+	main := m.prog.Entry()
+	m.frames = append(m.frames, frame{
+		fn:     main,
+		vals:   make([]uint64, main.NumRegs),
+		widths: make([]uint8, main.NumRegs),
+	})
+	blk := main.Entry()
+	idx := 0
+	m.enterBlock(blk)
+
+	for {
+		if m.steps >= m.opts.MaxSteps {
+			return Result{Reason: StopSteps, Steps: m.steps}
+		}
+		in := &blk.Instrs[idx]
+		m.steps++
+
+		f := &m.frames[len(m.frames)-1]
+		switch in.Op {
+		case ir.OpConst:
+			m.set(f, in.Dst, in.Imm, in.Width)
+		case ir.OpBin:
+			a := m.get(f, in.A, in.Width)
+			b := m.get(f, in.B, in.Width)
+			if isDiv(in.Bin) && b == 0 {
+				return m.fault(FaultDivByZero, blk, idx, "divisor is zero")
+			}
+			m.set(f, in.Dst, evalBin(in.Bin, a, b, uint(in.Width)), in.Width)
+		case ir.OpCmp:
+			a := m.get(f, in.A, in.Width)
+			b := m.get(f, in.B, in.Width)
+			m.set(f, in.Dst, b2u(evalPred(in.Pred, a, b, uint(in.Width))), 1)
+		case ir.OpNot:
+			m.set(f, in.Dst, ^m.get(f, in.A, in.Width), in.Width)
+		case ir.OpMov:
+			m.set(f, in.Dst, m.get(f, in.A, in.Width), in.Width)
+		case ir.OpZext:
+			m.set(f, in.Dst, f.vals[in.A], in.Width)
+		case ir.OpSext:
+			m.set(f, in.Dst, sext(f.vals[in.A], uint(f.widths[in.A])), in.Width)
+		case ir.OpTrunc:
+			m.set(f, in.Dst, f.vals[in.A], in.Width)
+		case ir.OpSelect:
+			if f.vals[in.A]&1 == 1 {
+				m.set(f, in.Dst, m.get(f, in.B, in.Width), in.Width)
+			} else {
+				m.set(f, in.Dst, m.get(f, in.C, in.Width), in.Width)
+			}
+		case ir.OpAlloca:
+			id := uint32(len(m.objs))
+			m.objs = append(m.objs, make([]byte, in.Imm))
+			m.set(f, in.Dst, ir.MakeObjRef(id, 0), 64)
+		case ir.OpInput:
+			m.set(f, in.Dst, ir.MakeObjRef(InputObjID, 0), 64)
+		case ir.OpInputLen:
+			m.set(f, in.Dst, uint64(len(m.input)), in.Width)
+		case ir.OpLoad:
+			v, flt := m.load(f.vals[in.A]+in.Imm, int(in.Width)/8, blk, idx)
+			if flt != nil {
+				return m.faultF(flt)
+			}
+			m.set(f, in.Dst, v, in.Width)
+		case ir.OpStore:
+			if flt := m.store(f.vals[in.A]+in.Imm, m.get(f, in.B, in.Width), int(in.Width)/8, blk, idx); flt != nil {
+				return m.faultF(flt)
+			}
+		case ir.OpCall:
+			callee := m.prog.Func(in.Callee)
+			nf := frame{
+				fn:       callee,
+				vals:     make([]uint64, callee.NumRegs),
+				widths:   make([]uint8, callee.NumRegs),
+				retDst:   in.Dst,
+				retBlock: blk,
+				retIndex: idx + 1,
+			}
+			for i, a := range in.Args {
+				nf.vals[i] = f.vals[a]
+				nf.widths[i] = f.widths[a]
+			}
+			m.frames = append(m.frames, nf)
+			blk = callee.Entry()
+			idx = 0
+			m.enterBlock(blk)
+			continue
+		case ir.OpRet:
+			var rv uint64
+			var rw uint8 = 64
+			if in.A != ir.NoReg {
+				rv = f.vals[in.A]
+				rw = f.widths[in.A]
+			}
+			ret := *f
+			m.frames = m.frames[:len(m.frames)-1]
+			if len(m.frames) == 0 {
+				return Result{Reason: StopExited, Steps: m.steps}
+			}
+			caller := &m.frames[len(m.frames)-1]
+			if ret.retDst != ir.NoReg {
+				caller.vals[ret.retDst] = rv
+				caller.widths[ret.retDst] = rw
+			}
+			blk = ret.retBlock
+			idx = ret.retIndex
+			continue
+		case ir.OpBr:
+			if f.vals[in.A]&1 == 1 {
+				blk = in.Targets[0]
+			} else {
+				blk = in.Targets[1]
+			}
+			idx = 0
+			m.enterBlock(blk)
+			continue
+		case ir.OpJmp:
+			blk = in.Targets[0]
+			idx = 0
+			m.enterBlock(blk)
+			continue
+		case ir.OpSwitch:
+			v := f.vals[in.A]
+			target := in.Targets[len(in.Vals)]
+			for i, val := range in.Vals {
+				if v == val {
+					target = in.Targets[i]
+					break
+				}
+			}
+			blk = target
+			idx = 0
+			m.enterBlock(blk)
+			continue
+		case ir.OpAssert:
+			if f.vals[in.A]&1 != 1 {
+				return m.fault(FaultAssert, blk, idx, in.Msg)
+			}
+		case ir.OpExit:
+			return Result{Reason: StopExited, Steps: m.steps}
+		case ir.OpPrint:
+			// no-op
+		default:
+			panic(fmt.Sprintf("interp: unknown opcode %s", in.Op))
+		}
+		idx++
+	}
+}
+
+// Steps returns the number of instructions executed so far.
+func (m *Machine) Steps() int64 { return m.steps }
+
+func (m *Machine) enterBlock(b *ir.Block) {
+	if m.opts.Tracer != nil {
+		m.opts.Tracer(b, m.steps)
+	}
+}
+
+func (m *Machine) set(f *frame, r ir.Reg, v uint64, w uint8) {
+	f.vals[r] = v & maskW(uint(w))
+	f.widths[r] = w
+}
+
+func (m *Machine) get(f *frame, r ir.Reg, w uint8) uint64 {
+	return f.vals[r] & maskW(uint(w))
+}
+
+func (m *Machine) fault(k FaultKind, b *ir.Block, idx int, msg string) Result {
+	return Result{
+		Reason: StopFault,
+		Fault:  &Fault{Kind: k, Block: b, Index: idx, Msg: msg},
+		Steps:  m.steps,
+	}
+}
+
+func (m *Machine) faultF(f *Fault) Result {
+	return Result{Reason: StopFault, Fault: f, Steps: m.steps}
+}
+
+func (m *Machine) resolve(ptr uint64, size int, write bool, b *ir.Block, idx int) ([]byte, int, *Fault) {
+	id := ir.ObjID(ptr)
+	off := int(ir.ObjOff(ptr))
+	if id == 0 || int(id) >= len(m.objs) || m.objs[id] == nil && id != InputObjID {
+		return nil, 0, &Fault{Kind: FaultNullDeref, Block: b, Index: idx,
+			Msg: fmt.Sprintf("pointer %#x does not reference an object", ptr)}
+	}
+	obj := m.objs[id]
+	if off+size > len(obj) {
+		k := FaultOOBRead
+		if write {
+			k = FaultOOBWrite
+		}
+		return nil, 0, &Fault{Kind: k, Block: b, Index: idx,
+			Msg: fmt.Sprintf("access [%d,%d) of object %d (size %d)", off, off+size, id, len(obj))}
+	}
+	return obj, off, nil
+}
+
+func (m *Machine) load(ptr uint64, size int, b *ir.Block, idx int) (uint64, *Fault) {
+	obj, off, flt := m.resolve(ptr, size, false, b, idx)
+	if flt != nil {
+		return 0, flt
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(obj[off+i])
+	}
+	return v, nil
+}
+
+func (m *Machine) store(ptr uint64, val uint64, size int, b *ir.Block, idx int) *Fault {
+	obj, off, flt := m.resolve(ptr, size, true, b, idx)
+	if flt != nil {
+		return flt
+	}
+	for i := 0; i < size; i++ {
+		obj[off+i] = byte(val >> (8 * i))
+	}
+	return nil
+}
+
+func isDiv(op ir.BinOp) bool {
+	switch op {
+	case ir.UDiv, ir.SDiv, ir.URem, ir.SRem:
+		return true
+	}
+	return false
+}
+
+func evalBin(op ir.BinOp, a, b uint64, w uint) uint64 {
+	switch op {
+	case ir.Add:
+		return (a + b) & maskW(w)
+	case ir.Sub:
+		return (a - b) & maskW(w)
+	case ir.Mul:
+		return (a * b) & maskW(w)
+	case ir.UDiv:
+		return a / b
+	case ir.SDiv:
+		return uint64(int64(sext(a, w))/int64(sext(b, w))) & maskW(w)
+	case ir.URem:
+		return a % b
+	case ir.SRem:
+		return uint64(int64(sext(a, w))%int64(sext(b, w))) & maskW(w)
+	case ir.And:
+		return a & b
+	case ir.Or:
+		return a | b
+	case ir.Xor:
+		return a ^ b
+	case ir.Shl:
+		if b >= uint64(w) {
+			return 0
+		}
+		return (a << b) & maskW(w)
+	case ir.LShr:
+		if b >= uint64(w) {
+			return 0
+		}
+		return a >> b
+	case ir.AShr:
+		if b >= uint64(w) {
+			b = uint64(w) - 1
+		}
+		return uint64(int64(sext(a, w))>>b) & maskW(w)
+	default:
+		panic(fmt.Sprintf("interp: unknown binop %s", op))
+	}
+}
+
+func evalPred(p ir.Pred, a, b uint64, w uint) bool {
+	switch p {
+	case ir.Eq:
+		return a == b
+	case ir.Ne:
+		return a != b
+	case ir.Ult:
+		return a < b
+	case ir.Ule:
+		return a <= b
+	case ir.Ugt:
+		return a > b
+	case ir.Uge:
+		return a >= b
+	case ir.Slt:
+		return int64(sext(a, w)) < int64(sext(b, w))
+	case ir.Sle:
+		return int64(sext(a, w)) <= int64(sext(b, w))
+	case ir.Sgt:
+		return int64(sext(a, w)) > int64(sext(b, w))
+	case ir.Sge:
+		return int64(sext(a, w)) >= int64(sext(b, w))
+	default:
+		panic(fmt.Sprintf("interp: unknown pred %s", p))
+	}
+}
+
+func maskW(w uint) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << w) - 1
+}
+
+func sext(v uint64, w uint) uint64 {
+	if w == 0 || w >= 64 || v>>(w-1)&1 == 0 {
+		return v
+	}
+	return v | ^maskW(w)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,340 @@
+package interp
+
+import (
+	"testing"
+
+	"pbse/internal/ir"
+)
+
+// buildSumLoop: sums input bytes, stores result, asserts sum fits, exits.
+func buildSumLoop(t *testing.T) *ir.Program {
+	t.Helper()
+	p := ir.NewProgram("sumloop")
+	fb := p.NewFunc("main", 0)
+	entry := fb.NewBlock("entry")
+	head := fb.NewBlock("head")
+	body := fb.NewBlock("body")
+	done := fb.NewBlock("done")
+
+	i := fb.NewReg()
+	sum := fb.NewReg()
+	inPtr := fb.NewReg()
+	n := fb.NewReg()
+
+	entry.ConstTo(i, 0, 32)
+	entry.ConstTo(sum, 0, 32)
+	ip := entry.Input()
+	entry.MovTo(inPtr, ip, 64)
+	nl := entry.InputLen(32)
+	entry.MovTo(n, nl, 32)
+	entry.Jmp(head.Blk())
+
+	c := head.Cmp(ir.Ult, i, n, 32)
+	head.Br(c, body.Blk(), done.Blk())
+
+	i64 := body.Zext(i, 64)
+	addr := body.Add(inPtr, i64, 64)
+	b := body.Load(addr, 0, 8)
+	b32 := body.Zext(b, 32)
+	ns := body.Add(sum, b32, 32)
+	body.MovTo(sum, ns, 32)
+	ni := body.AddImm(i, 1, 32)
+	body.MovTo(i, ni, 32)
+	body.Jmp(head.Blk())
+
+	buf := done.Alloca(4)
+	done.Store(buf, 0, sum, 32)
+	done.Exit()
+
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	return p
+}
+
+func TestSumLoop(t *testing.T) {
+	p := buildSumLoop(t)
+	var blocks []string
+	m := New(p, []byte{1, 2, 3, 4}, Options{Tracer: func(b *ir.Block, _ int64) {
+		blocks = append(blocks, b.Name)
+	}})
+	res := m.Run()
+	if res.Reason != StopExited {
+		t.Fatalf("reason = %v, fault = %v", res.Reason, res.Fault)
+	}
+	// entry, head, (body, head) x4, done
+	wantBlocks := 2 + 4*2 + 1
+	if len(blocks) != wantBlocks {
+		t.Errorf("block entries = %d, want %d: %v", len(blocks), wantBlocks, blocks)
+	}
+	if blocks[0] != "entry" || blocks[len(blocks)-1] != "done" {
+		t.Errorf("unexpected trace: %v", blocks)
+	}
+}
+
+func TestTracerTimesMonotonic(t *testing.T) {
+	p := buildSumLoop(t)
+	var times []int64
+	m := New(p, []byte{9, 9}, Options{Tracer: func(_ *ir.Block, s int64) {
+		times = append(times, s)
+	}})
+	m.Run()
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatalf("times not strictly increasing: %v", times)
+		}
+	}
+}
+
+// callProg: main calls add(a, b) and asserts the result.
+func callProg(t *testing.T) *ir.Program {
+	t.Helper()
+	p := ir.NewProgram("call")
+	ab := p.NewFunc("add2", 2)
+	abb := ab.NewBlock("entry")
+	s := abb.Add(ab.Param(0), ab.Param(1), 32)
+	abb.Ret(s)
+
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	x := b.Const(20, 32)
+	y := b.Const(22, 32)
+	r := b.Call("add2", x, y)
+	ok := b.CmpImm(ir.Eq, r, 42, 32)
+	b.Assert(ok, "add2 broken")
+	b.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	return p
+}
+
+func TestCallReturn(t *testing.T) {
+	p := callProg(t)
+	res := New(p, nil, Options{}).Run()
+	if res.Reason != StopExited {
+		t.Fatalf("reason = %v, fault = %v", res.Reason, res.Fault)
+	}
+}
+
+func TestAssertFailure(t *testing.T) {
+	p := ir.NewProgram("assertfail")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	c := b.Const(0, 1)
+	b.Assert(c, "always fails")
+	b.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	res := New(p, nil, Options{}).Run()
+	if res.Reason != StopFault || res.Fault.Kind != FaultAssert {
+		t.Fatalf("want assert fault, got %+v", res)
+	}
+	if res.Fault.Msg != "always fails" {
+		t.Errorf("msg = %q", res.Fault.Msg)
+	}
+}
+
+func TestOOBRead(t *testing.T) {
+	p := ir.NewProgram("oob")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	buf := b.Alloca(4)
+	b.Load(buf, 4, 8) // one past the end
+	b.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	res := New(p, nil, Options{}).Run()
+	if res.Reason != StopFault || res.Fault.Kind != FaultOOBRead {
+		t.Fatalf("want OOB read, got %+v", res)
+	}
+}
+
+func TestOOBWrite(t *testing.T) {
+	p := ir.NewProgram("oobw")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	buf := b.Alloca(4)
+	v := b.Const(7, 32)
+	b.Store(buf, 1, v, 32) // bytes 1..4, one past the end
+	b.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	res := New(p, nil, Options{}).Run()
+	if res.Reason != StopFault || res.Fault.Kind != FaultOOBWrite {
+		t.Fatalf("want OOB write, got %+v", res)
+	}
+}
+
+func TestNullDeref(t *testing.T) {
+	p := ir.NewProgram("null")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	z := b.Const(0, 64)
+	b.Load(z, 0, 8)
+	b.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	res := New(p, nil, Options{}).Run()
+	if res.Reason != StopFault || res.Fault.Kind != FaultNullDeref {
+		t.Fatalf("want null deref, got %+v", res)
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	p := ir.NewProgram("div0")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	x := b.Const(10, 32)
+	y := b.Const(0, 32)
+	b.Bin(ir.UDiv, x, y, 32)
+	b.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	res := New(p, nil, Options{}).Run()
+	if res.Reason != StopFault || res.Fault.Kind != FaultDivByZero {
+		t.Fatalf("want div-by-zero, got %+v", res)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	// infinite loop
+	p := ir.NewProgram("spin")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	b.Jmp(b.Blk())
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	res := New(p, nil, Options{MaxSteps: 100}).Run()
+	if res.Reason != StopSteps {
+		t.Fatalf("want step stop, got %+v", res)
+	}
+	if res.Steps != 100 {
+		t.Errorf("steps = %d, want 100", res.Steps)
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	p := ir.NewProgram("mem")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	buf := b.Alloca(8)
+	v := b.Const(0xdeadbeef, 32)
+	b.Store(buf, 2, v, 32)
+	rd := b.Load(buf, 2, 32)
+	ok := b.Cmp(ir.Eq, rd, v, 32)
+	b.Assert(ok, "mem roundtrip")
+	// byte-level check: low byte at offset 2 must be 0xef (little endian)
+	lo := b.Load(buf, 2, 8)
+	ok2 := b.CmpImm(ir.Eq, lo, 0xef, 8)
+	b.Assert(ok2, "little endian")
+	b.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	res := New(p, nil, Options{}).Run()
+	if res.Reason != StopExited {
+		t.Fatalf("got %+v", res)
+	}
+}
+
+func TestSwitchDispatch(t *testing.T) {
+	build := func(inVal byte) *ir.Program {
+		p := ir.NewProgram("sw")
+		fb := p.NewFunc("main", 0)
+		b := fb.NewBlock("entry")
+		c1 := fb.NewBlock("c1")
+		c2 := fb.NewBlock("c2")
+		def := fb.NewBlock("def")
+		ip := b.Input()
+		v := b.Load(ip, 0, 8)
+		b.Switch(v, []uint64{1, 2}, []*ir.Block{c1.Blk(), c2.Blk()}, def.Blk())
+		c1.Exit()
+		z2 := c2.Const(0, 1)
+		c2.Assert(z2, "case2")
+		c2.Exit()
+		zd := def.Const(0, 1)
+		def.Assert(zd, "default")
+		def.Exit()
+		if err := p.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// value 1 -> clean exit
+	if res := New(build(1), []byte{1}, Options{}).Run(); res.Reason != StopExited {
+		t.Errorf("case1: %+v", res)
+	}
+	// value 2 -> assert "case2"
+	if res := New(build(2), []byte{2}, Options{}).Run(); res.Fault == nil || res.Fault.Msg != "case2" {
+		t.Errorf("case2: %+v", res)
+	}
+	// value 9 -> default
+	if res := New(build(9), []byte{9}, Options{}).Run(); res.Fault == nil || res.Fault.Msg != "default" {
+		t.Errorf("default: %+v", res)
+	}
+}
+
+func TestSextTruncSelect(t *testing.T) {
+	p := ir.NewProgram("ext")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	neg := b.Const(0xff, 8) // -1 as i8
+	wide := b.Sext(neg, 32)
+	ok := b.CmpImm(ir.Eq, wide, 0xffffffff, 32)
+	b.Assert(ok, "sext")
+	tr := b.Trunc(wide, 8)
+	ok2 := b.CmpImm(ir.Eq, tr, 0xff, 8)
+	b.Assert(ok2, "trunc")
+	cond := b.CmpImm(ir.Slt, neg, 0, 8) // -1 < 0 signed
+	sel := b.Select(cond, tr, wide, 8)
+	ok3 := b.CmpImm(ir.Eq, sel, 0xff, 8)
+	b.Assert(ok3, "select")
+	b.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	res := New(p, nil, Options{}).Run()
+	if res.Reason != StopExited {
+		t.Fatalf("got %+v", res)
+	}
+}
+
+func TestInputLenAndEmptyInput(t *testing.T) {
+	p := ir.NewProgram("ilen")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	n := b.InputLen(32)
+	ok := b.CmpImm(ir.Eq, n, 0, 32)
+	b.Assert(ok, "empty input")
+	b.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	res := New(p, nil, Options{}).Run()
+	if res.Reason != StopExited {
+		t.Fatalf("got %+v", res)
+	}
+}
+
+func BenchmarkInterpSumLoop(b *testing.B) {
+	p := buildSumLoop(&testing.T{})
+	input := make([]byte, 1024)
+	for i := range input {
+		input[i] = byte(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := New(p, input, Options{}).Run()
+		if res.Reason != StopExited {
+			b.Fatal("unexpected stop")
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package ir
+
+import "fmt"
+
+// NewProgram returns an empty program.
+func NewProgram(name string) *Program {
+	return &Program{Name: name, byName: make(map[string]*Func)}
+}
+
+// NewFunc adds a function with the given number of parameters and returns
+// its builder. Parameters occupy registers 0..numParams-1.
+func (p *Program) NewFunc(name string, numParams int) *FuncBuilder {
+	if p.byName[name] != nil {
+		panic(fmt.Sprintf("ir: duplicate function %q", name))
+	}
+	f := &Func{Name: name, NumParams: numParams, NumRegs: numParams, Prog: p}
+	p.Funcs = append(p.Funcs, f)
+	p.byName[name] = f
+	return &FuncBuilder{fn: f}
+}
+
+// FuncBuilder builds one function. The first block created is the entry.
+type FuncBuilder struct {
+	fn    *Func
+	names map[string]int
+}
+
+// Fn returns the function under construction.
+func (fb *FuncBuilder) Fn() *Func { return fb.fn }
+
+// Param returns the register holding the i-th parameter.
+func (fb *FuncBuilder) Param(i int) Reg {
+	if i < 0 || i >= fb.fn.NumParams {
+		panic(fmt.Sprintf("ir: %s has no param %d", fb.fn.Name, i))
+	}
+	return Reg(i)
+}
+
+// NewReg allocates a fresh virtual register.
+func (fb *FuncBuilder) NewReg() Reg {
+	r := Reg(fb.fn.NumRegs)
+	fb.fn.NumRegs++
+	return r
+}
+
+// NewBlock appends a new (empty) basic block and returns its builder.
+// Duplicate names within a function are uniquified with a numeric suffix
+// so listings parse back unambiguously.
+func (fb *FuncBuilder) NewBlock(name string) *BlockBuilder {
+	if fb.names == nil {
+		fb.names = make(map[string]int)
+	}
+	if n, dup := fb.names[name]; dup {
+		fb.names[name] = n + 1
+		name = fmt.Sprintf("%s.%d", name, n+1)
+	} else {
+		fb.names[name] = 0
+	}
+	b := &Block{Name: name, Fn: fb.fn}
+	fb.fn.Blocks = append(fb.fn.Blocks, b)
+	return &BlockBuilder{fb: fb, blk: b}
+}
+
+// BlockBuilder appends instructions to one basic block.
+type BlockBuilder struct {
+	fb  *FuncBuilder
+	blk *Block
+}
+
+// Blk returns the block under construction (usable as a branch target).
+func (bb *BlockBuilder) Blk() *Block { return bb.blk }
+
+func (bb *BlockBuilder) emit(in Instr) {
+	if t := bb.blk.Terminator(); t != nil {
+		panic(fmt.Sprintf("ir: emit after terminator in %s", bb.blk))
+	}
+	bb.blk.Instrs = append(bb.blk.Instrs, in)
+}
+
+func (bb *BlockBuilder) emitDst(in Instr) Reg {
+	in.Dst = bb.fb.NewReg()
+	bb.emit(in)
+	return in.Dst
+}
+
+// Const materialises an immediate of the given width.
+func (bb *BlockBuilder) Const(v uint64, width uint) Reg {
+	return bb.emitDst(Instr{Op: OpConst, Imm: v, Width: uint8(width)})
+}
+
+// Bin emits dst = a <op> b at the given width.
+func (bb *BlockBuilder) Bin(op BinOp, a, b Reg, width uint) Reg {
+	return bb.emitDst(Instr{Op: OpBin, Bin: op, A: a, B: b, Width: uint8(width)})
+}
+
+// BinImm emits dst = a <op> imm.
+func (bb *BlockBuilder) BinImm(op BinOp, a Reg, imm uint64, width uint) Reg {
+	c := bb.Const(imm, width)
+	return bb.Bin(op, a, c, width)
+}
+
+// Add emits dst = a + b.
+func (bb *BlockBuilder) Add(a, b Reg, width uint) Reg { return bb.Bin(Add, a, b, width) }
+
+// AddImm emits dst = a + imm.
+func (bb *BlockBuilder) AddImm(a Reg, imm uint64, width uint) Reg {
+	return bb.BinImm(Add, a, imm, width)
+}
+
+// Sub emits dst = a - b.
+func (bb *BlockBuilder) Sub(a, b Reg, width uint) Reg { return bb.Bin(Sub, a, b, width) }
+
+// Mul emits dst = a * b.
+func (bb *BlockBuilder) Mul(a, b Reg, width uint) Reg { return bb.Bin(Mul, a, b, width) }
+
+// Cmp emits dst = a <pred> b (width-1 result); width is the operand width.
+func (bb *BlockBuilder) Cmp(pred Pred, a, b Reg, width uint) Reg {
+	return bb.emitDst(Instr{Op: OpCmp, Pred: pred, A: a, B: b, Width: uint8(width)})
+}
+
+// CmpImm emits dst = a <pred> imm.
+func (bb *BlockBuilder) CmpImm(pred Pred, a Reg, imm uint64, width uint) Reg {
+	c := bb.Const(imm, width)
+	return bb.Cmp(pred, a, c, width)
+}
+
+// Not emits dst = ^a.
+func (bb *BlockBuilder) Not(a Reg, width uint) Reg {
+	return bb.emitDst(Instr{Op: OpNot, A: a, Width: uint8(width)})
+}
+
+// Mov emits dst = a.
+func (bb *BlockBuilder) Mov(a Reg, width uint) Reg {
+	return bb.emitDst(Instr{Op: OpMov, A: a, Width: uint8(width)})
+}
+
+// MovTo copies a into an existing register (for loop-carried variables).
+func (bb *BlockBuilder) MovTo(dst, a Reg, width uint) {
+	bb.emit(Instr{Op: OpMov, Dst: dst, A: a, Width: uint8(width)})
+}
+
+// ConstTo writes an immediate into an existing register.
+func (bb *BlockBuilder) ConstTo(dst Reg, v uint64, width uint) {
+	bb.emit(Instr{Op: OpConst, Dst: dst, Imm: v, Width: uint8(width)})
+}
+
+// BinTo emits dst = a <op> b into an existing register.
+func (bb *BlockBuilder) BinTo(dst Reg, op BinOp, a, b Reg, width uint) {
+	bb.emit(Instr{Op: OpBin, Bin: op, Dst: dst, A: a, B: b, Width: uint8(width)})
+}
+
+// Zext widens a to width bits (zero-extended).
+func (bb *BlockBuilder) Zext(a Reg, width uint) Reg {
+	return bb.emitDst(Instr{Op: OpZext, A: a, Width: uint8(width)})
+}
+
+// Sext widens a to width bits (sign-extended). The source width is taken
+// from the producing instruction at execution time, so the executor tracks
+// register widths dynamically.
+func (bb *BlockBuilder) Sext(a Reg, width uint) Reg {
+	return bb.emitDst(Instr{Op: OpSext, A: a, Width: uint8(width)})
+}
+
+// Trunc narrows a to width bits.
+func (bb *BlockBuilder) Trunc(a Reg, width uint) Reg {
+	return bb.emitDst(Instr{Op: OpTrunc, A: a, Width: uint8(width)})
+}
+
+// Select emits dst = cond ? b : c.
+func (bb *BlockBuilder) Select(cond, b, c Reg, width uint) Reg {
+	return bb.emitDst(Instr{Op: OpSelect, A: cond, B: b, C: c, Width: uint8(width)})
+}
+
+// Alloca allocates size bytes and yields the object pointer.
+func (bb *BlockBuilder) Alloca(size uint32) Reg {
+	return bb.emitDst(Instr{Op: OpAlloca, Imm: uint64(size)})
+}
+
+// Input yields the pointer to the symbolic input object.
+func (bb *BlockBuilder) Input() Reg {
+	return bb.emitDst(Instr{Op: OpInput})
+}
+
+// InputLen yields the input length as a value of the given width.
+func (bb *BlockBuilder) InputLen(width uint) Reg {
+	return bb.emitDst(Instr{Op: OpInputLen, Width: uint8(width)})
+}
+
+// Load reads width bits little-endian from *(ptr+off).
+func (bb *BlockBuilder) Load(ptr Reg, off uint64, width uint) Reg {
+	return bb.emitDst(Instr{Op: OpLoad, A: ptr, Imm: off, Width: uint8(width)})
+}
+
+// Store writes width bits of val little-endian to *(ptr+off).
+func (bb *BlockBuilder) Store(ptr Reg, off uint64, val Reg, width uint) {
+	bb.emit(Instr{Op: OpStore, A: ptr, B: val, Imm: off, Width: uint8(width)})
+}
+
+// Call invokes callee with args; the result register is returned (valid
+// even for void callees, where it reads as 0).
+func (bb *BlockBuilder) Call(callee string, args ...Reg) Reg {
+	cp := make([]Reg, len(args))
+	copy(cp, args)
+	return bb.emitDst(Instr{Op: OpCall, Callee: callee, Args: cp})
+}
+
+// Ret returns a value.
+func (bb *BlockBuilder) Ret(a Reg) {
+	bb.emit(Instr{Op: OpRet, A: a})
+}
+
+// RetVoid returns without a value.
+func (bb *BlockBuilder) RetVoid() {
+	bb.emit(Instr{Op: OpRet, A: NoReg})
+}
+
+// Br branches on cond to then/else blocks.
+func (bb *BlockBuilder) Br(cond Reg, then, els *Block) {
+	bb.emit(Instr{Op: OpBr, A: cond, Targets: []*Block{then, els}})
+}
+
+// Jmp jumps unconditionally.
+func (bb *BlockBuilder) Jmp(to *Block) {
+	bb.emit(Instr{Op: OpJmp, Targets: []*Block{to}})
+}
+
+// Switch dispatches on v: vals[i] -> targets[i], otherwise def.
+func (bb *BlockBuilder) Switch(v Reg, vals []uint64, targets []*Block, def *Block) {
+	if len(vals) != len(targets) {
+		panic("ir: switch vals/targets length mismatch")
+	}
+	ts := make([]*Block, 0, len(targets)+1)
+	ts = append(ts, targets...)
+	ts = append(ts, def)
+	vs := make([]uint64, len(vals))
+	copy(vs, vals)
+	bb.emit(Instr{Op: OpSwitch, A: v, Vals: vs, Targets: ts})
+}
+
+// Assert reports a bug with msg when cond is false.
+func (bb *BlockBuilder) Assert(cond Reg, msg string) {
+	bb.emit(Instr{Op: OpAssert, A: cond, Msg: msg})
+}
+
+// Exit ends the path successfully.
+func (bb *BlockBuilder) Exit() {
+	bb.emit(Instr{Op: OpExit})
+}
+
+// Print emits a debugging marker.
+func (bb *BlockBuilder) Print(msg string) {
+	bb.emit(Instr{Op: OpPrint, Msg: msg})
+}

@@ -1,0 +1,55 @@
+package ir
+
+// SuccsWithCalls returns, per global block ID, the adjacency list used for
+// distance-to-uncovered heuristics: branch/switch targets plus the entry
+// block of every function called in the block (an approximation of KLEE's
+// inter-procedural distance metric — return edges are not modelled).
+func SuccsWithCalls(p *Program) [][]int {
+	adj := make([][]int, len(p.AllBlocks))
+	for _, b := range p.AllBlocks {
+		var out []int
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == OpCall {
+				if callee := p.Func(in.Callee); callee != nil {
+					out = append(out, callee.Entry().ID)
+				}
+			}
+		}
+		for _, s := range b.Successors() {
+			out = append(out, s.ID)
+		}
+		adj[b.ID] = out
+	}
+	return adj
+}
+
+// BFSDistance returns the minimum number of edges from block `from` to any
+// block for which target returns true, following adj; -1 when unreachable.
+func BFSDistance(adj [][]int, from int, target func(int) bool) int {
+	if target(from) {
+		return 0
+	}
+	seen := make([]bool, len(adj))
+	seen[from] = true
+	frontier := []int{from}
+	dist := 0
+	for len(frontier) > 0 {
+		dist++
+		var next []int
+		for _, b := range frontier {
+			for _, s := range adj[b] {
+				if seen[s] {
+					continue
+				}
+				if target(s) {
+					return dist
+				}
+				seen[s] = true
+				next = append(next, s)
+			}
+		}
+		frontier = next
+	}
+	return -1
+}

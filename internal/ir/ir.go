@@ -1,0 +1,378 @@
+// Package ir defines the register-based intermediate representation that
+// target programs are written in, playing the role LLVM bitcode plays for
+// KLEE. A Program is a set of Funcs made of Blocks of Instrs. Values live
+// in per-frame virtual registers holding up-to-64-bit integers; pointers
+// are 64-bit values of the form objectID<<32|offset produced by Alloca
+// (and by the executor for the symbolic input object).
+package ir
+
+import (
+	"fmt"
+)
+
+// Reg names a virtual register within a function frame. Register 0..N-1
+// receive the N call arguments.
+type Reg int32
+
+// NoReg marks an absent operand (e.g. a void return).
+const NoReg Reg = -1
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Instruction opcodes.
+const (
+	OpConst    Op = iota + 1 // Dst = Imm (Width bits)
+	OpBin                    // Dst = A <Bin> B
+	OpCmp                    // Dst = A <Pred> B (width 1)
+	OpNot                    // Dst = ^A
+	OpMov                    // Dst = A
+	OpZext                   // Dst = zext(A) to Width
+	OpSext                   // Dst = sext(A) to Width
+	OpTrunc                  // Dst = trunc(A) to Width
+	OpSelect                 // Dst = A(bool) ? B : C
+	OpAlloca                 // Dst = pointer to a fresh object of Imm bytes
+	OpLoad                   // Dst = mem[A + Imm], Width bits, little-endian
+	OpStore                  // mem[A + Imm] = B, Width bits, little-endian
+	OpInput                  // Dst = pointer to the symbolic input object
+	OpInputLen               // Dst = input length in bytes (Width bits)
+	OpCall                   // Dst = Callee(Args...)
+	OpRet                    // return A (or nothing when A == NoReg)
+	OpBr                     // if A goto Targets[0] else Targets[1]
+	OpJmp                    // goto Targets[0]
+	OpSwitch                 // on A: Vals[i] -> Targets[i], default Targets[len(Vals)]
+	OpAssert                 // report a bug when A is false; Msg describes it
+	OpExit                   // terminate the path successfully
+	OpPrint                  // debugging no-op (Msg)
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpBin: "bin", OpCmp: "cmp", OpNot: "not", OpMov: "mov",
+	OpZext: "zext", OpSext: "sext", OpTrunc: "trunc", OpSelect: "select",
+	OpAlloca: "alloca", OpLoad: "load", OpStore: "store",
+	OpInput: "input", OpInputLen: "inputlen",
+	OpCall: "call", OpRet: "ret", OpBr: "br", OpJmp: "jmp", OpSwitch: "switch",
+	OpAssert: "assert", OpExit: "exit", OpPrint: "print",
+}
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (o Op) IsTerminator() bool {
+	switch o {
+	case OpRet, OpBr, OpJmp, OpSwitch, OpExit:
+		return true
+	}
+	return false
+}
+
+// BinOp is the arithmetic/logical sub-opcode of OpBin.
+type BinOp uint8
+
+// Binary operations.
+const (
+	Add BinOp = iota + 1
+	Sub
+	Mul
+	UDiv
+	SDiv
+	URem
+	SRem
+	And
+	Or
+	Xor
+	Shl
+	LShr
+	AShr
+)
+
+var binNames = map[BinOp]string{
+	Add: "add", Sub: "sub", Mul: "mul", UDiv: "udiv", SDiv: "sdiv",
+	URem: "urem", SRem: "srem", And: "and", Or: "or", Xor: "xor",
+	Shl: "shl", LShr: "lshr", AShr: "ashr",
+}
+
+// String returns the mnemonic.
+func (b BinOp) String() string {
+	if s, ok := binNames[b]; ok {
+		return s
+	}
+	return fmt.Sprintf("bin(%d)", uint8(b))
+}
+
+// Pred is the comparison predicate of OpCmp.
+type Pred uint8
+
+// Comparison predicates.
+const (
+	Eq Pred = iota + 1
+	Ne
+	Ult
+	Ule
+	Ugt
+	Uge
+	Slt
+	Sle
+	Sgt
+	Sge
+)
+
+var predNames = map[Pred]string{
+	Eq: "eq", Ne: "ne", Ult: "ult", Ule: "ule", Ugt: "ugt", Uge: "uge",
+	Slt: "slt", Sle: "sle", Sgt: "sgt", Sge: "sge",
+}
+
+// String returns the mnemonic.
+func (p Pred) String() string {
+	if s, ok := predNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("pred(%d)", uint8(p))
+}
+
+// Instr is one IR instruction. Which fields are meaningful depends on Op;
+// see the opcode comments.
+type Instr struct {
+	Op      Op
+	Bin     BinOp
+	Pred    Pred
+	Dst     Reg
+	A, B, C Reg
+	Imm     uint64
+	Width   uint8 // operand/result width in bits (1..64)
+	Callee  string
+	Args    []Reg
+	Targets []*Block
+	Vals    []uint64
+	Msg     string
+}
+
+// Block is a basic block: straight-line instructions ending in exactly one
+// terminator.
+type Block struct {
+	Name   string
+	Fn     *Func
+	Instrs []Instr
+	// ID is the global basic-block index within the Program, assigned by
+	// Program.Finalize in deterministic order.
+	ID int
+	// Index is the position within the owning function.
+	Index int
+}
+
+// Terminator returns the block's final instruction.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := &b.Instrs[len(b.Instrs)-1]
+	if !last.Op.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Successors returns the control-flow successor blocks (branch/switch
+// targets; empty for ret/exit).
+func (b *Block) Successors() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	return t.Targets
+}
+
+func (b *Block) String() string { return b.Fn.Name + "." + b.Name }
+
+// Func is a function: NumParams arguments arrive in registers 0..N-1.
+type Func struct {
+	Name      string
+	NumParams int
+	NumRegs   int // frame size in registers
+	Blocks    []*Block
+	Prog      *Program
+}
+
+// Entry returns the function's entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// Program is a complete IR module.
+type Program struct {
+	Name   string
+	Funcs  []*Func
+	byName map[string]*Func
+
+	// Filled by Finalize:
+	AllBlocks []*Block // global block list; AllBlocks[b.ID] == b
+	NumInstrs int
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *Func {
+	return p.byName[name]
+}
+
+// Entry returns the program entry function ("main").
+func (p *Program) Entry() *Func { return p.byName["main"] }
+
+// Finalize assigns global block IDs (in function order, block order),
+// resolves call targets, and validates the program. It must be called
+// once, after all functions are built.
+func (p *Program) Finalize() error {
+	p.AllBlocks = p.AllBlocks[:0]
+	p.NumInstrs = 0
+	id := 0
+	for _, f := range p.Funcs {
+		for bi, b := range f.Blocks {
+			b.ID = id
+			b.Index = bi
+			id++
+			p.AllBlocks = append(p.AllBlocks, b)
+			p.NumInstrs += len(b.Instrs)
+		}
+	}
+	return p.validate()
+}
+
+func (p *Program) validate() error {
+	if p.byName["main"] == nil {
+		return fmt.Errorf("ir: program %q has no main function", p.Name)
+	}
+	for _, f := range p.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("ir: function %q has no blocks", f.Name)
+		}
+		if f.NumParams > f.NumRegs {
+			return fmt.Errorf("ir: function %q has %d params but only %d regs", f.Name, f.NumParams, f.NumRegs)
+		}
+		for _, b := range f.Blocks {
+			if len(b.Instrs) == 0 {
+				return fmt.Errorf("ir: block %s is empty", b)
+			}
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				isLast := i == len(b.Instrs)-1
+				if in.Op.IsTerminator() != isLast {
+					return fmt.Errorf("ir: block %s instr %d (%s): terminator placement", b, i, in.Op)
+				}
+				if err := p.validateInstr(f, b, in); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateInstr(f *Func, b *Block, in *Instr) error {
+	badReg := func(r Reg) bool { return r < 0 || int(r) >= f.NumRegs }
+	ctx := func() string { return fmt.Sprintf("ir: %s: %s", b, in.Op) }
+
+	checkWidth := func() error {
+		if in.Width == 0 || in.Width > 64 {
+			return fmt.Errorf("%s: bad width %d", ctx(), in.Width)
+		}
+		return nil
+	}
+
+	switch in.Op {
+	case OpConst, OpAlloca, OpInput, OpInputLen:
+		if badReg(in.Dst) {
+			return fmt.Errorf("%s: bad dst r%d", ctx(), in.Dst)
+		}
+		if in.Op == OpConst || in.Op == OpInputLen {
+			return checkWidth()
+		}
+	case OpBin, OpCmp:
+		if badReg(in.Dst) || badReg(in.A) || badReg(in.B) {
+			return fmt.Errorf("%s: bad register", ctx())
+		}
+		return checkWidth()
+	case OpNot, OpMov, OpZext, OpSext, OpTrunc:
+		if badReg(in.Dst) || badReg(in.A) {
+			return fmt.Errorf("%s: bad register", ctx())
+		}
+		return checkWidth()
+	case OpSelect:
+		if badReg(in.Dst) || badReg(in.A) || badReg(in.B) || badReg(in.C) {
+			return fmt.Errorf("%s: bad register", ctx())
+		}
+		return checkWidth()
+	case OpLoad:
+		if badReg(in.Dst) || badReg(in.A) {
+			return fmt.Errorf("%s: bad register", ctx())
+		}
+		return checkWidth()
+	case OpStore:
+		if badReg(in.A) || badReg(in.B) {
+			return fmt.Errorf("%s: bad register", ctx())
+		}
+		return checkWidth()
+	case OpCall:
+		callee := p.byName[in.Callee]
+		if callee == nil {
+			return fmt.Errorf("%s: unknown callee %q", ctx(), in.Callee)
+		}
+		if len(in.Args) != callee.NumParams {
+			return fmt.Errorf("%s: %q takes %d args, got %d", ctx(), in.Callee, callee.NumParams, len(in.Args))
+		}
+		for _, a := range in.Args {
+			if badReg(a) {
+				return fmt.Errorf("%s: bad arg register r%d", ctx(), a)
+			}
+		}
+		if in.Dst != NoReg && badReg(in.Dst) {
+			return fmt.Errorf("%s: bad dst r%d", ctx(), in.Dst)
+		}
+	case OpRet:
+		if in.A != NoReg && badReg(in.A) {
+			return fmt.Errorf("%s: bad register", ctx())
+		}
+	case OpBr:
+		if badReg(in.A) || len(in.Targets) != 2 {
+			return fmt.Errorf("%s: needs cond reg and 2 targets", ctx())
+		}
+	case OpJmp:
+		if len(in.Targets) != 1 {
+			return fmt.Errorf("%s: needs 1 target", ctx())
+		}
+	case OpSwitch:
+		if badReg(in.A) || len(in.Targets) != len(in.Vals)+1 {
+			return fmt.Errorf("%s: needs value reg and len(vals)+1 targets", ctx())
+		}
+	case OpAssert:
+		if badReg(in.A) {
+			return fmt.Errorf("%s: bad register", ctx())
+		}
+	case OpExit, OpPrint:
+		// no operands
+	default:
+		return fmt.Errorf("%s: unknown opcode", ctx())
+	}
+	for _, t := range in.Targets {
+		if t == nil {
+			return fmt.Errorf("%s: nil branch target", ctx())
+		}
+		if t.Fn != f {
+			return fmt.Errorf("%s: branch target %s in another function", ctx(), t)
+		}
+	}
+	return nil
+}
+
+// MakeObjRef packs an object id and offset into a 64-bit pointer value.
+func MakeObjRef(objID uint32, off uint32) uint64 {
+	return uint64(objID)<<32 | uint64(off)
+}
+
+// ObjID extracts the object id of a pointer value.
+func ObjID(ptr uint64) uint32 { return uint32(ptr >> 32) }
+
+// ObjOff extracts the byte offset of a pointer value.
+func ObjOff(ptr uint64) uint32 { return uint32(ptr) }

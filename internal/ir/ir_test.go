@@ -1,0 +1,227 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildCountdown builds a tiny valid program:
+//
+//	main: x = 5; while (x != 0) x--; exit
+func buildCountdown(t *testing.T) *Program {
+	t.Helper()
+	p := NewProgram("countdown")
+	fb := p.NewFunc("main", 0)
+	entry := fb.NewBlock("entry")
+	head := fb.NewBlock("head")
+	body := fb.NewBlock("body")
+	done := fb.NewBlock("done")
+
+	x := fb.NewReg()
+	entry.ConstTo(x, 5, 32)
+	entry.Jmp(head.Blk())
+
+	c := head.CmpImm(Ne, x, 0, 32)
+	head.Br(c, body.Blk(), done.Blk())
+
+	nx := body.BinImm(Sub, x, 1, 32)
+	body.MovTo(x, nx, 32)
+	body.Jmp(head.Blk())
+
+	done.Exit()
+
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	return p
+}
+
+func TestBuildAndFinalize(t *testing.T) {
+	p := buildCountdown(t)
+	if got := len(p.AllBlocks); got != 4 {
+		t.Errorf("blocks = %d, want 4", got)
+	}
+	for i, b := range p.AllBlocks {
+		if b.ID != i {
+			t.Errorf("block %s ID = %d, want %d", b, b.ID, i)
+		}
+	}
+	if p.Entry() == nil || p.Entry().Name != "main" {
+		t.Error("missing main")
+	}
+	if p.NumInstrs == 0 {
+		t.Error("NumInstrs not counted")
+	}
+}
+
+func TestSuccessors(t *testing.T) {
+	p := buildCountdown(t)
+	head := p.AllBlocks[1]
+	succ := head.Successors()
+	if len(succ) != 2 || succ[0].Name != "body" || succ[1].Name != "done" {
+		t.Errorf("head successors = %v", succ)
+	}
+	done := p.AllBlocks[3]
+	if len(done.Successors()) != 0 {
+		t.Errorf("exit block should have no successors")
+	}
+}
+
+func TestValidateRejectsMissingMain(t *testing.T) {
+	p := NewProgram("x")
+	fb := p.NewFunc("helper", 0)
+	b := fb.NewBlock("entry")
+	b.Exit()
+	if err := p.Finalize(); err == nil || !strings.Contains(err.Error(), "no main") {
+		t.Errorf("expected missing-main error, got %v", err)
+	}
+}
+
+func TestValidateRejectsEmptyBlock(t *testing.T) {
+	p := NewProgram("x")
+	fb := p.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	if err := p.Finalize(); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Errorf("expected empty-block error, got %v", err)
+	}
+}
+
+func TestValidateRejectsMissingTerminator(t *testing.T) {
+	p := NewProgram("x")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	b.Const(1, 32)
+	if err := p.Finalize(); err == nil || !strings.Contains(err.Error(), "terminator") {
+		t.Errorf("expected terminator error, got %v", err)
+	}
+}
+
+func TestValidateRejectsUnknownCallee(t *testing.T) {
+	p := NewProgram("x")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	b.Call("nope")
+	b.Exit()
+	if err := p.Finalize(); err == nil || !strings.Contains(err.Error(), "unknown callee") {
+		t.Errorf("expected callee error, got %v", err)
+	}
+}
+
+func TestValidateRejectsArgCountMismatch(t *testing.T) {
+	p := NewProgram("x")
+	hb := p.NewFunc("h", 2)
+	e := hb.NewBlock("entry")
+	e.RetVoid()
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	r := b.Const(1, 32)
+	b.Call("h", r) // needs 2 args
+	b.Exit()
+	if err := p.Finalize(); err == nil || !strings.Contains(err.Error(), "takes 2 args") {
+		t.Errorf("expected arg-count error, got %v", err)
+	}
+}
+
+func TestValidateRejectsCrossFunctionBranch(t *testing.T) {
+	p := NewProgram("x")
+	hb := p.NewFunc("h", 0)
+	he := hb.NewBlock("entry")
+	he.RetVoid()
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	b.Jmp(he.Blk())
+	if err := p.Finalize(); err == nil || !strings.Contains(err.Error(), "another function") {
+		t.Errorf("expected cross-function error, got %v", err)
+	}
+}
+
+func TestEmitAfterTerminatorPanics(t *testing.T) {
+	p := NewProgram("x")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	b.Exit()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic emitting after terminator")
+		}
+	}()
+	b.Const(1, 32)
+}
+
+func TestObjRefPacking(t *testing.T) {
+	ptr := MakeObjRef(7, 0x1234)
+	if ObjID(ptr) != 7 || ObjOff(ptr) != 0x1234 {
+		t.Errorf("packing broken: id=%d off=%#x", ObjID(ptr), ObjOff(ptr))
+	}
+}
+
+func TestPrintListing(t *testing.T) {
+	p := buildCountdown(t)
+	out := p.Print()
+	for _, want := range []string{"program countdown", "func main", "cmp.ne", "br r", "exit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSuccsWithCalls(t *testing.T) {
+	p := NewProgram("x")
+	hb := p.NewFunc("h", 0)
+	he := hb.NewBlock("entry")
+	he.RetVoid()
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	b.Call("h")
+	b.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	adj := SuccsWithCalls(p)
+	mainEntry := p.Func("main").Entry().ID
+	hEntry := p.Func("h").Entry().ID
+	found := false
+	for _, s := range adj[mainEntry] {
+		if s == hEntry {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("call edge main->h missing: %v", adj)
+	}
+}
+
+func TestBFSDistance(t *testing.T) {
+	//  0 -> 1 -> 2 -> 3 ;  0 -> 3 is not direct
+	adj := [][]int{{1}, {2}, {3}, {}}
+	if d := BFSDistance(adj, 0, func(b int) bool { return b == 3 }); d != 3 {
+		t.Errorf("distance = %d, want 3", d)
+	}
+	if d := BFSDistance(adj, 0, func(b int) bool { return b == 0 }); d != 0 {
+		t.Errorf("self distance = %d, want 0", d)
+	}
+	if d := BFSDistance(adj, 3, func(b int) bool { return b == 0 }); d != -1 {
+		t.Errorf("unreachable distance = %d, want -1", d)
+	}
+}
+
+func TestSwitchBuilder(t *testing.T) {
+	p := NewProgram("x")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	c1 := fb.NewBlock("c1")
+	c2 := fb.NewBlock("c2")
+	def := fb.NewBlock("def")
+	v := b.Const(2, 32)
+	b.Switch(v, []uint64{1, 2}, []*Block{c1.Blk(), c2.Blk()}, def.Blk())
+	c1.Exit()
+	c2.Exit()
+	def.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	term := p.Func("main").Entry().Terminator()
+	if term.Op != OpSwitch || len(term.Targets) != 3 {
+		t.Errorf("switch terminator malformed: %+v", term)
+	}
+}

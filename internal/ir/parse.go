@@ -1,0 +1,515 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual form produced by Program.Print back into a
+// Program, enabling textual round trips and hand-written test programs:
+//
+//	program demo
+//
+//	func main(params=0 regs=4) {
+//	entry:
+//	  r0 = const 5 w32
+//	  r1 = const 3 w32
+//	  r2 = add r0, r1 w32
+//	  exit
+//	}
+//
+// Block-name labels end with ':' (trailing "; bbN" comments are ignored).
+// The parser finalises the program before returning it.
+func Parse(src string) (*Program, error) {
+	p := &parser{}
+	prog, err := p.run(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Finalize(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	prog *Program
+	fn   *Func
+	blk  *Block
+	// branch targets are resolved after each function body completes
+	fixups []fixup
+	blocks map[string]*Block
+	line   int
+}
+
+type fixup struct {
+	instr *Instr
+	names []string
+	line  int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("ir: parse line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) run(src string) (*Program, error) {
+	for _, raw := range strings.Split(src, "\n") {
+		p.line++
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "program "):
+			if p.prog != nil {
+				return nil, p.errf("duplicate program header")
+			}
+			p.prog = NewProgram(strings.TrimSpace(strings.TrimPrefix(line, "program ")))
+		case strings.HasPrefix(line, "func "):
+			if err := p.startFunc(line); err != nil {
+				return nil, err
+			}
+		case line == "}":
+			if err := p.endFunc(); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(line, ":"):
+			if err := p.startBlock(strings.TrimSuffix(line, ":")); err != nil {
+				return nil, err
+			}
+		default:
+			if err := p.instr(line); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.prog == nil {
+		return nil, fmt.Errorf("ir: parse: no program header")
+	}
+	if p.fn != nil {
+		return nil, fmt.Errorf("ir: parse: unterminated function %q", p.fn.Name)
+	}
+	return p.prog, nil
+}
+
+// startFunc parses `func name(params=N regs=M) {`.
+func (p *parser) startFunc(line string) error {
+	if p.prog == nil {
+		return p.errf("func before program header")
+	}
+	if p.fn != nil {
+		return p.errf("nested func")
+	}
+	rest := strings.TrimPrefix(line, "func ")
+	open := strings.Index(rest, "(")
+	closeP := strings.Index(rest, ")")
+	if open < 0 || closeP < open || !strings.HasSuffix(strings.TrimSpace(rest), "{") {
+		return p.errf("malformed func header %q", line)
+	}
+	name := strings.TrimSpace(rest[:open])
+	params, regs := -1, -1
+	for _, kv := range strings.Fields(rest[open+1 : closeP]) {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return p.errf("malformed func attribute %q", kv)
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return p.errf("bad number in %q", kv)
+		}
+		switch parts[0] {
+		case "params":
+			params = n
+		case "regs":
+			regs = n
+		default:
+			return p.errf("unknown func attribute %q", parts[0])
+		}
+	}
+	if params < 0 || regs < 0 {
+		return p.errf("func header needs params= and regs=")
+	}
+	fb := p.prog.NewFunc(name, params)
+	p.fn = fb.Fn()
+	p.fn.NumRegs = regs
+	p.blocks = make(map[string]*Block)
+	p.fixups = nil
+	return nil
+}
+
+func (p *parser) endFunc() error {
+	if p.fn == nil {
+		return p.errf("unexpected }")
+	}
+	for _, f := range p.fixups {
+		for _, name := range f.names {
+			b, ok := p.blocks[name]
+			if !ok {
+				return fmt.Errorf("ir: parse line %d: unknown block %q", f.line, name)
+			}
+			f.instr.Targets = append(f.instr.Targets, b)
+		}
+	}
+	p.fn, p.blk, p.blocks, p.fixups = nil, nil, nil, nil
+	return nil
+}
+
+func (p *parser) startBlock(name string) error {
+	if p.fn == nil {
+		return p.errf("block %q outside function", name)
+	}
+	if _, dup := p.blocks[name]; dup {
+		return p.errf("duplicate block %q", name)
+	}
+	b := &Block{Name: name, Fn: p.fn}
+	p.fn.Blocks = append(p.fn.Blocks, b)
+	p.blocks[name] = b
+	p.blk = b
+	return nil
+}
+
+// reg parses "r12" (or "r12," with trailing comma stripped by caller).
+func (p *parser) reg(tok string) (Reg, error) {
+	if !strings.HasPrefix(tok, "r") {
+		return 0, p.errf("expected register, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil {
+		return 0, p.errf("bad register %q", tok)
+	}
+	return Reg(n), nil
+}
+
+// width parses "w32".
+func (p *parser) width(tok string) (uint8, error) {
+	if !strings.HasPrefix(tok, "w") {
+		return 0, p.errf("expected width, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 1 || n > 64 {
+		return 0, p.errf("bad width %q", tok)
+	}
+	return uint8(n), nil
+}
+
+func (p *parser) imm(tok string) (uint64, error) {
+	v, err := strconv.ParseUint(tok, 0, 64)
+	if err != nil {
+		return 0, p.errf("bad immediate %q", tok)
+	}
+	return v, nil
+}
+
+var binByName = func() map[string]BinOp {
+	m := make(map[string]BinOp, len(binNames))
+	for op, name := range binNames {
+		m[name] = op
+	}
+	return m
+}()
+
+var predByName = func() map[string]Pred {
+	m := make(map[string]Pred, len(predNames))
+	for pr, name := range predNames {
+		m[name] = pr
+	}
+	return m
+}()
+
+// instr parses one instruction line.
+func (p *parser) instr(line string) error {
+	if p.blk == nil {
+		return p.errf("instruction outside block: %q", line)
+	}
+	// split `rD = rhs` from no-dst forms
+	var dst Reg = NoReg
+	rhs := line
+	if eq := strings.Index(line, " = "); eq >= 0 {
+		d, err := p.reg(strings.TrimSpace(line[:eq]))
+		if err != nil {
+			return err
+		}
+		dst = d
+		rhs = strings.TrimSpace(line[eq+3:])
+	}
+	toks := strings.Fields(strings.ReplaceAll(rhs, ",", " "))
+	if len(toks) == 0 {
+		return p.errf("empty instruction")
+	}
+	op := toks[0]
+	emit := func(in Instr) {
+		in.Dst = dst
+		p.blk.Instrs = append(p.blk.Instrs, in)
+	}
+	switch {
+	case op == "const":
+		v, err := p.imm(toks[1])
+		if err != nil {
+			return err
+		}
+		w, err := p.width(toks[2])
+		if err != nil {
+			return err
+		}
+		emit(Instr{Op: OpConst, Imm: v, Width: w})
+	case binByName[op] != 0:
+		a, err := p.reg(toks[1])
+		if err != nil {
+			return err
+		}
+		b, err := p.reg(toks[2])
+		if err != nil {
+			return err
+		}
+		w, err := p.width(toks[3])
+		if err != nil {
+			return err
+		}
+		emit(Instr{Op: OpBin, Bin: binByName[op], A: a, B: b, Width: w})
+	case strings.HasPrefix(op, "cmp."):
+		pr, ok := predByName[strings.TrimPrefix(op, "cmp.")]
+		if !ok {
+			return p.errf("unknown predicate %q", op)
+		}
+		a, err := p.reg(toks[1])
+		if err != nil {
+			return err
+		}
+		b, err := p.reg(toks[2])
+		if err != nil {
+			return err
+		}
+		w, err := p.width(toks[3])
+		if err != nil {
+			return err
+		}
+		emit(Instr{Op: OpCmp, Pred: pr, A: a, B: b, Width: w})
+	case op == "not" || op == "mov" || op == "zext" || op == "sext" || op == "trunc":
+		a, err := p.reg(toks[1])
+		if err != nil {
+			return err
+		}
+		w, err := p.width(toks[2])
+		if err != nil {
+			return err
+		}
+		kinds := map[string]Op{"not": OpNot, "mov": OpMov, "zext": OpZext, "sext": OpSext, "trunc": OpTrunc}
+		emit(Instr{Op: kinds[op], A: a, Width: w})
+	case op == "select":
+		a, err := p.reg(toks[1])
+		if err != nil {
+			return err
+		}
+		b, err := p.reg(toks[2])
+		if err != nil {
+			return err
+		}
+		c, err := p.reg(toks[3])
+		if err != nil {
+			return err
+		}
+		w, err := p.width(toks[4])
+		if err != nil {
+			return err
+		}
+		emit(Instr{Op: OpSelect, A: a, B: b, C: c, Width: w})
+	case op == "alloca":
+		v, err := p.imm(toks[1])
+		if err != nil {
+			return err
+		}
+		emit(Instr{Op: OpAlloca, Imm: v})
+	case op == "input":
+		emit(Instr{Op: OpInput})
+	case op == "inputlen":
+		w, err := p.width(toks[1])
+		if err != nil {
+			return err
+		}
+		emit(Instr{Op: OpInputLen, Width: w})
+	case op == "load":
+		a, off, err := p.memOperand(toks[1])
+		if err != nil {
+			return err
+		}
+		w, err := p.width(toks[2])
+		if err != nil {
+			return err
+		}
+		emit(Instr{Op: OpLoad, A: a, Imm: off, Width: w})
+	case op == "store":
+		a, off, err := p.memOperand(toks[1])
+		if err != nil {
+			return err
+		}
+		b, err := p.reg(toks[2])
+		if err != nil {
+			return err
+		}
+		w, err := p.width(toks[3])
+		if err != nil {
+			return err
+		}
+		emit(Instr{Op: OpStore, A: a, B: b, Imm: off, Width: w})
+	case op == "call":
+		// call name(r1 r2 ...) — commas already stripped
+		rest := strings.TrimSpace(strings.TrimPrefix(rhs, "call"))
+		open := strings.Index(rest, "(")
+		closeP := strings.LastIndex(rest, ")")
+		if open < 0 || closeP < open {
+			return p.errf("malformed call %q", rhs)
+		}
+		name := strings.TrimSpace(rest[:open])
+		var args []Reg
+		for _, tok := range strings.Fields(strings.ReplaceAll(rest[open+1:closeP], ",", " ")) {
+			a, err := p.reg(tok)
+			if err != nil {
+				return err
+			}
+			args = append(args, a)
+		}
+		emit(Instr{Op: OpCall, Callee: name, Args: args})
+	case op == "ret":
+		in := Instr{Op: OpRet, A: NoReg}
+		if len(toks) > 1 {
+			a, err := p.reg(toks[1])
+			if err != nil {
+				return err
+			}
+			in.A = a
+		}
+		emit(in)
+	case op == "br":
+		a, err := p.reg(toks[1])
+		if err != nil {
+			return err
+		}
+		if len(toks) != 4 {
+			return p.errf("br needs cond and two targets")
+		}
+		p.blk.Instrs = append(p.blk.Instrs, Instr{Op: OpBr, A: a})
+		p.fixups = append(p.fixups, fixup{
+			instr: &p.blk.Instrs[len(p.blk.Instrs)-1],
+			names: []string{toks[2], toks[3]},
+			line:  p.line,
+		})
+	case op == "jmp":
+		p.blk.Instrs = append(p.blk.Instrs, Instr{Op: OpJmp})
+		p.fixups = append(p.fixups, fixup{
+			instr: &p.blk.Instrs[len(p.blk.Instrs)-1],
+			names: []string{toks[1]},
+			line:  p.line,
+		})
+	case op == "switch":
+		// switch rN [v:target v:target] default target
+		a, err := p.reg(toks[1])
+		if err != nil {
+			return err
+		}
+		open := strings.Index(rhs, "[")
+		closeB := strings.Index(rhs, "]")
+		if open < 0 || closeB < open {
+			return p.errf("switch needs a [cases] list")
+		}
+		var vals []uint64
+		var names []string
+		for _, pair := range strings.Fields(rhs[open+1 : closeB]) {
+			parts := strings.SplitN(pair, ":", 2)
+			if len(parts) != 2 {
+				return p.errf("malformed switch case %q", pair)
+			}
+			v, err := p.imm(parts[0])
+			if err != nil {
+				return err
+			}
+			vals = append(vals, v)
+			names = append(names, parts[1])
+		}
+		tail := strings.Fields(strings.TrimSpace(rhs[closeB+1:]))
+		if len(tail) != 2 || tail[0] != "default" {
+			return p.errf("switch needs a default target")
+		}
+		names = append(names, tail[1])
+		p.blk.Instrs = append(p.blk.Instrs, Instr{Op: OpSwitch, A: a, Vals: vals})
+		p.fixups = append(p.fixups, fixup{
+			instr: &p.blk.Instrs[len(p.blk.Instrs)-1],
+			names: names,
+			line:  p.line,
+		})
+	case op == "assert":
+		a, err := p.reg(toks[1])
+		if err != nil {
+			return err
+		}
+		msg, err := quoted(rhs)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		emit(Instr{Op: OpAssert, A: a, Msg: msg})
+	case op == "exit":
+		emit(Instr{Op: OpExit})
+	case op == "print":
+		msg, err := quoted(rhs)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		emit(Instr{Op: OpPrint, Msg: msg})
+	default:
+		return p.errf("unknown instruction %q", op)
+	}
+	return nil
+}
+
+// memOperand parses "[r5+12]".
+func (p *parser) memOperand(tok string) (Reg, uint64, error) {
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return 0, 0, p.errf("expected [rN+off], got %q", tok)
+	}
+	inner := tok[1 : len(tok)-1]
+	parts := strings.SplitN(inner, "+", 2)
+	r, err := p.reg(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	var off uint64
+	if len(parts) == 2 {
+		off, err = p.imm(parts[1])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return r, off, nil
+}
+
+// stripComment removes a trailing "; ..." comment, ignoring semicolons
+// inside double-quoted strings.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inStr = !inStr
+		case '\\':
+			if inStr {
+				i++ // skip the escaped character
+			}
+		case ';':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// quoted extracts the double-quoted string from a line.
+func quoted(line string) (string, error) {
+	i := strings.Index(line, `"`)
+	j := strings.LastIndex(line, `"`)
+	if i < 0 || j <= i {
+		return "", fmt.Errorf("missing quoted string in %q", line)
+	}
+	return strconv.Unquote(line[i : j+1])
+}

@@ -1,0 +1,129 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSrc = `
+program demo
+
+func helper(params=1 regs=3) {
+entry:
+  r1 = const 2 w32
+  r2 = mul r0, r1 w32
+  ret r2
+}
+
+func main(params=0 regs=8) {
+entry:
+  r0 = const 5 w32
+  r1 = call helper(r0)
+  r2 = cmp.eq r1, r0 w32
+  br r2, bad, good
+good:
+  r3 = input
+  r4 = load [r3+0] w8
+  r5 = alloca 16
+  store [r5+2], r4 w8
+  r6 = inputlen w32
+  switch r6 [0:empty 1:one] default many
+bad:
+  assert r2 "unreachable"
+  exit
+empty:
+  print "no input"
+  exit
+one:
+  jmp many
+many:
+  exit
+}
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "demo" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if p.Func("helper") == nil || p.Entry() == nil {
+		t.Fatal("functions missing")
+	}
+	if got := len(p.Func("main").Blocks); got != 6 {
+		t.Errorf("main blocks = %d, want 6", got)
+	}
+	term := p.Entry().Entry().Terminator()
+	if term.Op != OpBr || term.Targets[0].Name != "bad" || term.Targets[1].Name != "good" {
+		t.Errorf("br targets wrong: %+v", term)
+	}
+}
+
+// TestPrintParseRoundTrip: Print output parses back into a program whose
+// listing matches the original (fixed point).
+func TestPrintParseRoundTrip(t *testing.T) {
+	p1, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text1 := p1.Print()
+	p2, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text1)
+	}
+	text2 := p2.Print()
+	if text1 != text2 {
+		t.Errorf("round trip not a fixed point:\n--- first\n%s\n--- second\n%s", text1, text2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+		want string
+	}{
+		{"no header", "func main(params=0 regs=1) {\nentry:\n  exit\n}", "before program header"},
+		{"unterminated func", "program x\nfunc main(params=0 regs=1) {\nentry:\n  exit", "unterminated"},
+		{"bad instr", "program x\nfunc main(params=0 regs=1) {\nentry:\n  frobnicate\n}", "unknown instruction"},
+		{"unknown target", "program x\nfunc main(params=0 regs=1) {\nentry:\n  jmp nowhere\n}", "unknown block"},
+		{"instr outside block", "program x\nfunc main(params=0 regs=1) {\n  exit\n}", "outside block"},
+		{"dup block", "program x\nfunc main(params=0 regs=1) {\nentry:\n  exit\nentry:\n  exit\n}", "duplicate block"},
+		{"bad width", "program x\nfunc main(params=0 regs=2) {\nentry:\n  r0 = const 1 w99\n  exit\n}", "bad width"},
+		{"missing main", "program x\nfunc helper(params=0 regs=1) {\nentry:\n  exit\n}", "no main"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.give)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("err = %v, want containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+// TestParsedProgramRunsLikeBuilt: a parsed program and its builder-built
+// twin produce the same listing.
+func TestParsedProgramMatchesBuilder(t *testing.T) {
+	pb := NewProgram("twin")
+	fb := pb.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	x := b.Const(7, 32)
+	y := b.BinImm(Add, x, 3, 32)
+	c := b.CmpImm(Ult, y, 100, 32)
+	b.Assert(c, "bound")
+	b.Exit()
+	if err := pb.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	parsed, err := Parse(pb.Print())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Print() != pb.Print() {
+		t.Errorf("parsed listing differs:\n%s\nvs\n%s", parsed.Print(), pb.Print())
+	}
+}

@@ -1,0 +1,87 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the program as a human-readable listing (used by the
+// disassembler command and golden tests).
+func (p *Program) Print() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&b, "\nfunc %s(params=%d regs=%d) {\n", f.Name, f.NumParams, f.NumRegs)
+		for _, blk := range f.Blocks {
+			fmt.Fprintf(&b, "%s:  ; bb%d\n", blk.Name, blk.ID)
+			for i := range blk.Instrs {
+				fmt.Fprintf(&b, "  %s\n", formatInstr(&blk.Instrs[i]))
+			}
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func formatInstr(in *Instr) string {
+	w := func() string { return fmt.Sprintf("w%d", in.Width) }
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("r%d = const %d %s", in.Dst, in.Imm, w())
+	case OpBin:
+		return fmt.Sprintf("r%d = %s r%d, r%d %s", in.Dst, in.Bin, in.A, in.B, w())
+	case OpCmp:
+		return fmt.Sprintf("r%d = cmp.%s r%d, r%d %s", in.Dst, in.Pred, in.A, in.B, w())
+	case OpNot:
+		return fmt.Sprintf("r%d = not r%d %s", in.Dst, in.A, w())
+	case OpMov:
+		return fmt.Sprintf("r%d = mov r%d %s", in.Dst, in.A, w())
+	case OpZext:
+		return fmt.Sprintf("r%d = zext r%d %s", in.Dst, in.A, w())
+	case OpSext:
+		return fmt.Sprintf("r%d = sext r%d %s", in.Dst, in.A, w())
+	case OpTrunc:
+		return fmt.Sprintf("r%d = trunc r%d %s", in.Dst, in.A, w())
+	case OpSelect:
+		return fmt.Sprintf("r%d = select r%d, r%d, r%d %s", in.Dst, in.A, in.B, in.C, w())
+	case OpAlloca:
+		return fmt.Sprintf("r%d = alloca %d", in.Dst, in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("r%d = load [r%d+%d] %s", in.Dst, in.A, in.Imm, w())
+	case OpStore:
+		return fmt.Sprintf("store [r%d+%d], r%d %s", in.A, in.Imm, in.B, w())
+	case OpInput:
+		return fmt.Sprintf("r%d = input", in.Dst)
+	case OpInputLen:
+		return fmt.Sprintf("r%d = inputlen %s", in.Dst, w())
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = fmt.Sprintf("r%d", a)
+		}
+		return fmt.Sprintf("r%d = call %s(%s)", in.Dst, in.Callee, strings.Join(args, ", "))
+	case OpRet:
+		if in.A == NoReg {
+			return "ret"
+		}
+		return fmt.Sprintf("ret r%d", in.A)
+	case OpBr:
+		return fmt.Sprintf("br r%d, %s, %s", in.A, in.Targets[0].Name, in.Targets[1].Name)
+	case OpJmp:
+		return fmt.Sprintf("jmp %s", in.Targets[0].Name)
+	case OpSwitch:
+		var cases []string
+		for i, v := range in.Vals {
+			cases = append(cases, fmt.Sprintf("%d:%s", v, in.Targets[i].Name))
+		}
+		return fmt.Sprintf("switch r%d [%s] default %s", in.A, strings.Join(cases, " "), in.Targets[len(in.Vals)].Name)
+	case OpAssert:
+		return fmt.Sprintf("assert r%d %q", in.A, in.Msg)
+	case OpExit:
+		return "exit"
+	case OpPrint:
+		return fmt.Sprintf("print %q", in.Msg)
+	default:
+		return in.Op.String()
+	}
+}

@@ -1,0 +1,86 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrintCoversAllOpcodes builds a program exercising every opcode and
+// checks each mnemonic appears in the listing.
+func TestPrintCoversAllOpcodes(t *testing.T) {
+	p := NewProgram("allops")
+	hb := p.NewFunc("helper", 1)
+	he := hb.NewBlock("entry")
+	he.Ret(hb.Param(0))
+
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	then := fb.NewBlock("then")
+	els := fb.NewBlock("els")
+	sw1 := fb.NewBlock("sw1")
+	swd := fb.NewBlock("swd")
+	fin := fb.NewBlock("fin")
+
+	c1 := b.Const(5, 32)
+	c2 := b.Const(3, 32)
+	sum := b.Bin(Add, c1, c2, 32)
+	cmp := b.Cmp(Ult, sum, c1, 32)
+	b.Not(sum, 32)
+	b.Mov(sum, 32)
+	b.Zext(sum, 64)
+	b.Sext(sum, 64)
+	b.Trunc(sum, 8)
+	b.Select(cmp, c1, c2, 32)
+	buf := b.Alloca(8)
+	ld := b.Load(buf, 0, 8)
+	b.Store(buf, 0, ld, 8)
+	b.Input()
+	b.InputLen(32)
+	b.Call("helper", sum)
+	b.Assert(cmp, "msg")
+	b.Print("hello")
+	b.Br(cmp, then.Blk(), els.Blk())
+
+	then.Jmp(fin.Blk())
+	v := els.Const(1, 32)
+	els.Switch(v, []uint64{1}, []*Block{sw1.Blk()}, swd.Blk())
+	sw1.Jmp(fin.Blk())
+	swd.Jmp(fin.Blk())
+	fin.Exit()
+
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Print()
+	for _, want := range []string{
+		"const", "add", "cmp.ult", "not", "mov", "zext", "sext", "trunc",
+		"select", "alloca", "load", "store", "input", "inputlen", "call",
+		"assert", "print", "br ", "jmp", "switch", "exit", "ret",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q", want)
+		}
+	}
+}
+
+// TestInstrStringsStable pins a few formatted instructions (golden).
+func TestInstrStringsStable(t *testing.T) {
+	tests := []struct {
+		give Instr
+		want string
+	}{
+		{Instr{Op: OpConst, Dst: 3, Imm: 42, Width: 32}, "r3 = const 42 w32"},
+		{Instr{Op: OpBin, Bin: Mul, Dst: 1, A: 2, B: 3, Width: 16}, "r1 = mul r2, r3 w16"},
+		{Instr{Op: OpCmp, Pred: Sge, Dst: 0, A: 1, B: 2, Width: 8}, "r0 = cmp.sge r1, r2 w8"},
+		{Instr{Op: OpLoad, Dst: 4, A: 5, Imm: 12, Width: 16}, "r4 = load [r5+12] w16"},
+		{Instr{Op: OpStore, A: 5, B: 6, Imm: 0, Width: 8}, "store [r5+0], r6 w8"},
+		{Instr{Op: OpRet, A: NoReg}, "ret"},
+		{Instr{Op: OpExit}, "exit"},
+		{Instr{Op: OpAssert, A: 7, Msg: "x"}, `assert r7 "x"`},
+	}
+	for _, tt := range tests {
+		if got := formatInstr(&tt.give); got != tt.want {
+			t.Errorf("formatInstr = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package pbse implements the paper's headline contribution: phase-based
+// symbolic execution (Algorithms 1 and 3). A run performs concolic
+// execution of a seed input to gather BBVs and seedStates, divides the
+// execution into phases by clustering coverage-augmented BBVs, and then
+// schedules symbolic execution round-robin across phases, moving on when
+// a phase stops covering new code within the current (escalating) time
+// period.
+package pbse
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pbse/internal/bugs"
+	"pbse/internal/concolic"
+	"pbse/internal/expr"
+	"pbse/internal/interp"
+	"pbse/internal/ir"
+	"pbse/internal/phase"
+	"pbse/internal/symex"
+)
+
+// Options configure a pbSE run.
+type Options struct {
+	// Budget is the total virtual-time budget in instructions (concolic
+	// execution included, mirroring the paper's accounting where c-time
+	// and p-time are reported but small).
+	Budget int64
+	// TimePeriod is the per-phase time slice for the first turn; turn n
+	// uses n*TimePeriod (Algorithm 3 line 15). Default Budget/50.
+	TimePeriod int64
+	// ConcolicInterval is the BBV gathering interval. Default 4096.
+	ConcolicInterval int64
+	// PhaseOpts tune the phase division; zero value = paper defaults.
+	PhaseOpts phase.Options
+	// DisableDedup turns off the §III-B3 seedState deduplication (keep
+	// only the earliest seedState per fork point) — an ablation switch.
+	DisableDedup bool
+	// Sequential disables round-robin phase scheduling (ablation): each
+	// phase gets one long slice in order.
+	Sequential bool
+	// TrapOnly schedules only trap phases (plus the phase containing the
+	// earliest seedStates); off by default — the paper tests every phase.
+	TrapOnly bool
+	// Seed drives in-phase state selection.
+	Seed int64
+}
+
+// CoveragePoint is one (virtual time, blocks covered) sample.
+type CoveragePoint struct {
+	Time    int64
+	Covered int
+}
+
+// PhaseStat summarises the work done in one phase.
+type PhaseStat struct {
+	ID         int
+	Trap       bool
+	SeedStates int
+	Steps      int64
+	NewBlocks  int
+	Bugs       int
+}
+
+// Result is the outcome of a pbSE run.
+type Result struct {
+	Covered    int
+	CTime      int64         // virtual cost of the concolic step
+	PTime      time.Duration // wall time of phase analysis
+	Division   *phase.Division
+	Concolic   *concolic.Result
+	Bugs       []*bugs.Report
+	PhaseStats []PhaseStat
+	Series     []CoveragePoint
+	// Executor exposes the underlying engine for inspection (coverage
+	// sets, solver stats).
+	Executor *symex.Executor
+}
+
+// phasePool is the per-phase state pool driven by Algorithm 3.
+type phasePool struct {
+	info   phase.Phase
+	states []*symex.State
+	stat   PhaseStat
+}
+
+// Run executes pbSE on prog with the given seed input (Algorithm 1 with a
+// single selected seed; see §III-B4 for the seed-selection heuristic
+// implemented in package targets).
+func Run(prog *ir.Program, seed []byte, opts Options, exOpts symex.Options) (*Result, error) {
+	if opts.Budget <= 0 {
+		return nil, fmt.Errorf("pbse: Budget must be positive")
+	}
+	if opts.TimePeriod == 0 {
+		opts.TimePeriod = opts.Budget / 50
+		if opts.TimePeriod < 1 {
+			opts.TimePeriod = 1
+		}
+	}
+	if exOpts.InputSize == 0 {
+		exOpts.InputSize = len(seed)
+	}
+
+	ex := symex.NewExecutor(prog, exOpts)
+	res := &Result{Executor: ex}
+
+	// the seed input satisfies every prefix of the seed path's
+	// constraints; keep it as a standing solver candidate
+	seedBytes := make([]byte, exOpts.InputSize)
+	copy(seedBytes, seed)
+	ex.Solver.AddCandidate(expr.Assignment{ex.InputArr: seedBytes})
+
+	// Pick the BBV interval so the seed path yields enough BBVs for
+	// k-means (~48): a concrete dry run measures the path length at
+	// native speed.
+	if opts.ConcolicInterval == 0 {
+		dry := interp.New(prog, seed, interp.Options{MaxSteps: opts.Budget / 2}).Run()
+		opts.ConcolicInterval = dry.Steps / 48
+		if opts.ConcolicInterval < 64 {
+			opts.ConcolicInterval = 64
+		}
+	}
+
+	// Step 1: concolic execution (Algorithm 2).
+	con, err := concolic.Run(ex, seed, concolic.Options{
+		Interval: opts.ConcolicInterval,
+		MaxSteps: opts.Budget / 2,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pbse: concolic step: %w", err)
+	}
+	res.Concolic = con
+	res.CTime = con.Steps
+	res.Series = append(res.Series, CoveragePoint{Time: ex.Clock(), Covered: ex.NumCovered()})
+
+	// Step 2: phase analysis.
+	pStart := time.Now()
+	div := phase.Divide(con.BBVs, opts.PhaseOpts)
+	res.PTime = time.Since(pStart)
+	res.Division = div
+
+	// Map seedStates to phases by fork time and deduplicate by fork point.
+	pools := buildPools(div, con, opts)
+
+	// Step 3: phase-scheduled symbolic execution (Algorithm 3).
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	if opts.Sequential {
+		runSequential(ex, pools, opts, rng, res)
+	} else {
+		runRoundRobin(ex, pools, opts, rng, res)
+	}
+
+	for _, p := range pools {
+		res.PhaseStats = append(res.PhaseStats, p.stat)
+	}
+	res.Covered = ex.NumCovered()
+	res.Bugs = ex.Bugs.Reports()
+	// bugs detected during the concolic step carry no phase yet;
+	// attribute them to the phase containing their detection time
+	for _, b := range res.Bugs {
+		if b.Phase < 0 && b.Time <= con.Start+con.Steps {
+			b.Phase = div.PhaseOfTime(con.BBVs, b.Time-con.Start)
+		}
+	}
+	return res, nil
+}
+
+// buildPools assigns seedStates to phases (by the time of their fork
+// point) and applies the §III-B3 dedup: keep the earliest seedState per
+// fork point.
+func buildPools(div *phase.Division, con *concolic.Result, opts Options) []*phasePool {
+	pools := make([]*phasePool, len(div.Phases))
+	for i, p := range div.Phases {
+		pools[i] = &phasePool{info: p, stat: PhaseStat{ID: p.ID, Trap: p.Trap}}
+	}
+	if len(pools) == 0 {
+		return nil
+	}
+
+	states := con.SeedStates
+	if !opts.DisableDedup {
+		earliest := make(map[[2]int]*symex.State)
+		for _, s := range states {
+			key := [2]int{s.SeedForkBlockID, s.SeedForkIdx}
+			if old, ok := earliest[key]; !ok || s.ForkTime < old.ForkTime {
+				earliest[key] = s
+			}
+		}
+		dedup := make([]*symex.State, 0, len(earliest))
+		for _, s := range states {
+			key := [2]int{s.SeedForkBlockID, s.SeedForkIdx}
+			if earliest[key] == s {
+				dedup = append(dedup, s)
+			}
+		}
+		states = dedup
+	}
+
+	for _, s := range states {
+		pi := div.PhaseOfTime(con.BBVs, s.ForkTime-con.Start)
+		if pi < 0 {
+			pi = 0
+		}
+		pools[pi].states = append(pools[pi].states, s)
+		pools[pi].stat.SeedStates++
+	}
+
+	if opts.TrapOnly {
+		var kept []*phasePool
+		for _, p := range pools {
+			if p.info.Trap || (len(kept) == 0 && len(p.states) > 0) {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) > 0 {
+			pools = kept
+		}
+	}
+	return pools
+}
+
+// runRoundRobin is Algorithm 3: cycle phases, escalating the time period
+// each full turn, breaking out of a phase once it stops covering new code
+// past its slice.
+func runRoundRobin(ex *symex.Executor, pools []*phasePool, opts Options, rng *rand.Rand, res *Result) {
+	live := make([]*phasePool, 0, len(pools))
+	for _, p := range pools {
+		if len(p.states) > 0 {
+			live = append(live, p)
+		}
+	}
+	i := 0
+	for len(live) > 0 && ex.Clock() < opts.Budget {
+		phaseNum := i % len(live)
+		turnNum := int64(i/len(live)) + 1
+		pool := live[phaseNum]
+		if len(pool.states) == 0 {
+			live = append(live[:phaseNum], live[phaseNum+1:]...)
+			continue
+		}
+		turnStart := ex.Clock()
+		runPhaseTurn(ex, pool, opts, rng, res, func() bool {
+			return ex.Clock()-turnStart > turnNum*opts.TimePeriod
+		})
+		i++
+	}
+}
+
+// runSequential is the scheduling ablation: each phase once, in order,
+// with an equal share of the remaining budget.
+func runSequential(ex *symex.Executor, pools []*phasePool, opts Options, rng *rand.Rand, res *Result) {
+	var live []*phasePool
+	for _, p := range pools {
+		if len(p.states) > 0 {
+			live = append(live, p)
+		}
+	}
+	for idx, pool := range pools {
+		if len(pool.states) == 0 {
+			continue
+		}
+		remainingPhases := 0
+		for _, p := range pools[idx:] {
+			if len(p.states) > 0 {
+				remainingPhases++
+			}
+		}
+		slice := (opts.Budget - ex.Clock()) / int64(remainingPhases)
+		turnStart := ex.Clock()
+		runPhaseTurn(ex, pool, opts, rng, res, func() bool {
+			return ex.Clock()-turnStart > slice
+		})
+		if ex.Clock() >= opts.Budget {
+			return
+		}
+	}
+	_ = live
+}
+
+// runPhaseTurn is the inner loop of Algorithm 3 (lines 11-18): step states
+// of one phase until the pool drains or the slice expires without new
+// coverage.
+func runPhaseTurn(ex *symex.Executor, pool *phasePool, opts Options, rng *rand.Rand, res *Result, sliceOver func() bool) {
+	for len(pool.states) > 0 && ex.Clock() < opts.Budget {
+		// selectState: uniform random among the pool (deterministic rng)
+		idx := rng.Intn(len(pool.states))
+		st := pool.states[idx]
+		if st.Terminated() {
+			pool.states[idx] = pool.states[len(pool.states)-1]
+			pool.states = pool.states[:len(pool.states)-1]
+			continue
+		}
+		r := ex.StepBlock(st)
+		pool.stat.Steps++
+		// updateStates: forked states stay in this phase's pool
+		pool.states = append(pool.states, r.Added...)
+		if r.Terminated {
+			pool.states[idx] = pool.states[len(pool.states)-1]
+			pool.states = pool.states[:len(pool.states)-1]
+		}
+		if r.NewCover {
+			pool.stat.NewBlocks++
+			res.Series = append(res.Series, CoveragePoint{Time: ex.Clock(), Covered: ex.NumCovered()})
+		}
+		if r.Bug != nil {
+			r.Bug.Phase = pool.info.ID
+			pool.stat.Bugs++
+		}
+		if sliceOver() && !r.NewCover {
+			return // Algorithm 3 line 15
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package pbse
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbse/internal/phase"
+	"pbse/internal/symex"
+	"pbse/internal/targets"
+)
+
+func TestTrapOnlyOption(t *testing.T) {
+	res := runPBSE(t, "readelf", testBudget, Options{TrapOnly: true})
+	if res.Covered == 0 {
+		t.Fatal("trap-only scheduling produced no coverage")
+	}
+	// every scheduled phase with work must be a trap phase (or the first
+	// non-empty pool kept as fallback)
+	nonTrapWithWork := 0
+	for _, ps := range res.PhaseStats {
+		if !ps.Trap && ps.Steps > 0 {
+			nonTrapWithWork++
+		}
+	}
+	if nonTrapWithWork > 1 {
+		t.Errorf("%d non-trap phases were scheduled under TrapOnly", nonTrapWithWork)
+	}
+}
+
+func TestExplicitTimePeriod(t *testing.T) {
+	res := runPBSE(t, "readelf", testBudget, Options{TimePeriod: 1_000})
+	if res.Covered == 0 {
+		t.Fatal("no coverage with explicit time period")
+	}
+}
+
+func TestPhaseOptsPropagate(t *testing.T) {
+	po := phase.DefaultOptions()
+	po.KMin, po.KMax = 2, 2
+	res := runPBSE(t, "readelf", testBudget, Options{PhaseOpts: po})
+	if res.Division.K != 2 {
+		t.Errorf("k = %d, want forced 2", res.Division.K)
+	}
+}
+
+func TestSeriesMonotone(t *testing.T) {
+	res := runPBSE(t, "gif2tiff", testBudget, Options{})
+	prevT, prevC := int64(-1), -1
+	for _, pt := range res.Series {
+		if pt.Time < prevT || pt.Covered < prevC {
+			t.Fatalf("series not monotone: %+v", res.Series)
+		}
+		prevT, prevC = pt.Time, pt.Covered
+	}
+}
+
+func TestConcolicIntervalAutoSizing(t *testing.T) {
+	// default options must yield enough BBVs for meaningful clustering
+	res := runPBSE(t, "dwarfdump", testBudget, Options{})
+	if n := len(res.Concolic.BBVs); n < 10 {
+		t.Errorf("auto-sized interval produced only %d BBVs", n)
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	res := runPBSE(t, "readelf", testBudget, Options{})
+	clock := res.Executor.Clock()
+	// StepBlock overshoot is bounded by one block, but phase turns check
+	// per step; allow a small slack
+	if clock > testBudget+testBudget/10 {
+		t.Errorf("clock %d wildly exceeds budget %d", clock, testBudget)
+	}
+}
+
+func TestPBSEWithSelectedSeed(t *testing.T) {
+	tgt, err := targets.ByDriver("pngtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := tgt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	var corpus [][]byte
+	for i := 0; i < 6; i++ {
+		corpus = append(corpus, tgt.GenSeed(rng, 300+i*100))
+	}
+	seed := targets.SelectSeed(prog, corpus)
+	if seed == nil {
+		t.Fatal("seed selection failed")
+	}
+	res, err := Run(prog, seed, Options{Budget: testBudget}, symex.Options{InputSize: len(seed)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered == 0 {
+		t.Error("no coverage from selected seed")
+	}
+}

@@ -1,0 +1,175 @@
+package pbse
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbse/internal/interp"
+	"pbse/internal/symex"
+	"pbse/internal/targets"
+)
+
+const testBudget = 400_000
+
+func runPBSE(t *testing.T, driver string, budget int64, opts Options) *Result {
+	t.Helper()
+	tgt, err := targets.ByDriver(driver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := tgt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := tgt.GenSeed(rand.New(rand.NewSource(42)), 576)
+	opts.Budget = budget
+	res, err := Run(prog, seed, opts, symex.Options{InputSize: len(seed)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPBSEEndToEndMiniELF(t *testing.T) {
+	res := runPBSE(t, "readelf", testBudget, Options{})
+	if res.Covered == 0 {
+		t.Fatal("no coverage")
+	}
+	if res.Division == nil || len(res.Division.Phases) == 0 {
+		t.Fatal("no phases identified")
+	}
+	if res.CTime <= 0 {
+		t.Error("c-time not recorded")
+	}
+	if res.PTime <= 0 {
+		t.Error("p-time not recorded")
+	}
+	if len(res.Series) == 0 {
+		t.Error("coverage series empty")
+	}
+	// seedStates must be distributed over phases
+	total := 0
+	for _, ps := range res.PhaseStats {
+		total += ps.SeedStates
+	}
+	if total == 0 {
+		t.Error("no seedStates assigned to any phase")
+	}
+}
+
+func TestPBSEFindsDeepBugs(t *testing.T) {
+	res := runPBSE(t, "readelf", 800_000, Options{})
+	if len(res.Bugs) == 0 {
+		t.Fatal("pbSE found no bugs in minielf")
+	}
+	foundWithWitness := 0
+	tgt, _ := targets.ByDriver("readelf")
+	prog, _ := tgt.Build()
+	for _, b := range res.Bugs {
+		if b.Input == nil {
+			continue
+		}
+		r := interp.New(prog, b.Input, interp.Options{MaxSteps: 10_000_000}).Run()
+		if r.Reason == interp.StopFault {
+			foundWithWitness++
+		} else {
+			t.Errorf("witness for %v does not reproduce (got %v)", b, r.Reason)
+		}
+	}
+	if foundWithWitness == 0 {
+		t.Error("no bug had a reproducing witness")
+	}
+	// bugs must be attributed to a phase
+	for _, b := range res.Bugs {
+		if b.Phase < 0 {
+			t.Errorf("bug %v has no phase attribution", b)
+		}
+	}
+}
+
+// TestPBSEBeatsKLEEDefault is the headline claim (Table I/II shape): at
+// the same virtual-time budget, pbSE covers more basic blocks than
+// KLEE's default searcher started from scratch.
+func TestPBSEBeatsKLEEDefault(t *testing.T) {
+	const budget = 500_000
+	tgt, err := targets.ByDriver("readelf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := tgt.GenSeed(rand.New(rand.NewSource(42)), 576)
+
+	// pbSE
+	progA, _ := tgt.Build()
+	pres, err := Run(progA, seed, Options{Budget: budget}, symex.Options{InputSize: len(seed)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// KLEE default (random-path + covnew interleaved), symbolic file of
+	// the same size
+	progB, _ := tgt.Build()
+	ex := symex.NewExecutor(progB, symex.Options{InputSize: len(seed)})
+	rng := rand.New(rand.NewSource(1))
+	s, _ := symex.NewSearcher(symex.SearchDefault, ex, rng)
+	s.Add(ex.NewEntryState())
+	(&symex.Runner{Ex: ex, Search: s}).Run(budget)
+
+	t.Logf("pbSE covered %d, KLEE default covered %d", pres.Covered, ex.NumCovered())
+	if pres.Covered <= ex.NumCovered() {
+		t.Errorf("pbSE (%d) did not beat KLEE default (%d)", pres.Covered, ex.NumCovered())
+	}
+}
+
+func TestPBSEDeterminism(t *testing.T) {
+	r1 := runPBSE(t, "pngtest", testBudget, Options{})
+	r2 := runPBSE(t, "pngtest", testBudget, Options{})
+	if r1.Covered != r2.Covered || len(r1.Bugs) != len(r2.Bugs) {
+		t.Errorf("nondeterministic: covered %d/%d bugs %d/%d",
+			r1.Covered, r2.Covered, len(r1.Bugs), len(r2.Bugs))
+	}
+}
+
+func TestPBSESequentialAblation(t *testing.T) {
+	seq := runPBSE(t, "readelf", testBudget, Options{Sequential: true})
+	if seq.Covered == 0 {
+		t.Fatal("sequential scheduling produced no coverage")
+	}
+}
+
+func TestPBSEDedupAblation(t *testing.T) {
+	with := runPBSE(t, "readelf", testBudget, Options{})
+	without := runPBSE(t, "readelf", testBudget, Options{DisableDedup: true})
+	// dedup strictly reduces the seedState pool
+	sum := func(r *Result) int {
+		n := 0
+		for _, ps := range r.PhaseStats {
+			n += ps.SeedStates
+		}
+		return n
+	}
+	if sum(with) >= sum(without) {
+		t.Errorf("dedup did not reduce seedStates: %d vs %d", sum(with), sum(without))
+	}
+}
+
+func TestPBSEAllTargets(t *testing.T) {
+	for _, driver := range []string{"readelf", "pngtest", "gif2tiff", "tiff2rgba", "dwarfdump"} {
+		t.Run(driver, func(t *testing.T) {
+			res := runPBSE(t, driver, testBudget, Options{})
+			if res.Covered == 0 {
+				t.Error("no coverage")
+			}
+			if len(res.Division.Phases) == 0 {
+				t.Error("no phases")
+			}
+		})
+	}
+}
+
+func TestPBSERejectsZeroBudget(t *testing.T) {
+	tgt, _ := targets.ByDriver("readelf")
+	prog, _ := tgt.Build()
+	if _, err := Run(prog, []byte{1}, Options{}, symex.Options{InputSize: 1}); err == nil {
+		t.Error("expected error for zero budget")
+	}
+}

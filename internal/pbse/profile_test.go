@@ -1,0 +1,28 @@
+package pbse
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbse/internal/symex"
+	"pbse/internal/targets"
+)
+
+// TestProfileSmallRun exists for performance work: a small budget run
+// that prints solver statistics.
+func TestProfileSmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling helper")
+	}
+	tgt, _ := targets.ByDriver("readelf")
+	prog, _ := tgt.Build()
+	seed := tgt.GenSeed(rand.New(rand.NewSource(42)), 576)
+	res, err := Run(prog, seed, Options{Budget: 100_000}, symex.Options{InputSize: len(seed)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Executor.Solver.Stats()
+	t.Logf("covered=%d bugs=%d clock=%d", res.Covered, len(res.Bugs), res.Executor.Clock())
+	t.Logf("solver: queries=%d cacheHits=%d candidates=%d intervals=%d satRuns=%d conflicts=%d",
+		st.Queries, st.CacheHits, st.CandidateSat, st.IntervalFast, st.SATRuns, st.Conflicts)
+}

@@ -1,0 +1,124 @@
+// Package phase implements pbSE's phase analysis (§III-B1): normalising
+// basic block vectors, augmenting them with code coverage, clustering them
+// with k-means, selecting k by trap-phase count, and identifying trap
+// phases as long runs of consecutive same-cluster BBVs.
+package phase
+
+import "math/rand"
+
+// KMeans clusters points into k groups and returns the assignment
+// (point index -> cluster id in [0,k)). Initialisation is k-means++ with
+// deterministic randomness from rng. Empty input returns nil.
+func KMeans(points [][]float64, k int, rng *rand.Rand, maxIter int) []int {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if k <= 1 {
+		return make([]int, n)
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	dim := len(points[0])
+
+	centroids := initPlusPlus(points, k, rng)
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, dist2(p, centroids[0])
+			for c := 1; c < k; c++ {
+				if d := dist2(p, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// recompute centroids
+		counts := make([]int, k)
+		for c := range centroids {
+			for d := range centroids[c] {
+				centroids[c][d] = 0
+			}
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				centroids[c][d] += p[d]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// re-seed an empty cluster at a random point
+				copy(centroids[c], points[rng.Intn(n)])
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] /= float64(counts[c])
+			}
+		}
+	}
+	return assign
+}
+
+// initPlusPlus picks k initial centroids with the k-means++ strategy.
+func initPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	dim := len(points[0])
+	centroids := make([][]float64, 0, k)
+	first := make([]float64, dim)
+	copy(first, points[rng.Intn(n)])
+	centroids = append(centroids, first)
+
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := dist2(p, centroids[0])
+			for _, c := range centroids[1:] {
+				if d := dist2(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var idx int
+		if total <= 0 {
+			idx = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			for i := range d2 {
+				r -= d2[i]
+				if r <= 0 {
+					idx = i
+					break
+				}
+			}
+		}
+		c := make([]float64, dim)
+		copy(c, points[idx])
+		centroids = append(centroids, c)
+	}
+	return centroids
+}
+
+func dist2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

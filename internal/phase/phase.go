@@ -1,0 +1,224 @@
+package phase
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"pbse/internal/concolic"
+)
+
+// Options configure phase division.
+type Options struct {
+	// KMin/KMax bound the k-means cluster-count search (paper: 1..20).
+	KMin, KMax int
+	// TrapFraction is the minimum run length of consecutive same-phase
+	// BBVs identifying a trap phase, as a fraction of the total number of
+	// BBVs (paper: 0.05).
+	TrapFraction float64
+	// IncludeCoverage appends the running code-coverage fraction to each
+	// BBV before clustering (the paper's key addition, Fig 4). Disabling
+	// it is the Fig 4(a) ablation.
+	IncludeCoverage bool
+	// CoverageWeight scales the coverage element relative to the
+	// normalised block proportions. Default 1.
+	CoverageWeight float64
+	// Seed drives the deterministic k-means initialisation.
+	Seed int64
+	// MaxIter bounds k-means iterations. Default 50.
+	MaxIter int
+}
+
+// DefaultOptions returns the paper's parameters.
+func DefaultOptions() Options {
+	return Options{KMin: 1, KMax: 20, TrapFraction: 0.05, IncludeCoverage: true, CoverageWeight: 1, Seed: 1}
+}
+
+// Phase is one cluster of BBVs: a program phase.
+type Phase struct {
+	ID         int
+	BBVs       []int // member BBV indices, ascending
+	FirstTime  int64 // gather time of the earliest member (ordering key)
+	Trap       bool  // contains a long run of consecutive BBVs
+	LongestRun int
+}
+
+// Division is the result of phase analysis for one concolic run.
+type Division struct {
+	K       int
+	Assign  []int   // BBV index -> phase position in Phases
+	Phases  []Phase // ordered by FirstTime
+	NumTrap int
+}
+
+// TrapPhases returns the trap phases in order.
+func (d *Division) TrapPhases() []Phase {
+	var out []Phase
+	for _, p := range d.Phases {
+		if p.Trap {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Divide clusters the BBVs into phases per §III-B1: normalise, append the
+// coverage element, run k-means for k in [KMin, KMax], keep the k that
+// identifies the most trap phases (ties: smallest k).
+func Divide(bbvs []concolic.BBV, opts Options) *Division {
+	if opts.KMax == 0 {
+		opts = mergeDefaults(opts)
+	}
+	points := Vectorise(bbvs, opts.IncludeCoverage, opts.CoverageWeight)
+	n := len(points)
+	if n == 0 {
+		return &Division{}
+	}
+	minRun := trapRunLength(n, opts.TrapFraction)
+
+	var best *Division
+	for k := opts.KMin; k <= opts.KMax && k <= n; k++ {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(k)*7919))
+		assign := KMeans(points, k, rng, opts.MaxIter)
+		div := assemble(bbvs, assign, k, minRun)
+		if best == nil || div.NumTrap > best.NumTrap {
+			best = div
+		}
+	}
+	return best
+}
+
+func mergeDefaults(opts Options) Options {
+	def := DefaultOptions()
+	if opts.KMin == 0 {
+		opts.KMin = def.KMin
+	}
+	if opts.KMax == 0 {
+		opts.KMax = def.KMax
+	}
+	if opts.TrapFraction == 0 {
+		opts.TrapFraction = def.TrapFraction
+	}
+	if opts.CoverageWeight == 0 {
+		opts.CoverageWeight = def.CoverageWeight
+	}
+	return opts
+}
+
+// trapRunLength converts the trap fraction into a concrete run length
+// (at least 2 BBVs).
+func trapRunLength(numBBVs int, frac float64) int {
+	if frac <= 0 {
+		frac = 0.05
+	}
+	n := int(math.Ceil(frac * float64(numBBVs)))
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// Vectorise converts BBVs into normalised dense vectors, optionally
+// appending the weighted coverage element.
+func Vectorise(bbvs []concolic.BBV, includeCoverage bool, coverageWeight float64) [][]float64 {
+	// collect the union of block ids
+	idSet := make(map[int]int)
+	for _, b := range bbvs {
+		for id := range b.Counts {
+			if _, ok := idSet[id]; !ok {
+				idSet[id] = len(idSet)
+			}
+		}
+	}
+	dim := len(idSet)
+	extra := 0
+	if includeCoverage {
+		extra = 1
+	}
+	points := make([][]float64, len(bbvs))
+	for i, b := range bbvs {
+		v := make([]float64, dim+extra)
+		total := 0
+		for _, c := range b.Counts {
+			total += c
+		}
+		if total > 0 {
+			for id, c := range b.Counts {
+				v[idSet[id]] = float64(c) / float64(total)
+			}
+		}
+		if includeCoverage {
+			v[dim] = b.Coverage * coverageWeight
+		}
+		points[i] = v
+	}
+	return points
+}
+
+// assemble groups BBVs by cluster, computes trap flags and phase order.
+func assemble(bbvs []concolic.BBV, assign []int, k int, minRun int) *Division {
+	members := make([][]int, k)
+	for i, c := range assign {
+		members[c] = append(members[c], i)
+	}
+	// longest run of consecutive same-cluster BBVs per cluster
+	longest := make([]int, k)
+	run := 0
+	for i := range assign {
+		if i > 0 && assign[i] == assign[i-1] {
+			run++
+		} else {
+			run = 1
+		}
+		if run > longest[assign[i]] {
+			longest[assign[i]] = run
+		}
+	}
+
+	var phases []Phase
+	for c := 0; c < k; c++ {
+		if len(members[c]) == 0 {
+			continue
+		}
+		p := Phase{
+			BBVs:       members[c],
+			FirstTime:  bbvs[members[c][0]].Time,
+			Trap:       longest[c] >= minRun,
+			LongestRun: longest[c],
+		}
+		phases = append(phases, p)
+	}
+	// §III-B3: execution order of phases follows the time of their first
+	// BBV (earlier phases have simpler constraints).
+	sort.Slice(phases, func(i, j int) bool { return phases[i].FirstTime < phases[j].FirstTime })
+
+	div := &Division{K: k, Assign: make([]int, len(assign))}
+	numTrap := 0
+	for i := range phases {
+		phases[i].ID = i
+		if phases[i].Trap {
+			numTrap++
+		}
+		for _, b := range phases[i].BBVs {
+			div.Assign[b] = i
+		}
+	}
+	div.Phases = phases
+	div.NumTrap = numTrap
+	return div
+}
+
+// PhaseOfTime returns the phase index whose BBV interval contains the
+// given time offset (BBV i covers (prevTime, bbvs[i].Time]); -1 when out
+// of range.
+func (d *Division) PhaseOfTime(bbvs []concolic.BBV, t int64) int {
+	for i, b := range bbvs {
+		if t <= b.Time {
+			return d.Assign[i]
+		}
+	}
+	if len(bbvs) > 0 {
+		return d.Assign[len(bbvs)-1]
+	}
+	return -1
+}

@@ -1,0 +1,260 @@
+package phase
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pbse/internal/concolic"
+)
+
+func TestKMeansSeparatesWellSeparatedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var points [][]float64
+	// cluster A around (0,0), cluster B around (10,10)
+	for i := 0; i < 20; i++ {
+		points = append(points, []float64{rng.Float64(), rng.Float64()})
+	}
+	for i := 0; i < 20; i++ {
+		points = append(points, []float64{10 + rng.Float64(), 10 + rng.Float64()})
+	}
+	assign := KMeans(points, 2, rand.New(rand.NewSource(2)), 50)
+	for i := 1; i < 20; i++ {
+		if assign[i] != assign[0] {
+			t.Fatalf("cluster A split: %v", assign[:20])
+		}
+	}
+	for i := 21; i < 40; i++ {
+		if assign[i] != assign[20] {
+			t.Fatalf("cluster B split: %v", assign[20:])
+		}
+	}
+	if assign[0] == assign[20] {
+		t.Fatal("clusters A and B merged")
+	}
+}
+
+func TestKMeansProperties(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		k := int(kRaw%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		}
+		a1 := KMeans(points, k, rand.New(rand.NewSource(seed+1)), 30)
+		a2 := KMeans(points, k, rand.New(rand.NewSource(seed+1)), 30)
+		if len(a1) != n {
+			return false
+		}
+		for i := range a1 {
+			// valid ids and deterministic
+			if a1[i] < 0 || a1[i] >= k || a1[i] != a2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKMeansDegenerate(t *testing.T) {
+	if got := KMeans(nil, 3, rand.New(rand.NewSource(1)), 10); got != nil {
+		t.Errorf("nil points should return nil, got %v", got)
+	}
+	// k > n
+	points := [][]float64{{1}, {2}}
+	assign := KMeans(points, 5, rand.New(rand.NewSource(1)), 10)
+	if len(assign) != 2 {
+		t.Errorf("assign len = %d", len(assign))
+	}
+	// k == 1
+	assign = KMeans(points, 1, rand.New(rand.NewSource(1)), 10)
+	if assign[0] != 0 || assign[1] != 0 {
+		t.Errorf("k=1 should assign all to 0: %v", assign)
+	}
+}
+
+// mkBBVs builds BBVs with the given per-segment block-count maps and
+// linearly growing coverage.
+func mkBBVs(segments []map[int]int, lens []int, coverages []float64) []concolic.BBV {
+	var out []concolic.BBV
+	tm := int64(0)
+	for s, m := range segments {
+		for i := 0; i < lens[s]; i++ {
+			tm += 100
+			out = append(out, concolic.BBV{
+				Index:    len(out),
+				Time:     tm,
+				Counts:   m,
+				Coverage: coverages[s],
+			})
+		}
+	}
+	return out
+}
+
+func TestDivideTwoObviousPhases(t *testing.T) {
+	bbvs := mkBBVs(
+		[]map[int]int{{1: 8, 2: 2}, {5: 7, 6: 3}},
+		[]int{12, 12},
+		[]float64{0.2, 0.5},
+	)
+	div := Divide(bbvs, DefaultOptions())
+	if len(div.Phases) < 2 {
+		t.Fatalf("phases = %d, want >= 2", len(div.Phases))
+	}
+	// the first 12 BBVs should all be one phase, the last 12 another
+	p0 := div.Assign[0]
+	for i := 1; i < 12; i++ {
+		if div.Assign[i] != p0 {
+			t.Fatalf("segment 1 split: %v", div.Assign)
+		}
+	}
+	p1 := div.Assign[12]
+	if p1 == p0 {
+		t.Fatal("segments merged")
+	}
+	for i := 13; i < 24; i++ {
+		if div.Assign[i] != p1 {
+			t.Fatalf("segment 2 split: %v", div.Assign)
+		}
+	}
+	// both are long runs: both trap
+	if div.NumTrap != 2 {
+		t.Errorf("trap phases = %d, want 2", div.NumTrap)
+	}
+	// order follows first BBV time
+	if div.Phases[0].FirstTime >= div.Phases[1].FirstTime {
+		t.Error("phases not ordered by first time")
+	}
+}
+
+// TestCoverageElementFindsMoreTraps reproduces the Fig 4 mechanism: two
+// program stages execute the same code mix, but coverage growth differs;
+// only the coverage-augmented clustering separates them.
+func TestCoverageElementFindsMoreTraps(t *testing.T) {
+	bbvs := mkBBVs(
+		[]map[int]int{{1: 5, 2: 5}, {1: 5, 2: 5}},
+		[]int{15, 15},
+		[]float64{0.1, 0.9},
+	)
+	with := Divide(bbvs, DefaultOptions())
+	woOpts := DefaultOptions()
+	woOpts.IncludeCoverage = false
+	without := Divide(bbvs, woOpts)
+	if with.NumTrap <= without.NumTrap {
+		t.Errorf("coverage-augmented traps = %d, plain = %d; want more with coverage",
+			with.NumTrap, without.NumTrap)
+	}
+	if with.NumTrap != 2 {
+		t.Errorf("coverage-augmented traps = %d, want 2", with.NumTrap)
+	}
+}
+
+func TestTrapRunLength(t *testing.T) {
+	tests := []struct {
+		n    int
+		frac float64
+		want int
+	}{
+		{100, 0.05, 5},
+		{10, 0.05, 2}, // ceil(0.5) = 1, floor is 2
+		{200, 0.05, 10},
+		{40, 0.1, 4},
+	}
+	for _, tt := range tests {
+		if got := trapRunLength(tt.n, tt.frac); got != tt.want {
+			t.Errorf("trapRunLength(%d, %f) = %d, want %d", tt.n, tt.frac, got, tt.want)
+		}
+	}
+}
+
+func TestDispersedClusterIsNotTrap(t *testing.T) {
+	// alternate two block mixes every BBV: clusters exist, but no long
+	// consecutive run, so neither is a trap phase
+	var bbvs []concolic.BBV
+	a := map[int]int{1: 10}
+	b := map[int]int{9: 10}
+	for i := 0; i < 40; i++ {
+		m := a
+		if i%2 == 1 {
+			m = b
+		}
+		bbvs = append(bbvs, concolic.BBV{Index: i, Time: int64(i+1) * 100, Counts: m, Coverage: 0.5})
+	}
+	// force k=2: the two clusters alternate every BBV, so no long run
+	// exists and neither cluster is a trap phase. (Unrestricted k would
+	// pick k=1, whose single all-covering cluster is trivially a trap —
+	// consistent with the paper's max-trap-count selection rule.)
+	opts := DefaultOptions()
+	opts.KMin, opts.KMax = 2, 2
+	div := Divide(bbvs, opts)
+	if div.NumTrap != 0 {
+		t.Errorf("alternating BBVs at k=2 produced %d trap phases, want 0 (runs: %v)",
+			div.NumTrap, div.Phases)
+	}
+}
+
+func TestPhaseOfTime(t *testing.T) {
+	bbvs := mkBBVs(
+		[]map[int]int{{1: 8}, {5: 7}},
+		[]int{10, 10},
+		[]float64{0.2, 0.5},
+	)
+	div := Divide(bbvs, DefaultOptions())
+	early := div.PhaseOfTime(bbvs, 50)    // within the first BBV interval
+	late := div.PhaseOfTime(bbvs, 1950)   // within the last
+	beyond := div.PhaseOfTime(bbvs, 9999) // past the end clamps to last
+	if early == late {
+		t.Errorf("early and late times map to the same phase")
+	}
+	if beyond != late {
+		t.Errorf("beyond-end time should clamp to last phase")
+	}
+}
+
+func TestDivideEmpty(t *testing.T) {
+	div := Divide(nil, DefaultOptions())
+	if len(div.Phases) != 0 || div.NumTrap != 0 {
+		t.Errorf("empty input produced %+v", div)
+	}
+}
+
+func TestVectoriseNormalises(t *testing.T) {
+	bbvs := []concolic.BBV{
+		{Counts: map[int]int{1: 30, 2: 10}, Coverage: 0.5},
+	}
+	pts := Vectorise(bbvs, true, 2.0)
+	if len(pts) != 1 || len(pts[0]) != 3 {
+		t.Fatalf("bad shape: %v", pts)
+	}
+	sum := pts[0][0] + pts[0][1]
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("proportions sum = %f, want 1", sum)
+	}
+	if pts[0][2] != 1.0 { // 0.5 * weight 2
+		t.Errorf("coverage element = %f, want 1.0", pts[0][2])
+	}
+}
+
+func TestDivideDeterminism(t *testing.T) {
+	bbvs := mkBBVs(
+		[]map[int]int{{1: 8, 2: 2}, {5: 7, 6: 3}, {8: 4, 9: 6}},
+		[]int{10, 14, 8},
+		[]float64{0.2, 0.5, 0.8},
+	)
+	d1 := Divide(bbvs, DefaultOptions())
+	d2 := Divide(bbvs, DefaultOptions())
+	if d1.K != d2.K || d1.NumTrap != d2.NumTrap {
+		t.Fatalf("nondeterministic division: k=%d/%d traps=%d/%d", d1.K, d2.K, d1.NumTrap, d2.NumTrap)
+	}
+	for i := range d1.Assign {
+		if d1.Assign[i] != d2.Assign[i] {
+			t.Fatalf("assign differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package solver
+
+import "pbse/internal/expr"
+
+// interval is an unsigned value range [lo, hi] for a node of some width.
+// full() intervals carry no information.
+type interval struct {
+	lo, hi uint64
+}
+
+func fullIval(w uint) interval { return interval{lo: 0, hi: maskW(w)} }
+
+func maskW(w uint) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << w) - 1
+}
+
+func (iv interval) isFull(w uint) bool { return iv.lo == 0 && iv.hi == maskW(w) }
+
+func (iv interval) isConst() bool { return iv.lo == iv.hi }
+
+// intervalCheck returns Unsat when unsigned interval propagation proves
+// some constraint cannot be 1; otherwise Unknown. This is a sound but
+// incomplete fast path — it never returns Sat. Before propagating, it
+// seeds the per-node memo with ranges harvested from the constraint set's
+// own bound constraints (C < X, X <= C, and their negations), so a query
+// like 5 < n is refuted immediately when a sibling constraint pins
+// n <= 3 — the common loop-exit pattern.
+func intervalCheck(constraints []*expr.Expr) Result {
+	memo := make(map[*expr.Expr]interval, 64)
+	if contradictory := seedBounds(constraints, memo); contradictory {
+		return Unsat
+	}
+	for _, c := range constraints {
+		iv := ivalOf(c, memo)
+		if iv.lo == 0 && iv.hi == 0 {
+			return Unsat
+		}
+	}
+	return Unknown
+}
+
+// seedBounds narrows memo entries for terms constrained by simple
+// unsigned bounds in the set, reporting true when two bounds contradict
+// outright (the set is unsat). Intersecting ranges from multiple bound
+// constraints over the same term is sound: the memo then reflects the
+// conjunction.
+func seedBounds(constraints []*expr.Expr, memo map[*expr.Expr]interval) bool {
+	structural := make(map[*expr.Expr]interval, 16)
+	for _, c := range constraints {
+		neg := false
+		if c.Kind() == expr.Xor && c.Kid(0).IsConst() && c.Kid(0).Value() == 1 && c.Kid(1).IsBool() {
+			neg = true
+			c = c.Kid(1)
+		}
+		if c.Kind() != expr.Ult && c.Kind() != expr.Ule {
+			continue
+		}
+		a, b := c.Kid(0), c.Kid(1)
+		strict := c.Kind() == expr.Ult
+		var term *expr.Expr
+		var lo, hi uint64
+		switch {
+		case a.IsConst() && !b.IsConst():
+			term = b
+			lo, hi = 0, maskW(term.Width())
+			v := a.Value()
+			if !neg { // C < X or C <= X
+				if strict {
+					if v == maskW(term.Width()) {
+						continue
+					}
+					v++
+				}
+				lo = v
+			} else { // X <= C or X < C
+				if !strict {
+					if v == 0 {
+						continue
+					}
+					v--
+				}
+				hi = v
+			}
+		case !a.IsConst() && b.IsConst():
+			term = a
+			lo, hi = 0, maskW(term.Width())
+			v := b.Value()
+			if !neg { // X < C or X <= C
+				if strict {
+					if v == 0 {
+						continue
+					}
+					v--
+				}
+				hi = v
+			} else { // C <= X or C < X
+				if !strict {
+					if v == maskW(term.Width()) {
+						continue
+					}
+					v++
+				}
+				lo = v
+			}
+		default:
+			continue
+		}
+		cur, ok := memo[term]
+		if !ok {
+			// start from the term's structural range (e.g. zext of a byte
+			// is at most 255), computed with an unseeded memo
+			cur = ivalOf(term, structural)
+		}
+		if lo > cur.lo {
+			cur.lo = lo
+		}
+		if hi < cur.hi {
+			cur.hi = hi
+		}
+		if cur.lo > cur.hi {
+			return true // contradictory bounds: the set is unsat
+		}
+		memo[term] = cur
+	}
+	return false
+}
+
+// ivalOf computes a conservative unsigned interval for e.
+func ivalOf(e *expr.Expr, memo map[*expr.Expr]interval) interval {
+	if iv, ok := memo[e]; ok {
+		return iv
+	}
+	iv := ival1(e, memo)
+	memo[e] = iv
+	return iv
+}
+
+func ival1(e *expr.Expr, memo map[*expr.Expr]interval) interval {
+	w := e.Width()
+	switch e.Kind() {
+	case expr.Const:
+		return interval{lo: e.Value(), hi: e.Value()}
+	case expr.Read:
+		return interval{lo: 0, hi: 0xff}
+	case expr.Add:
+		a, b := ivalOf(e.Kid(0), memo), ivalOf(e.Kid(1), memo)
+		lo := a.lo + b.lo
+		hi := a.hi + b.hi
+		if hi < a.hi || hi > maskW(w) { // wraps
+			return fullIval(w)
+		}
+		return interval{lo: lo, hi: hi}
+	case expr.Sub:
+		a, b := ivalOf(e.Kid(0), memo), ivalOf(e.Kid(1), memo)
+		if a.lo >= b.hi { // no borrow possible
+			return interval{lo: a.lo - b.hi, hi: a.hi - b.lo}
+		}
+		return fullIval(w)
+	case expr.Mul:
+		a, b := ivalOf(e.Kid(0), memo), ivalOf(e.Kid(1), memo)
+		if a.hi != 0 && b.hi != 0 {
+			hi := a.hi * b.hi
+			if hi/a.hi != b.hi || hi > maskW(w) { // overflow
+				return fullIval(w)
+			}
+			return interval{lo: a.lo * b.lo, hi: hi}
+		}
+		return interval{lo: 0, hi: 0}
+	case expr.UDiv:
+		a, b := ivalOf(e.Kid(0), memo), ivalOf(e.Kid(1), memo)
+		if b.lo > 0 {
+			return interval{lo: a.lo / b.hi, hi: a.hi / b.lo}
+		}
+		return fullIval(w) // divisor may be zero -> all-ones convention
+	case expr.URem:
+		b := ivalOf(e.Kid(1), memo)
+		a := ivalOf(e.Kid(0), memo)
+		if b.lo > 0 {
+			hi := b.hi - 1
+			if a.hi < hi {
+				hi = a.hi
+			}
+			return interval{lo: 0, hi: hi}
+		}
+		return interval{lo: 0, hi: a.hi} // x%0 = x
+	case expr.And:
+		a, b := ivalOf(e.Kid(0), memo), ivalOf(e.Kid(1), memo)
+		hi := a.hi
+		if b.hi < hi {
+			hi = b.hi
+		}
+		return interval{lo: 0, hi: hi}
+	case expr.Or:
+		a, b := ivalOf(e.Kid(0), memo), ivalOf(e.Kid(1), memo)
+		lo := a.lo
+		if b.lo > lo {
+			lo = b.lo
+		}
+		// upper bound: next power of two above max(hi) minus 1
+		hi := ceilPow2Mask(a.hi | b.hi)
+		if hi > maskW(w) {
+			hi = maskW(w)
+		}
+		return interval{lo: lo, hi: hi}
+	case expr.Xor:
+		a, b := ivalOf(e.Kid(0), memo), ivalOf(e.Kid(1), memo)
+		hi := ceilPow2Mask(a.hi | b.hi)
+		if hi > maskW(w) {
+			hi = maskW(w)
+		}
+		return interval{lo: 0, hi: hi}
+	case expr.Not:
+		a := ivalOf(e.Kid(0), memo)
+		return interval{lo: ^a.hi & maskW(w), hi: ^a.lo & maskW(w)}
+	case expr.Shl:
+		a, b := ivalOf(e.Kid(0), memo), ivalOf(e.Kid(1), memo)
+		if b.isConst() && b.lo < uint64(w) {
+			sh := b.lo
+			if a.hi<<sh>>sh == a.hi && a.hi<<sh <= maskW(w) {
+				return interval{lo: a.lo << sh, hi: a.hi << sh}
+			}
+		}
+		return fullIval(w)
+	case expr.LShr:
+		a, b := ivalOf(e.Kid(0), memo), ivalOf(e.Kid(1), memo)
+		if b.hi >= uint64(w) {
+			return interval{lo: 0, hi: a.hi >> b.lo}
+		}
+		return interval{lo: a.lo >> b.hi, hi: a.hi >> b.lo}
+	case expr.AShr:
+		return fullIval(w) // sign bit makes unsigned reasoning weak
+	case expr.Eq:
+		a, b := ivalOf(e.Kid(0), memo), ivalOf(e.Kid(1), memo)
+		if a.hi < b.lo || b.hi < a.lo {
+			return interval{lo: 0, hi: 0} // disjoint: never equal
+		}
+		if a.isConst() && b.isConst() && a.lo == b.lo {
+			return interval{lo: 1, hi: 1}
+		}
+		return interval{lo: 0, hi: 1}
+	case expr.Ult:
+		a, b := ivalOf(e.Kid(0), memo), ivalOf(e.Kid(1), memo)
+		if a.hi < b.lo {
+			return interval{lo: 1, hi: 1}
+		}
+		if a.lo >= b.hi {
+			return interval{lo: 0, hi: 0}
+		}
+		return interval{lo: 0, hi: 1}
+	case expr.Ule:
+		a, b := ivalOf(e.Kid(0), memo), ivalOf(e.Kid(1), memo)
+		if a.hi <= b.lo {
+			return interval{lo: 1, hi: 1}
+		}
+		if a.lo > b.hi {
+			return interval{lo: 0, hi: 0}
+		}
+		return interval{lo: 0, hi: 1}
+	case expr.Slt, expr.Sle:
+		kw := e.Kid(0).Width()
+		a, b := ivalOf(e.Kid(0), memo), ivalOf(e.Kid(1), memo)
+		// only reason when both sides stay within the non-negative range
+		half := maskW(kw) >> 1
+		if a.hi <= half && b.hi <= half {
+			if e.Kind() == expr.Slt {
+				if a.hi < b.lo {
+					return interval{lo: 1, hi: 1}
+				}
+				if a.lo >= b.hi {
+					return interval{lo: 0, hi: 0}
+				}
+			} else {
+				if a.hi <= b.lo {
+					return interval{lo: 1, hi: 1}
+				}
+				if a.lo > b.hi {
+					return interval{lo: 0, hi: 0}
+				}
+			}
+		}
+		return interval{lo: 0, hi: 1}
+	case expr.ZExt:
+		return ivalOf(e.Kid(0), memo)
+	case expr.SExt:
+		a := ivalOf(e.Kid(0), memo)
+		kw := e.Kid(0).Width()
+		if a.hi <= maskW(kw)>>1 { // never negative
+			return a
+		}
+		return fullIval(w)
+	case expr.Trunc:
+		a := ivalOf(e.Kid(0), memo)
+		if a.hi <= maskW(w) {
+			return a
+		}
+		return fullIval(w)
+	case expr.Concat:
+		hi := ivalOf(e.Kid(0), memo)
+		lo := ivalOf(e.Kid(1), memo)
+		lw := e.Kid(1).Width()
+		return interval{lo: hi.lo<<lw | lo.lo, hi: hi.hi<<lw | lo.hi}
+	case expr.ITE:
+		c := ivalOf(e.Kid(0), memo)
+		a, b := ivalOf(e.Kid(1), memo), ivalOf(e.Kid(2), memo)
+		if c.isConst() {
+			if c.lo == 1 {
+				return a
+			}
+			return b
+		}
+		lo := a.lo
+		if b.lo < lo {
+			lo = b.lo
+		}
+		hi := a.hi
+		if b.hi > hi {
+			hi = b.hi
+		}
+		return interval{lo: lo, hi: hi}
+	default:
+		return fullIval(w)
+	}
+}
+
+// ceilPow2Mask returns the smallest 2^k-1 that is >= v.
+func ceilPow2Mask(v uint64) uint64 {
+	m := uint64(0)
+	for m < v {
+		m = m<<1 | 1
+	}
+	return m
+}
+
+// UnsignedRange returns a conservative unsigned [lo, hi] range for e,
+// usable by the executor to bound symbolic memory offsets.
+func UnsignedRange(e *expr.Expr) (uint64, uint64) {
+	iv := ivalOf(e, make(map[*expr.Expr]interval, 16))
+	return iv.lo, iv.hi
+}

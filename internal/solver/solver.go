@@ -1,0 +1,780 @@
+package solver
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"pbse/internal/expr"
+)
+
+// Result is the outcome of a satisfiability check.
+type Result int
+
+// Check outcomes.
+const (
+	Unknown Result = iota
+	Sat
+	Unsat
+)
+
+// String returns "sat", "unsat" or "unknown".
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats counts solver activity; useful in benchmarks and ablations.
+type Stats struct {
+	Queries      int64
+	CacheHits    int64
+	CandidateSat int64 // decided by trying a candidate model
+	IntervalFast int64 // decided by interval reasoning
+	SATRuns      int64 // fell through to bit-blasting + CDCL
+	Conflicts    int64
+}
+
+// Options configure the solver; the zero value enables every fast path.
+type Options struct {
+	DisableCache      bool
+	DisableCandidates bool
+	DisableIntervals  bool
+	DisableSlicing    bool
+	// Incremental reuses one persistent SAT instance with assumption
+	// literals across queries. Off by default: per-query instances keep
+	// model completion proportional to the query, which measures faster
+	// on parser workloads.
+	Incremental  bool
+	MaxConflicts int64 // 0 means a generous default
+}
+
+// Solver decides constraint sets built in one expr.Context. It is not safe
+// for concurrent use.
+type Solver struct {
+	opts  Options
+	stats Stats
+
+	cache map[string]cacheEntry
+	// recent satisfying assignments, tried as candidates for new queries
+	recent []candidate
+	// standing holds persistent candidate assignments (e.g. the pbSE
+	// seed input), tried after the per-query hint
+	standing []candidate
+	// zeroFF caches the all-zero and all-0xff candidates per array set
+	// signature (cheap: there is usually exactly one input array)
+	zero, ff *candidate
+	// readsMemo caches the symbolic bytes referenced by each expression
+	readsMemo map[*expr.Expr][]expr.SymByte
+
+	// persistent incremental SAT instance: every distinct constraint is
+	// bit-blasted once; queries are solved under assumptions (the
+	// constraints' output literals)
+	psat   *sat
+	pblast *blaster
+}
+
+// candidate pairs an assignment with a persistent memoising evaluator:
+// expressions are immutable and candidate assignments never change, so
+// evaluation results stay valid across queries.
+type candidate struct {
+	asn expr.Assignment
+	ev  *expr.Evaluator
+}
+
+func newCandidate(asn expr.Assignment) candidate {
+	return candidate{asn: asn, ev: expr.NewEvaluator(asn)}
+}
+
+type cacheEntry struct {
+	result Result
+	model  expr.Assignment
+}
+
+// New returns a solver with the given options.
+func New(opts Options) *Solver {
+	if opts.MaxConflicts == 0 {
+		opts.MaxConflicts = 3000
+	}
+	return &Solver{
+		opts:      opts,
+		cache:     make(map[string]cacheEntry, 256),
+		readsMemo: make(map[*expr.Expr][]expr.SymByte, 1024),
+	}
+}
+
+// AddCandidate registers a persistent candidate assignment tried on every
+// query (e.g. the concolic seed, which satisfies every prefix of the seed
+// path's constraints). The assignment must not be mutated afterwards.
+func (s *Solver) AddCandidate(asn expr.Assignment) {
+	if asn != nil {
+		s.standing = append(s.standing, newCandidate(asn))
+	}
+}
+
+// readsOf returns (and caches) the symbolic bytes referenced by e.
+func (s *Solver) readsOf(e *expr.Expr) []expr.SymByte {
+	if r, ok := s.readsMemo[e]; ok {
+		return r
+	}
+	r := expr.Reads(e)
+	s.readsMemo[e] = r
+	return r
+}
+
+// Feasible reports whether pc ∧ cond is satisfiable. It exploits the
+// executor's invariant that pc alone is satisfiable: only the constraints
+// sharing symbolic bytes (transitively) with cond need to be rechecked,
+// which keeps branch-feasibility queries small on deep paths.
+func (s *Solver) Feasible(pc []*expr.Expr, cond *expr.Expr, hint expr.Assignment) bool {
+	if cond.IsTrue() {
+		return true
+	}
+	if cond.IsFalse() {
+		return false
+	}
+	slice := s.relevantSlice(pc, cond)
+	slice = append(slice, cond)
+	r, _ := s.Check(slice, hint)
+	return r == Sat
+}
+
+// relevantSlice returns the constraints of pc transitively connected to
+// cond through shared symbolic bytes.
+func (s *Solver) relevantSlice(pc []*expr.Expr, cond *expr.Expr) []*expr.Expr {
+	want := make(map[expr.SymByte]bool)
+	for _, sb := range s.readsOf(cond) {
+		want[sb] = true
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	picked := make([]bool, len(pc))
+	out := make([]*expr.Expr, 0, len(pc)/4)
+	for changed := true; changed; {
+		changed = false
+		for i, c := range pc {
+			if picked[i] {
+				continue
+			}
+			reads := s.readsOf(c)
+			hit := false
+			for _, sb := range reads {
+				if want[sb] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			picked[i] = true
+			out = append(out, c)
+			for _, sb := range reads {
+				if !want[sb] {
+					want[sb] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConcretizeModel returns an assignment consistent with pc that gives e a
+// concrete value. Only the constraints transitively sharing symbolic
+// bytes with e are solved — sound because pc is satisfiable (the caller's
+// state is live) and the remaining groups are independent of e's bytes.
+func (s *Solver) ConcretizeModel(pc []*expr.Expr, e *expr.Expr) (expr.Assignment, bool) {
+	slice := s.relevantSlice(pc, e)
+	r, m := s.Check(slice, nil)
+	if r != Sat {
+		return nil, false
+	}
+	return m, true
+}
+
+// Stats returns a copy of the accumulated counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// Check decides whether the conjunction of constraints is satisfiable. On
+// Sat the returned assignment satisfies every constraint. hint, when
+// non-nil, is tried as the first candidate model (the concolic shadow
+// state uses this).
+func (s *Solver) Check(constraints []*expr.Expr, hint expr.Assignment) (Result, expr.Assignment) {
+	s.stats.Queries++
+
+	// trivial scan
+	live := make([]*expr.Expr, 0, len(constraints))
+	for _, c := range constraints {
+		if c.IsTrue() {
+			continue
+		}
+		if c.IsFalse() {
+			return Unsat, nil
+		}
+		live = append(live, c)
+	}
+	if len(live) == 0 {
+		return Sat, expr.Assignment{}
+	}
+	live = reduceBounds(live)
+
+	key := ""
+	if !s.opts.DisableCache {
+		key = cacheKey(live)
+		if e, ok := s.cache[key]; ok {
+			s.stats.CacheHits++
+			return e.result, e.model
+		}
+	}
+
+	if !s.opts.DisableCandidates {
+		if m, ok := s.tryCandidates(live, hint); ok {
+			s.stats.CandidateSat++
+			s.remember(key, Sat, m)
+			return Sat, m
+		}
+	}
+
+	if !s.opts.DisableIntervals {
+		if r := intervalCheck(live); r == Unsat {
+			s.stats.IntervalFast++
+			s.remember(key, Unsat, nil)
+			return Unsat, nil
+		}
+	}
+
+	var res Result
+	var model expr.Assignment
+	if s.opts.DisableSlicing {
+		res, model = s.satCheck(live)
+	} else {
+		res, model = s.checkSliced(live)
+	}
+	s.remember(key, res, model)
+	if res == Sat {
+		s.keepRecent(model)
+	}
+	return res, model
+}
+
+// MayBeTrue reports whether cond can hold under the path constraints; on
+// true the model is a witness.
+func (s *Solver) MayBeTrue(pc []*expr.Expr, cond *expr.Expr, hint expr.Assignment) (bool, expr.Assignment) {
+	cs := make([]*expr.Expr, 0, len(pc)+1)
+	cs = append(cs, pc...)
+	cs = append(cs, cond)
+	r, m := s.Check(cs, hint)
+	return r == Sat, m
+}
+
+// reduceBounds collapses redundant unsigned range constraints over the
+// same term: loop paths accumulate chains like n>0, n>1, …, n>k of which
+// only the strongest matters. The reduction is an equivalence (the kept
+// bound implies the dropped ones), so models stay valid. Recognised
+// shapes, as produced by the expression canonicaliser:
+//
+//	(ult C X) / (ule C X)         lower bounds
+//	(ult X C) / (ule X C)         upper bounds
+//	(xor 1 (ult C X)) etc.        negations, flipped accordingly
+func reduceBounds(live []*expr.Expr) []*expr.Expr {
+	type bound struct {
+		lo, hi       uint64 // inclusive bounds
+		hasLo, hasHi bool
+		loAt, hiAt   int // index of the strongest constraint
+	}
+	bounds := make(map[*expr.Expr]*bound)
+	drop := make([]bool, len(live))
+
+	widthMask := func(x *expr.Expr) uint64 {
+		if x.Width() >= 64 {
+			return ^uint64(0)
+		}
+		return (1 << x.Width()) - 1
+	}
+
+	// classify returns (term, lo-or-hi value, isLower, ok)
+	classify := func(c *expr.Expr) (*expr.Expr, uint64, bool, bool) {
+		neg := false
+		if c.Kind() == expr.Xor && c.Kid(0).IsConst() && c.Kid(0).Value() == 1 && c.Kid(1).IsBool() {
+			neg = true
+			c = c.Kid(1)
+		}
+		if c.Kind() != expr.Ult && c.Kind() != expr.Ule {
+			return nil, 0, false, false
+		}
+		a, b := c.Kid(0), c.Kid(1)
+		strict := c.Kind() == expr.Ult
+		switch {
+		case a.IsConst() && !b.IsConst():
+			// C < X or C <= X: lower bound (or, negated, upper bound)
+			v := a.Value()
+			if !neg {
+				if strict {
+					if v == widthMask(b) {
+						return nil, 0, false, false // C < X unsat; leave to solver
+					}
+					v++
+				}
+				return b, v, true, true
+			}
+			// !(C < X) = X <= C ; !(C <= X) = X < C = X <= C-1
+			if !strict {
+				if v == 0 {
+					return nil, 0, false, false
+				}
+				v--
+			}
+			return b, v, false, true
+		case !a.IsConst() && b.IsConst():
+			v := b.Value()
+			if !neg {
+				if strict {
+					if v == 0 {
+						return nil, 0, false, false
+					}
+					v--
+				}
+				return a, v, false, true
+			}
+			if !strict {
+				if v == widthMask(a) {
+					return nil, 0, false, false
+				}
+				v++
+			}
+			return a, v, true, true
+		}
+		return nil, 0, false, false
+	}
+
+	matched := 0
+	for i, c := range live {
+		term, v, isLower, ok := classify(c)
+		if !ok {
+			continue
+		}
+		matched++
+		b := bounds[term]
+		if b == nil {
+			b = &bound{}
+			bounds[term] = b
+		}
+		if isLower {
+			if !b.hasLo || v > b.lo {
+				if b.hasLo {
+					drop[b.loAt] = true
+				}
+				b.lo, b.loAt, b.hasLo = v, i, true
+			} else {
+				drop[i] = true
+			}
+		} else {
+			if !b.hasHi || v < b.hi {
+				if b.hasHi {
+					drop[b.hiAt] = true
+				}
+				b.hi, b.hiAt, b.hasHi = v, i, true
+			} else {
+				drop[i] = true
+			}
+		}
+	}
+	if matched <= 1 {
+		return live
+	}
+	out := live[:0]
+	for i, c := range live {
+		if !drop[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// checkSliced partitions constraints into independent groups (no shared
+// symbolic bytes) and solves each group separately, merging the models.
+func (s *Solver) checkSliced(constraints []*expr.Expr) (Result, expr.Assignment) {
+	groups := sliceIndependent(constraints)
+	if len(groups) <= 1 {
+		return s.satCheck(constraints)
+	}
+	// Merge into a fresh assignment, copying from each group's model only
+	// the bytes that group constrains: cached models can cover the whole
+	// input (candidate-sourced entries), and copying foreign bytes would
+	// clobber other groups' solutions. Models may also be shared via the
+	// cache and must never be mutated.
+	merged := expr.Assignment{}
+	for _, g := range groups {
+		r, m := s.cachedSatCheck(g)
+		if r != Sat {
+			return r, nil
+		}
+		for _, c := range g {
+			for _, sb := range s.readsOf(c) {
+				dst, ok := merged[sb.Arr]
+				if !ok {
+					dst = make([]byte, sb.Arr.Size)
+					merged[sb.Arr] = dst
+				}
+				dst[sb.Idx] = m.ByteOf(sb.Arr, sb.Idx)
+			}
+		}
+	}
+	return Sat, merged
+}
+
+// cachedSatCheck consults the query cache per independent group before
+// bit-blasting — groups repeat heavily across queries on one path.
+func (s *Solver) cachedSatCheck(constraints []*expr.Expr) (Result, expr.Assignment) {
+	key := ""
+	if !s.opts.DisableCache {
+		key = cacheKey(constraints)
+		if e, ok := s.cache[key]; ok {
+			s.stats.CacheHits++
+			return e.result, e.model
+		}
+	}
+	r, m := s.satCheck(constraints)
+	s.remember(key, r, m)
+	return r, m
+}
+
+// satCheck decides a constraint set by bit-blasting + CDCL: incrementally
+// against the persistent instance by default, or with a fresh instance
+// when DisableIncremental is set.
+func (s *Solver) satCheck(constraints []*expr.Expr) (Result, expr.Assignment) {
+	s.stats.SATRuns++
+	// Large constraint sets use the persistent incremental instance:
+	// their circuits are built once and reused across queries, which
+	// matters on deep paths where long accumulator chains (checksums)
+	// make every constraint expensive to blast. Small sets use a fresh
+	// instance, whose model completion touches only the query's own
+	// variables.
+	if s.opts.Incremental || len(constraints) >= 24 {
+		return s.satCheckIncremental(constraints)
+	}
+	st := newSAT()
+	bl := newBlaster(st)
+	for _, c := range constraints {
+		bl.assertTrue(c)
+	}
+	switch st.solveWith(nil, s.opts.MaxConflicts) {
+	case lFalse:
+		s.stats.Conflicts += st.conflicts
+		return Unsat, nil
+	case lUndef:
+		s.stats.Conflicts += st.conflicts
+		return Unknown, nil
+	}
+	s.stats.Conflicts += st.conflicts
+	return Sat, extractModel(bl)
+}
+
+// satCheckIncremental solves against the shared instance: each distinct
+// constraint is blasted once (Tseitin gates are biconditional, so an
+// unasserted constraint leaves the formula unconstrained), and the query
+// assumes the constraints' output literals.
+func (s *Solver) satCheckIncremental(constraints []*expr.Expr) (Result, expr.Assignment) {
+	if s.psat == nil {
+		s.psat = newSAT()
+		s.pblast = newBlaster(s.psat)
+	}
+	assumps := make([]Lit, len(constraints))
+	for i, c := range constraints {
+		assumps[i] = s.pblast.blast(c)[0]
+	}
+	before := s.psat.conflicts
+	verdict := s.psat.solveWith(assumps, s.opts.MaxConflicts)
+	s.stats.Conflicts += s.psat.conflicts - before
+	switch verdict {
+	case lFalse:
+		if !s.psat.ok {
+			// the shared instance became permanently unsat, which cannot
+			// happen for pure gate clauses; rebuild defensively
+			s.psat = nil
+			s.pblast = nil
+		}
+		return Unsat, nil
+	case lUndef:
+		return Unknown, nil
+	}
+	asn := extractModel(s.pblast)
+	s.psat.reset()
+	return Sat, asn
+}
+
+// extractModel reads the byte assignment out of a blaster whose SAT
+// instance is in a satisfying state.
+func extractModel(bl *blaster) expr.Assignment {
+	bytes := bl.model()
+	asn := expr.Assignment{}
+	for sb, v := range bytes {
+		bs, ok := asn[sb.Arr]
+		if !ok {
+			bs = make([]byte, sb.Arr.Size)
+			asn[sb.Arr] = bs
+		}
+		bs[sb.Idx] = v
+	}
+	return asn
+}
+
+// tryCandidates evaluates all constraints under cheap candidate
+// assignments: the caller hint, standing candidates (seed inputs), recent
+// models, all-zero, all-0xff, and forced-byte propagation. Standing,
+// recent and zero/ff candidates keep persistent memoising evaluators, so
+// repeated constraints across queries cost one map lookup.
+func (s *Solver) tryCandidates(constraints []*expr.Expr, hint expr.Assignment) (expr.Assignment, bool) {
+	sat := func(ev *expr.Evaluator) bool {
+		for _, c := range constraints {
+			if !ev.EvalBool(c) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range s.standing {
+		if sat(s.standing[i].ev) {
+			return s.standing[i].asn.Clone(), true
+		}
+	}
+	for i := range s.recent {
+		if sat(s.recent[i].ev) {
+			return s.recent[i].asn.Clone(), true
+		}
+	}
+	arrays := arraysOf(constraints)
+	s.ensureZeroFF(arrays)
+	if s.zero != nil && sat(s.zero.ev) {
+		return s.zero.asn.Clone(), true
+	}
+	if s.ff != nil && sat(s.ff.ev) {
+		return s.ff.asn.Clone(), true
+	}
+	if hint != nil {
+		ev := expr.NewEvaluator(hint)
+		if sat(ev) {
+			return hint.Clone(), true
+		}
+	}
+	if forced := forcedBytes(constraints, arrays); forced != nil {
+		ev := expr.NewEvaluator(forced)
+		if sat(ev) {
+			return forced, true
+		}
+	}
+	return nil, false
+}
+
+// ensureZeroFF lazily builds the all-zero / all-0xff candidates covering
+// the arrays seen so far (rebuilt when a new array appears).
+func (s *Solver) ensureZeroFF(arrays []*expr.Array) {
+	covered := s.zero != nil
+	if covered {
+		for _, a := range arrays {
+			if _, ok := s.zero.asn[a]; !ok {
+				covered = false
+				break
+			}
+		}
+	}
+	if covered {
+		return
+	}
+	zero := expr.Assignment{}
+	ff := expr.Assignment{}
+	if s.zero != nil {
+		for a, bs := range s.zero.asn {
+			zero[a] = bs
+			ff[a] = s.ff.asn[a]
+		}
+	}
+	for _, a := range arrays {
+		if _, ok := zero[a]; ok {
+			continue
+		}
+		zero[a] = make([]byte, a.Size)
+		f := make([]byte, a.Size)
+		for i := range f {
+			f[i] = 0xff
+		}
+		ff[a] = f
+	}
+	z := newCandidate(zero)
+	x := newCandidate(ff)
+	s.zero, s.ff = &z, &x
+}
+
+// forcedBytes derives byte values implied by simple equality constraints
+// (magic-byte checks such as in[0] == 0x7f) and returns an assignment with
+// those bytes set. Starting from forced bytes makes parser-style queries
+// succeed on the first candidate.
+func forcedBytes(constraints []*expr.Expr, arrays []*expr.Array) expr.Assignment {
+	asn := expr.Assignment{}
+	for _, a := range arrays {
+		asn[a] = make([]byte, a.Size)
+	}
+	found := false
+	for _, c := range constraints {
+		if c.Kind() != expr.Eq {
+			continue
+		}
+		k, v := c.Kid(0), c.Kid(1)
+		if !k.IsConst() {
+			k, v = v, k
+		}
+		if !k.IsConst() {
+			continue
+		}
+		if assignForced(asn, v, k.Value()) {
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+	return asn
+}
+
+// assignForced writes the constant val into the bytes read by e when e is
+// a direct (possibly extended or concatenated) read of input bytes.
+func assignForced(asn expr.Assignment, e *expr.Expr, val uint64) bool {
+	switch e.Kind() {
+	case expr.Read:
+		asn[e.Array()][e.ReadIndex()] = byte(val)
+		return true
+	case expr.ZExt, expr.SExt, expr.Trunc:
+		return assignForced(asn, e.Kid(0), val)
+	case expr.Concat:
+		hi, lo := e.Kid(0), e.Kid(1)
+		okLo := assignForced(asn, lo, val&((1<<lo.Width())-1))
+		okHi := assignForced(asn, hi, val>>lo.Width())
+		return okLo || okHi
+	default:
+		return false
+	}
+}
+
+func (s *Solver) remember(key string, r Result, m expr.Assignment) {
+	if s.opts.DisableCache || key == "" {
+		return
+	}
+	if len(s.cache) > 100000 {
+		s.cache = make(map[string]cacheEntry, 256) // crude eviction
+	}
+	s.cache[key] = cacheEntry{result: r, model: m}
+}
+
+func (s *Solver) keepRecent(m expr.Assignment) {
+	if s.opts.DisableCandidates || m == nil {
+		return
+	}
+	const keep = 8
+	s.recent = append(s.recent, newCandidate(m))
+	if len(s.recent) > keep {
+		s.recent = s.recent[len(s.recent)-keep:]
+	}
+}
+
+func cacheKey(constraints []*expr.Expr) string {
+	ids := make([]uint64, len(constraints))
+	for i, c := range constraints {
+		ids[i] = c.ID()
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	b.Grow(len(ids) * 8)
+	for _, id := range ids {
+		b.WriteString(strconv.FormatUint(id, 36))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func arraysOf(constraints []*expr.Expr) []*expr.Array {
+	seen := make(map[*expr.Expr]bool)
+	set := make(map[expr.SymByte]bool)
+	for _, c := range constraints {
+		expr.CollectReads(c, seen, set)
+	}
+	am := make(map[*expr.Array]bool)
+	for sb := range set {
+		am[sb.Arr] = true
+	}
+	out := make([]*expr.Array, 0, len(am))
+	for a := range am {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// sliceIndependent groups constraints that transitively share symbolic
+// bytes (union-find over bytes).
+func sliceIndependent(constraints []*expr.Expr) [][]*expr.Expr {
+	parent := make(map[expr.SymByte]expr.SymByte)
+	var find func(x expr.SymByte) expr.SymByte
+	find = func(x expr.SymByte) expr.SymByte {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b expr.SymByte) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	reads := make([][]expr.SymByte, len(constraints))
+	for i, c := range constraints {
+		reads[i] = expr.Reads(c)
+		for j := 1; j < len(reads[i]); j++ {
+			union(reads[i][0], reads[i][j])
+		}
+	}
+	groups := make(map[expr.SymByte][]*expr.Expr)
+	var constOnly []*expr.Expr
+	for i, c := range constraints {
+		if len(reads[i]) == 0 {
+			constOnly = append(constOnly, c)
+			continue
+		}
+		r := find(reads[i][0])
+		groups[r] = append(groups[r], c)
+	}
+	out := make([][]*expr.Expr, 0, len(groups)+1)
+	if len(constOnly) > 0 {
+		out = append(out, constOnly)
+	}
+	// deterministic order
+	keys := make([]expr.SymByte, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Arr != keys[j].Arr {
+			return keys[i].Arr.Name < keys[j].Arr.Name
+		}
+		return keys[i].Idx < keys[j].Idx
+	})
+	for _, k := range keys {
+		out = append(out, groups[k])
+	}
+	return out
+}

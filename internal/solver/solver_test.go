@@ -1,0 +1,414 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbse/internal/expr"
+)
+
+func newTestSolver() *Solver { return New(Options{}) }
+
+// noFastPaths disables everything but bit-blasting, to exercise the SAT
+// pipeline directly.
+func noFastPaths() *Solver {
+	return New(Options{DisableCache: true, DisableCandidates: true, DisableIntervals: true, DisableSlicing: true})
+}
+
+func TestTriviallySat(t *testing.T) {
+	c := expr.NewContext()
+	s := newTestSolver()
+	r, m := s.Check([]*expr.Expr{c.True()}, nil)
+	if r != Sat || m == nil {
+		t.Fatalf("true should be sat, got %v", r)
+	}
+}
+
+func TestTriviallyUnsat(t *testing.T) {
+	c := expr.NewContext()
+	s := newTestSolver()
+	r, _ := s.Check([]*expr.Expr{c.False()}, nil)
+	if r != Unsat {
+		t.Fatalf("false should be unsat, got %v", r)
+	}
+}
+
+func TestSimpleByteConstraint(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 4)
+	s := noFastPaths()
+	b0 := c.ByteAt(arr, 0)
+	r, m := s.Check([]*expr.Expr{c.EqE(b0, c.Const(0x7f, 8))}, nil)
+	if r != Sat {
+		t.Fatalf("got %v, want sat", r)
+	}
+	if got := m.ByteOf(arr, 0); got != 0x7f {
+		t.Fatalf("model byte = %#x, want 0x7f", got)
+	}
+}
+
+func TestContradiction(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 4)
+	s := noFastPaths()
+	b0 := c.ByteAt(arr, 0)
+	r, _ := s.Check([]*expr.Expr{
+		c.EqE(b0, c.Const(1, 8)),
+		c.EqE(b0, c.Const(2, 8)),
+	}, nil)
+	if r != Unsat {
+		t.Fatalf("got %v, want unsat", r)
+	}
+}
+
+func TestArithmeticGates(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 2)
+	x := c.ZExtE(c.ByteAt(arr, 0), 16)
+	y := c.ZExtE(c.ByteAt(arr, 1), 16)
+	tests := []struct {
+		name string
+		give *expr.Expr
+	}{
+		{"add", c.Add(x, y)},
+		{"sub", c.Sub(x, y)},
+		{"mul", c.Mul(x, y)},
+		{"udiv", c.UDiv(x, y)},
+		{"urem", c.URem(x, y)},
+		{"sdiv", c.SDiv(x, y)},
+		{"srem", c.SRem(x, y)},
+		{"and", c.And(x, y)},
+		{"or", c.Or(x, y)},
+		{"xor", c.Xor(x, y)},
+		{"shl", c.Shl(x, y)},
+		{"lshr", c.LShr(x, y)},
+		{"ashr", c.AShr(x, y)},
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for i := 0; i < 5; i++ {
+				bs := []byte{byte(rng.Intn(256)), byte(rng.Intn(256))}
+				want := expr.NewEvaluator(expr.Assignment{arr: bs}).Eval(tt.give)
+				s := noFastPaths()
+				// pin the inputs and require the op to equal its true value
+				cs := []*expr.Expr{
+					c.EqE(c.ByteAt(arr, 0), c.Const(uint64(bs[0]), 8)),
+					c.EqE(c.ByteAt(arr, 1), c.Const(uint64(bs[1]), 8)),
+					c.EqE(tt.give, c.Const(want, 16)),
+				}
+				if r, _ := s.Check(cs, nil); r != Sat {
+					t.Fatalf("inputs %v: op==%#x should be sat, got %v", bs, want, r)
+				}
+				// ... and to differ from it must be unsat
+				s2 := noFastPaths()
+				cs[2] = c.NeE(tt.give, c.Const(want, 16))
+				if r, _ := s2.Check(cs, nil); r != Unsat {
+					t.Fatalf("inputs %v: op!=%#x should be unsat, got %v", bs, want, r)
+				}
+			}
+		})
+	}
+}
+
+// TestBitblastAgreesWithEval is the central soundness property: for random
+// boolean expressions, a Sat verdict must come with a model that actually
+// evaluates the expression to true, and an Unsat verdict must match a
+// brute-force search over the (small) input space.
+func TestBitblastAgreesWithEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 2)
+	for i := 0; i < 120; i++ {
+		e := expr.RandBoolExpr(c, rng, arr, 3)
+		s := noFastPaths()
+		r, m := s.Check([]*expr.Expr{e}, nil)
+		switch r {
+		case Sat:
+			ev := expr.NewEvaluator(m)
+			if !ev.EvalBool(e) {
+				t.Fatalf("iter %d: model does not satisfy %v", i, e)
+			}
+		case Unsat:
+			// brute force over 2 bytes
+			for v := 0; v < 1<<16; v++ {
+				bs := []byte{byte(v), byte(v >> 8)}
+				if expr.NewEvaluator(expr.Assignment{arr: bs}).EvalBool(e) {
+					t.Fatalf("iter %d: unsat verdict but %v satisfied by %v", i, e, bs)
+				}
+			}
+		default:
+			t.Fatalf("iter %d: unexpected unknown for small formula %v", i, e)
+		}
+	}
+}
+
+// TestModelsSatisfyConstraints: whenever Check says Sat, the model must
+// satisfy every constraint in the set.
+func TestModelsSatisfyConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 4)
+	for i := 0; i < 80; i++ {
+		n := 1 + rng.Intn(4)
+		cs := make([]*expr.Expr, n)
+		for j := range cs {
+			cs[j] = expr.RandBoolExpr(c, rng, arr, 3)
+		}
+		s := newTestSolver() // all fast paths on
+		r, m := s.Check(cs, nil)
+		if r != Sat {
+			continue
+		}
+		ev := expr.NewEvaluator(m)
+		for j, cj := range cs {
+			if !ev.EvalBool(cj) {
+				t.Fatalf("iter %d: constraint %d (%v) not satisfied by model", i, j, cj)
+			}
+		}
+	}
+}
+
+func TestFastPathsAgreeWithSAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 2)
+	for i := 0; i < 60; i++ {
+		e := expr.RandBoolExpr(c, rng, arr, 3)
+		fast := newTestSolver()
+		slow := noFastPaths()
+		r1, _ := fast.Check([]*expr.Expr{e}, nil)
+		r2, _ := slow.Check([]*expr.Expr{e}, nil)
+		if r1 != r2 {
+			t.Fatalf("iter %d: fast=%v slow=%v for %v", i, r1, r2, e)
+		}
+	}
+}
+
+func TestCandidateFastPathAvoidsSAT(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 8)
+	s := newTestSolver()
+	// magic-byte style constraints should be solved by forced-byte
+	// candidates without running the SAT solver
+	cs := []*expr.Expr{
+		c.EqE(c.ByteAt(arr, 0), c.Const(0x7f, 8)),
+		c.EqE(c.ByteAt(arr, 1), c.Const('E', 8)),
+		c.EqE(c.ReadLE(arr, 2, 2), c.Const(0x0102, 16)),
+	}
+	r, m := s.Check(cs, nil)
+	if r != Sat {
+		t.Fatalf("got %v, want sat", r)
+	}
+	if s.Stats().SATRuns != 0 {
+		t.Errorf("expected candidate fast path, but SAT ran %d times", s.Stats().SATRuns)
+	}
+	if m.ByteOf(arr, 0) != 0x7f || m.ByteOf(arr, 1) != 'E' || m.ByteOf(arr, 2) != 0x02 || m.ByteOf(arr, 3) != 0x01 {
+		t.Errorf("bad model: % x", m[arr])
+	}
+}
+
+func TestHintUsedAsCandidate(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 2)
+	s := newTestSolver()
+	x := c.ZExtE(c.ByteAt(arr, 0), 32)
+	cond := c.EqE(c.Mul(x, x), c.Const(49, 32)) // x*x == 49
+	hint := expr.Assignment{arr: []byte{7, 0}}
+	r, m := s.Check([]*expr.Expr{cond}, hint)
+	if r != Sat {
+		t.Fatalf("got %v, want sat", r)
+	}
+	if s.Stats().SATRuns != 0 {
+		t.Errorf("hint should have satisfied without SAT, runs=%d", s.Stats().SATRuns)
+	}
+	if m.ByteOf(arr, 0) != 7 {
+		t.Errorf("model byte %d, want 7 (from hint)", m.ByteOf(arr, 0))
+	}
+}
+
+func TestCacheHit(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 2)
+	s := newTestSolver()
+	e := c.UltE(c.ByteAt(arr, 0), c.Const(10, 8))
+	s.Check([]*expr.Expr{e}, nil)
+	s.Check([]*expr.Expr{e}, nil)
+	if s.Stats().CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", s.Stats().CacheHits)
+	}
+}
+
+func TestIntervalUnsatFastPath(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 2)
+	s := New(Options{DisableCandidates: true, DisableCache: true})
+	// zext(byte) can never exceed 255
+	e := c.UltE(c.Const(300, 32), c.ZExtE(c.ByteAt(arr, 0), 32))
+	r, _ := s.Check([]*expr.Expr{e}, nil)
+	if r != Unsat {
+		t.Fatalf("got %v, want unsat", r)
+	}
+	if s.Stats().SATRuns != 0 {
+		t.Errorf("interval fast path should have decided; SAT ran %d times", s.Stats().SATRuns)
+	}
+}
+
+func TestIndependenceSlicing(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 8)
+	// two independent groups: bytes {0,1} and bytes {4,5}
+	cs := []*expr.Expr{
+		c.EqE(c.ByteAt(arr, 0), c.ByteAt(arr, 1)),
+		c.UltE(c.ByteAt(arr, 4), c.ByteAt(arr, 5)),
+	}
+	groups := sliceIndependent(cs)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	s := New(Options{DisableCandidates: true, DisableCache: true, DisableIntervals: true})
+	r, m := s.Check(cs, nil)
+	if r != Sat {
+		t.Fatalf("got %v, want sat", r)
+	}
+	ev := expr.NewEvaluator(m)
+	for _, e := range cs {
+		if !ev.EvalBool(e) {
+			t.Errorf("merged model violates %v", e)
+		}
+	}
+}
+
+func TestSlicingTransitivity(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 8)
+	// byte1 links c0 and c1 into one group; byte 7 is separate
+	cs := []*expr.Expr{
+		c.EqE(c.ByteAt(arr, 0), c.ByteAt(arr, 1)),
+		c.EqE(c.ByteAt(arr, 1), c.ByteAt(arr, 2)),
+		c.EqE(c.ByteAt(arr, 7), c.Const(9, 8)),
+	}
+	groups := sliceIndependent(cs)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+}
+
+func TestMayBeTrue(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 2)
+	s := newTestSolver()
+	pc := []*expr.Expr{c.UltE(c.ByteAt(arr, 0), c.Const(10, 8))}
+	ok, m := s.MayBeTrue(pc, c.EqE(c.ByteAt(arr, 0), c.Const(5, 8)), nil)
+	if !ok {
+		t.Fatal("byte<10 && byte==5 should be satisfiable")
+	}
+	if m.ByteOf(arr, 0) != 5 {
+		t.Errorf("witness byte = %d, want 5", m.ByteOf(arr, 0))
+	}
+	ok, _ = s.MayBeTrue(pc, c.EqE(c.ByteAt(arr, 0), c.Const(20, 8)), nil)
+	if ok {
+		t.Error("byte<10 && byte==20 should be unsatisfiable")
+	}
+}
+
+func TestUnknownOnConflictBudget(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 4)
+	// factoring-flavoured constraint: x*y == 0xBEEF with x,y 16-bit and
+	// both > 1 forces real search
+	x := c.ReadLE(arr, 0, 2)
+	y := c.ReadLE(arr, 2, 2)
+	cs := []*expr.Expr{
+		c.EqE(c.Mul(x, y), c.Const(0xBEEF, 16)),
+		c.UltE(c.Const(0xff, 16), x),
+		c.UltE(c.Const(0xff, 16), y),
+	}
+	s := New(Options{DisableCache: true, DisableCandidates: true, DisableIntervals: true, DisableSlicing: true, MaxConflicts: 1})
+	r, _ := s.Check(cs, nil)
+	if r == Sat {
+		// a lucky first assignment is possible but should not happen with
+		// deterministic phase-saving defaults; accept only unknown/unsat
+		t.Logf("warning: solved with 1 conflict budget")
+	}
+	if r == Unsat {
+		t.Fatalf("constraint is satisfiable (0xBEEF = 3*0x3FA5...), got unsat")
+	}
+}
+
+func TestDivisionConventions(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 1)
+	x := c.ByteAt(arr, 0)
+	s := noFastPaths()
+	// x / 0 == 0xff for all x
+	cs := []*expr.Expr{c.NeE(c.UDiv(x, c.Const(0, 8)), c.Const(0xff, 8))}
+	if r, _ := s.Check(cs, nil); r != Unsat {
+		t.Errorf("x/0 != 0xff should be unsat, got %v", r)
+	}
+	// x % 0 == x for all x
+	s2 := noFastPaths()
+	cs = []*expr.Expr{c.NeE(c.URem(x, c.Const(0, 8)), x)}
+	if r, _ := s2.Check(cs, nil); r != Unsat {
+		t.Errorf("x%%0 != x should be unsat, got %v", r)
+	}
+}
+
+func TestLubySequence(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestVarHeap(t *testing.T) {
+	var h varHeap
+	act := []float64{0.5, 3.0, 1.0, 2.0}
+	for v := range act {
+		h.push(v, act)
+	}
+	order := []int{1, 3, 2, 0}
+	for _, want := range order {
+		if got := h.pop(act); got != want {
+			t.Fatalf("pop = %d, want %d", got, want)
+		}
+	}
+	if h.pop(act) != -1 {
+		t.Error("empty heap should pop -1")
+	}
+}
+
+func BenchmarkSolverMagicBytes(b *testing.B) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 64)
+	cs := []*expr.Expr{
+		c.EqE(c.ByteAt(arr, 0), c.Const(0x7f, 8)),
+		c.EqE(c.ReadLE(arr, 1, 4), c.Const(0xdeadbeef, 32)),
+		c.UltE(c.ReadLE(arr, 8, 2), c.Const(100, 16)),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(Options{})
+		if r, _ := s.Check(cs, nil); r != Sat {
+			b.Fatal("unexpected unsat")
+		}
+	}
+}
+
+func BenchmarkSolverBitblastArith(b *testing.B) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 8)
+	x := c.ReadLE(arr, 0, 4)
+	cs := []*expr.Expr{
+		c.EqE(c.Mul(x, c.Const(3, 32)), c.Const(0x99, 32)),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := noFastPaths()
+		if r, _ := s.Check(cs, nil); r != Sat {
+			b.Fatal("unexpected unsat")
+		}
+	}
+}

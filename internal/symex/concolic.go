@@ -1,0 +1,106 @@
+package symex
+
+import (
+	"pbse/internal/expr"
+	"pbse/internal/ir"
+)
+
+// Concolic-mode support (Algorithm 2 of the paper). In concolic mode the
+// executor maintains a concrete shadow of the single running state: branch
+// directions follow the shadow evaluation of the seed input instead of
+// solver queries, and at every symbolic fork point a seedState for the
+// not-taken side is recorded through the OnSeedFork callback rather than
+// explored. Bug checks still run, using the shadow as a solver hint.
+
+// concolicMode holds the shadow state while enabled.
+type concolicMode struct {
+	asn    expr.Assignment
+	eval   *expr.Evaluator
+	onFork func(seed *State)
+}
+
+// EnableConcolic switches the executor into concolic mode with the given
+// concrete input binding. onFork (may be nil) receives each recorded
+// seedState.
+func (e *Executor) EnableConcolic(input []byte, onFork func(seed *State)) {
+	bs := make([]byte, e.opts.InputSize)
+	copy(bs, input)
+	asn := expr.Assignment{e.InputArr: bs}
+	e.concolic = &concolicMode{asn: asn, eval: expr.NewEvaluator(asn), onFork: onFork}
+}
+
+// DisableConcolic returns the executor to pure symbolic execution.
+func (e *Executor) DisableConcolic() { e.concolic = nil }
+
+// ShadowAssignment returns the concrete binding used in concolic mode.
+func (e *Executor) ShadowAssignment() expr.Assignment {
+	if e.concolic == nil {
+		return nil
+	}
+	return e.concolic.asn
+}
+
+// concolicBranch follows the shadow direction and records the not-taken
+// side as a seedState.
+func (e *Executor) concolicBranch(st *State, in *ir.Instr, cond *expr.Expr, res *StepResult) (bool, bool) {
+	taken := e.concolic.eval.EvalBool(cond)
+	notCond := e.Ctx.NotB(cond)
+	takenCond, otherCond := cond, notCond
+	takenIdx, otherIdx := 0, 1
+	if !taken {
+		takenCond, otherCond = notCond, cond
+		takenIdx, otherIdx = 1, 0
+	}
+	e.recordSeedState(st, in, otherCond, in.Targets[otherIdx], res)
+	st.addConstraint(takenCond)
+	st.Blk = in.Targets[takenIdx]
+	st.Idx = 0
+	return false, true
+}
+
+// concolicSwitch follows the shadow case and records every other arm as a
+// seedState (infeasible arms die at their first solver check later).
+func (e *Executor) concolicSwitch(st *State, in *ir.Instr, v *expr.Expr, res *StepResult) (bool, bool) {
+	c := e.Ctx
+	cv := e.concolic.eval.Eval(v)
+	takenTarget := in.Targets[len(in.Vals)]
+	var takenCond *expr.Expr
+	defCond := c.True()
+	for i, val := range in.Vals {
+		eq := c.EqE(v, c.Const(val, v.Width()))
+		defCond = c.AndB(defCond, c.NotB(eq))
+		if val == cv {
+			takenTarget = in.Targets[i]
+			takenCond = eq
+		} else {
+			e.recordSeedState(st, in, eq, in.Targets[i], res)
+		}
+	}
+	if takenCond == nil {
+		takenCond = defCond
+	} else {
+		e.recordSeedState(st, in, defCond, in.Targets[len(in.Vals)], res)
+	}
+	st.addConstraint(takenCond)
+	st.Blk = takenTarget
+	st.Idx = 0
+	return false, true
+}
+
+// recordSeedState clones st toward a not-taken direction and hands it to
+// the OnSeedFork callback.
+func (e *Executor) recordSeedState(st *State, in *ir.Instr, cond *expr.Expr, target *ir.Block, res *StepResult) {
+	seed := st.fork(e.nextStateID, e.clock)
+	e.nextStateID++
+	e.liveStates++
+	seed.addConstraint(cond)
+	seed.Blk = target
+	seed.Idx = 0
+	seed.SeedForkBlockID = st.Blk.ID
+	seed.SeedForkIdx = instrIndex(st.Blk, in)
+	seed.needsValidation = true
+	res.Added = append(res.Added, seed)
+	if e.concolic.onFork != nil {
+		e.concolic.onFork(seed)
+	}
+}

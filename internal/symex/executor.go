@@ -1,0 +1,665 @@
+package symex
+
+import (
+	"fmt"
+
+	"pbse/internal/bugs"
+	"pbse/internal/expr"
+	"pbse/internal/ir"
+	"pbse/internal/solver"
+)
+
+// Options configure an Executor.
+type Options struct {
+	// InputSize is the symbolic input size in bytes.
+	InputSize int
+	// SolverOpts tune the constraint solver.
+	SolverOpts solver.Options
+	// ITEThreshold is the maximum offset range materialised as an ITE
+	// chain for symbolic loads; wider ranges are concretised. Default 16.
+	ITEThreshold int
+	// MaxStates caps live states; further forks are suppressed (the
+	// false/else side is dropped). 0 means unlimited.
+	MaxStates int
+}
+
+// TermReason explains why a state terminated.
+type TermReason int
+
+// Termination reasons.
+const (
+	TermNone       TermReason = iota
+	TermExit                  // clean exit
+	TermInfeasible            // path constraints became unsatisfiable
+	TermFault                 // unavoidable fault (e.g. concrete div by zero)
+	TermError                 // internal error (wild pointer, unknown op)
+)
+
+// StepResult reports what happened during one StepBlock call.
+type StepResult struct {
+	Added      []*State // states forked off during the step
+	NewCover   bool     // entered a block not covered before
+	Terminated bool
+	Reason     TermReason
+	Bug        *bugs.Report // bug found during the step (may be non-fatal)
+}
+
+// Executor drives symbolic execution of one program. It owns the
+// expression context, the solver, global coverage, and bug collection;
+// search order is decided by the caller (a Searcher or the pbSE
+// scheduler).
+type Executor struct {
+	Prog     *ir.Program
+	Ctx      *expr.Context
+	Solver   *solver.Solver
+	InputArr *expr.Array
+	Bugs     *bugs.Collector
+
+	// BlockHook, when set, is invoked on every basic-block entry with the
+	// entering state and the virtual time (used for BBV gathering and
+	// trace recording).
+	BlockHook func(st *State, b *ir.Block, clock int64)
+
+	opts        Options
+	concolic    *concolicMode
+	clock       int64
+	covered     []bool
+	numCovered  int
+	coverEpoch  int // bumped when coverage grows (heuristic caches key on it)
+	nextStateID int
+	liveStates  int
+}
+
+// NewExecutor returns an executor for prog with a fresh context/solver.
+func NewExecutor(prog *ir.Program, opts Options) *Executor {
+	if opts.ITEThreshold == 0 {
+		opts.ITEThreshold = 16
+	}
+	ctx := expr.NewContext()
+	return &Executor{
+		Prog:     prog,
+		Ctx:      ctx,
+		Solver:   solver.New(opts.SolverOpts),
+		InputArr: expr.NewArray("input", opts.InputSize),
+		Bugs:     bugs.NewCollector(),
+		opts:     opts,
+		covered:  make([]bool, len(prog.AllBlocks)),
+	}
+}
+
+// Clock returns the global virtual time (instructions executed).
+func (e *Executor) Clock() int64 { return e.clock }
+
+// NumCovered returns the number of distinct basic blocks covered.
+func (e *Executor) NumCovered() int { return e.numCovered }
+
+// CoverEpoch increases whenever coverage grows.
+func (e *Executor) CoverEpoch() int { return e.coverEpoch }
+
+// Covered reports whether block id has been covered.
+func (e *Executor) Covered(id int) bool { return e.covered[id] }
+
+// CoveredBlocks returns a copy of the covered-block ID set.
+func (e *Executor) CoveredBlocks() []int {
+	out := make([]int, 0, e.numCovered)
+	for id, c := range e.covered {
+		if c {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// LiveStates returns the number of non-terminated states created by this
+// executor and not yet terminated.
+func (e *Executor) LiveStates() int { return e.liveStates }
+
+// NewEntryState creates the initial state at main's entry with a fully
+// symbolic input of Options.InputSize bytes.
+func (e *Executor) NewEntryState() *State {
+	main := e.Prog.Entry()
+	st := &State{
+		ID:              e.nextStateID,
+		objs:            make(map[uint32]*mobject, 8),
+		nextID:          InputObjID + 1,
+		Blk:             main.Entry(),
+		Idx:             0,
+		SeedForkBlockID: -1,
+		SeedForkIdx:     -1,
+	}
+	e.nextStateID++
+	e.liveStates++
+	st.frames = []*frame{{fn: main, regs: make([]*expr.Expr, main.NumRegs), retDst: ir.NoReg}}
+	input := newObject(e.opts.InputSize)
+	for i := 0; i < e.opts.InputSize; i++ {
+		input.setByte(i, e.Ctx.ByteAt(e.InputArr, i))
+	}
+	st.objs[InputObjID] = input
+	return st
+}
+
+// markCover records block entry; returns true when it is new coverage.
+func (e *Executor) markCover(id int) bool {
+	if e.covered[id] {
+		return false
+	}
+	e.covered[id] = true
+	e.numCovered++
+	e.coverEpoch++
+	return true
+}
+
+// terminate marks st dead.
+func (e *Executor) terminate(st *State) {
+	if !st.terminated {
+		st.terminated = true
+		e.liveStates--
+	}
+}
+
+// Terminate allows schedulers to kill a state explicitly.
+func (e *Executor) Terminate(st *State) { e.terminate(st) }
+
+// StepBlock runs st until it leaves its current basic block (executes its
+// terminator), forks, or terminates. On entry st must be live.
+func (e *Executor) StepBlock(st *State) StepResult {
+	if st.terminated {
+		return StepResult{Terminated: true, Reason: TermNone}
+	}
+	var res StepResult
+	if st.needsValidation {
+		// seedStates recorded during concolic execution skip the fork-time
+		// feasibility check; validate lazily on first selection.
+		st.needsValidation = false
+		if r, _ := e.Solver.Check(st.PathConstraints(), nil); r != solver.Sat {
+			e.terminate(st)
+			res.Terminated = true
+			res.Reason = TermInfeasible
+			return res
+		}
+	}
+	if st.StepsExecuted == 0 {
+		// first step of a fresh state: process the initial block entry
+		e.enterBlock(st, &res)
+	}
+	for {
+		in := &st.Blk.Instrs[st.Idx]
+		e.clock++
+		st.StepsExecuted++
+
+		done, transferred := e.execInstr(st, in, &res)
+		if transferred && !st.terminated && in.Op != ir.OpRet {
+			// Control moved to a new block (or into a callee). Returning
+			// into the middle of the caller's block is not a block entry
+			// (matching the concrete interpreter's accounting).
+			e.enterBlock(st, &res)
+		}
+		if done {
+			return res
+		}
+		if transferred {
+			if in.Op.IsTerminator() {
+				return res // block boundary reached
+			}
+			// calls/returns continue within the step until a real block
+			// boundary, matching "one source block per step"
+			continue
+		}
+		st.Idx++
+	}
+}
+
+// enterBlock processes a basic-block entry: the BBV/trace hook and
+// coverage accounting.
+func (e *Executor) enterBlock(st *State, res *StepResult) {
+	if e.BlockHook != nil {
+		e.BlockHook(st, st.Blk, e.clock)
+	}
+	if e.markCover(st.Blk.ID) {
+		res.NewCover = true
+		st.LastNewCover = e.clock
+	}
+}
+
+// execInstr executes one instruction. It returns (done, transferred):
+// done ends the StepBlock call (termination or fork); transferred means
+// control moved (st.Blk/st.Idx already updated).
+func (e *Executor) execInstr(st *State, in *ir.Instr, res *StepResult) (bool, bool) {
+	c := e.Ctx
+	w := uint(in.Width)
+	switch in.Op {
+	case ir.OpConst:
+		st.setReg(in.Dst, c.Const(in.Imm, w))
+	case ir.OpBin:
+		a := st.reg(c, in.A, w)
+		b := st.reg(c, in.B, w)
+		if isDivOp(in.Bin) {
+			if stop := e.checkDivByZero(st, in, b, res); stop {
+				return true, false
+			}
+			// after checkDivByZero the divisor is constrained non-zero
+			// (or was concrete non-zero)
+		}
+		st.setReg(in.Dst, applyBin(c, in.Bin, a, b))
+	case ir.OpCmp:
+		a := st.reg(c, in.A, w)
+		b := st.reg(c, in.B, w)
+		st.setReg(in.Dst, applyPred(c, in.Pred, a, b))
+	case ir.OpNot:
+		st.setReg(in.Dst, c.NotE(st.reg(c, in.A, w)))
+	case ir.OpMov:
+		st.setReg(in.Dst, st.reg(c, in.A, w))
+	case ir.OpZext:
+		st.setReg(in.Dst, coerceZ(c, st.rawReg(c, in.A), w))
+	case ir.OpSext:
+		a := st.rawReg(c, in.A)
+		if a.Width() >= w {
+			st.setReg(in.Dst, c.TruncE(a, w))
+		} else {
+			st.setReg(in.Dst, c.SExtE(a, w))
+		}
+	case ir.OpTrunc:
+		st.setReg(in.Dst, coerceZ(c, st.rawReg(c, in.A), w))
+	case ir.OpSelect:
+		cond := st.reg(c, in.A, 1)
+		b := st.reg(c, in.B, w)
+		d := st.reg(c, in.C, w)
+		st.setReg(in.Dst, c.ITEe(cond, b, d))
+	case ir.OpAlloca:
+		id := st.nextID
+		st.nextID++
+		st.objs[id] = newObject(int(in.Imm))
+		st.setReg(in.Dst, c.Const(ir.MakeObjRef(id, 0), 64))
+	case ir.OpInput:
+		st.setReg(in.Dst, c.Const(ir.MakeObjRef(InputObjID, 0), 64))
+	case ir.OpInputLen:
+		st.setReg(in.Dst, c.Const(uint64(e.opts.InputSize), w))
+	case ir.OpLoad:
+		v, stop := e.execLoad(st, in, res)
+		if stop {
+			return true, false
+		}
+		st.setReg(in.Dst, v)
+	case ir.OpStore:
+		if stop := e.execStore(st, in, res); stop {
+			return true, false
+		}
+	case ir.OpCall:
+		callee := e.Prog.Func(in.Callee)
+		nf := &frame{
+			fn:       callee,
+			regs:     make([]*expr.Expr, callee.NumRegs),
+			retDst:   in.Dst,
+			retBlock: st.Blk,
+			retIndex: st.Idx + 1,
+		}
+		for i, a := range in.Args {
+			nf.regs[i] = st.rawReg(c, a)
+		}
+		st.frames = append(st.frames, nf)
+		st.Blk = callee.Entry()
+		st.Idx = 0
+		return false, true
+	case ir.OpRet:
+		var rv *expr.Expr
+		if in.A != ir.NoReg {
+			rv = st.rawReg(c, in.A)
+		}
+		fr := st.frames[len(st.frames)-1]
+		st.frames = st.frames[:len(st.frames)-1]
+		if len(st.frames) == 0 {
+			e.terminate(st)
+			res.Terminated = true
+			res.Reason = TermExit
+			return true, false
+		}
+		if fr.retDst != ir.NoReg && rv != nil {
+			st.setReg(fr.retDst, rv)
+		}
+		st.Blk = fr.retBlock
+		st.Idx = fr.retIndex
+		return false, true
+	case ir.OpBr:
+		return e.execBranch(st, in, res)
+	case ir.OpJmp:
+		st.Blk = in.Targets[0]
+		st.Idx = 0
+		return false, true
+	case ir.OpSwitch:
+		return e.execSwitch(st, in, res)
+	case ir.OpAssert:
+		if stop := e.checkAssert(st, in, res); stop {
+			return true, false
+		}
+	case ir.OpExit:
+		e.terminate(st)
+		res.Terminated = true
+		res.Reason = TermExit
+		return true, false
+	case ir.OpPrint:
+		// no-op
+	default:
+		e.terminate(st)
+		res.Terminated = true
+		res.Reason = TermError
+		return true, false
+	}
+	return false, false
+}
+
+// mayBeTrue asks the solver whether cond can hold on st's path, returning
+// a full witness model on success. Use feasible for yes/no questions — it
+// is much cheaper on deep paths.
+func (e *Executor) mayBeTrue(st *State, cond *expr.Expr) (bool, expr.Assignment) {
+	if cond.IsTrue() {
+		return true, expr.Assignment{}
+	}
+	if cond.IsFalse() {
+		return false, nil
+	}
+	var hint expr.Assignment
+	if e.concolic != nil {
+		hint = e.concolic.asn
+	}
+	if !e.Solver.Feasible(st.PathConstraints(), cond, hint) {
+		return false, nil
+	}
+	ok, m := e.Solver.MayBeTrue(st.PathConstraints(), cond, hint)
+	return ok, m
+}
+
+// feasible reports whether cond can hold on st's path, solving only the
+// constraint slice that shares symbolic bytes with cond (sound because
+// live states always have satisfiable path constraints).
+func (e *Executor) feasible(st *State, cond *expr.Expr) bool {
+	if cond.IsTrue() {
+		return true
+	}
+	if cond.IsFalse() {
+		return false
+	}
+	var hint expr.Assignment
+	if e.concolic != nil {
+		hint = e.concolic.asn
+	}
+	return e.Solver.Feasible(st.PathConstraints(), cond, hint)
+}
+
+// execBranch handles OpBr, forking when both directions are feasible.
+func (e *Executor) execBranch(st *State, in *ir.Instr, res *StepResult) (bool, bool) {
+	cond := st.reg(e.Ctx, in.A, 1)
+	if cond.IsConst() {
+		st.Blk = in.Targets[1-int(cond.Value())]
+		st.Idx = 0
+		return false, true
+	}
+	if e.concolic != nil {
+		return e.concolicBranch(st, in, cond, res)
+	}
+	canTrue := e.feasible(st, cond)
+	canFalse := e.feasible(st, e.Ctx.NotB(cond))
+	switch {
+	case canTrue && canFalse:
+		if e.opts.MaxStates > 0 && e.liveStates >= e.opts.MaxStates {
+			// fork suppressed: follow the true side only
+			st.addConstraint(cond)
+			st.Blk = in.Targets[0]
+			st.Idx = 0
+			return false, true
+		}
+		other := st.fork(e.nextStateID, e.clock)
+		e.nextStateID++
+		e.liveStates++
+		other.addConstraint(e.Ctx.NotB(cond))
+		other.Blk = in.Targets[1]
+		other.Idx = 0
+		st.addConstraint(cond)
+		st.Blk = in.Targets[0]
+		st.Idx = 0
+		res.Added = append(res.Added, other)
+		attachToPTree(st, other)
+		return true, true // fork ends the step; st is at a fresh block
+	case canTrue:
+		st.addConstraint(cond)
+		st.Blk = in.Targets[0]
+		st.Idx = 0
+		return false, true
+	case canFalse:
+		st.addConstraint(e.Ctx.NotB(cond))
+		st.Blk = in.Targets[1]
+		st.Idx = 0
+		return false, true
+	default:
+		e.terminate(st)
+		res.Terminated = true
+		res.Reason = TermInfeasible
+		return true, false
+	}
+}
+
+// execSwitch handles OpSwitch, forking into every feasible case.
+func (e *Executor) execSwitch(st *State, in *ir.Instr, res *StepResult) (bool, bool) {
+	c := e.Ctx
+	v := st.rawReg(c, in.A)
+	if v.IsConst() {
+		target := in.Targets[len(in.Vals)]
+		for i, val := range in.Vals {
+			if v.Value() == val {
+				target = in.Targets[i]
+				break
+			}
+		}
+		st.Blk = target
+		st.Idx = 0
+		return false, true
+	}
+	if e.concolic != nil {
+		return e.concolicSwitch(st, in, v, res)
+	}
+	// collect feasible (condition, target) pairs
+	type arm struct {
+		cond   *expr.Expr
+		target *ir.Block
+	}
+	var feasible []arm
+	defCond := c.True()
+	for i, val := range in.Vals {
+		eq := c.EqE(v, c.Const(val, v.Width()))
+		defCond = c.AndB(defCond, c.NotB(eq))
+		if e.feasible(st, eq) {
+			feasible = append(feasible, arm{cond: eq, target: in.Targets[i]})
+		}
+	}
+	if e.feasible(st, defCond) {
+		feasible = append(feasible, arm{cond: defCond, target: in.Targets[len(in.Vals)]})
+	}
+	if len(feasible) == 0 {
+		e.terminate(st)
+		res.Terminated = true
+		res.Reason = TermInfeasible
+		return true, false
+	}
+	// current state takes the first arm; fork the rest
+	for _, a := range feasible[1:] {
+		if e.opts.MaxStates > 0 && e.liveStates >= e.opts.MaxStates {
+			break
+		}
+		other := st.fork(e.nextStateID, e.clock)
+		e.nextStateID++
+		e.liveStates++
+		other.addConstraint(a.cond)
+		other.Blk = a.target
+		other.Idx = 0
+		res.Added = append(res.Added, other)
+		attachToPTree(st, other)
+	}
+	st.addConstraint(feasible[0].cond)
+	st.Blk = feasible[0].target
+	st.Idx = 0
+	if len(res.Added) > 0 {
+		return true, true
+	}
+	return false, true
+}
+
+// checkDivByZero reports a bug when the divisor can be zero, then
+// constrains it non-zero. Returns true when the state terminated.
+func (e *Executor) checkDivByZero(st *State, in *ir.Instr, divisor *expr.Expr, res *StepResult) bool {
+	c := e.Ctx
+	zero := c.EqE(divisor, c.Const(0, divisor.Width()))
+	if zero.IsFalse() {
+		return false
+	}
+	if ok, m := e.mayBeTrue(st, zero); ok {
+		e.report(st, in, bugs.DivByZero, "divisor can be zero", m, res)
+		if zero.IsTrue() {
+			e.terminate(st)
+			res.Terminated = true
+			res.Reason = TermFault
+			return true
+		}
+	}
+	nz := c.NotB(zero)
+	if !e.feasible(st, nz) {
+		e.terminate(st)
+		res.Terminated = true
+		res.Reason = TermFault
+		return true
+	}
+	st.addConstraint(nz)
+	return false
+}
+
+// checkAssert reports a bug when the assertion can fail, then constrains
+// it to hold. Returns true when the state terminated.
+func (e *Executor) checkAssert(st *State, in *ir.Instr, res *StepResult) bool {
+	c := e.Ctx
+	cond := st.reg(c, in.A, 1)
+	if cond.IsTrue() {
+		return false
+	}
+	if ok, m := e.mayBeTrue(st, c.NotB(cond)); ok {
+		e.report(st, in, bugs.AssertFail, in.Msg, m, res)
+	}
+	if !e.feasible(st, cond) {
+		e.terminate(st)
+		res.Terminated = true
+		res.Reason = TermFault
+		return true
+	}
+	st.addConstraint(cond)
+	return false
+}
+
+// report files a bug with a generated witness input.
+func (e *Executor) report(st *State, in *ir.Instr, kind bugs.Kind, msg string, model expr.Assignment, res *StepResult) {
+	idx := instrIndex(st.Blk, in)
+	r := &bugs.Report{
+		Kind:    kind,
+		Func:    st.Blk.Fn.Name,
+		Block:   st.Blk.Name,
+		BlockID: st.Blk.ID,
+		Index:   idx,
+		Msg:     msg,
+		Time:    e.clock,
+		Phase:   -1,
+	}
+	if model != nil {
+		if bs, ok := model[e.InputArr]; ok {
+			input := make([]byte, e.opts.InputSize)
+			copy(input, bs)
+			r.Input = input
+		}
+	}
+	if e.Bugs.Add(r) {
+		res.Bug = r
+	}
+}
+
+func instrIndex(b *ir.Block, in *ir.Instr) int {
+	for i := range b.Instrs {
+		if &b.Instrs[i] == in {
+			return i
+		}
+	}
+	return -1
+}
+
+func isDivOp(op ir.BinOp) bool {
+	switch op {
+	case ir.UDiv, ir.SDiv, ir.URem, ir.SRem:
+		return true
+	}
+	return false
+}
+
+func applyBin(c *expr.Context, op ir.BinOp, a, b *expr.Expr) *expr.Expr {
+	switch op {
+	case ir.Add:
+		return c.Add(a, b)
+	case ir.Sub:
+		return c.Sub(a, b)
+	case ir.Mul:
+		return c.Mul(a, b)
+	case ir.UDiv:
+		return c.UDiv(a, b)
+	case ir.SDiv:
+		return c.SDiv(a, b)
+	case ir.URem:
+		return c.URem(a, b)
+	case ir.SRem:
+		return c.SRem(a, b)
+	case ir.And:
+		return c.And(a, b)
+	case ir.Or:
+		return c.Or(a, b)
+	case ir.Xor:
+		return c.Xor(a, b)
+	case ir.Shl:
+		return c.Shl(a, b)
+	case ir.LShr:
+		return c.LShr(a, b)
+	case ir.AShr:
+		return c.AShr(a, b)
+	default:
+		panic(fmt.Sprintf("symex: unknown binop %s", op))
+	}
+}
+
+func applyPred(c *expr.Context, p ir.Pred, a, b *expr.Expr) *expr.Expr {
+	switch p {
+	case ir.Eq:
+		return c.EqE(a, b)
+	case ir.Ne:
+		return c.NeE(a, b)
+	case ir.Ult:
+		return c.UltE(a, b)
+	case ir.Ule:
+		return c.UleE(a, b)
+	case ir.Ugt:
+		return c.UgtE(a, b)
+	case ir.Uge:
+		return c.UgeE(a, b)
+	case ir.Slt:
+		return c.SltE(a, b)
+	case ir.Sle:
+		return c.SleE(a, b)
+	case ir.Sgt:
+		return c.SgtE(a, b)
+	case ir.Sge:
+		return c.SgeE(a, b)
+	default:
+		panic(fmt.Sprintf("symex: unknown pred %s", p))
+	}
+}
+
+func coerceZ(c *expr.Context, e *expr.Expr, w uint) *expr.Expr {
+	switch {
+	case e.Width() == w:
+		return e
+	case e.Width() > w:
+		return c.TruncE(e, w)
+	default:
+		return c.ZExtE(e, w)
+	}
+}

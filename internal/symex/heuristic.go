@@ -1,0 +1,115 @@
+package symex
+
+import (
+	"math/rand"
+
+	"pbse/internal/ir"
+)
+
+// weightedSearcher selects states with probability proportional to a
+// weight function — KLEE's WeightedRandomSearcher.
+type weightedSearcher struct {
+	name   string
+	states []*State
+	rng    *rand.Rand
+	weight func(*State) float64
+}
+
+func (s *weightedSearcher) Name() string { return s.name }
+
+func (s *weightedSearcher) Add(st *State) { s.states = append(s.states, st) }
+
+func (s *weightedSearcher) Remove(st *State) {
+	for i := range s.states {
+		if s.states[i] == st {
+			s.states[i] = s.states[len(s.states)-1]
+			s.states = s.states[:len(s.states)-1]
+			return
+		}
+	}
+}
+
+func (s *weightedSearcher) Select() *State {
+	total := 0.0
+	for _, st := range s.states {
+		total += s.weight(st)
+	}
+	if total <= 0 {
+		return s.states[s.rng.Intn(len(s.states))]
+	}
+	r := s.rng.Float64() * total
+	for _, st := range s.states {
+		r -= s.weight(st)
+		if r <= 0 {
+			return st
+		}
+	}
+	return s.states[len(s.states)-1]
+}
+
+func (s *weightedSearcher) Empty() bool { return len(s.states) == 0 }
+
+// newCovNewSearcher weights states by how recently they covered new code
+// (KLEE's CoveringNew heuristic): states that found fresh blocks lately
+// get selected more often.
+func newCovNewSearcher(ex *Executor, rng *rand.Rand) Searcher {
+	return &weightedSearcher{
+		name: string(SearchCovNew),
+		rng:  rng,
+		weight: func(st *State) float64 {
+			age := ex.Clock() - st.LastNewCover
+			if age < 0 {
+				age = 0
+			}
+			// +depth term mirrors KLEE's md2u component of covnew's
+			// weight: prefer states that are not absurdly deep
+			return 1.0 / float64(age+1) / float64(st.Depth+1)
+		},
+	}
+}
+
+// md2uSearcher weights states by the inverse minimum distance (in CFG
+// blocks, with call edges) to an uncovered block — KLEE's
+// MinDistToUncovered heuristic.
+type md2uSearcher struct {
+	weightedSearcher
+
+	ex    *Executor
+	adj   [][]int
+	cache map[int]int // blockID -> distance, valid for cacheEpoch
+	epoch int
+}
+
+func newMD2USearcher(ex *Executor, rng *rand.Rand) Searcher {
+	s := &md2uSearcher{
+		ex:    ex,
+		adj:   ir.SuccsWithCalls(ex.Prog),
+		cache: make(map[int]int),
+		epoch: -1,
+	}
+	s.name = string(SearchMD2U)
+	s.rng = rng
+	s.weight = s.md2uWeight
+	return s
+}
+
+func (s *md2uSearcher) md2uWeight(st *State) float64 {
+	d := s.distToUncovered(st.Blk.ID)
+	if d < 0 {
+		return 1e-9 // no uncovered block reachable
+	}
+	return 1.0 / float64(d+1)
+}
+
+func (s *md2uSearcher) distToUncovered(blockID int) int {
+	if s.epoch != s.ex.CoverEpoch() {
+		s.cache = make(map[int]int, len(s.cache))
+		s.epoch = s.ex.CoverEpoch()
+	}
+	if d, ok := s.cache[blockID]; ok {
+		return d
+	}
+	d := ir.BFSDistance(s.adj, blockID, func(b int) bool { return !s.ex.Covered(b) })
+	s.cache[blockID] = d
+	return d
+}

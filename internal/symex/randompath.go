@@ -1,0 +1,101 @@
+package symex
+
+import "math/rand"
+
+// ptNode is a node of the execution tree maintained for the random-path
+// searcher (KLEE's PTree): leaves carry live states, inner nodes are past
+// fork points. liveCount counts live states in the subtree so selection
+// can skip dead branches.
+type ptNode struct {
+	parent    *ptNode
+	children  []*ptNode
+	state     *State
+	liveCount int
+}
+
+func (n *ptNode) bumpLive(delta int) {
+	for m := n; m != nil; m = m.parent {
+		m.liveCount += delta
+	}
+}
+
+// attachToPTree records a fork in the execution tree. It is a no-op when
+// the forking state is not tracked by a random-path searcher.
+func attachToPTree(parent, child *State) {
+	pn := parent.ptNode
+	if pn == nil {
+		return
+	}
+	// the old leaf becomes an inner fork node with two fresh leaves
+	left := &ptNode{parent: pn, state: parent, liveCount: 1}
+	right := &ptNode{parent: pn, state: child, liveCount: 1}
+	pn.state = nil
+	pn.children = []*ptNode{left, right}
+	pn.bumpLive(1) // one leaf existed; now two
+	parent.ptNode = left
+	child.ptNode = right
+}
+
+// randomPathSearcher selects states by walking the execution tree from
+// the root, choosing uniformly among children with live descendants at
+// each fork — KLEE's RandomPathSearcher. This biases selection toward
+// shallow states (each fork halves the probability mass), which is what
+// makes it effective against path explosion.
+type randomPathSearcher struct {
+	root *ptNode
+	rng  *rand.Rand
+}
+
+func newRandomPathSearcher(rng *rand.Rand) *randomPathSearcher {
+	return &randomPathSearcher{root: &ptNode{}, rng: rng}
+}
+
+func (s *randomPathSearcher) Name() string { return string(SearchRandomPath) }
+
+func (s *randomPathSearcher) Add(st *State) {
+	if st.ptNode != nil {
+		// already in the tree (added by a fork under this searcher)
+		return
+	}
+	leaf := &ptNode{parent: s.root, state: st, liveCount: 1}
+	s.root.children = append(s.root.children, leaf)
+	s.root.bumpLive(1)
+	st.ptNode = leaf
+}
+
+func (s *randomPathSearcher) Remove(st *State) {
+	n := st.ptNode
+	if n == nil || n.state != st {
+		return
+	}
+	n.state = nil
+	n.bumpLive(-1)
+	st.ptNode = nil
+}
+
+func (s *randomPathSearcher) Select() *State {
+	n := s.root
+	for {
+		if n.state != nil {
+			return n.state
+		}
+		// choose uniformly among children with live descendants
+		idx := -1
+		seen := 0
+		for i, ch := range n.children {
+			if ch.liveCount == 0 {
+				continue
+			}
+			seen++
+			if s.rng.Intn(seen) == 0 {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			panic("symex: random-path select on empty tree")
+		}
+		n = n.children[idx]
+	}
+}
+
+func (s *randomPathSearcher) Empty() bool { return s.root.liveCount == 0 }

@@ -1,0 +1,211 @@
+package symex
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Searcher selects which execution state to run next — KLEE's search
+// strategy abstraction. Implementations must be deterministic given the
+// same *rand.Rand seed.
+type Searcher interface {
+	Name() string
+	Add(st *State)
+	Remove(st *State)
+	// Select returns the state to step next. It must only return live
+	// states that were Added and not Removed.
+	Select() *State
+	Empty() bool
+}
+
+// SearcherKind names the built-in strategies from the paper's Table I.
+type SearcherKind string
+
+// Built-in search strategies.
+const (
+	SearchDFS         SearcherKind = "dfs"
+	SearchBFS         SearcherKind = "bfs"
+	SearchRandomState SearcherKind = "random-state"
+	SearchRandomPath  SearcherKind = "random-path"
+	SearchCovNew      SearcherKind = "covnew"
+	SearchMD2U        SearcherKind = "md2u"
+	SearchDefault     SearcherKind = "default" // random-path + covnew interleaved
+)
+
+// AllSearcherKinds lists every strategy in Table I order.
+var AllSearcherKinds = []SearcherKind{
+	SearchDefault, SearchRandomPath, SearchRandomState,
+	SearchCovNew, SearchMD2U, SearchDFS, SearchBFS,
+}
+
+// NewSearcher constructs the named strategy bound to ex (heuristic
+// strategies consult its coverage state) with deterministic randomness
+// from rng.
+func NewSearcher(kind SearcherKind, ex *Executor, rng *rand.Rand) (Searcher, error) {
+	switch kind {
+	case SearchDFS:
+		return &dfsSearcher{}, nil
+	case SearchBFS:
+		return &bfsSearcher{}, nil
+	case SearchRandomState:
+		return &randomStateSearcher{rng: rng}, nil
+	case SearchRandomPath:
+		return newRandomPathSearcher(rng), nil
+	case SearchCovNew:
+		return newCovNewSearcher(ex, rng), nil
+	case SearchMD2U:
+		return newMD2USearcher(ex, rng), nil
+	case SearchDefault:
+		rp := newRandomPathSearcher(rng)
+		cn := newCovNewSearcher(ex, rng)
+		return newInterleavedSearcher(rp, cn), nil
+	default:
+		return nil, fmt.Errorf("symex: unknown searcher %q", kind)
+	}
+}
+
+// dfsSearcher always selects the newest state (KLEE's DFSSearcher).
+type dfsSearcher struct {
+	stack []*State
+}
+
+func (s *dfsSearcher) Name() string { return string(SearchDFS) }
+
+func (s *dfsSearcher) Add(st *State) { s.stack = append(s.stack, st) }
+
+func (s *dfsSearcher) Remove(st *State) {
+	for i := len(s.stack) - 1; i >= 0; i-- {
+		if s.stack[i] == st {
+			s.stack = append(s.stack[:i], s.stack[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *dfsSearcher) Select() *State { return s.stack[len(s.stack)-1] }
+
+func (s *dfsSearcher) Empty() bool { return len(s.stack) == 0 }
+
+// bfsSearcher rotates through states oldest-first (KLEE's BFSSearcher).
+type bfsSearcher struct {
+	queue []*State
+}
+
+func (s *bfsSearcher) Name() string { return string(SearchBFS) }
+
+func (s *bfsSearcher) Add(st *State) { s.queue = append(s.queue, st) }
+
+func (s *bfsSearcher) Remove(st *State) {
+	for i := range s.queue {
+		if s.queue[i] == st {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *bfsSearcher) Select() *State {
+	st := s.queue[0]
+	// rotate so the next Select sees the next-oldest state
+	s.queue = append(s.queue[1:], st)
+	return st
+}
+
+func (s *bfsSearcher) Empty() bool { return len(s.queue) == 0 }
+
+// randomStateSearcher picks a pending state uniformly at random.
+type randomStateSearcher struct {
+	states []*State
+	rng    *rand.Rand
+}
+
+func (s *randomStateSearcher) Name() string { return string(SearchRandomState) }
+
+func (s *randomStateSearcher) Add(st *State) { s.states = append(s.states, st) }
+
+func (s *randomStateSearcher) Remove(st *State) {
+	for i := range s.states {
+		if s.states[i] == st {
+			// order does not matter; swap-delete
+			s.states[i] = s.states[len(s.states)-1]
+			s.states = s.states[:len(s.states)-1]
+			return
+		}
+	}
+}
+
+func (s *randomStateSearcher) Select() *State {
+	return s.states[s.rng.Intn(len(s.states))]
+}
+
+func (s *randomStateSearcher) Empty() bool { return len(s.states) == 0 }
+
+// interleavedSearcher alternates between sub-searchers per selection —
+// KLEE's InterleavedSearcher, used for the "default" strategy.
+type interleavedSearcher struct {
+	subs []Searcher
+	next int
+}
+
+func newInterleavedSearcher(subs ...Searcher) *interleavedSearcher {
+	return &interleavedSearcher{subs: subs}
+}
+
+func (s *interleavedSearcher) Name() string { return string(SearchDefault) }
+
+func (s *interleavedSearcher) Add(st *State) {
+	for _, sub := range s.subs {
+		sub.Add(st)
+	}
+}
+
+func (s *interleavedSearcher) Remove(st *State) {
+	for _, sub := range s.subs {
+		sub.Remove(st)
+	}
+}
+
+func (s *interleavedSearcher) Select() *State {
+	sub := s.subs[s.next]
+	s.next = (s.next + 1) % len(s.subs)
+	return sub.Select()
+}
+
+func (s *interleavedSearcher) Empty() bool { return s.subs[0].Empty() }
+
+// Runner drives an Executor with a Searcher until a virtual-time budget
+// is exhausted or no states remain — the "KLEE main loop".
+type Runner struct {
+	Ex     *Executor
+	Search Searcher
+}
+
+// RunStats summarise a Run call.
+type RunStats struct {
+	Steps      int64 // StepBlock calls
+	StatesRun  int64
+	ForksAdded int64
+}
+
+// Run steps states until ex.Clock() reaches budget or the searcher
+// drains.
+func (r *Runner) Run(budget int64) RunStats {
+	var stats RunStats
+	for r.Ex.Clock() < budget && !r.Search.Empty() {
+		st := r.Search.Select()
+		if st.Terminated() {
+			r.Search.Remove(st)
+			continue
+		}
+		res := r.Ex.StepBlock(st)
+		stats.Steps++
+		for _, a := range res.Added {
+			r.Search.Add(a)
+			stats.ForksAdded++
+		}
+		if res.Terminated {
+			r.Search.Remove(st)
+		}
+	}
+	return stats
+}

@@ -1,0 +1,250 @@
+// Package symex is the symbolic execution engine: KLEE's role in the pbSE
+// system. It executes IR programs over symbolic input, forking execution
+// states at symbolic branches, querying the solver for feasibility, and
+// detecting memory-safety and arithmetic bugs with generated test cases.
+package symex
+
+import (
+	"fmt"
+
+	"pbse/internal/expr"
+	"pbse/internal/ir"
+)
+
+// InputObjID is the object id of the symbolic input buffer.
+const InputObjID uint32 = 1
+
+// mobject is one memory object. Bytes are either concrete (conc) or
+// symbolic (sym[i] != nil overrides conc[i]). Objects are copy-on-write
+// across state forks via the frozen flag.
+type mobject struct {
+	size   int
+	conc   []byte
+	sym    []*expr.Expr // nil slice when fully concrete
+	frozen bool
+}
+
+func newObject(size int) *mobject {
+	return &mobject{size: size, conc: make([]byte, size)}
+}
+
+func (o *mobject) clone() *mobject {
+	n := &mobject{size: o.size, conc: make([]byte, len(o.conc))}
+	copy(n.conc, o.conc)
+	if o.sym != nil {
+		n.sym = make([]*expr.Expr, len(o.sym))
+		copy(n.sym, o.sym)
+	}
+	return n
+}
+
+// byteExpr returns the symbolic expression for byte i.
+func (o *mobject) byteExpr(c *expr.Context, i int) *expr.Expr {
+	if o.sym != nil && o.sym[i] != nil {
+		return o.sym[i]
+	}
+	return c.Const(uint64(o.conc[i]), 8)
+}
+
+// setByte stores a byte expression (concrete constants are stored as
+// concrete bytes).
+func (o *mobject) setByte(i int, e *expr.Expr) {
+	if e.IsConst() {
+		o.conc[i] = byte(e.Value())
+		if o.sym != nil {
+			o.sym[i] = nil
+		}
+		return
+	}
+	if o.sym == nil {
+		o.sym = make([]*expr.Expr, o.size)
+	}
+	o.sym[i] = e
+}
+
+// frame is one activation record; registers hold expressions.
+type frame struct {
+	fn       *ir.Func
+	regs     []*expr.Expr
+	retDst   ir.Reg
+	retBlock *ir.Block
+	retIndex int
+}
+
+func (f *frame) clone() *frame {
+	n := &frame{fn: f.fn, retDst: f.retDst, retBlock: f.retBlock, retIndex: f.retIndex}
+	n.regs = make([]*expr.Expr, len(f.regs))
+	copy(n.regs, f.regs)
+	return n
+}
+
+// pcNode is a persistent (shared-tail) list of path constraints.
+type pcNode struct {
+	parent *pcNode
+	cond   *expr.Expr
+	depth  int
+}
+
+// State is one symbolic execution state (KLEE's ExecutionState).
+type State struct {
+	ID int
+
+	frames []*frame
+	objs   map[uint32]*mobject
+	nextID uint32
+
+	Blk *ir.Block
+	Idx int
+
+	pc     *pcNode
+	pcText []*expr.Expr // materialised constraints; lazily rebuilt
+
+	// Search metadata.
+	Depth         int   // number of forks on the path
+	ForkTime      int64 // virtual time of the fork creating this state
+	LastNewCover  int64 // virtual time when this state last covered new code
+	StepsExecuted int64
+
+	// ptNode links the state into the random-path execution tree.
+	ptNode *ptNode
+
+	// SeedForkBlockID/Idx identify the fork point for seedState dedup in
+	// pbSE (§III-B3); -1 when not a seedState.
+	SeedForkBlockID int
+	SeedForkIdx     int
+
+	// needsValidation marks seedStates whose feasibility was not checked
+	// at fork time (concolic mode skips the solver); the executor
+	// validates lazily on first selection.
+	needsValidation bool
+
+	terminated bool
+}
+
+func (s *State) String() string {
+	return fmt.Sprintf("state{%d at %s[%d] depth=%d}", s.ID, s.Blk, s.Idx, s.Depth)
+}
+
+// Terminated reports whether the state finished (exit, fault, infeasible).
+func (s *State) Terminated() bool { return s.terminated }
+
+// PathConstraints returns the state's constraints, oldest first. The
+// returned slice is cached and must not be modified.
+func (s *State) PathConstraints() []*expr.Expr {
+	n := 0
+	if s.pc != nil {
+		n = s.pc.depth
+	}
+	if len(s.pcText) == n {
+		return s.pcText
+	}
+	out := make([]*expr.Expr, n)
+	for node, i := s.pc, n-1; node != nil; node, i = node.parent, i-1 {
+		out[i] = node.cond
+	}
+	s.pcText = out
+	return out
+}
+
+// addConstraint appends a path constraint.
+func (s *State) addConstraint(c *expr.Expr) {
+	depth := 1
+	if s.pc != nil {
+		depth = s.pc.depth + 1
+	}
+	s.pc = &pcNode{parent: s.pc, cond: c, depth: depth}
+	s.pcText = nil
+}
+
+// NumConstraints returns the path-constraint count.
+func (s *State) NumConstraints() int {
+	if s.pc == nil {
+		return 0
+	}
+	return s.pc.depth
+}
+
+// freezeObjects marks every object copy-on-write (called on fork).
+func (s *State) freezeObjects() {
+	for _, o := range s.objs {
+		o.frozen = true
+	}
+}
+
+// writable returns the object for id, cloning it first if shared.
+func (s *State) writable(id uint32) *mobject {
+	o := s.objs[id]
+	if o == nil {
+		return nil
+	}
+	if o.frozen {
+		o = o.clone()
+		s.objs[id] = o
+	}
+	return o
+}
+
+// object returns the object for id for reading (may be shared).
+func (s *State) object(id uint32) *mobject { return s.objs[id] }
+
+// fork clones the state. Objects become copy-on-write; frames and the
+// object map are copied shallowly (frames deep: register slices).
+func (s *State) fork(newID int, now int64) *State {
+	s.freezeObjects()
+	n := &State{
+		ID:              newID,
+		frames:          make([]*frame, len(s.frames)),
+		objs:            make(map[uint32]*mobject, len(s.objs)),
+		nextID:          s.nextID,
+		Blk:             s.Blk,
+		Idx:             s.Idx,
+		pc:              s.pc,
+		Depth:           s.Depth + 1,
+		ForkTime:        now,
+		LastNewCover:    s.LastNewCover,
+		SeedForkBlockID: -1,
+		SeedForkIdx:     -1,
+	}
+	for i, f := range s.frames {
+		n.frames[i] = f.clone()
+	}
+	for id, o := range s.objs {
+		n.objs[id] = o
+	}
+	s.Depth++
+	return n
+}
+
+// top returns the active frame.
+func (s *State) top() *frame { return s.frames[len(s.frames)-1] }
+
+// reg reads a register coerced to width w (zero-extend or truncate),
+// matching the concrete interpreter's masking semantics.
+func (s *State) reg(c *expr.Context, r ir.Reg, w uint) *expr.Expr {
+	e := s.top().regs[r]
+	if e == nil {
+		return c.Const(0, w)
+	}
+	switch {
+	case e.Width() == w:
+		return e
+	case e.Width() > w:
+		return c.TruncE(e, w)
+	default:
+		return c.ZExtE(e, w)
+	}
+}
+
+// rawReg reads a register at its own width.
+func (s *State) rawReg(c *expr.Context, r ir.Reg) *expr.Expr {
+	e := s.top().regs[r]
+	if e == nil {
+		return c.Const(0, 64)
+	}
+	return e
+}
+
+// setReg writes a register.
+func (s *State) setReg(r ir.Reg, e *expr.Expr) {
+	s.top().regs[r] = e
+}

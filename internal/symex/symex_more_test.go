@@ -1,0 +1,278 @@
+package symex
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbse/internal/bugs"
+	"pbse/internal/interp"
+	"pbse/internal/ir"
+)
+
+// recursionProg: fib-shaped recursion with depth from the input byte and
+// a base-case return — exercises deep call stacks and recursive state
+// cloning.
+func recursionProg(t *testing.T) *ir.Program {
+	t.Helper()
+	p := ir.NewProgram("rec")
+	rb := p.NewFunc("depthsum", 1)
+	entry := rb.NewBlock("entry")
+	base := rb.NewBlock("base")
+	recur := rb.NewBlock("recur")
+	n := rb.Param(0)
+	c := entry.CmpImm(ir.Eq, n, 0, 32)
+	entry.Br(c, base.Blk(), recur.Blk())
+	z := base.Const(0, 32)
+	base.Ret(z)
+	n1 := recur.BinImm(ir.Sub, n, 1, 32)
+	sub := recur.Call("depthsum", n1)
+	s := recur.Add(sub, n, 32)
+	recur.Ret(s)
+
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	ip := b.Input()
+	v := b.Load(ip, 0, 8)
+	small := b.BinImm(ir.And, v, 0xf, 32)
+	r := b.Call("depthsum", small)
+	// sum 0..15 max = 120; assert it
+	ok := b.CmpImm(ir.Ule, r, 120, 32)
+	b.Assert(ok, "gauss bound")
+	b.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRecursionSymbolic(t *testing.T) {
+	p := recursionProg(t)
+	ex := NewExecutor(p, Options{InputSize: 1})
+	runAll(t, ex, SearchBFS, 500_000)
+	if ex.Bugs.Len() != 0 {
+		t.Errorf("gauss bound violated: %v", ex.Bugs.Reports())
+	}
+	// all blocks reachable
+	if ex.NumCovered() != len(p.AllBlocks) {
+		t.Errorf("covered %d/%d", ex.NumCovered(), len(p.AllBlocks))
+	}
+}
+
+func TestRecursionMatchesInterp(t *testing.T) {
+	p := recursionProg(t)
+	for v := byte(0); v < 16; v++ {
+		res := interp.New(p, []byte{v}, interp.Options{}).Run()
+		if res.Reason != interp.StopExited {
+			t.Fatalf("input %d: %+v", v, res)
+		}
+	}
+}
+
+// TestSymbolicSelect: Select with a symbolic condition produces an ITE
+// and both outcomes verify.
+func TestSymbolicSelect(t *testing.T) {
+	p := ir.NewProgram("sel")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	ip := b.Input()
+	v := b.Load(ip, 0, 8)
+	cond := b.CmpImm(ir.Ult, v, 10, 8)
+	ten := b.Const(10, 8)
+	sel := b.Select(cond, v, ten, 8) // min(v, 10)
+	ok := b.CmpImm(ir.Ule, sel, 10, 8)
+	b.Assert(ok, "clamp works")
+	b.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(p, Options{InputSize: 1})
+	runAll(t, ex, SearchDFS, 50_000)
+	if ex.Bugs.Len() != 0 {
+		t.Errorf("clamp violated: %v", ex.Bugs.Reports())
+	}
+}
+
+// TestSymbolicLoadITEWindow: a masked symbolic offset within the ITE
+// threshold loads symbolically; asserting a property of the loaded value
+// must consider every in-window byte.
+func TestSymbolicLoadITEWindow(t *testing.T) {
+	p := ir.NewProgram("itewin")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	buf := b.Alloca(8)
+	// store marker at index 5
+	m := b.Const(0x77, 8)
+	b.Store(buf, 5, m, 8)
+	ip := b.Input()
+	v := b.Load(ip, 0, 8)
+	idx := b.BinImm(ir.And, v, 7, 32) // 0..7, inside ITE window
+	idx64 := b.Zext(idx, 64)
+	addr := b.Add(buf, idx64, 64)
+	got := b.Load(addr, 0, 8)
+	// claim the load can never see the marker — must be refuted
+	ne := b.CmpImm(ir.Ne, got, 0x77, 8)
+	b.Assert(ne, "marker unreachable")
+	b.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(p, Options{InputSize: 1})
+	runAll(t, ex, SearchDFS, 50_000)
+	rs := ex.Bugs.Reports()
+	if len(rs) != 1 || rs[0].Kind != bugs.AssertFail {
+		t.Fatalf("expected the marker to be reachable through the ITE window: %v", rs)
+	}
+	// witness must select index 5
+	if rs[0].Input[0]&7 != 5 {
+		t.Errorf("witness byte %#x does not select index 5", rs[0].Input[0])
+	}
+}
+
+// TestNestedCallsShareNoRegisters: callee frames must not leak register
+// values between calls.
+func TestNestedCallsShareNoRegisters(t *testing.T) {
+	p := ir.NewProgram("frames")
+	hb := p.NewFunc("id", 1)
+	he := hb.NewBlock("entry")
+	he.Ret(hb.Param(0))
+
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	one := b.Const(1, 32)
+	two := b.Const(2, 32)
+	r1 := b.Call("id", one)
+	r2 := b.Call("id", two)
+	sum := b.Add(r1, r2, 32)
+	ok := b.CmpImm(ir.Eq, sum, 3, 32)
+	b.Assert(ok, "frames isolated")
+	b.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(p, Options{InputSize: 1})
+	runAll(t, ex, SearchDFS, 10_000)
+	if ex.Bugs.Len() != 0 {
+		t.Errorf("frame isolation broken: %v", ex.Bugs.Reports())
+	}
+}
+
+// TestPTreeLiveCountInvariant: after arbitrary add/fork/remove sequences,
+// the root live count equals the number of live states.
+func TestPTreeLiveCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := newRandomPathSearcher(rng)
+	var live []*State
+	id := 0
+	for step := 0; step < 500; step++ {
+		switch {
+		case len(live) == 0 || rng.Intn(4) == 0:
+			st := &State{ID: id}
+			id++
+			s.Add(st)
+			live = append(live, st)
+		case rng.Intn(3) == 0:
+			// fork a random live state
+			parent := live[rng.Intn(len(live))]
+			child := &State{ID: id}
+			id++
+			attachToPTree(parent, child)
+			live = append(live, child)
+		default:
+			i := rng.Intn(len(live))
+			s.Remove(live[i])
+			live = append(live[:i], live[i+1:]...)
+		}
+		if s.root.liveCount != len(live) {
+			t.Fatalf("step %d: root live=%d, actual=%d", step, s.root.liveCount, len(live))
+		}
+		if len(live) > 0 {
+			sel := s.Select()
+			found := false
+			for _, st := range live {
+				if st == sel {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("step %d: selected dead state %v", step, sel)
+			}
+		}
+	}
+}
+
+// TestConstraintSharingAcrossForks: forked states share the constraint
+// prefix but diverge after.
+func TestConstraintSharingAcrossForks(t *testing.T) {
+	p := ir.NewProgram("pcshare")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	t1 := fb.NewBlock("t1")
+	t2 := fb.NewBlock("t2")
+	done := fb.NewBlock("done")
+	ip := b.Input()
+	v := b.Load(ip, 0, 8)
+	c1 := b.CmpImm(ir.Ult, v, 100, 8)
+	b.Br(c1, t1.Blk(), done.Blk())
+	c2 := t1.CmpImm(ir.Ult, v, 50, 8)
+	t1.Br(c2, t2.Blk(), done.Blk())
+	t2.Exit()
+	done.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(p, Options{InputSize: 1})
+	st := ex.NewEntryState()
+	r1 := ex.StepBlock(st) // entry: forks at first branch
+	if len(r1.Added) != 1 {
+		t.Fatalf("expected 1 fork, got %d", len(r1.Added))
+	}
+	other := r1.Added[0]
+	if st.NumConstraints() != 1 || other.NumConstraints() != 1 {
+		t.Fatalf("constraints: %d / %d, want 1 / 1", st.NumConstraints(), other.NumConstraints())
+	}
+	r2 := ex.StepBlock(st) // t1: forks again
+	if len(r2.Added) != 1 {
+		t.Fatalf("expected second fork")
+	}
+	if st.NumConstraints() != 2 {
+		t.Errorf("taken path constraints = %d, want 2", st.NumConstraints())
+	}
+	if other.NumConstraints() != 1 {
+		t.Errorf("sibling constraints mutated: %d, want 1", other.NumConstraints())
+	}
+}
+
+// TestTruncRoundTrip: sext/trunc chains through registers match the
+// concrete interpreter on all inputs.
+func TestExtensionsMatchInterp(t *testing.T) {
+	p := ir.NewProgram("ext2")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	ip := b.Input()
+	v := b.Load(ip, 0, 8)
+	sx := b.Sext(v, 32)
+	shr := b.BinImm(ir.AShr, sx, 4, 32)
+	tr := b.Trunc(shr, 8)
+	buf := b.Alloca(1)
+	b.Store(buf, 0, tr, 8)
+	rd := b.Load(buf, 0, 8)
+	same := b.Cmp(ir.Eq, rd, tr, 8)
+	b.Assert(same, "store/load roundtrip")
+	b.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	// symbolic: no assert failure possible
+	ex := NewExecutor(p, Options{InputSize: 1})
+	runAll(t, ex, SearchDFS, 20_000)
+	if ex.Bugs.Len() != 0 {
+		t.Fatalf("roundtrip broken symbolically: %v", ex.Bugs.Reports())
+	}
+	// concrete spot checks
+	for _, v := range []byte{0x00, 0x7f, 0x80, 0xff} {
+		res := interp.New(p, []byte{v}, interp.Options{}).Run()
+		if res.Reason != interp.StopExited {
+			t.Errorf("input %#x: %+v", v, res)
+		}
+	}
+}

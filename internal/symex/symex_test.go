@@ -1,0 +1,453 @@
+package symex
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbse/internal/bugs"
+	"pbse/internal/interp"
+	"pbse/internal/ir"
+)
+
+func mustFinalize(t *testing.T, p *ir.Program) *ir.Program {
+	t.Helper()
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	return p
+}
+
+// magicProg: if input[0] == 0x7f then path A (exit) else path B (exit).
+func magicProg(t *testing.T) *ir.Program {
+	p := ir.NewProgram("magic")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	okB := fb.NewBlock("ok")
+	badB := fb.NewBlock("bad")
+	ip := b.Input()
+	v := b.Load(ip, 0, 8)
+	c := b.CmpImm(ir.Eq, v, 0x7f, 8)
+	b.Br(c, okB.Blk(), badB.Blk())
+	okB.Exit()
+	badB.Exit()
+	return mustFinalize(t, p)
+}
+
+func runAll(t *testing.T, ex *Executor, kind SearcherKind, budget int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	s, err := NewSearcher(kind, ex, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(ex.NewEntryState())
+	(&Runner{Ex: ex, Search: s}).Run(budget)
+}
+
+func TestBranchForksBothSides(t *testing.T) {
+	p := magicProg(t)
+	ex := NewExecutor(p, Options{InputSize: 4})
+	runAll(t, ex, SearchDFS, 1_000_000)
+	// all four blocks covered: entry, ok, bad
+	if got := ex.NumCovered(); got != 3 {
+		t.Errorf("covered = %d, want 3", got)
+	}
+	if ex.LiveStates() != 0 {
+		t.Errorf("live states = %d, want 0", ex.LiveStates())
+	}
+}
+
+// oobProg models the Fig 6 libtiff bug: w and h read from the file, a
+// fixed 257-byte buffer read at offset h*w*3.
+func oobProg(t *testing.T) *ir.Program {
+	p := ir.NewProgram("cielab")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	ip := b.Input()
+	w := b.Load(ip, 0, 16)
+	h := b.Load(ip, 2, 16)
+	w32 := b.Zext(w, 32)
+	h32 := b.Zext(h, 32)
+	area := b.Mul(w32, h32, 32)
+	idx := b.BinImm(ir.Mul, area, 3, 32)
+	buf := b.Alloca(257)
+	idx64 := b.Zext(idx, 64)
+	addr := b.Add(buf, idx64, 64)
+	b.Load(addr, 0, 8) // OOB when h*w*3 > 256
+	b.Exit()
+	return mustFinalize(t, p)
+}
+
+func TestOOBReadDetectedWithWitness(t *testing.T) {
+	p := oobProg(t)
+	ex := NewExecutor(p, Options{InputSize: 8})
+	runAll(t, ex, SearchDFS, 1_000_000)
+	reports := ex.Bugs.Reports()
+	if len(reports) == 0 {
+		t.Fatal("expected an OOB read report")
+	}
+	r := reports[0]
+	if r.Kind != bugs.OOBRead {
+		t.Fatalf("kind = %v, want OOB read", r.Kind)
+	}
+	if r.Input == nil {
+		t.Fatal("report has no witness input")
+	}
+	// the witness must actually crash the concrete interpreter
+	res := interp.New(p, r.Input, interp.Options{}).Run()
+	if res.Reason != interp.StopFault || res.Fault.Kind != interp.FaultOOBRead {
+		t.Fatalf("witness does not reproduce: %+v (input % x)", res, r.Input)
+	}
+}
+
+func TestDivByZeroSymbolic(t *testing.T) {
+	p := ir.NewProgram("div")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	ip := b.Input()
+	d := b.Load(ip, 0, 8)
+	x := b.Const(100, 8)
+	b.Bin(ir.UDiv, x, d, 8)
+	b.Exit()
+	mustFinalize(t, p)
+	ex := NewExecutor(p, Options{InputSize: 1})
+	runAll(t, ex, SearchDFS, 100_000)
+	rs := ex.Bugs.Reports()
+	if len(rs) != 1 || rs[0].Kind != bugs.DivByZero {
+		t.Fatalf("want one div-by-zero, got %v", rs)
+	}
+	// witness byte 0 must be zero
+	if rs[0].Input[0] != 0 {
+		t.Errorf("witness divisor = %d, want 0", rs[0].Input[0])
+	}
+	// execution continues past the division on the non-zero path
+	if ex.LiveStates() != 0 {
+		t.Errorf("live states = %d, want 0 (path should complete)", ex.LiveStates())
+	}
+}
+
+func TestAssertBugAndContinue(t *testing.T) {
+	p := ir.NewProgram("assert")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	tail := fb.NewBlock("tail")
+	ip := b.Input()
+	v := b.Load(ip, 0, 8)
+	c := b.CmpImm(ir.Ne, v, 42, 8)
+	b.Assert(c, "input must not be 42")
+	b.Jmp(tail.Blk())
+	tail.Exit()
+	mustFinalize(t, p)
+	ex := NewExecutor(p, Options{InputSize: 1})
+	runAll(t, ex, SearchDFS, 100_000)
+	rs := ex.Bugs.Reports()
+	if len(rs) != 1 || rs[0].Kind != bugs.AssertFail {
+		t.Fatalf("want one assert failure, got %v", rs)
+	}
+	if rs[0].Input[0] != 42 {
+		t.Errorf("witness = %d, want 42", rs[0].Input[0])
+	}
+	if !ex.Covered(p.Func("main").Blocks[1].ID) {
+		t.Error("tail block not covered despite constraint continuation")
+	}
+}
+
+// loopProg: input-dependent loop (the trap-phase shape): n = input[0];
+// loop n times; then a deep block.
+func loopProg(t *testing.T) *ir.Program {
+	p := ir.NewProgram("loop")
+	fb := p.NewFunc("main", 0)
+	entry := fb.NewBlock("entry")
+	head := fb.NewBlock("head")
+	body := fb.NewBlock("body")
+	deep := fb.NewBlock("deep")
+
+	i := fb.NewReg()
+	n := fb.NewReg()
+	ip := entry.Input()
+	nv := entry.Load(ip, 0, 8)
+	n32 := entry.Zext(nv, 32)
+	entry.MovTo(n, n32, 32)
+	entry.ConstTo(i, 0, 32)
+	entry.Jmp(head.Blk())
+
+	c := head.Cmp(ir.Ult, i, n, 32)
+	head.Br(c, body.Blk(), deep.Blk())
+
+	ni := body.AddImm(i, 1, 32)
+	body.MovTo(i, ni, 32)
+	body.Jmp(head.Blk())
+
+	deep.Exit()
+	return mustFinalize(t, p)
+}
+
+func TestSymbolicLoopForks(t *testing.T) {
+	p := loopProg(t)
+	ex := NewExecutor(p, Options{InputSize: 1})
+	runAll(t, ex, SearchBFS, 200_000)
+	if got := ex.NumCovered(); got != 4 {
+		t.Errorf("covered = %d, want 4", got)
+	}
+}
+
+func TestCopyOnWriteIsolation(t *testing.T) {
+	// prog: buf = alloca; if input[0]==1 { buf[0]=1 } else { buf[0]=2 };
+	// assert buf[0] == expected per branch
+	p := ir.NewProgram("cow")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	thenB := fb.NewBlock("then")
+	elseB := fb.NewBlock("else")
+
+	buf := fb.NewReg()
+	a := b.Alloca(4)
+	b.MovTo(buf, a, 64)
+	ip := b.Input()
+	v := b.Load(ip, 0, 8)
+	c := b.CmpImm(ir.Eq, v, 1, 8)
+	b.Br(c, thenB.Blk(), elseB.Blk())
+
+	one := thenB.Const(1, 8)
+	thenB.Store(buf, 0, one, 8)
+	rv := thenB.Load(buf, 0, 8)
+	ok := thenB.CmpImm(ir.Eq, rv, 1, 8)
+	thenB.Assert(ok, "then sees 1")
+	thenB.Exit()
+
+	two := elseB.Const(2, 8)
+	elseB.Store(buf, 0, two, 8)
+	rv2 := elseB.Load(buf, 0, 8)
+	ok2 := elseB.CmpImm(ir.Eq, rv2, 2, 8)
+	elseB.Assert(ok2, "else sees 2")
+	elseB.Exit()
+	mustFinalize(t, p)
+
+	ex := NewExecutor(p, Options{InputSize: 1})
+	runAll(t, ex, SearchDFS, 100_000)
+	if n := ex.Bugs.Len(); n != 0 {
+		t.Fatalf("COW broken: %d bug reports: %v", n, ex.Bugs.Reports())
+	}
+	if ex.NumCovered() != 3 {
+		t.Errorf("covered = %d, want 3", ex.NumCovered())
+	}
+}
+
+func TestSwitchForksFeasibleCases(t *testing.T) {
+	p := ir.NewProgram("switch")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	c1 := fb.NewBlock("c1")
+	c2 := fb.NewBlock("c2")
+	def := fb.NewBlock("def")
+	ip := b.Input()
+	v := b.Load(ip, 0, 8)
+	b.Switch(v, []uint64{1, 2}, []*ir.Block{c1.Blk(), c2.Blk()}, def.Blk())
+	c1.Exit()
+	c2.Exit()
+	def.Exit()
+	mustFinalize(t, p)
+	ex := NewExecutor(p, Options{InputSize: 1})
+	runAll(t, ex, SearchBFS, 100_000)
+	if ex.NumCovered() != 4 {
+		t.Errorf("covered = %d, want 4 (all switch arms)", ex.NumCovered())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, kind := range AllSearcherKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			run := func() (int, int64) {
+				p := loopProg(t)
+				ex := NewExecutor(p, Options{InputSize: 2})
+				runAll(t, ex, kind, 30_000)
+				return ex.NumCovered(), ex.Clock()
+			}
+			c1, t1 := run()
+			c2, t2 := run()
+			if c1 != c2 || t1 != t2 {
+				t.Errorf("nondeterministic: (%d,%d) vs (%d,%d)", c1, t1, c2, t2)
+			}
+		})
+	}
+}
+
+func TestAllSearchersCoverMagicProg(t *testing.T) {
+	for _, kind := range AllSearcherKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			p := magicProg(t)
+			ex := NewExecutor(p, Options{InputSize: 4})
+			runAll(t, ex, kind, 100_000)
+			if ex.NumCovered() != 3 {
+				t.Errorf("covered = %d, want 3", ex.NumCovered())
+			}
+		})
+	}
+}
+
+func TestMaxStatesSuppressesForks(t *testing.T) {
+	p := loopProg(t)
+	ex := NewExecutor(p, Options{InputSize: 1, MaxStates: 1})
+	runAll(t, ex, SearchDFS, 50_000)
+	// with MaxStates=1 the run follows single paths only; it must still
+	// terminate without error
+	if ex.LiveStates() != 0 {
+		t.Errorf("live states = %d", ex.LiveStates())
+	}
+}
+
+func TestRunnerBudget(t *testing.T) {
+	p := loopProg(t)
+	ex := NewExecutor(p, Options{InputSize: 4})
+	rng := rand.New(rand.NewSource(1))
+	s, _ := NewSearcher(SearchBFS, ex, rng)
+	s.Add(ex.NewEntryState())
+	(&Runner{Ex: ex, Search: s}).Run(500)
+	if ex.Clock() < 500 {
+		t.Errorf("clock = %d, want >= 500 (budget reached)", ex.Clock())
+	}
+	if ex.Clock() > 5000 {
+		t.Errorf("clock = %d, budget wildly overshot", ex.Clock())
+	}
+}
+
+func TestInfeasibleBranchKillsState(t *testing.T) {
+	// if input[0] < 5 { if input[0] > 10 { unreachable } }
+	p := ir.NewProgram("infeasible")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	inner := fb.NewBlock("inner")
+	dead := fb.NewBlock("dead")
+	out := fb.NewBlock("out")
+	ip := b.Input()
+	v := fb.NewReg()
+	lv := b.Load(ip, 0, 8)
+	b.MovTo(v, lv, 8)
+	c1 := b.CmpImm(ir.Ult, v, 5, 8)
+	b.Br(c1, inner.Blk(), out.Blk())
+	c2 := inner.CmpImm(ir.Ugt, v, 10, 8)
+	inner.Br(c2, dead.Blk(), out.Blk())
+	dead.Exit()
+	out.Exit()
+	mustFinalize(t, p)
+	ex := NewExecutor(p, Options{InputSize: 1})
+	runAll(t, ex, SearchBFS, 100_000)
+	deadID := p.Func("main").Blocks[2].ID
+	if ex.Covered(deadID) {
+		t.Error("infeasible block was covered")
+	}
+}
+
+// --- searcher unit tests ---
+
+func mkStates(n int) []*State {
+	out := make([]*State, n)
+	for i := range out {
+		out[i] = &State{ID: i}
+	}
+	return out
+}
+
+func TestDFSSelectsNewest(t *testing.T) {
+	s := &dfsSearcher{}
+	sts := mkStates(3)
+	for _, st := range sts {
+		s.Add(st)
+	}
+	if got := s.Select(); got != sts[2] {
+		t.Errorf("dfs selected %v, want newest", got)
+	}
+	s.Remove(sts[2])
+	if got := s.Select(); got != sts[1] {
+		t.Errorf("dfs selected %v after removal", got)
+	}
+}
+
+func TestBFSRotates(t *testing.T) {
+	s := &bfsSearcher{}
+	sts := mkStates(3)
+	for _, st := range sts {
+		s.Add(st)
+	}
+	got := []*State{s.Select(), s.Select(), s.Select(), s.Select()}
+	want := []*State{sts[0], sts[1], sts[2], sts[0]}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("select %d = state %d, want %d", i, got[i].ID, want[i].ID)
+		}
+	}
+}
+
+func TestRandomPathBiasTowardShallow(t *testing.T) {
+	// Build a tree: root has child A (1 state) and child B which forked
+	// many times (8 states). Random-path should select A far more often
+	// than 1/9 of the time.
+	rng := rand.New(rand.NewSource(7))
+	s := newRandomPathSearcher(rng)
+	a := &State{ID: 0}
+	s.Add(a)
+	b := &State{ID: 1}
+	s.Add(b)
+	// simulate forks of b: each fork creates a sibling
+	cur := b
+	for i := 2; i < 9; i++ {
+		child := &State{ID: i}
+		attachToPTree(cur, child)
+		cur = child
+	}
+	countA := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if s.Select() == a {
+			countA++
+		}
+	}
+	// uniform-over-states would give ~222; random-path gives ~1000
+	if countA < trials/3 {
+		t.Errorf("random-path not biased toward shallow: a selected %d/%d", countA, trials)
+	}
+}
+
+func TestWeightedSearcherPrefersHighWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sts := mkStates(2)
+	s := &weightedSearcher{
+		name: "test",
+		rng:  rng,
+		weight: func(st *State) float64 {
+			if st.ID == 0 {
+				return 100
+			}
+			return 1
+		},
+	}
+	s.Add(sts[0])
+	s.Add(sts[1])
+	count0 := 0
+	for i := 0; i < 1000; i++ {
+		if s.Select() == sts[0] {
+			count0++
+		}
+	}
+	if count0 < 900 {
+		t.Errorf("weighted selection picked heavy state only %d/1000", count0)
+	}
+}
+
+func TestInterleavedAlternates(t *testing.T) {
+	a := &dfsSearcher{}
+	b := &bfsSearcher{}
+	s := newInterleavedSearcher(a, b)
+	sts := mkStates(2)
+	s.Add(sts[0])
+	s.Add(sts[1])
+	// dfs gives newest (1), bfs gives oldest (0)
+	if s.Select() != sts[1] || s.Select() != sts[0] {
+		t.Error("interleaved did not alternate dfs/bfs")
+	}
+	s.Remove(sts[0])
+	s.Remove(sts[1])
+	if !s.Empty() {
+		t.Error("interleaved not empty after removals")
+	}
+}

@@ -1,0 +1,147 @@
+// Package targets contains the synthetic file-format parsers the
+// experiments run on. Each target mirrors the structure of one of the
+// paper's real test programs (readelf, pngtest, gif2tiff/tiff2rgba,
+// dwarfdump): a header-validation phase, input-dependent loops over
+// tables whose lengths come from the file (the trap phases), bypass
+// branches that let a few paths skip the loops (Fig 2), and seeded bugs
+// of the paper's classes hidden in the deep phases (Table III).
+package targets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pbse/internal/ir"
+)
+
+// Target couples a buildable program with its seed generator, mirroring
+// one (package, test-driver) row of the paper's tables.
+type Target struct {
+	// Name identifies the synthetic package ("minielf", "minipng", ...).
+	Name string
+	// Driver is the test-driver analogue ("readelf", "pngtest", ...).
+	Driver string
+	// Paper names the real-world program this target stands in for.
+	Paper string
+	// Build constructs and finalises the IR program.
+	Build func() (*ir.Program, error)
+	// GenSeed generates a valid input of approximately the given size.
+	GenSeed func(rng *rand.Rand, size int) []byte
+	// GenBuggySeed generates an input that triggers one of the seeded
+	// bugs concretely (used by the Fig 5(b) experiment); nil when the
+	// target has no concretely-reachable seeded bug generator.
+	GenBuggySeed func(rng *rand.Rand) []byte
+}
+
+// All returns every registered target in a stable order.
+func All() []*Target {
+	return []*Target{
+		MiniELF(),
+		MiniPNG(),
+		MiniTIFF(),
+		MiniTIFFRGBA(),
+		MiniDWARF(),
+	}
+}
+
+// ByDriver returns the target whose Driver matches, or an error.
+func ByDriver(driver string) (*Target, error) {
+	for _, t := range All() {
+		if t.Driver == driver {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("targets: unknown driver %q", driver)
+}
+
+// emitReadHelpers adds bounds-checked little-endian readers to p:
+//
+//	read8(off u32) u32, read16(off u32) u32, read32(off u32) u32
+//
+// Each returns 0 when the access would run past the input, so parser code
+// can read fearlessly; seeded bugs use raw loads instead.
+func emitReadHelpers(p *ir.Program) {
+	for _, h := range []struct {
+		name  string
+		nbyte uint64
+		width uint
+	}{
+		{"read8", 1, 8},
+		{"read16", 2, 16},
+		{"read32", 4, 32},
+	} {
+		fb := p.NewFunc(h.name, 1)
+		entry := fb.NewBlock("entry")
+		ok := fb.NewBlock("ok")
+		oob := fb.NewBlock("oob")
+
+		off := fb.Param(0)
+		off64 := entry.Zext(off, 64)
+		end := entry.BinImm(ir.Add, off64, h.nbyte, 64)
+		n := entry.InputLen(64)
+		c := entry.Cmp(ir.Ule, end, n, 64)
+		entry.Br(c, ok.Blk(), oob.Blk())
+
+		ip := ok.Input()
+		addr := ok.Add(ip, off64, 64)
+		v := ok.Load(addr, 0, h.width)
+		v32 := ok.Zext(v, 32)
+		ok.Ret(v32)
+
+		z := oob.Const(0, 32)
+		oob.Ret(z)
+	}
+}
+
+// loopParts holds the registers and blocks of a counted loop built by
+// beginLoop.
+type loopParts struct {
+	I     ir.Reg           // u32 induction variable
+	Head  *ir.Block        // condition block (jump here to continue)
+	Body  *ir.BlockBuilder // loop body (caller fills it, then calls endLoop)
+	After *ir.BlockBuilder // first block after the loop
+}
+
+// beginLoop emits `for I = 0; I < limit; I++` scaffolding: cur jumps into
+// the loop head; the caller fills parts.Body and finishes it with
+// endLoop (or custom control flow back to parts.Head / out to
+// parts.After).
+func beginLoop(fb *ir.FuncBuilder, cur *ir.BlockBuilder, name string, limit ir.Reg) loopParts {
+	head := fb.NewBlock(name + ".head")
+	body := fb.NewBlock(name + ".body")
+	after := fb.NewBlock(name + ".after")
+
+	i := fb.NewReg()
+	cur.ConstTo(i, 0, 32)
+	cur.Jmp(head.Blk())
+
+	c := head.Cmp(ir.Ult, i, limit, 32)
+	head.Br(c, body.Blk(), after.Blk())
+
+	return loopParts{I: i, Head: head.Blk(), Body: body, After: after}
+}
+
+// endLoop increments the induction variable and jumps back to the head.
+func endLoop(lp loopParts, tail *ir.BlockBuilder) {
+	ni := tail.AddImm(lp.I, 1, 32)
+	tail.MovTo(lp.I, ni, 32)
+	tail.Jmp(lp.Head)
+}
+
+// le16 appends v little-endian.
+func le16(b []byte, v uint16) []byte { return append(b, byte(v), byte(v>>8)) }
+
+// le32 appends v little-endian.
+func le32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// pad extends b with pseudo-random filler to exactly size bytes (values
+// kept below 0x10 so byte-indexed histogram code stays in bounds on
+// benign seeds).
+func pad(b []byte, size int, rng *rand.Rand) []byte {
+	for len(b) < size {
+		b = append(b, byte(rng.Intn(0x10)))
+	}
+	return b[:size]
+}

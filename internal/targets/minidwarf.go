@@ -1,0 +1,374 @@
+package targets
+
+import (
+	"math/rand"
+
+	"pbse/internal/ir"
+)
+
+// MiniDWARF is the dwarfdump analogue: an abbreviation table plus a
+// recursive DIE (debug info entry) tree walk — recursion is the paper's
+// other trap-phase shape. File layout:
+//
+//	0..3   magic 'D' 'W' 'F' '1'
+//	4..5   abbrev_off    6..7   abbrev_count
+//	8..9   info_off      10..11 info_count (top-level DIEs)
+//	abbrev entry (4B): code(1) tag(1) nattrs(1) form(1)
+//	DIE: code(1); nattrs values (2B each, per abbrev); nchildren(1);
+//	     children DIEs recursively. Code 0 is a null DIE (1 byte).
+//
+// Seeded bugs (libdwarf had 10 across these classes):
+//
+//	D1 (OOB read):   the attribute-name table (16 bytes) is indexed with
+//	                 tag&0x1f.
+//	D2 (null deref): form 3 attributes select a string pointer; value&7
+//	                 == 0 selects the null pointer.
+//	D3 (OOB write):  the depth histogram (8 bytes) is indexed with the
+//	                 recursion depth, unchecked past depth 7.
+func MiniDWARF() *Target {
+	return &Target{
+		Name:         "minidwarf",
+		Driver:       "dwarfdump",
+		Paper:        "libdwarf-20151114 dwarfdump",
+		Build:        buildMiniDWARF,
+		GenSeed:      genDwarfSeed,
+		GenBuggySeed: genDwarfBuggySeed,
+	}
+}
+
+func buildMiniDWARF() (*ir.Program, error) {
+	p := ir.NewProgram("minidwarf")
+	emitReadHelpers(p)
+
+	dwarfCheckHeader(p)
+	dwarfFindAbbrev(p)
+	dwarfProcessAttrs(p)
+	dwarfProcessDIE(p)
+	dwarfScanAbbrevTable(p)
+	dwarfEmitRich(p)
+
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	bad := fb.NewBlock("bad")
+	run := fb.NewBlock("run")
+	ok := b.Call("dwarf_check_header")
+	c := b.CmpImm(ir.Ne, ok, 0, 32)
+	b.Br(c, run.Blk(), bad.Blk())
+	bad.Print("not a DWF file")
+	bad.Exit()
+
+	run.Call("scan_abbrev_table")
+	nTop := run.Call("read16", run.Const(10, 32))
+	infoOff := run.Call("read16", run.Const(8, 32))
+
+	// walk the top-level DIEs
+	pos := fb.NewReg()
+	run.MovTo(pos, infoOff, 32)
+	lp := beginLoop(fb, run, "top", nTop)
+	zero := lp.Body.Const(0, 32)
+	np := lp.Body.Call("process_die", pos, zero)
+	lp.Body.MovTo(pos, np, 32)
+	endLoop(lp, lp.Body)
+	lp.After.Call("line_program")
+	lp.After.Exit()
+
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func dwarfCheckHeader(p *ir.Program) {
+	fb := p.NewFunc("dwarf_check_header", 0)
+	entry := fb.NewBlock("entry")
+	fail := fb.NewBlock("fail")
+	cur := entry
+	for i, want := range []uint64{'D', 'W', 'F', '1'} {
+		next := fb.NewBlock("m" + string(rune('0'+i)))
+		v := cur.Call("read8", cur.Const(uint64(i), 32))
+		c := cur.CmpImm(ir.Eq, v, want, 32)
+		cur.Br(c, next.Blk(), fail.Blk())
+		cur = next
+	}
+	one := cur.Const(1, 32)
+	cur.Ret(one)
+	zero := fail.Const(0, 32)
+	fail.Ret(zero)
+}
+
+// dwarfScanAbbrevTable pre-validates every abbreviation entry — the
+// first input-dependent loop.
+func dwarfScanAbbrevTable(p *ir.Program) {
+	fb := p.NewFunc("scan_abbrev_table", 0)
+	entry := fb.NewBlock("entry")
+
+	off := entry.Call("read16", entry.Const(4, 32))
+	count := entry.Call("read16", entry.Const(6, 32))
+	lp := beginLoop(fb, entry, "ab", count)
+	b := lp.Body
+	stride := b.BinImm(ir.Mul, lp.I, 4, 32)
+	base := b.Add(off, stride, 32)
+	code := b.Call("read8", base)
+	okCode := fb.NewBlock("okcode")
+	badCode := fb.NewBlock("badcode")
+	join := fb.NewBlock("join")
+	cc := b.CmpImm(ir.Ne, code, 0, 32)
+	b.Br(cc, okCode.Blk(), badCode.Blk())
+	badCode.Print("abbrev code 0")
+	badCode.Jmp(join.Blk())
+	nattrs := okCode.Call("read8", okCode.AddImm(base, 2, 32))
+	okN := fb.NewBlock("okn")
+	badN := fb.NewBlock("badn")
+	nc := okCode.CmpImm(ir.Ule, nattrs, 8, 32)
+	okCode.Br(nc, okN.Blk(), badN.Blk())
+	badN.Print("too many attrs")
+	badN.Jmp(join.Blk())
+	okN.Jmp(join.Blk())
+	ni := join.AddImm(lp.I, 1, 32)
+	join.MovTo(lp.I, ni, 32)
+	join.Jmp(lp.Head)
+	lp.After.RetVoid()
+}
+
+// dwarfFindAbbrev(code) linearly scans the abbreviation table and returns
+// the entry offset, or 0xffffffff when absent.
+func dwarfFindAbbrev(p *ir.Program) {
+	fb := p.NewFunc("find_abbrev", 1)
+	entry := fb.NewBlock("entry")
+	want := fb.Param(0)
+
+	off := entry.Call("read16", entry.Const(4, 32))
+	count := entry.Call("read16", entry.Const(6, 32))
+	lp := beginLoop(fb, entry, "fa", count)
+	b := lp.Body
+	stride := b.BinImm(ir.Mul, lp.I, 4, 32)
+	base := b.Add(off, stride, 32)
+	code := b.Call("read8", base)
+	hit := fb.NewBlock("hit")
+	miss := fb.NewBlock("miss")
+	hc := b.Cmp(ir.Eq, code, want, 32)
+	b.Br(hc, hit.Blk(), miss.Blk())
+	hit.Ret(base)
+	ni := miss.AddImm(lp.I, 1, 32)
+	miss.MovTo(lp.I, ni, 32)
+	miss.Jmp(lp.Head)
+
+	sentinel := lp.After.Const(0xffffffff, 32)
+	lp.After.Ret(sentinel)
+}
+
+// dwarfProcessAttrs(pos, abbrevOff) consumes the attribute values of one
+// DIE and returns the new position. Carries bugs D1 and D2.
+func dwarfProcessAttrs(p *ir.Program) {
+	fb := p.NewFunc("process_attrs", 2)
+	entry := fb.NewBlock("entry")
+	pos0, abbrevOff := fb.Param(0), fb.Param(1)
+
+	names := entry.Alloca(16)  // D1: indexed with tag&0x1f
+	strbuf := entry.Alloca(32) // D2: or the null pointer
+
+	tag := entry.Call("read8", entry.AddImm(abbrevOff, 1, 32))
+	nattrs := entry.Call("read8", entry.AddImm(abbrevOff, 2, 32))
+	form := entry.Call("read8", entry.AddImm(abbrevOff, 3, 32))
+
+	// BUG D1: OOB read of the 16-byte name table for tag >= 0x10
+	nidx := entry.BinImm(ir.And, tag, 0x1f, 32)
+	nidx64 := entry.Zext(nidx, 64)
+	naddr := entry.Add(names, nidx64, 64)
+	entry.Load(naddr, 0, 8)
+
+	pos := fb.NewReg()
+	entry.MovTo(pos, pos0, 32)
+	lp := beginLoop(fb, entry, "attr", nattrs)
+	b := lp.Body
+	val := b.Call("read16", pos)
+	np := b.AddImm(pos, 2, 32)
+	b.MovTo(pos, np, 32)
+
+	b.Call("decode_form", form, val)
+
+	isStr := fb.NewBlock("isstr")
+	plain := fb.NewBlock("plain")
+	join := fb.NewBlock("join")
+	fc := b.CmpImm(ir.Eq, form, 3, 32)
+	b.Br(fc, isStr.Blk(), plain.Blk())
+
+	// BUG D2: val&7 == 0 leaves the string pointer null
+	strOK := fb.NewBlock("strok")
+	strNull := fb.NewBlock("strnull")
+	sel := isStr.BinImm(ir.And, val, 7, 32)
+	nz := isStr.CmpImm(ir.Ne, sel, 0, 32)
+	isStr.Br(nz, strOK.Blk(), strNull.Blk())
+	idx64 := strOK.Zext(sel, 64)
+	saddr := strOK.Add(strbuf, idx64, 64)
+	strOK.Load(saddr, 0, 8)
+	strOK.Jmp(join.Blk())
+	zero64 := strNull.Const(0, 64)
+	strNull.Load(zero64, 0, 8) // crash: null dereference
+	strNull.Jmp(join.Blk())
+
+	plain.Jmp(join.Blk())
+
+	ni := join.AddImm(lp.I, 1, 32)
+	join.MovTo(lp.I, ni, 32)
+	join.Jmp(lp.Head)
+
+	lp.After.Ret(pos)
+}
+
+// dwarfProcessDIE(pos, depth) is the recursive tree walk. Carries bug D3:
+// the 8-byte depth histogram is written at index depth with no check.
+func dwarfProcessDIE(p *ir.Program) {
+	fb := p.NewFunc("process_die", 2)
+	entry := fb.NewBlock("entry")
+	pos0, depth := fb.Param(0), fb.Param(1)
+
+	// stop at end of file (defensive, like dwarfdump's section bounds)
+	n := entry.InputLen(32)
+	inFile := entry.Cmp(ir.Ult, pos0, n, 32)
+	parse := fb.NewBlock("parse")
+	eof := fb.NewBlock("eof")
+	entry.Br(inFile, parse.Blk(), eof.Blk())
+	ep := eof.AddImm(pos0, 1, 32)
+	eof.Ret(ep)
+
+	hist := parse.Alloca(8)
+	// BUG D3: depth is unbounded (input-controlled nesting)
+	d64 := parse.Zext(depth, 64)
+	haddr := parse.Add(hist, d64, 64)
+	one8 := parse.Const(1, 8)
+	parse.Store(haddr, 0, one8, 8)
+
+	code := parse.Call("read8", pos0)
+	p1 := parse.AddImm(pos0, 1, 32)
+	isNull := fb.NewBlock("null")
+	lookup := fb.NewBlock("lookup")
+	zc := parse.CmpImm(ir.Eq, code, 0, 32)
+	parse.Br(zc, isNull.Blk(), lookup.Blk())
+	isNull.Ret(p1)
+
+	abbrev := lookup.Call("find_abbrev", code)
+	found := fb.NewBlock("found")
+	missing := fb.NewBlock("missing")
+	mc := lookup.CmpImm(ir.Eq, abbrev, 0xffffffff, 32)
+	lookup.Br(mc, missing.Blk(), found.Blk())
+	missing.Print("unknown abbrev code")
+	missing.Ret(p1)
+
+	apos := found.Call("process_attrs", p1, abbrev)
+	nchild := found.Call("read8", apos)
+	dtag := found.Call("read8", found.AddImm(abbrev, 1, 32))
+	found.Call("describe_tag", dtag, nchild)
+	cpos := fb.NewReg()
+	cp0 := found.AddImm(apos, 1, 32)
+	found.MovTo(cpos, cp0, 32)
+
+	d1 := found.AddImm(depth, 1, 32)
+	lp := beginLoop(fb, found, "child", nchild)
+	np := lp.Body.Call("process_die", cpos, d1)
+	lp.Body.MovTo(cpos, np, 32)
+	endLoop(lp, lp.Body)
+
+	lp.After.Ret(cpos)
+}
+
+// genDwarfSeed builds a benign DWF file: an abbrev table with small tags
+// (< 0x10, keeping D1 dormant), non-string forms or non-zero string
+// selectors (D2 dormant), and a DIE tree nested at most 3 deep (D3
+// dormant).
+func genDwarfSeed(rng *rand.Rand, size int) []byte {
+	if size < 64 {
+		size = 64
+	}
+	b := []byte{'D', 'W', 'F', '1'}
+	abbrevCount := 2 + rng.Intn(2)
+	abbrevOff := 16
+	infoOff := abbrevOff + abbrevCount*4
+
+	// a small valid line-number program placed after the DIEs; its
+	// offset is patched in below once the info size is known
+	lineProg := []byte{
+		1, byte(rng.Intn(64)), 0, // advance pc
+		2, byte(rng.Intn(5)), // advance line
+		5,                       // copy
+		byte(9 + rng.Intn(200)), // special opcode
+		4, 7, 8,                 // const add, fixed advance, reset
+		3, byte(1 + rng.Intn(9)), // set file
+		6, byte(rng.Intn(80)), 0, // set column
+		0, // end of sequence
+	}
+
+	b = le16(b, uint16(abbrevOff))
+	b = le16(b, uint16(abbrevCount))
+	b = le16(b, uint16(infoOff))
+
+	type abbrev struct{ code, tag, nattrs, form byte }
+	abbrevs := make([]abbrev, abbrevCount)
+	for i := range abbrevs {
+		abbrevs[i] = abbrev{
+			code:   byte(i + 1),
+			tag:    byte(dwarfTags[rng.Intn(9)].id), // ids < 0x10 keep D1 dormant
+			nattrs: byte(1 + rng.Intn(3)),
+			form:   byte(1 + rng.Intn(7)),
+		}
+	}
+
+	// DIE tree: a couple of top-level DIEs, each with one child level
+	var info []byte
+	var emitDIE func(depth int)
+	emitDIE = func(depth int) {
+		a := abbrevs[rng.Intn(len(abbrevs))]
+		info = append(info, a.code)
+		for i := 0; i < int(a.nattrs); i++ {
+			v := uint16(1 + rng.Intn(200)) // low 3 bits rarely 0…
+			if a.form == 3 && v&7 == 0 {
+				v |= 1 // …and forced non-zero for string forms (D2 dormant)
+			}
+			info = le16(info, v)
+		}
+		if depth < 2 && rng.Intn(2) == 0 {
+			info = append(info, 1) // one child
+			emitDIE(depth + 1)
+		} else {
+			info = append(info, 0) // no children
+		}
+	}
+	nTop := 2
+	for i := 0; i < nTop; i++ {
+		emitDIE(0)
+	}
+	b = le16(b, uint16(nTop))
+	lineOff := infoOff + len(info)
+	b = le16(b, uint16(lineOff))
+	b = le16(b, uint16(len(lineProg)))
+	for i := range abbrevs {
+		b = append(b, abbrevs[i].code, abbrevs[i].tag, abbrevs[i].nattrs, abbrevs[i].form)
+	}
+	b = append(b, info...)
+	b = append(b, lineProg...)
+	return pad(b, size, rng)
+}
+
+// genDwarfBuggySeed nests DIEs 9 deep, overflowing the 8-byte depth
+// histogram concretely (bug D3).
+func genDwarfBuggySeed(rng *rand.Rand) []byte {
+	b := []byte{'D', 'W', 'F', '1'}
+	b = le16(b, 16)           // abbrev off
+	b = le16(b, 1)            // one abbrev
+	b = le16(b, 20)           // info off
+	b = le16(b, 1)            // one top-level DIE
+	b = le16(b, 0)            // line program off (none)
+	b = le16(b, 0)            // line program len
+	b = append(b, 1, 2, 1, 1) // code 1, tag 2, 1 attr, form 1
+
+	var info []byte
+	depth := 9
+	for i := 0; i < depth; i++ {
+		info = append(info, 1)       // code
+		info = le16(info, uint16(5)) // attr value
+		info = append(info, 1)       // one child
+	}
+	info = append(info, 0) // deepest child is a null DIE
+	b = append(b, info...)
+	return pad(b, 128, rng)
+}

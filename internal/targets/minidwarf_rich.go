@@ -1,0 +1,304 @@
+package targets
+
+import "pbse/internal/ir"
+
+// Breadth handlers for minidwarf: a DW_TAG dispatch table, per-form
+// attribute decoding, and a line-number program interpreter — the state
+// machine that dominates real dwarfdump runs (and a natural trap phase:
+// one input-bounded opcode loop).
+//
+// The header grows line-table fields: bytes 12..13 line_off, 14..15
+// line_count (opcode bytes).
+
+// dwarfTags mirrors a slice of the DW_TAG_* table with a "has children
+// expected" hint used for a validation branch.
+var dwarfTags = []struct {
+	id      uint64
+	hasKids bool
+	weight  uint64
+}{
+	{0x01, false, 3},  // array_type
+	{0x02, true, 5},   // class_type
+	{0x04, true, 7},   // enumeration_type
+	{0x05, false, 2},  // formal_parameter
+	{0x08, false, 4},  // imported_declaration
+	{0x0b, true, 6},   // lexical_block
+	{0x0d, false, 8},  // member
+	{0x0f, false, 1},  // pointer_type
+	{0x11, true, 9},   // compile_unit
+	{0x13, true, 10},  // structure_type
+	{0x16, false, 11}, // typedef
+	{0x17, true, 12},  // union_type
+	{0x1d, true, 13},  // inlined_subroutine
+	{0x24, false, 14}, // base_type
+	{0x2e, true, 15},  // subprogram
+	{0x34, false, 16}, // variable
+}
+
+// dwarfEmitRich registers the breadth handlers.
+func dwarfEmitRich(p *ir.Program) {
+	dwarfDescribeTag(p)
+	dwarfDecodeForm(p)
+	dwarfLineProgram(p)
+}
+
+// dwarfDescribeTag dispatches on the DIE tag with a per-tag arm and a
+// children-expectation check.
+func dwarfDescribeTag(p *ir.Program) {
+	fb := p.NewFunc("describe_tag", 2)
+	entry := fb.NewBlock("entry")
+	tag, nchild := fb.Param(0), fb.Param(1)
+
+	ret := fb.NewReg()
+	entry.ConstTo(ret, 0, 32)
+	def := fb.NewBlock("t.def")
+	join := fb.NewBlock("t.join")
+	vals := make([]uint64, len(dwarfTags))
+	arms := make([]*ir.Block, len(dwarfTags))
+	for i, dt := range dwarfTags {
+		bb := fb.NewBlock("t.arm")
+		vals[i] = dt.id
+		arms[i] = bb.Blk()
+		v := bb.Const(dt.id*dt.weight, 32)
+		if dt.hasKids {
+			// container tags usually have children; warn when empty
+			warn := fb.NewBlock("t.warn")
+			fine := fb.NewBlock("t.fine")
+			c := bb.CmpImm(ir.Eq, nchild, 0, 32)
+			bb.Br(c, warn.Blk(), fine.Blk())
+			warn.Print("container DIE without children")
+			warn.MovTo(ret, v, 32)
+			warn.Jmp(join.Blk())
+			fine.MovTo(ret, v, 32)
+			fine.Jmp(join.Blk())
+		} else {
+			bb.MovTo(ret, v, 32)
+			bb.Jmp(join.Blk())
+		}
+	}
+	entry.Switch(tag, vals, arms, def.Blk())
+	def.Print("unknown DIE tag")
+	def.Jmp(join.Blk())
+	join.Ret(ret)
+}
+
+// dwarfDecodeForm(form, val) decodes one attribute value per its form:
+// data1/2/4, string index, reference, flag, block, sdata — each with a
+// distinct computation or validation.
+func dwarfDecodeForm(p *ir.Program) {
+	fb := p.NewFunc("decode_form", 2)
+	entry := fb.NewBlock("entry")
+	form, val := fb.Param(0), fb.Param(1)
+
+	ret := fb.NewReg()
+	entry.ConstTo(ret, 0, 32)
+	join := fb.NewBlock("f.join")
+	def := fb.NewBlock("f.def")
+
+	data1 := fb.NewBlock("f.data1")
+	data2 := fb.NewBlock("f.data2")
+	strx := fb.NewBlock("f.str")
+	ref := fb.NewBlock("f.ref")
+	flag := fb.NewBlock("f.flag")
+	blockF := fb.NewBlock("f.block")
+	sdata := fb.NewBlock("f.sdata")
+
+	entry.Switch(form, []uint64{1, 2, 3, 4, 5, 6, 7},
+		[]*ir.Block{data1.Blk(), data2.Blk(), strx.Blk(), ref.Blk(), flag.Blk(), blockF.Blk(), sdata.Blk()},
+		def.Blk())
+
+	// data1: low byte only
+	d1 := data1.BinImm(ir.And, val, 0xff, 32)
+	data1.MovTo(ret, d1, 32)
+	data1.Jmp(join.Blk())
+
+	// data2: full 16 bits
+	data2.MovTo(ret, val, 32)
+	data2.Jmp(join.Blk())
+
+	// string index: handled in process_attrs (bug D2 site); count here
+	s1 := strx.AddImm(val, 1, 32)
+	strx.MovTo(ret, s1, 32)
+	strx.Jmp(join.Blk())
+
+	// reference: must point inside the file
+	refOK := fb.NewBlock("f.refok")
+	refBad := fb.NewBlock("f.refbad")
+	n := ref.InputLen(32)
+	rc := ref.Cmp(ir.Ult, val, n, 32)
+	ref.Br(rc, refOK.Blk(), refBad.Blk())
+	refBad.Print("reference outside file")
+	refBad.Jmp(join.Blk())
+	tv := refOK.Call("read8", val) // chase the reference one hop
+	refOK.MovTo(ret, tv, 32)
+	refOK.Jmp(join.Blk())
+
+	// flag: 0/1 only
+	flagOK := fb.NewBlock("f.flagok")
+	flagBad := fb.NewBlock("f.flagbad")
+	fc := flag.CmpImm(ir.Ule, val, 1, 32)
+	flag.Br(fc, flagOK.Blk(), flagBad.Blk())
+	flagBad.Print("non-boolean flag")
+	flagBad.Jmp(join.Blk())
+	flagOK.MovTo(ret, val, 32)
+	flagOK.Jmp(join.Blk())
+
+	// block: length-prefixed region; sum up to 8 bytes
+	bsum := fb.NewReg()
+	blockF.ConstTo(bsum, 0, 32)
+	blen := blockF.BinImm(ir.And, val, 7, 32)
+	lp := beginLoop(fb, blockF, "blk", blen)
+	bv := lp.Body.Call("read8", lp.Body.Add(val, lp.I, 32))
+	nb := lp.Body.Add(bsum, bv, 32)
+	lp.Body.MovTo(bsum, nb, 32)
+	endLoop(lp, lp.Body)
+	lp.After.MovTo(ret, bsum, 32)
+	lp.After.Jmp(join.Blk())
+
+	// sdata: zig-zag decode
+	mag := sdata.BinImm(ir.LShr, val, 1, 32)
+	sgn := sdata.BinImm(ir.And, val, 1, 32)
+	neg := fb.NewBlock("f.neg")
+	posb := fb.NewBlock("f.pos")
+	sc := sdata.CmpImm(ir.Ne, sgn, 0, 32)
+	sdata.Br(sc, neg.Blk(), posb.Blk())
+	nm := neg.Not(mag, 32)
+	neg.MovTo(ret, nm, 32)
+	neg.Jmp(join.Blk())
+	posb.MovTo(ret, mag, 32)
+	posb.Jmp(join.Blk())
+
+	def.Print("unknown form")
+	def.Jmp(join.Blk())
+	join.Ret(ret)
+}
+
+// dwarfLineProgram interprets the line-number opcodes at
+// line_off..line_off+line_count: a register state machine with ten
+// opcodes, like .debug_line.
+func dwarfLineProgram(p *ir.Program) {
+	fb := p.NewFunc("line_program", 0)
+	entry := fb.NewBlock("entry")
+
+	lineOff := entry.Call("read16", entry.Const(12, 32))
+	lineCnt := entry.Call("read16", entry.Const(14, 32))
+
+	pc := fb.NewReg()   // address register
+	line := fb.NewReg() // line register
+	file := fb.NewReg()
+	col := fb.NewReg()
+	rows := fb.NewReg()
+	pos := fb.NewReg()
+	entry.ConstTo(pc, 0, 32)
+	entry.ConstTo(line, 1, 32)
+	entry.ConstTo(file, 1, 32)
+	entry.ConstTo(col, 0, 32)
+	entry.ConstTo(rows, 0, 32)
+	entry.MovTo(pos, lineOff, 32)
+	end := entry.Add(lineOff, lineCnt, 32)
+
+	head := fb.NewBlock("head")
+	body := fb.NewBlock("body")
+	out := fb.NewBlock("out")
+	entry.Jmp(head.Blk())
+	hc := head.Cmp(ir.Ult, pos, end, 32)
+	head.Br(hc, body.Blk(), out.Blk())
+
+	op := body.Call("read8", pos)
+	p1 := body.AddImm(pos, 1, 32)
+
+	opEnd := fb.NewBlock("op.end")
+	opAdvPC := fb.NewBlock("op.advpc")
+	opAdvLine := fb.NewBlock("op.advline")
+	opSetFile := fb.NewBlock("op.setfile")
+	opConstPC := fb.NewBlock("op.constpc")
+	opCopy := fb.NewBlock("op.copy")
+	opSetCol := fb.NewBlock("op.setcol")
+	opFixedPC := fb.NewBlock("op.fixedpc")
+	opReset := fb.NewBlock("op.reset")
+	opSpecial := fb.NewBlock("op.special")
+	join := fb.NewBlock("op.join")
+
+	body.Switch(op, []uint64{0, 1, 2, 3, 4, 5, 6, 7, 8},
+		[]*ir.Block{opEnd.Blk(), opAdvPC.Blk(), opAdvLine.Blk(), opSetFile.Blk(),
+			opConstPC.Blk(), opCopy.Blk(), opSetCol.Blk(), opFixedPC.Blk(), opReset.Blk()},
+		opSpecial.Blk())
+
+	// 0: end of sequence
+	opEnd.Jmp(out.Blk())
+
+	// 1: advance pc by a 16-bit operand
+	adv := opAdvPC.Call("read16", p1)
+	npc := opAdvPC.Add(pc, adv, 32)
+	opAdvPC.MovTo(pc, npc, 32)
+	np1 := opAdvPC.AddImm(pos, 3, 32)
+	opAdvPC.MovTo(pos, np1, 32)
+	opAdvPC.Jmp(head.Blk())
+
+	// 2: advance line by a signed byte
+	db := opAdvLine.Call("read8", p1)
+	dsx := opAdvLine.Trunc(db, 8)
+	ds := opAdvLine.Sext(dsx, 32)
+	nl := opAdvLine.Add(line, ds, 32)
+	opAdvLine.MovTo(line, nl, 32)
+	np2 := opAdvLine.AddImm(pos, 2, 32)
+	opAdvLine.MovTo(pos, np2, 32)
+	opAdvLine.Jmp(head.Blk())
+
+	// 3: set file (validated non-zero)
+	fv := opSetFile.Call("read8", p1)
+	fOK := fb.NewBlock("op.fok")
+	fBad := fb.NewBlock("op.fbad")
+	fc := opSetFile.CmpImm(ir.Ne, fv, 0, 32)
+	opSetFile.Br(fc, fOK.Blk(), fBad.Blk())
+	fBad.Print("file index zero")
+	fBad.Jmp(join.Blk())
+	fOK.MovTo(file, fv, 32)
+	fOK.Jmp(join.Blk())
+
+	// 4: const add pc
+	cp := opConstPC.AddImm(pc, 17, 32)
+	opConstPC.MovTo(pc, cp, 32)
+	opConstPC.Jmp(join.Blk())
+
+	// 5: copy (emit a row)
+	nr := opCopy.AddImm(rows, 1, 32)
+	opCopy.MovTo(rows, nr, 32)
+	opCopy.Jmp(join.Blk())
+
+	// 6: set column from a 16-bit operand
+	cv := opSetCol.Call("read16", p1)
+	opSetCol.MovTo(col, cv, 32)
+	np6 := opSetCol.AddImm(pos, 3, 32)
+	opSetCol.MovTo(pos, np6, 32)
+	opSetCol.Jmp(head.Blk())
+
+	// 7: fixed advance pc
+	fp := opFixedPC.AddImm(pc, 4, 32)
+	opFixedPC.MovTo(pc, fp, 32)
+	opFixedPC.Jmp(join.Blk())
+
+	// 8: reset registers
+	opReset.ConstTo(pc, 0, 32)
+	opReset.ConstTo(line, 1, 32)
+	opReset.ConstTo(col, 0, 32)
+	opReset.Jmp(join.Blk())
+
+	// >= 9: special opcode: split into line/pc deltas
+	adj := opSpecial.BinImm(ir.Sub, op, 9, 32)
+	dl := opSpecial.BinImm(ir.URem, adj, 12, 32)
+	dp := opSpecial.BinImm(ir.UDiv, adj, 12, 32)
+	nls := opSpecial.Add(line, dl, 32)
+	opSpecial.MovTo(line, nls, 32)
+	nps := opSpecial.Add(pc, dp, 32)
+	opSpecial.MovTo(pc, nps, 32)
+	nrs := opSpecial.AddImm(rows, 1, 32)
+	opSpecial.MovTo(rows, nrs, 32)
+	opSpecial.Jmp(join.Blk())
+
+	// single-byte opcodes advance by one
+	join.MovTo(pos, p1, 32)
+	join.Jmp(head.Blk())
+
+	out.Ret(rows)
+}

@@ -1,0 +1,674 @@
+package targets
+
+import (
+	"math/rand"
+
+	"pbse/internal/ir"
+)
+
+// MiniELF is the readelf analogue. File layout (little endian):
+//
+//	0..3    magic 0x7f 'E' 'L' 'F'
+//	4       class (1 or 2)
+//	5       version (must be 1)
+//	6..7    e_phnum      8..9    e_shnum
+//	10..11  e_phoff      12..13  e_shoff
+//	14..15  e_flags (bit0: do_section_groups, bit1: do_unwind)
+//	program header entry (8B):  type(2) offset(2) filesz(2) flags(2)
+//	section header entry (12B): type(2) offset(2) size(2) name(2) link(2) info(2)
+//
+// Section types: 0 NULL, 1 PROGBITS, 2 DYNAMIC, 3 SYMTAB, 17 GROUP.
+//
+// Phase structure (mirroring Fig 1(a)): header validation and the
+// phnum/shnum-bounded loops form Phase A (the paper's five
+// input-dependent loops); the dynamic-section, symbol and
+// section-contents passes form Phase B. process_section_groups carries
+// the Fig 2 bypass (flag-gated early return). Seeded bugs:
+//
+//	B1 (OOB read):  process_symbols indexes a fixed 32-byte table with
+//	                info&0x3f (up to 63) — the Fig 6-style unchecked
+//	                index-from-file bug.
+//	B2 (OOB write): process_section_contents indexes a 16-byte histogram
+//	                with byte&0x1f (up to 31).
+func MiniELF() *Target {
+	return &Target{
+		Name:         "minielf",
+		Driver:       "readelf",
+		Paper:        "binutils-2.26 readelf",
+		Build:        buildMiniELF,
+		GenSeed:      genELFSeed,
+		GenBuggySeed: genELFBuggySeed,
+	}
+}
+
+func buildMiniELF() (*ir.Program, error) {
+	p := ir.NewProgram("minielf")
+	emitReadHelpers(p)
+	elfSectionInFile(p)
+
+	elfCheckHeader(p)
+	elfProcessFileHeader(p)
+	elfProcessProgramHeaders(p)
+	elfProcessSectionHeaders(p)
+	elfProcessSectionGroups(p)
+	elfProcessDynamicSection(p)
+	elfProcessSymbols(p)
+	elfProcessSectionContents(p)
+	elfEmitRich(p)
+
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	bad := fb.NewBlock("bad")
+	run := fb.NewBlock("run")
+	ok := b.Call("check_header")
+	c := b.CmpImm(ir.Ne, ok, 0, 32)
+	b.Br(c, run.Blk(), bad.Blk())
+	bad.Print("not an ELF file")
+	bad.Exit()
+	run.Call("process_file_header")
+	run.Call("describe_machine")
+	run.Call("describe_osabi")
+	run.Call("process_program_headers")
+	run.Call("process_section_headers")
+	run.Call("process_section_groups")
+	run.Call("process_dynamic_section")
+	run.Call("process_symbols")
+	run.Call("process_section_contents")
+	run.Call("process_special_sections")
+	run.Exit()
+
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// elfSectionInFile(doff, sz) reports whether a section body lies inside
+// the file — readelf's get_data validation. Deep per-section loops only
+// run for consistent entries, so reaching them symbolically requires
+// constructing a coherent header + section-table chain.
+func elfSectionInFile(p *ir.Program) {
+	fb := p.NewFunc("section_in_file", 2)
+	entry := fb.NewBlock("entry")
+	doff, sz := fb.Param(0), fb.Param(1)
+	ok := fb.NewBlock("ok")
+	bad := fb.NewBlock("bad")
+	d64 := entry.Zext(doff, 64)
+	s64 := entry.Zext(sz, 64)
+	end := entry.Add(d64, s64, 64)
+	n := entry.InputLen(64)
+	c1 := entry.Cmp(ir.Ule, end, n, 64)
+	entry.Br(c1, ok.Blk(), bad.Blk())
+	// the body must also start after the 16-byte header
+	ok2 := fb.NewBlock("ok2")
+	c2 := ok.CmpImm(ir.Uge, doff, 16, 32)
+	ok.Br(c2, ok2.Blk(), bad.Blk())
+	one := ok2.Const(1, 32)
+	ok2.Ret(one)
+	zero := bad.Const(0, 32)
+	bad.Ret(zero)
+}
+
+// elfCheckHeader validates magic, class and version byte by byte.
+func elfCheckHeader(p *ir.Program) {
+	fb := p.NewFunc("check_header", 0)
+	entry := fb.NewBlock("entry")
+	fail := fb.NewBlock("fail")
+
+	cur := entry
+	for i, want := range []uint64{0x7f, 'E', 'L', 'F'} {
+		next := fb.NewBlock("magic" + string(rune('0'+i)))
+		off := cur.Const(uint64(i), 32)
+		v := cur.Call("read8", off)
+		c := cur.CmpImm(ir.Eq, v, want, 32)
+		cur.Br(c, next.Blk(), fail.Blk())
+		cur = next
+	}
+	// class must be 1 or 2
+	classOK := fb.NewBlock("class_ok")
+	off4 := cur.Const(4, 32)
+	cls := cur.Call("read8", off4)
+	cur.Switch(cls, []uint64{1, 2}, []*ir.Block{classOK.Blk(), classOK.Blk()}, fail.Blk())
+	// version must be 1
+	done := fb.NewBlock("done")
+	off5 := classOK.Const(5, 32)
+	ver := classOK.Call("read8", off5)
+	vc := classOK.CmpImm(ir.Eq, ver, 1, 32)
+	classOK.Br(vc, done.Blk(), fail.Blk())
+
+	one := done.Const(1, 32)
+	done.Ret(one)
+	zero := fail.Const(0, 32)
+	fail.Ret(zero)
+}
+
+// elfProcessFileHeader sums the 16 header bytes (a small fixed loop) and
+// branches on class/flags, like readelf's banner printing.
+func elfProcessFileHeader(p *ir.Program) {
+	fb := p.NewFunc("process_file_header", 0)
+	entry := fb.NewBlock("entry")
+
+	sum := fb.NewReg()
+	entry.ConstTo(sum, 0, 32)
+	limit := entry.Const(16, 32)
+	lp := beginLoop(fb, entry, "hdr", limit)
+
+	v := lp.Body.Call("read8", lp.I)
+	ns := lp.Body.Add(sum, v, 32)
+	lp.Body.MovTo(sum, ns, 32)
+	endLoop(lp, lp.Body)
+
+	// branch on class, like the "ELF32/ELF64" banner
+	is64 := fb.NewBlock("is64")
+	is32 := fb.NewBlock("is32")
+	out := fb.NewBlock("out")
+	off4 := lp.After.Const(4, 32)
+	cls := lp.After.Call("read8", off4)
+	c := lp.After.CmpImm(ir.Eq, cls, 2, 32)
+	lp.After.Br(c, is64.Blk(), is32.Blk())
+	is64.Print("ELF64")
+	is64.Jmp(out.Blk())
+	is32.Print("ELF32")
+	is32.Jmp(out.Blk())
+	out.Ret(sum)
+}
+
+// elfProcessProgramHeaders is the first input-dependent trap loop: e_phnum
+// iterations, a type switch per entry, and a bounds validation branch.
+func elfProcessProgramHeaders(p *ir.Program) {
+	fb := p.NewFunc("process_program_headers", 0)
+	entry := fb.NewBlock("entry")
+
+	total := fb.NewReg()
+	unknown := fb.NewReg()
+	entry.ConstTo(total, 0, 32)
+	entry.ConstTo(unknown, 0, 32)
+	off6 := entry.Const(6, 32)
+	n := entry.Call("read16", off6)
+	off10 := entry.Const(10, 32)
+	phoff := entry.Call("read16", off10)
+
+	lp := beginLoop(fb, entry, "ph", n)
+	b := lp.Body
+	stride := b.BinImm(ir.Mul, lp.I, 8, 32)
+	base := b.Add(phoff, stride, 32)
+	t := b.Call("read16", base)
+	off2 := b.AddImm(base, 2, 32)
+	segOff := b.Call("read16", off2)
+	off4 := b.AddImm(base, 4, 32)
+	segSz := b.Call("read16", off4)
+
+	caseNull := fb.NewBlock("ph.null")
+	caseLoad := fb.NewBlock("ph.load")
+	caseDyn := fb.NewBlock("ph.dyn")
+	caseDef := fb.NewBlock("ph.def")
+	join := fb.NewBlock("ph.join")
+	b.Switch(t, []uint64{0, 1, 2},
+		[]*ir.Block{caseNull.Blk(), caseLoad.Blk(), caseDyn.Blk()}, caseDef.Blk())
+
+	caseNull.Jmp(join.Blk())
+
+	// LOAD: validate that the segment fits in the file
+	valid := fb.NewBlock("ph.valid")
+	invalid := fb.NewBlock("ph.invalid")
+	end := caseLoad.Add(segOff, segSz, 32)
+	flen := caseLoad.InputLen(32)
+	vc := caseLoad.Cmp(ir.Ule, end, flen, 32)
+	caseLoad.Br(vc, valid.Blk(), invalid.Blk())
+	nt := valid.Add(total, segSz, 32)
+	valid.MovTo(total, nt, 32)
+	valid.Jmp(join.Blk())
+	invalid.Print("segment out of file")
+	invalid.Jmp(join.Blk())
+
+	caseDyn.Print("dynamic segment")
+	caseDyn.Jmp(join.Blk())
+
+	nu := caseDef.AddImm(unknown, 1, 32)
+	caseDef.MovTo(unknown, nu, 32)
+	caseDef.Jmp(join.Blk())
+
+	ni := join.AddImm(lp.I, 1, 32)
+	join.MovTo(lp.I, ni, 32)
+	join.Jmp(lp.Head)
+
+	lp.After.Ret(total)
+}
+
+// elfProcessSectionHeaders is the second trap loop: e_shnum iterations
+// with a type histogram.
+func elfProcessSectionHeaders(p *ir.Program) {
+	fb := p.NewFunc("process_section_headers", 0)
+	entry := fb.NewBlock("entry")
+
+	hist := entry.Alloca(32) // 8 u32 counters, indexed by type&7 (in bounds)
+	off8 := entry.Const(8, 32)
+	n := entry.Call("read16", off8)
+	off12 := entry.Const(12, 32)
+	shoff := entry.Call("read16", off12)
+
+	lp := beginLoop(fb, entry, "sh", n)
+	b := lp.Body
+	stride := b.BinImm(ir.Mul, lp.I, 12, 32)
+	base := b.Add(shoff, stride, 32)
+	t := b.Call("read16", base)
+	idx := b.BinImm(ir.And, t, 7, 32)
+	slot := b.BinImm(ir.Mul, idx, 4, 32)
+	slot64 := b.Zext(slot, 64)
+	addr := b.Add(hist, slot64, 64)
+	old := b.Load(addr, 0, 32)
+	nv := b.AddImm(old, 1, 32)
+	b.Store(addr, 0, nv, 32)
+	endLoop(lp, b)
+
+	lp.After.RetVoid()
+}
+
+// elfProcessSectionGroups mirrors Fig 2: a flag-gated early return lets
+// some paths bypass the e_shnum loop entirely.
+func elfProcessSectionGroups(p *ir.Program) {
+	fb := p.NewFunc("process_section_groups", 0)
+	entry := fb.NewBlock("entry")
+	bypass := fb.NewBlock("bypass")
+	check := fb.NewBlock("check")
+	empty := fb.NewBlock("empty")
+	scan := fb.NewBlock("scan")
+
+	// if (!do_unwind && !do_section_groups) return 1
+	off14 := entry.Const(14, 32)
+	flags := entry.Call("read16", off14)
+	wanted := entry.BinImm(ir.And, flags, 3, 32)
+	c := entry.CmpImm(ir.Eq, wanted, 0, 32)
+	entry.Br(c, bypass.Blk(), check.Blk())
+	one := bypass.Const(1, 32)
+	bypass.Ret(one)
+
+	// if e_shnum == 0 { print; return 1 }
+	off8 := check.Const(8, 32)
+	n := check.Call("read16", off8)
+	cz := check.CmpImm(ir.Eq, n, 0, 32)
+	check.Br(cz, empty.Blk(), scan.Blk())
+	empty.Print("There are no sections to group.")
+	oneE := empty.Const(1, 32)
+	empty.Ret(oneE)
+
+	// for each section: GROUP sections get an inner member loop
+	groups := fb.NewReg()
+	scan.ConstTo(groups, 0, 32)
+	off12 := scan.Const(12, 32)
+	shoff := scan.Call("read16", off12)
+	lp := beginLoop(fb, scan, "grp", n)
+	b := lp.Body
+	stride := b.BinImm(ir.Mul, lp.I, 12, 32)
+	base := b.Add(shoff, stride, 32)
+	t := b.Call("read16", base)
+	isGroup := fb.NewBlock("grp.is")
+	skip := fb.NewBlock("grp.skip")
+	gc := b.CmpImm(ir.Eq, t, 17, 32)
+	b.Br(gc, isGroup.Blk(), skip.Blk())
+
+	// inner loop over group members (size/4 entries at the data offset)
+	off2 := isGroup.AddImm(base, 2, 32)
+	doff := isGroup.Call("read16", off2)
+	off4 := isGroup.AddImm(base, 4, 32)
+	sz := isGroup.Call("read16", off4)
+	nmemb := isGroup.BinImm(ir.LShr, sz, 2, 32)
+	inner := beginLoop(fb, isGroup, "memb", nmemb)
+	ib := inner.Body
+	mstride := ib.BinImm(ir.Mul, inner.I, 4, 32)
+	mbase := ib.Add(doff, mstride, 32)
+	ib.Call("read16", mbase)
+	endLoop(inner, ib)
+	ng := inner.After.AddImm(groups, 1, 32)
+	inner.After.MovTo(groups, ng, 32)
+	inner.After.Jmp(skip.Blk())
+
+	ni := skip.AddImm(lp.I, 1, 32)
+	skip.MovTo(lp.I, ni, 32)
+	skip.Jmp(lp.Head)
+
+	lp.After.Ret(groups)
+}
+
+// elfProcessDynamicSection scans for DYNAMIC sections and walks their
+// tag/value entries until DT_NULL — a nested input-dependent loop.
+func elfProcessDynamicSection(p *ir.Program) {
+	fb := p.NewFunc("process_dynamic_section", 0)
+	entry := fb.NewBlock("entry")
+
+	acc := fb.NewReg()
+	entry.ConstTo(acc, 0, 32)
+	off8 := entry.Const(8, 32)
+	n := entry.Call("read16", off8)
+	off12 := entry.Const(12, 32)
+	shoff := entry.Call("read16", off12)
+
+	lp := beginLoop(fb, entry, "dyn", n)
+	b := lp.Body
+	stride := b.BinImm(ir.Mul, lp.I, 12, 32)
+	base := b.Add(shoff, stride, 32)
+	t := b.Call("read16", base)
+	isDyn := fb.NewBlock("dyn.is")
+	skip := fb.NewBlock("dyn.skip")
+	dc := b.CmpImm(ir.Eq, t, 2, 32)
+	b.Br(dc, isDyn.Blk(), skip.Blk())
+
+	off2 := isDyn.AddImm(base, 2, 32)
+	doff := isDyn.Call("read16", off2)
+	off4 := isDyn.AddImm(base, 4, 32)
+	sz := isDyn.Call("read16", off4)
+	inFile := isDyn.Call("section_in_file", doff, sz)
+	dynOK := fb.NewBlock("dyn.infile")
+	dynBad := fb.NewBlock("dyn.badsec")
+	fc2 := isDyn.CmpImm(ir.Ne, inFile, 0, 32)
+	isDyn.Br(fc2, dynOK.Blk(), dynBad.Blk())
+	dynBad.Print("dynamic section out of file")
+	dynBad.Jmp(skip.Blk())
+	nent := dynOK.BinImm(ir.LShr, sz, 2, 32)
+
+	inner := beginLoop(fb, dynOK, "ent", nent)
+	ib := inner.Body
+	ebase0 := ib.BinImm(ir.Mul, inner.I, 4, 32)
+	ebase := ib.Add(doff, ebase0, 32)
+	tag := ib.Call("read16", ebase)
+	voff := ib.AddImm(ebase, 2, 32)
+	val := ib.Call("read16", voff)
+
+	// DT_NULL terminates the walk
+	walkOn := fb.NewBlock("ent.on")
+	zc := ib.CmpImm(ir.Eq, tag, 0, 32)
+	ib.Br(zc, inner.After.Blk(), walkOn.Blk())
+
+	// tag switch, like readelf's dynamic-tag printing
+	needed := fb.NewBlock("ent.needed")
+	soname := fb.NewBlock("ent.soname")
+	hash := fb.NewBlock("ent.hash")
+	other := fb.NewBlock("ent.other")
+	join := fb.NewBlock("ent.join")
+	walkOn.Switch(tag, []uint64{1, 14, 4},
+		[]*ir.Block{needed.Blk(), soname.Blk(), hash.Blk()}, other.Blk())
+	for _, arm := range []*ir.BlockBuilder{needed, soname, hash, other} {
+		na := arm.Add(acc, val, 32)
+		arm.MovTo(acc, na, 32)
+		arm.Jmp(join.Blk())
+	}
+	ni := join.AddImm(inner.I, 1, 32)
+	join.MovTo(inner.I, ni, 32)
+	join.Jmp(inner.Head)
+
+	inner.After.Jmp(skip.Blk())
+
+	n2 := skip.AddImm(lp.I, 1, 32)
+	skip.MovTo(lp.I, n2, 32)
+	skip.Jmp(lp.Head)
+
+	lp.After.Ret(acc)
+}
+
+// elfProcessSymbols walks SYMTAB sections. Seeded bug B1: the 32-byte
+// short-name table is indexed with info&0x3f (0..63) without a bounds
+// check — an OOB read for info >= 0x20, reachable only deep in Phase B.
+func elfProcessSymbols(p *ir.Program) {
+	fb := p.NewFunc("process_symbols", 0)
+	entry := fb.NewBlock("entry")
+
+	acc := fb.NewReg()
+	entry.ConstTo(acc, 0, 32)
+	shortNames := entry.Alloca(32)
+	off8 := entry.Const(8, 32)
+	n := entry.Call("read16", off8)
+	off12 := entry.Const(12, 32)
+	shoff := entry.Call("read16", off12)
+
+	lp := beginLoop(fb, entry, "sym", n)
+	b := lp.Body
+	stride := b.BinImm(ir.Mul, lp.I, 12, 32)
+	base := b.Add(shoff, stride, 32)
+	t := b.Call("read16", base)
+	isSym := fb.NewBlock("sym.is")
+	skip := fb.NewBlock("sym.skip")
+	sc := b.CmpImm(ir.Eq, t, 3, 32)
+	b.Br(sc, isSym.Blk(), skip.Blk())
+
+	off2 := isSym.AddImm(base, 2, 32)
+	doff := isSym.Call("read16", off2)
+	off4 := isSym.AddImm(base, 4, 32)
+	sz := isSym.Call("read16", off4)
+	inFile := isSym.Call("section_in_file", doff, sz)
+	symOK := fb.NewBlock("sym.infile")
+	symBad := fb.NewBlock("sym.badsec")
+	fc2 := isSym.CmpImm(ir.Ne, inFile, 0, 32)
+	isSym.Br(fc2, symOK.Blk(), symBad.Blk())
+	symBad.Print("symbol table out of file")
+	symBad.Jmp(skip.Blk())
+	nsym := symOK.BinImm(ir.UDiv, sz, 6, 32)
+
+	inner := beginLoop(fb, symOK, "one", nsym)
+	ib := inner.Body
+	sbase0 := ib.BinImm(ir.Mul, inner.I, 6, 32)
+	sbase := ib.Add(doff, sbase0, 32)
+	nameOff := ib.Call("read16", sbase)
+	voff := ib.AddImm(sbase, 2, 32)
+	val := ib.Call("read16", voff)
+	ioff := ib.AddImm(sbase, 4, 32)
+	info := ib.Call("read8", ioff)
+
+	// BUG B1: idx ranges over 0..63 but the table holds 32 bytes.
+	idx := ib.BinImm(ir.And, info, 0x3f, 32)
+	idx64 := ib.Zext(idx, 64)
+	naddr := ib.Add(shortNames, idx64, 64)
+	tag := ib.Load(naddr, 0, 8)
+	tag32 := ib.Zext(tag, 32)
+
+	s1 := ib.Add(acc, nameOff, 32)
+	s2 := ib.Add(s1, val, 32)
+	s3 := ib.Add(s2, tag32, 32)
+	ib.MovTo(acc, s3, 32)
+	endLoop(inner, ib)
+	inner.After.Jmp(skip.Blk())
+
+	n2 := skip.AddImm(lp.I, 1, 32)
+	skip.MovTo(lp.I, n2, 32)
+	skip.Jmp(lp.Head)
+
+	lp.After.Ret(acc)
+}
+
+// elfProcessSectionContents walks PROGBITS data bytes. Seeded bug B2: the
+// 16-byte histogram is indexed with byte&0x1f (0..31) — an OOB write for
+// data bytes >= 0x10.
+func elfProcessSectionContents(p *ir.Program) {
+	fb := p.NewFunc("process_section_contents", 0)
+	entry := fb.NewBlock("entry")
+
+	hist := entry.Alloca(16)
+	off8 := entry.Const(8, 32)
+	n := entry.Call("read16", off8)
+	off12 := entry.Const(12, 32)
+	shoff := entry.Call("read16", off12)
+
+	lp := beginLoop(fb, entry, "sec", n)
+	b := lp.Body
+	stride := b.BinImm(ir.Mul, lp.I, 12, 32)
+	base := b.Add(shoff, stride, 32)
+	t := b.Call("read16", base)
+	isBits := fb.NewBlock("sec.is")
+	skip := fb.NewBlock("sec.skip")
+	pc := b.CmpImm(ir.Eq, t, 1, 32)
+	b.Br(pc, isBits.Blk(), skip.Blk())
+
+	off2 := isBits.AddImm(base, 2, 32)
+	doff := isBits.Call("read16", off2)
+	off4 := isBits.AddImm(base, 4, 32)
+	sz := isBits.Call("read16", off4)
+	inFile := isBits.Call("section_in_file", doff, sz)
+	bitsOK := fb.NewBlock("sec.infile")
+	bitsBad := fb.NewBlock("sec.badsec")
+	fc2 := isBits.CmpImm(ir.Ne, inFile, 0, 32)
+	isBits.Br(fc2, bitsOK.Blk(), bitsBad.Blk())
+	bitsBad.Print("section body out of file")
+	bitsBad.Jmp(skip.Blk())
+
+	inner := beginLoop(fb, bitsOK, "byte", sz)
+	ib := inner.Body
+	boff := ib.Add(doff, inner.I, 32)
+	v := ib.Call("read8", boff)
+	// BUG B2: idx ranges over 0..31 but the histogram holds 16 bytes.
+	idx := ib.BinImm(ir.And, v, 0x1f, 32)
+	idx64 := ib.Zext(idx, 64)
+	haddr := ib.Add(hist, idx64, 64)
+	old := ib.Load(haddr, 0, 8)
+	nv := ib.AddImm(old, 1, 8)
+	ib.Store(haddr, 0, nv, 8)
+	endLoop(inner, ib)
+	inner.After.Jmp(skip.Blk())
+
+	n2 := skip.AddImm(lp.I, 1, 32)
+	skip.MovTo(lp.I, n2, 32)
+	skip.Jmp(lp.Head)
+
+	lp.After.RetVoid()
+}
+
+// genELFSeed produces a benign mini-ELF of approximately the requested
+// size: valid header, a few program headers, and DYNAMIC, SYMTAB,
+// PROGBITS, RELA, VERSION, STRTAB and NOTE sections whose data stays
+// clear of the seeded bug triggers.
+func genELFSeed(rng *rand.Rand, size int) []byte {
+	if size < 256 {
+		size = 256
+	}
+	var b []byte
+	b = append(b, 0x7f, 'E', 'L', 'F')
+	b = append(b, byte(1+rng.Intn(2))) // class
+	b = append(b, 1)                   // version
+
+	phnum := uint16(2 + rng.Intn(2))
+	phoff := uint16(16)
+
+	// section payloads, built first so offsets are known
+	var dyn, sym, rela, vers, strt, note []byte
+	// dynamic entries: (tag,val)* then DT_NULL
+	dyn = le16(dyn, 1)
+	dyn = le16(dyn, uint16(rng.Intn(100)))
+	dyn = le16(dyn, 4)
+	dyn = le16(dyn, uint16(rng.Intn(100)))
+	dyn = le16(dyn, 0)
+	dyn = le16(dyn, 0)
+	// symbols: name(2) value(2) info(1) other(1); info < 0x20 keeps B1 dormant
+	for i := 0; i < 3; i++ {
+		sym = le16(sym, uint16(rng.Intn(64)))
+		sym = le16(sym, uint16(rng.Intn(1000)))
+		sym = append(sym, byte(rng.Intn(0x20)), 0)
+	}
+	// relocations: offset(2) info(2) addend(2) pad(2)
+	for i := 0; i < 3; i++ {
+		rela = le16(rela, uint16(rng.Intn(512)))
+		rk := elfRelocKinds[rng.Intn(len(elfRelocKinds))]
+		rela = le16(rela, uint16(rng.Intn(100))<<4|uint16(rk.id))
+		rela = le16(rela, uint16(rng.Intn(4096)))
+		rela = le16(rela, 0)
+	}
+	// version chain: two records linked by next offsets
+	vers = le16(vers, 1)
+	vers = le16(vers, 1)
+	vers = le16(vers, 6) // next record directly after
+	vers = le16(vers, uint16(1+rng.Intn(2)))
+	vers = le16(vers, 2)
+	vers = le16(vers, 0) // chain end
+	// string table: printable strings with NUL terminators
+	for _, w := range []string{"main", "init", "libm"} {
+		strt = append(strt, w...)
+		strt = append(strt, 0)
+	}
+	// notes: two records with in-limit descsz values
+	for i := 0; i < 2; i++ {
+		nt := elfNoteTypes[rng.Intn(4)] // small ids fit in 16 bits
+		namesz := uint16(4)
+		descsz := uint16(rng.Intn(int(nt.maxDesc)/2 + 1))
+		note = le16(note, namesz)
+		note = le16(note, descsz)
+		note = le16(note, uint16(nt.id))
+		for j := uint16(0); j < namesz+descsz; j++ {
+			note = append(note, byte(rng.Intn(0x10)))
+		}
+	}
+
+	type section struct {
+		typ  uint16
+		data []byte
+	}
+	sections := []section{
+		{2, dyn}, {3, sym}, {1, nil /* PROGBITS filler, sized below */},
+		{4, rela}, {5, vers}, {6, strt}, {7, note},
+	}
+	shnum := uint16(len(sections))
+	shoff := phoff + phnum*8
+	dataStart := shoff + shnum*12
+
+	// size the PROGBITS filler to land near the requested total
+	fixed := 0
+	for _, s := range sections {
+		fixed += len(s.data)
+	}
+	bitsSz := size - int(dataStart) - fixed
+	if bitsSz < 4 {
+		bitsSz = 4
+	}
+	if bitsSz > 0xffff {
+		bitsSz = 0xffff
+	}
+	bits := make([]byte, bitsSz)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(0x10)) // < 0x10 keeps B2 dormant
+	}
+	sections[2].data = bits
+
+	b = le16(b, phnum)
+	b = le16(b, shnum)
+	b = le16(b, phoff)
+	b = le16(b, shoff)
+	// flags: bit0 do_section_groups, bit2 aligned, OSABI nibble; then the
+	// machine id byte
+	abiNibble := byte(rng.Intn(len(elfOSABIs)))
+	b = append(b, 1|4|abiNibble<<4)
+	b = append(b, byte(elfMachines[rng.Intn(len(elfMachines))].id))
+
+	// program headers
+	for i := uint16(0); i < phnum; i++ {
+		b = le16(b, uint16(i%3)) // type cycles NULL/LOAD/DYNAMIC
+		b = le16(b, dataStart)
+		b = le16(b, 8)
+		b = le16(b, uint16(rng.Intn(8)))
+	}
+
+	// section headers, then payloads in the same order
+	off := dataStart
+	for _, s := range sections {
+		b = le16(b, s.typ)
+		b = le16(b, off)
+		b = le16(b, uint16(len(s.data)))
+		b = le16(b, 0)                    // name
+		b = le16(b, 0)                    // link
+		b = le16(b, uint16(rng.Intn(64))) // info (flags for the decoder)
+		off += uint16(len(s.data))
+	}
+	for _, s := range sections {
+		b = append(b, s.data...)
+	}
+	return pad(b, size, rng)
+}
+
+// genELFBuggySeed plants a symbol whose info byte triggers the B1 OOB
+// read concretely.
+func genELFBuggySeed(rng *rand.Rand) []byte {
+	b := genELFSeed(rng, 128)
+	// symbol table starts after header(16) + ph(phnum*8) + sh(36) + dyn(12);
+	// recompute from the header fields to stay robust
+	shoff := int(b[12]) | int(b[13])<<8
+	symEntryBase := shoff + 12 // second section header
+	symOff := int(b[symEntryBase+2]) | int(b[symEntryBase+3])<<8
+	// first symbol's info byte at symOff+4
+	b[symOff+4] = 0x3f
+	return b
+}

@@ -1,0 +1,435 @@
+package targets
+
+import "pbse/internal/ir"
+
+// This file adds the breadth that makes minielf comparable in shape to
+// real readelf: machine/OSABI describers (switches over many
+// architecture ids), NOTE/RELA/STRTAB/VERSION section processing, and
+// per-section flag decoding. The handlers are emitted data-driven from
+// spec tables — each arm computes something different from the table
+// entry, as readelf's per-architecture printers do.
+
+// elfMachines mirrors a slice of the EM_* table: id and a per-arch
+// "pointer size" used in the arm's computation.
+var elfMachines = []struct {
+	id     uint64
+	ptr    uint64
+	hasFPU bool
+}{
+	{2, 4, true},    // sparc
+	{3, 4, true},    // 386
+	{8, 4, true},    // mips
+	{20, 4, true},   // ppc
+	{21, 8, true},   // ppc64
+	{22, 8, true},   // s390
+	{40, 4, true},   // arm
+	{42, 4, true},   // sh
+	{50, 8, true},   // ia64
+	{62, 8, true},   // x86-64
+	{83, 2, false},  // avr
+	{88, 4, false},  // m32r
+	{92, 4, true},   // openrisc
+	{106, 4, false}, // blackfin
+	{113, 4, false}, // altera nios2
+	{183, 8, true},  // aarch64
+	{243, 8, true},  // riscv
+	{247, 8, false}, // bpf
+}
+
+// elfOSABIs mirrors ELFOSABI_* values.
+var elfOSABIs = []uint64{0, 1, 2, 3, 6, 9, 12, 97, 255}
+
+// elfNoteTypes: NT_* values with a validation limit on descsz.
+var elfNoteTypes = []struct {
+	id      uint64
+	maxDesc uint64
+}{
+	{1, 32}, {2, 16}, {3, 20}, {4, 8}, {5, 64}, {6, 48}, {7, 4}, {0x46494c45, 40},
+}
+
+// elfRelocKinds: R_*_ * values with a distinct formula selector.
+var elfRelocKinds = []struct {
+	id   uint64
+	kind int // 0: S+A, 1: S+A-P, 2: B+A, 3: masked, 4: shifted
+}{
+	{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {5, 3}, {6, 0}, {7, 4},
+	{8, 2}, {9, 3}, {10, 4}, {11, 1},
+}
+
+// elfEmitRich registers the breadth handlers on p.
+func elfEmitRich(p *ir.Program) {
+	elfDescribeMachine(p)
+	elfDescribeOSABI(p)
+	elfProcessNotes(p)
+	elfProcessRelocs(p)
+	elfProcessStrtab(p)
+	elfProcessVersionInfo(p)
+	elfDecodeSectionFlags(p)
+	elfProcessSpecialSections(p)
+}
+
+// elfDescribeMachine switches on the machine id (header byte 15), with a
+// per-architecture arm like readelf's get_machine_name.
+func elfDescribeMachine(p *ir.Program) {
+	fb := p.NewFunc("describe_machine", 0)
+	entry := fb.NewBlock("entry")
+	m := entry.Call("read8", entry.Const(15, 32))
+
+	def := fb.NewBlock("m.unknown")
+	join := fb.NewBlock("m.join")
+	ret := fb.NewReg()
+	entry.ConstTo(ret, 0, 32)
+
+	vals := make([]uint64, len(elfMachines))
+	arms := make([]*ir.Block, len(elfMachines))
+	for i, em := range elfMachines {
+		bb := fb.NewBlock("m.arm")
+		vals[i] = em.id
+		arms[i] = bb.Blk()
+		// distinct computation per architecture: scale by pointer size
+		v := bb.Const(em.id*em.ptr, 32)
+		if em.hasFPU {
+			// FPU machines validate an alignment bit in the flags
+			flags := bb.Call("read8", bb.Const(14, 32))
+			aligned := fb.NewBlock("m.aligned")
+			misaligned := fb.NewBlock("m.mis")
+			bit := bb.BinImm(ir.And, flags, 4, 32)
+			c := bb.CmpImm(ir.Ne, bit, 0, 32)
+			bb.Br(c, aligned.Blk(), misaligned.Blk())
+			av := aligned.AddImm(v, 1, 32)
+			aligned.MovTo(ret, av, 32)
+			aligned.Jmp(join.Blk())
+			misaligned.MovTo(ret, v, 32)
+			misaligned.Jmp(join.Blk())
+		} else {
+			bb.MovTo(ret, v, 32)
+			bb.Jmp(join.Blk())
+		}
+	}
+	entry.Switch(m, vals, arms, def.Blk())
+	def.Print("unknown machine")
+	def.Jmp(join.Blk())
+	join.Ret(ret)
+}
+
+// elfDescribeOSABI switches on the OSABI nibble of the flags byte.
+func elfDescribeOSABI(p *ir.Program) {
+	fb := p.NewFunc("describe_osabi", 0)
+	entry := fb.NewBlock("entry")
+	flags := entry.Call("read8", entry.Const(14, 32))
+	abi := entry.BinImm(ir.LShr, flags, 4, 32)
+
+	def := fb.NewBlock("a.unknown")
+	join := fb.NewBlock("a.join")
+	ret := fb.NewReg()
+	entry.ConstTo(ret, 0, 32)
+
+	// map the nibble to ABI table positions
+	vals := make([]uint64, 0, len(elfOSABIs))
+	arms := make([]*ir.Block, 0, len(elfOSABIs))
+	for i, id := range elfOSABIs {
+		bb := fb.NewBlock("a.arm")
+		vals = append(vals, uint64(i))
+		arms = append(arms, bb.Blk())
+		v := bb.Const(id+uint64(i)*3, 32)
+		bb.MovTo(ret, v, 32)
+		bb.Jmp(join.Blk())
+	}
+	entry.Switch(abi, vals, arms, def.Blk())
+	def.Jmp(join.Blk())
+	join.Ret(ret)
+}
+
+// elfProcessNotes(doff, sz) walks NT records: namesz(2) descsz(2) type(2)
+// then namesz+descsz payload bytes, with per-type descsz validation.
+func elfProcessNotes(p *ir.Program) {
+	fb := p.NewFunc("process_notes", 2)
+	entry := fb.NewBlock("entry")
+	doff, sz := fb.Param(0), fb.Param(1)
+
+	head := fb.NewBlock("head")
+	body := fb.NewBlock("body")
+	out := fb.NewBlock("out")
+	pos := fb.NewReg()
+	acc := fb.NewReg()
+	entry.MovTo(pos, doff, 32)
+	entry.ConstTo(acc, 0, 32)
+	end := entry.Add(doff, sz, 32)
+	entry.Jmp(head.Blk())
+
+	lim := head.AddImm(pos, 6, 32)
+	c := head.Cmp(ir.Ule, lim, end, 32)
+	head.Br(c, body.Blk(), out.Blk())
+
+	namesz := body.Call("read16", pos)
+	descsz := body.Call("read16", body.AddImm(pos, 2, 32))
+	ntype := body.Call("read16", body.AddImm(pos, 4, 32))
+
+	// namesz sanity (readelf: corrupt notes)
+	nameOK := fb.NewBlock("n.nameok")
+	corrupt := fb.NewBlock("n.corrupt")
+	nc := body.CmpImm(ir.Ule, namesz, 32, 32)
+	body.Br(nc, nameOK.Blk(), corrupt.Blk())
+	corrupt.Print("corrupt note name")
+	corrupt.Jmp(out.Blk())
+
+	// per-type descsz validation
+	def := fb.NewBlock("n.def")
+	join := fb.NewBlock("n.join")
+	vals := make([]uint64, len(elfNoteTypes))
+	arms := make([]*ir.Block, len(elfNoteTypes))
+	for i, nt := range elfNoteTypes {
+		bb := fb.NewBlock("n.arm")
+		vals[i] = nt.id
+		arms[i] = bb.Blk()
+		good := fb.NewBlock("n.good")
+		bad := fb.NewBlock("n.bad")
+		dc := bb.CmpImm(ir.Ule, descsz, nt.maxDesc, 32)
+		bb.Br(dc, good.Blk(), bad.Blk())
+		gv := good.AddImm(ntype, nt.maxDesc, 32)
+		ga := good.Add(acc, gv, 32)
+		good.MovTo(acc, ga, 32)
+		good.Jmp(join.Blk())
+		bad.Print("oversized note desc")
+		bad.Jmp(join.Blk())
+	}
+	nameOK.Switch(ntype, vals, arms, def.Blk())
+	def.Jmp(join.Blk())
+
+	// advance past header + payloads
+	pay := join.Add(namesz, descsz, 32)
+	adv := join.AddImm(pay, 6, 32)
+	np := join.Add(pos, adv, 32)
+	join.MovTo(pos, np, 32)
+	join.Jmp(head.Blk())
+
+	out.Ret(acc)
+}
+
+// elfProcessRelocs(doff, sz) walks RELA entries, dispatching on the
+// relocation kind with a distinct formula per kind.
+func elfProcessRelocs(p *ir.Program) {
+	fb := p.NewFunc("process_relocs", 2)
+	entry := fb.NewBlock("entry")
+	doff, sz := fb.Param(0), fb.Param(1)
+
+	acc := fb.NewReg()
+	entry.ConstTo(acc, 0, 32)
+	n := entry.BinImm(ir.LShr, sz, 3, 32) // 8-byte entries
+	lp := beginLoop(fb, entry, "rel", n)
+	b := lp.Body
+	stride := b.BinImm(ir.Mul, lp.I, 8, 32)
+	base := b.Add(doff, stride, 32)
+	off := b.Call("read16", base)
+	info := b.Call("read16", b.AddImm(base, 2, 32))
+	addend := b.Call("read16", b.AddImm(base, 4, 32))
+	rtype := b.BinImm(ir.And, info, 0xf, 32)
+	symidx := b.BinImm(ir.LShr, info, 4, 32)
+
+	// symbol index sanity
+	symOK := fb.NewBlock("r.symok")
+	symBad := fb.NewBlock("r.symbad")
+	join := fb.NewBlock("r.join")
+	scnt := b.CmpImm(ir.Ult, symidx, 4096, 32)
+	b.Br(scnt, symOK.Blk(), symBad.Blk())
+	symBad.Print("bad symbol index")
+	symBad.Jmp(join.Blk())
+
+	def := fb.NewBlock("r.def")
+	vals := make([]uint64, len(elfRelocKinds))
+	arms := make([]*ir.Block, len(elfRelocKinds))
+	for i, rk := range elfRelocKinds {
+		bb := fb.NewBlock("r.arm")
+		vals[i] = rk.id
+		arms[i] = bb.Blk()
+		var v ir.Reg
+		switch rk.kind {
+		case 0: // S + A
+			v = bb.Add(symidx, addend, 32)
+		case 1: // S + A - P
+			sa := bb.Add(symidx, addend, 32)
+			v = bb.Sub(sa, off, 32)
+		case 2: // B + A
+			v = bb.AddImm(addend, 0x400, 32)
+		case 3: // masked
+			v = bb.BinImm(ir.And, addend, 0xfff, 32)
+		default: // shifted
+			v = bb.BinImm(ir.LShr, addend, 2, 32)
+		}
+		na := bb.Add(acc, v, 32)
+		bb.MovTo(acc, na, 32)
+		bb.Jmp(join.Blk())
+	}
+	symOK.Switch(rtype, vals, arms, def.Blk())
+	def.Print("unknown relocation")
+	def.Jmp(join.Blk())
+
+	ni := join.AddImm(lp.I, 1, 32)
+	join.MovTo(lp.I, ni, 32)
+	join.Jmp(lp.Head)
+	lp.After.Ret(acc)
+}
+
+// elfProcessStrtab(doff, sz) scans string-table bytes, counting strings
+// and validating printability.
+func elfProcessStrtab(p *ir.Program) {
+	fb := p.NewFunc("process_strtab", 2)
+	entry := fb.NewBlock("entry")
+	doff, sz := fb.Param(0), fb.Param(1)
+
+	nstr := fb.NewReg()
+	bad := fb.NewReg()
+	entry.ConstTo(nstr, 0, 32)
+	entry.ConstTo(bad, 0, 32)
+	lp := beginLoop(fb, entry, "str", sz)
+	b := lp.Body
+	pos := b.Add(doff, lp.I, 32)
+	v := b.Call("read8", pos)
+
+	isNul := fb.NewBlock("s.nul")
+	notNul := fb.NewBlock("s.notnul")
+	printable := fb.NewBlock("s.print")
+	unprintable := fb.NewBlock("s.unprint")
+	join := fb.NewBlock("s.join")
+
+	zc := b.CmpImm(ir.Eq, v, 0, 32)
+	b.Br(zc, isNul.Blk(), notNul.Blk())
+	ns := isNul.AddImm(nstr, 1, 32)
+	isNul.MovTo(nstr, ns, 32)
+	isNul.Jmp(join.Blk())
+
+	lo := notNul.CmpImm(ir.Uge, v, 0x20, 32)
+	hi := notNul.CmpImm(ir.Ult, v, 0x7f, 32)
+	pc := notNul.Bin(ir.And, lo, hi, 1)
+	notNul.Br(pc, printable.Blk(), unprintable.Blk())
+	printable.Jmp(join.Blk())
+	nb := unprintable.AddImm(bad, 1, 32)
+	unprintable.MovTo(bad, nb, 32)
+	unprintable.Jmp(join.Blk())
+
+	ni := join.AddImm(lp.I, 1, 32)
+	join.MovTo(lp.I, ni, 32)
+	join.Jmp(lp.Head)
+	lp.After.Ret(nstr)
+}
+
+// elfProcessVersionInfo(doff, sz) walks chained version records:
+// version(2) count(2) next(2), following next offsets like readelf's
+// process_version_sections.
+func elfProcessVersionInfo(p *ir.Program) {
+	fb := p.NewFunc("process_version_info", 2)
+	entry := fb.NewBlock("entry")
+	doff, sz := fb.Param(0), fb.Param(1)
+
+	head := fb.NewBlock("head")
+	body := fb.NewBlock("body")
+	out := fb.NewBlock("out")
+	pos := fb.NewReg()
+	seen := fb.NewReg()
+	entry.MovTo(pos, doff, 32)
+	entry.ConstTo(seen, 0, 32)
+	end := entry.Add(doff, sz, 32)
+	entry.Jmp(head.Blk())
+
+	// guard both the record bounds and a chain-length limit
+	lim := head.AddImm(pos, 6, 32)
+	inRange := head.Cmp(ir.Ule, lim, end, 32)
+	chk2 := fb.NewBlock("v.chk2")
+	head.Br(inRange, chk2.Blk(), out.Blk())
+	few := chk2.CmpImm(ir.Ult, seen, 16, 32)
+	chk2.Br(few, body.Blk(), out.Blk())
+
+	ver := body.Call("read16", pos)
+	next := body.Call("read16", body.AddImm(pos, 4, 32))
+
+	// version must be 1 or 2
+	okVer := fb.NewBlock("v.ok")
+	badVer := fb.NewBlock("v.bad")
+	follow := fb.NewBlock("v.follow")
+	body.Switch(ver, []uint64{1, 2}, []*ir.Block{okVer.Blk(), okVer.Blk()}, badVer.Blk())
+	badVer.Print("unsupported version record")
+	badVer.Jmp(out.Blk())
+
+	// next == 0 terminates the chain; otherwise follow the offset
+	ns := okVer.AddImm(seen, 1, 32)
+	okVer.MovTo(seen, ns, 32)
+	zc := okVer.CmpImm(ir.Eq, next, 0, 32)
+	okVer.Br(zc, out.Blk(), follow.Blk())
+	np := follow.Add(pos, next, 32)
+	follow.MovTo(pos, np, 32)
+	follow.Jmp(head.Blk())
+
+	out.Ret(seen)
+}
+
+// elfDecodeSectionFlags(flagsVal) checks six flag bits with a distinct
+// action per bit, like readelf's section-flag legend.
+func elfDecodeSectionFlags(p *ir.Program) {
+	fb := p.NewFunc("decode_section_flags", 1)
+	entry := fb.NewBlock("entry")
+	flags := fb.Param(0)
+
+	acc := fb.NewReg()
+	entry.ConstTo(acc, 0, 32)
+	cur := entry
+	for bit := 0; bit < 6; bit++ {
+		set := fb.NewBlock("f.set")
+		next := fb.NewBlock("f.next")
+		b := cur.BinImm(ir.And, flags, 1<<uint(bit), 32)
+		c := cur.CmpImm(ir.Ne, b, 0, 32)
+		cur.Br(c, set.Blk(), next.Blk())
+		nv := set.AddImm(acc, uint64(bit*bit+1), 32)
+		set.MovTo(acc, nv, 32)
+		set.Jmp(next.Blk())
+		cur = next
+	}
+	cur.Ret(acc)
+}
+
+// elfProcessSpecialSections dispatches NOTE/RELA/STRTAB/VERSION sections
+// to their handlers — readelf's process_section_contents switchboard.
+func elfProcessSpecialSections(p *ir.Program) {
+	fb := p.NewFunc("process_special_sections", 0)
+	entry := fb.NewBlock("entry")
+
+	n := entry.Call("read16", entry.Const(8, 32))
+	shoff := entry.Call("read16", entry.Const(12, 32))
+	lp := beginLoop(fb, entry, "spc", n)
+	b := lp.Body
+	stride := b.BinImm(ir.Mul, lp.I, 12, 32)
+	base := b.Add(shoff, stride, 32)
+	t := b.Call("read16", base)
+	doff := b.Call("read16", b.AddImm(base, 2, 32))
+	sz := b.Call("read16", b.AddImm(base, 4, 32))
+	info := b.Call("read16", b.AddImm(base, 10, 32))
+	b.Call("decode_section_flags", info)
+	inFile := b.Call("section_in_file", doff, sz)
+	spOK := fb.NewBlock("sp.infile")
+	spBad := fb.NewBlock("sp.badsec")
+	fc2 := b.CmpImm(ir.Ne, inFile, 0, 32)
+
+	rela := fb.NewBlock("sp.rela")
+	vers := fb.NewBlock("sp.vers")
+	strt := fb.NewBlock("sp.str")
+	note := fb.NewBlock("sp.note")
+	join := fb.NewBlock("sp.join")
+	b.Br(fc2, spOK.Blk(), spBad.Blk())
+	spBad.Print("special section out of file")
+	spBad.Jmp(join.Blk())
+	spOK.Switch(t, []uint64{4, 5, 6, 7},
+		[]*ir.Block{rela.Blk(), vers.Blk(), strt.Blk(), note.Blk()}, join.Blk())
+
+	rela.Call("process_relocs", doff, sz)
+	rela.Jmp(join.Blk())
+	vers.Call("process_version_info", doff, sz)
+	vers.Jmp(join.Blk())
+	strt.Call("process_strtab", doff, sz)
+	strt.Jmp(join.Blk())
+	note.Call("process_notes", doff, sz)
+	note.Jmp(join.Blk())
+
+	ni := join.AddImm(lp.I, 1, 32)
+	join.MovTo(lp.I, ni, 32)
+	join.Jmp(lp.Head)
+	lp.After.RetVoid()
+}

@@ -1,0 +1,621 @@
+package targets
+
+import (
+	"math/rand"
+
+	"pbse/internal/ir"
+)
+
+// MiniPNG is the pngtest analogue. File layout:
+//
+//	0..7   signature 0x89 'P' 'N' 'G' 0x0d 0x0a 0x1a 0x0a
+//	chunks: len(2) type(1) data[len] crc(1)
+//	types: 1 IHDR (w(2) h(2) depth(1) color(1))
+//	       2 tIME (year(2) month(1) day(1) hour(1) minute(1) second(1))
+//	       3 tEXt (keyword bytes, NUL, text)
+//	       4 IDAT (filtered data bytes)
+//	       5 IEND (terminates parsing)
+//
+// The chunk walk is the outer input-dependent loop; IDAT processing is
+// the dense inner loop (the trap phases in Fig 1(e)). Seeded bugs mirror
+// the paper's libpng CVEs:
+//
+//	P1 (OOB read, CVE-2015-7981/Fig 8): the tIME handler indexes the
+//	    12-entry month-name table with (month-1)%12 computed in signed
+//	    arithmetic — month 0 yields index -1.
+//	P2 (OOB read/underflow, CVE-2015-8540/Fig 7): the tEXt keyword
+//	    trimmer walks backwards zeroing trailing spaces; an all-space
+//	    keyword underflows the buffer.
+func MiniPNG() *Target {
+	return &Target{
+		Name:         "minipng",
+		Driver:       "pngtest",
+		Paper:        "libpng-1.2.56 pngtest",
+		Build:        buildMiniPNG,
+		GenSeed:      genPNGSeed,
+		GenBuggySeed: genPNGBuggySeed,
+	}
+}
+
+func buildMiniPNG() (*ir.Program, error) {
+	p := ir.NewProgram("minipng")
+	emitReadHelpers(p)
+
+	pngFinalChecks(p)
+	pngRewritePass(p)
+	pngCheckSig(p)
+	pngHandleIHDR(p)
+	pngHandleTIME(p)
+	pngHandleTEXT(p)
+	pngHandleIDAT(p)
+	pngEmitRich(p)
+	pngChunkWalk(p)
+
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	bad := fb.NewBlock("bad")
+	run := fb.NewBlock("run")
+	ok := b.Call("check_sig")
+	c := b.CmpImm(ir.Ne, ok, 0, 32)
+	b.Br(c, run.Blk(), bad.Blk())
+	bad.Print("not a PNG file")
+	bad.Exit()
+	run.Call("chunk_walk")
+	run.Exit()
+
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func pngCheckSig(p *ir.Program) {
+	fb := p.NewFunc("check_sig", 0)
+	entry := fb.NewBlock("entry")
+	fail := fb.NewBlock("fail")
+	cur := entry
+	for i, want := range []uint64{0x89, 'P', 'N', 'G', 0x0d, 0x0a, 0x1a, 0x0a} {
+		next := fb.NewBlock("sig" + string(rune('a'+i)))
+		off := cur.Const(uint64(i), 32)
+		v := cur.Call("read8", off)
+		c := cur.CmpImm(ir.Eq, v, want, 32)
+		cur.Br(c, next.Blk(), fail.Blk())
+		cur = next
+	}
+	one := cur.Const(1, 32)
+	cur.Ret(one)
+	zero := fail.Const(0, 32)
+	fail.Ret(zero)
+}
+
+// pngChunkWalk is the outer loop: read len/type, dispatch, advance. It
+// stops at IEND, at a zero-progress step, or at end of file.
+func pngChunkWalk(p *ir.Program) {
+	fb := p.NewFunc("chunk_walk", 0)
+	entry := fb.NewBlock("entry")
+	head := fb.NewBlock("head")
+	body := fb.NewBlock("body")
+	out := fb.NewBlock("out")
+
+	pos := fb.NewReg()
+	sawIHDR := fb.NewReg()
+	sawIDAT := fb.NewReg()
+	entry.ConstTo(pos, 8, 32)
+	entry.ConstTo(sawIHDR, 0, 32)
+	entry.ConstTo(sawIDAT, 0, 32)
+	entry.Jmp(head.Blk())
+
+	// continue while pos+3 <= len(input)
+	n := head.InputLen(32)
+	end := head.AddImm(pos, 3, 32)
+	c := head.Cmp(ir.Ule, end, n, 32)
+	head.Br(c, body.Blk(), out.Blk())
+
+	dlen := body.Call("read16", pos)
+	tpos := body.AddImm(pos, 2, 32)
+	typ := body.Call("read8", tpos)
+	doff := body.AddImm(pos, 3, 32)
+
+	// CRC verification before the chunk is used (png_crc_finish): the
+	// stored byte must match the data checksum, chaining a constraint
+	// per chunk — the property that makes deep chunks hard to reach
+	// symbolically
+	crcSum := fb.NewReg()
+	body.ConstTo(crcSum, 0, 32)
+	crcLp := beginLoop(fb, body, "crc", dlen)
+	cb := crcLp.Body
+	cv := cb.Call("read8", cb.Add(doff, crcLp.I, 32))
+	ncs := cb.Add(crcSum, cv, 32)
+	ncsm := cb.BinImm(ir.And, ncs, 0xff, 32)
+	cb.MovTo(crcSum, ncsm, 32)
+	endLoop(crcLp, cb)
+	crcOK := fb.NewBlock("crc.ok")
+	crcBad := fb.NewBlock("crc.bad")
+	stored := crcLp.After.Call("read8", crcLp.After.Add(doff, dlen, 32))
+	expect := crcLp.After.BinImm(ir.And, crcSum, 0xff, 32)
+	cmc := crcLp.After.Cmp(ir.Eq, stored, expect, 32)
+	crcLp.After.Br(cmc, crcOK.Blk(), crcBad.Blk())
+	crcBad.Print("CRC error")
+	crcBad.Jmp(out.Blk())
+
+	// libpng's ordering rules: every chunk but the first requires a seen
+	// IHDR; parsing stops on a violation
+	isIHDR := fb.NewBlock("ord.isihdr")
+	needHdr := fb.NewBlock("ord.needhdr")
+	ordOK := fb.NewBlock("ord.ok")
+	misorder := fb.NewBlock("ord.bad")
+	oc := crcOK.CmpImm(ir.Eq, typ, 1, 32)
+	crcOK.Br(oc, isIHDR.Blk(), needHdr.Blk())
+	isIHDR.Jmp(ordOK.Blk())
+	hc := needHdr.CmpImm(ir.Ne, sawIHDR, 0, 32)
+	needHdr.Br(hc, ordOK.Blk(), misorder.Blk())
+	misorder.Print("chunk before IHDR")
+	misorder.Jmp(out.Blk())
+
+	ihdr := fb.NewBlock("c.ihdr")
+	timeB := fb.NewBlock("c.time")
+	text := fb.NewBlock("c.text")
+	idat := fb.NewBlock("c.idat")
+	iend := fb.NewBlock("c.iend")
+	unk := fb.NewBlock("c.unknown")
+	join := fb.NewBlock("c.join")
+
+	ancillary := []struct {
+		id uint64
+		fn string
+	}{
+		{6, "handle_plte"}, {7, "handle_trns"}, {8, "handle_gama"},
+		{9, "handle_chrm"}, {10, "handle_srgb"}, {11, "handle_bkgd"},
+		{12, "handle_phys"}, {13, "handle_sbit"}, {14, "handle_hist"},
+		{15, "handle_ztxt"},
+	}
+	vals := []uint64{1, 2, 3, 4, 5}
+	arms := []*ir.Block{ihdr.Blk(), timeB.Blk(), text.Blk(), idat.Blk(), iend.Blk()}
+	for _, a := range ancillary {
+		bb := fb.NewBlock("c.anc")
+		if a.id == 6 { // PLTE must precede IDAT
+			late := fb.NewBlock("c.late")
+			okp := fb.NewBlock("c.okp")
+			lc := bb.CmpImm(ir.Ne, sawIDAT, 0, 32)
+			bb.Br(lc, late.Blk(), okp.Blk())
+			late.Print("PLTE after IDAT")
+			late.Jmp(out.Blk())
+			okp.Call(a.fn, doff, dlen)
+			okp.Jmp(join.Blk())
+		} else {
+			bb.Call(a.fn, doff, dlen)
+			bb.Jmp(join.Blk())
+		}
+		vals = append(vals, a.id)
+		arms = append(arms, bb.Blk())
+	}
+	ordOK.Switch(typ, vals, arms, unk.Blk())
+
+	hv := ihdr.Call("handle_ihdr", doff, dlen)
+	hOK := fb.NewBlock("c.hok")
+	hBad := fb.NewBlock("c.hbad")
+	hvc := ihdr.CmpImm(ir.Ne, hv, 0, 32)
+	ihdr.Br(hvc, hOK.Blk(), hBad.Blk())
+	hBad.Print("invalid IHDR; stop")
+	hBad.Jmp(out.Blk())
+	hone := hOK.Const(1, 32)
+	hOK.MovTo(sawIHDR, hone, 32)
+	hOK.Jmp(join.Blk())
+	timeB.Call("handle_time", doff, dlen)
+	timeB.Jmp(join.Blk())
+	text.Call("handle_text", doff, dlen)
+	text.Jmp(join.Blk())
+	ione := idat.Const(1, 32)
+	idat.MovTo(sawIDAT, ione, 32)
+	idat.Call("handle_idat", doff, dlen)
+	idat.Call("apply_filters", doff, dlen)
+	idat.Jmp(join.Blk())
+	iend.Print("IEND")
+	iend.Call("final_checks", sawIHDR, sawIDAT, pos)
+	// pngtest writes the image back out only after a complete read:
+	// the rewrite stage needs both a valid IHDR and image data
+	both := iend.Bin(ir.And, sawIHDR, sawIDAT, 32)
+	doRewrite := fb.NewBlock("c.rewrite")
+	skipRewrite := fb.NewBlock("c.skiprw")
+	bc := iend.CmpImm(ir.Ne, both, 0, 32)
+	iend.Br(bc, doRewrite.Blk(), skipRewrite.Blk())
+	doRewrite.Call("rewrite_pass")
+	doRewrite.Jmp(out.Blk())
+	skipRewrite.Print("incomplete image; not rewritten")
+	skipRewrite.Jmp(out.Blk())
+	unk.Print("unknown chunk")
+	unk.Jmp(join.Blk())
+
+	// pos += 3 + dlen + 1 (len, type, data, crc)
+	adv := join.AddImm(dlen, 4, 32)
+	np := join.Add(pos, adv, 32)
+	join.MovTo(pos, np, 32)
+	join.Jmp(head.Blk())
+
+	out.RetVoid()
+}
+
+// pngFinalChecks(sawIHDR, sawIDAT, endPos) is pngtest's post-read
+// consistency stage: it only runs after a well-formed walk reaches IEND.
+func pngFinalChecks(p *ir.Program) {
+	fb := p.NewFunc("final_checks", 3)
+	entry := fb.NewBlock("entry")
+	sawIHDR, sawIDAT, endPos := fb.Param(0), fb.Param(1), fb.Param(2)
+
+	noHdr := fb.NewBlock("nohdr")
+	hasHdr := fb.NewBlock("hashdr")
+	c1 := entry.CmpImm(ir.Ne, sawIHDR, 0, 32)
+	entry.Br(c1, hasHdr.Blk(), noHdr.Blk())
+	noHdr.Print("IEND without IHDR")
+	noHdr.RetVoid()
+
+	noDat := fb.NewBlock("nodat")
+	hasDat := fb.NewBlock("hasdat")
+	c2 := hasHdr.CmpImm(ir.Ne, sawIDAT, 0, 32)
+	hasHdr.Br(c2, hasDat.Blk(), noDat.Blk())
+	noDat.Print("image has no IDAT")
+	noDat.RetVoid()
+
+	// trailing garbage detection
+	clean := fb.NewBlock("clean")
+	trailing := fb.NewBlock("trailing")
+	n := hasDat.InputLen(32)
+	end4 := hasDat.AddImm(endPos, 4, 32)
+	c3 := hasDat.Cmp(ir.Uge, end4, n, 32)
+	hasDat.Br(c3, clean.Blk(), trailing.Blk())
+	trailing.Print("trailing bytes after IEND")
+	trailing.RetVoid()
+	clean.RetVoid()
+}
+
+// pngRewritePass is the write-back half of pngtest: a second walk over
+// the chunk stream computing a running Adler-style checksum per chunk —
+// an entire pipeline stage reachable only after the read pass succeeds.
+func pngRewritePass(p *ir.Program) {
+	fb := p.NewFunc("rewrite_pass", 0)
+	entry := fb.NewBlock("entry")
+	head := fb.NewBlock("head")
+	body := fb.NewBlock("body")
+	out := fb.NewBlock("out")
+
+	pos := fb.NewReg()
+	s1 := fb.NewReg()
+	s2 := fb.NewReg()
+	entry.ConstTo(pos, 8, 32)
+	entry.ConstTo(s1, 1, 32)
+	entry.ConstTo(s2, 0, 32)
+	entry.Jmp(head.Blk())
+
+	n := head.InputLen(32)
+	end := head.AddImm(pos, 3, 32)
+	c := head.Cmp(ir.Ule, end, n, 32)
+	head.Br(c, body.Blk(), out.Blk())
+
+	dlen := body.Call("read16", pos)
+	typ := body.Call("read8", body.AddImm(pos, 2, 32))
+	doff := body.AddImm(pos, 3, 32)
+
+	// critical chunks (type < 6) are checksummed byte by byte
+	critical := fb.NewBlock("crit")
+	ancillary := fb.NewBlock("anc")
+	join := fb.NewBlock("join")
+	cc := body.CmpImm(ir.Ult, typ, 6, 32)
+	body.Br(cc, critical.Blk(), ancillary.Blk())
+
+	lp := beginLoop(fb, critical, "adler", dlen)
+	b := lp.Body
+	v := b.Call("read8", b.Add(doff, lp.I, 32))
+	ns1 := b.Add(s1, v, 32)
+	m1 := b.BinImm(ir.And, ns1, 0xffff, 32) // modular, mask keeps circuits small
+	b.MovTo(s1, m1, 32)
+	ns2 := b.Add(s2, s1, 32)
+	m2 := b.BinImm(ir.And, ns2, 0xffff, 32)
+	b.MovTo(s2, m2, 32)
+	endLoop(lp, b)
+	lp.After.Jmp(join.Blk())
+
+	ancillary.Jmp(join.Blk())
+
+	stop := fb.NewBlock("stop")
+	cont := fb.NewBlock("cont")
+	ic := join.CmpImm(ir.Eq, typ, 5, 32)
+	join.Br(ic, stop.Blk(), cont.Blk())
+	stop.Jmp(out.Blk())
+	adv := cont.AddImm(dlen, 4, 32)
+	np := cont.Add(pos, adv, 32)
+	cont.MovTo(pos, np, 32)
+	cont.Jmp(head.Blk())
+
+	sh := out.BinImm(ir.Shl, s2, 16, 32)
+	sum := out.Bin(ir.Or, sh, s1, 32)
+	out.Ret(sum)
+}
+
+// pngHandleIHDR validates the bit depth with a switch (five legal values)
+// and range-checks the dimensions.
+func pngHandleIHDR(p *ir.Program) {
+	fb := p.NewFunc("handle_ihdr", 2)
+	entry := fb.NewBlock("entry")
+	short := fb.NewBlock("short")
+	parse := fb.NewBlock("parse")
+	doff, dlen := fb.Param(0), fb.Param(1)
+
+	c := entry.CmpImm(ir.Uge, dlen, 6, 32)
+	entry.Br(c, parse.Blk(), short.Blk())
+	short.Print("IHDR too short")
+	z0 := short.Const(0, 32)
+	short.Ret(z0)
+
+	w := parse.Call("read16", doff)
+	hoff := parse.AddImm(doff, 2, 32)
+	h := parse.Call("read16", hoff)
+	dpos := parse.AddImm(doff, 4, 32)
+	depth := parse.Call("read8", dpos)
+
+	okDepth := fb.NewBlock("okdepth")
+	badDepth := fb.NewBlock("baddepth")
+	parse.Switch(depth, []uint64{1, 2, 4, 8, 16},
+		[]*ir.Block{okDepth.Blk(), okDepth.Blk(), okDepth.Blk(), okDepth.Blk(), okDepth.Blk()},
+		badDepth.Blk())
+	badDepth.Print("invalid bit depth")
+	zd := badDepth.Const(0, 32)
+	badDepth.Ret(zd)
+
+	// dimension sanity branches (like png_check_IHDR)
+	okW := fb.NewBlock("okw")
+	badDim := fb.NewBlock("baddim")
+	done := fb.NewBlock("done")
+	wc := okDepth.CmpImm(ir.Ugt, w, 0, 32)
+	okDepth.Br(wc, okW.Blk(), badDim.Blk())
+	hc := okW.CmpImm(ir.Ugt, h, 0, 32)
+	okW.Br(hc, done.Blk(), badDim.Blk())
+	badDim.Print("zero dimension")
+	zz := badDim.Const(0, 32)
+	badDim.Ret(zz)
+	one := done.Const(1, 32)
+	done.Ret(one)
+}
+
+// pngHandleTIME carries seeded bug P1 (Fig 8): signed (month-1)%12 into a
+// 12-byte table.
+func pngHandleTIME(p *ir.Program) {
+	fb := p.NewFunc("handle_time", 2)
+	entry := fb.NewBlock("entry")
+	short := fb.NewBlock("short")
+	parse := fb.NewBlock("parse")
+	doff, dlen := fb.Param(0), fb.Param(1)
+
+	c := entry.CmpImm(ir.Uge, dlen, 7, 32)
+	entry.Br(c, parse.Blk(), short.Blk())
+	short.RetVoid()
+
+	months := parse.Alloca(12)
+	mpos := parse.AddImm(doff, 2, 32)
+	month := parse.Call("read8", mpos)
+	// BUG P1: (month-1) % 12 in signed arithmetic; month == 0 gives -1
+	m1 := parse.BinImm(ir.Sub, month, 1, 32)
+	idx := parse.BinImm(ir.SRem, m1, 12, 32)
+	idx64 := parse.Sext(idx, 64)
+	addr := parse.Add(months, idx64, 64)
+	parse.Load(addr, 0, 8)
+
+	// day/hour/minute/second range branches (like png_convert_to_rfc1123)
+	dpos := parse.AddImm(doff, 3, 32)
+	day := parse.Call("read8", dpos)
+	okDay := fb.NewBlock("okday")
+	badDay := fb.NewBlock("badday")
+	dc := parse.CmpImm(ir.Ule, day, 31, 32)
+	parse.Br(dc, okDay.Blk(), badDay.Blk())
+	badDay.Print("day out of range")
+	badDay.RetVoid()
+	okDay.RetVoid()
+}
+
+// pngHandleTEXT carries seeded bug P2 (Fig 7): the keyword trimmer walks
+// backwards past the start of the buffer when the keyword is all spaces.
+func pngHandleTEXT(p *ir.Program) {
+	fb := p.NewFunc("handle_text", 2)
+	entry := fb.NewBlock("entry")
+	doff, dlen := fb.Param(0), fb.Param(1)
+
+	keybuf := entry.Alloca(16)
+
+	// copy loop: up to 15 bytes, stop at NUL
+	klen := fb.NewReg()
+	entry.ConstTo(klen, 0, 32)
+	limit := entry.Select(entry.CmpImm(ir.Ult, dlen, 15, 32), dlen, entry.Const(15, 32), 32)
+	lp := beginLoop(fb, entry, "copy", limit)
+	b := lp.Body
+	bpos := b.Add(doff, lp.I, 32)
+	v := b.Call("read8", bpos)
+	isNul := fb.NewBlock("copy.nul")
+	keep := fb.NewBlock("copy.keep")
+	nc := b.CmpImm(ir.Eq, v, 0, 32)
+	b.Br(nc, isNul.Blk(), keep.Blk())
+	isNul.Jmp(lp.After.Blk())
+	i64 := keep.Zext(lp.I, 64)
+	kaddr := keep.Add(keybuf, i64, 64)
+	v8 := keep.Trunc(v, 8)
+	keep.Store(kaddr, 0, v8, 8)
+	nk := keep.AddImm(klen, 1, 32)
+	keep.MovTo(klen, nk, 32)
+	endLoop(lp, keep)
+
+	// trim loop (png_check_keyword): kp = klen-1; while keybuf[kp]==' '
+	// { keybuf[kp] = 0; kp-- } — BUG P2: no lower bound on kp.
+	after := lp.After
+	emptyK := fb.NewBlock("emptyk")
+	trimInit := fb.NewBlock("triminit")
+	trimHead := fb.NewBlock("trimhead")
+	trimBody := fb.NewBlock("trimbody")
+	done := fb.NewBlock("done")
+
+	ec := after.CmpImm(ir.Eq, klen, 0, 32)
+	after.Br(ec, emptyK.Blk(), trimInit.Blk())
+	emptyK.Print("empty keyword")
+	emptyK.RetVoid()
+
+	kp := fb.NewReg()
+	k1 := trimInit.BinImm(ir.Sub, klen, 1, 32)
+	trimInit.MovTo(kp, k1, 32)
+	trimInit.Jmp(trimHead.Blk())
+
+	kp64 := trimHead.Zext(kp, 64)
+	taddr := trimHead.Add(keybuf, kp64, 64)
+	tv := trimHead.Load(taddr, 0, 8)
+	sc := trimHead.CmpImm(ir.Eq, tv, ' ', 8)
+	trimHead.Br(sc, trimBody.Blk(), done.Blk())
+
+	z := trimBody.Const(0, 8)
+	kp64b := trimBody.Zext(kp, 64)
+	waddr := trimBody.Add(keybuf, kp64b, 64)
+	trimBody.Store(waddr, 0, z, 8)
+	nkp := trimBody.BinImm(ir.Sub, kp, 1, 32)
+	trimBody.MovTo(kp, nkp, 32)
+	trimBody.Jmp(trimHead.Blk())
+
+	done.RetVoid()
+}
+
+// pngHandleIDAT is the dense per-byte processing loop with a per-byte
+// filter switch.
+func pngHandleIDAT(p *ir.Program) {
+	fb := p.NewFunc("handle_idat", 2)
+	entry := fb.NewBlock("entry")
+	doff, dlen := fb.Param(0), fb.Param(1)
+
+	acc := fb.NewReg()
+	entry.ConstTo(acc, 0, 32)
+	lp := beginLoop(fb, entry, "idat", dlen)
+	b := lp.Body
+	bpos := b.Add(doff, lp.I, 32)
+	v := b.Call("read8", bpos)
+	f0 := fb.NewBlock("f0")
+	f1 := fb.NewBlock("f1")
+	f2 := fb.NewBlock("f2")
+	fj := fb.NewBlock("fj")
+	fsel := b.BinImm(ir.And, v, 3, 32)
+	b.Switch(fsel, []uint64{0, 1}, []*ir.Block{f0.Blk(), f1.Blk()}, f2.Blk())
+	a0 := f0.Add(acc, v, 32)
+	f0.MovTo(acc, a0, 32)
+	f0.Jmp(fj.Blk())
+	a1 := f1.BinImm(ir.Xor, acc, 0x5a, 32)
+	f1.MovTo(acc, a1, 32)
+	f1.Jmp(fj.Blk())
+	a2 := f2.BinImm(ir.Mul, acc, 3, 32)
+	f2.MovTo(acc, a2, 32)
+	f2.Jmp(fj.Blk())
+	ni := fj.AddImm(lp.I, 1, 32)
+	fj.MovTo(lp.I, ni, 32)
+	fj.Jmp(lp.Head)
+
+	lp.After.Ret(acc)
+}
+
+// genPNGSeed builds a benign PNG-like file: signature, IHDR, tIME (valid
+// month), tEXt (non-space keyword), IDAT filler sized to hit the
+// requested length, IEND.
+func genPNGSeed(rng *rand.Rand, size int) []byte {
+	if size < 64 {
+		size = 64
+	}
+	b := []byte{0x89, 'P', 'N', 'G', 0x0d, 0x0a, 0x1a, 0x0a}
+
+	chunk := func(typ byte, data []byte) {
+		b = le16(b, uint16(len(data)))
+		b = append(b, typ)
+		b = append(b, data...)
+		sum := 0
+		for _, d := range data {
+			sum += int(d)
+		}
+		b = append(b, byte(sum)) // checksum byte, verified by the walk
+	}
+
+	var ihdr []byte
+	ihdr = le16(ihdr, uint16(4+rng.Intn(28))) // width
+	ihdr = le16(ihdr, uint16(4+rng.Intn(28))) // height
+	ihdr = append(ihdr, []byte{8, 0}[rng.Intn(1)], 0)
+	chunk(1, ihdr)
+
+	var tm []byte
+	tm = le16(tm, 2015)
+	tm = append(tm, byte(1+rng.Intn(12)), byte(1+rng.Intn(28)), byte(rng.Intn(24)), byte(rng.Intn(60)), byte(rng.Intn(60)))
+	chunk(2, tm)
+
+	text := append([]byte("Title"), 0, 'o', 'k')
+	chunk(3, text)
+
+	// a spread of ancillary chunks (PLTE, tRNS, gAMA, cHRM, sRGB, bKGD,
+	// pHYs, sBIT, hIST, zTXt), each with valid contents
+	var plte []byte
+	for i := 0; i < 4*3; i++ {
+		plte = append(plte, byte(rng.Intn(0x10)))
+	}
+	chunk(6, plte)
+	chunk(7, []byte{byte(rng.Intn(0x10)), 0}) // grayscale tRNS
+	var gama []byte
+	gama = le16(gama, uint16(100+rng.Intn(10000)))
+	chunk(8, gama)
+	var chrm []byte
+	for i := 0; i < 8; i++ {
+		chrm = le16(chrm, uint16(rng.Intn(40000)))
+	}
+	chunk(9, chrm)
+	chunk(10, []byte{byte(rng.Intn(4))})
+	chunk(11, []byte{byte(rng.Intn(0x10)), 0}) // grayscale bKGD
+	var phys []byte
+	phys = le16(phys, 2834)
+	phys = le16(phys, 2834)
+	phys = append(phys, 1)
+	chunk(12, phys)
+	chunk(13, []byte{8, 8, 8})
+	var hist []byte
+	for i := 0; i < 4; i++ {
+		hist = le16(hist, uint16(rng.Intn(100)))
+	}
+	chunk(14, hist)
+	ztxt := append([]byte("cmt"), 0, 0) // keyword, NUL, method 0
+	ztxt = append(ztxt, byte(rng.Intn(0x10)), byte(rng.Intn(0x10)))
+	chunk(15, ztxt)
+
+	idatLen := size - len(b) - 4 /*idat framing*/ - 4 /*iend*/
+	if idatLen < 4 {
+		idatLen = 4
+	}
+	if idatLen > 0xffff {
+		idatLen = 0xffff
+	}
+	idat := make([]byte, idatLen)
+	for i := range idat {
+		idat[i] = byte(rng.Intn(0x10))
+	}
+	chunk(4, idat)
+	chunk(5, nil)
+	return pad(b, size, rng)
+}
+
+// genPNGBuggySeed sets the tIME month to 0, triggering P1 concretely.
+func genPNGBuggySeed(rng *rand.Rand) []byte {
+	b := genPNGSeed(rng, 96)
+	// walk the chunks to find tIME (type 2) and zero its month byte
+	pos := 8
+	for pos+3 <= len(b) {
+		dlen := int(b[pos]) | int(b[pos+1])<<8
+		typ := b[pos+2]
+		if typ == 2 {
+			b[pos+3+2] = 0 // month
+			sum := 0
+			for i := 0; i < dlen; i++ {
+				sum += int(b[pos+3+i])
+			}
+			b[pos+3+dlen] = byte(sum) // repair the checksum
+			return b
+		}
+		if typ == 5 {
+			break
+		}
+		pos += 3 + dlen + 1
+	}
+	return b
+}

@@ -1,0 +1,415 @@
+package targets
+
+import "pbse/internal/ir"
+
+// Breadth handlers for minipng, mirroring libpng's ancillary-chunk
+// readers (png_handle_PLTE, _tRNS, _gAMA, _cHRM, _sRGB, _bKGD, _pHYs,
+// _sBIT, _hIST, _zTXt) and the five scanline filter algorithms. Chunk
+// type ids continue the minipng numbering: 6 PLTE, 7 tRNS, 8 gAMA,
+// 9 cHRM, 10 sRGB, 11 bKGD, 12 pHYs, 13 sBIT, 14 hIST, 15 zTXt.
+
+// pngEmitRich registers the ancillary handlers on p.
+func pngEmitRich(p *ir.Program) {
+	pngHandlePLTE(p)
+	pngHandleTRNS(p)
+	pngHandleGAMA(p)
+	pngHandleCHRM(p)
+	pngHandleSRGB(p)
+	pngHandleBKGD(p)
+	pngHandlePHYS(p)
+	pngHandleSBIT(p)
+	pngHandleHIST(p)
+	pngHandleZTXT(p)
+	pngApplyFilters(p)
+}
+
+// pngHandlePLTE validates the palette: length divisible by 3, at most
+// 256 entries, and walks the entries accumulating a luminance-ish sum.
+func pngHandlePLTE(p *ir.Program) {
+	fb := p.NewFunc("handle_plte", 2)
+	entry := fb.NewBlock("entry")
+	doff, dlen := fb.Param(0), fb.Param(1)
+
+	okMod := fb.NewBlock("okmod")
+	badMod := fb.NewBlock("badmod")
+	rem := entry.BinImm(ir.URem, dlen, 3, 32)
+	mc := entry.CmpImm(ir.Eq, rem, 0, 32)
+	entry.Br(mc, okMod.Blk(), badMod.Blk())
+	badMod.Print("PLTE length not divisible by 3")
+	badMod.RetVoid()
+
+	okCnt := fb.NewBlock("okcnt")
+	badCnt := fb.NewBlock("badcnt")
+	n := okMod.BinImm(ir.UDiv, dlen, 3, 32)
+	cc := okMod.CmpImm(ir.Ule, n, 256, 32)
+	okMod.Br(cc, okCnt.Blk(), badCnt.Blk())
+	badCnt.Print("too many palette entries")
+	badCnt.RetVoid()
+
+	lum := fb.NewReg()
+	okCnt.ConstTo(lum, 0, 32)
+	lp := beginLoop(fb, okCnt, "pal", n)
+	b := lp.Body
+	base0 := b.BinImm(ir.Mul, lp.I, 3, 32)
+	base := b.Add(doff, base0, 32)
+	r := b.Call("read8", base)
+	g := b.Call("read8", b.AddImm(base, 1, 32))
+	bl := b.Call("read8", b.AddImm(base, 2, 32))
+	// 2R + 4G + B, the classic fast luma approximation
+	r2 := b.BinImm(ir.Mul, r, 2, 32)
+	g4 := b.BinImm(ir.Mul, g, 4, 32)
+	s1 := b.Add(r2, g4, 32)
+	s2 := b.Add(s1, bl, 32)
+	nl := b.Add(lum, s2, 32)
+	b.MovTo(lum, nl, 32)
+	endLoop(lp, b)
+	lp.After.RetVoid()
+}
+
+// pngHandleTRNS branches on length (grayscale 2, rgb 6, palette n<=256).
+func pngHandleTRNS(p *ir.Program) {
+	fb := p.NewFunc("handle_trns", 2)
+	entry := fb.NewBlock("entry")
+	doff, dlen := fb.Param(0), fb.Param(1)
+
+	gray := fb.NewBlock("gray")
+	rgb := fb.NewBlock("rgb")
+	pal := fb.NewBlock("pal")
+	out := fb.NewBlock("out")
+	entry.Switch(dlen, []uint64{2, 6}, []*ir.Block{gray.Blk(), rgb.Blk()}, pal.Blk())
+
+	gray.Call("read16", doff)
+	gray.Jmp(out.Blk())
+
+	for k := uint64(0); k < 3; k++ {
+		rgb.Call("read16", rgb.AddImm(doff, k*2, 32))
+	}
+	rgb.Jmp(out.Blk())
+
+	okPal := fb.NewBlock("okpal")
+	badPal := fb.NewBlock("badpal")
+	pc := pal.CmpImm(ir.Ule, dlen, 256, 32)
+	pal.Br(pc, okPal.Blk(), badPal.Blk())
+	badPal.Print("tRNS longer than palette")
+	badPal.Jmp(out.Blk())
+	lp := beginLoop(fb, okPal, "trns", dlen)
+	bpos := lp.Body.Add(doff, lp.I, 32)
+	lp.Body.Call("read8", bpos)
+	endLoop(lp, lp.Body)
+	lp.After.Jmp(out.Blk())
+
+	out.RetVoid()
+}
+
+// pngHandleGAMA range-checks the gamma value like png_handle_gAMA.
+func pngHandleGAMA(p *ir.Program) {
+	fb := p.NewFunc("handle_gama", 2)
+	entry := fb.NewBlock("entry")
+	doff, dlen := fb.Param(0), fb.Param(1)
+
+	okLen := fb.NewBlock("oklen")
+	badLen := fb.NewBlock("badlen")
+	lc := entry.CmpImm(ir.Uge, dlen, 2, 32)
+	entry.Br(lc, okLen.Blk(), badLen.Blk())
+	badLen.RetVoid()
+
+	g := okLen.Call("read16", doff)
+	zero := fb.NewBlock("zero")
+	small := fb.NewBlock("small")
+	large := fb.NewBlock("large")
+	normal := fb.NewBlock("normal")
+	out := fb.NewBlock("out")
+	zc := okLen.CmpImm(ir.Eq, g, 0, 32)
+	okLen.Br(zc, zero.Blk(), small.Blk())
+	zero.Print("gamma zero")
+	zero.Jmp(out.Blk())
+	sc := small.CmpImm(ir.Ult, g, 16, 32)
+	small.Br(sc, large.Blk(), normal.Blk())
+	large.Print("gamma implausibly small")
+	large.Jmp(out.Blk())
+	normal.Jmp(out.Blk())
+	out.RetVoid()
+}
+
+// pngHandleCHRM reads 8 chromaticity values and validates each.
+func pngHandleCHRM(p *ir.Program) {
+	fb := p.NewFunc("handle_chrm", 2)
+	entry := fb.NewBlock("entry")
+	doff, dlen := fb.Param(0), fb.Param(1)
+
+	okLen := fb.NewBlock("oklen")
+	badLen := fb.NewBlock("badlen")
+	lc := entry.CmpImm(ir.Uge, dlen, 16, 32)
+	entry.Br(lc, okLen.Blk(), badLen.Blk())
+	badLen.RetVoid()
+
+	cur := okLen
+	for k := 0; k < 8; k++ {
+		v := cur.Call("read16", cur.AddImm(doff, uint64(k*2), 32))
+		ok := fb.NewBlock("c.ok")
+		warn := fb.NewBlock("c.warn")
+		// chromaticities are fixed-point <= 40000 in real libpng; our
+		// 16-bit analogue caps at 40000 too
+		vc := cur.CmpImm(ir.Ule, v, 40000, 32)
+		cur.Br(vc, ok.Blk(), warn.Blk())
+		warn.Print("chromaticity out of range")
+		warn.Jmp(ok.Blk())
+		cur = ok
+	}
+	cur.RetVoid()
+}
+
+// pngHandleSRGB switches on the rendering intent (4 valid values).
+func pngHandleSRGB(p *ir.Program) {
+	fb := p.NewFunc("handle_srgb", 2)
+	entry := fb.NewBlock("entry")
+	doff, dlen := fb.Param(0), fb.Param(1)
+	_ = dlen
+
+	intent := entry.Call("read8", doff)
+	arms := make([]*ir.Block, 4)
+	vals := make([]uint64, 4)
+	out := fb.NewBlock("out")
+	bad := fb.NewBlock("bad")
+	for k := 0; k < 4; k++ {
+		bb := fb.NewBlock("i.arm")
+		vals[k] = uint64(k)
+		arms[k] = bb.Blk()
+		bb.Jmp(out.Blk())
+	}
+	entry.Switch(intent, vals, arms, bad.Blk())
+	bad.Print("unknown rendering intent")
+	bad.Jmp(out.Blk())
+	out.RetVoid()
+}
+
+// pngHandleBKGD branches on background sample size.
+func pngHandleBKGD(p *ir.Program) {
+	fb := p.NewFunc("handle_bkgd", 2)
+	entry := fb.NewBlock("entry")
+	doff, dlen := fb.Param(0), fb.Param(1)
+
+	idx := fb.NewBlock("idx")
+	gray := fb.NewBlock("gray")
+	rgb := fb.NewBlock("rgb")
+	out := fb.NewBlock("out")
+	entry.Switch(dlen, []uint64{1, 2, 6},
+		[]*ir.Block{idx.Blk(), gray.Blk(), rgb.Blk()}, out.Blk())
+	idx.Call("read8", doff)
+	idx.Jmp(out.Blk())
+	gray.Call("read16", doff)
+	gray.Jmp(out.Blk())
+	for k := uint64(0); k < 3; k++ {
+		rgb.Call("read16", rgb.AddImm(doff, k*2, 32))
+	}
+	rgb.Jmp(out.Blk())
+	out.RetVoid()
+}
+
+// pngHandlePHYS validates the unit specifier and aspect ratio.
+func pngHandlePHYS(p *ir.Program) {
+	fb := p.NewFunc("handle_phys", 2)
+	entry := fb.NewBlock("entry")
+	doff, dlen := fb.Param(0), fb.Param(1)
+
+	okLen := fb.NewBlock("oklen")
+	badLen := fb.NewBlock("badlen")
+	lc := entry.CmpImm(ir.Uge, dlen, 5, 32)
+	entry.Br(lc, okLen.Blk(), badLen.Blk())
+	badLen.RetVoid()
+
+	x := okLen.Call("read16", doff)
+	y := okLen.Call("read16", okLen.AddImm(doff, 2, 32))
+	unit := okLen.Call("read8", okLen.AddImm(doff, 4, 32))
+	okUnit := fb.NewBlock("okunit")
+	badUnit := fb.NewBlock("badunit")
+	out := fb.NewBlock("out")
+	uc := okLen.CmpImm(ir.Ule, unit, 1, 32)
+	okLen.Br(uc, okUnit.Blk(), badUnit.Blk())
+	badUnit.Print("unknown pHYs unit")
+	badUnit.Jmp(out.Blk())
+	sq := fb.NewBlock("square")
+	nsq := fb.NewBlock("nonsquare")
+	qc := okUnit.Cmp(ir.Eq, x, y, 32)
+	okUnit.Br(qc, sq.Blk(), nsq.Blk())
+	sq.Jmp(out.Blk())
+	nsq.Jmp(out.Blk())
+	out.RetVoid()
+}
+
+// pngHandleSBIT checks each significant-bit field against the depth.
+func pngHandleSBIT(p *ir.Program) {
+	fb := p.NewFunc("handle_sbit", 2)
+	entry := fb.NewBlock("entry")
+	doff, dlen := fb.Param(0), fb.Param(1)
+
+	cnt := entry.Select(entry.CmpImm(ir.Ult, dlen, 4, 32), dlen, entry.Const(4, 32), 32)
+	lp := beginLoop(fb, entry, "sbit", cnt)
+	b := lp.Body
+	v := b.Call("read8", b.Add(doff, lp.I, 32))
+	ok := fb.NewBlock("sb.ok")
+	bad := fb.NewBlock("sb.bad")
+	join := fb.NewBlock("sb.join")
+	c1 := b.CmpImm(ir.Uge, v, 1, 32)
+	c2 := b.CmpImm(ir.Ule, v, 16, 32)
+	c := b.Bin(ir.And, c1, c2, 1)
+	b.Br(c, ok.Blk(), bad.Blk())
+	ok.Jmp(join.Blk())
+	bad.Print("invalid significant bits")
+	bad.Jmp(join.Blk())
+	ni := join.AddImm(lp.I, 1, 32)
+	join.MovTo(lp.I, ni, 32)
+	join.Jmp(lp.Head)
+	lp.After.RetVoid()
+}
+
+// pngHandleHIST sums 16-bit histogram entries.
+func pngHandleHIST(p *ir.Program) {
+	fb := p.NewFunc("handle_hist", 2)
+	entry := fb.NewBlock("entry")
+	doff, dlen := fb.Param(0), fb.Param(1)
+
+	sum := fb.NewReg()
+	entry.ConstTo(sum, 0, 32)
+	n := entry.BinImm(ir.LShr, dlen, 1, 32)
+	lp := beginLoop(fb, entry, "hist", n)
+	b := lp.Body
+	o := b.BinImm(ir.Mul, lp.I, 2, 32)
+	v := b.Call("read16", b.Add(doff, o, 32))
+	ns := b.Add(sum, v, 32)
+	b.MovTo(sum, ns, 32)
+	endLoop(lp, b)
+	lp.After.Ret(sum)
+}
+
+// pngHandleZTXT scans for the keyword NUL, checks the compression
+// method byte, and runs a toy inflate loop over the remainder.
+func pngHandleZTXT(p *ir.Program) {
+	fb := p.NewFunc("handle_ztxt", 2)
+	entry := fb.NewBlock("entry")
+	doff, dlen := fb.Param(0), fb.Param(1)
+
+	// find the keyword terminator
+	head := fb.NewBlock("head")
+	chk := fb.NewBlock("chk")
+	found := fb.NewBlock("found")
+	nokey := fb.NewBlock("nokey")
+	i := fb.NewReg()
+	entry.ConstTo(i, 0, 32)
+	entry.Jmp(head.Blk())
+	hc := head.Cmp(ir.Ult, i, dlen, 32)
+	head.Br(hc, chk.Blk(), nokey.Blk())
+	v := chk.Call("read8", chk.Add(doff, i, 32))
+	step := fb.NewBlock("step")
+	zc := chk.CmpImm(ir.Eq, v, 0, 32)
+	chk.Br(zc, found.Blk(), step.Blk())
+	ni := step.AddImm(i, 1, 32)
+	step.MovTo(i, ni, 32)
+	step.Jmp(head.Blk())
+	nokey.Print("zTXt keyword unterminated")
+	nokey.RetVoid()
+
+	// compression method must be 0
+	m0 := fb.NewBlock("m0")
+	mbad := fb.NewBlock("mbad")
+	mpos := found.AddImm(i, 1, 32)
+	mabs := found.Add(doff, mpos, 32)
+	meth := found.Call("read8", mabs)
+	mc := found.CmpImm(ir.Eq, meth, 0, 32)
+	found.Br(mc, m0.Blk(), mbad.Blk())
+	mbad.Print("unknown zTXt compression")
+	mbad.RetVoid()
+
+	// toy inflate: xor-rolling over the compressed payload
+	state := fb.NewReg()
+	m0.ConstTo(state, 0x9e, 32)
+	rest := m0.Sub(dlen, mpos, 32)
+	start := m0.Add(doff, mpos, 32)
+	lp := beginLoop(fb, m0, "inf", rest)
+	b := lp.Body
+	cv := b.Call("read8", b.Add(start, lp.I, 32))
+	x := b.Bin(ir.Xor, state, cv, 32)
+	rot := b.BinImm(ir.Shl, x, 1, 32)
+	hi2 := b.BinImm(ir.LShr, x, 7, 32)
+	mix := b.Bin(ir.Or, rot, hi2, 32)
+	msk := b.BinImm(ir.And, mix, 0xff, 32)
+	b.MovTo(state, msk, 32)
+	endLoop(lp, b)
+	lp.After.Ret(state)
+}
+
+// pngApplyFilters(doff, dlen, bpp) replays the five PNG scanline filter
+// algorithms over the IDAT bytes: None, Sub, Up, Average, Paeth — the
+// Paeth predictor contributing its three-way comparisons.
+func pngApplyFilters(p *ir.Program) {
+	fb := p.NewFunc("apply_filters", 2)
+	entry := fb.NewBlock("entry")
+	doff, dlen := fb.Param(0), fb.Param(1)
+
+	prior := fb.NewReg() // previous reconstructed byte ("left")
+	above := fb.NewReg() // stand-in for the byte above
+	entry.ConstTo(prior, 0, 32)
+	entry.ConstTo(above, 0, 32)
+
+	lp := beginLoop(fb, entry, "flt", dlen)
+	b := lp.Body
+	raw := b.Call("read8", b.Add(doff, lp.I, 32))
+	ftype := b.BinImm(ir.URem, lp.I, 5, 32) // cycle filters per byte
+
+	fNone := fb.NewBlock("f.none")
+	fSub := fb.NewBlock("f.sub")
+	fUp := fb.NewBlock("f.up")
+	fAvg := fb.NewBlock("f.avg")
+	fPaeth := fb.NewBlock("f.paeth")
+	join := fb.NewBlock("f.join")
+	recon := fb.NewReg()
+
+	b.Switch(ftype, []uint64{0, 1, 2, 3},
+		[]*ir.Block{fNone.Blk(), fSub.Blk(), fUp.Blk(), fAvg.Blk()}, fPaeth.Blk())
+
+	fNone.MovTo(recon, raw, 32)
+	fNone.Jmp(join.Blk())
+
+	sv := fSub.Add(raw, prior, 32)
+	sm := fSub.BinImm(ir.And, sv, 0xff, 32)
+	fSub.MovTo(recon, sm, 32)
+	fSub.Jmp(join.Blk())
+
+	uv := fUp.Add(raw, above, 32)
+	um := fUp.BinImm(ir.And, uv, 0xff, 32)
+	fUp.MovTo(recon, um, 32)
+	fUp.Jmp(join.Blk())
+
+	asum := fAvg.Add(prior, above, 32)
+	ahalf := fAvg.BinImm(ir.LShr, asum, 1, 32)
+	av := fAvg.Add(raw, ahalf, 32)
+	am := fAvg.BinImm(ir.And, av, 0xff, 32)
+	fAvg.MovTo(recon, am, 32)
+	fAvg.Jmp(join.Blk())
+
+	// Paeth predictor: nearest of left, above, upper-left (0 here)
+	pa := fPaeth.Mov(above, 32) // |p - left| with p = left+above-0
+	pb := fPaeth.Mov(prior, 32) // |p - above|
+	useLeft := fb.NewBlock("f.pleft")
+	useAbove := fb.NewBlock("f.pabove")
+	pjoin := fb.NewBlock("f.pjoin")
+	pred := fb.NewReg()
+	pc := fPaeth.Cmp(ir.Ule, pa, pb, 32)
+	fPaeth.Br(pc, useLeft.Blk(), useAbove.Blk())
+	useLeft.MovTo(pred, prior, 32)
+	useLeft.Jmp(pjoin.Blk())
+	useAbove.MovTo(pred, above, 32)
+	useAbove.Jmp(pjoin.Blk())
+	pv := pjoin.Add(raw, pred, 32)
+	pm := pjoin.BinImm(ir.And, pv, 0xff, 32)
+	pjoin.MovTo(recon, pm, 32)
+	pjoin.Jmp(join.Blk())
+
+	join.MovTo(above, prior, 32)
+	join.MovTo(prior, recon, 32)
+	ni := join.AddImm(lp.I, 1, 32)
+	join.MovTo(lp.I, ni, 32)
+	join.Jmp(lp.Head)
+
+	lp.After.Ret(prior)
+}

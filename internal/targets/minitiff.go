@@ -1,0 +1,698 @@
+package targets
+
+import (
+	"math/rand"
+
+	"pbse/internal/ir"
+)
+
+// MiniTIFF is the gif2tiff analogue: it parses a GIF-like input (header,
+// logical screen descriptor, colour table, data blocks) the way gif2tiff
+// reads its input before conversion. File layout:
+//
+//	0..3   magic 'G' 'I' 'F' '8'
+//	4..5   screen width    6..7  screen height
+//	8      flags (bit7: colour table present; bits0-2: size exponent)
+//	colour table: 3 * 2^(1+(flags&7)) bytes when present
+//	blocks: 0x2c image descriptor: x(2) y(2) w(2) h(2), then data
+//	        sub-blocks (len byte + len data bytes, 0-terminated)
+//	        0x21 extension: label(1) + sub-blocks
+//	        0x3b trailer: end of file
+//
+// Seeded bug T1 (OOB write): the colour table is copied into a fixed
+// 96-byte colormap (32 entries), but the size exponent allows up to 256
+// entries — exponent >= 5 overflows, mirroring gif2tiff's colormap bugs.
+func MiniTIFF() *Target {
+	return &Target{
+		Name:         "minitiff",
+		Driver:       "gif2tiff",
+		Paper:        "libtiff-4.0.6 gif2tiff",
+		Build:        buildMiniTIFF,
+		GenSeed:      genGIFSeed,
+		GenBuggySeed: genGIFBuggySeed,
+	}
+}
+
+// MiniTIFFRGBA is the tiff2rgba analogue: a TIFF-like parser whose
+// CIELab conversion path carries the Fig 6 bug. File layout:
+//
+//	0..1   magic 'I' 'I'
+//	2..3   version 42
+//	4..5   IFD offset
+//	IFD: count(2), then count entries of 8 bytes:
+//	     tag(2) type(2) count(2) value(2)
+//	tags: 256 width, 257 height, 262 photometric (8 = CIELab),
+//	      273 strip offset, 279 strip byte count
+//
+// Seeded bugs:
+//
+//	T2 (OOB read, Fig 6 / putcontig8bitCIELab): when photometric is
+//	    CIELab the converter reads w*h*3 bytes from a fixed 257-byte
+//	    buffer.
+//	T3 (integer overflow -> OOB write): the strip copier size-checks
+//	    w*h truncated to 16 bits but loops over the full 32-bit product.
+func MiniTIFFRGBA() *Target {
+	return &Target{
+		Name:         "minitiff",
+		Driver:       "tiff2rgba",
+		Paper:        "libtiff-4.0.6 tiff2rgba",
+		Build:        buildMiniTIFFRGBA,
+		GenSeed:      genTIFFSeed,
+		GenBuggySeed: genTIFFBuggySeed,
+	}
+}
+
+// --- gif2tiff driver ---
+
+func buildMiniTIFF() (*ir.Program, error) {
+	p := ir.NewProgram("minitiff-gif2tiff")
+	emitReadHelpers(p)
+
+	gifCheckHeader(p)
+	gifReadColorTable(p)
+	gifReadSubBlocks(p)
+	gifReadImage(p)
+	gifEmitRich(p)
+	gifConvertPass(p)
+	gifBlockWalk(p)
+
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	bad := fb.NewBlock("bad")
+	run := fb.NewBlock("run")
+	ok := b.Call("gif_check_header")
+	c := b.CmpImm(ir.Ne, ok, 0, 32)
+	b.Br(c, run.Blk(), bad.Blk())
+	bad.Print("not a GIF file")
+	bad.Exit()
+	pos := run.Call("gif_read_color_table")
+	run.Call("gif_block_walk", pos)
+	run.Exit()
+
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func gifCheckHeader(p *ir.Program) {
+	fb := p.NewFunc("gif_check_header", 0)
+	entry := fb.NewBlock("entry")
+	fail := fb.NewBlock("fail")
+	cur := entry
+	for i, want := range []uint64{'G', 'I', 'F', '8'} {
+		next := fb.NewBlock("m" + string(rune('0'+i)))
+		off := cur.Const(uint64(i), 32)
+		v := cur.Call("read8", off)
+		c := cur.CmpImm(ir.Eq, v, want, 32)
+		cur.Br(c, next.Blk(), fail.Blk())
+		cur = next
+	}
+	// dimensions must be non-zero
+	w := cur.Call("read16", cur.Const(4, 32))
+	okW := fb.NewBlock("okw")
+	wc := cur.CmpImm(ir.Ugt, w, 0, 32)
+	cur.Br(wc, okW.Blk(), fail.Blk())
+	h := okW.Call("read16", okW.Const(6, 32))
+	done := fb.NewBlock("done")
+	hc := okW.CmpImm(ir.Ugt, h, 0, 32)
+	okW.Br(hc, done.Blk(), fail.Blk())
+	one := done.Const(1, 32)
+	done.Ret(one)
+	zero := fail.Const(0, 32)
+	fail.Ret(zero)
+}
+
+// gifReadColorTable returns the position after the colour table. Seeded
+// bug T1: the 96-byte colormap holds 32 entries but the exponent allows
+// up to 256.
+func gifReadColorTable(p *ir.Program) {
+	fb := p.NewFunc("gif_read_color_table", 0)
+	entry := fb.NewBlock("entry")
+	have := fb.NewBlock("have")
+	none := fb.NewBlock("none")
+
+	colormap := entry.Alloca(96) // 32 entries * 3 bytes
+	flags := entry.Call("read8", entry.Const(8, 32))
+	present := entry.BinImm(ir.And, flags, 0x80, 32)
+	pc := entry.CmpImm(ir.Ne, present, 0, 32)
+	entry.Br(pc, have.Blk(), none.Blk())
+
+	nine := none.Const(9, 32)
+	none.Ret(nine)
+
+	expo := have.BinImm(ir.And, flags, 7, 32)
+	e1 := have.AddImm(expo, 1, 32)
+	one := have.Const(1, 32)
+	entries := have.Bin(ir.Shl, one, e1, 32) // 2^(expo+1), up to 256
+
+	lp := beginLoop(fb, have, "cmap", entries)
+	b := lp.Body
+	// copy 3 bytes per entry from the file into the colormap
+	stride := b.BinImm(ir.Mul, lp.I, 3, 32)
+	src := b.AddImm(stride, 9, 32)
+	for k := uint64(0); k < 3; k++ {
+		so := b.AddImm(src, k, 32)
+		v := b.Call("read8", so)
+		v8 := b.Trunc(v, 8)
+		dst := b.AddImm(stride, k, 32)
+		dst64 := b.Zext(dst, 64)
+		addr := b.Add(colormap, dst64, 64) // BUG T1: no bound on entries
+		b.Store(addr, 0, v8, 8)
+	}
+	endLoop(lp, b)
+
+	tblBytes := lp.After.BinImm(ir.Mul, entries, 3, 32)
+	end := lp.After.AddImm(tblBytes, 9, 32)
+	lp.After.Ret(end)
+}
+
+// gifReadSubBlocks(pos) walks len-prefixed data sub-blocks until a zero
+// length; returns the position after the terminator.
+func gifReadSubBlocks(p *ir.Program) {
+	fb := p.NewFunc("gif_read_sub_blocks", 1)
+	entry := fb.NewBlock("entry")
+	head := fb.NewBlock("head")
+	data := fb.NewBlock("data")
+	out := fb.NewBlock("out")
+
+	pos := fb.NewReg()
+	entry.MovTo(pos, fb.Param(0), 32)
+	entry.Jmp(head.Blk())
+
+	// stop at end of file
+	n := head.InputLen(32)
+	inFile := head.Cmp(ir.Ult, pos, n, 32)
+	chk := fb.NewBlock("chk")
+	head.Br(inFile, chk.Blk(), out.Blk())
+
+	blen := chk.Call("read8", pos)
+	zc := chk.CmpImm(ir.Eq, blen, 0, 32)
+	fin := fb.NewBlock("fin")
+	chk.Br(zc, fin.Blk(), data.Blk())
+	fp := fin.AddImm(pos, 1, 32)
+	fin.Ret(fp)
+
+	// consume the block: per-byte accumulation (LZW stand-in)
+	acc := fb.NewReg()
+	data.ConstTo(acc, 0, 32)
+	dstart := data.AddImm(pos, 1, 32)
+	lp := beginLoop(fb, data, "blk", blen)
+	bpos := lp.Body.Add(dstart, lp.I, 32)
+	v := lp.Body.Call("read8", bpos)
+	na := lp.Body.Add(acc, v, 32)
+	lp.Body.MovTo(acc, na, 32)
+	endLoop(lp, lp.Body)
+
+	adv := lp.After.AddImm(blen, 1, 32)
+	np := lp.After.Add(pos, adv, 32)
+	lp.After.MovTo(pos, np, 32)
+	lp.After.Jmp(head.Blk())
+
+	out.Ret(pos)
+}
+
+// gifReadImage(pos) parses an image descriptor (x, y, w, h, flags), an
+// optional local colour table, and the data sub-blocks.
+func gifReadImage(p *ir.Program) {
+	fb := p.NewFunc("gif_read_image", 1)
+	entry := fb.NewBlock("entry")
+	pos := fb.Param(0)
+
+	w := entry.Call("read16", entry.AddImm(pos, 4, 32))
+	h := entry.Call("read16", entry.AddImm(pos, 6, 32))
+	okDim := fb.NewBlock("okdim")
+	badDim := fb.NewBlock("baddim")
+	area := entry.Mul(w, h, 32)
+	ac := entry.CmpImm(ir.Ugt, area, 0, 32)
+	entry.Br(ac, okDim.Blk(), badDim.Blk())
+	zp := badDim.AddImm(pos, 9, 32)
+	badDim.Ret(zp)
+
+	flags := okDim.Call("read8", okDim.AddImm(pos, 8, 32))
+	tblStart := okDim.AddImm(pos, 9, 32)
+	dstart := okDim.Call("gif_local_color_table", tblStart, flags)
+	end := okDim.Call("gif_read_sub_blocks", dstart)
+	okDim.Ret(end)
+}
+
+// gifConvertPass(w, h) is the GIF->TIFF conversion stage, reachable only
+// after the parse reaches a trailer: a per-pixel loop with dithering and
+// quantisation branches, like gif2tiff's rasterisation.
+func gifConvertPass(p *ir.Program) {
+	fb := p.NewFunc("gif_convert_pass", 2)
+	entry := fb.NewBlock("entry")
+	w, h := fb.Param(0), fb.Param(1)
+
+	acc := fb.NewReg()
+	errAcc := fb.NewReg()
+	entry.ConstTo(acc, 0, 32)
+	entry.ConstTo(errAcc, 0, 32)
+	area := entry.Mul(w, h, 32)
+	// clamp to the file size like the strip readers do
+	n := entry.InputLen(32)
+	clamped := entry.Select(entry.Cmp(ir.Ult, area, n, 32), area, n, 32)
+
+	lp := beginLoop(fb, entry, "conv", clamped)
+	b := lp.Body
+	px := b.Call("read8", lp.I)
+
+	// quantisation: 4 intensity bands with distinct treatment
+	dark := fb.NewBlock("q.dark")
+	mid := fb.NewBlock("q.mid")
+	bright := fb.NewBlock("q.bright")
+	sat := fb.NewBlock("q.sat")
+	join := fb.NewBlock("q.join")
+	band := b.BinImm(ir.LShr, px, 6, 32)
+	b.Switch(band, []uint64{0, 1, 2},
+		[]*ir.Block{dark.Blk(), mid.Blk(), bright.Blk()}, sat.Blk())
+	d1 := dark.AddImm(acc, 0, 32)
+	dark.MovTo(acc, d1, 32)
+	dark.Jmp(join.Blk())
+	m1 := mid.BinImm(ir.Mul, px, 2, 32)
+	m2 := mid.Add(acc, m1, 32)
+	mid.MovTo(acc, m2, 32)
+	mid.Jmp(join.Blk())
+	b1 := bright.BinImm(ir.Mul, px, 3, 32)
+	b2 := bright.Add(acc, b1, 32)
+	bright.MovTo(acc, b2, 32)
+	bright.Jmp(join.Blk())
+	s1 := sat.AddImm(acc, 255, 32)
+	sat.MovTo(acc, s1, 32)
+	sat.Jmp(join.Blk())
+
+	// Floyd-Steinberg-flavoured error diffusion branch
+	diff := fb.NewBlock("fs.diff")
+	keep := fb.NewBlock("fs.keep")
+	fsJoin := fb.NewBlock("fs.join")
+	e1 := join.BinImm(ir.And, px, 0xf, 32)
+	ec := join.CmpImm(ir.Ugt, e1, 7, 32)
+	join.Br(ec, diff.Blk(), keep.Blk())
+	ne := diff.Add(errAcc, e1, 32)
+	diff.MovTo(errAcc, ne, 32)
+	diff.Jmp(fsJoin.Blk())
+	keep.Jmp(fsJoin.Blk())
+
+	ni := fsJoin.AddImm(lp.I, 1, 32)
+	fsJoin.MovTo(lp.I, ni, 32)
+	fsJoin.Jmp(lp.Head)
+	lp.After.Ret(acc)
+}
+
+// gifBlockWalk(pos) is the outer block loop: image descriptors,
+// extensions, trailer.
+func gifBlockWalk(p *ir.Program) {
+	fb := p.NewFunc("gif_block_walk", 1)
+	entry := fb.NewBlock("entry")
+	head := fb.NewBlock("head")
+	body := fb.NewBlock("body")
+	out := fb.NewBlock("out")
+
+	pos := fb.NewReg()
+	sawImage := fb.NewReg()
+	entry.MovTo(pos, fb.Param(0), 32)
+	entry.ConstTo(sawImage, 0, 32)
+	entry.Jmp(head.Blk())
+
+	n := head.InputLen(32)
+	c := head.Cmp(ir.Ult, pos, n, 32)
+	head.Br(c, body.Blk(), out.Blk())
+
+	tag := body.Call("read8", pos)
+	img := fb.NewBlock("b.img")
+	ext := fb.NewBlock("b.ext")
+	trail := fb.NewBlock("b.trail")
+	junk := fb.NewBlock("b.junk")
+	body.Switch(tag, []uint64{0x2c, 0x21, 0x3b},
+		[]*ir.Block{img.Blk(), ext.Blk(), trail.Blk()}, junk.Blk())
+
+	ip := img.AddImm(pos, 1, 32)
+	ie := img.Call("gif_read_image", ip)
+	img.MovTo(pos, ie, 32)
+	ione := img.Const(1, 32)
+	img.MovTo(sawImage, ione, 32)
+	img.Jmp(head.Blk())
+
+	// extension: dispatch on the label byte
+	label := ext.Call("read8", ext.AddImm(pos, 1, 32))
+	ep := ext.AddImm(pos, 2, 32)
+	gce := fb.NewBlock("e.gce")
+	cmt := fb.NewBlock("e.cmt")
+	ptx := fb.NewBlock("e.ptx")
+	app := fb.NewBlock("e.app")
+	edef := fb.NewBlock("e.def")
+	ejoin := fb.NewBlock("e.join")
+	epos := fb.NewReg()
+	ext.Switch(label, []uint64{0xf9, 0xfe, 0x01, 0xff},
+		[]*ir.Block{gce.Blk(), cmt.Blk(), ptx.Blk(), app.Blk()}, edef.Blk())
+	g1 := gce.Call("gif_graphic_control", ep)
+	gce.MovTo(epos, g1, 32)
+	gce.Jmp(ejoin.Blk())
+	c1 := cmt.Call("gif_comment", ep)
+	cmt.MovTo(epos, c1, 32)
+	cmt.Jmp(ejoin.Blk())
+	p1 := ptx.Call("gif_plain_text", ep)
+	ptx.MovTo(epos, p1, 32)
+	ptx.Jmp(ejoin.Blk())
+	a1 := app.Call("gif_application", ep)
+	app.MovTo(epos, a1, 32)
+	app.Jmp(ejoin.Blk())
+	d1 := edef.Call("gif_read_sub_blocks", ep)
+	edef.MovTo(epos, d1, 32)
+	edef.Jmp(ejoin.Blk())
+	ejoin.MovTo(pos, epos, 32)
+	ejoin.Jmp(head.Blk())
+
+	trail.Print("trailer")
+	// gif2tiff only converts when at least one image was decoded
+	doConv := fb.NewBlock("b.conv")
+	skipConv := fb.NewBlock("b.skipconv")
+	sc := trail.CmpImm(ir.Ne, sawImage, 0, 32)
+	trail.Br(sc, doConv.Blk(), skipConv.Blk())
+	w := doConv.Call("read16", doConv.Const(4, 32))
+	h := doConv.Call("read16", doConv.Const(6, 32))
+	doConv.Call("gif_convert_pass", w, h)
+	doConv.Jmp(out.Blk())
+	skipConv.Print("no image to convert")
+	skipConv.Jmp(out.Blk())
+
+	jp := junk.AddImm(pos, 1, 32)
+	junk.MovTo(pos, jp, 32)
+	junk.Jmp(head.Blk())
+
+	out.RetVoid()
+}
+
+// --- tiff2rgba driver ---
+
+func buildMiniTIFFRGBA() (*ir.Program, error) {
+	p := ir.NewProgram("minitiff-tiff2rgba")
+	emitReadHelpers(p)
+
+	tiffCheckHeader(p)
+	tiffReadIFD(p)
+	tiffGetTag(p)
+	tiffPutCIELab(p)
+	tiffCopyStrip(p)
+	tiffEmitRich(p)
+
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	bad := fb.NewBlock("bad")
+	run := fb.NewBlock("run")
+	ok := b.Call("tiff_check_header")
+	c := b.CmpImm(ir.Ne, ok, 0, 32)
+	b.Br(c, run.Blk(), bad.Blk())
+	bad.Print("not a TIFF file")
+	bad.Exit()
+
+	run.Call("tiff_read_ifd")
+	run.Call("tiff_validate_tags")
+	t256 := run.Const(256, 32)
+	w := run.Call("tiff_get_tag", t256)
+	t257 := run.Const(257, 32)
+	h := run.Call("tiff_get_tag", t257)
+	t262 := run.Const(262, 32)
+	photo := run.Call("tiff_get_tag", t262)
+	run.Call("dispatch_photometric", photo, w, h)
+	run.Call("copy_strip", w, h)
+	run.Exit()
+
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func tiffCheckHeader(p *ir.Program) {
+	fb := p.NewFunc("tiff_check_header", 0)
+	entry := fb.NewBlock("entry")
+	fail := fb.NewBlock("fail")
+	cur := entry
+	for i, want := range []uint64{'I', 'I'} {
+		next := fb.NewBlock("m" + string(rune('0'+i)))
+		v := cur.Call("read8", cur.Const(uint64(i), 32))
+		c := cur.CmpImm(ir.Eq, v, want, 32)
+		cur.Br(c, next.Blk(), fail.Blk())
+		cur = next
+	}
+	ver := cur.Call("read16", cur.Const(2, 32))
+	done := fb.NewBlock("done")
+	vc := cur.CmpImm(ir.Eq, ver, 42, 32)
+	cur.Br(vc, done.Blk(), fail.Blk())
+	one := done.Const(1, 32)
+	done.Ret(one)
+	zero := fail.Const(0, 32)
+	fail.Ret(zero)
+}
+
+// tiffReadIFD walks every IFD entry with a per-tag switch — the
+// input-dependent trap loop of this driver.
+func tiffReadIFD(p *ir.Program) {
+	fb := p.NewFunc("tiff_read_ifd", 0)
+	entry := fb.NewBlock("entry")
+
+	acc := fb.NewReg()
+	entry.ConstTo(acc, 0, 32)
+	ifdOff := entry.Call("read16", entry.Const(4, 32))
+	count := entry.Call("read16", ifdOff)
+	base := entry.AddImm(ifdOff, 2, 32)
+
+	lp := beginLoop(fb, entry, "ifd", count)
+	b := lp.Body
+	stride := b.BinImm(ir.Mul, lp.I, 8, 32)
+	ebase := b.Add(base, stride, 32)
+	tag := b.Call("read16", ebase)
+	typ := b.Call("read16", b.AddImm(ebase, 2, 32))
+	val := b.Call("read16", b.AddImm(ebase, 6, 32))
+
+	// type must be 1..5 (like TIFFFetchNormalTag's type validation)
+	okType := fb.NewBlock("oktype")
+	badType := fb.NewBlock("badtype")
+	join := fb.NewBlock("join")
+	tc1 := b.CmpImm(ir.Uge, typ, 1, 32)
+	tc2 := b.CmpImm(ir.Ule, typ, 5, 32)
+	tc := b.Bin(ir.And, tc1, tc2, 1)
+	b.Br(tc, okType.Blk(), badType.Blk())
+	badType.Print("bad entry type")
+	badType.Jmp(join.Blk())
+
+	// known-tag switch
+	known := fb.NewBlock("known")
+	unknown := fb.NewBlock("unknown")
+	okType.Switch(tag, []uint64{256, 257, 259, 262, 273, 279},
+		[]*ir.Block{known.Blk(), known.Blk(), known.Blk(), known.Blk(), known.Blk(), known.Blk()},
+		unknown.Blk())
+	na := known.Add(acc, val, 32)
+	known.MovTo(acc, na, 32)
+	known.Jmp(join.Blk())
+	unknown.Jmp(join.Blk())
+
+	ni := join.AddImm(lp.I, 1, 32)
+	join.MovTo(lp.I, ni, 32)
+	join.Jmp(lp.Head)
+
+	lp.After.Ret(acc)
+}
+
+// tiffGetTag(tag) linearly scans the IFD for a tag and returns its value
+// (0 when absent).
+func tiffGetTag(p *ir.Program) {
+	fb := p.NewFunc("tiff_get_tag", 1)
+	entry := fb.NewBlock("entry")
+	want := fb.Param(0)
+
+	ifdOff := entry.Call("read16", entry.Const(4, 32))
+	count := entry.Call("read16", ifdOff)
+	base := entry.AddImm(ifdOff, 2, 32)
+
+	lp := beginLoop(fb, entry, "scan", count)
+	b := lp.Body
+	stride := b.BinImm(ir.Mul, lp.I, 8, 32)
+	ebase := b.Add(base, stride, 32)
+	tag := b.Call("read16", ebase)
+	hit := fb.NewBlock("hit")
+	miss := fb.NewBlock("miss")
+	hc := b.Cmp(ir.Eq, tag, want, 32)
+	b.Br(hc, hit.Blk(), miss.Blk())
+	v := hit.Call("read16", hit.AddImm(ebase, 6, 32))
+	hit.Ret(v)
+	ni := miss.AddImm(lp.I, 1, 32)
+	miss.MovTo(lp.I, ni, 32)
+	miss.Jmp(lp.Head)
+
+	z := lp.After.Const(0, 32)
+	lp.After.Ret(z)
+}
+
+// tiffPutCIELab carries seeded bug T2 (Fig 6): it reads w*h*3 bytes from
+// a fixed 257-byte buffer with no bound.
+func tiffPutCIELab(p *ir.Program) {
+	fb := p.NewFunc("put_cielab", 2)
+	entry := fb.NewBlock("entry")
+	w, h := fb.Param(0), fb.Param(1)
+
+	pp := entry.Alloca(257)
+	area := entry.Mul(w, h, 32)
+	total := entry.BinImm(ir.Mul, area, 3, 32)
+
+	acc := fb.NewReg()
+	entry.ConstTo(acc, 0, 32)
+	lp := beginLoop(fb, entry, "lab", total)
+	b := lp.Body
+	i64 := b.Zext(lp.I, 64)
+	addr := b.Add(pp, i64, 64) // BUG T2: i ranges to w*h*3-1, buffer is 257
+	v := b.Load(addr, 0, 8)
+	v32 := b.Zext(v, 32)
+	na := b.Add(acc, v32, 32)
+	b.MovTo(acc, na, 32)
+	endLoop(lp, b)
+
+	lp.After.Ret(acc)
+}
+
+// tiffCopyStrip carries seeded bug T3: the size check truncates w*h to 16
+// bits (integer overflow) but the copy loop runs over the full product.
+func tiffCopyStrip(p *ir.Program) {
+	fb := p.NewFunc("copy_strip", 2)
+	entry := fb.NewBlock("entry")
+	w, h := fb.Param(0), fb.Param(1)
+
+	buf := entry.Alloca(64)
+	prod := entry.Mul(w, h, 32)
+	sz16 := entry.Trunc(prod, 16) // BUG T3: truncating size check
+	fits := fb.NewBlock("fits")
+	skip := fb.NewBlock("skip")
+	fc := entry.CmpImm(ir.Ule, sz16, 64, 16)
+	entry.Br(fc, fits.Blk(), skip.Blk())
+	skip.Print("strip too large")
+	skip.RetVoid()
+
+	lp := beginLoop(fb, fits, "copy", prod)
+	b := lp.Body
+	v := b.Call("read8", lp.I)
+	v8 := b.Trunc(v, 8)
+	i64 := b.Zext(lp.I, 64)
+	addr := b.Add(buf, i64, 64) // OOB write once i >= 64 (needs the overflow)
+	b.Store(addr, 0, v8, 8)
+	endLoop(lp, b)
+	lp.After.RetVoid()
+}
+
+// genGIFSeed builds a benign GIF-like file: header, a colour table with a
+// safe exponent (<= 4), one extension, one image with a few data
+// sub-blocks, trailer.
+func genGIFSeed(rng *rand.Rand, size int) []byte {
+	if size < 64 {
+		size = 64
+	}
+	b := []byte{'G', 'I', 'F', '8'}
+	b = le16(b, uint16(4+rng.Intn(60))) // width
+	b = le16(b, uint16(4+rng.Intn(60))) // height
+	expo := byte(rng.Intn(5))           // <= 4 keeps T1 dormant
+	b = append(b, 0x80|expo)
+	entries := 1 << (expo + 1)
+	for i := 0; i < entries*3; i++ {
+		b = append(b, byte(rng.Intn(0x10)))
+	}
+
+	// extension block
+	b = append(b, 0x21, 0xf9)
+	b = append(b, 4)
+	for i := 0; i < 4; i++ {
+		b = append(b, byte(rng.Intn(0x10)))
+	}
+	b = append(b, 0)
+
+	// graphic-control and comment extensions exercise their handlers
+	b = append(b, 0x21, 0xf9, 4, byte(rng.Intn(16)))
+	b = le16(b, uint16(rng.Intn(500)))
+	b = append(b, byte(rng.Intn(16)), 0)
+	b = append(b, 0x21, 0xfe, 5)
+	b = append(b, "hello"...)
+	b = append(b, 0)
+
+	// image descriptor + data sub-blocks sized toward the target size
+	b = append(b, 0x2c)
+	b = le16(b, 0)
+	b = le16(b, 0)
+	b = le16(b, uint16(2+rng.Intn(14)))
+	b = le16(b, uint16(2+rng.Intn(14)))
+	b = append(b, 0) // image flags: no local colour table
+	remaining := size - len(b) - 2
+	for remaining > 2 {
+		bl := remaining - 2
+		if bl > 200 {
+			bl = 200
+		}
+		b = append(b, byte(bl))
+		for i := 0; i < bl; i++ {
+			b = append(b, byte(rng.Intn(0x10)))
+		}
+		remaining = size - len(b) - 2
+	}
+	b = append(b, 0)    // sub-block terminator
+	b = append(b, 0x3b) // trailer
+	return pad(b, size, rng)
+}
+
+// genGIFBuggySeed uses colour-table exponent 7 (256 entries), overflowing
+// the 96-byte colormap concretely (bug T1).
+func genGIFBuggySeed(rng *rand.Rand) []byte {
+	b := genGIFSeed(rng, 900)
+	b[8] = 0x80 | 7
+	return b
+}
+
+// genTIFFSeed builds a benign TIFF-like file: header, IFD with width,
+// height, photometric (CIELab), strip tags; w*h*3 stays within the
+// 257-byte CIELab buffer and w*h within the 64-byte strip buffer.
+func genTIFFSeed(rng *rand.Rand, size int) []byte {
+	if size < 96 {
+		size = 96
+	}
+	b := []byte{'I', 'I'}
+	b = le16(b, 42)
+	b = le16(b, 6) // IFD at offset 6
+
+	w := uint16(2 + rng.Intn(6))
+	h := uint16(2 + rng.Intn(6))
+	for w*h > 64 {
+		h--
+	}
+
+	photos := []uint16{0, 1, 2, 3, 5, 6, 8}
+	entries := []struct{ tag, typ, cnt, val uint16 }{
+		{256, 3, 1, w},
+		{257, 3, 1, h},
+		{259, 3, 1, 1},
+		{262, 3, 1, photos[rng.Intn(len(photos))]},
+		{273, 4, 1, 80},
+		{279, 4, 1, uint16(rng.Intn(100))},
+		{258, 3, 1, 8},
+		{277, 3, 1, uint16(1 + rng.Intn(4))},
+		{284, 3, 1, 1},
+		{296, 3, 1, uint16(rng.Intn(4))},
+	}
+	b = le16(b, uint16(len(entries)))
+	for _, e := range entries {
+		b = le16(b, e.tag)
+		b = le16(b, e.typ)
+		b = le16(b, e.cnt)
+		b = le16(b, e.val)
+	}
+	return pad(b, size, rng)
+}
+
+// genTIFFBuggySeed sets dimensions so w*h*3 > 257, triggering T2
+// concretely on the CIELab path.
+func genTIFFBuggySeed(rng *rand.Rand) []byte {
+	b := genTIFFSeed(rng, 128)
+	// width is the value of the first IFD entry: offset 6 (IFD) + 2
+	// (count) + 6 (tag/type/cnt) = 14; height at 22; photometric (4th
+	// entry) value at 38 must select the CIELab path
+	b[14], b[15] = 20, 0
+	b[22], b[23] = 8, 0 // 20*8*3 = 480 > 257
+	b[38], b[39] = 8, 0
+	return b
+}

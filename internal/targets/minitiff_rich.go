@@ -1,0 +1,375 @@
+package targets
+
+import "pbse/internal/ir"
+
+// Breadth handlers for the two libtiff drivers. The gif2tiff side gains
+// the real GIF extension blocks (graphic control, comment, plain text,
+// application) and local-colour-table handling; the tiff2rgba side gains
+// the photometric-interpretation conversions (gray, RGB, palette, CMYK,
+// YCbCr, CIELab) and the usual tag validations.
+
+// gifEmitRich registers the gif2tiff breadth handlers.
+func gifEmitRich(p *ir.Program) {
+	gifGraphicControl(p)
+	gifComment(p)
+	gifPlainText(p)
+	gifApplication(p)
+	gifLocalColorTable(p)
+}
+
+// gifGraphicControl parses the 0xf9 extension: block size must be 4,
+// disposal method 0..3, then delay and transparent index.
+func gifGraphicControl(p *ir.Program) {
+	fb := p.NewFunc("gif_graphic_control", 1)
+	entry := fb.NewBlock("entry")
+	pos := fb.Param(0)
+
+	bs := entry.Call("read8", pos)
+	okBS := fb.NewBlock("okbs")
+	badBS := fb.NewBlock("badbs")
+	bc := entry.CmpImm(ir.Eq, bs, 4, 32)
+	entry.Br(bc, okBS.Blk(), badBS.Blk())
+	badBS.Print("bad graphic control size")
+	bp := badBS.AddImm(pos, 1, 32)
+	badBS.Ret(bp)
+
+	flags := okBS.Call("read8", okBS.AddImm(pos, 1, 32))
+	disp := okBS.BinImm(ir.LShr, flags, 2, 32)
+	dispOK := okBS.BinImm(ir.And, disp, 7, 32)
+	arms := make([]*ir.Block, 4)
+	vals := make([]uint64, 4)
+	join := fb.NewBlock("join")
+	bad := fb.NewBlock("baddisp")
+	for k := 0; k < 4; k++ {
+		bb := fb.NewBlock("d.arm")
+		vals[k] = uint64(k)
+		arms[k] = bb.Blk()
+		bb.Jmp(join.Blk())
+	}
+	okBS.Switch(dispOK, vals, arms, bad.Blk())
+	bad.Print("reserved disposal method")
+	bad.Jmp(join.Blk())
+
+	join.Call("read16", join.AddImm(pos, 2, 32)) // delay
+	join.Call("read8", join.AddImm(pos, 4, 32))  // transparent index
+	np := join.AddImm(pos, 6, 32)                // size + 4 fields + terminator
+	join.Ret(np)
+}
+
+// gifComment counts printable vs non-printable bytes across the
+// comment's sub-blocks.
+func gifComment(p *ir.Program) {
+	fb := p.NewFunc("gif_comment", 1)
+	entry := fb.NewBlock("entry")
+	pos0 := fb.Param(0)
+
+	head := fb.NewBlock("head")
+	blk := fb.NewBlock("blk")
+	out := fb.NewBlock("out")
+	pos := fb.NewReg()
+	printable := fb.NewReg()
+	entry.MovTo(pos, pos0, 32)
+	entry.ConstTo(printable, 0, 32)
+	entry.Jmp(head.Blk())
+
+	n := head.InputLen(32)
+	inFile := head.Cmp(ir.Ult, pos, n, 32)
+	chk := fb.NewBlock("chk")
+	head.Br(inFile, chk.Blk(), out.Blk())
+	blen := chk.Call("read8", pos)
+	zc := chk.CmpImm(ir.Eq, blen, 0, 32)
+	fin := fb.NewBlock("fin")
+	chk.Br(zc, fin.Blk(), blk.Blk())
+	fp := fin.AddImm(pos, 1, 32)
+	fin.Ret(fp)
+
+	dstart := blk.AddImm(pos, 1, 32)
+	lp := beginLoop(fb, blk, "cmt", blen)
+	b := lp.Body
+	v := b.Call("read8", b.Add(dstart, lp.I, 32))
+	isP := fb.NewBlock("isp")
+	notP := fb.NewBlock("notp")
+	join := fb.NewBlock("cjoin")
+	c1 := b.CmpImm(ir.Uge, v, 0x20, 32)
+	c2 := b.CmpImm(ir.Ult, v, 0x7f, 32)
+	c := b.Bin(ir.And, c1, c2, 1)
+	b.Br(c, isP.Blk(), notP.Blk())
+	npr := isP.AddImm(printable, 1, 32)
+	isP.MovTo(printable, npr, 32)
+	isP.Jmp(join.Blk())
+	notP.Jmp(join.Blk())
+	ni := join.AddImm(lp.I, 1, 32)
+	join.MovTo(lp.I, ni, 32)
+	join.Jmp(lp.Head)
+
+	adv := lp.After.AddImm(blen, 1, 32)
+	np := lp.After.Add(pos, adv, 32)
+	lp.After.MovTo(pos, np, 32)
+	lp.After.Jmp(head.Blk())
+
+	out.Ret(pos)
+}
+
+// gifPlainText parses the 0x01 extension header (12 bytes of grid
+// geometry with validations) then skips the text sub-blocks.
+func gifPlainText(p *ir.Program) {
+	fb := p.NewFunc("gif_plain_text", 1)
+	entry := fb.NewBlock("entry")
+	pos := fb.Param(0)
+
+	bs := entry.Call("read8", pos)
+	okBS := fb.NewBlock("okbs")
+	badBS := fb.NewBlock("badbs")
+	bc := entry.CmpImm(ir.Eq, bs, 12, 32)
+	entry.Br(bc, okBS.Blk(), badBS.Blk())
+	badBS.Print("bad plain text header")
+	bp := badBS.AddImm(pos, 1, 32)
+	badBS.Ret(bp)
+
+	cw := okBS.Call("read8", okBS.AddImm(pos, 9, 32))  // cell width
+	ch := okBS.Call("read8", okBS.AddImm(pos, 10, 32)) // cell height
+	okCell := fb.NewBlock("okcell")
+	badCell := fb.NewBlock("badcell")
+	join := fb.NewBlock("join")
+	c1 := okBS.CmpImm(ir.Ugt, cw, 0, 32)
+	c2 := okBS.CmpImm(ir.Ugt, ch, 0, 32)
+	c := okBS.Bin(ir.And, c1, c2, 1)
+	okBS.Br(c, okCell.Blk(), badCell.Blk())
+	badCell.Print("zero text cell")
+	badCell.Jmp(join.Blk())
+	okCell.Jmp(join.Blk())
+
+	hdrEnd := join.AddImm(pos, 13, 32)
+	end := join.Call("gif_read_sub_blocks", hdrEnd)
+	join.Ret(end)
+}
+
+// gifApplication checks the 11-byte application identifier and loops the
+// payload sub-blocks.
+func gifApplication(p *ir.Program) {
+	fb := p.NewFunc("gif_application", 1)
+	entry := fb.NewBlock("entry")
+	pos := fb.Param(0)
+
+	bs := entry.Call("read8", pos)
+	okBS := fb.NewBlock("okbs")
+	badBS := fb.NewBlock("badbs")
+	bc := entry.CmpImm(ir.Eq, bs, 11, 32)
+	entry.Br(bc, okBS.Blk(), badBS.Blk())
+	badBS.Print("bad application block")
+	bp := badBS.AddImm(pos, 1, 32)
+	badBS.Ret(bp)
+
+	// check for the NETSCAPE2.0-style identifier prefix "NS"
+	id0 := okBS.Call("read8", okBS.AddImm(pos, 1, 32))
+	isNS := fb.NewBlock("isns")
+	notNS := fb.NewBlock("notns")
+	join := fb.NewBlock("join")
+	nc := okBS.CmpImm(ir.Eq, id0, 'N', 32)
+	okBS.Br(nc, isNS.Blk(), notNS.Blk())
+	isNS.Print("netscape extension")
+	isNS.Jmp(join.Blk())
+	notNS.Jmp(join.Blk())
+
+	hdrEnd := join.AddImm(pos, 12, 32)
+	end := join.Call("gif_read_sub_blocks", hdrEnd)
+	join.Ret(end)
+}
+
+// gifLocalColorTable(pos, flags) skips a local colour table when the
+// image descriptor requests one, validating the exponent.
+func gifLocalColorTable(p *ir.Program) {
+	fb := p.NewFunc("gif_local_color_table", 2)
+	entry := fb.NewBlock("entry")
+	pos, flags := fb.Param(0), fb.Param(1)
+
+	present := entry.BinImm(ir.And, flags, 0x80, 32)
+	have := fb.NewBlock("have")
+	none := fb.NewBlock("none")
+	pc := entry.CmpImm(ir.Ne, present, 0, 32)
+	entry.Br(pc, have.Blk(), none.Blk())
+	none.Ret(pos)
+
+	expo := have.BinImm(ir.And, flags, 7, 32)
+	e1 := have.AddImm(expo, 1, 32)
+	one := have.Const(1, 32)
+	entries := have.Bin(ir.Shl, one, e1, 32)
+	// sum the table bytes (gif2tiff copies local tables too, but into a
+	// correctly sized buffer — no seeded bug here)
+	sum := fb.NewReg()
+	have.ConstTo(sum, 0, 32)
+	total := have.BinImm(ir.Mul, entries, 3, 32)
+	lp := beginLoop(fb, have, "lct", total)
+	b := lp.Body
+	v := b.Call("read8", b.Add(pos, lp.I, 32))
+	ns := b.Add(sum, v, 32)
+	b.MovTo(sum, ns, 32)
+	endLoop(lp, b)
+	np := lp.After.Add(pos, total, 32)
+	lp.After.Ret(np)
+}
+
+// --- tiff2rgba breadth ---
+
+// tiffTagSpecs: tag id, maximum legal value (0 = unbounded), default.
+var tiffTagSpecs = []struct {
+	id  uint64
+	max uint64
+}{
+	{258, 32}, // bits per sample
+	{259, 8},  // compression
+	{277, 8},  // samples per pixel
+	{278, 0},  // rows per strip
+	{282, 0},  // x resolution
+	{283, 0},  // y resolution
+	{284, 2},  // planar configuration
+	{296, 3},  // resolution unit
+	{317, 2},  // predictor
+	{338, 4},  // extra samples
+}
+
+// tiffEmitRich registers the tiff2rgba breadth handlers.
+func tiffEmitRich(p *ir.Program) {
+	tiffValidateTags(p)
+	tiffConvertGray(p)
+	tiffConvertRGB(p)
+	tiffConvertPalette(p)
+	tiffConvertCMYK(p)
+	tiffConvertYCbCr(p)
+	tiffDispatchPhotometric(p)
+}
+
+// tiffValidateTags range-checks the well-known tags.
+func tiffValidateTags(p *ir.Program) {
+	fb := p.NewFunc("tiff_validate_tags", 0)
+	entry := fb.NewBlock("entry")
+	cur := entry
+	for _, spec := range tiffTagSpecs {
+		if spec.max == 0 {
+			tagc := cur.Const(spec.id, 32)
+			cur.Call("tiff_get_tag", tagc)
+			continue
+		}
+		tagc := cur.Const(spec.id, 32)
+		v := cur.Call("tiff_get_tag", tagc)
+		ok := fb.NewBlock("t.ok")
+		warn := fb.NewBlock("t.warn")
+		c := cur.CmpImm(ir.Ule, v, spec.max, 32)
+		cur.Br(c, ok.Blk(), warn.Blk())
+		warn.Print("tag value out of range")
+		warn.Jmp(ok.Blk())
+		cur = ok
+	}
+	cur.RetVoid()
+}
+
+// conversionLoop emits a per-pixel loop with the supplied body and
+// registers it as a function name(w, h).
+func conversionLoop(p *ir.Program, name string, bytesPerPixel uint64,
+	body func(b *ir.BlockBuilder, acc ir.Reg, px ir.Reg)) {
+	fb := p.NewFunc(name, 2)
+	entry := fb.NewBlock("entry")
+	w, h := fb.Param(0), fb.Param(1)
+
+	acc := fb.NewReg()
+	entry.ConstTo(acc, 0, 32)
+	area := entry.Mul(w, h, 32)
+	// conversions are bounded to the strip that fits the file, like
+	// TIFFReadEncodedStrip clamping
+	flen := entry.InputLen(32)
+	bpp := entry.Const(bytesPerPixel, 32)
+	maxPix := entry.Bin(ir.UDiv, flen, bpp, 32)
+	clamped := entry.Select(entry.Cmp(ir.Ult, area, maxPix, 32), area, maxPix, 32)
+
+	lp := beginLoop(fb, entry, "px", clamped)
+	b := lp.Body
+	off := b.BinImm(ir.Mul, lp.I, bytesPerPixel, 32)
+	px := b.Call("read8", off)
+	body(b, acc, px)
+	endLoop(lp, b)
+	lp.After.Ret(acc)
+}
+
+func tiffConvertGray(p *ir.Program) {
+	conversionLoop(p, "convert_gray", 1, func(b *ir.BlockBuilder, acc, px ir.Reg) {
+		// WhiteIsZero inverts
+		inv := b.BinImm(ir.Xor, px, 0xff, 32)
+		na := b.Add(acc, inv, 32)
+		b.MovTo(acc, na, 32)
+	})
+}
+
+func tiffConvertRGB(p *ir.Program) {
+	conversionLoop(p, "convert_rgb", 3, func(b *ir.BlockBuilder, acc, px ir.Reg) {
+		lum := b.BinImm(ir.Mul, px, 3, 32)
+		na := b.Add(acc, lum, 32)
+		b.MovTo(acc, na, 32)
+	})
+}
+
+func tiffConvertPalette(p *ir.Program) {
+	conversionLoop(p, "convert_palette", 1, func(b *ir.BlockBuilder, acc, px ir.Reg) {
+		// palette lookup stays in bounds: a 256-entry table is allocated
+		// per call in real libtiff; here the index is masked correctly
+		idx := b.BinImm(ir.And, px, 0xff, 32)
+		na := b.Add(acc, idx, 32)
+		b.MovTo(acc, na, 32)
+	})
+}
+
+func tiffConvertCMYK(p *ir.Program) {
+	conversionLoop(p, "convert_cmyk", 4, func(b *ir.BlockBuilder, acc, px ir.Reg) {
+		k := b.BinImm(ir.Sub, px, 255, 32)
+		na := b.Sub(acc, k, 32)
+		b.MovTo(acc, na, 32)
+	})
+}
+
+func tiffConvertYCbCr(p *ir.Program) {
+	conversionLoop(p, "convert_ycbcr", 3, func(b *ir.BlockBuilder, acc, px ir.Reg) {
+		y := b.BinImm(ir.Mul, px, 298, 32)
+		sh := b.BinImm(ir.LShr, y, 8, 32)
+		na := b.Add(acc, sh, 32)
+		b.MovTo(acc, na, 32)
+	})
+}
+
+// tiffDispatchPhotometric routes the image through the conversion
+// matching the photometric tag (put_cielab keeps the seeded Fig 6 bug).
+func tiffDispatchPhotometric(p *ir.Program) {
+	fb := p.NewFunc("dispatch_photometric", 3)
+	entry := fb.NewBlock("entry")
+	photo, w, h := fb.Param(0), fb.Param(1), fb.Param(2)
+
+	white := fb.NewBlock("ph.white")
+	black := fb.NewBlock("ph.black")
+	rgb := fb.NewBlock("ph.rgb")
+	pal := fb.NewBlock("ph.pal")
+	cmyk := fb.NewBlock("ph.cmyk")
+	ycc := fb.NewBlock("ph.ycc")
+	lab := fb.NewBlock("ph.lab")
+	unk := fb.NewBlock("ph.unk")
+	out := fb.NewBlock("ph.out")
+
+	entry.Switch(photo, []uint64{0, 1, 2, 3, 5, 6, 8},
+		[]*ir.Block{white.Blk(), black.Blk(), rgb.Blk(), pal.Blk(), cmyk.Blk(), ycc.Blk(), lab.Blk()},
+		unk.Blk())
+
+	white.Call("convert_gray", w, h)
+	white.Jmp(out.Blk())
+	black.Call("convert_gray", w, h)
+	black.Jmp(out.Blk())
+	rgb.Call("convert_rgb", w, h)
+	rgb.Jmp(out.Blk())
+	pal.Call("convert_palette", w, h)
+	pal.Jmp(out.Blk())
+	cmyk.Call("convert_cmyk", w, h)
+	cmyk.Jmp(out.Blk())
+	ycc.Call("convert_ycbcr", w, h)
+	ycc.Jmp(out.Blk())
+	lab.Call("put_cielab", w, h) // seeded bug T2 lives here
+	lab.Jmp(out.Blk())
+	unk.Print("unknown photometric interpretation")
+	unk.Jmp(out.Blk())
+	out.RetVoid()
+}

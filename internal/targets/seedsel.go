@@ -1,0 +1,50 @@
+package targets
+
+import (
+	"sort"
+
+	"pbse/internal/interp"
+	"pbse/internal/ir"
+)
+
+// SelectSeed implements the paper's §III-B4 heuristic for picking one
+// seed from a corpus: consider only the 10 smallest candidates, and among
+// those pick the one whose concrete run covers the most basic blocks.
+// Ties break toward the smaller (then earlier) seed. It returns nil for
+// an empty corpus.
+func SelectSeed(prog *ir.Program, candidates [][]byte) []byte {
+	if len(candidates) == 0 {
+		return nil
+	}
+	idx := make([]int, len(candidates))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return len(candidates[idx[a]]) < len(candidates[idx[b]])
+	})
+	if len(idx) > 10 {
+		idx = idx[:10]
+	}
+
+	best := -1
+	bestCov := -1
+	for _, i := range idx {
+		cov := coverageOf(prog, candidates[i])
+		if cov > bestCov {
+			best, bestCov = i, cov
+		}
+	}
+	return candidates[best]
+}
+
+// coverageOf counts distinct basic blocks covered by one concrete run.
+func coverageOf(prog *ir.Program, seed []byte) int {
+	covered := make(map[int]bool)
+	m := interp.New(prog, seed, interp.Options{
+		MaxSteps: 10_000_000,
+		Tracer:   func(b *ir.Block, _ int64) { covered[b.ID] = true },
+	})
+	m.Run()
+	return len(covered)
+}

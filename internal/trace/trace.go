@@ -1,0 +1,190 @@
+// Package trace turns execution logs into the data series behind the
+// paper's figures: basic-block distribution scatter plots (Fig 1, Fig 5),
+// phase-division overlays (Fig 4), and coverage-over-time curves. It also
+// renders quick ASCII views for the command-line tools and writes CSV for
+// external plotting.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pbse/internal/concolic"
+)
+
+// Point is one basic-block entry event, indexed per the paper's method:
+// blocks are numbered by first appearance in the *concrete* run, and
+// blocks first seen in other runs get fresh numbers above those.
+type Point struct {
+	Time  int64
+	Index int
+}
+
+// Indexer assigns paper-style BB indices: rising order of first
+// appearance in the run(s) it is fed, reusing numbers across runs.
+type Indexer struct {
+	byBlock map[int]int
+}
+
+// NewIndexer returns an empty indexer.
+func NewIndexer() *Indexer {
+	return &Indexer{byBlock: make(map[int]int)}
+}
+
+// Index returns the stable index for a block ID, assigning the next
+// number on first sight.
+func (ix *Indexer) Index(blockID int) int {
+	if idx, ok := ix.byBlock[blockID]; ok {
+		return idx
+	}
+	idx := len(ix.byBlock)
+	ix.byBlock[blockID] = idx
+	return idx
+}
+
+// Len returns the number of distinct blocks indexed so far.
+func (ix *Indexer) Len() int { return len(ix.byBlock) }
+
+// Series converts raw (time, blockID) events into indexed points.
+func (ix *Indexer) Series(events []concolic.TracePoint) []Point {
+	out := make([]Point, len(events))
+	for i, e := range events {
+		out[i] = Point{Time: e.Time, Index: ix.Index(e.BlockID)}
+	}
+	return out
+}
+
+// MissedBlocks returns the block IDs present in the reference set but not
+// in the observed set — the "covered by concrete execution but not by
+// symbolic execution" boxes of Fig 1.
+func MissedBlocks(reference, observed []int) []int {
+	seen := make(map[int]bool, len(observed))
+	for _, b := range observed {
+		seen[b] = true
+	}
+	var out []int
+	for _, b := range reference {
+		if !seen[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// WriteCSV writes points as "time,bbindex" rows.
+func WriteCSV(w io.Writer, points []Point) error {
+	if _, err := fmt.Fprintln(w, "time,bbindex"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%d,%d\n", p.Time, p.Index); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePhaseCSV writes "bbv,time,phase,trap" rows for a phase division.
+func WritePhaseCSV(w io.Writer, bbvs []concolic.BBV, assign []int, trap func(int) bool) error {
+	if _, err := fmt.Fprintln(w, "bbv,time,phase,trap"); err != nil {
+		return err
+	}
+	for i, b := range bbvs {
+		t := 0
+		if trap(assign[i]) {
+			t = 1
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d\n", i, b.Time, assign[i], t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScatterASCII renders points as a rows×cols terminal scatter plot
+// (y axis: BB index, x axis: time), mirroring the Fig 1 layout.
+func ScatterASCII(points []Point, rows, cols int) string {
+	if len(points) == 0 || rows <= 0 || cols <= 0 {
+		return "(no data)\n"
+	}
+	maxT, maxI := int64(1), 1
+	for _, p := range points {
+		if p.Time > maxT {
+			maxT = p.Time
+		}
+		if p.Index > maxI {
+			maxI = p.Index
+		}
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for _, p := range points {
+		c := int(p.Time * int64(cols-1) / maxT)
+		r := rows - 1 - p.Index*(rows-1)/maxI
+		grid[r][c] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "bb index (0..%d) vs time (0..%d)\n", maxI, maxT)
+	for r := range grid {
+		b.WriteByte('|')
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", cols))
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// PhaseBandsASCII renders the per-BBV phase assignment as one character
+// per BBV (phase id mod 10; trap phases upper-cased as 'T<d>' markers are
+// too wide, so traps use letters A.. and non-traps digits), mirroring the
+// Fig 4 coloured bands.
+func PhaseBandsASCII(assign []int, trap func(int) bool) string {
+	var b strings.Builder
+	for _, p := range assign {
+		if trap(p) {
+			b.WriteByte(byte('A' + p%26))
+		} else {
+			b.WriteByte(byte('0' + p%10))
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// CoveragePoint is one (time, covered-block-count) sample.
+type CoveragePoint struct {
+	Time    int64
+	Covered int
+}
+
+// WriteCoverageCSV writes "time,covered" rows.
+func WriteCoverageCSV(w io.Writer, points []CoveragePoint) error {
+	if _, err := fmt.Fprintln(w, "time,covered"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%d,%d\n", p.Time, p.Covered); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CoverageAt returns the covered count at the given time from a sampled
+// series (the value of the latest sample at or before t; 0 when none).
+func CoverageAt(points []CoveragePoint, t int64) int {
+	best := 0
+	for _, p := range points {
+		if p.Time <= t {
+			best = p.Covered
+		} else {
+			break
+		}
+	}
+	return best
+}

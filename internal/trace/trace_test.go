@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"pbse/internal/concolic"
+)
+
+func TestIndexerAssignsRisingOrder(t *testing.T) {
+	ix := NewIndexer()
+	if ix.Index(50) != 0 || ix.Index(10) != 1 || ix.Index(50) != 0 || ix.Index(7) != 2 {
+		t.Error("indexer order wrong")
+	}
+	if ix.Len() != 3 {
+		t.Errorf("len = %d, want 3", ix.Len())
+	}
+}
+
+func TestIndexerSharedAcrossRuns(t *testing.T) {
+	// the paper reuses concrete-run indices in the symbolic plot
+	ix := NewIndexer()
+	concrete := ix.Series([]concolic.TracePoint{{Time: 1, BlockID: 9}, {Time: 2, BlockID: 4}})
+	symbolic := ix.Series([]concolic.TracePoint{{Time: 1, BlockID: 4}, {Time: 2, BlockID: 77}})
+	if concrete[0].Index != 0 || concrete[1].Index != 1 {
+		t.Errorf("concrete indices: %v", concrete)
+	}
+	if symbolic[0].Index != 1 {
+		t.Errorf("shared block should reuse index 1, got %d", symbolic[0].Index)
+	}
+	if symbolic[1].Index != 2 {
+		t.Errorf("new block should get the next number, got %d", symbolic[1].Index)
+	}
+}
+
+func TestMissedBlocks(t *testing.T) {
+	got := MissedBlocks([]int{1, 2, 3, 4}, []int{2, 4})
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("missed = %v, want [1 3]", got)
+	}
+	if MissedBlocks(nil, []int{1}) != nil {
+		t.Error("empty reference should miss nothing")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []Point{{Time: 5, Index: 2}, {Time: 9, Index: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "time,bbindex\n5,2\n9,0\n"
+	if b.String() != want {
+		t.Errorf("got %q, want %q", b.String(), want)
+	}
+}
+
+func TestWritePhaseCSV(t *testing.T) {
+	var b strings.Builder
+	bbvs := []concolic.BBV{{Time: 10}, {Time: 20}}
+	err := WritePhaseCSV(&b, bbvs, []int{0, 1}, func(p int) bool { return p == 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "bbv,time,phase,trap\n0,10,0,0\n1,20,1,1\n"
+	if b.String() != want {
+		t.Errorf("got %q, want %q", b.String(), want)
+	}
+}
+
+func TestScatterASCII(t *testing.T) {
+	pts := []Point{{Time: 0, Index: 0}, {Time: 100, Index: 10}}
+	out := ScatterASCII(pts, 5, 20)
+	if !strings.Contains(out, "*") {
+		t.Errorf("no points plotted:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // header + 5 rows + axis
+		t.Errorf("rows = %d, want 7:\n%s", len(lines), out)
+	}
+	if ScatterASCII(nil, 5, 20) != "(no data)\n" {
+		t.Error("empty input should say no data")
+	}
+}
+
+func TestPhaseBandsASCII(t *testing.T) {
+	out := PhaseBandsASCII([]int{0, 0, 1, 1, 2}, func(p int) bool { return p == 1 })
+	if out != "00BB2\n" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestCoverageAt(t *testing.T) {
+	series := []CoveragePoint{{Time: 10, Covered: 5}, {Time: 20, Covered: 9}, {Time: 30, Covered: 12}}
+	tests := []struct {
+		give int64
+		want int
+	}{
+		{5, 0}, {10, 5}, {15, 5}, {25, 9}, {100, 12},
+	}
+	for _, tt := range tests {
+		if got := CoverageAt(series, tt.give); got != tt.want {
+			t.Errorf("CoverageAt(%d) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestWriteCoverageCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCoverageCSV(&b, []CoveragePoint{{Time: 1, Covered: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "time,covered\n1,2\n" {
+		t.Errorf("got %q", b.String())
+	}
+}

@@ -1,0 +1,97 @@
+// Package pbse is the public entry point of the phase-based symbolic
+// execution library, a from-scratch Go reproduction of "pbSE: Phase-based
+// Symbolic Execution" (DSN 2017).
+//
+// The package re-exports the pieces a user needs to run the system
+// end-to-end: the bundled file-parser targets, the pbSE algorithm, and
+// the KLEE-style baseline searchers it is evaluated against. The
+// underlying substrates (expression language, solver, IR, interpreters,
+// phase analysis) live in internal packages; see DESIGN.md for the map.
+//
+// Quick start:
+//
+//	tgt, _ := pbse.TargetByDriver("readelf")
+//	prog, _ := tgt.Build()
+//	seed := tgt.GenSeed(rand.New(rand.NewSource(1)), 576)
+//	res, _ := pbse.Run(prog, seed, pbse.Options{Budget: 2_000_000},
+//	    pbse.ExecutorOptions{InputSize: len(seed)})
+//	fmt.Println(res.Covered, "blocks covered,", len(res.Bugs), "bugs")
+package pbse
+
+import (
+	"math/rand"
+
+	"pbse/internal/ir"
+	ipbse "pbse/internal/pbse"
+	"pbse/internal/symex"
+	"pbse/internal/targets"
+)
+
+// Core pbSE types (Algorithms 1–3 of the paper).
+type (
+	// Options configure a pbSE run (budget, time period, phase analysis
+	// knobs, ablation switches).
+	Options = ipbse.Options
+	// Result is the outcome: coverage, bugs with witnesses, phase
+	// statistics, and the coverage-over-time series.
+	Result = ipbse.Result
+	// ExecutorOptions configure the symbolic execution engine.
+	ExecutorOptions = symex.Options
+	// Target couples a synthetic parser program with its seed generators.
+	Target = targets.Target
+	// Program is a finalised IR module.
+	Program = ir.Program
+	// SearcherKind names a KLEE-style search strategy.
+	SearcherKind = symex.SearcherKind
+)
+
+// The KLEE search strategies of the paper's Table I.
+const (
+	SearchDFS         = symex.SearchDFS
+	SearchBFS         = symex.SearchBFS
+	SearchRandomState = symex.SearchRandomState
+	SearchRandomPath  = symex.SearchRandomPath
+	SearchCovNew      = symex.SearchCovNew
+	SearchMD2U        = symex.SearchMD2U
+	SearchDefault     = symex.SearchDefault
+)
+
+// Run executes pbSE: concolic execution of the seed, phase division, and
+// phase-scheduled symbolic execution, within opts.Budget virtual time.
+func Run(prog *Program, seed []byte, opts Options, exOpts ExecutorOptions) (*Result, error) {
+	return ipbse.Run(prog, seed, opts, exOpts)
+}
+
+// Targets returns the bundled synthetic parser targets (the analogues of
+// the paper's readelf, pngtest, gif2tiff, tiff2rgba and dwarfdump).
+func Targets() []*Target { return targets.All() }
+
+// TargetByDriver looks a target up by its test-driver name.
+func TargetByDriver(driver string) (*Target, error) { return targets.ByDriver(driver) }
+
+// SelectSeed applies the paper's §III-B4 heuristic: among the 10 smallest
+// candidate seeds, pick the one with the highest concrete coverage.
+func SelectSeed(prog *Program, candidates [][]byte) []byte {
+	return targets.SelectSeed(prog, candidates)
+}
+
+// BaselineResult summarises a KLEE-style baseline run.
+type BaselineResult struct {
+	Covered int
+	Bugs    int
+	Clock   int64
+}
+
+// RunBaseline runs one of the KLEE search strategies from scratch on a
+// fully symbolic input of inputSize bytes for the given virtual-time
+// budget — the comparison columns of Tables I and II.
+func RunBaseline(prog *Program, kind SearcherKind, inputSize int, budget, rngSeed int64) (BaselineResult, error) {
+	ex := symex.NewExecutor(prog, symex.Options{InputSize: inputSize})
+	s, err := symex.NewSearcher(kind, ex, rand.New(rand.NewSource(rngSeed)))
+	if err != nil {
+		return BaselineResult{}, err
+	}
+	s.Add(ex.NewEntryState())
+	(&symex.Runner{Ex: ex, Search: s}).Run(budget)
+	return BaselineResult{Covered: ex.NumCovered(), Bugs: ex.Bugs.Len(), Clock: ex.Clock()}, nil
+}

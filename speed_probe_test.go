@@ -1,0 +1,22 @@
+package pbse
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSpeedProbe(t *testing.T) {
+	for _, driver := range []string{"readelf", "pngtest", "gif2tiff", "tiff2rgba", "dwarfdump"} {
+		tgt, _ := TargetByDriver(driver)
+		prog, _ := tgt.Build()
+		start := time.Now()
+		r, err := RunBaseline(prog, SearchDefault, 100, 300_000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		el := time.Since(start)
+		fmt.Printf("%-10s blocks=%-4d covered=%-4d wall=%-14v (%.0f instr/ms)\n",
+			driver, len(prog.AllBlocks), r.Covered, el.Round(time.Millisecond), float64(r.Clock)/float64(el.Milliseconds()+1))
+	}
+}
