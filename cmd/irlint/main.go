@@ -1,0 +1,96 @@
+// Command irlint parses textual IR programs and reports static-analysis
+// findings: dead registers, constant-foldable branches, stores never
+// loaded, calls that cannot return, unreachable functions.
+//
+//	irlint [-json] [-loops] file.ir...
+//
+// The exit status is 0 when every file is clean, 1 when any finding is
+// reported, and 2 on parse or I/O errors. With -loops the natural-loop
+// report (nesting and input-dependence classification) is printed for
+// each file as well.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pbse/internal/analysis"
+	"pbse/internal/ir"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("irlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	loops := fs.Bool("loops", false, "also print the natural-loop report")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: irlint [-json] [-loops] file.ir...")
+		return 2
+	}
+
+	var all []analysis.Diag
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "irlint: %v\n", err)
+			return 2
+		}
+		prog, err := ir.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(stderr, "irlint: %s: %v\n", path, err)
+			return 2
+		}
+		inf := analysis.Analyze(prog)
+		all = append(all, inf.Lint()...)
+		if *loops && !*jsonOut {
+			printLoops(stdout, inf)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []analysis.Diag{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintf(stderr, "irlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(all) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func printLoops(w *os.File, inf *analysis.Info) {
+	for fx, fi := range inf.Funcs {
+		fn := inf.Prog.Funcs[fx]
+		for _, l := range fi.Loops {
+			kind := "constant/unknown-bound"
+			if l.InputDependent {
+				kind = "input-dependent"
+			}
+			fmt.Fprintf(w, "%s:%s:%s: loop depth %d, %d blocks, %s\n",
+				inf.Prog.Name, fn.Name, fn.Blocks[l.Header].Name,
+				l.Depth, len(l.Blocks), kind)
+		}
+		if fi.Irreducible {
+			fmt.Fprintf(w, "%s:%s: irreducible control flow\n", inf.Prog.Name, fn.Name)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pbse/internal/analysis"
+)
+
+// capture runs the CLI with stdout redirected to a pipe-backed temp file.
+func capture(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "irlint-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	code := run(args, out, os.Stderr)
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(data)
+}
+
+func TestBadFixtureFlagsThreeKinds(t *testing.T) {
+	code, out := capture(t, "-json", filepath.Join("testdata", "bad.ir"))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	var diags []analysis.Diag
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	kinds := make(map[analysis.DiagKind]bool)
+	for _, d := range diags {
+		kinds[d.Kind] = true
+		if d.Prog == "" || d.Func == "" {
+			t.Errorf("diag without position: %+v", d)
+		}
+	}
+	if len(kinds) < 3 {
+		t.Errorf("acceptance: want >=3 distinct diagnostic kinds, got %d: %v", len(kinds), kinds)
+	}
+}
+
+func TestTextOutputHasPositions(t *testing.T) {
+	code, out := capture(t, filepath.Join("testdata", "bad.ir"))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(out, "bad:main:entry") {
+		t.Errorf("text output missing prog:func:block position:\n%s", out)
+	}
+}
+
+func TestExamplesAreClean(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "ir")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".ir") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatal("no example IR files")
+	}
+	code, out := capture(t, append([]string{"-loops"}, files...)...)
+	if code != 0 {
+		t.Errorf("examples should be lint-clean, exit=%d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "input-dependent") {
+		t.Errorf("-loops report should classify at least one input-dependent loop:\n%s", out)
+	}
+}
+
+func TestParseErrorExitsTwo(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "broken.ir")
+	if err := os.WriteFile(bad, []byte("program x\nfunc main(params=0 regs=1) {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := capture(t, bad); code != 2 {
+		t.Errorf("exit code = %d, want 2 for parse error", code)
+	}
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import "pbse/internal/ir"
+
+// Info bundles every static-analysis result for one finalised program.
+type Info struct {
+	Prog *ir.Program
+	// Funcs is parallel to Prog.Funcs.
+	Funcs []*FuncInfo
+	Taint *TaintInfo
+}
+
+// FuncInfoOf returns the FuncInfo of fn, or nil.
+func (inf *Info) FuncInfoOf(fn *ir.Func) *FuncInfo {
+	for i, f := range inf.Prog.Funcs {
+		if f == fn {
+			return inf.Funcs[i]
+		}
+	}
+	return nil
+}
+
+// Analyze runs the full pipeline — CFG construction, dominators, natural
+// loops, interprocedural input-taint — and classifies each loop as
+// input-dependent when any of its exit branches depends on program input
+// (the static trap-phase signature of the paper's Fig. 1 loops).
+func Analyze(p *ir.Program) *Info {
+	inf := &Info{Prog: p, Funcs: make([]*FuncInfo, len(p.Funcs))}
+	for i, f := range p.Funcs {
+		fi := NewFuncInfo(f)
+		fi.buildDominators()
+		fi.buildLoops()
+		inf.Funcs[i] = fi
+	}
+	inf.Taint = newTaintInfo(p)
+	inf.Taint.run(inf.Funcs)
+
+	if len(p.AllBlocks) == 0 {
+		return inf // unfinalised program: loop classification needs block IDs
+	}
+	for fx, fi := range inf.Funcs {
+		fn := p.Funcs[fx]
+		for _, l := range fi.Loops {
+			exits := l.Exits
+			if len(exits) == 0 {
+				exits = l.Blocks // infinite loop: consider every member branch
+			}
+			for _, b := range exits {
+				if inf.Taint.InputDepTerm[fn.Blocks[b].ID] {
+					l.InputDependent = true
+					break
+				}
+			}
+		}
+	}
+	return inf
+}
+
+// StaticHints is the program-wide summary handed to phase scheduling and
+// search heuristics: which blocks sit inside (input-dependent) loops and
+// which conditional branches depend on input. All slices are indexed by
+// global block ID.
+type StaticHints struct {
+	// LoopDepth is the natural-loop nesting depth of each block.
+	LoopDepth []int
+	// InLoop marks blocks inside any natural loop.
+	InLoop []bool
+	// InInputLoop marks blocks inside a loop classified input-dependent.
+	InInputLoop []bool
+	// InputDepBranch marks blocks whose br/switch terminator depends on
+	// program input.
+	InputDepBranch []bool
+	// NumLoops and NumInputLoops count the program's natural loops.
+	NumLoops, NumInputLoops int
+}
+
+// Hints flattens the per-function results into global-block-ID form.
+func (inf *Info) Hints() *StaticHints {
+	n := len(inf.Prog.AllBlocks)
+	h := &StaticHints{
+		LoopDepth:      make([]int, n),
+		InLoop:         make([]bool, n),
+		InInputLoop:    make([]bool, n),
+		InputDepBranch: append([]bool(nil), inf.Taint.InputDepTerm...),
+	}
+	for fx, fi := range inf.Funcs {
+		fn := inf.Prog.Funcs[fx]
+		h.NumLoops += len(fi.Loops)
+		for _, l := range fi.Loops {
+			if l.InputDependent {
+				h.NumInputLoops++
+			}
+		}
+		for bi, b := range fn.Blocks {
+			h.LoopDepth[b.ID] = fi.LoopDepth(bi)
+			if fi.LoopOf[bi] >= 0 {
+				h.InLoop[b.ID] = true
+				for li := fi.LoopOf[bi]; li >= 0; li = fi.Loops[li].Parent {
+					if fi.Loops[li].InputDependent {
+						h.InInputLoop[b.ID] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return h
+}

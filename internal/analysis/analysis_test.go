@@ -1,0 +1,317 @@
+package analysis
+
+import (
+	"testing"
+
+	"pbse/internal/ir"
+)
+
+func parse(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+// blockIdx maps block names to positions for the named function.
+func blockIdx(t *testing.T, p *ir.Program, fn string) map[string]int {
+	t.Helper()
+	f := p.Func(fn)
+	if f == nil {
+		t.Fatalf("no function %q", fn)
+	}
+	m := make(map[string]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		m[b.Name] = i
+	}
+	return m
+}
+
+const diamondSrc = `
+program diamond
+func main(params=0 regs=8) {
+entry:
+	r0 = input
+	r1 = load [r0+0] w8
+	r2 = const 10 w8
+	r3 = cmp.ult r1, r2 w8
+	br r3 left right
+left:
+	jmp join
+right:
+	jmp join
+join:
+	exit
+}
+`
+
+func TestDominatorsDiamond(t *testing.T) {
+	p := parse(t, diamondSrc)
+	fi := NewFuncInfo(p.Entry())
+	fi.buildDominators()
+	fi.buildLoops()
+	ix := blockIdx(t, p, "main")
+
+	wantIdom := map[string]string{"left": "entry", "right": "entry", "join": "entry"}
+	for b, d := range wantIdom {
+		if got := fi.Idom[ix[b]]; got != ix[d] {
+			t.Errorf("idom(%s) = %d, want %s (%d)", b, got, d, ix[d])
+		}
+	}
+	if fi.Idom[ix["entry"]] != -1 {
+		t.Errorf("entry idom = %d, want -1", fi.Idom[ix["entry"]])
+	}
+	if !fi.Dominates(ix["entry"], ix["join"]) {
+		t.Error("entry should dominate join")
+	}
+	if fi.Dominates(ix["left"], ix["join"]) {
+		t.Error("left must not dominate join (right path exists)")
+	}
+	if len(fi.Loops) != 0 || fi.Irreducible {
+		t.Errorf("diamond has no loops: loops=%d irreducible=%v", len(fi.Loops), fi.Irreducible)
+	}
+}
+
+const nestedSrc = `
+program nested
+func main(params=0 regs=10) {
+entry:
+	r0 = input
+	r1 = load [r0+0] w8
+	jmp outer_head
+outer_head:
+	r2 = const 0 w8
+	r3 = cmp.ugt r1, r2 w8
+	br r3 outer_body done
+outer_body:
+	jmp inner_head
+inner_head:
+	r4 = load [r0+1] w8
+	r5 = const 0 w8
+	r6 = cmp.ugt r4, r5 w8
+	br r6 inner_body outer_latch
+inner_body:
+	jmp inner_head
+outer_latch:
+	jmp outer_head
+done:
+	exit
+}
+`
+
+func TestLoopsNested(t *testing.T) {
+	p := parse(t, nestedSrc)
+	fi := NewFuncInfo(p.Entry())
+	fi.buildDominators()
+	fi.buildLoops()
+	ix := blockIdx(t, p, "main")
+
+	if fi.Irreducible {
+		t.Fatal("nested loops are reducible")
+	}
+	if len(fi.Loops) != 2 {
+		t.Fatalf("want 2 loops, got %d", len(fi.Loops))
+	}
+	byHeader := map[int]*Loop{}
+	for _, l := range fi.Loops {
+		byHeader[l.Header] = l
+	}
+	outer, inner := byHeader[ix["outer_head"]], byHeader[ix["inner_head"]]
+	if outer == nil || inner == nil {
+		t.Fatalf("missing loop headers: %+v", fi.Loops)
+	}
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Errorf("depths outer=%d inner=%d, want 1/2", outer.Depth, inner.Depth)
+	}
+	if fi.Loops[inner.Parent] != outer {
+		t.Error("inner loop's parent should be the outer loop")
+	}
+	wantOuter := []string{"outer_head", "outer_body", "inner_head", "inner_body", "outer_latch"}
+	for _, name := range wantOuter {
+		if !outer.Contains(ix[name]) {
+			t.Errorf("outer loop missing %s", name)
+		}
+	}
+	if outer.Contains(ix["entry"]) || outer.Contains(ix["done"]) {
+		t.Error("outer loop must exclude entry/done")
+	}
+	for _, name := range []string{"inner_head", "inner_body"} {
+		if !inner.Contains(ix[name]) {
+			t.Errorf("inner loop missing %s", name)
+		}
+	}
+	if inner.Contains(ix["outer_body"]) || inner.Contains(ix["outer_latch"]) {
+		t.Error("inner loop must be strictly smaller than outer")
+	}
+	if got := fi.LoopDepth(ix["inner_body"]); got != 2 {
+		t.Errorf("LoopDepth(inner_body) = %d, want 2", got)
+	}
+	if got := fi.LoopDepth(ix["entry"]); got != 0 {
+		t.Errorf("LoopDepth(entry) = %d, want 0", got)
+	}
+	// idom spot checks through the loop nest
+	if fi.Idom[ix["inner_head"]] != ix["outer_body"] {
+		t.Errorf("idom(inner_head) = %d, want outer_body", fi.Idom[ix["inner_head"]])
+	}
+	if fi.Idom[ix["done"]] != ix["outer_head"] {
+		t.Errorf("idom(done) = %d, want outer_head", fi.Idom[ix["done"]])
+	}
+}
+
+const irreducibleSrc = `
+program irr
+func main(params=0 regs=8) {
+entry:
+	r0 = input
+	r1 = load [r0+0] w8
+	r2 = const 1 w8
+	r3 = cmp.eq r1, r2 w8
+	br r3 a b
+a:
+	r4 = load [r0+1] w8
+	r5 = cmp.eq r4, r2 w8
+	br r5 b done
+b:
+	r6 = load [r0+2] w8
+	r7 = cmp.eq r6, r2 w8
+	br r7 a done
+done:
+	exit
+}
+`
+
+func TestIrreducibleCFG(t *testing.T) {
+	p := parse(t, irreducibleSrc)
+	fi := NewFuncInfo(p.Entry())
+	fi.buildDominators()
+	fi.buildLoops()
+	if !fi.Irreducible {
+		t.Error("a/b cross-jumps form an irreducible region")
+	}
+	if len(fi.Loops) != 0 {
+		t.Errorf("no natural loop should be found, got %d", len(fi.Loops))
+	}
+	ix := blockIdx(t, p, "main")
+	if fi.Dominates(ix["a"], ix["b"]) || fi.Dominates(ix["b"], ix["a"]) {
+		t.Error("neither a nor b dominates the other")
+	}
+}
+
+func TestLivenessCountdown(t *testing.T) {
+	p := parse(t, `
+program countdown
+func main(params=0 regs=4) {
+entry:
+	r0 = const 5 w32
+	jmp head
+head:
+	r1 = const 0 w32
+	r2 = cmp.ne r0, r1 w32
+	br r2 body done
+body:
+	r3 = const 1 w32
+	r0 = sub r0, r3 w32
+	jmp head
+done:
+	exit
+}
+`)
+	fi := NewFuncInfo(p.Entry())
+	fi.buildDominators()
+	liveIn, liveOut := Liveness(fi)
+	ix := blockIdx(t, p, "main")
+
+	if !liveIn[ix["head"]].Get(0) {
+		t.Error("r0 must be live into head (used by the loop compare)")
+	}
+	if liveIn[ix["entry"]].Get(0) {
+		t.Error("r0 is defined in entry, not live-in")
+	}
+	if !liveOut[ix["body"]].Get(0) {
+		t.Error("r0 must be live out of body (flows back to head)")
+	}
+	if liveOut[ix["done"]].Count() != 0 {
+		t.Errorf("nothing is live out of the exit block: %v", liveOut[ix["done"]])
+	}
+
+	du := NewDefUse(p.Entry())
+	for r := 0; r < 4; r++ {
+		if !du.Defined.Get(r) || !du.Used.Get(r) {
+			t.Errorf("r%d should be both defined and used", r)
+		}
+	}
+}
+
+func TestBitSetOps(t *testing.T) {
+	a := NewBitSet(130)
+	a.Set(0)
+	a.Set(64)
+	a.Set(129)
+	if a.Count() != 3 || !a.Get(64) || a.Get(63) {
+		t.Errorf("bitset basics broken: %v", a)
+	}
+	b := NewBitSet(130)
+	b.Set(64)
+	b.Set(100)
+	if changed := b.Union(a); !changed || b.Count() != 4 {
+		t.Errorf("union: changed=%v count=%d", b.Union(a), b.Count())
+	}
+	c := NewBitSet(130)
+	c.Copy(b)
+	if !c.Equal(b) {
+		t.Error("copy/equal broken")
+	}
+	if changed := c.Intersect(a); !changed || c.Count() != 3 {
+		t.Errorf("intersect: count=%d want 3", c.Count())
+	}
+	c.Clear(64)
+	if c.Get(64) || c.Count() != 2 {
+		t.Error("clear broken")
+	}
+}
+
+func TestDistanceOracleMatchesBFS(t *testing.T) {
+	p := parse(t, nestedSrc)
+	inf := Analyze(p)
+	o := NewDistanceOracle(p, inf.Hints())
+
+	// Mark a single "uncovered" block and compare against the per-source
+	// forward BFS the heuristic used before.
+	for target := range p.AllBlocks {
+		covered := func(b int) bool { return b != target }
+		o.Recompute(covered)
+		adj := ir.SuccsWithCalls(p)
+		for from := range p.AllBlocks {
+			want := ir.BFSDistance(adj, from, func(b int) bool { return !covered(b) })
+			if got := o.Dist(from); got != want {
+				t.Errorf("dist(%d -> %d) = %d, want %d", from, target, got, want)
+			}
+		}
+	}
+}
+
+func TestDistanceOracleInterprocedural(t *testing.T) {
+	p := parse(t, `
+program callgraph
+func helper(params=0 regs=2) {
+entry:
+	r0 = const 1 w32
+	ret r0
+}
+func main(params=0 regs=4) {
+entry:
+	r0 = call helper()
+	exit
+}
+`)
+	inf := Analyze(p)
+	o := NewDistanceOracle(p, inf.Hints())
+	helperEntry := p.Func("helper").Entry().ID
+	mainEntry := p.Func("main").Entry().ID
+	o.Recompute(func(b int) bool { return b != helperEntry })
+	if got := o.Dist(mainEntry); got != 1 {
+		t.Errorf("call edge distance = %d, want 1", got)
+	}
+}

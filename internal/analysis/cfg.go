@@ -1,0 +1,106 @@
+package analysis
+
+import "pbse/internal/ir"
+
+// FuncInfo carries the per-function CFG structure every pass in this
+// package works from. Blocks are identified by their position within the
+// function (ir.Block.Index).
+type FuncInfo struct {
+	Fn    *ir.Func
+	Succs [][]int // control-flow successors (deduplicated)
+	Preds [][]int
+	// RPO lists the blocks reachable from the entry in reverse postorder;
+	// RPO[0] is the entry.
+	RPO []int
+	// RPONum is the position of each block in RPO, -1 when unreachable.
+	RPONum []int
+	// Reachable marks blocks reachable from the entry.
+	Reachable []bool
+
+	// Filled by dominators/loops (see dom.go):
+	DomSet []BitSet // DomSet[b].Get(a) == a dominates b; nil for unreachable b
+	Idom   []int    // immediate dominator, -1 for the entry and unreachable blocks
+	Loops  []*Loop  // natural loops, outermost first within a nest
+	// LoopOf is the index into Loops of the innermost loop containing each
+	// block, -1 when the block is in no loop.
+	LoopOf []int
+	// Irreducible is set when a retreating edge to a non-dominating target
+	// was found (the loop set then underapproximates the cyclic region).
+	Irreducible bool
+}
+
+// NewFuncInfo builds the CFG skeleton (successors, predecessors,
+// reachability, reverse postorder) for one function.
+func NewFuncInfo(fn *ir.Func) *FuncInfo {
+	n := len(fn.Blocks)
+	fi := &FuncInfo{
+		Fn:        fn,
+		Succs:     make([][]int, n),
+		Preds:     make([][]int, n),
+		RPONum:    make([]int, n),
+		Reachable: make([]bool, n),
+	}
+	for i, b := range fn.Blocks {
+		seen := make(map[int]bool)
+		for _, s := range b.Successors() {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				fi.Succs[i] = append(fi.Succs[i], s.Index)
+			}
+		}
+	}
+	for i, succs := range fi.Succs {
+		for _, s := range succs {
+			fi.Preds[s] = append(fi.Preds[s], i)
+		}
+	}
+	// iterative postorder DFS from the entry
+	post := make([]int, 0, n)
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	type frame struct{ b, next int }
+	stack := []frame{{0, 0}}
+	state[0] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(fi.Succs[f.b]) {
+			s := fi.Succs[f.b][f.next]
+			f.next++
+			if state[s] == 0 {
+				state[s] = 1
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		state[f.b] = 2
+		post = append(post, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	fi.RPO = make([]int, len(post))
+	for i := range fi.RPONum {
+		fi.RPONum[i] = -1
+	}
+	for i, b := range post {
+		r := len(post) - 1 - i
+		fi.RPO[r] = b
+		fi.RPONum[b] = r
+		fi.Reachable[b] = true
+	}
+	return fi
+}
+
+// Dominates reports whether block a dominates block b (both by position).
+// Every block dominates itself. False when either block is unreachable.
+func (fi *FuncInfo) Dominates(a, b int) bool {
+	if fi.DomSet == nil || !fi.Reachable[a] || !fi.Reachable[b] {
+		return false
+	}
+	return fi.DomSet[b].Get(a)
+}
+
+// LoopDepth returns the loop nesting depth of a block (0 = not in a loop).
+func (fi *FuncInfo) LoopDepth(b int) int {
+	if fi.LoopOf == nil || fi.LoopOf[b] < 0 {
+		return 0
+	}
+	return fi.Loops[fi.LoopOf[b]].Depth
+}

@@ -1,0 +1,184 @@
+// Package analysis provides static analyses over the ir package: a
+// reusable forward/backward dataflow framework, dominator trees and
+// natural-loop detection, interprocedural input-taint analysis, def-use
+// and liveness, and an IR linter built on top of them. The results feed
+// phase scheduling (static trap-phase hints), the symbolic-execution
+// distance heuristic, and the cmd/irlint tool.
+package analysis
+
+import "math/bits"
+
+// BitSet is a fixed-capacity bit vector; the lattice value of every
+// bitset-based dataflow pass in this package.
+type BitSet []uint64
+
+// NewBitSet returns an empty set able to hold n bits.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Set adds bit i.
+func (s BitSet) Set(i int) { s[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear removes bit i.
+func (s BitSet) Clear(i int) { s[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports whether bit i is present.
+func (s BitSet) Get(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Union adds every bit of o, reporting whether s changed.
+func (s BitSet) Union(o BitSet) bool {
+	changed := false
+	for i, w := range o {
+		if nw := s[i] | w; nw != s[i] {
+			s[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Intersect keeps only bits present in o, reporting whether s changed.
+func (s BitSet) Intersect(o BitSet) bool {
+	changed := false
+	for i, w := range o {
+		if nw := s[i] & w; nw != s[i] {
+			s[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Copy overwrites s with o.
+func (s BitSet) Copy(o BitSet) { copy(s, o) }
+
+// Fill sets every bit (the top element of intersection lattices).
+func (s BitSet) Fill() {
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+}
+
+// Count returns the number of set bits.
+func (s BitSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Equal reports element-wise equality (lengths must match).
+func (s BitSet) Equal(o BitSet) bool {
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Direction orients a dataflow pass.
+type Direction int
+
+// Pass directions.
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Problem defines one intra-procedural dataflow pass. Blocks are named by
+// their position within the function (ir.Block.Index).
+type Problem interface {
+	// Direction orients propagation: Forward meets over predecessors,
+	// Backward over successors.
+	Direction() Direction
+	// Bits is the lattice width (e.g. number of registers).
+	Bits() int
+	// Boundary initialises the entry in-set (Forward) or every exit
+	// out-set (Backward). The set arrives zeroed.
+	Boundary(v BitSet)
+	// Init initialises every interior set before iteration (zeroed on
+	// arrival; Fill it for intersection problems).
+	Init(v BitSet)
+	// Meet folds src into dst (union or intersection), reporting change.
+	Meet(dst, src BitSet) bool
+	// Transfer computes out from in for one block. Forward passes map
+	// in->out; Backward passes are handed (out, in) in that order, i.e.
+	// the first argument is always the input of the transfer function.
+	Transfer(block int, in, out BitSet)
+}
+
+// Solve iterates p to a fixpoint over fi's reachable blocks and returns
+// the per-block in and out sets (indexed by block position). For backward
+// passes, "in" still means the set at block entry and "out" the set at
+// block exit.
+func Solve(fi *FuncInfo, p Problem) (in, out []BitSet) {
+	n := len(fi.Fn.Blocks)
+	bitsN := p.Bits()
+	in = make([]BitSet, n)
+	out = make([]BitSet, n)
+	for i := 0; i < n; i++ {
+		in[i] = NewBitSet(bitsN)
+		out[i] = NewBitSet(bitsN)
+		p.Init(in[i])
+		p.Init(out[i])
+	}
+
+	order := fi.RPO
+	if p.Direction() == Backward {
+		order = make([]int, len(fi.RPO))
+		for i, b := range fi.RPO {
+			order[len(fi.RPO)-1-i] = b
+		}
+	}
+
+	if p.Direction() == Forward {
+		for i := range in[0] {
+			in[0][i] = 0
+		}
+		p.Boundary(in[0])
+	} else {
+		for _, b := range fi.RPO {
+			if len(fi.Succs[b]) == 0 {
+				for i := range out[b] {
+					out[b][i] = 0
+				}
+				p.Boundary(out[b])
+			}
+		}
+	}
+
+	tmp := NewBitSet(bitsN)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if p.Direction() == Forward {
+				// The entry block meets its predecessors too (it may be a
+				// loop header); its in-set starts from Boundary rather than
+				// Init, which keeps intersection problems correct.
+				for _, pr := range fi.Preds[b] {
+					if fi.Reachable[pr] {
+						p.Meet(in[b], out[pr])
+					}
+				}
+				tmp.Copy(out[b])
+				p.Transfer(b, in[b], out[b])
+				if !tmp.Equal(out[b]) {
+					changed = true
+				}
+			} else {
+				if len(fi.Succs[b]) > 0 {
+					for _, su := range fi.Succs[b] {
+						p.Meet(out[b], in[su])
+					}
+				}
+				tmp.Copy(in[b])
+				p.Transfer(b, out[b], in[b])
+				if !tmp.Equal(in[b]) {
+					changed = true
+				}
+			}
+		}
+	}
+	return in, out
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import "pbse/internal/ir"
+
+// DistanceOracle answers distance-to-uncovered queries over the
+// interprocedural block graph (branch/switch targets plus call edges).
+// It replaces the old per-(block, epoch) forward BFS with one
+// multi-source reverse BFS per coverage epoch — O(V+E) total instead of
+// O(V+E) per queried block — and carries the static loop hints so search
+// heuristics can damp states spinning inside input-dependent loops.
+type DistanceOracle struct {
+	radj  [][]int
+	dist  []int32
+	queue []int32
+	Hints *StaticHints
+}
+
+// NewDistanceOracle builds the reversed adjacency for prog. hints may be
+// nil when loop information is not needed.
+func NewDistanceOracle(prog *ir.Program, hints *StaticHints) *DistanceOracle {
+	adj := ir.SuccsWithCalls(prog)
+	o := &DistanceOracle{
+		radj:  make([][]int, len(adj)),
+		dist:  make([]int32, len(adj)),
+		queue: make([]int32, 0, len(adj)),
+		Hints: hints,
+	}
+	for from, succs := range adj {
+		for _, to := range succs {
+			o.radj[to] = append(o.radj[to], from)
+		}
+	}
+	return o
+}
+
+// Recompute refreshes every distance from the current uncovered set: a
+// multi-source BFS over reversed edges, so dist(b) is the minimum number
+// of forward edges from b to any block with covered(b) == false.
+func (o *DistanceOracle) Recompute(covered func(blockID int) bool) {
+	q := o.queue[:0]
+	for b := range o.dist {
+		if covered(b) {
+			o.dist[b] = -1
+		} else {
+			o.dist[b] = 0
+			q = append(q, int32(b))
+		}
+	}
+	for head := 0; head < len(q); head++ {
+		b := q[head]
+		for _, p := range o.radj[b] {
+			if o.dist[p] < 0 {
+				o.dist[p] = o.dist[b] + 1
+				q = append(q, int32(p))
+			}
+		}
+	}
+	o.queue = q[:0]
+}
+
+// Dist returns the last-recomputed distance from blockID to the nearest
+// uncovered block, or -1 when none is reachable.
+func (o *DistanceOracle) Dist(blockID int) int { return int(o.dist[blockID]) }
+
+// InInputLoop reports whether blockID sits inside a statically detected
+// input-dependent loop (false when the oracle has no hints).
+func (o *DistanceOracle) InInputLoop(blockID int) bool {
+	return o.Hints != nil && o.Hints.InInputLoop[blockID]
+}

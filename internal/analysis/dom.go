@@ -1,0 +1,164 @@
+package analysis
+
+import "sort"
+
+// domProblem computes dominator sets as a forward dataflow pass:
+// dom(b) = {b} ∪ ⋂ dom(preds), with dom(entry) = {entry}.
+type domProblem struct{ n int }
+
+func (p *domProblem) Direction() Direction      { return Forward }
+func (p *domProblem) Bits() int                 { return p.n }
+func (p *domProblem) Boundary(v BitSet)         {} // entry in-set: empty
+func (p *domProblem) Init(v BitSet)             { v.Fill() }
+func (p *domProblem) Meet(dst, src BitSet) bool { return dst.Intersect(src) }
+func (p *domProblem) Transfer(block int, in, out BitSet) {
+	out.Copy(in)
+	out.Set(block)
+}
+
+// Loop is one natural loop: the set of blocks from which the back-edge
+// sources (latches) reach the header without passing through it.
+type Loop struct {
+	// Header is the loop entry block (the back-edge target), by position.
+	Header int
+	// Latches are the back-edge sources.
+	Latches []int
+	// Blocks is the ascending set of member blocks (header included).
+	Blocks []int
+	// Exits are member blocks with at least one successor outside the loop.
+	Exits []int
+	// Parent indexes the innermost enclosing loop in FuncInfo.Loops, -1
+	// for top-level loops.
+	Parent int
+	// Depth is the nesting depth (1 = outermost).
+	Depth int
+	// InputDependent is set by the taint analysis when any exit branch of
+	// the loop depends on program input — the paper's trap-loop signature.
+	InputDependent bool
+}
+
+// Contains reports membership of block b (by position) in the loop.
+func (l *Loop) Contains(b int) bool {
+	i := sort.SearchInts(l.Blocks, b)
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// buildDominators fills DomSet and Idom via the dataflow framework.
+func (fi *FuncInfo) buildDominators() {
+	n := len(fi.Fn.Blocks)
+	_, out := Solve(fi, &domProblem{n: n})
+	fi.DomSet = make([]BitSet, n)
+	for _, b := range fi.RPO {
+		fi.DomSet[b] = out[b]
+	}
+	// idom(b): the strict dominator of b with the largest RPO number (the
+	// closest one — every other strict dominator dominates it).
+	fi.Idom = make([]int, n)
+	for i := range fi.Idom {
+		fi.Idom[i] = -1
+	}
+	for _, b := range fi.RPO {
+		best := -1
+		for _, d := range fi.RPO { // RPO ascending; keep the last match
+			if d != b && fi.DomSet[b].Get(d) {
+				best = d
+			}
+		}
+		fi.Idom[b] = best
+	}
+}
+
+// buildLoops detects natural loops from back edges (edges whose target
+// dominates their source), computes bodies, exits and nesting, and marks
+// irreducible retreating edges.
+func (fi *FuncInfo) buildLoops() {
+	n := len(fi.Fn.Blocks)
+	latchesOf := make(map[int][]int) // header -> latches
+	var headers []int
+	for _, b := range fi.RPO {
+		for _, s := range fi.Succs[b] {
+			if !fi.Reachable[s] {
+				continue
+			}
+			if fi.Dominates(s, b) {
+				if len(latchesOf[s]) == 0 {
+					headers = append(headers, s)
+				}
+				latchesOf[s] = append(latchesOf[s], b)
+			} else if fi.RPONum[s] <= fi.RPONum[b] {
+				// retreating edge to a non-dominating target
+				fi.Irreducible = true
+			}
+		}
+	}
+	sort.Ints(headers)
+
+	fi.LoopOf = make([]int, n)
+	for i := range fi.LoopOf {
+		fi.LoopOf[i] = -1
+	}
+	for _, h := range headers {
+		inLoop := make([]bool, n)
+		inLoop[h] = true
+		stack := append([]int(nil), latchesOf[h]...)
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if inLoop[b] {
+				continue
+			}
+			inLoop[b] = true
+			for _, p := range fi.Preds[b] {
+				if fi.Reachable[p] && !inLoop[p] {
+					stack = append(stack, p)
+				}
+			}
+		}
+		l := &Loop{Header: h, Latches: latchesOf[h], Parent: -1}
+		for b := 0; b < n; b++ {
+			if !inLoop[b] {
+				continue
+			}
+			l.Blocks = append(l.Blocks, b)
+			for _, s := range fi.Succs[b] {
+				if !inLoop[s] {
+					l.Exits = append(l.Exits, b)
+					break
+				}
+			}
+		}
+		fi.Loops = append(fi.Loops, l)
+	}
+
+	// Nesting: the innermost enclosing loop of l is the smallest other
+	// loop containing l's header. Sorting by size makes parents precede
+	// children, so depths resolve in one pass.
+	order := make([]int, len(fi.Loops))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return len(fi.Loops[order[a]].Blocks) > len(fi.Loops[order[b]].Blocks)
+	})
+	for _, li := range order {
+		l := fi.Loops[li]
+		for _, pi := range order {
+			p := fi.Loops[pi]
+			if pi == li || len(p.Blocks) <= len(l.Blocks) || !p.Contains(l.Header) {
+				continue
+			}
+			if l.Parent == -1 || len(p.Blocks) < len(fi.Loops[l.Parent].Blocks) {
+				l.Parent = pi
+			}
+		}
+		if l.Parent == -1 {
+			l.Depth = 1
+		} else {
+			l.Depth = fi.Loops[l.Parent].Depth + 1
+		}
+		// innermost wins: processed largest-first, so children overwrite
+		for _, b := range l.Blocks {
+			fi.LoopOf[b] = li
+		}
+	}
+}

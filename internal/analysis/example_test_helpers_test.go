@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pbse/internal/ir"
+)
+
+// exampleIRFiles lists the textual IR example programs shipped in the
+// repository (relative to this package's source directory).
+func exampleIRFiles() ([]string, error) {
+	dir := filepath.Join("..", "..", "examples", "ir")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".ir") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	return files, nil
+}
+
+func parseFile(path string) (*ir.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ir.Parse(string(src))
+}

@@ -1,0 +1,432 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"pbse/internal/ir"
+)
+
+// DiagKind names a class of linter finding.
+type DiagKind string
+
+// Linter diagnostic kinds.
+const (
+	// DiagUnreachableBlock: a block with no path from the function entry.
+	// (Program.Finalize rejects these outright; the linter still reports
+	// them for programs assembled by hand.)
+	DiagUnreachableBlock DiagKind = "unreachable-block"
+	// DiagDeadRegister: a register written by a non-call instruction but
+	// never read anywhere in the function.
+	DiagDeadRegister DiagKind = "dead-register"
+	// DiagConstBranch: a br/switch whose operand is a locally provable
+	// constant — the branch always goes one way and is foldable.
+	DiagConstBranch DiagKind = "const-branch"
+	// DiagStoreNeverLoaded: an allocation site that is stored to but whose
+	// memory no load ever reads (whole-program may-points-to).
+	DiagStoreNeverLoaded DiagKind = "store-never-loaded"
+	// DiagNoReturnCall: a call to a function with no reachable ret — the
+	// code after the call can never execute.
+	DiagNoReturnCall DiagKind = "no-return-call"
+	// DiagUnreachableFunc: a function that is not main and is never called
+	// transitively from main.
+	DiagUnreachableFunc DiagKind = "unreachable-func"
+)
+
+// Diag is one structured linter finding.
+type Diag struct {
+	Kind  DiagKind `json:"kind"`
+	Prog  string   `json:"prog"`
+	Func  string   `json:"func"`
+	Block string   `json:"block,omitempty"`
+	// Instr is the offending instruction's index within the block, -1 when
+	// the finding concerns a whole block or function.
+	Instr int    `json:"instr"`
+	Msg   string `json:"msg"`
+}
+
+// Pos renders the prog:func:block position of the finding.
+func (d Diag) Pos() string {
+	p := d.Prog + ":" + d.Func
+	if d.Block != "" {
+		p += ":" + d.Block
+	}
+	return p
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos(), d.Kind, d.Msg)
+}
+
+// Lint runs every linter check over the analysed program and returns the
+// findings in deterministic (function, block, instruction) order.
+func (inf *Info) Lint() []Diag {
+	var diags []Diag
+	for fx, fn := range inf.Prog.Funcs {
+		fi := inf.Funcs[fx]
+		diags = append(diags, lintUnreachableBlocks(fn, fi)...)
+		diags = append(diags, lintDeadRegisters(fn)...)
+		diags = append(diags, lintConstBranches(fn, fi)...)
+		diags = append(diags, lintNoReturnCalls(inf, fn, fi)...)
+	}
+	diags = append(diags, lintStoresNeverLoaded(inf)...)
+	diags = append(diags, lintUnreachableFuncs(inf)...)
+	return diags
+}
+
+// Lint analyses p and runs every linter check; a convenience wrapper
+// around Analyze(p).Lint().
+func Lint(p *ir.Program) []Diag { return Analyze(p).Lint() }
+
+func lintUnreachableBlocks(fn *ir.Func, fi *FuncInfo) []Diag {
+	var out []Diag
+	for bi, b := range fn.Blocks {
+		if !fi.Reachable[bi] {
+			out = append(out, Diag{
+				Kind: DiagUnreachableBlock, Prog: fn.Prog.Name, Func: fn.Name,
+				Block: b.Name, Instr: -1,
+				Msg: "block is unreachable from the function entry",
+			})
+		}
+	}
+	return out
+}
+
+func lintDeadRegisters(fn *ir.Func) []Diag {
+	du := NewDefUse(fn)
+	dead := NewBitSet(fn.NumRegs)
+	n := 0
+	for r := 0; r < fn.NumRegs; r++ {
+		if du.Defined.Get(r) && !du.Used.Get(r) && !du.CallOnlyDef.Get(r) {
+			dead.Set(r)
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	// report at the first defining instruction of each dead register
+	var out []Diag
+	reported := NewBitSet(fn.NumRegs)
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			d := instrDef(&b.Instrs[i])
+			if d == ir.NoReg || !dead.Get(int(d)) || reported.Get(int(d)) {
+				continue
+			}
+			reported.Set(int(d))
+			out = append(out, Diag{
+				Kind: DiagDeadRegister, Prog: fn.Prog.Name, Func: fn.Name,
+				Block: b.Name, Instr: i,
+				Msg: fmt.Sprintf("r%d is written here but never read", d),
+			})
+		}
+	}
+	return out
+}
+
+// lintConstBranches runs a block-local constant propagation: registers
+// proven constant between the block entry and the terminator make a
+// br/switch foldable.
+func lintConstBranches(fn *ir.Func, fi *FuncInfo) []Diag {
+	var out []Diag
+	for bi, b := range fn.Blocks {
+		if !fi.Reachable[bi] {
+			continue
+		}
+		consts := make(map[ir.Reg]uint64)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpBr:
+				if v, ok := consts[in.A]; ok {
+					dir := "false"
+					if v != 0 {
+						dir = "true"
+					}
+					out = append(out, Diag{
+						Kind: DiagConstBranch, Prog: fn.Prog.Name, Func: fn.Name,
+						Block: b.Name, Instr: i,
+						Msg: fmt.Sprintf("branch condition r%d is always %s (const %d)", in.A, dir, v),
+					})
+				}
+			case ir.OpSwitch:
+				if v, ok := consts[in.A]; ok {
+					out = append(out, Diag{
+						Kind: DiagConstBranch, Prog: fn.Prog.Name, Func: fn.Name,
+						Block: b.Name, Instr: i,
+						Msg: fmt.Sprintf("switch operand r%d is always const %d", in.A, v),
+					})
+				}
+			default:
+				stepConsts(in, consts)
+			}
+		}
+	}
+	return out
+}
+
+// stepConsts updates the local constant map across one non-terminator
+// instruction; unsupported results simply become unknown.
+func stepConsts(in *ir.Instr, consts map[ir.Reg]uint64) {
+	d := instrDef(in)
+	if d == ir.NoReg {
+		return
+	}
+	unknown := func() { delete(consts, d) }
+	w := uint(in.Width)
+	switch in.Op {
+	case ir.OpConst:
+		consts[d] = maskW(in.Imm, w)
+	case ir.OpMov, ir.OpZext, ir.OpTrunc:
+		if v, ok := consts[in.A]; ok {
+			consts[d] = maskW(v, w)
+		} else {
+			unknown()
+		}
+	case ir.OpNot:
+		if v, ok := consts[in.A]; ok {
+			consts[d] = maskW(^v, w)
+		} else {
+			unknown()
+		}
+	case ir.OpBin:
+		a, aok := consts[in.A]
+		b, bok := consts[in.B]
+		if v, ok := evalBin(in.Bin, a, b, w); aok && bok && ok {
+			consts[d] = v
+		} else {
+			unknown()
+		}
+	case ir.OpCmp:
+		a, aok := consts[in.A]
+		b, bok := consts[in.B]
+		if aok && bok {
+			consts[d] = evalCmp(in.Pred, a, b, w)
+		} else {
+			unknown()
+		}
+	default:
+		// sext needs the source width, loads/calls are runtime values
+		unknown()
+	}
+}
+
+func maskW(v uint64, w uint) uint64 {
+	if w >= 64 {
+		return v
+	}
+	return v & (1<<w - 1)
+}
+
+func sextW(v uint64, w uint) int64 {
+	if w >= 64 {
+		return int64(v)
+	}
+	if v&(1<<(w-1)) != 0 {
+		v |= ^uint64(0) << w
+	}
+	return int64(v)
+}
+
+func evalBin(op ir.BinOp, a, b uint64, w uint) (uint64, bool) {
+	switch op {
+	case ir.Add:
+		return maskW(a+b, w), true
+	case ir.Sub:
+		return maskW(a-b, w), true
+	case ir.Mul:
+		return maskW(a*b, w), true
+	case ir.And:
+		return a & b, true
+	case ir.Or:
+		return a | b, true
+	case ir.Xor:
+		return a ^ b, true
+	case ir.Shl:
+		if b >= uint64(w) {
+			return 0, true
+		}
+		return maskW(a<<b, w), true
+	case ir.LShr:
+		if b >= uint64(w) {
+			return 0, true
+		}
+		return a >> b, true
+	case ir.UDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case ir.URem:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	}
+	// signed ops left to the interpreter — not worth duplicating here
+	return 0, false
+}
+
+func evalCmp(p ir.Pred, a, b uint64, w uint) uint64 {
+	sa, sb := sextW(a, w), sextW(b, w)
+	var r bool
+	switch p {
+	case ir.Eq:
+		r = a == b
+	case ir.Ne:
+		r = a != b
+	case ir.Ult:
+		r = a < b
+	case ir.Ule:
+		r = a <= b
+	case ir.Ugt:
+		r = a > b
+	case ir.Uge:
+		r = a >= b
+	case ir.Slt:
+		r = sa < sb
+	case ir.Sle:
+		r = sa <= sb
+	case ir.Sgt:
+		r = sa > sb
+	case ir.Sge:
+		r = sa >= sb
+	}
+	if r {
+		return 1
+	}
+	return 0
+}
+
+func lintNoReturnCalls(inf *Info, fn *ir.Func, fi *FuncInfo) []Diag {
+	var out []Diag
+	for bi, b := range fn.Blocks {
+		if !fi.Reachable[bi] {
+			continue
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != ir.OpCall {
+				continue
+			}
+			callee := inf.Prog.Func(in.Callee)
+			if callee == nil || funcCanReturn(inf, callee) {
+				continue
+			}
+			out = append(out, Diag{
+				Kind: DiagNoReturnCall, Prog: fn.Prog.Name, Func: fn.Name,
+				Block: b.Name, Instr: i,
+				Msg: fmt.Sprintf("%q has no reachable ret; code after this call never runs", in.Callee),
+			})
+		}
+	}
+	return out
+}
+
+func funcCanReturn(inf *Info, fn *ir.Func) bool {
+	fi := inf.FuncInfoOf(fn)
+	if fi == nil {
+		return true
+	}
+	for _, bi := range fi.RPO {
+		if t := fn.Blocks[bi].Terminator(); t != nil && t.Op == ir.OpRet {
+			return true
+		}
+	}
+	return false
+}
+
+func lintStoresNeverLoaded(inf *Info) []Diag {
+	t := inf.Taint
+	loaded := NewBitSet(t.numSites)
+	for fx, fn := range inf.Prog.Funcs {
+		for _, b := range fn.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.OpLoad {
+					loaded.Union(t.pts[fx][b.Instrs[i].A])
+				}
+			}
+		}
+	}
+	var out []Diag
+	for fx, fn := range inf.Prog.Funcs {
+		fi := inf.Funcs[fx]
+		for bi, b := range fn.Blocks {
+			if !fi.Reachable[bi] {
+				continue
+			}
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpAlloca {
+					continue
+				}
+				site := t.siteOf[in]
+				if loaded.Get(site) || !siteStored(inf, site) {
+					continue
+				}
+				out = append(out, Diag{
+					Kind: DiagStoreNeverLoaded, Prog: fn.Prog.Name, Func: fn.Name,
+					Block: b.Name, Instr: i,
+					Msg: "object is stored to but never loaded from",
+				})
+			}
+		}
+	}
+	return out
+}
+
+func siteStored(inf *Info, site int) bool {
+	t := inf.Taint
+	for fx, fn := range inf.Prog.Funcs {
+		for _, b := range fn.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.OpStore && t.pts[fx][b.Instrs[i].A].Get(site) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func lintUnreachableFuncs(inf *Info) []Diag {
+	main := inf.Prog.Func("main")
+	if main == nil {
+		return nil
+	}
+	called := map[*ir.Func]bool{main: true}
+	work := []*ir.Func{main}
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		fi := inf.FuncInfoOf(fn)
+		for _, bi := range fi.RPO {
+			for i := range fn.Blocks[bi].Instrs {
+				in := &fn.Blocks[bi].Instrs[i]
+				if in.Op != ir.OpCall {
+					continue
+				}
+				if c := inf.Prog.Func(in.Callee); c != nil && !called[c] {
+					called[c] = true
+					work = append(work, c)
+				}
+			}
+		}
+	}
+	var names []string
+	for _, fn := range inf.Prog.Funcs {
+		if !called[fn] {
+			names = append(names, fn.Name)
+		}
+	}
+	sort.Strings(names)
+	var out []Diag
+	for _, name := range names {
+		out = append(out, Diag{
+			Kind: DiagUnreachableFunc, Prog: inf.Prog.Name, Func: name, Instr: -1,
+			Msg: "function is never called from main",
+		})
+	}
+	return out
+}

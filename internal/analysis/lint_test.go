@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"testing"
+
+	"pbse/internal/ir"
+)
+
+// badSrc mirrors cmd/irlint/testdata/bad.ir: a program that passes
+// validation but trips five distinct linter checks.
+const badSrc = `
+program bad
+func main(params=0 regs=8) {
+entry:
+	r0 = const 1 w32
+	r1 = const 99 w32
+	br r0 yes no
+yes:
+	r2 = alloca 16
+	r3 = const 7 w32
+	store [r2+0], r3 w32
+	r4 = call never_returns()
+	exit
+no:
+	exit
+}
+func never_returns(params=0 regs=1) {
+entry:
+	r0 = const 0 w32
+	jmp spin
+spin:
+	jmp spin
+}
+func orphan(params=0 regs=2) {
+entry:
+	r0 = const 2 w32
+	r1 = add r0, r0 w32
+	ret r1
+}
+`
+
+func kinds(diags []Diag) map[DiagKind]int {
+	m := make(map[DiagKind]int)
+	for _, d := range diags {
+		m[d.Kind]++
+	}
+	return m
+}
+
+func TestLintBadProgram(t *testing.T) {
+	p := parse(t, badSrc)
+	diags := Lint(p)
+	got := kinds(diags)
+	for _, want := range []DiagKind{
+		DiagDeadRegister, DiagConstBranch, DiagStoreNeverLoaded,
+		DiagNoReturnCall, DiagUnreachableFunc,
+	} {
+		if got[want] == 0 {
+			t.Errorf("missing %s finding in %v", want, diags)
+		}
+	}
+	if len(got) < 3 {
+		t.Errorf("acceptance: want >=3 distinct kinds, got %d (%v)", len(got), got)
+	}
+	for _, d := range diags {
+		if d.Prog != "bad" || d.Func == "" {
+			t.Errorf("diag missing position info: %+v", d)
+		}
+	}
+}
+
+func TestLintPositions(t *testing.T) {
+	p := parse(t, badSrc)
+	for _, d := range Lint(p) {
+		if d.Kind == DiagConstBranch {
+			if d.Pos() != "bad:main:entry" {
+				t.Errorf("const-branch pos = %q, want bad:main:entry", d.Pos())
+			}
+			if d.Instr != 2 {
+				t.Errorf("const-branch instr = %d, want 2", d.Instr)
+			}
+		}
+	}
+}
+
+func TestLintCleanProgram(t *testing.T) {
+	for _, prog := range loadExamplePrograms(t) {
+		if diags := Lint(prog); len(diags) != 0 {
+			t.Errorf("%s: examples must be lint-clean, got %v", prog.Name, diags)
+		}
+	}
+}
+
+// Unreachable blocks are rejected by Finalize, so the linter check only
+// fires on hand-assembled programs that were never finalised.
+func TestLintUnreachableBlockUnfinalised(t *testing.T) {
+	p := ir.NewProgram("raw")
+	fb := p.NewFunc("main", 0)
+	entry := fb.NewBlock("entry")
+	entry.Exit()
+	orphan := fb.NewBlock("orphan")
+	orphan.Exit()
+
+	found := false
+	for _, d := range Lint(p) {
+		if d.Kind == DiagUnreachableBlock && d.Block == "orphan" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unreachable block not reported on unfinalised program")
+	}
+}
+
+func TestLintDeadRegisterIgnoresCallResults(t *testing.T) {
+	p := parse(t, `
+program callres
+func h(params=0 regs=1) {
+entry:
+	r0 = const 3 w32
+	ret r0
+}
+func main(params=0 regs=2) {
+entry:
+	r0 = call h()
+	exit
+}
+`)
+	for _, d := range Lint(p) {
+		if d.Kind == DiagDeadRegister && d.Func == "main" {
+			t.Errorf("discarded call result flagged as dead register: %v", d)
+		}
+	}
+}
+
+func TestLintConstSwitch(t *testing.T) {
+	p := parse(t, `
+program sw
+func main(params=0 regs=2) {
+entry:
+	r0 = const 2 w32
+	switch r0 [1:a 2:b] default c
+a:
+	exit
+b:
+	exit
+c:
+	exit
+}
+`)
+	got := kinds(Lint(p))
+	if got[DiagConstBranch] != 1 {
+		t.Errorf("constant switch not flagged: %v", got)
+	}
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import "pbse/internal/ir"
+
+// livenessProblem computes live registers as a backward union pass with
+// per-block gen (upward-exposed uses) and kill (defs) sets.
+type livenessProblem struct {
+	fn        *ir.Func
+	gen, kill []BitSet
+}
+
+func newLivenessProblem(fi *FuncInfo) *livenessProblem {
+	fn := fi.Fn
+	p := &livenessProblem{
+		fn:   fn,
+		gen:  make([]BitSet, len(fn.Blocks)),
+		kill: make([]BitSet, len(fn.Blocks)),
+	}
+	var uses []ir.Reg
+	for bi, b := range fn.Blocks {
+		g := NewBitSet(fn.NumRegs)
+		k := NewBitSet(fn.NumRegs)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			uses = instrUses(in, uses[:0])
+			for _, u := range uses {
+				if !k.Get(int(u)) {
+					g.Set(int(u))
+				}
+			}
+			if d := instrDef(in); d != ir.NoReg {
+				k.Set(int(d))
+			}
+		}
+		p.gen[bi] = g
+		p.kill[bi] = k
+	}
+	return p
+}
+
+func (p *livenessProblem) Direction() Direction      { return Backward }
+func (p *livenessProblem) Bits() int                 { return p.fn.NumRegs }
+func (p *livenessProblem) Boundary(v BitSet)         {}
+func (p *livenessProblem) Init(v BitSet)             {}
+func (p *livenessProblem) Meet(dst, src BitSet) bool { return dst.Union(src) }
+func (p *livenessProblem) Transfer(block int, out, in BitSet) {
+	// in = gen ∪ (out − kill)
+	in.Copy(out)
+	for i, w := range p.kill[block] {
+		in[i] &^= w
+	}
+	in.Union(p.gen[block])
+}
+
+// Liveness returns per-block live-in and live-out register sets for one
+// function (indexed by block position).
+func Liveness(fi *FuncInfo) (liveIn, liveOut []BitSet) {
+	liveIn, liveOut = Solve(fi, newLivenessProblem(fi))
+	return liveIn, liveOut
+}
+
+// DefUse summarises register definitions and uses across one function.
+type DefUse struct {
+	// Defined marks registers written by at least one instruction (call
+	// results included); parameters are not counted as definitions.
+	Defined BitSet
+	// Used marks registers read by at least one instruction.
+	Used BitSet
+	// CallOnlyDef marks registers whose only definitions are call results
+	// (ignoring an unused one of these is idiomatic, like a discarded
+	// return value).
+	CallOnlyDef BitSet
+}
+
+// NewDefUse scans fn and returns its def/use summary.
+func NewDefUse(fn *ir.Func) *DefUse {
+	du := &DefUse{
+		Defined:     NewBitSet(fn.NumRegs),
+		Used:        NewBitSet(fn.NumRegs),
+		CallOnlyDef: NewBitSet(fn.NumRegs),
+	}
+	nonCallDef := NewBitSet(fn.NumRegs)
+	var uses []ir.Reg
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			uses = instrUses(in, uses[:0])
+			for _, u := range uses {
+				du.Used.Set(int(u))
+			}
+			if d := instrDef(in); d != ir.NoReg {
+				du.Defined.Set(int(d))
+				if in.Op != ir.OpCall {
+					nonCallDef.Set(int(d))
+				}
+			}
+		}
+	}
+	for r := 0; r < fn.NumRegs; r++ {
+		if du.Defined.Get(r) && !nonCallDef.Get(r) {
+			du.CallOnlyDef.Set(r)
+		}
+	}
+	return du
+}

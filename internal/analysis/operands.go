@@ -1,0 +1,43 @@
+package analysis
+
+import "pbse/internal/ir"
+
+// instrUses appends the registers an instruction reads to buf and returns
+// it. Only operand fields meaningful for the opcode are reported (e.g.
+// OpJmp's zero-valued A is not a use of r0).
+func instrUses(in *ir.Instr, buf []ir.Reg) []ir.Reg {
+	switch in.Op {
+	case ir.OpBin, ir.OpCmp:
+		buf = append(buf, in.A, in.B)
+	case ir.OpNot, ir.OpMov, ir.OpZext, ir.OpSext, ir.OpTrunc:
+		buf = append(buf, in.A)
+	case ir.OpSelect:
+		buf = append(buf, in.A, in.B, in.C)
+	case ir.OpLoad:
+		buf = append(buf, in.A)
+	case ir.OpStore:
+		buf = append(buf, in.A, in.B)
+	case ir.OpCall:
+		buf = append(buf, in.Args...)
+	case ir.OpRet:
+		if in.A != ir.NoReg {
+			buf = append(buf, in.A)
+		}
+	case ir.OpBr, ir.OpSwitch, ir.OpAssert:
+		buf = append(buf, in.A)
+	}
+	return buf
+}
+
+// instrDef returns the register an instruction writes, or ir.NoReg.
+func instrDef(in *ir.Instr) ir.Reg {
+	switch in.Op {
+	case ir.OpConst, ir.OpBin, ir.OpCmp, ir.OpNot, ir.OpMov, ir.OpZext,
+		ir.OpSext, ir.OpTrunc, ir.OpSelect, ir.OpAlloca, ir.OpLoad,
+		ir.OpInput, ir.OpInputLen:
+		return in.Dst
+	case ir.OpCall:
+		return in.Dst // may be NoReg
+	}
+	return ir.NoReg
+}

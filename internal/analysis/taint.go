@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"math/bits"
+
+	"pbse/internal/ir"
+)
+
+// inputSite is the points-to site of the symbolic input object; OpAlloca
+// instructions get sites 1..numSites-1 in program order.
+const inputSite = 0
+
+// TaintInfo is the result of the interprocedural input-taint analysis:
+// which registers, memory objects and branch conditions (transitively)
+// depend on OpInput / OpInputLen. Registers are tracked flow-sensitively
+// per function via the dataflow framework; memory is summarised per
+// allocation site; calls propagate taint through argument/return
+// summaries iterated to a global fixpoint.
+type TaintInfo struct {
+	prog     *ir.Program
+	funcIdx  map[*ir.Func]int
+	numSites int
+	siteOf   map[*ir.Instr]int
+
+	pts      [][]BitSet // [func][reg] -> may-point-to site set
+	ptsMem   []BitSet   // [site] -> sites whose pointers are stored in it
+	retPts   []BitSet   // [func] -> sites the return value may point to
+	memTaint BitSet     // [site] -> object may hold input-derived bytes
+	parTaint []BitSet   // [func] -> params that may receive tainted args
+	retTaint []bool     // [func] -> return value may be tainted
+
+	// RegIn holds, per function and block position, the set of registers
+	// that may be input-tainted at block entry (final fixpoint).
+	RegIn [][]BitSet
+	// InputDepTerm marks, per global block ID, conditional terminators
+	// (br/switch) whose operand may be input-tainted.
+	InputDepTerm []bool
+}
+
+func newTaintInfo(p *ir.Program) *TaintInfo {
+	t := &TaintInfo{
+		prog:    p,
+		funcIdx: make(map[*ir.Func]int, len(p.Funcs)),
+		siteOf:  make(map[*ir.Instr]int),
+	}
+	t.numSites = 1 // the input object
+	for fi, f := range p.Funcs {
+		t.funcIdx[f] = fi
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.OpAlloca {
+					t.siteOf[&b.Instrs[i]] = t.numSites
+					t.numSites++
+				}
+			}
+		}
+	}
+	t.pts = make([][]BitSet, len(p.Funcs))
+	t.parTaint = make([]BitSet, len(p.Funcs))
+	t.retPts = make([]BitSet, len(p.Funcs))
+	for fi, f := range p.Funcs {
+		t.pts[fi] = make([]BitSet, f.NumRegs)
+		for r := range t.pts[fi] {
+			t.pts[fi][r] = NewBitSet(t.numSites)
+		}
+		t.parTaint[fi] = NewBitSet(f.NumRegs)
+		t.retPts[fi] = NewBitSet(t.numSites)
+	}
+	t.ptsMem = make([]BitSet, t.numSites)
+	for s := range t.ptsMem {
+		t.ptsMem[s] = NewBitSet(t.numSites)
+	}
+	t.memTaint = NewBitSet(t.numSites)
+	t.memTaint.Set(inputSite) // the input object is tainted by definition
+	t.retTaint = make([]bool, len(p.Funcs))
+	return t
+}
+
+// forEachSite invokes fn for every site in s.
+func forEachSite(s BitSet, fn func(site int)) {
+	for wi, w := range s {
+		for w != 0 {
+			fn(wi*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// buildPointsTo computes the flow-insensitive may-point-to sets: which
+// allocation sites (or the input object) each register, memory slot and
+// return value can refer to.
+func (t *TaintInfo) buildPointsTo() {
+	for changed := true; changed; {
+		changed = false
+		mark := func(c bool) {
+			if c {
+				changed = true
+			}
+		}
+		for fi, f := range t.prog.Funcs {
+			pts := t.pts[fi]
+			for _, b := range f.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					switch in.Op {
+					case ir.OpAlloca:
+						if !pts[in.Dst].Get(t.siteOf[in]) {
+							pts[in.Dst].Set(t.siteOf[in])
+							changed = true
+						}
+					case ir.OpInput:
+						if !pts[in.Dst].Get(inputSite) {
+							pts[in.Dst].Set(inputSite)
+							changed = true
+						}
+					case ir.OpMov, ir.OpZext, ir.OpSext, ir.OpTrunc, ir.OpNot:
+						mark(pts[in.Dst].Union(pts[in.A]))
+					case ir.OpSelect:
+						mark(pts[in.Dst].Union(pts[in.B]))
+						mark(pts[in.Dst].Union(pts[in.C]))
+					case ir.OpBin:
+						// pointer arithmetic: either operand may carry the base
+						mark(pts[in.Dst].Union(pts[in.A]))
+						mark(pts[in.Dst].Union(pts[in.B]))
+					case ir.OpLoad:
+						forEachSite(pts[in.A], func(s int) {
+							mark(pts[in.Dst].Union(t.ptsMem[s]))
+						})
+					case ir.OpStore:
+						forEachSite(pts[in.A], func(s int) {
+							mark(t.ptsMem[s].Union(pts[in.B]))
+						})
+					case ir.OpCall:
+						callee := t.prog.Func(in.Callee)
+						if callee == nil {
+							continue
+						}
+						ci := t.funcIdx[callee]
+						for ai, a := range in.Args {
+							mark(t.pts[ci][ai].Union(pts[a]))
+						}
+						if in.Dst != ir.NoReg {
+							mark(pts[in.Dst].Union(t.retPts[ci]))
+						}
+					case ir.OpRet:
+						if in.A != ir.NoReg {
+							mark(t.retPts[fi].Union(pts[in.A]))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// taintProblem is the per-function forward register-taint pass; the
+// lattice is one bit per register. Memory and call effects go through the
+// shared TaintInfo summaries, so the enclosing interprocedural loop
+// re-solves functions until those stabilise too.
+type taintProblem struct {
+	t       *TaintInfo
+	fidx    int
+	changed *bool
+}
+
+func (p *taintProblem) Direction() Direction      { return Forward }
+func (p *taintProblem) Bits() int                 { return p.t.prog.Funcs[p.fidx].NumRegs }
+func (p *taintProblem) Boundary(v BitSet)         { v.Union(p.t.parTaint[p.fidx]) }
+func (p *taintProblem) Init(v BitSet)             {}
+func (p *taintProblem) Meet(dst, src BitSet) bool { return dst.Union(src) }
+func (p *taintProblem) Transfer(block int, in, out BitSet) {
+	out.Copy(in)
+	b := p.t.prog.Funcs[p.fidx].Blocks[block]
+	for i := range b.Instrs {
+		p.t.applyInstr(p.fidx, &b.Instrs[i], out, p.changed)
+	}
+}
+
+// applyInstr updates the register-taint set across one instruction,
+// recording summary growth (memory, params, returns) in *global.
+func (t *TaintInfo) applyInstr(fidx int, in *ir.Instr, regs BitSet, global *bool) {
+	tainted := func(r ir.Reg) bool { return regs.Get(int(r)) }
+	setDst := func(v bool) {
+		if in.Dst == ir.NoReg {
+			return
+		}
+		if v {
+			regs.Set(int(in.Dst))
+		} else {
+			regs.Clear(int(in.Dst))
+		}
+	}
+	switch in.Op {
+	case ir.OpConst, ir.OpAlloca, ir.OpInput:
+		setDst(false) // pointers themselves are not input-derived
+	case ir.OpInputLen:
+		setDst(true)
+	case ir.OpBin, ir.OpCmp:
+		setDst(tainted(in.A) || tainted(in.B))
+	case ir.OpNot, ir.OpMov, ir.OpZext, ir.OpSext, ir.OpTrunc:
+		setDst(tainted(in.A))
+	case ir.OpSelect:
+		setDst(tainted(in.A) || tainted(in.B) || tainted(in.C))
+	case ir.OpLoad:
+		v := tainted(in.A) // input-chosen address -> input-chosen value
+		forEachSite(t.pts[fidx][in.A], func(s int) {
+			if t.memTaint.Get(s) {
+				v = true
+			}
+		})
+		setDst(v)
+	case ir.OpStore:
+		if tainted(in.A) || tainted(in.B) {
+			forEachSite(t.pts[fidx][in.A], func(s int) {
+				if !t.memTaint.Get(s) {
+					t.memTaint.Set(s)
+					*global = true
+				}
+			})
+		}
+	case ir.OpCall:
+		callee := t.prog.Func(in.Callee)
+		if callee == nil {
+			setDst(false)
+			return
+		}
+		ci := t.funcIdx[callee]
+		for ai, a := range in.Args {
+			if tainted(a) && !t.parTaint[ci].Get(ai) {
+				t.parTaint[ci].Set(ai)
+				*global = true
+			}
+		}
+		setDst(t.retTaint[ci])
+	case ir.OpRet:
+		if in.A != ir.NoReg && tainted(in.A) && !t.retTaint[fidx] {
+			t.retTaint[fidx] = true
+			*global = true
+		}
+	}
+}
+
+// run executes the whole analysis: points-to, then the interprocedural
+// taint fixpoint, then terminator classification.
+func (t *TaintInfo) run(funcs []*FuncInfo) {
+	t.buildPointsTo()
+	t.RegIn = make([][]BitSet, len(t.prog.Funcs))
+	for changed := true; changed; {
+		changed = false
+		for fi := range t.prog.Funcs {
+			p := &taintProblem{t: t, fidx: fi, changed: &changed}
+			in, _ := Solve(funcs[fi], p)
+			if t.RegIn[fi] == nil {
+				t.RegIn[fi] = in
+				changed = true
+			} else {
+				for b := range in {
+					if !t.RegIn[fi][b].Equal(in[b]) {
+						t.RegIn[fi] = in
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+
+	t.InputDepTerm = make([]bool, len(t.prog.AllBlocks))
+	if len(t.prog.AllBlocks) == 0 {
+		return // unfinalised program: no global block IDs to classify by
+	}
+	scratch := BitSet(nil)
+	var sink bool
+	for fi, f := range t.prog.Funcs {
+		if cap(scratch)*64 < f.NumRegs {
+			scratch = NewBitSet(f.NumRegs)
+		}
+		for _, b := range f.Blocks {
+			bi := b.Index
+			if !funcs[fi].Reachable[bi] {
+				continue
+			}
+			s := scratch[:(f.NumRegs+63)/64]
+			for i := range s {
+				s[i] = 0
+			}
+			s.Union(t.RegIn[fi][bi])
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op == ir.OpBr || in.Op == ir.OpSwitch {
+					t.InputDepTerm[b.ID] = s.Get(int(in.A))
+					break
+				}
+				t.applyInstr(fi, in, s, &sink)
+			}
+		}
+	}
+}
+
+// MemTainted reports whether the given allocation site may hold
+// input-derived bytes (site 0 is the input object itself).
+func (t *TaintInfo) MemTainted(site int) bool { return t.memTaint.Get(site) }

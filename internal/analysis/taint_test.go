@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"testing"
+
+	"pbse/internal/ir"
+)
+
+const taintMixSrc = `
+program taintmix
+func main(params=0 regs=12) {
+entry:
+	r0 = input
+	r1 = const 0 w32
+	jmp cloop
+cloop:
+	r2 = const 4 w32
+	r3 = cmp.ult r1, r2 w32
+	br r3 cbody iloop_pre
+cbody:
+	r4 = const 1 w32
+	r1 = add r1, r4 w32
+	jmp cloop
+iloop_pre:
+	r5 = load [r0+0] w8
+	r6 = zext r5 w32
+	r7 = const 0 w32
+	jmp iloop
+iloop:
+	r8 = cmp.ult r7, r6 w32
+	br r8 ibody done
+ibody:
+	r9 = const 1 w32
+	r7 = add r7, r9 w32
+	jmp iloop
+done:
+	exit
+}
+`
+
+func TestTaintClassifiesLoops(t *testing.T) {
+	p := parse(t, taintMixSrc)
+	inf := Analyze(p)
+	fi := inf.Funcs[0]
+	ix := blockIdx(t, p, "main")
+
+	if len(fi.Loops) != 2 {
+		t.Fatalf("want 2 loops, got %d", len(fi.Loops))
+	}
+	for _, l := range fi.Loops {
+		switch l.Header {
+		case ix["cloop"]:
+			if l.InputDependent {
+				t.Error("constant-bound loop marked input-dependent")
+			}
+		case ix["iloop"]:
+			if !l.InputDependent {
+				t.Error("input-guarded loop not marked input-dependent")
+			}
+		default:
+			t.Errorf("unexpected loop header %d", l.Header)
+		}
+	}
+
+	blocks := p.Entry().Blocks
+	if !inf.Taint.InputDepTerm[blocks[ix["iloop"]].ID] {
+		t.Error("iloop branch should be input-dependent")
+	}
+	if inf.Taint.InputDepTerm[blocks[ix["cloop"]].ID] {
+		t.Error("cloop branch must stay input-independent")
+	}
+}
+
+// Taint must flow through a call's return value, into memory via a store,
+// and back out of a load in another block.
+const callMemSrc = `
+program callmem
+func getb(params=1 regs=5) {
+entry:
+	r1 = input
+	r2 = zext r0 w64
+	r3 = add r1, r2 w64
+	r4 = load [r3+0] w8
+	ret r4
+}
+func main(params=0 regs=10) {
+entry:
+	r0 = const 0 w32
+	r1 = call getb(r0)
+	r2 = alloca 4
+	store [r2+0], r1 w8
+	jmp head
+head:
+	r3 = load [r2+0] w8
+	r4 = const 0 w8
+	r5 = cmp.ugt r3, r4 w8
+	br r5 body done
+body:
+	jmp head
+done:
+	exit
+}
+`
+
+func TestTaintThroughCallAndMemory(t *testing.T) {
+	p := parse(t, callMemSrc)
+	inf := Analyze(p)
+	ix := blockIdx(t, p, "main")
+	head := p.Entry().Blocks[ix["head"]]
+	if !inf.Taint.InputDepTerm[head.ID] {
+		t.Error("taint should flow call-return -> store -> load -> branch")
+	}
+	var mainFi *FuncInfo
+	for i, f := range p.Funcs {
+		if f.Name == "main" {
+			mainFi = inf.Funcs[i]
+		}
+	}
+	if len(mainFi.Loops) != 1 || !mainFi.Loops[0].InputDependent {
+		t.Errorf("head loop should be input-dependent: %+v", mainFi.Loops)
+	}
+}
+
+// inputlen is tainted even though no input byte is ever loaded.
+func TestTaintInputLen(t *testing.T) {
+	p := parse(t, `
+program lenloop
+func main(params=0 regs=6) {
+entry:
+	r0 = inputlen w32
+	r1 = const 0 w32
+	jmp head
+head:
+	r2 = cmp.ult r1, r0 w32
+	br r2 body done
+body:
+	r3 = const 1 w32
+	r1 = add r1, r3 w32
+	jmp head
+done:
+	exit
+}
+`)
+	inf := Analyze(p)
+	fi := inf.Funcs[0]
+	if len(fi.Loops) != 1 || !fi.Loops[0].InputDependent {
+		t.Errorf("inputlen-bounded loop should be input-dependent: %+v", fi.Loops)
+	}
+}
+
+// An input *pointer* is not itself tainted: a loop bounded by a constant
+// comparison against a pointer-derived counter stays input-independent
+// even though the loop body reads input bytes.
+func TestTaintPointerNotTainted(t *testing.T) {
+	p := parse(t, `
+program ptrloop
+func main(params=0 regs=8) {
+entry:
+	r0 = input
+	r1 = const 0 w32
+	jmp head
+head:
+	r2 = const 3 w32
+	r3 = cmp.ult r1, r2 w32
+	br r3 body done
+body:
+	r4 = zext r1 w64
+	r5 = add r0, r4 w64
+	r6 = load [r5+0] w8
+	r7 = const 1 w32
+	r1 = add r1, r7 w32
+	store [r5+0], r6 w8
+	jmp head
+done:
+	exit
+}
+`)
+	inf := Analyze(p)
+	fi := inf.Funcs[0]
+	if len(fi.Loops) != 1 {
+		t.Fatalf("want 1 loop, got %d", len(fi.Loops))
+	}
+	if fi.Loops[0].InputDependent {
+		t.Error("constant-bound loop over input bytes must not be input-dependent")
+	}
+}
+
+func TestHintsFlattening(t *testing.T) {
+	p := parse(t, taintMixSrc)
+	h := Analyze(p).Hints()
+	ix := blockIdx(t, p, "main")
+	blocks := p.Entry().Blocks
+
+	if h.NumLoops != 2 || h.NumInputLoops != 1 {
+		t.Errorf("NumLoops=%d NumInputLoops=%d, want 2/1", h.NumLoops, h.NumInputLoops)
+	}
+	check := func(name string, inLoop, inInput bool) {
+		id := blocks[ix[name]].ID
+		if h.InLoop[id] != inLoop || h.InInputLoop[id] != inInput {
+			t.Errorf("%s: InLoop=%v InInputLoop=%v, want %v/%v",
+				name, h.InLoop[id], h.InInputLoop[id], inLoop, inInput)
+		}
+	}
+	check("entry", false, false)
+	check("cloop", true, false)
+	check("cbody", true, false)
+	check("iloop", true, true)
+	check("ibody", true, true)
+	check("done", false, false)
+	if h.LoopDepth[blocks[ix["ibody"]].ID] != 1 {
+		t.Errorf("ibody depth = %d, want 1", h.LoopDepth[blocks[ix["ibody"]].ID])
+	}
+}
+
+// The examples/ acceptance check: every input-guarded loop in the textual
+// example programs (headers named iloop_*) must be classified
+// input-dependent, and every constant-bound loop (cloop_*) must not.
+func TestTaintOnExamplePrograms(t *testing.T) {
+	for _, prog := range loadExamplePrograms(t) {
+		inf := Analyze(prog)
+		for fx, fi := range inf.Funcs {
+			fn := prog.Funcs[fx]
+			for _, l := range fi.Loops {
+				name := fn.Blocks[l.Header].Name
+				switch {
+				case hasPrefix(name, "iloop"):
+					if !l.InputDependent {
+						t.Errorf("%s: %s.%s: input-guarded loop not detected", prog.Name, fn.Name, name)
+					}
+				case hasPrefix(name, "cloop"):
+					if l.InputDependent {
+						t.Errorf("%s: %s.%s: constant loop misclassified", prog.Name, fn.Name, name)
+					}
+				default:
+					t.Errorf("%s: %s.%s: example loop headers must be named iloop_*/cloop_*", prog.Name, fn.Name, name)
+				}
+			}
+		}
+	}
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+func loadExamplePrograms(t *testing.T) []*ir.Program {
+	t.Helper()
+	files, err := exampleIRFiles()
+	if err != nil {
+		t.Fatalf("examples/ir: %v", err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no .ir files under examples/ir")
+	}
+	var progs []*ir.Program
+	for _, f := range files {
+		p, err := parseFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		progs = append(progs, p)
+	}
+	return progs
+}

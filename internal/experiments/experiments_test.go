@@ -8,6 +8,7 @@ func smokeConfig() Config {
 }
 
 func TestTableISmoke(t *testing.T) {
+	skipIfShort(t)
 	res, err := TableI(smokeConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -26,6 +27,7 @@ func TestTableISmoke(t *testing.T) {
 }
 
 func TestTableIISmoke(t *testing.T) {
+	skipIfShort(t)
 	rows, err := TableII(smokeConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -44,6 +46,7 @@ func TestTableIISmoke(t *testing.T) {
 }
 
 func TestTableIIISmoke(t *testing.T) {
+	skipIfShort(t)
 	rows, err := TableIII(smokeConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -59,6 +62,7 @@ func TestTableIIISmoke(t *testing.T) {
 }
 
 func TestFig1Smoke(t *testing.T) {
+	skipIfShort(t)
 	rows, err := Fig1(smokeConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -77,6 +81,7 @@ func TestFig1Smoke(t *testing.T) {
 }
 
 func TestFig4Smoke(t *testing.T) {
+	skipIfShort(t)
 	r, err := Fig4(smokeConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -87,6 +92,7 @@ func TestFig4Smoke(t *testing.T) {
 }
 
 func TestFig5Smoke(t *testing.T) {
+	skipIfShort(t)
 	r, err := Fig5(smokeConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -97,6 +103,7 @@ func TestFig5Smoke(t *testing.T) {
 }
 
 func TestSolverAblationsSmoke(t *testing.T) {
+	skipIfShort(t)
 	rows, err := SolverAblations(smokeConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -108,5 +115,15 @@ func TestSolverAblationsSmoke(t *testing.T) {
 		if r.Stats.Queries == 0 {
 			t.Errorf("%s: no queries recorded", r.Name)
 		}
+	}
+}
+
+// skipIfShort skips experiment smoke tests under -short: each one runs
+// several full engine configurations and they dominate the suite's wall
+// time.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment smoke tests skipped in -short mode")
 	}
 }

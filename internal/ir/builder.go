@@ -56,7 +56,7 @@ func (fb *FuncBuilder) NewBlock(name string) *BlockBuilder {
 	} else {
 		fb.names[name] = 0
 	}
-	b := &Block{Name: name, Fn: fb.fn}
+	b := &Block{Name: name, Fn: fb.fn, Index: len(fb.fn.Blocks)}
 	fb.fn.Blocks = append(fb.fn.Blocks, b)
 	return &BlockBuilder{fb: fb, blk: b}
 }

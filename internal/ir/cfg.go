@@ -4,20 +4,33 @@ package ir
 // distance-to-uncovered heuristics: branch/switch targets plus the entry
 // block of every function called in the block (an approximation of KLEE's
 // inter-procedural distance metric — return edges are not modelled).
+// Each successor appears once, even when a block calls the same function
+// twice or a switch repeats a target, so BFS frontier sizes reflect
+// distinct edges.
 func SuccsWithCalls(p *Program) [][]int {
 	adj := make([][]int, len(p.AllBlocks))
+	seen := make(map[int]bool)
 	for _, b := range p.AllBlocks {
 		var out []int
+		for id := range seen {
+			delete(seen, id)
+		}
+		add := func(id int) {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
 			if in.Op == OpCall {
 				if callee := p.Func(in.Callee); callee != nil {
-					out = append(out, callee.Entry().ID)
+					add(callee.Entry().ID)
 				}
 			}
 		}
 		for _, s := range b.Successors() {
-			out = append(out, s.ID)
+			add(s.ID)
 		}
 		adj[b.ID] = out
 	}

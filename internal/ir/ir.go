@@ -266,6 +266,27 @@ func (p *Program) validate() error {
 				}
 			}
 		}
+		// Every block must be reachable from the entry: unreachable blocks
+		// inflate block-ID-based metrics (BBV dimensions, coverage counts)
+		// and always indicate a builder bug.
+		reach := make(map[*Block]bool, len(f.Blocks))
+		reach[f.Entry()] = true
+		work := []*Block{f.Entry()}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, s := range b.Successors() {
+				if !reach[s] {
+					reach[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+		for _, b := range f.Blocks {
+			if !reach[b] {
+				return fmt.Errorf("ir: block %s is unreachable from entry", b)
+			}
+		}
 	}
 	return nil
 }

@@ -135,6 +135,27 @@ func TestValidateRejectsCrossFunctionBranch(t *testing.T) {
 	}
 }
 
+func TestValidateRejectsUnreachableBlock(t *testing.T) {
+	p := NewProgram("x")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	b.Exit()
+	orphan := fb.NewBlock("orphan") // no edge from entry
+	orphan.Exit()
+	if err := p.Finalize(); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("expected unreachable-block error, got %v", err)
+	}
+}
+
+func TestValidateAcceptsLoopReachableBlocks(t *testing.T) {
+	// Reachability must follow the whole CFG, not just forward layout
+	// order: "done" is only reachable through the loop's exit edge.
+	p := buildCountdown(t)
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("re-finalize valid loop program: %v", err)
+	}
+}
+
 func TestEmitAfterTerminatorPanics(t *testing.T) {
 	p := NewProgram("x")
 	fb := p.NewFunc("main", 0)
@@ -188,6 +209,38 @@ func TestSuccsWithCalls(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("call edge main->h missing: %v", adj)
+	}
+}
+
+func TestSuccsWithCallsDedup(t *testing.T) {
+	p := NewProgram("x")
+	hb := p.NewFunc("h", 0)
+	he := hb.NewBlock("entry")
+	he.RetVoid()
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	tgt := fb.NewBlock("tgt")
+	b.Call("h")
+	b.Call("h") // second call to the same callee
+	v := b.Const(0, 32)
+	b.Switch(v, []uint64{1, 2}, []*Block{tgt.Blk(), tgt.Blk()}, tgt.Blk())
+	tgt.Exit()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	adj := SuccsWithCalls(p)
+	entry := p.Func("main").Entry().ID
+	seen := make(map[int]int)
+	for _, s := range adj[entry] {
+		seen[s]++
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("successor %d listed %d times: %v", id, n, adj[entry])
+		}
+	}
+	if len(seen) != 2 { // h's entry + tgt
+		t.Errorf("want 2 distinct successors, got %v", adj[entry])
 	}
 }
 

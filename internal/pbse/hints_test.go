@@ -1,0 +1,44 @@
+package pbse
+
+import (
+	"testing"
+)
+
+// The static analysis runs as part of phase division and must find
+// input-dependent loops in every bundled target (they all parse input).
+func TestPBSEStaticHintsComputed(t *testing.T) {
+	skipIfShort(t)
+	res := runPBSE(t, "readelf", testBudget/4, Options{})
+	if res.Hints == nil {
+		t.Fatal("static hints missing from result")
+	}
+	if res.Hints.NumLoops == 0 {
+		t.Error("readelf target should contain natural loops")
+	}
+	if res.Hints.NumInputLoops == 0 {
+		t.Error("readelf target should contain input-dependent loops")
+	}
+	frac := 0.0
+	for _, p := range res.Division.Phases {
+		if p.InputLoopFrac < 0 || p.InputLoopFrac > 1 {
+			t.Errorf("phase %d: InputLoopFrac out of range: %f", p.ID, p.InputLoopFrac)
+		}
+		frac += p.InputLoopFrac
+	}
+	if frac == 0 {
+		t.Error("no phase carries any input-loop mass")
+	}
+}
+
+func TestPBSEStaticHintsAblation(t *testing.T) {
+	skipIfShort(t)
+	res := runPBSE(t, "readelf", testBudget/4, Options{DisableStaticHints: true})
+	if res.Hints != nil {
+		t.Error("DisableStaticHints should leave Hints nil")
+	}
+	for _, p := range res.Division.Phases {
+		if p.InputLoopFrac != 0 {
+			t.Errorf("ablation run annotated phase %d with %f", p.ID, p.InputLoopFrac)
+		}
+	}
+}

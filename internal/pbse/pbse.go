@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"time"
 
+	"pbse/internal/analysis"
 	"pbse/internal/bugs"
 	"pbse/internal/concolic"
 	"pbse/internal/expr"
@@ -43,6 +44,10 @@ type Options struct {
 	// TrapOnly schedules only trap phases (plus the phase containing the
 	// earliest seedStates); off by default — the paper tests every phase.
 	TrapOnly bool
+	// DisableStaticHints skips the static loop/taint analysis that boosts
+	// time slices of phases dominated by input-dependent loops — an
+	// ablation switch.
+	DisableStaticHints bool
 	// Seed drives in-phase state selection.
 	Seed int64
 }
@@ -73,6 +78,9 @@ type Result struct {
 	Bugs       []*bugs.Report
 	PhaseStats []PhaseStat
 	Series     []CoveragePoint
+	// Hints are the static-analysis results used to annotate phases (nil
+	// when DisableStaticHints was set).
+	Hints *analysis.StaticHints
 	// Executor exposes the underlying engine for inspection (coverage
 	// sets, solver stats).
 	Executor *symex.Executor
@@ -83,6 +91,20 @@ type phasePool struct {
 	info   phase.Phase
 	states []*symex.State
 	stat   PhaseStat
+}
+
+// sliceBoost scales a phase's round-robin time slice by how much of its
+// execution mass sits in statically detected input-dependent loops: a
+// phase entirely inside such loops gets a double slice, one with none
+// keeps the baseline. Mild by design — scheduling order is untouched.
+func (p *phasePool) sliceBoost() float64 {
+	f := p.info.InputLoopFrac
+	if f < 0 {
+		f = 0
+	} else if f > 1 {
+		f = 1
+	}
+	return 1 + f
 }
 
 // Run executes pbSE on prog with the given seed input (Algorithm 1 with a
@@ -134,8 +156,13 @@ func Run(prog *ir.Program, seed []byte, opts Options, exOpts symex.Options) (*Re
 	res.CTime = con.Steps
 	res.Series = append(res.Series, CoveragePoint{Time: ex.Clock(), Covered: ex.NumCovered()})
 
-	// Step 2: phase analysis.
+	// Step 2: phase analysis, annotated with static loop/taint hints so
+	// phases dominated by input-dependent loops can get longer slices.
 	pStart := time.Now()
+	if !opts.DisableStaticHints && opts.PhaseOpts.Hints == nil {
+		opts.PhaseOpts.Hints = analysis.Analyze(prog).Hints()
+	}
+	res.Hints = opts.PhaseOpts.Hints
 	div := phase.Divide(con.BBVs, opts.PhaseOpts)
 	res.PTime = time.Since(pStart)
 	res.Division = div
@@ -240,8 +267,9 @@ func runRoundRobin(ex *symex.Executor, pools []*phasePool, opts Options, rng *ra
 			continue
 		}
 		turnStart := ex.Clock()
+		slice := int64(float64(turnNum*opts.TimePeriod) * pool.sliceBoost())
 		runPhaseTurn(ex, pool, opts, rng, res, func() bool {
-			return ex.Clock()-turnStart > turnNum*opts.TimePeriod
+			return ex.Clock()-turnStart > slice
 		})
 		i++
 	}

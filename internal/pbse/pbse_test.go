@@ -31,6 +31,7 @@ func runPBSE(t *testing.T, driver string, budget int64, opts Options) *Result {
 }
 
 func TestPBSEEndToEndMiniELF(t *testing.T) {
+	skipIfShort(t)
 	res := runPBSE(t, "readelf", testBudget, Options{})
 	if res.Covered == 0 {
 		t.Fatal("no coverage")
@@ -58,6 +59,7 @@ func TestPBSEEndToEndMiniELF(t *testing.T) {
 }
 
 func TestPBSEFindsDeepBugs(t *testing.T) {
+	skipIfShort(t)
 	res := runPBSE(t, "readelf", 800_000, Options{})
 	if len(res.Bugs) == 0 {
 		t.Fatal("pbSE found no bugs in minielf")
@@ -91,6 +93,7 @@ func TestPBSEFindsDeepBugs(t *testing.T) {
 // the same virtual-time budget, pbSE covers more basic blocks than
 // KLEE's default searcher started from scratch.
 func TestPBSEBeatsKLEEDefault(t *testing.T) {
+	skipIfShort(t)
 	const budget = 500_000
 	tgt, err := targets.ByDriver("readelf")
 	if err != nil {
@@ -121,8 +124,9 @@ func TestPBSEBeatsKLEEDefault(t *testing.T) {
 }
 
 func TestPBSEDeterminism(t *testing.T) {
-	r1 := runPBSE(t, "pngtest", testBudget, Options{})
-	r2 := runPBSE(t, "pngtest", testBudget, Options{})
+	skipIfShort(t)
+	r1 := runPBSE(t, "pngtest", testBudget/4, Options{})
+	r2 := runPBSE(t, "pngtest", testBudget/4, Options{})
 	if r1.Covered != r2.Covered || len(r1.Bugs) != len(r2.Bugs) {
 		t.Errorf("nondeterministic: covered %d/%d bugs %d/%d",
 			r1.Covered, r2.Covered, len(r1.Bugs), len(r2.Bugs))
@@ -130,15 +134,17 @@ func TestPBSEDeterminism(t *testing.T) {
 }
 
 func TestPBSESequentialAblation(t *testing.T) {
-	seq := runPBSE(t, "readelf", testBudget, Options{Sequential: true})
+	skipIfShort(t)
+	seq := runPBSE(t, "readelf", testBudget/4, Options{Sequential: true})
 	if seq.Covered == 0 {
 		t.Fatal("sequential scheduling produced no coverage")
 	}
 }
 
 func TestPBSEDedupAblation(t *testing.T) {
-	with := runPBSE(t, "readelf", testBudget, Options{})
-	without := runPBSE(t, "readelf", testBudget, Options{DisableDedup: true})
+	skipIfShort(t)
+	with := runPBSE(t, "readelf", testBudget/4, Options{})
+	without := runPBSE(t, "readelf", testBudget/4, Options{DisableDedup: true})
 	// dedup strictly reduces the seedState pool
 	sum := func(r *Result) int {
 		n := 0
@@ -153,9 +159,10 @@ func TestPBSEDedupAblation(t *testing.T) {
 }
 
 func TestPBSEAllTargets(t *testing.T) {
+	skipIfShort(t)
 	for _, driver := range []string{"readelf", "pngtest", "gif2tiff", "tiff2rgba", "dwarfdump"} {
 		t.Run(driver, func(t *testing.T) {
-			res := runPBSE(t, driver, testBudget, Options{})
+			res := runPBSE(t, driver, testBudget/8, Options{})
 			if res.Covered == 0 {
 				t.Error("no coverage")
 			}
@@ -171,5 +178,30 @@ func TestPBSERejectsZeroBudget(t *testing.T) {
 	prog, _ := tgt.Build()
 	if _, err := Run(prog, []byte{1}, Options{}, symex.Options{InputSize: 1}); err == nil {
 		t.Error("expected error for zero budget")
+	}
+}
+
+// skipIfShort skips full-budget pbSE runs under -short; the quick smoke
+// test below keeps the end-to-end path exercised.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-budget pbSE run skipped in -short mode")
+	}
+}
+
+// TestPBSEShortSmoke is the -short stand-in for the full-budget tests: a
+// small-budget end-to-end run that still goes through concolic execution,
+// phase division, static hints and round-robin scheduling.
+func TestPBSEShortSmoke(t *testing.T) {
+	res := runPBSE(t, "readelf", 40_000, Options{})
+	if res.Covered == 0 {
+		t.Fatal("smoke run covered nothing")
+	}
+	if res.Division == nil || len(res.Division.Phases) == 0 {
+		t.Fatal("smoke run produced no phases")
+	}
+	if res.Hints == nil {
+		t.Fatal("smoke run computed no static hints")
 	}
 }

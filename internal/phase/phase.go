@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"pbse/internal/analysis"
 	"pbse/internal/concolic"
 )
 
@@ -27,6 +28,11 @@ type Options struct {
 	Seed int64
 	// MaxIter bounds k-means iterations. Default 50.
 	MaxIter int
+	// Hints carries static-analysis results (loop structure,
+	// input-dependence); when set, each phase is annotated with the
+	// fraction of its execution mass spent inside statically detected
+	// input-dependent loops.
+	Hints *analysis.StaticHints
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -41,6 +47,11 @@ type Phase struct {
 	FirstTime  int64 // gather time of the earliest member (ordering key)
 	Trap       bool  // contains a long run of consecutive BBVs
 	LongestRun int
+	// InputLoopFrac is the fraction of this phase's block executions that
+	// happened inside statically detected input-dependent loops (0 when no
+	// static hints were supplied). Phases dominated by such loops are the
+	// static counterpart of the dynamic trap signature.
+	InputLoopFrac float64
 }
 
 // Division is the result of phase analysis for one concolic run.
@@ -85,7 +96,32 @@ func Divide(bbvs []concolic.BBV, opts Options) *Division {
 			best = div
 		}
 	}
+	annotateStatic(best, bbvs, opts.Hints)
 	return best
+}
+
+// annotateStatic fills Phase.InputLoopFrac from the static hints: the
+// share of each phase's block-execution mass that lies in blocks inside
+// input-dependent loops.
+func annotateStatic(div *Division, bbvs []concolic.BBV, hints *analysis.StaticHints) {
+	if hints == nil || div == nil {
+		return
+	}
+	for i := range div.Phases {
+		p := &div.Phases[i]
+		var inLoop, total float64
+		for _, bi := range p.BBVs {
+			for id, c := range bbvs[bi].Counts {
+				total += float64(c)
+				if id < len(hints.InInputLoop) && hints.InInputLoop[id] {
+					inLoop += float64(c)
+				}
+			}
+		}
+		if total > 0 {
+			p.InputLoopFrac = inLoop / total
+		}
+	}
 }
 
 func mergeDefaults(opts Options) Options {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"pbse/internal/analysis"
 	"pbse/internal/concolic"
 )
 
@@ -255,6 +256,45 @@ func TestDivideDeterminism(t *testing.T) {
 	for i := range d1.Assign {
 		if d1.Assign[i] != d2.Assign[i] {
 			t.Fatalf("assign differs at %d", i)
+		}
+	}
+}
+
+func TestAnnotateStaticHints(t *testing.T) {
+	// Blocks 1,2 are inside an input-dependent loop; 5,6 are not.
+	hints := &analysis.StaticHints{
+		InInputLoop:   []bool{false, true, true, false, false, false, false},
+		NumLoops:      1,
+		NumInputLoops: 1,
+	}
+	bbvs := []concolic.BBV{
+		{Index: 0, Time: 100, Counts: map[int]int{1: 8, 2: 2}},
+		{Index: 1, Time: 200, Counts: map[int]int{5: 7, 6: 3}},
+	}
+	opts := DefaultOptions()
+	opts.KMin, opts.KMax = 2, 2 // force one phase per BBV
+	opts.Hints = hints
+	div := Divide(bbvs, opts)
+
+	for _, p := range div.Phases {
+		for _, bi := range p.BBVs {
+			want := 0.0
+			if bi == 0 {
+				want = 1.0 // all of BBV 0's mass is in blocks 1,2
+			}
+			if p.InputLoopFrac != want {
+				t.Errorf("phase with BBV %d: InputLoopFrac = %f, want %f", bi, p.InputLoopFrac, want)
+			}
+		}
+	}
+}
+
+func TestAnnotateStaticNilHints(t *testing.T) {
+	bbvs := []concolic.BBV{{Index: 0, Time: 100, Counts: map[int]int{1: 8}}}
+	div := Divide(bbvs, DefaultOptions())
+	for _, p := range div.Phases {
+		if p.InputLoopFrac != 0 {
+			t.Errorf("InputLoopFrac without hints = %f, want 0", p.InputLoopFrac)
 		}
 	}
 }

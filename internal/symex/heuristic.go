@@ -3,7 +3,7 @@ package symex
 import (
 	"math/rand"
 
-	"pbse/internal/ir"
+	"pbse/internal/analysis"
 )
 
 // weightedSearcher selects states with probability proportional to a
@@ -70,22 +70,22 @@ func newCovNewSearcher(ex *Executor, rng *rand.Rand) Searcher {
 
 // md2uSearcher weights states by the inverse minimum distance (in CFG
 // blocks, with call edges) to an uncovered block — KLEE's
-// MinDistToUncovered heuristic.
+// MinDistToUncovered heuristic. Distances come from a shared
+// analysis.DistanceOracle: one multi-source reverse BFS per coverage
+// epoch instead of a forward BFS per queried block.
 type md2uSearcher struct {
 	weightedSearcher
 
-	ex    *Executor
-	adj   [][]int
-	cache map[int]int // blockID -> distance, valid for cacheEpoch
-	epoch int
+	ex     *Executor
+	oracle *analysis.DistanceOracle
+	epoch  int
 }
 
 func newMD2USearcher(ex *Executor, rng *rand.Rand) Searcher {
 	s := &md2uSearcher{
-		ex:    ex,
-		adj:   ir.SuccsWithCalls(ex.Prog),
-		cache: make(map[int]int),
-		epoch: -1,
+		ex:     ex,
+		oracle: analysis.NewDistanceOracle(ex.Prog, nil),
+		epoch:  -1,
 	}
 	s.name = string(SearchMD2U)
 	s.rng = rng
@@ -94,22 +94,13 @@ func newMD2USearcher(ex *Executor, rng *rand.Rand) Searcher {
 }
 
 func (s *md2uSearcher) md2uWeight(st *State) float64 {
-	d := s.distToUncovered(st.Blk.ID)
+	if s.epoch != s.ex.CoverEpoch() {
+		s.epoch = s.ex.CoverEpoch()
+		s.oracle.Recompute(s.ex.Covered)
+	}
+	d := s.oracle.Dist(st.Blk.ID)
 	if d < 0 {
 		return 1e-9 // no uncovered block reachable
 	}
 	return 1.0 / float64(d+1)
-}
-
-func (s *md2uSearcher) distToUncovered(blockID int) int {
-	if s.epoch != s.ex.CoverEpoch() {
-		s.cache = make(map[int]int, len(s.cache))
-		s.epoch = s.ex.CoverEpoch()
-	}
-	if d, ok := s.cache[blockID]; ok {
-		return d
-	}
-	d := ir.BFSDistance(s.adj, blockID, func(b int) bool { return !s.ex.Covered(b) })
-	s.cache[blockID] = d
-	return d
 }

@@ -61,6 +61,9 @@ func TestSeededBugsFoundFromBuggyNeighborhood(t *testing.T) {
 // every benign seed to a clean exit (shadow semantics match the concrete
 // interpreter).
 func TestConcolicExitsCleanOnBenignSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concolic shadow run over every target is slow")
+	}
 	for _, tgt := range All() {
 		t.Run(tgt.Driver, func(t *testing.T) {
 			prog, err := tgt.Build()

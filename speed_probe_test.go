@@ -7,6 +7,9 @@ import (
 )
 
 func TestSpeedProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speed probe runs every driver at a 300k budget")
+	}
 	for _, driver := range []string{"readelf", "pngtest", "gif2tiff", "tiff2rgba", "dwarfdump"} {
 		tgt, _ := TargetByDriver(driver)
 		prog, _ := tgt.Build()
