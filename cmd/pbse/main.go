@@ -13,7 +13,9 @@ import (
 	"math/rand"
 	"os"
 
+	"pbse/internal/faultinject"
 	"pbse/internal/pbse"
+	"pbse/internal/solver"
 	"pbse/internal/symex"
 	"pbse/internal/targets"
 )
@@ -32,6 +34,12 @@ func run() error {
 		budget   = flag.Int64("budget", 2_000_000, "virtual-time budget (instructions)")
 		rngSeed  = flag.Int64("rng", 42, "random seed (determinism)")
 		buggy    = flag.Bool("buggy-seed", false, "use the bug-triggering seed generator")
+
+		maxConflicts  = flag.Int64("max-conflicts", 0, "solver conflict budget per query (0 = default)")
+		queryDeadline = flag.Duration("query-deadline", 0, "solver wall-clock deadline per query (0 = none)")
+		maxStates     = flag.Int("max-states", 0, "cap on live states; further forks suppressed (0 = unlimited)")
+		maxStateBytes = flag.Int64("max-state-bytes", 0, "soft cap on estimated live-state memory; evicts costliest states (0 = unlimited)")
+		injectSpec    = flag.String("inject", "", "fault-injection spec, e.g. solver-unknown=0.1,solver-slow=0.05:1ms,step-panic=0.01,alloc-pressure=0.2:1048576")
 	)
 	flag.Parse()
 
@@ -54,9 +62,25 @@ func run() error {
 		seed = tgt.GenSeed(rng, *seedSize)
 	}
 
+	exOpts := symex.Options{
+		InputSize: len(seed),
+		SolverOpts: solver.Options{
+			MaxConflicts:  *maxConflicts,
+			QueryDeadline: *queryDeadline,
+		},
+		MaxStates:     *maxStates,
+		MaxStateBytes: *maxStateBytes,
+	}
+	if *injectSpec != "" {
+		inj, err := faultinject.ParseSpec(*injectSpec, *rngSeed)
+		if err != nil {
+			return err
+		}
+		exOpts.FaultInjector = inj
+	}
+
 	fmt.Printf("pbSE on %s (%s), seed %d bytes, budget %d\n", tgt.Name, tgt.Paper, len(seed), *budget)
-	res, err := pbse.Run(prog, seed, pbse.Options{Budget: *budget, Seed: *rngSeed},
-		symex.Options{InputSize: len(seed)})
+	res, err := pbse.Run(prog, seed, pbse.Options{Budget: *budget, Seed: *rngSeed}, exOpts)
 	if err != nil {
 		return err
 	}
@@ -84,6 +108,14 @@ func run() error {
 	st := res.Executor.Solver.Stats()
 	fmt.Printf("\nsolver: %d queries, %d cache hits, %d candidate hits, %d interval hits, %d SAT runs\n",
 		st.Queries, st.CacheHits, st.CandidateSat, st.IntervalFast, st.SATRuns)
+	fmt.Printf("solver unknowns: %d (budget %d, deadline %d, injected %d, internal %d)\n",
+		st.Unknowns, st.BudgetExhausted, st.DeadlineExceeded, st.InjectedUnknowns, st.InternalRecovered)
+	g := res.Gov
+	fmt.Printf("governance: %d unknowns, %d retries, %d concretizations, %d quarantines, %d evictions\n",
+		g.SolverUnknowns, g.SolverRetries, g.Concretizations, g.Quarantines, g.Evictions)
+	for _, q := range res.Executor.QuarantineRecords() {
+		fmt.Printf("  quarantined state %d at %s/%s: %s\n", q.StateID, q.Func, q.Block, q.Panic)
+	}
 	return nil
 }
 

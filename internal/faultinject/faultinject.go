@@ -1,0 +1,209 @@
+// Package faultinject provides deterministic, seed-driven fault injection
+// for the symbolic execution engine. An Injector is consulted by the
+// solver (return Unknown, run slowly) and the executor (panic during a
+// step, report allocation pressure); each hook draws from its own
+// rand.Rand derived from the injector seed, so a given (seed, Options)
+// pair produces the same fault sequence on every run regardless of how
+// the hooks interleave.
+//
+// The injector is a test and hardening harness: production runs simply
+// leave it nil. It is not safe for concurrent use, matching the engine's
+// single-goroutine execution model.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Default magnitudes for ParseSpec entries that give only a rate.
+const (
+	DefaultSlowDelay    = 200 * time.Microsecond
+	DefaultPhantomBytes = 1 << 20
+)
+
+// Options configure injection rates (probability per consulted event in
+// [0, 1]) and magnitudes.
+type Options struct {
+	// SolverUnknownRate is the probability that a solver Check returns
+	// Unknown instead of deciding the query.
+	SolverUnknownRate float64
+	// SolverSlowRate is the probability that a solver Check stalls for
+	// SolverSlowDelay of wall time before deciding.
+	SolverSlowRate  float64
+	SolverSlowDelay time.Duration // default DefaultSlowDelay
+	// StepPanicRate is the probability that an executor step panics.
+	StepPanicRate float64
+	// StepPanicFunc restricts injected step panics to steps executing
+	// inside the named function ("" means any function).
+	StepPanicFunc string
+	// AllocPressureRate is the probability that a memory-pressure sweep
+	// sees AllocPhantomBytes of phantom allocation on top of the real
+	// state footprint.
+	AllocPressureRate float64
+	AllocPhantomBytes int64 // default DefaultPhantomBytes
+}
+
+// Counts reports how many times each fault actually fired.
+type Counts struct {
+	SolverUnknown int64
+	SolverSlow    int64
+	StepPanic     int64
+	AllocPressure int64
+}
+
+// Injector is the deterministic fault source. The zero value injects
+// nothing; use New.
+type Injector struct {
+	opts Options
+	// one stream per hook so rates stay independent of call interleaving
+	unknownRNG, slowRNG, panicRNG, allocRNG *rand.Rand
+	counts                                  Counts
+}
+
+// New returns an injector whose fault sequence is a pure function of
+// seed and opts.
+func New(seed int64, opts Options) *Injector {
+	if opts.SolverSlowDelay == 0 {
+		opts.SolverSlowDelay = DefaultSlowDelay
+	}
+	if opts.AllocPhantomBytes == 0 {
+		opts.AllocPhantomBytes = DefaultPhantomBytes
+	}
+	return &Injector{
+		opts:       opts,
+		unknownRNG: rand.New(rand.NewSource(seed ^ 0x736f6c76)),
+		slowRNG:    rand.New(rand.NewSource(seed ^ 0x736c6f77)),
+		panicRNG:   rand.New(rand.NewSource(seed ^ 0x70616e69)),
+		allocRNG:   rand.New(rand.NewSource(seed ^ 0x616c6c6f)),
+	}
+}
+
+// Counts returns the fired-fault counters.
+func (i *Injector) Counts() Counts {
+	if i == nil {
+		return Counts{}
+	}
+	return i.counts
+}
+
+// Opts returns the effective options (defaults applied).
+func (i *Injector) Opts() Options {
+	if i == nil {
+		return Options{}
+	}
+	return i.opts
+}
+
+func fire(rng *rand.Rand, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	return rate >= 1 || rng.Float64() < rate
+}
+
+// SolverUnknown reports whether the current solver query should give up
+// with an Unknown verdict.
+func (i *Injector) SolverUnknown() bool {
+	if i == nil || !fire(i.unknownRNG, i.opts.SolverUnknownRate) {
+		return false
+	}
+	i.counts.SolverUnknown++
+	return true
+}
+
+// SolverSlow returns a stall duration for the current solver query, and
+// whether the fault fired.
+func (i *Injector) SolverSlow() (time.Duration, bool) {
+	if i == nil || !fire(i.slowRNG, i.opts.SolverSlowRate) {
+		return 0, false
+	}
+	i.counts.SolverSlow++
+	return i.opts.SolverSlowDelay, true
+}
+
+// StepPanic reports whether the executor step currently running inside
+// fn should panic.
+func (i *Injector) StepPanic(fn string) bool {
+	if i == nil {
+		return false
+	}
+	if i.opts.StepPanicFunc != "" && i.opts.StepPanicFunc != fn {
+		return false
+	}
+	if !fire(i.panicRNG, i.opts.StepPanicRate) {
+		return false
+	}
+	i.counts.StepPanic++
+	return true
+}
+
+// AllocPhantom returns phantom bytes to add to the current
+// memory-pressure sweep (0 when the fault does not fire).
+func (i *Injector) AllocPhantom() int64 {
+	if i == nil || !fire(i.allocRNG, i.opts.AllocPressureRate) {
+		return 0
+	}
+	i.counts.AllocPressure++
+	return i.opts.AllocPhantomBytes
+}
+
+// ParseSpec builds an injector from a comma-separated spec of
+// kind=rate[:magnitude] entries, e.g.
+//
+//	solver-unknown=0.1,solver-slow=0.05:1ms,step-panic=0.01,alloc-pressure=0.2:1048576
+//
+// Magnitudes: solver-slow takes a duration (default 200µs),
+// alloc-pressure takes bytes (default 1 MiB). An empty spec returns nil
+// (no injection).
+func ParseSpec(spec string, seed int64) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var opts Options
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("faultinject: bad entry %q (want kind=rate)", part)
+		}
+		val, mag, hasMag := strings.Cut(kv[1], ":")
+		rate, err := strconv.ParseFloat(val, 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("faultinject: bad rate %q for %s", kv[1], kv[0])
+		}
+		switch kv[0] {
+		case "solver-unknown":
+			opts.SolverUnknownRate = rate
+		case "solver-slow":
+			opts.SolverSlowRate = rate
+			if hasMag {
+				d, err := time.ParseDuration(mag)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: bad delay %q: %v", mag, err)
+				}
+				opts.SolverSlowDelay = d
+			}
+		case "step-panic":
+			if hasMag {
+				return nil, fmt.Errorf("faultinject: step-panic takes no magnitude (got %q)", mag)
+			}
+			opts.StepPanicRate = rate
+		case "alloc-pressure":
+			opts.AllocPressureRate = rate
+			if hasMag {
+				n, err := strconv.ParseInt(mag, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: bad byte count %q: %v", mag, err)
+				}
+				opts.AllocPhantomBytes = n
+			}
+		default:
+			return nil, fmt.Errorf("faultinject: unknown kind %q", kv[0])
+		}
+	}
+	return New(seed, opts), nil
+}

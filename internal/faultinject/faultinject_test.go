@@ -1,0 +1,152 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// drawSequence records the outcomes of n draws from each hook.
+func drawSequence(inj *Injector, n int) [4][]bool {
+	var out [4][]bool
+	for i := 0; i < n; i++ {
+		out[0] = append(out[0], inj.SolverUnknown())
+		_, slow := inj.SolverSlow()
+		out[1] = append(out[1], slow)
+		out[2] = append(out[2], inj.StepPanic("f"))
+		out[3] = append(out[3], inj.AllocPhantom() != 0)
+	}
+	return out
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	opts := Options{
+		SolverUnknownRate: 0.3,
+		SolverSlowRate:    0.3,
+		StepPanicRate:     0.3,
+		AllocPressureRate: 0.3,
+	}
+	a := drawSequence(New(7, opts), 200)
+	b := drawSequence(New(7, opts), 200)
+	for k := range a {
+		for i := range a[k] {
+			if a[k][i] != b[k][i] {
+				t.Fatalf("hook %d draw %d differs between same-seed injectors", k, i)
+			}
+		}
+	}
+	c := drawSequence(New(8, opts), 200)
+	same := true
+	for k := range a {
+		for i := range a[k] {
+			if a[k][i] != c[k][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical draw sequences")
+	}
+}
+
+// TestStreamsIndependent: each hook has its own rand stream, so the draw
+// sequence of one hook must not depend on how often the others are
+// consulted (engines interleave hooks unpredictably).
+func TestStreamsIndependent(t *testing.T) {
+	opts := Options{SolverUnknownRate: 0.5, StepPanicRate: 0.5}
+	a := New(3, opts)
+	b := New(3, opts)
+	var seqA, seqB []bool
+	for i := 0; i < 100; i++ {
+		seqA = append(seqA, a.SolverUnknown())
+	}
+	for i := 0; i < 100; i++ {
+		b.StepPanic("x") // extra draws on an unrelated stream
+		seqB = append(seqB, b.SolverUnknown())
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("solver-unknown stream perturbed by step-panic draws at %d", i)
+		}
+	}
+}
+
+func TestRatesZeroAndOne(t *testing.T) {
+	never := New(1, Options{})
+	always := New(1, Options{
+		SolverUnknownRate: 1, SolverSlowRate: 1,
+		StepPanicRate: 1, AllocPressureRate: 1,
+	})
+	for i := 0; i < 50; i++ {
+		if never.SolverUnknown() || never.StepPanic("f") || never.AllocPhantom() != 0 {
+			t.Fatal("rate-0 injector fired")
+		}
+		if _, slow := never.SolverSlow(); slow {
+			t.Fatal("rate-0 solver-slow fired")
+		}
+		if !always.SolverUnknown() || !always.StepPanic("f") || always.AllocPhantom() == 0 {
+			t.Fatal("rate-1 injector did not fire")
+		}
+		if _, slow := always.SolverSlow(); !slow {
+			t.Fatal("rate-1 solver-slow did not fire")
+		}
+	}
+	c := always.Counts()
+	if c.SolverUnknown != 50 || c.SolverSlow != 50 || c.StepPanic != 50 || c.AllocPressure != 50 {
+		t.Fatalf("counts = %+v, want 50 each", c)
+	}
+}
+
+func TestStepPanicFuncFilter(t *testing.T) {
+	inj := New(1, Options{StepPanicRate: 1, StepPanicFunc: "target"})
+	for i := 0; i < 20; i++ {
+		if inj.StepPanic("other") {
+			t.Fatal("fired for non-target function")
+		}
+	}
+	if !inj.StepPanic("target") {
+		t.Fatal("did not fire for target function")
+	}
+}
+
+func TestNilInjectorSafe(t *testing.T) {
+	var inj *Injector
+	if inj.SolverUnknown() || inj.StepPanic("f") || inj.AllocPhantom() != 0 {
+		t.Fatal("nil injector fired")
+	}
+	if _, slow := inj.SolverSlow(); slow {
+		t.Fatal("nil injector slow fired")
+	}
+	if c := inj.Counts(); c != (Counts{}) {
+		t.Fatal("nil injector has counts")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	inj, err := ParseSpec("solver-unknown=0.5,solver-slow=0.25:2ms,step-panic=0.1,alloc-pressure=1:4096", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := inj.Opts()
+	if o.SolverUnknownRate != 0.5 || o.SolverSlowRate != 0.25 || o.StepPanicRate != 0.1 || o.AllocPressureRate != 1 {
+		t.Fatalf("rates wrong: %+v", o)
+	}
+	if o.SolverSlowDelay != 2*time.Millisecond {
+		t.Fatalf("slow delay = %v, want 2ms", o.SolverSlowDelay)
+	}
+	if o.AllocPhantomBytes != 4096 {
+		t.Fatalf("phantom bytes = %d, want 4096", o.AllocPhantomBytes)
+	}
+
+	if _, err := ParseSpec("step-panic=0.1:boom", 9); err == nil {
+		t.Error("step-panic with arg should error")
+	}
+	if _, err := ParseSpec("nope=1", 9); err == nil {
+		t.Error("unknown key should error")
+	}
+	if _, err := ParseSpec("solver-unknown=2", 9); err == nil {
+		t.Error("rate > 1 should error")
+	}
+	if _, err := ParseSpec("solver-unknown", 9); err == nil {
+		t.Error("missing value should error")
+	}
+}

@@ -60,12 +60,13 @@ type CoveragePoint struct {
 
 // PhaseStat summarises the work done in one phase.
 type PhaseStat struct {
-	ID         int
-	Trap       bool
-	SeedStates int
-	Steps      int64
-	NewBlocks  int
-	Bugs       int
+	ID          int
+	Trap        bool
+	SeedStates  int
+	Steps       int64
+	NewBlocks   int
+	Bugs        int
+	Quarantines int // states of this phase terminated by the panic boundary
 }
 
 // Result is the outcome of a pbSE run.
@@ -84,6 +85,10 @@ type Result struct {
 	// Executor exposes the underlying engine for inspection (coverage
 	// sets, solver stats).
 	Executor *symex.Executor
+	// Gov holds the resource-governance counters for the whole run
+	// (solver Unknowns and retries, degradations to concretization,
+	// quarantined states, memory-pressure evictions).
+	Gov symex.GovStats
 }
 
 // phasePool is the per-phase state pool driven by Algorithm 3.
@@ -183,6 +188,7 @@ func Run(prog *ir.Program, seed []byte, opts Options, exOpts symex.Options) (*Re
 	}
 	res.Covered = ex.NumCovered()
 	res.Bugs = ex.Bugs.Reports()
+	res.Gov = ex.Gov()
 	// bugs detected during the concolic step carry no phase yet;
 	// attribute them to the phase containing their detection time
 	for _, b := range res.Bugs {
@@ -324,6 +330,9 @@ func runPhaseTurn(ex *symex.Executor, pool *phasePool, opts Options, rng *rand.R
 		// updateStates: forked states stay in this phase's pool
 		pool.states = append(pool.states, r.Added...)
 		if r.Terminated {
+			if r.Reason == symex.TermQuarantined {
+				pool.stat.Quarantines++
+			}
 			pool.states[idx] = pool.states[len(pool.states)-1]
 			pool.states = pool.states[:len(pool.states)-1]
 		}

@@ -1,8 +1,6 @@
 package solver
 
 import (
-	"fmt"
-
 	"pbse/internal/expr"
 )
 
@@ -66,7 +64,7 @@ func (b *blaster) blast(e *expr.Expr) []Lit {
 	}
 	ls := b.blast1(e)
 	if uint(len(ls)) != e.Width() {
-		panic(fmt.Sprintf("solver: blast width mismatch for %v: got %d want %d", e, len(ls), e.Width()))
+		throwInternal("blast width mismatch for %v: got %d want %d", e, len(ls), e.Width())
 	}
 	b.memo[e] = ls
 	return ls
@@ -190,7 +188,8 @@ func (b *blaster) blast1(e *expr.Expr) []Lit {
 		}
 		return ls
 	default:
-		panic("solver: blast: unknown kind " + e.Kind().String())
+		throwInternal("blast: unknown kind %s", e.Kind())
+		return nil // unreachable
 	}
 }
 

@@ -111,7 +111,7 @@ func TestSeedBoundsContradiction(t *testing.T) {
 	arr := expr.NewArray("in", 2)
 	x := c.ReadLE(arr, 0, 2)
 	s := New(Options{DisableCandidates: true, DisableCache: true})
-	r, _ := s.Check([]*expr.Expr{
+	r, _, _ := s.Check([]*expr.Expr{
 		c.UltE(c.Const(100, 16), x), // x > 100
 		c.UltE(x, c.Const(50, 16)),  // x < 50
 	}, nil)
@@ -130,7 +130,7 @@ func TestSeededIntervalRefutesLoopExit(t *testing.T) {
 	arr := expr.NewArray("in", 2)
 	n := c.ZExtE(c.ReadLE(arr, 0, 2), 32)
 	s := New(Options{DisableCandidates: true, DisableCache: true})
-	r, _ := s.Check([]*expr.Expr{
+	r, _, _ := s.Check([]*expr.Expr{
 		c.NotB(c.UltE(c.Const(3, 32), n)), // n <= 3
 		c.UltE(c.Const(7, 32), n),         // query: n > 7
 	}, nil)
@@ -160,8 +160,8 @@ func TestIncrementalMatchesFresh(t *testing.T) {
 		for i := 0; i < 1+rng.Intn(3); i++ {
 			cs = append(cs, pool[rng.Intn(len(pool))])
 		}
-		r1, m1 := inc.Check(cs, nil)
-		r2, _ := fresh.Check(cs, nil)
+		r1, m1, _ := inc.Check(cs, nil)
+		r2, _, _ := fresh.Check(cs, nil)
 		if r1 != r2 {
 			t.Fatalf("query %d: incremental=%v fresh=%v for %v", q, r1, r2, cs)
 		}
@@ -198,8 +198,9 @@ func TestFeasibleMatchesMayBeTrue(t *testing.T) {
 		cond := expr.RandBoolExpr(c, rng, arr, 2)
 		s1 := New(Options{})
 		s2 := New(Options{})
-		got := s1.Feasible(pc, cond, nil)
-		want, _ := s2.MayBeTrue(pc, cond, nil)
+		gotR, _ := s1.Feasible(pc, cond, nil)
+		got := gotR == Sat
+		want, _, _ := s2.MayBeTrue(pc, cond, nil)
 		if got != want {
 			t.Fatalf("iter %d: Feasible=%v MayBeTrue=%v\npc: %v\ncond: %v", iter, got, want, pc, cond)
 		}

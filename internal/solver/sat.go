@@ -7,9 +7,25 @@
 // bit-blasting to CNF, and a CDCL SAT solver with two-watched-literal
 // propagation, VSIDS-style activities, first-UIP clause learning and Luby
 // restarts.
+//
+// # Panic and error policy
+//
+// A solver query must never take down the engine: a caller holding a
+// live execution state can always recover from "the solver proved
+// nothing" by degrading (retry, concretize, drop the query). So every
+// internal-invariant violation inside a query — a bit-blast width
+// mismatch, an unloweable expression kind, a failed CDCL enqueue — is
+// raised as an *InternalError via throwInternal and recovered at the
+// satCheck/satCheckIncremental boundary, where it becomes an Unknown
+// verdict with the error attached. Plain panics are reserved for true
+// programmer errors at the API edge (malformed expressions constructed
+// outside this package), which no caller can meaningfully handle.
 package solver
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Lit is a SAT literal: variable v has positive literal v<<1 and negative
 // literal v<<1|1.
@@ -66,12 +82,24 @@ type sat struct {
 	propagations int64
 	maxConflicts int64
 
+	// deadline bounds the wall clock of the current solveWith call (zero
+	// means none); undefReason records why the last call returned lUndef.
+	deadline    time.Time
+	undefReason int8
+
 	// assumps are the assumption literals of the current solveWith call;
 	// they are decided first, one per decision level.
 	assumps []Lit
 
 	ok bool // false once a top-level conflict is found
 }
+
+// Reasons for an lUndef verdict from solveWith.
+const (
+	undefNone int8 = iota
+	undefBudget
+	undefDeadline
+)
 
 func newSAT() *sat {
 	return &sat{varInc: 1, ok: true, maxConflicts: 1 << 62}
@@ -218,7 +246,7 @@ func (s *sat) propagate() int32 {
 				break
 			}
 			if !s.enqueue(cl[0], w.clause) {
-				panic("solver: enqueue of unit literal failed")
+				throwInternal("enqueue of unit literal failed")
 			}
 		}
 		s.watches[p] = kept
@@ -353,6 +381,11 @@ func (s *sat) solveWith(assumps []Lit, budget int64) int8 {
 	if !s.ok {
 		return lFalse
 	}
+	s.undefReason = undefNone
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		s.undefReason = undefDeadline
+		return lUndef
+	}
 	if c := s.propagate(); c >= 0 {
 		s.ok = false
 		return lFalse
@@ -362,14 +395,22 @@ func (s *sat) solveWith(assumps []Lit, budget int64) int8 {
 	var restartNum int64 = 1
 	conflictsThisRestart := int64(0)
 	restartBudget := luby(restartNum) * 64
+	var iter int64
 
 	for {
+		iter++
+		if iter&255 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			s.reset()
+			s.undefReason = undefDeadline
+			return lUndef
+		}
 		conflict := s.propagate()
 		if conflict >= 0 {
 			s.conflicts++
 			conflictsThisRestart++
 			if s.conflicts-startConflicts > budget {
 				s.reset()
+				s.undefReason = undefBudget
 				return lUndef
 			}
 			if s.decisionLevel() == 0 {
@@ -431,7 +472,7 @@ func (s *sat) solveWith(assumps []Lit, budget int64) int8 {
 			default:
 				s.trailLim = append(s.trailLim, len(s.trail))
 				if !s.enqueue(p, -1) {
-					panic("solver: assumption enqueue failed")
+					throwInternal("assumption enqueue failed")
 				}
 				continue
 			}
@@ -443,7 +484,7 @@ func (s *sat) solveWith(assumps []Lit, budget int64) int8 {
 		s.decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
 		if !s.enqueue(mkLit(v, !s.polarity[v]), -1) {
-			panic("solver: decision enqueue failed")
+			throwInternal("decision enqueue failed")
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"pbse/internal/expr"
 )
@@ -38,6 +39,25 @@ type Stats struct {
 	IntervalFast int64 // decided by interval reasoning
 	SATRuns      int64 // fell through to bit-blasting + CDCL
 	Conflicts    int64
+
+	// Resource-governance counters: Unknown verdicts by cause.
+	Unknowns          int64 // total Unknown verdicts returned
+	BudgetExhausted   int64 // Unknowns from the conflict budget
+	DeadlineExceeded  int64 // Unknowns from the wall-clock deadline
+	InjectedUnknowns  int64 // Unknowns forced by fault injection
+	InternalRecovered int64 // internal invariant violations degraded to Unknown
+}
+
+// Injector is the fault-injection surface the solver consults (see
+// package faultinject, which implements it). A nil injector injects
+// nothing.
+type Injector interface {
+	// SolverUnknown reports whether this query should give up with
+	// Unknown.
+	SolverUnknown() bool
+	// SolverSlow returns a wall-clock stall for this query and whether
+	// the fault fired.
+	SolverSlow() (time.Duration, bool)
 }
 
 // Options configure the solver; the zero value enables every fast path.
@@ -52,6 +72,14 @@ type Options struct {
 	// on parser workloads.
 	Incremental  bool
 	MaxConflicts int64 // 0 means a generous default
+	// QueryDeadline bounds the wall clock of one Check call's SAT search
+	// (0 means none). An expired deadline yields Unknown with
+	// ErrDeadlineExceeded; cheap fast paths (candidates, intervals) are
+	// never cut short.
+	QueryDeadline time.Duration
+	// Injector, when non-nil, is consulted per query for injected faults
+	// (see package faultinject).
+	Injector Injector
 }
 
 // Solver decides constraint sets built in one expr.Context. It is not safe
@@ -77,6 +105,11 @@ type Solver struct {
 	// constraints' output literals)
 	psat   *sat
 	pblast *blaster
+
+	// queryDeadline is the wall-clock deadline of the Check call in
+	// progress (zero when none); set once per query so every sliced
+	// sub-solve shares it.
+	queryDeadline time.Time
 }
 
 // candidate pairs an assignment with a persistent memoising evaluator:
@@ -127,21 +160,23 @@ func (s *Solver) readsOf(e *expr.Expr) []expr.SymByte {
 	return r
 }
 
-// Feasible reports whether pc ∧ cond is satisfiable. It exploits the
+// Feasible decides whether pc ∧ cond is satisfiable. It exploits the
 // executor's invariant that pc alone is satisfiable: only the constraints
 // sharing symbolic bytes (transitively) with cond need to be rechecked,
-// which keeps branch-feasibility queries small on deep paths.
-func (s *Solver) Feasible(pc []*expr.Expr, cond *expr.Expr, hint expr.Assignment) bool {
+// which keeps branch-feasibility queries small on deep paths. On Unknown
+// the error carries the cause (ErrBudgetExhausted, ErrDeadlineExceeded,
+// ErrInjected, or an *InternalError).
+func (s *Solver) Feasible(pc []*expr.Expr, cond *expr.Expr, hint expr.Assignment) (Result, error) {
 	if cond.IsTrue() {
-		return true
+		return Sat, nil
 	}
 	if cond.IsFalse() {
-		return false
+		return Unsat, nil
 	}
 	slice := s.relevantSlice(pc, cond)
 	slice = append(slice, cond)
-	r, _ := s.Check(slice, hint)
-	return r == Sat
+	r, _, err := s.Check(slice, hint)
+	return r, err
 }
 
 // relevantSlice returns the constraints of pc transitively connected to
@@ -192,7 +227,7 @@ func (s *Solver) relevantSlice(pc []*expr.Expr, cond *expr.Expr) []*expr.Expr {
 // state is live) and the remaining groups are independent of e's bytes.
 func (s *Solver) ConcretizeModel(pc []*expr.Expr, e *expr.Expr) (expr.Assignment, bool) {
 	slice := s.relevantSlice(pc, e)
-	r, m := s.Check(slice, nil)
+	r, m, _ := s.Check(slice, nil)
 	if r != Sat {
 		return nil, false
 	}
@@ -202,12 +237,40 @@ func (s *Solver) ConcretizeModel(pc []*expr.Expr, e *expr.Expr) (expr.Assignment
 // Stats returns a copy of the accumulated counters.
 func (s *Solver) Stats() Stats { return s.stats }
 
+// MaxConflicts returns the current per-query conflict budget.
+func (s *Solver) MaxConflicts() int64 { return s.opts.MaxConflicts }
+
+// SetMaxConflicts replaces the per-query conflict budget and returns the
+// previous one. Callers use it to escalate the budget when retrying an
+// Unknown query, restoring the old value afterwards.
+func (s *Solver) SetMaxConflicts(n int64) int64 {
+	prev := s.opts.MaxConflicts
+	if n > 0 {
+		s.opts.MaxConflicts = n
+	}
+	return prev
+}
+
 // Check decides whether the conjunction of constraints is satisfiable. On
 // Sat the returned assignment satisfies every constraint. hint, when
 // non-nil, is tried as the first candidate model (the concolic shadow
-// state uses this).
-func (s *Solver) Check(constraints []*expr.Expr, hint expr.Assignment) (Result, expr.Assignment) {
+// state uses this). On Unknown the error reports why the solver gave up:
+// ErrBudgetExhausted, ErrDeadlineExceeded, ErrInjected, or an
+// *InternalError (a recovered invariant violation). Unknown results are
+// never cached, so a retry with a bigger budget gets a fresh search.
+func (s *Solver) Check(constraints []*expr.Expr, hint expr.Assignment) (Result, expr.Assignment, error) {
 	s.stats.Queries++
+
+	if inj := s.opts.Injector; inj != nil {
+		if inj.SolverUnknown() {
+			s.stats.Unknowns++
+			s.stats.InjectedUnknowns++
+			return Unknown, nil, ErrInjected
+		}
+		if d, ok := inj.SolverSlow(); ok {
+			time.Sleep(d) // an armed QueryDeadline trips in the SAT loop
+		}
+	}
 
 	// trivial scan
 	live := make([]*expr.Expr, 0, len(constraints))
@@ -216,12 +279,12 @@ func (s *Solver) Check(constraints []*expr.Expr, hint expr.Assignment) (Result, 
 			continue
 		}
 		if c.IsFalse() {
-			return Unsat, nil
+			return Unsat, nil, nil
 		}
 		live = append(live, c)
 	}
 	if len(live) == 0 {
-		return Sat, expr.Assignment{}
+		return Sat, expr.Assignment{}, nil
 	}
 	live = reduceBounds(live)
 
@@ -230,7 +293,7 @@ func (s *Solver) Check(constraints []*expr.Expr, hint expr.Assignment) (Result, 
 		key = cacheKey(live)
 		if e, ok := s.cache[key]; ok {
 			s.stats.CacheHits++
-			return e.result, e.model
+			return e.result, e.model, nil
 		}
 	}
 
@@ -238,7 +301,7 @@ func (s *Solver) Check(constraints []*expr.Expr, hint expr.Assignment) (Result, 
 		if m, ok := s.tryCandidates(live, hint); ok {
 			s.stats.CandidateSat++
 			s.remember(key, Sat, m)
-			return Sat, m
+			return Sat, m, nil
 		}
 	}
 
@@ -246,32 +309,42 @@ func (s *Solver) Check(constraints []*expr.Expr, hint expr.Assignment) (Result, 
 		if r := intervalCheck(live); r == Unsat {
 			s.stats.IntervalFast++
 			s.remember(key, Unsat, nil)
-			return Unsat, nil
+			return Unsat, nil, nil
 		}
 	}
 
+	if s.opts.QueryDeadline > 0 {
+		s.queryDeadline = time.Now().Add(s.opts.QueryDeadline)
+	} else {
+		s.queryDeadline = time.Time{}
+	}
 	var res Result
 	var model expr.Assignment
+	var err error
 	if s.opts.DisableSlicing {
-		res, model = s.satCheck(live)
+		res, model, err = s.satCheck(live)
 	} else {
-		res, model = s.checkSliced(live)
+		res, model, err = s.checkSliced(live)
 	}
 	s.remember(key, res, model)
 	if res == Sat {
 		s.keepRecent(model)
 	}
-	return res, model
+	if res == Unknown {
+		s.stats.Unknowns++
+	}
+	return res, model, err
 }
 
 // MayBeTrue reports whether cond can hold under the path constraints; on
-// true the model is a witness.
-func (s *Solver) MayBeTrue(pc []*expr.Expr, cond *expr.Expr, hint expr.Assignment) (bool, expr.Assignment) {
+// true the model is a witness. A non-nil error means the verdict was
+// Unknown (reported as "no") and carries the cause.
+func (s *Solver) MayBeTrue(pc []*expr.Expr, cond *expr.Expr, hint expr.Assignment) (bool, expr.Assignment, error) {
 	cs := make([]*expr.Expr, 0, len(pc)+1)
 	cs = append(cs, pc...)
 	cs = append(cs, cond)
-	r, m := s.Check(cs, hint)
-	return r == Sat, m
+	r, m, err := s.Check(cs, hint)
+	return r == Sat, m, err
 }
 
 // reduceBounds collapses redundant unsigned range constraints over the
@@ -400,7 +473,7 @@ func reduceBounds(live []*expr.Expr) []*expr.Expr {
 
 // checkSliced partitions constraints into independent groups (no shared
 // symbolic bytes) and solves each group separately, merging the models.
-func (s *Solver) checkSliced(constraints []*expr.Expr) (Result, expr.Assignment) {
+func (s *Solver) checkSliced(constraints []*expr.Expr) (Result, expr.Assignment, error) {
 	groups := sliceIndependent(constraints)
 	if len(groups) <= 1 {
 		return s.satCheck(constraints)
@@ -412,9 +485,9 @@ func (s *Solver) checkSliced(constraints []*expr.Expr) (Result, expr.Assignment)
 	// cache and must never be mutated.
 	merged := expr.Assignment{}
 	for _, g := range groups {
-		r, m := s.cachedSatCheck(g)
+		r, m, err := s.cachedSatCheck(g)
 		if r != Sat {
-			return r, nil
+			return r, nil, err
 		}
 		for _, c := range g {
 			for _, sb := range s.readsOf(c) {
@@ -427,29 +500,55 @@ func (s *Solver) checkSliced(constraints []*expr.Expr) (Result, expr.Assignment)
 			}
 		}
 	}
-	return Sat, merged
+	return Sat, merged, nil
 }
 
 // cachedSatCheck consults the query cache per independent group before
 // bit-blasting — groups repeat heavily across queries on one path.
-func (s *Solver) cachedSatCheck(constraints []*expr.Expr) (Result, expr.Assignment) {
+func (s *Solver) cachedSatCheck(constraints []*expr.Expr) (Result, expr.Assignment, error) {
 	key := ""
 	if !s.opts.DisableCache {
 		key = cacheKey(constraints)
 		if e, ok := s.cache[key]; ok {
 			s.stats.CacheHits++
-			return e.result, e.model
+			return e.result, e.model, nil
 		}
 	}
-	r, m := s.satCheck(constraints)
+	r, m, err := s.satCheck(constraints)
 	s.remember(key, r, m)
-	return r, m
+	return r, m, err
+}
+
+// undefError maps a SAT instance's lUndef reason to the public cause.
+func (s *Solver) undefError(st *sat) error {
+	if st.undefReason == undefDeadline {
+		s.stats.DeadlineExceeded++
+		return ErrDeadlineExceeded
+	}
+	s.stats.BudgetExhausted++
+	return ErrBudgetExhausted
+}
+
+// recoverInternal converts an *InternalError panic raised below the
+// query boundary into an Unknown verdict (see the package panic policy).
+func (s *Solver) recoverInternal(res *Result, model *expr.Assignment, err *error) {
+	p := recover()
+	if p == nil {
+		return
+	}
+	ie, ok := p.(*InternalError)
+	if !ok {
+		panic(p)
+	}
+	s.stats.InternalRecovered++
+	*res, *model, *err = Unknown, nil, ie
 }
 
 // satCheck decides a constraint set by bit-blasting + CDCL: incrementally
 // against the persistent instance by default, or with a fresh instance
 // when DisableIncremental is set.
-func (s *Solver) satCheck(constraints []*expr.Expr) (Result, expr.Assignment) {
+func (s *Solver) satCheck(constraints []*expr.Expr) (res Result, model expr.Assignment, err error) {
+	defer s.recoverInternal(&res, &model, &err)
 	s.stats.SATRuns++
 	// Large constraint sets use the persistent incremental instance:
 	// their circuits are built once and reused across queries, which
@@ -461,6 +560,7 @@ func (s *Solver) satCheck(constraints []*expr.Expr) (Result, expr.Assignment) {
 		return s.satCheckIncremental(constraints)
 	}
 	st := newSAT()
+	st.deadline = s.queryDeadline
 	bl := newBlaster(st)
 	for _, c := range constraints {
 		bl.assertTrue(c)
@@ -468,24 +568,26 @@ func (s *Solver) satCheck(constraints []*expr.Expr) (Result, expr.Assignment) {
 	switch st.solveWith(nil, s.opts.MaxConflicts) {
 	case lFalse:
 		s.stats.Conflicts += st.conflicts
-		return Unsat, nil
+		return Unsat, nil, nil
 	case lUndef:
 		s.stats.Conflicts += st.conflicts
-		return Unknown, nil
+		return Unknown, nil, s.undefError(st)
 	}
 	s.stats.Conflicts += st.conflicts
-	return Sat, extractModel(bl)
+	return Sat, extractModel(bl), nil
 }
 
 // satCheckIncremental solves against the shared instance: each distinct
 // constraint is blasted once (Tseitin gates are biconditional, so an
 // unasserted constraint leaves the formula unconstrained), and the query
 // assumes the constraints' output literals.
-func (s *Solver) satCheckIncremental(constraints []*expr.Expr) (Result, expr.Assignment) {
+func (s *Solver) satCheckIncremental(constraints []*expr.Expr) (res Result, model expr.Assignment, err error) {
+	defer s.recoverInternal(&res, &model, &err)
 	if s.psat == nil {
 		s.psat = newSAT()
 		s.pblast = newBlaster(s.psat)
 	}
+	s.psat.deadline = s.queryDeadline
 	assumps := make([]Lit, len(constraints))
 	for i, c := range constraints {
 		assumps[i] = s.pblast.blast(c)[0]
@@ -501,13 +603,13 @@ func (s *Solver) satCheckIncremental(constraints []*expr.Expr) (Result, expr.Ass
 			s.psat = nil
 			s.pblast = nil
 		}
-		return Unsat, nil
+		return Unsat, nil, nil
 	case lUndef:
-		return Unknown, nil
+		return Unknown, nil, s.undefError(s.psat)
 	}
 	asn := extractModel(s.pblast)
 	s.psat.reset()
-	return Sat, asn
+	return Sat, asn, nil
 }
 
 // extractModel reads the byte assignment out of a blaster whose SAT
@@ -664,6 +766,11 @@ func assignForced(asn expr.Assignment, e *expr.Expr, val uint64) bool {
 
 func (s *Solver) remember(key string, r Result, m expr.Assignment) {
 	if s.opts.DisableCache || key == "" {
+		return
+	}
+	if r == Unknown {
+		// "gave up" is not a fact about the query: caching it would make
+		// budget-escalated retries hit the cache and fail forever
 		return
 	}
 	if len(s.cache) > 100000 {

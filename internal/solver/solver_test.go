@@ -1,8 +1,10 @@
 package solver
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"pbse/internal/expr"
 )
@@ -18,7 +20,7 @@ func noFastPaths() *Solver {
 func TestTriviallySat(t *testing.T) {
 	c := expr.NewContext()
 	s := newTestSolver()
-	r, m := s.Check([]*expr.Expr{c.True()}, nil)
+	r, m, _ := s.Check([]*expr.Expr{c.True()}, nil)
 	if r != Sat || m == nil {
 		t.Fatalf("true should be sat, got %v", r)
 	}
@@ -27,7 +29,7 @@ func TestTriviallySat(t *testing.T) {
 func TestTriviallyUnsat(t *testing.T) {
 	c := expr.NewContext()
 	s := newTestSolver()
-	r, _ := s.Check([]*expr.Expr{c.False()}, nil)
+	r, _, _ := s.Check([]*expr.Expr{c.False()}, nil)
 	if r != Unsat {
 		t.Fatalf("false should be unsat, got %v", r)
 	}
@@ -38,7 +40,7 @@ func TestSimpleByteConstraint(t *testing.T) {
 	arr := expr.NewArray("in", 4)
 	s := noFastPaths()
 	b0 := c.ByteAt(arr, 0)
-	r, m := s.Check([]*expr.Expr{c.EqE(b0, c.Const(0x7f, 8))}, nil)
+	r, m, _ := s.Check([]*expr.Expr{c.EqE(b0, c.Const(0x7f, 8))}, nil)
 	if r != Sat {
 		t.Fatalf("got %v, want sat", r)
 	}
@@ -52,7 +54,7 @@ func TestContradiction(t *testing.T) {
 	arr := expr.NewArray("in", 4)
 	s := noFastPaths()
 	b0 := c.ByteAt(arr, 0)
-	r, _ := s.Check([]*expr.Expr{
+	r, _, _ := s.Check([]*expr.Expr{
 		c.EqE(b0, c.Const(1, 8)),
 		c.EqE(b0, c.Const(2, 8)),
 	}, nil)
@@ -97,13 +99,13 @@ func TestArithmeticGates(t *testing.T) {
 					c.EqE(c.ByteAt(arr, 1), c.Const(uint64(bs[1]), 8)),
 					c.EqE(tt.give, c.Const(want, 16)),
 				}
-				if r, _ := s.Check(cs, nil); r != Sat {
+				if r, _, _ := s.Check(cs, nil); r != Sat {
 					t.Fatalf("inputs %v: op==%#x should be sat, got %v", bs, want, r)
 				}
 				// ... and to differ from it must be unsat
 				s2 := noFastPaths()
 				cs[2] = c.NeE(tt.give, c.Const(want, 16))
-				if r, _ := s2.Check(cs, nil); r != Unsat {
+				if r, _, _ := s2.Check(cs, nil); r != Unsat {
 					t.Fatalf("inputs %v: op!=%#x should be unsat, got %v", bs, want, r)
 				}
 			}
@@ -122,7 +124,7 @@ func TestBitblastAgreesWithEval(t *testing.T) {
 	for i := 0; i < 120; i++ {
 		e := expr.RandBoolExpr(c, rng, arr, 3)
 		s := noFastPaths()
-		r, m := s.Check([]*expr.Expr{e}, nil)
+		r, m, _ := s.Check([]*expr.Expr{e}, nil)
 		switch r {
 		case Sat:
 			ev := expr.NewEvaluator(m)
@@ -156,7 +158,7 @@ func TestModelsSatisfyConstraints(t *testing.T) {
 			cs[j] = expr.RandBoolExpr(c, rng, arr, 3)
 		}
 		s := newTestSolver() // all fast paths on
-		r, m := s.Check(cs, nil)
+		r, m, _ := s.Check(cs, nil)
 		if r != Sat {
 			continue
 		}
@@ -177,8 +179,8 @@ func TestFastPathsAgreeWithSAT(t *testing.T) {
 		e := expr.RandBoolExpr(c, rng, arr, 3)
 		fast := newTestSolver()
 		slow := noFastPaths()
-		r1, _ := fast.Check([]*expr.Expr{e}, nil)
-		r2, _ := slow.Check([]*expr.Expr{e}, nil)
+		r1, _, _ := fast.Check([]*expr.Expr{e}, nil)
+		r2, _, _ := slow.Check([]*expr.Expr{e}, nil)
 		if r1 != r2 {
 			t.Fatalf("iter %d: fast=%v slow=%v for %v", i, r1, r2, e)
 		}
@@ -196,7 +198,7 @@ func TestCandidateFastPathAvoidsSAT(t *testing.T) {
 		c.EqE(c.ByteAt(arr, 1), c.Const('E', 8)),
 		c.EqE(c.ReadLE(arr, 2, 2), c.Const(0x0102, 16)),
 	}
-	r, m := s.Check(cs, nil)
+	r, m, _ := s.Check(cs, nil)
 	if r != Sat {
 		t.Fatalf("got %v, want sat", r)
 	}
@@ -215,7 +217,7 @@ func TestHintUsedAsCandidate(t *testing.T) {
 	x := c.ZExtE(c.ByteAt(arr, 0), 32)
 	cond := c.EqE(c.Mul(x, x), c.Const(49, 32)) // x*x == 49
 	hint := expr.Assignment{arr: []byte{7, 0}}
-	r, m := s.Check([]*expr.Expr{cond}, hint)
+	r, m, _ := s.Check([]*expr.Expr{cond}, hint)
 	if r != Sat {
 		t.Fatalf("got %v, want sat", r)
 	}
@@ -245,7 +247,7 @@ func TestIntervalUnsatFastPath(t *testing.T) {
 	s := New(Options{DisableCandidates: true, DisableCache: true})
 	// zext(byte) can never exceed 255
 	e := c.UltE(c.Const(300, 32), c.ZExtE(c.ByteAt(arr, 0), 32))
-	r, _ := s.Check([]*expr.Expr{e}, nil)
+	r, _, _ := s.Check([]*expr.Expr{e}, nil)
 	if r != Unsat {
 		t.Fatalf("got %v, want unsat", r)
 	}
@@ -267,7 +269,7 @@ func TestIndependenceSlicing(t *testing.T) {
 		t.Fatalf("got %d groups, want 2", len(groups))
 	}
 	s := New(Options{DisableCandidates: true, DisableCache: true, DisableIntervals: true})
-	r, m := s.Check(cs, nil)
+	r, m, _ := s.Check(cs, nil)
 	if r != Sat {
 		t.Fatalf("got %v, want sat", r)
 	}
@@ -299,14 +301,14 @@ func TestMayBeTrue(t *testing.T) {
 	arr := expr.NewArray("in", 2)
 	s := newTestSolver()
 	pc := []*expr.Expr{c.UltE(c.ByteAt(arr, 0), c.Const(10, 8))}
-	ok, m := s.MayBeTrue(pc, c.EqE(c.ByteAt(arr, 0), c.Const(5, 8)), nil)
+	ok, m, _ := s.MayBeTrue(pc, c.EqE(c.ByteAt(arr, 0), c.Const(5, 8)), nil)
 	if !ok {
 		t.Fatal("byte<10 && byte==5 should be satisfiable")
 	}
 	if m.ByteOf(arr, 0) != 5 {
 		t.Errorf("witness byte = %d, want 5", m.ByteOf(arr, 0))
 	}
-	ok, _ = s.MayBeTrue(pc, c.EqE(c.ByteAt(arr, 0), c.Const(20, 8)), nil)
+	ok, _, _ = s.MayBeTrue(pc, c.EqE(c.ByteAt(arr, 0), c.Const(20, 8)), nil)
 	if ok {
 		t.Error("byte<10 && byte==20 should be unsatisfiable")
 	}
@@ -325,7 +327,7 @@ func TestUnknownOnConflictBudget(t *testing.T) {
 		c.UltE(c.Const(0xff, 16), y),
 	}
 	s := New(Options{DisableCache: true, DisableCandidates: true, DisableIntervals: true, DisableSlicing: true, MaxConflicts: 1})
-	r, _ := s.Check(cs, nil)
+	r, _, err := s.Check(cs, nil)
 	if r == Sat {
 		// a lucky first assignment is possible but should not happen with
 		// deterministic phase-saving defaults; accept only unknown/unsat
@@ -333,6 +335,92 @@ func TestUnknownOnConflictBudget(t *testing.T) {
 	}
 	if r == Unsat {
 		t.Fatalf("constraint is satisfiable (0xBEEF = 3*0x3FA5...), got unsat")
+	}
+	if r == Unknown {
+		if !errors.Is(err, ErrBudgetExhausted) {
+			t.Fatalf("Unknown must carry ErrBudgetExhausted, got %v", err)
+		}
+		if s.Stats().BudgetExhausted == 0 || s.Stats().Unknowns == 0 {
+			t.Errorf("budget-exhausted stats not counted: %+v", s.Stats())
+		}
+	}
+}
+
+// hardFactoringQuery returns a constraint set that needs real CDCL search
+// (the 0xBEEF factoring query of TestUnknownOnConflictBudget).
+func hardFactoringQuery(c *expr.Context, arr *expr.Array) []*expr.Expr {
+	x := c.ReadLE(arr, 0, 2)
+	y := c.ReadLE(arr, 2, 2)
+	return []*expr.Expr{
+		c.EqE(c.Mul(x, y), c.Const(0xBEEF, 16)),
+		c.UltE(c.Const(0xff, 16), x),
+		c.UltE(c.Const(0xff, 16), y),
+	}
+}
+
+func TestUnknownNotCached(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 4)
+	cs := hardFactoringQuery(c, arr)
+	s := New(Options{DisableCandidates: true, DisableIntervals: true, DisableSlicing: true, MaxConflicts: 1})
+	r, _, err := s.Check(cs, nil)
+	if r != Unknown {
+		t.Skipf("query decided within 1 conflict (r=%v); cannot exercise retry", r)
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	// escalate the budget and retry: a cached Unknown would return
+	// instantly with the same verdict
+	s.SetMaxConflicts(1_000_000)
+	r, m, err := s.Check(cs, nil)
+	if r != Sat {
+		t.Fatalf("escalated retry got %v (err=%v), want sat", r, err)
+	}
+	ev := expr.NewEvaluator(m)
+	for _, cst := range cs {
+		if !ev.EvalBool(cst) {
+			t.Fatalf("retry model does not satisfy %v", cst)
+		}
+	}
+}
+
+func TestQueryDeadlineExceeded(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 4)
+	cs := hardFactoringQuery(c, arr)
+	s := New(Options{
+		DisableCache: true, DisableCandidates: true, DisableIntervals: true,
+		DisableSlicing: true, QueryDeadline: time.Nanosecond,
+	})
+	r, _, err := s.Check(cs, nil)
+	if r != Unknown {
+		t.Fatalf("got %v, want unknown under a 1ns deadline", r)
+	}
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if s.Stats().DeadlineExceeded == 0 {
+		t.Errorf("deadline stats not counted: %+v", s.Stats())
+	}
+}
+
+// alwaysUnknown implements Injector, forcing Unknown on every query.
+type alwaysUnknown struct{}
+
+func (alwaysUnknown) SolverUnknown() bool               { return true }
+func (alwaysUnknown) SolverSlow() (time.Duration, bool) { return 0, false }
+
+func TestInjectedUnknown(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 1)
+	s := New(Options{Injector: alwaysUnknown{}})
+	r, _, err := s.Check([]*expr.Expr{c.EqE(c.ByteAt(arr, 0), c.Const(1, 8))}, nil)
+	if r != Unknown || !errors.Is(err, ErrInjected) {
+		t.Fatalf("got (%v, %v), want (unknown, ErrInjected)", r, err)
+	}
+	if s.Stats().InjectedUnknowns != 1 {
+		t.Errorf("InjectedUnknowns = %d, want 1", s.Stats().InjectedUnknowns)
 	}
 }
 
@@ -343,13 +431,13 @@ func TestDivisionConventions(t *testing.T) {
 	s := noFastPaths()
 	// x / 0 == 0xff for all x
 	cs := []*expr.Expr{c.NeE(c.UDiv(x, c.Const(0, 8)), c.Const(0xff, 8))}
-	if r, _ := s.Check(cs, nil); r != Unsat {
+	if r, _, _ := s.Check(cs, nil); r != Unsat {
 		t.Errorf("x/0 != 0xff should be unsat, got %v", r)
 	}
 	// x % 0 == x for all x
 	s2 := noFastPaths()
 	cs = []*expr.Expr{c.NeE(c.URem(x, c.Const(0, 8)), x)}
-	if r, _ := s2.Check(cs, nil); r != Unsat {
+	if r, _, _ := s2.Check(cs, nil); r != Unsat {
 		t.Errorf("x%%0 != x should be unsat, got %v", r)
 	}
 }
@@ -391,7 +479,7 @@ func BenchmarkSolverMagicBytes(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := New(Options{})
-		if r, _ := s.Check(cs, nil); r != Sat {
+		if r, _, _ := s.Check(cs, nil); r != Sat {
 			b.Fatal("unexpected unsat")
 		}
 	}
@@ -407,7 +495,7 @@ func BenchmarkSolverBitblastArith(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := noFastPaths()
-		if r, _ := s.Check(cs, nil); r != Sat {
+		if r, _, _ := s.Check(cs, nil); r != Sat {
 			b.Fatal("unexpected unsat")
 		}
 	}

@@ -92,7 +92,7 @@ func (e *Executor) concolicSwitch(st *State, in *ir.Instr, v *expr.Expr, res *St
 func (e *Executor) recordSeedState(st *State, in *ir.Instr, cond *expr.Expr, target *ir.Block, res *StepResult) {
 	seed := st.fork(e.nextStateID, e.clock)
 	e.nextStateID++
-	e.liveStates++
+	e.register(seed)
 	seed.addConstraint(cond)
 	seed.Blk = target
 	seed.Idx = 0

@@ -5,6 +5,7 @@ import (
 
 	"pbse/internal/bugs"
 	"pbse/internal/expr"
+	"pbse/internal/faultinject"
 	"pbse/internal/ir"
 	"pbse/internal/solver"
 )
@@ -21,6 +22,16 @@ type Options struct {
 	// MaxStates caps live states; further forks are suppressed (the
 	// false/else side is dropped). 0 means unlimited.
 	MaxStates int
+	// MaxStateBytes is a soft cap on the estimated total heap footprint
+	// of live states. When a periodic sweep finds the total above the
+	// cap, the executor evicts (terminates) the highest-cost states,
+	// preferring non-seedStates so Algorithm 3's per-phase seeds survive
+	// pressure. 0 means unlimited.
+	MaxStateBytes int64
+	// FaultInjector, when set, enables deterministic fault injection for
+	// robustness testing. It is also wired into SolverOpts.Injector
+	// unless one is already set there.
+	FaultInjector *faultinject.Injector
 }
 
 // TermReason explains why a state terminated.
@@ -28,11 +39,13 @@ type TermReason int
 
 // Termination reasons.
 const (
-	TermNone       TermReason = iota
-	TermExit                  // clean exit
-	TermInfeasible            // path constraints became unsatisfiable
-	TermFault                 // unavoidable fault (e.g. concrete div by zero)
-	TermError                 // internal error (wild pointer, unknown op)
+	TermNone        TermReason = iota
+	TermExit                   // clean exit
+	TermInfeasible             // path constraints became unsatisfiable
+	TermFault                  // unavoidable fault (e.g. concrete div by zero)
+	TermError                  // internal error (wild pointer, unknown op)
+	TermQuarantined            // a panic while stepping was contained to this state
+	TermEvicted                // terminated by the memory-pressure sweep
 )
 
 // StepResult reports what happened during one StepBlock call.
@@ -68,12 +81,22 @@ type Executor struct {
 	coverEpoch  int // bumped when coverage grows (heuristic caches key on it)
 	nextStateID int
 	liveStates  int
+
+	// Resource governance (govern.go).
+	inj                *faultinject.Injector
+	gov                GovStats
+	live               map[*State]struct{}
+	stepsSincePressure int
+	quarantined        []QuarantineRecord
 }
 
 // NewExecutor returns an executor for prog with a fresh context/solver.
 func NewExecutor(prog *ir.Program, opts Options) *Executor {
 	if opts.ITEThreshold == 0 {
 		opts.ITEThreshold = 16
+	}
+	if opts.FaultInjector != nil && opts.SolverOpts.Injector == nil {
+		opts.SolverOpts.Injector = opts.FaultInjector
 	}
 	ctx := expr.NewContext()
 	return &Executor{
@@ -84,6 +107,7 @@ func NewExecutor(prog *ir.Program, opts Options) *Executor {
 		Bugs:     bugs.NewCollector(),
 		opts:     opts,
 		covered:  make([]bool, len(prog.AllBlocks)),
+		inj:      opts.FaultInjector,
 	}
 }
 
@@ -128,7 +152,7 @@ func (e *Executor) NewEntryState() *State {
 		SeedForkIdx:     -1,
 	}
 	e.nextStateID++
-	e.liveStates++
+	e.register(st)
 	st.frames = []*frame{{fn: main, regs: make([]*expr.Expr, main.NumRegs), retDst: ir.NoReg}}
 	input := newObject(e.opts.InputSize)
 	for i := 0; i < e.opts.InputSize; i++ {
@@ -154,6 +178,7 @@ func (e *Executor) terminate(st *State) {
 	if !st.terminated {
 		st.terminated = true
 		e.liveStates--
+		delete(e.live, st)
 	}
 }
 
@@ -162,16 +187,41 @@ func (e *Executor) Terminate(st *State) { e.terminate(st) }
 
 // StepBlock runs st until it leaves its current basic block (executes its
 // terminator), forks, or terminates. On entry st must be live.
-func (e *Executor) StepBlock(st *State) StepResult {
+//
+// StepBlock is the quarantine boundary: a panic raised while stepping st
+// — whether from an instruction-handling bug or injected by the fault
+// harness — is recovered here and converted into termination of st
+// alone. Other live states, coverage, and solver state are unaffected.
+func (e *Executor) StepBlock(st *State) (res StepResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.quarantine(st, p, &res)
+		}
+	}()
+	if e.inj != nil && e.concolic == nil && !st.terminated && st.Blk != nil &&
+		e.inj.StepPanic(st.Blk.Fn.Name) {
+		panic(fmt.Sprintf("faultinject: injected panic stepping %s", st.Blk.Fn.Name))
+	}
+	res = e.stepBlock(st)
+	e.maybeEvict(st)
+	return res
+}
+
+// stepBlock is the unguarded step dispatch; see StepBlock.
+func (e *Executor) stepBlock(st *State) StepResult {
 	if st.terminated {
 		return StepResult{Terminated: true, Reason: TermNone}
 	}
 	var res StepResult
 	if st.needsValidation {
 		// seedStates recorded during concolic execution skip the fork-time
-		// feasibility check; validate lazily on first selection.
+		// feasibility check; validate lazily on first selection. Only a
+		// definitive Unsat kills the state: on Unknown (even after the
+		// escalated retry) the seed is kept — its path was concretely
+		// executed, so it is almost certainly feasible, and killing it
+		// would silently disable a phase.
 		st.needsValidation = false
-		if r, _ := e.Solver.Check(st.PathConstraints(), nil); r != solver.Sat {
+		if e.checkPC(st) == solver.Unsat {
 			e.terminate(st)
 			res.Terminated = true
 			res.Reason = TermInfeasible
@@ -349,7 +399,8 @@ func (e *Executor) execInstr(st *State, in *ir.Instr, res *StepResult) (bool, bo
 
 // mayBeTrue asks the solver whether cond can hold on st's path, returning
 // a full witness model on success. Use feasible for yes/no questions — it
-// is much cheaper on deep paths.
+// is much cheaper on deep paths. Unknown degrades to "no": bug reports
+// require a witness, so an inconclusive query must not file one.
 func (e *Executor) mayBeTrue(st *State, cond *expr.Expr) (bool, expr.Assignment) {
 	if cond.IsTrue() {
 		return true, expr.Assignment{}
@@ -357,32 +408,26 @@ func (e *Executor) mayBeTrue(st *State, cond *expr.Expr) (bool, expr.Assignment)
 	if cond.IsFalse() {
 		return false, nil
 	}
+	if e.queryFeasible(st, cond) != solver.Sat {
+		return false, nil
+	}
 	var hint expr.Assignment
 	if e.concolic != nil {
 		hint = e.concolic.asn
 	}
-	if !e.Solver.Feasible(st.PathConstraints(), cond, hint) {
-		return false, nil
-	}
-	ok, m := e.Solver.MayBeTrue(st.PathConstraints(), cond, hint)
+	ok, m, _ := e.Solver.MayBeTrue(st.PathConstraints(), cond, hint)
 	return ok, m
 }
 
 // feasible reports whether cond can hold on st's path, solving only the
 // constraint slice that shares symbolic bytes with cond (sound because
-// live states always have satisfiable path constraints).
+// live states always have satisfiable path constraints). Unknown degrades
+// to "yes": callers use a false answer to terminate states or prune
+// paths, and an inconclusive query must never kill a reachable state. At
+// worst the caller constrains the path with a condition that later proves
+// unsatisfiable, and the state dies as infeasible.
 func (e *Executor) feasible(st *State, cond *expr.Expr) bool {
-	if cond.IsTrue() {
-		return true
-	}
-	if cond.IsFalse() {
-		return false
-	}
-	var hint expr.Assignment
-	if e.concolic != nil {
-		hint = e.concolic.asn
-	}
-	return e.Solver.Feasible(st.PathConstraints(), cond, hint)
+	return e.queryFeasible(st, cond) != solver.Unsat
 }
 
 // execBranch handles OpBr, forking when both directions are feasible.
@@ -396,10 +441,29 @@ func (e *Executor) execBranch(st *State, in *ir.Instr, res *StepResult) (bool, b
 	if e.concolic != nil {
 		return e.concolicBranch(st, in, cond, res)
 	}
-	canTrue := e.feasible(st, cond)
-	canFalse := e.feasible(st, e.Ctx.NotB(cond))
+	canTrue := e.queryFeasible(st, cond)
+	canFalse := e.queryFeasible(st, e.Ctx.NotB(cond))
+	// A live state's path constraints are satisfiable, so an Unsat answer
+	// on one side proves the other side feasible even when its own query
+	// stayed Unknown.
+	if canTrue == solver.Unknown && canFalse == solver.Unsat {
+		canTrue = solver.Sat
+	}
+	if canFalse == solver.Unknown && canTrue == solver.Unsat {
+		canFalse = solver.Sat
+	}
+	if canTrue == solver.Unknown && canFalse == solver.Unknown {
+		// Both directions inconclusive after escalated retries: degrade to
+		// concolic-style single-path execution by pinning the branch to
+		// its value under a concrete model of the path.
+		if e.concretizeCond(st, cond) {
+			canTrue, canFalse = solver.Sat, solver.Unknown
+		} else {
+			canTrue, canFalse = solver.Unknown, solver.Sat
+		}
+	}
 	switch {
-	case canTrue && canFalse:
+	case canTrue == solver.Sat && canFalse == solver.Sat:
 		if e.opts.MaxStates > 0 && e.liveStates >= e.opts.MaxStates {
 			// fork suppressed: follow the true side only
 			st.addConstraint(cond)
@@ -409,7 +473,7 @@ func (e *Executor) execBranch(st *State, in *ir.Instr, res *StepResult) (bool, b
 		}
 		other := st.fork(e.nextStateID, e.clock)
 		e.nextStateID++
-		e.liveStates++
+		e.register(other)
 		other.addConstraint(e.Ctx.NotB(cond))
 		other.Blk = in.Targets[1]
 		other.Idx = 0
@@ -419,12 +483,14 @@ func (e *Executor) execBranch(st *State, in *ir.Instr, res *StepResult) (bool, b
 		res.Added = append(res.Added, other)
 		attachToPTree(st, other)
 		return true, true // fork ends the step; st is at a fresh block
-	case canTrue:
+	case canTrue == solver.Sat:
+		// canFalse is Unsat or Unknown; an Unknown side is never forked
+		// into (it would create a state with unvalidated constraints).
 		st.addConstraint(cond)
 		st.Blk = in.Targets[0]
 		st.Idx = 0
 		return false, true
-	case canFalse:
+	case canFalse == solver.Sat:
 		st.addConstraint(e.Ctx.NotB(cond))
 		st.Blk = in.Targets[1]
 		st.Idx = 0
@@ -456,24 +522,52 @@ func (e *Executor) execSwitch(st *State, in *ir.Instr, res *StepResult) (bool, b
 	if e.concolic != nil {
 		return e.concolicSwitch(st, in, v, res)
 	}
-	// collect feasible (condition, target) pairs
+	// collect feasible (condition, target) pairs; Unknown arms are never
+	// forked into, but their presence means an empty feasible set does
+	// not prove infeasibility
 	type arm struct {
 		cond   *expr.Expr
 		target *ir.Block
 	}
 	var feasible []arm
+	anyUnknown := false
 	defCond := c.True()
 	for i, val := range in.Vals {
 		eq := c.EqE(v, c.Const(val, v.Width()))
 		defCond = c.AndB(defCond, c.NotB(eq))
-		if e.feasible(st, eq) {
+		switch e.queryFeasible(st, eq) {
+		case solver.Sat:
 			feasible = append(feasible, arm{cond: eq, target: in.Targets[i]})
+		case solver.Unknown:
+			anyUnknown = true
 		}
 	}
-	if e.feasible(st, defCond) {
+	switch e.queryFeasible(st, defCond) {
+	case solver.Sat:
 		feasible = append(feasible, arm{cond: defCond, target: in.Targets[len(in.Vals)]})
+	case solver.Unknown:
+		anyUnknown = true
 	}
 	if len(feasible) == 0 {
+		if anyUnknown {
+			// every arm Unsat or Unknown: degrade by dispatching on the
+			// switch value under a concrete model of the path
+			e.gov.Concretizations++
+			cv := e.modelEvaluator(st).Eval(v)
+			target := in.Targets[len(in.Vals)]
+			pin := defCond
+			for i, val := range in.Vals {
+				if cv == val {
+					target = in.Targets[i]
+					pin = c.EqE(v, c.Const(val, v.Width()))
+					break
+				}
+			}
+			st.addConstraint(pin)
+			st.Blk = target
+			st.Idx = 0
+			return false, true
+		}
 		e.terminate(st)
 		res.Terminated = true
 		res.Reason = TermInfeasible
@@ -486,7 +580,7 @@ func (e *Executor) execSwitch(st *State, in *ir.Instr, res *StepResult) (bool, b
 		}
 		other := st.fork(e.nextStateID, e.clock)
 		e.nextStateID++
-		e.liveStates++
+		e.register(other)
 		other.addConstraint(a.cond)
 		other.Blk = a.target
 		other.Idx = 0

@@ -1,0 +1,242 @@
+package symex
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"pbse/internal/faultinject"
+	"pbse/internal/ir"
+	"pbse/internal/solver"
+)
+
+// hardBranchProg branches on x*y == 0xBEEF && x > 0xff && y > 0xff over
+// two 16-bit input reads — the multiplication makes the query blow any
+// one-conflict SAT budget (same shape as the solver package's
+// hard-factoring tests), so with MaxConflicts: 1 the true side stays
+// Unknown.
+func hardBranchProg(t *testing.T) *ir.Program {
+	p := ir.NewProgram("hard")
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	hardB := fb.NewBlock("hard")
+	easyB := fb.NewBlock("easy")
+	ip := b.Input()
+	x := b.Zext(b.Load(ip, 0, 16), 32)
+	y := b.Zext(b.Load(ip, 2, 16), 32)
+	prod := b.Mul(x, y, 32)
+	c1 := b.CmpImm(ir.Eq, prod, 0xBEEF, 32)
+	c2 := b.CmpImm(ir.Ugt, x, 0xff, 32)
+	c3 := b.CmpImm(ir.Ugt, y, 0xff, 32)
+	cond := b.Bin(ir.And, c1, b.Bin(ir.And, c2, c3, 1), 1)
+	b.Br(cond, hardB.Blk(), easyB.Blk())
+	hardB.Exit()
+	easyB.Exit()
+	return mustFinalize(t, p)
+}
+
+// TestUnknownDoesNotKillState is the satellite (a) regression: before
+// resource governance, an Unknown feasibility answer was conflated with
+// Unsat and a state whose branch query hit the conflict budget was
+// terminated as infeasible, losing its whole (reachable) subtree. Now the
+// state must survive and follow a validated direction.
+func TestUnknownDoesNotKillState(t *testing.T) {
+	p := hardBranchProg(t)
+	ex := NewExecutor(p, Options{
+		InputSize: 4,
+		SolverOpts: solver.Options{
+			MaxConflicts:      1,
+			DisableCandidates: true,
+			DisableCache:      true,
+		},
+	})
+	runAll(t, ex, SearchDFS, 100_000)
+	if ex.LiveStates() != 0 {
+		t.Errorf("live states = %d, want 0 (run should drain)", ex.LiveStates())
+	}
+	// entry plus at least the easy side must be covered: the state may
+	// not die at the branch
+	if got := ex.NumCovered(); got < 2 {
+		t.Fatalf("covered = %d blocks, want >= 2: Unknown killed the state", got)
+	}
+	if ex.Gov().SolverUnknowns == 0 {
+		t.Error("expected at least one governed Unknown (is the query too easy?)")
+	}
+	if ex.Gov().SolverRetries == 0 {
+		t.Error("expected an escalated-budget retry")
+	}
+}
+
+// TestInjectedUnknownDegradesToConcretization: with every solver query
+// forced Unknown (retries included), branch handling must degrade to
+// concolic-style single-path execution instead of wedging or dying.
+func TestInjectedUnknownDegradesToConcretization(t *testing.T) {
+	p := magicProg(t)
+	ex := NewExecutor(p, Options{
+		InputSize:     4,
+		FaultInjector: faultinject.New(1, faultinject.Options{SolverUnknownRate: 1}),
+	})
+	runAll(t, ex, SearchDFS, 100_000)
+	if ex.LiveStates() != 0 {
+		t.Errorf("live states = %d, want 0", ex.LiveStates())
+	}
+	// entry + the branch side picked by the zero-model fallback
+	if got := ex.NumCovered(); got < 2 {
+		t.Fatalf("covered = %d, want >= 2", got)
+	}
+	if ex.Gov().Concretizations == 0 {
+		t.Error("expected a degraded (concretized) branch decision")
+	}
+}
+
+// boomProg: input[0] == 1 calls boom() (two blocks), otherwise exits.
+func boomProg(t *testing.T) *ir.Program {
+	p := ir.NewProgram("boom")
+	boomF := p.NewFunc("boom", 0)
+	bb := boomF.NewBlock("b.entry")
+	bb2 := boomF.NewBlock("b.done")
+	bb.Jmp(bb2.Blk())
+	bb2.RetVoid()
+
+	fb := p.NewFunc("main", 0)
+	b := fb.NewBlock("entry")
+	callB := fb.NewBlock("call")
+	okB := fb.NewBlock("ok")
+	ip := b.Input()
+	v := b.Load(ip, 0, 8)
+	c := b.CmpImm(ir.Eq, v, 1, 8)
+	b.Br(c, callB.Blk(), okB.Blk())
+	callB.Call("boom")
+	callB.Exit()
+	okB.Exit()
+	return mustFinalize(t, p)
+}
+
+// TestQuarantineIsolation: a panic injected while one state executes
+// inside boom() must terminate only that state; the sibling path still
+// completes and the run drains cleanly.
+func TestQuarantineIsolation(t *testing.T) {
+	p := boomProg(t)
+	ex := NewExecutor(p, Options{
+		InputSize: 1,
+		FaultInjector: faultinject.New(1, faultinject.Options{
+			StepPanicRate: 1,
+			StepPanicFunc: "boom",
+		}),
+	})
+	rng := rand.New(rand.NewSource(1))
+	s, err := NewSearcher(SearchDFS, ex, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(ex.NewEntryState())
+	stats := (&Runner{Ex: ex, Search: s}).Run(100_000)
+
+	if ex.LiveStates() != 0 {
+		t.Errorf("live states = %d, want 0", ex.LiveStates())
+	}
+	g := ex.Gov()
+	if g.Quarantines == 0 {
+		t.Fatal("no quarantines recorded")
+	}
+	if stats.Quarantined != g.Quarantines {
+		t.Errorf("RunStats.Quarantined = %d, executor counted %d", stats.Quarantined, g.Quarantines)
+	}
+	recs := ex.QuarantineRecords()
+	if len(recs) == 0 {
+		t.Fatal("no quarantine records")
+	}
+	for _, r := range recs {
+		if r.Func != "boom" {
+			t.Errorf("quarantined in %q, want boom", r.Func)
+		}
+		if r.Panic == "" || r.Stack == "" {
+			t.Errorf("record missing panic/stack: %+v", r)
+		}
+	}
+	// the non-boom path must be unaffected: entry, ok covered
+	if got := ex.NumCovered(); got < 2 {
+		t.Errorf("covered = %d, want >= 2 (other states must survive)", got)
+	}
+}
+
+// TestRealPanicQuarantined: a genuine executor panic (not injected) is
+// also contained by the StepBlock boundary.
+func TestRealPanicQuarantined(t *testing.T) {
+	p := magicProg(t)
+	ex := NewExecutor(p, Options{InputSize: 4})
+	st := ex.NewEntryState()
+	st.Blk = nil // force a nil-deref panic inside stepBlock
+	res := ex.StepBlock(st)
+	if !res.Terminated || res.Reason != TermQuarantined {
+		t.Fatalf("res = %+v, want quarantined termination", res)
+	}
+	if !st.Terminated() {
+		t.Error("state not terminated")
+	}
+	if ex.Gov().Quarantines != 1 {
+		t.Errorf("quarantines = %d, want 1", ex.Gov().Quarantines)
+	}
+}
+
+// TestEvictionUnderPressure: with a tiny MaxStateBytes the sweep must
+// fire, evict states, and the run must still drain without leaks.
+func TestEvictionUnderPressure(t *testing.T) {
+	p := loopProg(t)
+	ex := NewExecutor(p, Options{
+		InputSize:     8,
+		MaxStateBytes: 1, // any live state exceeds this
+	})
+	runAll(t, ex, SearchBFS, 50_000)
+	if ex.Gov().Evictions == 0 {
+		t.Fatal("no evictions under a 1-byte cap")
+	}
+	if ex.LiveStates() != 0 {
+		t.Errorf("live states = %d, want 0", ex.LiveStates())
+	}
+}
+
+// TestNoEvictionWithoutCap: the sweep must be inert when MaxStateBytes is
+// unset even under injected alloc pressure.
+func TestNoEvictionWithoutCap(t *testing.T) {
+	p := loopProg(t)
+	ex := NewExecutor(p, Options{
+		InputSize: 8,
+		FaultInjector: faultinject.New(1, faultinject.Options{
+			AllocPressureRate: 1,
+			AllocPhantomBytes: 1 << 40,
+		}),
+	})
+	runAll(t, ex, SearchBFS, 50_000)
+	if ex.Gov().Evictions != 0 {
+		t.Errorf("evictions = %d, want 0 without MaxStateBytes", ex.Gov().Evictions)
+	}
+}
+
+// TestRunnerBudgetOvershootUnderSlowQueries is satellite (d): injected
+// slow queries stall the wall clock but not the virtual clock, and the
+// Runner must still stop at (not far past) its virtual budget without
+// hanging.
+func TestRunnerBudgetOvershootUnderSlowQueries(t *testing.T) {
+	p := loopProg(t)
+	inj := faultinject.New(5, faultinject.Options{
+		SolverSlowRate:  1,
+		SolverSlowDelay: 50 * time.Microsecond,
+	})
+	ex := NewExecutor(p, Options{InputSize: 8, FaultInjector: inj})
+	const budget = 5_000
+	start := time.Now()
+	runAll(t, ex, SearchBFS, budget)
+	elapsed := time.Since(start)
+	if inj.Counts().SolverSlow == 0 {
+		t.Fatal("slow-query fault never fired")
+	}
+	// the loop stops within one block of the budget: overshoot is bounded
+	// by the longest basic block, not by stalled queries
+	if over := ex.Clock() - budget; over > 64 {
+		t.Errorf("virtual clock overshot budget by %d instructions", over)
+	}
+	if elapsed > 30*time.Second {
+		t.Errorf("run took %v: slow queries must not wedge the runner", elapsed)
+	}
+}

@@ -248,7 +248,7 @@ func obj0Size(st *State, id uint32) int { return st.object(id).size }
 // witness produces a model of the current path constraints for bug
 // test-case generation (nil when none can be found quickly).
 func (e *Executor) witness(st *State) expr.Assignment {
-	r, m := e.Solver.Check(st.PathConstraints(), nil)
+	r, m, _ := e.Solver.Check(st.PathConstraints(), nil)
 	if r != solver.Sat {
 		return nil
 	}

@@ -182,9 +182,10 @@ type Runner struct {
 
 // RunStats summarise a Run call.
 type RunStats struct {
-	Steps      int64 // StepBlock calls
-	StatesRun  int64
-	ForksAdded int64
+	Steps       int64 // StepBlock calls
+	StatesRun   int64
+	ForksAdded  int64
+	Quarantined int64 // states terminated by the step panic boundary
 }
 
 // Run steps states until ex.Clock() reaches budget or the searcher
@@ -204,6 +205,9 @@ func (r *Runner) Run(budget int64) RunStats {
 			stats.ForksAdded++
 		}
 		if res.Terminated {
+			if res.Reason == TermQuarantined {
+				stats.Quarantined++
+			}
 			r.Search.Remove(st)
 		}
 	}

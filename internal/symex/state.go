@@ -119,6 +119,7 @@ type State struct {
 	needsValidation bool
 
 	terminated bool
+	evicted    bool // terminated by the memory-pressure sweep
 }
 
 func (s *State) String() string {
@@ -127,6 +128,41 @@ func (s *State) String() string {
 
 // Terminated reports whether the state finished (exit, fault, infeasible).
 func (s *State) Terminated() bool { return s.terminated }
+
+// Evicted reports whether the state was terminated by the executor's
+// memory-pressure sweep rather than by execution.
+func (s *State) Evicted() bool { return s.evicted }
+
+// CostBytes estimates the state's retained heap footprint for the
+// memory-pressure sweep. It is a deterministic accounting model, not a
+// runtime measurement: per-object concrete bytes plus symbolic-byte
+// pointer slots, per-frame register slots, and the state's share of the
+// path-constraint list. COW sharing is deliberately ignored (each state
+// is charged for objects it references) so the estimate is stable and
+// an upper bound.
+func (s *State) CostBytes() int64 {
+	const (
+		stateOverhead = 256 // State struct, maps, ptNode
+		objOverhead   = 48  // mobject struct + slice headers
+		frameOverhead = 64  // frame struct + slice header
+		ptrBytes      = 8   // one register / symbolic-byte slot
+		pcNodeBytes   = 48  // one pcNode + its interned expr share
+	)
+	n := int64(stateOverhead)
+	for _, o := range s.objs {
+		n += objOverhead + int64(len(o.conc))
+		if o.sym != nil {
+			n += int64(len(o.sym)) * ptrBytes
+		}
+	}
+	for _, f := range s.frames {
+		n += frameOverhead + int64(len(f.regs))*ptrBytes
+	}
+	if s.pc != nil {
+		n += int64(s.pc.depth) * pcNodeBytes
+	}
+	return n
+}
 
 // PathConstraints returns the state's constraints, oldest first. The
 // returned slice is cached and must not be modified.
