@@ -34,6 +34,7 @@ func run() error {
 		budget   = flag.Int64("budget", 2_000_000, "virtual-time budget (instructions)")
 		rngSeed  = flag.Int64("rng", 42, "random seed (determinism)")
 		buggy    = flag.Bool("buggy-seed", false, "use the bug-triggering seed generator")
+		workers  = flag.Int("workers", 0, "phases executed simultaneously (0 = GOMAXPROCS, 1 = sequential scheduler)")
 
 		maxConflicts  = flag.Int64("max-conflicts", 0, "solver conflict budget per query (0 = default)")
 		queryDeadline = flag.Duration("query-deadline", 0, "solver wall-clock deadline per query (0 = none)")
@@ -80,7 +81,7 @@ func run() error {
 	}
 
 	fmt.Printf("pbSE on %s (%s), seed %d bytes, budget %d\n", tgt.Name, tgt.Paper, len(seed), *budget)
-	res, err := pbse.Run(prog, seed, pbse.Options{Budget: *budget, Seed: *rngSeed}, exOpts)
+	res, err := pbse.Run(prog, seed, pbse.Options{Budget: *budget, Seed: *rngSeed, Workers: *workers}, exOpts)
 	if err != nil {
 		return err
 	}
@@ -105,11 +106,19 @@ func run() error {
 			fmt.Printf("    witness (first 32 bytes): % x\n", head(b.Input, 32))
 		}
 	}
-	st := res.Executor.Solver.Stats()
+	st := res.SolverStats
 	fmt.Printf("\nsolver: %d queries, %d cache hits, %d candidate hits, %d interval hits, %d SAT runs\n",
 		st.Queries, st.CacheHits, st.CandidateSat, st.IntervalFast, st.SATRuns)
 	fmt.Printf("solver unknowns: %d (budget %d, deadline %d, injected %d, internal %d)\n",
 		st.Unknowns, st.BudgetExhausted, st.DeadlineExceeded, st.InjectedUnknowns, st.InternalRecovered)
+	if res.Workers > 1 {
+		sc := res.SharedCache
+		fmt.Printf("workers: %d (shared cache: %d hits, %d misses, %d stores, %d entries)\n",
+			res.Workers, sc.Hits, sc.Misses, sc.Stores, sc.Entries)
+		for _, w := range res.WorkerStats {
+			fmt.Printf("  worker %d: %d turns, %d steps\n", w.Worker, w.Turns, w.Steps)
+		}
+	}
 	g := res.Gov
 	fmt.Printf("governance: %d unknowns, %d retries, %d concretizations, %d quarantines, %d evictions\n",
 		g.SolverUnknowns, g.SolverRetries, g.Concretizations, g.Quarantines, g.Evictions)

@@ -1,0 +1,228 @@
+// Differential oracle: the concrete interpreter (internal/interp) and a
+// concolic replay by the symbolic executor (internal/symex) must agree on
+// the block-entry trace and the final memory image for any input. The
+// inputs exercised are seed inputs plus solver models extracted from
+// symbolic exploration — exactly the inputs the parallel scheduler's
+// workers produce — so a divergence here catches parallel-merge bugs,
+// importer bugs, and unsound concretizations.
+package pbse
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pbse/internal/interp"
+	"pbse/internal/ir"
+	"pbse/internal/solver"
+	"pbse/internal/symex"
+	"pbse/internal/targets"
+)
+
+// concreteRun executes prog on input with the reference interpreter.
+func concreteRun(t *testing.T, prog *ir.Program, input []byte) (trace []int, objs [][]byte, res interp.Result) {
+	t.Helper()
+	in := make([]byte, len(input))
+	copy(in, input)
+	m := interp.New(prog, in, interp.Options{
+		MaxSteps: 2_000_000,
+		Tracer:   func(b *ir.Block, _ int64) { trace = append(trace, b.ID) },
+	})
+	res = m.Run()
+	if res.Reason == interp.StopSteps {
+		t.Fatalf("interp: step budget exhausted")
+	}
+	return trace, m.Objects(), res
+}
+
+// symbolicReplay drives the symbolic executor in concolic mode along
+// input's path and snapshots the final state's memory under the shadow
+// assignment.
+func symbolicReplay(t *testing.T, prog *ir.Program, input []byte) (trace []int, objs map[uint32][]byte, reason symex.TermReason) {
+	t.Helper()
+	ex := symex.NewExecutor(prog, symex.Options{InputSize: len(input)})
+	ex.EnableConcolic(input, nil)
+	st := ex.NewEntryState()
+	ex.BlockHook = func(s *symex.State, b *ir.Block, _ int64) {
+		if s == st {
+			trace = append(trace, b.ID)
+		}
+	}
+	for i := 0; ; i++ {
+		if i > 1_000_000 {
+			t.Fatalf("symex replay: step budget exhausted")
+		}
+		r := ex.StepBlock(st)
+		if r.Terminated {
+			reason = r.Reason
+			break
+		}
+	}
+	return trace, ex.ConcreteObjects(st, ex.ShadowAssignment()), reason
+}
+
+// assertSameRun compares one concrete run against one symbolic replay of
+// the same input.
+func assertSameRun(t *testing.T, prog *ir.Program, input []byte, label string) {
+	t.Helper()
+	ctrace, cobjs, cres := concreteRun(t, prog, input)
+	strace, sobjs, sreason := symbolicReplay(t, prog, input)
+
+	wantFault := cres.Reason == interp.StopFault
+	gotFault := sreason != symex.TermExit
+	if wantFault != gotFault {
+		t.Fatalf("%s: termination mismatch: interp=%v symex reason=%d", label, cres.Reason, sreason)
+	}
+	if len(ctrace) != len(strace) {
+		t.Fatalf("%s: trace length mismatch: interp=%d symex=%d", label, len(ctrace), len(strace))
+	}
+	for i := range ctrace {
+		if ctrace[i] != strace[i] {
+			t.Fatalf("%s: trace diverges at entry %d: interp bb%d symex bb%d", label, i, ctrace[i], strace[i])
+		}
+	}
+	for id := 1; id < len(cobjs); id++ {
+		if cobjs[id] == nil {
+			continue
+		}
+		sb, ok := sobjs[uint32(id)]
+		if !ok {
+			t.Fatalf("%s: object %d present in interp, missing in symex", label, id)
+		}
+		if !bytes.Equal(cobjs[id], sb) {
+			t.Fatalf("%s: final memory of object %d differs:\n interp: % x\n symex:  % x", label, id, cobjs[id], sb)
+		}
+	}
+}
+
+// exploreModels runs plain symbolic execution (BFS) and returns solver
+// models of the first few cleanly exited paths — fresh inputs that drive
+// execution down paths the seed never took.
+func exploreModels(t *testing.T, prog *ir.Program, inputSize, maxModels int) [][]byte {
+	t.Helper()
+	ex := symex.NewExecutor(prog, symex.Options{InputSize: inputSize, MaxStates: 64})
+	queue := []*symex.State{ex.NewEntryState()}
+	var models [][]byte
+	for steps := 0; len(queue) > 0 && len(models) < maxModels && steps < 50_000; steps++ {
+		st := queue[0]
+		queue = queue[1:]
+		if st.Terminated() {
+			continue
+		}
+		r := ex.StepBlock(st)
+		queue = append(queue, r.Added...)
+		if !r.Terminated {
+			queue = append(queue, st)
+			continue
+		}
+		if r.Reason != symex.TermExit {
+			continue
+		}
+		verdict, m, _ := ex.Solver.Check(st.PathConstraints(), nil)
+		if verdict != solver.Sat {
+			continue
+		}
+		input := make([]byte, inputSize)
+		copy(input, m[ex.InputArr])
+		models = append(models, input)
+	}
+	return models
+}
+
+func exampleIRPrograms(t *testing.T) map[string]*ir.Program {
+	t.Helper()
+	dir := filepath.Join("examples", "ir")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	out := make(map[string]*ir.Program)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ir") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := ir.Parse(string(src))
+		if err != nil {
+			t.Fatalf("parsing %s: %v", e.Name(), err)
+		}
+		out[strings.TrimSuffix(e.Name(), ".ir")] = prog
+	}
+	if len(out) == 0 {
+		t.Fatal("no example programs found")
+	}
+	return out
+}
+
+// TestDifferentialExamples cross-checks interp and symex on every
+// examples/ir program: a deterministic pseudo-random seed input plus
+// solver models of symbolically explored exit paths.
+func TestDifferentialExamples(t *testing.T) {
+	const inputSize = 24
+	for name, prog := range exampleIRPrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			seed := make([]byte, inputSize)
+			rng.Read(seed)
+			assertSameRun(t, prog, seed, name+"/seed")
+
+			for _, m := range exploreModels(t, prog, inputSize, 6) {
+				assertSameRun(t, prog, m, name+"/model")
+			}
+		})
+	}
+}
+
+// TestDifferentialTargets cross-checks interp and symex on the generated
+// target corpus: the generated seed, the buggy seed where available, and
+// solver models of the seed path's fork points (the seedStates the
+// parallel scheduler distributes to its workers).
+func TestDifferentialTargets(t *testing.T) {
+	for _, tgt := range targets.All() {
+		t.Run(tgt.Name, func(t *testing.T) {
+			prog, err := tgt.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			seed := tgt.GenSeed(rng, 96)
+			assertSameRun(t, prog, seed, tgt.Name+"/seed")
+			if tgt.GenBuggySeed != nil {
+				assertSameRun(t, prog, tgt.GenBuggySeed(rng), tgt.Name+"/buggy-seed")
+			}
+
+			// Models of seed-path fork points: run the seed concolically,
+			// then solve the path constraints of recorded seedStates.
+			ex := symex.NewExecutor(prog, symex.Options{InputSize: len(seed)})
+			var seeds []*symex.State
+			ex.EnableConcolic(seed, func(s *symex.State) { seeds = append(seeds, s) })
+			st := ex.NewEntryState()
+			for i := 0; i < 200_000; i++ {
+				if r := ex.StepBlock(st); r.Terminated {
+					break
+				}
+			}
+			ex.DisableConcolic()
+			tried := 0
+			for _, s := range seeds {
+				if tried >= 4 {
+					break
+				}
+				verdict, m, _ := ex.Solver.Check(s.PathConstraints(), nil)
+				if verdict != solver.Sat {
+					continue
+				}
+				tried++
+				input := make([]byte, len(seed))
+				copy(input, m[ex.InputArr])
+				assertSameRun(t, prog, input, tgt.Name+"/fork-model")
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzImportEquivalence checks that rebuilding a random expression through
+// the Importer — which re-runs every constructor's simplification in a
+// fresh Context — preserves concrete semantics, and that two independent
+// imports of the same source agree on the structural fingerprint (the
+// shared verdict-cache key). Source and import may fingerprint differently
+// (commutative operands canonicalise by context-local intern IDs), but
+// islands that deterministically import the same seed constraints must
+// land on one key, or the shared cache never hits across workers.
+func FuzzImportEquivalence(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add(int64(42), []byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(int64(1<<40), []byte{0x80, 0x7f, 0x00, 0x01, 0xfe})
+	f.Add(int64(-9), []byte("pbse-phase"))
+	f.Fuzz(func(t *testing.T, seed int64, input []byte) {
+		if len(input) == 0 {
+			input = []byte{0}
+		}
+		if len(input) > 64 {
+			input = input[:64]
+		}
+		rng := rand.New(rand.NewSource(seed))
+
+		src := NewContext()
+		arr := NewArray("in", len(input))
+		exprs := []*Expr{
+			RandExpr(src, rng, arr, 32, 5),
+			RandExpr(src, rng, arr, 64, 4),
+			RandBoolExpr(src, rng, arr, 4),
+		}
+
+		dstA, dstB := NewContext(), NewContext()
+		arrA, arrB := NewArray("in", len(input)), NewArray("in", len(input))
+		imA := NewImporter(dstA, map[*Array]*Array{arr: arrA})
+		imB := NewImporter(dstB, map[*Array]*Array{arr: arrB})
+
+		evSrc := NewEvaluator(Assignment{arr: input})
+		evA := NewEvaluator(Assignment{arrA: input})
+		memo := make(map[*Expr]uint64)
+		for _, e := range exprs {
+			a, b := imA.Import(e), imB.Import(e)
+			if e.Width() != a.Width() {
+				t.Fatalf("import changed width: %d -> %d of %v", e.Width(), a.Width(), e)
+			}
+			want, got := evSrc.Eval(e), evA.Eval(a)
+			if want != got {
+				t.Fatalf("import changed value: %#x -> %#x\n src: %v\n dst: %v", want, got, e, a)
+			}
+			if fpA, fpB := Fingerprint(a, memo), Fingerprint(b, memo); fpA != fpB {
+				t.Fatalf("independent imports disagree on fingerprint: %#x vs %#x\n a: %v\n b: %v", fpA, fpB, a, b)
+			}
+		}
+	})
+}

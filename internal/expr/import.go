@@ -1,0 +1,160 @@
+package expr
+
+import "fmt"
+
+// Cross-context expression transport. The parallel pbSE scheduler gives
+// every phase worker its own Context (hash-consing stays lock-free), so
+// seedStates built in the shared concolic Context must be rebuilt in the
+// worker's Context, and solver cache keys must identify a constraint by
+// structure rather than by per-Context node ids.
+
+// Fingerprint returns a structural 64-bit hash of e: two expressions that
+// are structurally identical get the same fingerprint in any Context.
+// memo caches per-node results and may be shared across calls for
+// expressions of one Context (nodes are interned, so pointer identity
+// implies structural identity there).
+func Fingerprint(e *Expr, memo map[*Expr]uint64) uint64 {
+	if h, ok := memo[e]; ok {
+		return h
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(e.kind))
+	mix(uint64(e.width))
+	switch e.kind {
+	case Const:
+		mix(e.val)
+	case Read:
+		mix(e.val)
+		for i := 0; i < len(e.arr.Name); i++ {
+			h ^= uint64(e.arr.Name[i])
+			h *= prime64
+		}
+	default:
+		for i := 0; i < int(e.nkids); i++ {
+			mix(Fingerprint(e.kids[i], memo))
+		}
+	}
+	memo[e] = h
+	return h
+}
+
+// Importer rebuilds expressions of one Context inside another. Arrays are
+// mapped by the translation table given at construction (arrays are
+// identity objects, so both Contexts may even share them; a mapping is
+// still required so a worker can own a private input array). The importer
+// memoises per-node, so importing a state's whole expression DAG is
+// linear in its distinct nodes.
+type Importer struct {
+	dst    *Context
+	arrays map[*Array]*Array
+	memo   map[*Expr]*Expr
+}
+
+// NewImporter returns an importer into dst. arrays maps source arrays to
+// their destination counterparts; a source array absent from the map is
+// reused as-is.
+func NewImporter(dst *Context, arrays map[*Array]*Array) *Importer {
+	return &Importer{dst: dst, arrays: arrays, memo: make(map[*Expr]*Expr, 1024)}
+}
+
+// Import rebuilds e in the destination Context through the public
+// constructors, re-running their simplifications (an already-canonical
+// expression re-canonicalises to an equivalent form; node ids may differ).
+func (im *Importer) Import(e *Expr) *Expr {
+	if out, ok := im.memo[e]; ok {
+		return out
+	}
+	c := im.dst
+	var out *Expr
+	switch e.kind {
+	case Const:
+		out = c.Const(e.val, e.Width())
+	case Read:
+		arr := e.arr
+		if m, ok := im.arrays[arr]; ok {
+			arr = m
+		}
+		out = c.ByteAt(arr, int(e.val))
+	case Add:
+		out = c.Add(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case Sub:
+		out = c.Sub(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case Mul:
+		out = c.Mul(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case UDiv:
+		out = c.UDiv(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case SDiv:
+		out = c.SDiv(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case URem:
+		out = c.URem(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case SRem:
+		out = c.SRem(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case And:
+		out = c.And(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case Or:
+		out = c.Or(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case Xor:
+		out = c.Xor(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case Not:
+		out = c.NotE(im.Import(e.kids[0]))
+	case Shl:
+		out = c.Shl(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case LShr:
+		out = c.LShr(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case AShr:
+		out = c.AShr(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case Eq:
+		out = c.EqE(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case Ult:
+		out = c.UltE(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case Ule:
+		out = c.UleE(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case Slt:
+		out = c.SltE(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case Sle:
+		out = c.SleE(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case ZExt:
+		out = c.ZExtE(im.Import(e.kids[0]), e.Width())
+	case SExt:
+		out = c.SExtE(im.Import(e.kids[0]), e.Width())
+	case Trunc:
+		out = c.TruncE(im.Import(e.kids[0]), e.Width())
+	case Concat:
+		out = c.Concat(im.Import(e.kids[0]), im.Import(e.kids[1]))
+	case ITE:
+		out = c.ITEe(im.Import(e.kids[0]), im.Import(e.kids[1]), im.Import(e.kids[2]))
+	default:
+		panic(fmt.Sprintf("expr: import: unknown kind %s", e.kind))
+	}
+	im.memo[e] = out
+	return out
+}
+
+// ImportAssignment maps an assignment's arrays through the importer's
+// translation table, copying the byte slices.
+func (im *Importer) ImportAssignment(asn Assignment) Assignment {
+	if asn == nil {
+		return nil
+	}
+	out := make(Assignment, len(asn))
+	for arr, bs := range asn {
+		if m, ok := im.arrays[arr]; ok {
+			arr = m
+		}
+		cp := make([]byte, len(bs))
+		copy(cp, bs)
+		out[arr] = cp
+	}
+	return out
+}

@@ -7,8 +7,11 @@
 // the hooks interleave.
 //
 // The injector is a test and hardening harness: production runs simply
-// leave it nil. It is not safe for concurrent use, matching the engine's
-// single-goroutine execution model.
+// leave it nil. Hooks and counters are safe for concurrent use: each
+// stream serialises its draws behind its own mutex and counters are
+// atomic, so parallel phase workers may share one injector. The fault
+// *sequence* under concurrency depends on goroutine interleaving; for
+// per-worker determinism derive one injector per worker with Child.
 package faultinject
 
 import (
@@ -16,6 +19,8 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -55,13 +60,47 @@ type Counts struct {
 	AllocPressure int64
 }
 
+// stream is one lockable deterministic rand source. rand.Rand is not
+// safe for concurrent use, so every draw holds the stream's mutex.
+type stream struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newStream(seed int64) *stream {
+	return &stream{rng: rand.New(rand.NewSource(seed))}
+}
+
+// fire draws one float under the stream lock and compares to rate.
+func (s *stream) fire(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	s.mu.Lock()
+	v := s.rng.Float64()
+	s.mu.Unlock()
+	return v < rate
+}
+
 // Injector is the deterministic fault source. The zero value injects
 // nothing; use New.
 type Injector struct {
 	opts Options
+	seed int64
 	// one stream per hook so rates stay independent of call interleaving
-	unknownRNG, slowRNG, panicRNG, allocRNG *rand.Rand
-	counts                                  Counts
+	unknown, slow, panics, alloc *stream
+	counts                       atomicCounts
+}
+
+// atomicCounts mirrors Counts with atomic fields.
+type atomicCounts struct {
+	solverUnknown atomic.Int64
+	solverSlow    atomic.Int64
+	stepPanic     atomic.Int64
+	allocPressure atomic.Int64
 }
 
 // New returns an injector whose fault sequence is a pure function of
@@ -74,12 +113,24 @@ func New(seed int64, opts Options) *Injector {
 		opts.AllocPhantomBytes = DefaultPhantomBytes
 	}
 	return &Injector{
-		opts:       opts,
-		unknownRNG: rand.New(rand.NewSource(seed ^ 0x736f6c76)),
-		slowRNG:    rand.New(rand.NewSource(seed ^ 0x736c6f77)),
-		panicRNG:   rand.New(rand.NewSource(seed ^ 0x70616e69)),
-		allocRNG:   rand.New(rand.NewSource(seed ^ 0x616c6c6f)),
+		opts:    opts,
+		seed:    seed,
+		unknown: newStream(seed ^ 0x736f6c76),
+		slow:    newStream(seed ^ 0x736c6f77),
+		panics:  newStream(seed ^ 0x70616e69),
+		alloc:   newStream(seed ^ 0x616c6c6f),
 	}
+}
+
+// Child derives an injector with the same options and an id-mixed seed.
+// Parallel phase workers each take a Child(phaseID) so every worker sees
+// a fault sequence that is a pure function of (seed, id), independent of
+// how the workers interleave.
+func (i *Injector) Child(id int64) *Injector {
+	if i == nil {
+		return nil
+	}
+	return New(i.seed*1000003+id+1, i.opts)
 }
 
 // Counts returns the fired-fault counters.
@@ -87,7 +138,12 @@ func (i *Injector) Counts() Counts {
 	if i == nil {
 		return Counts{}
 	}
-	return i.counts
+	return Counts{
+		SolverUnknown: i.counts.solverUnknown.Load(),
+		SolverSlow:    i.counts.solverSlow.Load(),
+		StepPanic:     i.counts.stepPanic.Load(),
+		AllocPressure: i.counts.allocPressure.Load(),
+	}
 }
 
 // Opts returns the effective options (defaults applied).
@@ -98,30 +154,23 @@ func (i *Injector) Opts() Options {
 	return i.opts
 }
 
-func fire(rng *rand.Rand, rate float64) bool {
-	if rate <= 0 {
-		return false
-	}
-	return rate >= 1 || rng.Float64() < rate
-}
-
 // SolverUnknown reports whether the current solver query should give up
 // with an Unknown verdict.
 func (i *Injector) SolverUnknown() bool {
-	if i == nil || !fire(i.unknownRNG, i.opts.SolverUnknownRate) {
+	if i == nil || !i.unknown.fire(i.opts.SolverUnknownRate) {
 		return false
 	}
-	i.counts.SolverUnknown++
+	i.counts.solverUnknown.Add(1)
 	return true
 }
 
 // SolverSlow returns a stall duration for the current solver query, and
 // whether the fault fired.
 func (i *Injector) SolverSlow() (time.Duration, bool) {
-	if i == nil || !fire(i.slowRNG, i.opts.SolverSlowRate) {
+	if i == nil || !i.slow.fire(i.opts.SolverSlowRate) {
 		return 0, false
 	}
-	i.counts.SolverSlow++
+	i.counts.solverSlow.Add(1)
 	return i.opts.SolverSlowDelay, true
 }
 
@@ -134,20 +183,20 @@ func (i *Injector) StepPanic(fn string) bool {
 	if i.opts.StepPanicFunc != "" && i.opts.StepPanicFunc != fn {
 		return false
 	}
-	if !fire(i.panicRNG, i.opts.StepPanicRate) {
+	if !i.panics.fire(i.opts.StepPanicRate) {
 		return false
 	}
-	i.counts.StepPanic++
+	i.counts.stepPanic.Add(1)
 	return true
 }
 
 // AllocPhantom returns phantom bytes to add to the current
 // memory-pressure sweep (0 when the fault does not fire).
 func (i *Injector) AllocPhantom() int64 {
-	if i == nil || !fire(i.allocRNG, i.opts.AllocPressureRate) {
+	if i == nil || !i.alloc.fire(i.opts.AllocPressureRate) {
 		return 0
 	}
-	i.counts.AllocPressure++
+	i.counts.allocPressure.Add(1)
 	return i.opts.AllocPhantomBytes
 }
 

@@ -1,6 +1,8 @@
 package faultinject
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -148,5 +150,73 @@ func TestParseSpec(t *testing.T) {
 	}
 	if _, err := ParseSpec("solver-unknown", 9); err == nil {
 		t.Error("missing value should error")
+	}
+}
+
+// TestConcurrentHooksAndCounts hammers every hook from 16 goroutines on
+// one shared injector — the access pattern of parallel phase workers
+// that share a parent injector during setup — and checks the counters
+// reconcile: rate-1 hooks fire on every draw, rate-0 hooks never, and a
+// fractional-rate hook fires at most once per draw. Run under -race this
+// proves the stream locking and atomic counters.
+func TestConcurrentHooksAndCounts(t *testing.T) {
+	const (
+		goroutines = 16
+		draws      = 2000
+	)
+	inj := New(7, Options{
+		SolverUnknownRate: 1,
+		SolverSlowRate:    0.5,
+		StepPanicRate:     1,
+		StepPanicFunc:     "hot",
+		AllocPressureRate: 1,
+	})
+
+	var wg sync.WaitGroup
+	var slowFired atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < draws; i++ {
+				if !inj.SolverUnknown() {
+					t.Error("rate-1 SolverUnknown did not fire")
+					return
+				}
+				if _, ok := inj.SolverSlow(); ok {
+					slowFired.Add(1)
+				}
+				if inj.StepPanic("cold") {
+					t.Error("StepPanic fired outside its function filter")
+					return
+				}
+				if !inj.StepPanic("hot") {
+					t.Error("rate-1 StepPanic did not fire in its function")
+					return
+				}
+				if inj.AllocPhantom() == 0 {
+					t.Error("rate-1 AllocPhantom returned no bytes")
+					return
+				}
+				// Children derived concurrently must be independent and safe.
+				if c := inj.Child(int64(g)); c.Counts().StepPanic != 0 {
+					t.Error("fresh child has nonzero counts")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := int64(goroutines * draws)
+	counts := inj.Counts()
+	if counts.SolverUnknown != total || counts.StepPanic != total || counts.AllocPressure != total {
+		t.Errorf("rate-1 counters %+v, want %d each", counts, total)
+	}
+	if counts.SolverSlow != slowFired.Load() {
+		t.Errorf("SolverSlow counter %d != observed firings %d", counts.SolverSlow, slowFired.Load())
+	}
+	if counts.SolverSlow == 0 || counts.SolverSlow == total {
+		t.Errorf("rate-0.5 SolverSlow fired %d of %d draws", counts.SolverSlow, total)
 	}
 }

@@ -264,6 +264,23 @@ func (m *Machine) Run() Result {
 	}
 }
 
+// Objects returns a deep copy of the machine's memory: one byte slice
+// per object id (index 0, the null slot, is nil). The snapshot is the
+// reference "final memory" the differential oracle tests compare against
+// symbolic replay.
+func (m *Machine) Objects() [][]byte {
+	out := make([][]byte, len(m.objs))
+	for id, o := range m.objs {
+		if o == nil {
+			continue
+		}
+		cp := make([]byte, len(o))
+		copy(cp, o)
+		out[id] = cp
+	}
+	return out
+}
+
 // Steps returns the number of instructions executed so far.
 func (m *Machine) Steps() int64 { return m.steps }
 

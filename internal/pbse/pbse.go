@@ -10,6 +10,7 @@ package pbse
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"pbse/internal/analysis"
@@ -19,6 +20,7 @@ import (
 	"pbse/internal/interp"
 	"pbse/internal/ir"
 	"pbse/internal/phase"
+	"pbse/internal/solver"
 	"pbse/internal/symex"
 )
 
@@ -50,6 +52,15 @@ type Options struct {
 	DisableStaticHints bool
 	// Seed drives in-phase state selection.
 	Seed int64
+	// Workers is the number of phases executed simultaneously. Default
+	// (0) is runtime.GOMAXPROCS(0). With Workers <= 1 (or Sequential set,
+	// or fewer than two populated phases) the original single-goroutine
+	// round-robin runs, bit-for-bit identical to previous releases; with
+	// Workers > 1 phases run as isolated islands under the round-barrier
+	// scheduler (see parallel.go and DESIGN.md §8), whose results are
+	// deterministic in opts.Seed but use per-phase rather than global
+	// virtual-time interleaving.
+	Workers int
 }
 
 // CoveragePoint is one (virtual time, blocks covered) sample.
@@ -64,9 +75,20 @@ type PhaseStat struct {
 	Trap        bool
 	SeedStates  int
 	Steps       int64
+	Turns       int64 // scheduler turns granted to this phase
 	NewBlocks   int
 	Bugs        int
 	Quarantines int // states of this phase terminated by the panic boundary
+}
+
+// WorkerStat summarises one worker goroutine's activity in a parallel
+// run. Which worker runs which phase turn is decided by a work queue, so
+// these counters (unlike coverage, bugs, and GovStats) may vary between
+// runs of the same seed.
+type WorkerStat struct {
+	Worker int
+	Turns  int64
+	Steps  int64
 }
 
 // Result is the outcome of a pbSE run.
@@ -87,8 +109,19 @@ type Result struct {
 	Executor *symex.Executor
 	// Gov holds the resource-governance counters for the whole run
 	// (solver Unknowns and retries, degradations to concretization,
-	// quarantined states, memory-pressure evictions).
+	// quarantined states, memory-pressure evictions), summed across the
+	// main executor and every phase worker.
 	Gov symex.GovStats
+	// Workers is the effective worker count used for phase scheduling.
+	Workers int
+	// WorkerStats holds per-worker counters (parallel runs only).
+	WorkerStats []WorkerStat
+	// SolverStats aggregates solver counters across the main executor and
+	// every phase worker's solver.
+	SolverStats solver.Stats
+	// SharedCache reports cross-worker verdict-cache traffic (zero for
+	// single-worker runs, which have no shared cache).
+	SharedCache solver.ShardStats
 }
 
 // phasePool is the per-phase state pool driven by Algorithm 3.
@@ -176,11 +209,30 @@ func Run(prog *ir.Program, seed []byte, opts Options, exOpts symex.Options) (*Re
 	pools := buildPools(div, con, opts)
 
 	// Step 3: phase-scheduled symbolic execution (Algorithm 3).
-	rng := rand.New(rand.NewSource(opts.Seed + 1))
-	if opts.Sequential {
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	populated := 0
+	for _, p := range pools {
+		if len(p.states) > 0 {
+			populated++
+		}
+	}
+	res.Workers = 1
+	switch {
+	case opts.Sequential:
+		rng := rand.New(rand.NewSource(opts.Seed + 1))
 		runSequential(ex, pools, opts, rng, res)
-	} else {
+	case workers <= 1 || populated < 2:
+		rng := rand.New(rand.NewSource(opts.Seed + 1))
 		runRoundRobin(ex, pools, opts, rng, res)
+	default:
+		if workers > populated {
+			workers = populated
+		}
+		res.Workers = workers
+		runParallel(prog, ex, pools, seedBytes, workers, opts, exOpts, res)
 	}
 
 	for _, p := range pools {
@@ -188,7 +240,15 @@ func Run(prog *ir.Program, seed []byte, opts Options, exOpts symex.Options) (*Re
 	}
 	res.Covered = ex.NumCovered()
 	res.Bugs = ex.Bugs.Reports()
-	res.Gov = ex.Gov()
+	// runParallel stashes the phase workers' aggregate in res.Gov and
+	// res.SolverStats; fold in the main executor's share (the whole run,
+	// for single-worker schedules).
+	gov := ex.Gov()
+	gov.Merge(res.Gov)
+	res.Gov = gov
+	solv := ex.Solver.Stats()
+	solv.Accum(res.SolverStats)
+	res.SolverStats = solv
 	// bugs detected during the concolic step carry no phase yet;
 	// attribute them to the phase containing their detection time
 	for _, b := range res.Bugs {
@@ -277,6 +337,7 @@ func runRoundRobin(ex *symex.Executor, pools []*phasePool, opts Options, rng *ra
 		runPhaseTurn(ex, pool, opts, rng, res, func() bool {
 			return ex.Clock()-turnStart > slice
 		})
+		pool.stat.Turns++
 		i++
 	}
 }
@@ -305,6 +366,7 @@ func runSequential(ex *symex.Executor, pools []*phasePool, opts Options, rng *ra
 		runPhaseTurn(ex, pool, opts, rng, res, func() bool {
 			return ex.Clock()-turnStart > slice
 		})
+		pool.stat.Turns++
 		if ex.Clock() >= opts.Budget {
 			return
 		}

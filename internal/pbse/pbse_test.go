@@ -123,10 +123,16 @@ func TestPBSEBeatsKLEEDefault(t *testing.T) {
 	}
 }
 
+// TestPBSEDeterminism re-runs one driver and expects identical results.
+// readelf, not pngtest: pngtest's solver load made this one test take
+// ~10 minutes, pushing the package past go test's default timeout. The
+// determinism property is driver-independent (all randomness flows from
+// the seed), pngtest still runs in TestPBSEAllTargets, and the parallel
+// scheduler's stronger determinism gate is TestParallelDeterminism.
 func TestPBSEDeterminism(t *testing.T) {
 	skipIfShort(t)
-	r1 := runPBSE(t, "pngtest", testBudget/4, Options{})
-	r2 := runPBSE(t, "pngtest", testBudget/4, Options{})
+	r1 := runPBSE(t, "readelf", testBudget/4, Options{})
+	r2 := runPBSE(t, "readelf", testBudget/4, Options{})
 	if r1.Covered != r2.Covered || len(r1.Bugs) != len(r2.Bugs) {
 		t.Errorf("nondeterministic: covered %d/%d bugs %d/%d",
 			r1.Covered, r2.Covered, len(r1.Bugs), len(r2.Bugs))

@@ -1,0 +1,110 @@
+package solver
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedCache is a verdict cache shared by the solvers of concurrent
+// phase workers. It is lock-striped: entries are distributed over
+// numShards shards by constraint-set fingerprint, so workers probing
+// different shards never contend, and even same-shard probes share a
+// read lock on the hit path.
+//
+// Keys are structural fingerprints (expr.Fingerprint folded over the
+// constraint set), so solvers operating in different expr.Contexts hit
+// each other's entries. Only Sat/Unsat verdicts are stored — never
+// models and never Unknown. Verdicts are semantic facts about the query,
+// so a cross-worker hit can change how fast a worker answers but not
+// what it answers; models are kept worker-local to keep each worker's
+// trajectory independent of scheduling (see DESIGN.md §8).
+type ShardedCache struct {
+	shards [numShards]cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+	stores atomic.Int64
+}
+
+const numShards = 64
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[uint64]Result
+}
+
+// shardCap bounds one shard's entries; on overflow the shard is reset
+// (same crude eviction as the per-solver cache, scaled per shard).
+const shardCap = 4096
+
+// NewShardedCache returns an empty cache.
+func NewShardedCache() *ShardedCache {
+	c := &ShardedCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]Result, 64)
+	}
+	return c
+}
+
+func (c *ShardedCache) shard(key uint64) *cacheShard {
+	return &c.shards[key%numShards]
+}
+
+// Get returns the cached verdict for the fingerprint, if present.
+func (c *ShardedCache) Get(key uint64) (Result, bool) {
+	if c == nil {
+		return Unknown, false
+	}
+	s := c.shard(key)
+	s.mu.RLock()
+	r, ok := s.m[key]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return r, ok
+}
+
+// Put records a Sat/Unsat verdict. Unknown is ignored: "gave up" is not
+// a fact about the query.
+func (c *ShardedCache) Put(key uint64, r Result) {
+	if c == nil || r == Unknown {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	if len(s.m) >= shardCap {
+		s.m = make(map[uint64]Result, 64)
+	}
+	s.m[key] = r
+	s.mu.Unlock()
+	c.stores.Add(1)
+}
+
+// ShardStats summarises cross-worker cache traffic.
+type ShardStats struct {
+	Hits    int64
+	Misses  int64
+	Stores  int64
+	Entries int
+}
+
+// Stats returns a snapshot of the counters and the current entry count.
+func (c *ShardedCache) Stats() ShardStats {
+	if c == nil {
+		return ShardStats{}
+	}
+	st := ShardStats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Stores: c.stores.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		st.Entries += len(s.m)
+		s.mu.RUnlock()
+	}
+	return st
+}

@@ -35,6 +35,7 @@ func (r Result) String() string {
 type Stats struct {
 	Queries      int64
 	CacheHits    int64
+	SharedHits   int64 // verdicts answered by the cross-worker sharded cache
 	CandidateSat int64 // decided by trying a candidate model
 	IntervalFast int64 // decided by interval reasoning
 	SATRuns      int64 // fell through to bit-blasting + CDCL
@@ -46,6 +47,22 @@ type Stats struct {
 	DeadlineExceeded  int64 // Unknowns from the wall-clock deadline
 	InjectedUnknowns  int64 // Unknowns forced by fault injection
 	InternalRecovered int64 // internal invariant violations degraded to Unknown
+}
+
+// Accum adds o's counters into s (merging per-worker solver stats).
+func (s *Stats) Accum(o Stats) {
+	s.Queries += o.Queries
+	s.CacheHits += o.CacheHits
+	s.SharedHits += o.SharedHits
+	s.CandidateSat += o.CandidateSat
+	s.IntervalFast += o.IntervalFast
+	s.SATRuns += o.SATRuns
+	s.Conflicts += o.Conflicts
+	s.Unknowns += o.Unknowns
+	s.BudgetExhausted += o.BudgetExhausted
+	s.DeadlineExceeded += o.DeadlineExceeded
+	s.InjectedUnknowns += o.InjectedUnknowns
+	s.InternalRecovered += o.InternalRecovered
 }
 
 // Injector is the fault-injection surface the solver consults (see
@@ -80,6 +97,23 @@ type Options struct {
 	// Injector, when non-nil, is consulted per query for injected faults
 	// (see package faultinject).
 	Injector Injector
+	// Shared, when non-nil, is a cross-worker verdict cache consulted
+	// after the local cache. It stores Sat/Unsat only (no models), keyed
+	// by structural fingerprint, so solvers in different expr.Contexts
+	// share results. ShardedCache is the concrete implementation; a
+	// scheduler may interpose a view that defers Put until a
+	// synchronization point (see pbse's round barrier).
+	Shared VerdictCache
+}
+
+// VerdictCache is the cross-worker verdict cache surface the solver
+// consults after its local cache. Implementations must tolerate
+// concurrent Get/Put from many solvers.
+type VerdictCache interface {
+	// Get returns the cached verdict for the fingerprint, if present.
+	Get(key uint64) (Result, bool)
+	// Put records a Sat/Unsat verdict (implementations ignore Unknown).
+	Put(key uint64, r Result)
 }
 
 // Solver decides constraint sets built in one expr.Context. It is not safe
@@ -99,6 +133,8 @@ type Solver struct {
 	zero, ff *candidate
 	// readsMemo caches the symbolic bytes referenced by each expression
 	readsMemo map[*expr.Expr][]expr.SymByte
+	// fpMemo caches structural fingerprints (shared-cache keys)
+	fpMemo map[*expr.Expr]uint64
 
 	// persistent incremental SAT instance: every distinct constraint is
 	// bit-blasted once; queries are solved under assumptions (the
@@ -138,6 +174,7 @@ func New(opts Options) *Solver {
 		opts:      opts,
 		cache:     make(map[string]cacheEntry, 256),
 		readsMemo: make(map[*expr.Expr][]expr.SymByte, 1024),
+		fpMemo:    make(map[*expr.Expr]uint64, 1024),
 	}
 }
 
@@ -175,7 +212,7 @@ func (s *Solver) Feasible(pc []*expr.Expr, cond *expr.Expr, hint expr.Assignment
 	}
 	slice := s.relevantSlice(pc, cond)
 	slice = append(slice, cond)
-	r, _, err := s.Check(slice, hint)
+	r, _, err := s.check(slice, hint, true)
 	return r, err
 }
 
@@ -259,6 +296,34 @@ func (s *Solver) SetMaxConflicts(n int64) int64 {
 // *InternalError (a recovered invariant violation). Unknown results are
 // never cached, so a retry with a bigger budget gets a fresh search.
 func (s *Solver) Check(constraints []*expr.Expr, hint expr.Assignment) (Result, expr.Assignment, error) {
+	return s.check(constraints, hint, false)
+}
+
+// sharedKey folds the constraints' structural fingerprints into one
+// order-independent set key for the cross-worker cache.
+func (s *Solver) sharedKey(constraints []*expr.Expr) uint64 {
+	fps := make([]uint64, len(constraints))
+	for i, c := range constraints {
+		fps[i] = expr.Fingerprint(c, s.fpMemo)
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
+	h := uint64(14695981039346656037)
+	for _, fp := range fps {
+		for i := 0; i < 8; i++ {
+			h ^= fp & 0xff
+			h *= 1099511628211
+			fp >>= 8
+		}
+	}
+	return h
+}
+
+// check implements Check. verdictOnly marks queries whose caller discards
+// the model (branch-feasibility checks): those may be answered by a Sat
+// verdict from the shared cross-worker cache. Model-bearing queries only
+// take Unsat from the shared cache — models are never shared, keeping
+// each worker's model stream deterministic regardless of scheduling.
+func (s *Solver) check(constraints []*expr.Expr, hint expr.Assignment, verdictOnly bool) (Result, expr.Assignment, error) {
 	s.stats.Queries++
 
 	if inj := s.opts.Injector; inj != nil {
@@ -297,10 +362,27 @@ func (s *Solver) Check(constraints []*expr.Expr, hint expr.Assignment) (Result, 
 		}
 	}
 
+	skey := uint64(0)
+	if s.opts.Shared != nil {
+		skey = s.sharedKey(live)
+		if r, ok := s.opts.Shared.Get(skey); ok && (r == Unsat || verdictOnly) {
+			s.stats.SharedHits++
+			if r == Unsat {
+				// a Sat verdict without a model must not enter the local
+				// cache: later model-bearing queries would hit it
+				s.remember(key, Unsat, nil)
+			}
+			return r, nil, nil
+		}
+	}
+
 	if !s.opts.DisableCandidates {
 		if m, ok := s.tryCandidates(live, hint); ok {
 			s.stats.CandidateSat++
 			s.remember(key, Sat, m)
+			if s.opts.Shared != nil {
+				s.opts.Shared.Put(skey, Sat)
+			}
 			return Sat, m, nil
 		}
 	}
@@ -309,6 +391,9 @@ func (s *Solver) Check(constraints []*expr.Expr, hint expr.Assignment) (Result, 
 		if r := intervalCheck(live); r == Unsat {
 			s.stats.IntervalFast++
 			s.remember(key, Unsat, nil)
+			if s.opts.Shared != nil {
+				s.opts.Shared.Put(skey, Unsat)
+			}
 			return Unsat, nil, nil
 		}
 	}
@@ -327,6 +412,9 @@ func (s *Solver) Check(constraints []*expr.Expr, hint expr.Assignment) (Result, 
 		res, model, err = s.checkSliced(live)
 	}
 	s.remember(key, res, model)
+	if s.opts.Shared != nil {
+		s.opts.Shared.Put(skey, res)
+	}
 	if res == Sat {
 		s.keepRecent(model)
 	}
@@ -514,8 +602,22 @@ func (s *Solver) cachedSatCheck(constraints []*expr.Expr) (Result, expr.Assignme
 			return e.result, e.model, nil
 		}
 	}
+	skey := uint64(0)
+	if s.opts.Shared != nil {
+		// per-group Unsat short-circuit: an Unsat group decides the whole
+		// sliced query, and needs no model
+		skey = s.sharedKey(constraints)
+		if r, ok := s.opts.Shared.Get(skey); ok && r == Unsat {
+			s.stats.SharedHits++
+			s.remember(key, Unsat, nil)
+			return Unsat, nil, nil
+		}
+	}
 	r, m, err := s.satCheck(constraints)
 	s.remember(key, r, m)
+	if s.opts.Shared != nil {
+		s.opts.Shared.Put(skey, r)
+	}
 	return r, m, err
 }
 

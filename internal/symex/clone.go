@@ -1,0 +1,110 @@
+package symex
+
+// Cross-executor state transport for the parallel pbSE scheduler. Each
+// phase worker owns a private Executor (its own expr.Context and solver,
+// so hot paths stay lock-free); the seedStates recorded by the shared
+// concolic run must therefore be rebuilt inside the worker's context
+// before the worker can execute them.
+
+import "pbse/internal/expr"
+
+// SetStateIDBase moves the executor's next fork ID to base (no-op when
+// base is not ahead). The parallel scheduler gives every phase worker a
+// disjoint ID range so state IDs stay unique — and eviction tiebreaks
+// deterministic — across workers.
+func (e *Executor) SetStateIDBase(base int) {
+	if base > e.nextStateID {
+		e.nextStateID = base
+	}
+}
+
+// AbsorbCoverage marks the given blocks covered without crediting any
+// state with new coverage. The parallel scheduler broadcasts the merged
+// global bitmap between rounds, so a worker entering a block another
+// phase already covered sees NewCover=false — the same patience signal
+// the sequential scheduler's single shared bitmap produces.
+func (e *Executor) AbsorbCoverage(ids []int) {
+	grew := false
+	for _, id := range ids {
+		if !e.covered[id] {
+			e.covered[id] = true
+			e.numCovered++
+			grew = true
+		}
+	}
+	if grew {
+		e.coverEpoch++
+	}
+}
+
+// ConcreteObjects evaluates every memory object of st under asn,
+// returning each object's bytes by id — the symbolic counterpart of the
+// concrete interpreter's final-memory snapshot, compared against it by
+// the differential oracle tests.
+func (e *Executor) ConcreteObjects(st *State, asn expr.Assignment) map[uint32][]byte {
+	ev := expr.NewEvaluator(asn)
+	out := make(map[uint32][]byte, len(st.objs))
+	for id, o := range st.objs {
+		bs := make([]byte, o.size)
+		for i := range bs {
+			bs[i] = byte(ev.Eval(o.byteExpr(e.Ctx, i)))
+		}
+		out[id] = bs
+	}
+	return out
+}
+
+// ImportState rebuilds src — a live state of another executor over the
+// same program — inside e, translating every expression through im (which
+// must map the source executor's input array to e.InputArr). The copy
+// shares nothing mutable with src: objects are deep-copied, so the two
+// executors can step their versions independently. The imported state
+// keeps src's ID and metadata and is registered live in e.
+func (e *Executor) ImportState(src *State, im *expr.Importer) *State {
+	n := &State{
+		ID:              src.ID,
+		frames:          make([]*frame, len(src.frames)),
+		objs:            make(map[uint32]*mobject, len(src.objs)),
+		nextID:          src.nextID,
+		Blk:             src.Blk,
+		Idx:             src.Idx,
+		Depth:           src.Depth,
+		ForkTime:        src.ForkTime,
+		LastNewCover:    src.LastNewCover,
+		StepsExecuted:   src.StepsExecuted,
+		SeedForkBlockID: src.SeedForkBlockID,
+		SeedForkIdx:     src.SeedForkIdx,
+		needsValidation: src.needsValidation,
+	}
+	for i, f := range src.frames {
+		nf := &frame{fn: f.fn, retDst: f.retDst, retBlock: f.retBlock, retIndex: f.retIndex}
+		nf.regs = make([]*expr.Expr, len(f.regs))
+		for j, r := range f.regs {
+			if r != nil {
+				nf.regs[j] = im.Import(r)
+			}
+		}
+		n.frames[i] = nf
+	}
+	for id, o := range src.objs {
+		no := &mobject{size: o.size, conc: make([]byte, len(o.conc))}
+		copy(no.conc, o.conc)
+		if o.sym != nil {
+			no.sym = make([]*expr.Expr, len(o.sym))
+			for i, s := range o.sym {
+				if s != nil {
+					no.sym[i] = im.Import(s)
+				}
+			}
+		}
+		n.objs[id] = no
+	}
+	for _, c := range src.PathConstraints() {
+		n.addConstraint(im.Import(c))
+	}
+	if e.nextStateID <= n.ID {
+		e.nextStateID = n.ID + 1
+	}
+	e.register(n)
+	return n
+}

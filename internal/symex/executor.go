@@ -2,6 +2,7 @@ package symex
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"pbse/internal/bugs"
 	"pbse/internal/expr"
@@ -552,7 +553,7 @@ func (e *Executor) execSwitch(st *State, in *ir.Instr, res *StepResult) (bool, b
 		if anyUnknown {
 			// every arm Unsat or Unknown: degrade by dispatching on the
 			// switch value under a concrete model of the path
-			e.gov.Concretizations++
+			atomic.AddInt64(&e.gov.Concretizations, 1)
 			cv := e.modelEvaluator(st).Eval(v)
 			target := in.Targets[len(in.Vals)]
 			pin := defCond

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sort"
+	"sync/atomic"
 
 	"pbse/internal/expr"
 	"pbse/internal/solver"
@@ -18,13 +19,26 @@ import (
 // the run intact; and under memory pressure the highest-cost states are
 // evicted from the frontier instead of OOM-ing the process.
 
-// GovStats counts resource-governance events during a run.
+// GovStats counts resource-governance events during a run. The executor
+// mutates the counters with atomics (see Gov), so concurrent readers —
+// progress reporters, the parallel-scheduler hammer tests — never race
+// with a stepping executor.
 type GovStats struct {
 	SolverUnknowns  int64 // queries whose first attempt returned Unknown
 	SolverRetries   int64 // escalated-budget retries issued
 	Concretizations int64 // branch/switch decisions degraded to a model value
 	Quarantines     int64 // states terminated by the step panic boundary
 	Evictions       int64 // states terminated by memory pressure
+}
+
+// Merge adds o's counters into g (used by the parallel scheduler's fixed
+// phase-ordered reduction; the receiver must not be concurrently mutated).
+func (g *GovStats) Merge(o GovStats) {
+	g.SolverUnknowns += o.SolverUnknowns
+	g.SolverRetries += o.SolverRetries
+	g.Concretizations += o.Concretizations
+	g.Quarantines += o.Quarantines
+	g.Evictions += o.Evictions
 }
 
 // QuarantineRecord describes one quarantined state: the panic value and
@@ -48,8 +62,18 @@ const (
 	maxQuarantineRecords = 32
 )
 
-// Gov returns the governance counters accumulated so far.
-func (e *Executor) Gov() GovStats { return e.gov }
+// Gov returns a snapshot of the governance counters accumulated so far.
+// Counters are written with atomics, so Gov is safe to call while another
+// goroutine is stepping this executor.
+func (e *Executor) Gov() GovStats {
+	return GovStats{
+		SolverUnknowns:  atomic.LoadInt64(&e.gov.SolverUnknowns),
+		SolverRetries:   atomic.LoadInt64(&e.gov.SolverRetries),
+		Concretizations: atomic.LoadInt64(&e.gov.Concretizations),
+		Quarantines:     atomic.LoadInt64(&e.gov.Quarantines),
+		Evictions:       atomic.LoadInt64(&e.gov.Evictions),
+	}
+}
 
 // QuarantineRecords returns the retained quarantine diagnostics (capped
 // at maxQuarantineRecords; Gov().Quarantines is the true count).
@@ -74,8 +98,8 @@ func (e *Executor) queryFeasible(st *State, cond *expr.Expr) solver.Result {
 	if r != solver.Unknown {
 		return r
 	}
-	e.gov.SolverUnknowns++
-	e.gov.SolverRetries++
+	atomic.AddInt64(&e.gov.SolverUnknowns, 1)
+	atomic.AddInt64(&e.gov.SolverRetries, 1)
 	prev := e.Solver.SetMaxConflicts(e.Solver.MaxConflicts() * budgetEscalation)
 	r, _ = e.Solver.Feasible(st.PathConstraints(), cond, hint)
 	e.Solver.SetMaxConflicts(prev)
@@ -89,8 +113,8 @@ func (e *Executor) checkPC(st *State) solver.Result {
 	if r != solver.Unknown {
 		return r
 	}
-	e.gov.SolverUnknowns++
-	e.gov.SolverRetries++
+	atomic.AddInt64(&e.gov.SolverUnknowns, 1)
+	atomic.AddInt64(&e.gov.SolverRetries, 1)
 	prev := e.Solver.SetMaxConflicts(e.Solver.MaxConflicts() * budgetEscalation)
 	r, _, _ = e.Solver.Check(st.PathConstraints(), nil)
 	e.Solver.SetMaxConflicts(prev)
@@ -119,7 +143,7 @@ func (e *Executor) modelEvaluator(st *State) *expr.Evaluator {
 // evaluated under a concrete model of the path and execution continues
 // single-path in that direction.
 func (e *Executor) concretizeCond(st *State, cond *expr.Expr) bool {
-	e.gov.Concretizations++
+	atomic.AddInt64(&e.gov.Concretizations, 1)
 	return e.modelEvaluator(st).EvalBool(cond)
 }
 
@@ -137,7 +161,7 @@ func (e *Executor) register(st *State) {
 // before the panic are complete and stay in res.Added.
 func (e *Executor) quarantine(st *State, p any, res *StepResult) {
 	e.terminate(st)
-	e.gov.Quarantines++
+	atomic.AddInt64(&e.gov.Quarantines, 1)
 	if len(e.quarantined) < maxQuarantineRecords {
 		rec := QuarantineRecord{
 			StateID: st.ID,
@@ -208,7 +232,7 @@ func (e *Executor) maybeEvict(cur *State) {
 		}
 		c.st.evicted = true
 		e.terminate(c.st)
-		e.gov.Evictions++
+		atomic.AddInt64(&e.gov.Evictions, 1)
 		total -= c.bytes
 	}
 }

@@ -1,0 +1,70 @@
+package symex
+
+import (
+	"sync"
+	"testing"
+
+	"pbse/internal/faultinject"
+)
+
+// TestGovStatsConcurrentReads hammers the GovStats counters the way the
+// parallel scheduler does: one goroutine mutates them by executing (an
+// island stepping its states), while many goroutines snapshot via Gov()
+// and fold snapshots with Merge. Run under -race this proves the atomic
+// counter discipline; the assertions check snapshots are monotonic and
+// the final fold equals the final snapshot.
+func TestGovStatsConcurrentReads(t *testing.T) {
+	const readers = 15 // + 1 mutator = 16 goroutines
+
+	p := magicProg(t)
+	ex := NewExecutor(p, Options{
+		InputSize:     4,
+		FaultInjector: faultinject.New(1, faultinject.Options{SolverUnknownRate: 1}),
+	})
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var prev GovStats
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				g := ex.Gov()
+				if g.SolverUnknowns < prev.SolverUnknowns ||
+					g.Concretizations < prev.Concretizations ||
+					g.Quarantines < prev.Quarantines {
+					t.Errorf("Gov() snapshot went backwards: %+v then %+v", prev, g)
+					return
+				}
+				prev = g
+				var fold GovStats
+				fold.Merge(g)
+				if fold != g {
+					t.Errorf("Merge of one snapshot differs: %+v vs %+v", fold, g)
+					return
+				}
+			}
+		}()
+	}
+
+	runAll(t, ex, SearchDFS, 100_000)
+	close(done)
+	wg.Wait()
+
+	g := ex.Gov()
+	if g.SolverUnknowns == 0 {
+		t.Error("mutator produced no solver unknowns; hammer exercised nothing")
+	}
+	var fold GovStats
+	fold.Merge(g)
+	fold.Merge(GovStats{})
+	if fold != g {
+		t.Errorf("final fold %+v != final snapshot %+v", fold, g)
+	}
+}
