@@ -1,10 +1,22 @@
 // Command pbse runs phase-based symbolic execution end-to-end on one of
 // the bundled targets and prints a report: phases found, coverage, bugs
-// with witness inputs, and the paper-style c-time/p-time accounting.
+// with witness inputs and stable IDs, and the paper-style c-time/p-time
+// accounting.
 //
 // Usage:
 //
 //	pbse -driver readelf -seedsize 576 -budget 2000000
+//
+// With -store DIR the campaign is persisted: a checkpoint at every
+// scheduler round barrier, a cross-run solver verdict cache, and a
+// bug-reproducer corpus. -resume continues a killed or interrupted
+// campaign from its checkpoint; -max-rounds N stops (checkpointed) after
+// N rounds; -replay BUG_ID re-executes a stored reproducer concretely
+// and checks it still faults at the recorded site.
+//
+// Exit status: 0 when the run completes without finding bugs (or a
+// replay reproduces its bug), 2 when bugs are found (or a replay fails
+// to reproduce), 1 on errors.
 package main
 
 import (
@@ -16,18 +28,21 @@ import (
 	"pbse/internal/faultinject"
 	"pbse/internal/pbse"
 	"pbse/internal/solver"
+	"pbse/internal/store"
 	"pbse/internal/symex"
 	"pbse/internal/targets"
 )
 
 func main() {
-	if err := run(); err != nil {
+	code, err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pbse:", err)
 		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run() error {
+func run() (int, error) {
 	var (
 		driver   = flag.String("driver", "readelf", "target test driver (readelf, pngtest, gif2tiff, tiff2rgba, dwarfdump)")
 		seedSize = flag.Int("seedsize", 576, "generated seed size in bytes")
@@ -41,22 +56,44 @@ func run() error {
 		maxStates     = flag.Int("max-states", 0, "cap on live states; further forks suppressed (0 = unlimited)")
 		maxStateBytes = flag.Int64("max-state-bytes", 0, "soft cap on estimated live-state memory; evicts costliest states (0 = unlimited)")
 		injectSpec    = flag.String("inject", "", "fault-injection spec, e.g. solver-unknown=0.1,solver-slow=0.05:1ms,step-panic=0.01,alloc-pressure=0.2:1048576")
+
+		storeDir  = flag.String("store", "", "persistent run store directory (checkpoints, solver cache, reproducer corpus)")
+		resume    = flag.Bool("resume", false, "resume the campaign from the store's checkpoint (requires -store)")
+		maxRounds = flag.Int64("max-rounds", 0, "stop after N scheduler rounds with a checkpoint saved (requires -store; 0 = run to budget)")
+		replayID  = flag.String("replay", "", "replay a stored bug reproducer by ID and exit (requires -store)")
 	)
 	flag.Parse()
 
+	if *storeDir == "" && (*resume || *maxRounds > 0 || *replayID != "") {
+		return 1, fmt.Errorf("-resume, -max-rounds and -replay require -store")
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			return 1, err
+		}
+	}
+
+	if *replayID != "" {
+		return replay(st, *driver, *replayID)
+	}
+
 	tgt, err := targets.ByDriver(*driver)
 	if err != nil {
-		return err
+		return 1, err
 	}
 	prog, err := tgt.Build()
 	if err != nil {
-		return err
+		return 1, err
 	}
 	rng := rand.New(rand.NewSource(*rngSeed))
 	var seed []byte
 	if *buggy {
 		if tgt.GenBuggySeed == nil {
-			return fmt.Errorf("target %s has no buggy seed generator", *driver)
+			return 1, fmt.Errorf("target %s has no buggy seed generator", *driver)
 		}
 		seed = tgt.GenBuggySeed(rng)
 	} else {
@@ -75,17 +112,24 @@ func run() error {
 	if *injectSpec != "" {
 		inj, err := faultinject.ParseSpec(*injectSpec, *rngSeed)
 		if err != nil {
-			return err
+			return 1, err
 		}
 		exOpts.FaultInjector = inj
 	}
 
 	fmt.Printf("pbSE on %s (%s), seed %d bytes, budget %d\n", tgt.Name, tgt.Paper, len(seed), *budget)
-	res, err := pbse.Run(prog, seed, pbse.Options{Budget: *budget, Seed: *rngSeed, Workers: *workers}, exOpts)
+	res, err := pbse.Run(prog, seed, pbse.Options{
+		Budget: *budget, Seed: *rngSeed, Workers: *workers,
+		Store: st, Resume: *resume, MaxRounds: *maxRounds, StoreLabel: *driver,
+	}, exOpts)
 	if err != nil {
-		return err
+		return 1, err
 	}
 
+	if res.Resumed {
+		fmt.Printf("resumed from checkpoint: clock %d, %d phases restored\n",
+			res.CTime, len(res.PhaseStats))
+	}
 	fmt.Printf("\nconcolic execution: %d instructions (c-time), %d BBVs, %d seedStates\n",
 		res.CTime, len(res.Concolic.BBVs), len(res.Concolic.SeedStates))
 	fmt.Printf("phase analysis:     %v (p-time), k=%d, %d phases (%d trap)\n",
@@ -101,16 +145,16 @@ func run() error {
 	fmt.Printf("\ncoverage: %d / %d basic blocks\n", res.Covered, len(prog.AllBlocks))
 	fmt.Printf("bugs: %d\n", len(res.Bugs))
 	for _, b := range res.Bugs {
-		fmt.Printf("  [phase %d] %s\n", b.Phase, b)
+		fmt.Printf("  %s [phase %d] %s\n", b.ID(), b.Phase, b)
 		if b.Input != nil {
 			fmt.Printf("    witness (first 32 bytes): % x\n", head(b.Input, 32))
 		}
 	}
-	st := res.SolverStats
+	sst := res.SolverStats
 	fmt.Printf("\nsolver: %d queries, %d cache hits, %d candidate hits, %d interval hits, %d SAT runs\n",
-		st.Queries, st.CacheHits, st.CandidateSat, st.IntervalFast, st.SATRuns)
+		sst.Queries, sst.CacheHits, sst.CandidateSat, sst.IntervalFast, sst.SATRuns)
 	fmt.Printf("solver unknowns: %d (budget %d, deadline %d, injected %d, internal %d)\n",
-		st.Unknowns, st.BudgetExhausted, st.DeadlineExceeded, st.InjectedUnknowns, st.InternalRecovered)
+		sst.Unknowns, sst.BudgetExhausted, sst.DeadlineExceeded, sst.InjectedUnknowns, sst.InternalRecovered)
 	if res.Workers > 1 {
 		sc := res.SharedCache
 		fmt.Printf("workers: %d (shared cache: %d hits, %d misses, %d stores, %d entries)\n",
@@ -125,7 +169,51 @@ func run() error {
 	for _, q := range res.Executor.QuarantineRecords() {
 		fmt.Printf("  quarantined state %d at %s/%s: %s\n", q.StateID, q.Func, q.Block, q.Panic)
 	}
-	return nil
+	if st != nil {
+		ss := res.Store
+		fmt.Printf("store: %d checkpoints (%d bytes last), %d verdicts loaded, %d flushed, %d reproducers added\n",
+			ss.Checkpoints, ss.CheckpointBytes, ss.VerdictsLoaded, ss.VerdictsFlushed, ss.CorpusAdded)
+	}
+	if res.Interrupted {
+		fmt.Printf("interrupted after %d round(s); resume with -store %s -resume\n", *maxRounds, *storeDir)
+	}
+	if len(res.Bugs) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// replay re-executes a stored reproducer concretely and verifies it still
+// faults at the recorded site. The target is rebuilt from the manifest's
+// label (falling back to -driver when the label is empty).
+func replay(st *store.Store, driver, id string) (int, error) {
+	if m, err := st.ReadManifest(); err != nil {
+		return 1, err
+	} else if m != nil && m.Label != "" {
+		driver = m.Label
+	}
+	tgt, err := targets.ByDriver(driver)
+	if err != nil {
+		return 1, err
+	}
+	prog, err := tgt.Build()
+	if err != nil {
+		return 1, err
+	}
+	entry, input, err := st.ReadReproducer(id)
+	if err != nil {
+		return 1, err
+	}
+	ok, msg, err := store.Replay(prog, entry, input, 0)
+	if err != nil {
+		return 1, err
+	}
+	fmt.Printf("replay %s on %s (%s in %s.%s[%d], input %d bytes): %s\n",
+		id, driver, entry.Kind, entry.Func, entry.Block, entry.Index, len(input), msg)
+	if !ok {
+		return 2, nil
+	}
+	return 0, nil
 }
 
 func head(b []byte, n int) []byte {

@@ -56,6 +56,33 @@ func (r *Report) Site() string {
 	return fmt.Sprintf("%s@bb%d[%d]", r.Kind, r.BlockID, r.Index)
 }
 
+// ID returns a stable short identifier for the bug, derived from
+// (detector kind, function, block, instruction index). Unlike Site it is
+// filename-safe and identical across runs, schedulers, and worker counts
+// — the on-disk reproducer corpus and CI assertions key on it.
+func (r *Report) ID() string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // separator
+		h *= prime64
+	}
+	h ^= uint64(r.Kind)
+	h *= prime64
+	mix(r.Func)
+	mix(r.Block)
+	h ^= uint64(uint32(r.Index))
+	h *= prime64
+	return fmt.Sprintf("b%016x", h)
+}
+
 // String formats the report as one line.
 func (r *Report) String() string {
 	return fmt.Sprintf("%s in %s.%s[%d] t=%d: %s", r.Kind, r.Func, r.Block, r.Index, r.Time, r.Msg)

@@ -1,0 +1,152 @@
+package expr
+
+import "fmt"
+
+// Verbatim reconstruction of expression nodes, used by the persistent
+// checkpoint codec (internal/store). The public constructors canonicalise
+// — constant folding, commutative reordering by node id — so decoding a
+// checkpoint through them could rebuild a *different* (if equivalent) DAG
+// than was saved: node shapes, and with them structural fingerprints and
+// solver cache keys, would drift between a run and its resumption.
+// Rebuild interns a node with exactly the stored shape instead, so
+// decode(encode(x)) is structurally identical to x and fingerprint-stable.
+
+// Arity returns the number of children nodes of the given kind carry, or
+// -1 for an unknown kind. Exposed for the store codec, which must agree
+// with this package on operator shapes.
+func Arity(k Kind) int {
+	switch k {
+	case Const, Read:
+		return 0
+	case Not, ZExt, SExt, Trunc:
+		return 1
+	case Add, Sub, Mul, UDiv, SDiv, URem, SRem,
+		And, Or, Xor, Shl, LShr, AShr,
+		Eq, Ult, Ule, Slt, Sle, Concat:
+		return 2
+	case ITE:
+		return 3
+	default:
+		return -1
+	}
+}
+
+// Rebuild interns the node (kind, width, val, arr, kids) exactly as
+// given, bypassing constructor simplifications. It validates operator
+// arity and the width/bounds invariants the evaluator and solver assume;
+// a shape the constructors could never have produced is rejected with an
+// error — never a panic — so Rebuild is safe on untrusted bytes.
+func (c *Context) Rebuild(kind Kind, width uint, val uint64, arr *Array, kids []*Expr) (*Expr, error) {
+	n := Arity(kind)
+	if n < 0 {
+		return nil, fmt.Errorf("expr: rebuild: unknown kind %d", uint8(kind))
+	}
+	if len(kids) != n {
+		return nil, fmt.Errorf("expr: rebuild: %s wants %d kids, got %d", kind, n, len(kids))
+	}
+	for i, k := range kids {
+		if k == nil {
+			return nil, fmt.Errorf("expr: rebuild: %s kid %d is nil", kind, i)
+		}
+	}
+	if width == 0 || width > 64 {
+		return nil, fmt.Errorf("expr: rebuild: bad width %d", width)
+	}
+
+	switch kind {
+	case Const:
+		if val&mask(width) != val {
+			return nil, fmt.Errorf("expr: rebuild: const %d overflows width %d", val, width)
+		}
+	case Read:
+		if arr == nil {
+			return nil, fmt.Errorf("expr: rebuild: read without array")
+		}
+		if width != 8 {
+			return nil, fmt.Errorf("expr: rebuild: read width %d (want 8)", width)
+		}
+		if val >= uint64(arr.Size) {
+			return nil, fmt.Errorf("expr: rebuild: read %s[%d] out of range (size %d)", arr.Name, val, arr.Size)
+		}
+	case Not:
+		if kids[0].Width() != width {
+			return nil, fmt.Errorf("expr: rebuild: not width %d on %d-bit kid", width, kids[0].Width())
+		}
+	case ZExt, SExt:
+		if width <= kids[0].Width() {
+			return nil, fmt.Errorf("expr: rebuild: %s to width %d from %d", kind, width, kids[0].Width())
+		}
+	case Trunc:
+		if width >= kids[0].Width() {
+			return nil, fmt.Errorf("expr: rebuild: trunc to width %d from %d", width, kids[0].Width())
+		}
+	case Eq, Ult, Ule, Slt, Sle:
+		if width != 1 {
+			return nil, fmt.Errorf("expr: rebuild: %s width %d (want 1)", kind, width)
+		}
+		if kids[0].Width() != kids[1].Width() {
+			return nil, fmt.Errorf("expr: rebuild: %s kid widths %d vs %d", kind, kids[0].Width(), kids[1].Width())
+		}
+	case Concat:
+		if kids[0].Width()+kids[1].Width() != width {
+			return nil, fmt.Errorf("expr: rebuild: concat width %d != %d+%d", width, kids[0].Width(), kids[1].Width())
+		}
+	case ITE:
+		if kids[0].Width() != 1 {
+			return nil, fmt.Errorf("expr: rebuild: ite condition width %d (want 1)", kids[0].Width())
+		}
+		if kids[1].Width() != width || kids[2].Width() != width {
+			return nil, fmt.Errorf("expr: rebuild: ite arm widths %d/%d (want %d)", kids[1].Width(), kids[2].Width(), width)
+		}
+	default: // binary arithmetic/bitwise
+		if kids[0].Width() != width || kids[1].Width() != width {
+			return nil, fmt.Errorf("expr: rebuild: %s kid widths %d/%d (want %d)", kind, kids[0].Width(), kids[1].Width(), width)
+		}
+	}
+
+	k := key{kind: kind, width: uint8(width), val: val, arr: arr}
+	switch n {
+	case 1:
+		k.k0 = kids[0]
+	case 2:
+		k.k0, k.k1 = kids[0], kids[1]
+	case 3:
+		k.k0, k.k1, k.k2 = kids[0], kids[1], kids[2]
+	}
+	return c.mk(k), nil
+}
+
+// structKey memoises StructEqual on node pairs.
+type structKey struct{ a, b *Expr }
+
+// StructEqual reports whether a and b are structurally identical: same
+// operator tree, widths, constants, read indices, and arrays (compared by
+// name and size, since arrays are identity objects per Context). Within
+// one Context it coincides with pointer equality; across Contexts it is
+// the relation the checkpoint codec preserves.
+func StructEqual(a, b *Expr) bool {
+	return structEqual(a, b, make(map[structKey]bool))
+}
+
+func structEqual(a, b *Expr, memo map[structKey]bool) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	k := structKey{a, b}
+	if v, ok := memo[k]; ok {
+		return v
+	}
+	memo[k] = true // assume equal on cycles (DAGs have none; guards recursion)
+	eq := a.kind == b.kind && a.width == b.width && a.val == b.val && a.nkids == b.nkids
+	if eq && a.kind == Read {
+		eq = a.arr.Name == b.arr.Name && a.arr.Size == b.arr.Size
+	}
+	for i := 0; eq && i < int(a.nkids); i++ {
+		eq = structEqual(a.kids[i], b.kids[i], memo)
+	}
+	memo[k] = eq
+	return eq
+}

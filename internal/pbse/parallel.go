@@ -23,6 +23,7 @@ import (
 	"pbse/internal/expr"
 	"pbse/internal/ir"
 	"pbse/internal/solver"
+	"pbse/internal/store"
 	"pbse/internal/symex"
 )
 
@@ -31,13 +32,14 @@ import (
 const stateIDStride = 1 << 20
 
 // roundCache is one island's view of the shared verdict cache. Reads go
-// straight to the sharded cache; writes are buffered and published by
+// straight to the shared cache; writes are buffered and published by
 // the coordinator at the round barrier, in phase order. During a round
 // the shared cache is therefore frozen, so what an island observes — and
 // hence its whole trajectory — cannot depend on how far other islands
-// happened to get first.
+// happened to get first. The shared tier is a plain ShardedCache, or the
+// store's persistent cache when the run is checkpointed.
 type roundCache struct {
-	shared  *solver.ShardedCache
+	shared  solver.VerdictCache
 	pending []pendingVerdict
 }
 
@@ -72,6 +74,7 @@ type island struct {
 	ex     *symex.Executor
 	states []*symex.State
 	rng    *rand.Rand
+	src    *countedSource // rng's draw counter, for checkpointing
 	cache  *roundCache
 }
 
@@ -82,33 +85,47 @@ type island struct {
 // islands' governance and solver aggregates are left in res.Gov and
 // res.SolverStats for Run to fold in.
 func runParallel(prog *ir.Program, ex *symex.Executor, pools []*phasePool,
-	seedBytes []byte, workers int, opts Options, exOpts symex.Options, res *Result) {
+	seedBytes []byte, workers int, opts Options, exOpts symex.Options, res *Result,
+	camp *campaign, rp *parallelResume) {
 
-	shared := solver.NewShardedCache()
-	baseCover := ex.CoveredBlocks()
+	var shared solver.VerdictCache
+	if camp.enabled() {
+		shared = camp.cache
+	} else {
+		shared = solver.NewShardedCache()
+	}
 
 	var isles []*island
-	for _, p := range pools {
-		if len(p.states) > 0 {
-			isles = append(isles, &island{pool: p})
+	startRound := int64(1)
+	var deadClock int64 // clocks of islands that drained before this process
+	if rp != nil {
+		isles = rp.isles
+		startRound = rp.round
+		deadClock = rp.deadClock
+	} else {
+		baseCover := ex.CoveredBlocks()
+		for _, p := range pools {
+			if len(p.states) > 0 {
+				isles = append(isles, &island{pool: p})
+			}
 		}
-	}
 
-	// Build the islands concurrently: each build touches only its own
-	// context (reading the shared seedStates and expression DAG, which no
-	// one mutates anymore).
-	var wg sync.WaitGroup
-	for _, is := range isles {
-		wg.Add(1)
-		go func(is *island) {
-			defer wg.Done()
-			buildIsland(prog, ex, is, shared, seedBytes, baseCover, opts, exOpts)
-		}(is)
+		// Build the islands concurrently: each build touches only its own
+		// context (reading the shared seedStates and expression DAG, which
+		// no one mutates anymore).
+		var wg sync.WaitGroup
+		for _, is := range isles {
+			wg.Add(1)
+			go func(is *island) {
+				defer wg.Done()
+				buildIsland(prog, ex, is, shared, seedBytes, baseCover, opts, exOpts)
+			}(is)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	globalCovered := make([]bool, len(prog.AllBlocks))
-	for _, id := range baseCover {
+	for _, id := range ex.CoveredBlocks() {
 		globalCovered[id] = true
 	}
 	numCovered := ex.NumCovered()
@@ -118,19 +135,37 @@ func runParallel(prog *ir.Program, ex *symex.Executor, pools []*phasePool,
 		ws[i].Worker = i
 	}
 
-	// Global virtual time: the concolic clock plus every island's clock.
-	// Budget is enforced at round barriers; within a round each island's
-	// turn is hard-capped at a fair share of the remaining budget.
+	live := append([]*island(nil), isles...)
+
+	// Global virtual time: the concolic clock plus every island's clock —
+	// including islands that drained (their clocks move to deadClock when
+	// pruned, and ride the checkpoint across processes). Budget is
+	// enforced at round barriers; within a round each island's turn is
+	// hard-capped at a fair share of the remaining budget.
 	vtime := func() int64 {
-		t := ex.Clock()
-		for _, is := range isles {
+		t := ex.Clock() + deadClock
+		for _, is := range live {
 			t += is.ex.Clock()
 		}
 		return t
 	}
 
-	live := append([]*island(nil), isles...)
-	for round := int64(1); len(live) > 0 && vtime() < opts.Budget; round++ {
+	coveredIDs := func() []int {
+		out := make([]int, 0, numCovered)
+		for id, c := range globalCovered {
+			if c {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+
+	// Entry checkpoint: islands are built (or restored), no round has run
+	// yet in this process.
+	camp.barrierParallel(startRound, isles, live, deadClock, coveredIDs(), ws)
+
+	var executed int64
+	for round := startRound; len(live) > 0 && vtime() < opts.Budget; round++ {
 		share := (opts.Budget-vtime())/int64(len(live)) + 1
 
 		jobs := make(chan *island)
@@ -181,19 +216,23 @@ func runParallel(prog *ir.Program, ex *symex.Executor, pools []*phasePool,
 		for _, is := range live {
 			if len(is.states) > 0 {
 				keep = append(keep, is)
+			} else {
+				deadClock += is.ex.Clock()
 			}
 		}
 		live = keep
+
+		executed++
+		camp.bumpRound()
+		camp.barrierParallel(round+1, isles, live, deadClock, coveredIDs(), ws)
+		if opts.MaxRounds > 0 && executed >= opts.MaxRounds {
+			res.Interrupted = true
+			break
+		}
 	}
 
 	// Final merge into the shared executor and result, in phase order.
-	all := make([]int, 0, numCovered)
-	for id, c := range globalCovered {
-		if c {
-			all = append(all, id)
-		}
-	}
-	ex.AbsorbCoverage(all)
+	ex.AbsorbCoverage(coveredIDs())
 	for _, is := range isles {
 		for _, r := range is.ex.Bugs.Reports() {
 			ex.Bugs.Add(r)
@@ -201,14 +240,26 @@ func runParallel(prog *ir.Program, ex *symex.Executor, pools []*phasePool,
 		res.Gov.Merge(is.ex.Gov())
 		res.SolverStats.Accum(is.ex.Solver.Stats())
 	}
-	res.SharedCache = shared.Stats()
-	res.WorkerStats = ws
+	res.SharedCache = sharedCacheStats(shared)
+	res.WorkerStats = camp.mergeWorkerStats(ws)
+}
+
+// sharedCacheStats extracts the in-memory traffic counters from either
+// shared-tier implementation.
+func sharedCacheStats(v solver.VerdictCache) solver.ShardStats {
+	switch c := v.(type) {
+	case *solver.ShardedCache:
+		return c.Stats()
+	case *store.SolverCache:
+		return c.MemStats()
+	}
+	return solver.ShardStats{}
 }
 
 // buildIsland constructs one phase's private executor and translates the
 // phase's seedStates into it.
 func buildIsland(prog *ir.Program, ex *symex.Executor, is *island,
-	shared *solver.ShardedCache, seedBytes []byte, baseCover []int,
+	shared solver.VerdictCache, seedBytes []byte, baseCover []int,
 	opts Options, exOpts symex.Options) {
 
 	id := is.pool.info.ID
@@ -232,7 +283,7 @@ func buildIsland(prog *ir.Program, ex *symex.Executor, is *island,
 
 	is.ex = pex
 	is.cache = cache
-	is.rng = rand.New(rand.NewSource(opts.Seed + 1 + int64(id)*0x9e3779b9))
+	is.rng, is.src = newCountedRand(opts.Seed + 1 + int64(id)*0x9e3779b9)
 }
 
 // runIslandTurn is the parallel counterpart of runPhaseTurn: one

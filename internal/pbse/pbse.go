@@ -21,6 +21,7 @@ import (
 	"pbse/internal/ir"
 	"pbse/internal/phase"
 	"pbse/internal/solver"
+	"pbse/internal/store"
 	"pbse/internal/symex"
 )
 
@@ -61,6 +62,24 @@ type Options struct {
 	// deterministic in opts.Seed but use per-phase rather than global
 	// virtual-time interleaving.
 	Workers int
+	// Store, when non-nil, persists the campaign: a checkpoint at every
+	// scheduler round barrier, the cross-run solver verdict cache, and
+	// the bug-reproducer corpus (see internal/store and DESIGN.md §9). A
+	// killed run loses at most one round of work.
+	Store *store.Store
+	// Resume continues from Store's checkpoint instead of starting over,
+	// skipping the concolic trace and phase analysis. The store's
+	// manifest must match this run's program, seed, and options; it is
+	// an error when the store holds no checkpoint.
+	Resume bool
+	// MaxRounds, when positive, stops this process after it has executed
+	// that many scheduler rounds, right after the round's checkpoint is
+	// written (Result.Interrupted is set). It is the controlled-interrupt
+	// hook for resume tests and CI; the campaign itself continues across
+	// processes via Resume.
+	MaxRounds int64
+	// StoreLabel tags the store manifest (e.g. the target driver name).
+	StoreLabel string
 }
 
 // CoveragePoint is one (virtual time, blocks covered) sample.
@@ -122,6 +141,14 @@ type Result struct {
 	// SharedCache reports cross-worker verdict-cache traffic (zero for
 	// single-worker runs, which have no shared cache).
 	SharedCache solver.ShardStats
+	// Resumed says this run continued from a store checkpoint (concolic
+	// trace and phase analysis were loaded, not recomputed).
+	Resumed bool
+	// Interrupted says the run stopped at Options.MaxRounds with budget
+	// remaining; the store holds a checkpoint to resume from.
+	Interrupted bool
+	// Store holds the persistence counters (zero without Options.Store).
+	Store store.Stats
 }
 
 // phasePool is the per-phase state pool driven by Algorithm 3.
@@ -162,14 +189,36 @@ func Run(prog *ir.Program, seed []byte, opts Options, exOpts symex.Options) (*Re
 		exOpts.InputSize = len(seed)
 	}
 
+	seedBytes := make([]byte, exOpts.InputSize)
+	copy(seedBytes, seed)
+
+	camp, err := newCampaign(prog, seedBytes, opts)
+	if err != nil {
+		return nil, err
+	}
+	if camp.enabled() {
+		// The persistent verdict cache doubles as the solver's shared
+		// tier, so Sat/Unsat facts survive across runs of this store.
+		if exOpts.SolverOpts.Shared == nil {
+			exOpts.SolverOpts.Shared = camp.cache
+		}
+		if opts.Resume {
+			if !camp.st.HasCheckpoint() {
+				return nil, fmt.Errorf("pbse: resume requested but store %q has no checkpoint", camp.st.Dir())
+			}
+			return resumeRun(prog, seedBytes, opts, exOpts, camp)
+		}
+		if err := camp.beginFresh(seedBytes); err != nil {
+			return nil, err
+		}
+	}
+
 	ex := symex.NewExecutor(prog, exOpts)
 	res := &Result{Executor: ex}
 
 	// the seed input satisfies every prefix of the seed path's
 	// constraints; keep it as a standing solver candidate
-	seedBytes := make([]byte, exOpts.InputSize)
-	copy(seedBytes, seed)
-	ex.Solver.AddCandidate(expr.Assignment{ex.InputArr: seedBytes})
+	ex.Solver.AddCandidate(expr.Assignment{ex.InputArr: append([]byte(nil), seedBytes...)})
 
 	// Pick the BBV interval so the seed path yields enough BBVs for
 	// k-means (~48): a concrete dry run measures the path length at
@@ -207,6 +256,7 @@ func Run(prog *ir.Program, seed []byte, opts Options, exOpts symex.Options) (*Re
 
 	// Map seedStates to phases by fork time and deduplicate by fork point.
 	pools := buildPools(div, con, opts)
+	camp.wire(ex, res, con, div, pools)
 
 	// Step 3: phase-scheduled symbolic execution (Algorithm 3).
 	workers := opts.Workers
@@ -220,20 +270,29 @@ func Run(prog *ir.Program, seed []byte, opts Options, exOpts symex.Options) (*Re
 		}
 	}
 	res.Workers = 1
+	rng, src := newCountedRand(opts.Seed + 1)
 	switch {
 	case opts.Sequential:
-		rng := rand.New(rand.NewSource(opts.Seed + 1))
-		runSequential(ex, pools, opts, rng, res)
+		runSequential(ex, pools, opts, rng, res, camp, src, 0)
 	case workers <= 1 || populated < 2:
-		rng := rand.New(rand.NewSource(opts.Seed + 1))
-		runRoundRobin(ex, pools, opts, rng, res)
+		runRoundRobin(ex, pools, opts, rng, res, camp, src, nil, 0)
 	default:
 		if workers > populated {
 			workers = populated
 		}
 		res.Workers = workers
-		runParallel(prog, ex, pools, seedBytes, workers, opts, exOpts, res)
+		runParallel(prog, ex, pools, seedBytes, workers, opts, exOpts, res, camp, nil)
 	}
+
+	return finishRun(ex, res, camp, con, div, pools)
+}
+
+// finishRun is Run's common tail, shared with the resume path: fold the
+// per-pool stats and worker aggregates into res, attribute concolic-era
+// bugs to phases, and (for persisted campaigns) write the final manifest
+// and reproducers.
+func finishRun(ex *symex.Executor, res *Result, camp *campaign,
+	con *concolic.Result, div *phase.Division, pools []*phasePool) (*Result, error) {
 
 	for _, p := range pools {
 		res.PhaseStats = append(res.PhaseStats, p.stat)
@@ -241,8 +300,9 @@ func Run(prog *ir.Program, seed []byte, opts Options, exOpts symex.Options) (*Re
 	res.Covered = ex.NumCovered()
 	res.Bugs = ex.Bugs.Reports()
 	// runParallel stashes the phase workers' aggregate in res.Gov and
-	// res.SolverStats; fold in the main executor's share (the whole run,
-	// for single-worker schedules).
+	// res.SolverStats (and the resume path pre-seeds them with the
+	// checkpoint's carry); fold in the main executor's share (the whole
+	// run, for single-worker schedules).
 	gov := ex.Gov()
 	gov.Merge(res.Gov)
 	res.Gov = gov
@@ -256,7 +316,7 @@ func Run(prog *ir.Program, seed []byte, opts Options, exOpts symex.Options) (*Re
 			b.Phase = div.PhaseOfTime(con.BBVs, b.Time-con.Start)
 		}
 	}
-	return res, nil
+	return res, camp.finish(res)
 }
 
 // buildPools assigns seedStates to phases (by the time of their fork
@@ -315,18 +375,39 @@ func buildPools(div *phase.Division, con *concolic.Result, opts Options) []*phas
 
 // runRoundRobin is Algorithm 3: cycle phases, escalating the time period
 // each full turn, breaking out of a phase once it stops covering new code
-// past its slice.
-func runRoundRobin(ex *symex.Executor, pools []*phasePool, opts Options, rng *rand.Rand, res *Result) {
-	live := make([]*phasePool, 0, len(pools))
-	for _, p := range pools {
-		if len(p.states) > 0 {
-			live = append(live, p)
+// past its slice. A barrier fires at every multiple of the live-phase
+// count — there the campaign (if any) checkpoints, and MaxRounds can stop
+// the process with the checkpoint already durable. The resume path passes
+// the checkpointed live order and turn counter; fresh runs pass (nil, 0).
+func runRoundRobin(ex *symex.Executor, pools []*phasePool, opts Options, rng *rand.Rand,
+	res *Result, camp *campaign, src *countedSource, live []*phasePool, startI int64) {
+
+	if live == nil {
+		live = make([]*phasePool, 0, len(pools))
+		for _, p := range pools {
+			if len(p.states) > 0 {
+				live = append(live, p)
+			}
 		}
 	}
-	i := 0
+	i := startI
+	lastBarrier := int64(-1)
+	var executed int64
 	for len(live) > 0 && ex.Clock() < opts.Budget {
-		phaseNum := i % len(live)
-		turnNum := int64(i/len(live)) + 1
+		if i%int64(len(live)) == 0 && i != lastBarrier {
+			lastBarrier = i
+			if i > startI {
+				executed++
+				camp.bumpRound()
+			}
+			camp.barrierW1(modeRoundRobin, i, live, src)
+			if opts.MaxRounds > 0 && executed >= opts.MaxRounds {
+				res.Interrupted = true
+				return
+			}
+		}
+		phaseNum := int(i % int64(len(live)))
+		turnNum := i/int64(len(live)) + 1
 		pool := live[phaseNum]
 		if len(pool.states) == 0 {
 			live = append(live[:phaseNum], live[phaseNum+1:]...)
@@ -340,20 +421,28 @@ func runRoundRobin(ex *symex.Executor, pools []*phasePool, opts Options, rng *ra
 		pool.stat.Turns++
 		i++
 	}
+	// Exit checkpoint: resuming a finished campaign reconstructs this
+	// position and immediately falls through again.
+	camp.barrierW1(modeRoundRobin, i, live, src)
 }
 
 // runSequential is the scheduling ablation: each phase once, in order,
-// with an equal share of the remaining budget.
-func runSequential(ex *symex.Executor, pools []*phasePool, opts Options, rng *rand.Rand, res *Result) {
-	var live []*phasePool
-	for _, p := range pools {
-		if len(p.states) > 0 {
-			live = append(live, p)
-		}
-	}
-	for idx, pool := range pools {
+// with an equal share of the remaining budget. The barrier (and
+// checkpoint) sits before each phase's single slice; NextTurn is the
+// index of the phase about to run.
+func runSequential(ex *symex.Executor, pools []*phasePool, opts Options, rng *rand.Rand,
+	res *Result, camp *campaign, src *countedSource, startIdx int) {
+
+	var executed int64
+	for idx := startIdx; idx < len(pools); idx++ {
+		pool := pools[idx]
 		if len(pool.states) == 0 {
 			continue
+		}
+		camp.barrierW1(modeSequential, int64(idx), seqLive(pools, idx), src)
+		if opts.MaxRounds > 0 && executed >= opts.MaxRounds {
+			res.Interrupted = true
+			return
 		}
 		remainingPhases := 0
 		for _, p := range pools[idx:] {
@@ -367,11 +456,25 @@ func runSequential(ex *symex.Executor, pools []*phasePool, opts Options, rng *ra
 			return ex.Clock()-turnStart > slice
 		})
 		pool.stat.Turns++
+		executed++
+		camp.bumpRound()
 		if ex.Clock() >= opts.Budget {
-			return
+			break
 		}
 	}
-	_ = live
+	camp.barrierW1(modeSequential, int64(len(pools)), nil, src)
+}
+
+// seqLive lists the not-yet-visited populated pools, for the sequential
+// checkpoint's live set.
+func seqLive(pools []*phasePool, idx int) []*phasePool {
+	var out []*phasePool
+	for _, p := range pools[idx:] {
+		if len(p.states) > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // runPhaseTurn is the inner loop of Algorithm 3 (lines 11-18): step states

@@ -1,0 +1,221 @@
+package pbse
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"pbse/internal/store"
+	"pbse/internal/symex"
+	"pbse/internal/targets"
+)
+
+// Per-driver budgets and seed sizes keep the kill/resume matrix
+// affordable on one core (each cell runs the campaign three times: full,
+// interrupted, resumed) while still executing ≥2 scheduler rounds and
+// finding bugs, so kill-after-round-1 is a genuine mid-campaign
+// interrupt. The whole internal/pbse package must stay under go test's
+// default 600s; the existing suite uses most of it.
+const (
+	readelfBudget = 50_000
+	dwarfBudget   = 60_000
+	storeSeedSize = 256
+)
+
+func runStored(t *testing.T, driver string, budget int64, opts Options) *Result {
+	t.Helper()
+	tgt, err := targets.ByDriver(driver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := tgt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := tgt.GenSeed(rand.New(rand.NewSource(42)), storeSeedSize)
+	opts.Budget = budget
+	res, err := Run(prog, seed, opts, symex.Options{InputSize: len(seed)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func bugIDs(res *Result) []string {
+	ids := make([]string, 0, len(res.Bugs))
+	for _, b := range res.Bugs {
+		ids = append(ids, b.ID())
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// TestResumeDeterminism is the tentpole acceptance check: killing a
+// campaign after round 1 and resuming it from the checkpoint must land on
+// exactly the coverage, bug-ID set, and per-phase stats of the
+// uninterrupted run — for multiple targets and worker counts.
+func TestResumeDeterminism(t *testing.T) {
+	skipIfShort(t)
+	for _, tc := range []struct {
+		driver  string
+		budget  int64
+		workers int
+	}{
+		{"readelf", readelfBudget, 1},
+		{"readelf", readelfBudget, 4},
+		{"dwarfdump", dwarfBudget, 1},
+		{"dwarfdump", dwarfBudget, 4},
+	} {
+		tc := tc
+		t.Run(tc.driver+"/w"+string(rune('0'+tc.workers)), func(t *testing.T) {
+			t.Parallel() // cells are independent; keeps the package under go test's 600s default
+			stFull, err := store.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := runStored(t, tc.driver, tc.budget, Options{
+				Workers: tc.workers, Store: stFull, StoreLabel: tc.driver,
+			})
+			if full.Interrupted {
+				t.Fatal("uninterrupted run reported Interrupted")
+			}
+			m, err := stFull.ReadManifest()
+			if err != nil || m == nil || m.Status != store.StatusComplete {
+				t.Fatalf("full-run manifest = %+v, %v (want complete)", m, err)
+			}
+
+			// Kill after one round, in a separate store directory so the
+			// warm solver cache cannot contaminate the comparison.
+			dir := t.TempDir()
+			stKill, err := store.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			killed := runStored(t, tc.driver, tc.budget, Options{
+				Workers: tc.workers, Store: stKill, StoreLabel: tc.driver, MaxRounds: 1,
+			})
+			if !killed.Interrupted {
+				t.Fatal("MaxRounds=1 run not marked Interrupted")
+			}
+			if m, _ := stKill.ReadManifest(); m == nil || m.Status != store.StatusRunning {
+				t.Fatalf("interrupted manifest = %+v (want running)", m)
+			}
+
+			// Resume in a fresh Store handle, as a new process would.
+			stRes, err := store.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed := runStored(t, tc.driver, tc.budget, Options{
+				Workers: tc.workers, Store: stRes, StoreLabel: tc.driver, Resume: true,
+			})
+			if !resumed.Resumed {
+				t.Fatal("resume run did not report Resumed")
+			}
+			if resumed.Interrupted {
+				t.Fatal("resume run reported Interrupted")
+			}
+
+			if full.Covered != resumed.Covered {
+				t.Errorf("coverage diverged: full=%d resumed=%d", full.Covered, resumed.Covered)
+			}
+			if f, r := bugIDs(full), bugIDs(resumed); !reflect.DeepEqual(f, r) {
+				t.Errorf("bug IDs diverged:\n full   %v\n resumed %v", f, r)
+			}
+			if !reflect.DeepEqual(full.PhaseStats, resumed.PhaseStats) {
+				t.Errorf("phase stats diverged:\n full   %+v\n resumed %+v", full.PhaseStats, resumed.PhaseStats)
+			}
+			if full.Gov != resumed.Gov {
+				t.Errorf("gov stats diverged: full=%+v resumed=%+v", full.Gov, resumed.Gov)
+			}
+		})
+	}
+}
+
+// TestResumeGuards exercises the manifest compatibility checks.
+func TestResumeGuards(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runStored(t, "dwarfdump", dwarfBudget, Options{
+		Workers: 1, Store: st, StoreLabel: "dwarfdump", MaxRounds: 1,
+	})
+
+	tgt, _ := targets.ByDriver("dwarfdump")
+	prog, _ := tgt.Build()
+	seed := tgt.GenSeed(rand.New(rand.NewSource(42)), storeSeedSize)
+
+	// Different seed bytes must be rejected.
+	other := append([]byte(nil), seed...)
+	other[0] ^= 0xff
+	st2, _ := store.Open(dir)
+	if _, err := Run(prog, other, Options{Budget: dwarfBudget, Workers: 1, Store: st2, Resume: true},
+		symex.Options{InputSize: len(other)}); err == nil {
+		t.Error("resume with different seed bytes was accepted")
+	}
+
+	// Different budget (part of the options signature) must be rejected.
+	st3, _ := store.Open(dir)
+	if _, err := Run(prog, seed, Options{Budget: dwarfBudget * 2, Workers: 1, Store: st3, Resume: true},
+		symex.Options{InputSize: len(seed)}); err == nil {
+		t.Error("resume with different budget was accepted")
+	}
+
+	// Resume with empty store must be rejected.
+	st4, _ := store.Open(t.TempDir())
+	if _, err := Run(prog, seed, Options{Budget: dwarfBudget, Workers: 1, Store: st4, Resume: true},
+		symex.Options{InputSize: len(seed)}); err == nil {
+		t.Error("resume from empty store was accepted")
+	}
+}
+
+// TestCrossRunSolverCacheWarm checks the persistent verdict cache: a
+// second fresh campaign over the same store must start with the first
+// run's verdicts loaded and spend measurably fewer SAT runs.
+func TestCrossRunSolverCacheWarm(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
+	dir := t.TempDir()
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run1 := runStored(t, "dwarfdump", dwarfBudget, Options{
+		Workers: 1, Store: st1, StoreLabel: "dwarfdump",
+	})
+	if run1.Store.VerdictsFlushed == 0 {
+		t.Fatal("first run flushed no verdicts")
+	}
+
+	// New handle = new process: the verdict log is re-read from disk.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2 := runStored(t, "dwarfdump", dwarfBudget, Options{
+		Workers: 1, Store: st2, StoreLabel: "dwarfdump",
+	})
+	if run2.Store.VerdictsLoaded == 0 {
+		t.Fatal("second run loaded no verdicts from disk")
+	}
+	if run2.SolverStats.SharedHits == 0 {
+		t.Error("warm cache produced no shared hits")
+	}
+	if run2.SolverStats.SATRuns >= run1.SolverStats.SATRuns {
+		t.Errorf("warm cache did not reduce SAT runs: run1=%d run2=%d",
+			run1.SolverStats.SATRuns, run2.SolverStats.SATRuns)
+	}
+	// The cache only serves verdicts, never models, so the trajectory must
+	// be unchanged.
+	if run1.Covered != run2.Covered {
+		t.Errorf("warm cache changed coverage: %d vs %d", run1.Covered, run2.Covered)
+	}
+	if !reflect.DeepEqual(bugIDs(run1), bugIDs(run2)) {
+		t.Errorf("warm cache changed bug set: %v vs %v", bugIDs(run1), bugIDs(run2))
+	}
+}

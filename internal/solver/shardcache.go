@@ -66,6 +66,20 @@ func (c *ShardedCache) Get(key uint64) (Result, bool) {
 	return r, ok
 }
 
+// Peek returns the cached verdict without touching the hit/miss
+// counters — for cache-maintenance probes (the persistent store's
+// write-behind dedup) that should not distort traffic stats.
+func (c *ShardedCache) Peek(key uint64) (Result, bool) {
+	if c == nil {
+		return Unknown, false
+	}
+	s := c.shard(key)
+	s.mu.RLock()
+	r, ok := s.m[key]
+	s.mu.RUnlock()
+	return r, ok
+}
+
 // Put records a Sat/Unsat verdict. Unknown is ignored: "gave up" is not
 // a fact about the query.
 func (c *ShardedCache) Put(key uint64, r Result) {

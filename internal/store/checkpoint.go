@@ -1,0 +1,998 @@
+package store
+
+import (
+	"fmt"
+
+	"pbse/internal/bugs"
+	"pbse/internal/concolic"
+	"pbse/internal/expr"
+	"pbse/internal/ir"
+	"pbse/internal/phase"
+	"pbse/internal/solver"
+	"pbse/internal/symex"
+)
+
+// Checkpoint is the resumable image of a pbSE campaign at a scheduler
+// round barrier. Everything the schedulers need to continue bit-exact is
+// here: concolic/phase metadata (so resume skips tracing and k-means),
+// global coverage and bug ledger, per-pool phase stats, the scheduler
+// position (mode + next turn/round + live pool order + rng draw counts),
+// and the live execution states themselves, serialised per expression
+// section. Aggregate counters of work done before the checkpoint ride
+// along as "carry" values, since a resumed executor restarts its own
+// counters at zero.
+type Checkpoint struct {
+	Mode       string // "roundrobin", "sequential", or "parallel"
+	NextTurn   int64  // round-robin: next turn index; sequential: next phase; parallel: next round
+	RoundsDone int64
+	RNGDraws   int64 // single-worker schedulers: source draws so far
+	// NextStateID is the main executor's next fork ID (single-worker
+	// schedulers; islands carry their own in their StateList).
+	NextStateID int
+	// DeadClock is the summed virtual clock of parallel islands that
+	// drained before this checkpoint — they have no section anymore but
+	// still count toward global virtual time.
+	DeadClock int64
+
+	Clock      int64
+	CTime      int64
+	PTimeNanos int64
+	ConStart   int64
+	ConSteps   int64
+	ConExited  bool
+
+	BBVs     []concolic.BBV
+	Division *phase.Division
+
+	Covered    []int
+	Series     []CoveragePoint
+	Bugs       []*bugs.Report
+	Quarantine []symex.QuarantineRecord
+
+	CarryGov     symex.GovStats
+	CarrySolver  solver.Stats
+	CarryWorkers []WorkerStat
+
+	PhaseStats []PhaseStat // all pools, scheduler order
+	LiveIDs    []int       // phase IDs still live, scheduler order
+
+	Sections []StateSection
+}
+
+// CoveragePoint mirrors pbse.CoveragePoint (store cannot import pbse).
+type CoveragePoint struct {
+	Time    int64
+	Covered int
+}
+
+// WorkerStat mirrors pbse.WorkerStat.
+type WorkerStat struct {
+	Worker int
+	Turns  int64
+	Steps  int64
+}
+
+// PhaseStat mirrors pbse.PhaseStat.
+type PhaseStat struct {
+	ID          int
+	Trap        bool
+	SeedStates  int
+	Steps       int64
+	Turns       int64
+	NewBlocks   int
+	Bugs        int
+	Quarantines int
+}
+
+// StateSection groups state lists that share one expression table — and
+// therefore decode into one expr.Context. Single-worker schedulers write
+// one section holding a list per pool; the parallel scheduler writes one
+// section per island.
+type StateSection struct {
+	Lists []StateList
+
+	raw []byte // decode side: undecoded section bytes
+}
+
+// StateList is the serialised state pool of one phase, with the island
+// scheduler position for parallel checkpoints. Bugs is the owning
+// island's private bug ledger (parallel mode only): each island dedups
+// bug sites locally, so its per-phase bug counter only advances on sites
+// new to that island — resuming must restore the ledger or re-detections
+// of pre-kill bugs would be double-counted. Single-worker checkpoints
+// leave it nil (their one ledger is Checkpoint.Bugs).
+type StateList struct {
+	PhaseID     int
+	Clock       int64
+	RNGDraws    int64
+	NextStateID int
+	States      []*symex.StateSnap
+	Bugs        []*bugs.Report
+}
+
+const (
+	checkpointMagic   = "PBSECKP1"
+	checkpointVersion = 1
+)
+
+// EncodeCheckpoint serialises ck. The encoding is deterministic: equal
+// checkpoints produce equal bytes.
+func EncodeCheckpoint(ck *Checkpoint) ([]byte, error) {
+	w := &writer{b: make([]byte, 0, 1<<16)}
+	w.b = append(w.b, checkpointMagic...)
+	w.uv(checkpointVersion)
+
+	w.str(ck.Mode)
+	w.iv(ck.NextTurn)
+	w.iv(ck.RoundsDone)
+	w.iv(ck.RNGDraws)
+	w.iv(int64(ck.NextStateID))
+	w.iv(ck.DeadClock)
+	w.iv(ck.Clock)
+	w.iv(ck.CTime)
+	w.iv(ck.PTimeNanos)
+	w.iv(ck.ConStart)
+	w.iv(ck.ConSteps)
+	w.bool(ck.ConExited)
+
+	w.uv(uint64(len(ck.BBVs)))
+	for _, b := range ck.BBVs {
+		writeBBV(w, b)
+	}
+	writeDivision(w, ck.Division)
+
+	w.uv(uint64(len(ck.Covered)))
+	for _, id := range ck.Covered {
+		w.iv(int64(id))
+	}
+	w.uv(uint64(len(ck.Series)))
+	for _, p := range ck.Series {
+		w.iv(p.Time)
+		w.iv(int64(p.Covered))
+	}
+	w.uv(uint64(len(ck.Bugs)))
+	for _, b := range ck.Bugs {
+		writeBug(w, b)
+	}
+	w.uv(uint64(len(ck.Quarantine)))
+	for _, q := range ck.Quarantine {
+		w.iv(int64(q.StateID))
+		w.str(q.Func)
+		w.str(q.Block)
+		w.str(q.Panic)
+		w.str(q.Stack)
+	}
+
+	writeGov(w, ck.CarryGov)
+	writeSolverStats(w, ck.CarrySolver)
+	w.uv(uint64(len(ck.CarryWorkers)))
+	for _, ws := range ck.CarryWorkers {
+		w.iv(int64(ws.Worker))
+		w.iv(ws.Turns)
+		w.iv(ws.Steps)
+	}
+
+	w.uv(uint64(len(ck.PhaseStats)))
+	for _, ps := range ck.PhaseStats {
+		w.iv(int64(ps.ID))
+		w.bool(ps.Trap)
+		w.iv(int64(ps.SeedStates))
+		w.iv(ps.Steps)
+		w.iv(ps.Turns)
+		w.iv(int64(ps.NewBlocks))
+		w.iv(int64(ps.Bugs))
+		w.iv(int64(ps.Quarantines))
+	}
+	w.uv(uint64(len(ck.LiveIDs)))
+	for _, id := range ck.LiveIDs {
+		w.iv(int64(id))
+	}
+
+	w.uv(uint64(len(ck.Sections)))
+	for _, sec := range ck.Sections {
+		sw := &writer{}
+		if err := encodeSection(sw, &sec); err != nil {
+			return nil, err
+		}
+		w.bytes(sw.b)
+	}
+	return w.b, nil
+}
+
+func encodeSection(w *writer, sec *StateSection) error {
+	enc := newExprEnc()
+	for _, l := range sec.Lists {
+		for _, s := range l.States {
+			for _, c := range s.PC {
+				enc.add(c)
+			}
+			for _, f := range s.Frames {
+				for _, r := range f.Regs {
+					enc.add(r)
+				}
+			}
+			for _, o := range s.Objs {
+				for _, e := range o.Sym {
+					enc.add(e)
+				}
+			}
+		}
+	}
+	enc.writeTable(w)
+	w.uv(uint64(len(sec.Lists)))
+	for _, l := range sec.Lists {
+		w.iv(int64(l.PhaseID))
+		w.iv(l.Clock)
+		w.iv(l.RNGDraws)
+		w.iv(int64(l.NextStateID))
+		w.uv(uint64(len(l.States)))
+		for _, s := range l.States {
+			writeState(w, enc, s)
+		}
+		w.uv(uint64(len(l.Bugs)))
+		for _, b := range l.Bugs {
+			writeBug(w, b)
+		}
+	}
+	return nil
+}
+
+func writeState(w *writer, enc *exprEnc, s *symex.StateSnap) {
+	w.iv(int64(s.ID))
+	w.uv(uint64(len(s.Frames)))
+	for _, f := range s.Frames {
+		w.str(f.Fn)
+		w.uv(uint64(len(f.Regs)))
+		for _, r := range f.Regs {
+			enc.ref(w, r)
+		}
+		w.iv(int64(f.RetDst))
+		w.iv(int64(f.RetBlockID))
+		w.iv(int64(f.RetIndex))
+	}
+	w.uv(uint64(len(s.Objs)))
+	for _, o := range s.Objs {
+		w.uv(uint64(o.ID))
+		w.bytes(o.Conc)
+		w.bool(o.Sym != nil)
+		if o.Sym != nil {
+			for _, e := range o.Sym {
+				enc.ref(w, e)
+			}
+		}
+	}
+	w.uv(uint64(s.NextObjID))
+	w.iv(int64(s.BlockID))
+	w.iv(int64(s.Idx))
+	w.uv(uint64(len(s.PC)))
+	for _, c := range s.PC {
+		enc.ref(w, c)
+	}
+	w.iv(int64(s.Depth))
+	w.iv(s.ForkTime)
+	w.iv(s.LastNewCover)
+	w.iv(s.StepsExecuted)
+	w.iv(int64(s.SeedForkBlockID))
+	w.iv(int64(s.SeedForkIdx))
+	var flags byte
+	if s.NeedsValidation {
+		flags |= 1
+	}
+	if s.Terminated {
+		flags |= 2
+	}
+	if s.Evicted {
+		flags |= 4
+	}
+	w.u8(flags)
+}
+
+// CheckpointFile is a parsed checkpoint whose state sections are still
+// raw bytes: sections are decoded on demand into the Context that will
+// execute them (a resumed executor's, or a rebuilt island's).
+type CheckpointFile struct {
+	ck *Checkpoint
+}
+
+// Common returns everything except the per-section states.
+func (f *CheckpointFile) Common() *Checkpoint { return f.ck }
+
+// NumSections returns the number of state sections.
+func (f *CheckpointFile) NumSections() int { return len(f.ck.Sections) }
+
+// DecodeSection decodes section i's expression table and state lists
+// into ctx, mapping serialised arrays through resolve.
+func (f *CheckpointFile) DecodeSection(i int, ctx *expr.Context, resolve ArrayResolver) ([]StateList, error) {
+	if i < 0 || i >= len(f.ck.Sections) {
+		return nil, fmt.Errorf("store: section %d out of range", i)
+	}
+	r := &reader{b: f.ck.Sections[i].raw}
+	dec, err := readExprTable(r, ctx, resolve)
+	if err != nil {
+		return nil, err
+	}
+	nl, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	lists := make([]StateList, 0, nl)
+	for j := 0; j < nl; j++ {
+		var l StateList
+		pid, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		l.PhaseID = int(pid)
+		if l.Clock, err = r.iv(); err != nil {
+			return nil, err
+		}
+		if l.RNGDraws, err = r.iv(); err != nil {
+			return nil, err
+		}
+		nid, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		l.NextStateID = int(nid)
+		ns, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < ns; k++ {
+			s, err := readState(r, dec)
+			if err != nil {
+				return nil, err
+			}
+			l.States = append(l.States, s)
+		}
+		nb, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < nb; k++ {
+			b, err := readBug(r)
+			if err != nil {
+				return nil, err
+			}
+			l.Bugs = append(l.Bugs, b)
+		}
+		lists = append(lists, l)
+	}
+	return lists, nil
+}
+
+func readState(r *reader, dec *exprDec) (*symex.StateSnap, error) {
+	s := &symex.StateSnap{}
+	id, err := r.iv()
+	if err != nil {
+		return nil, err
+	}
+	s.ID = int(id)
+	nf, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nf; i++ {
+		var f symex.FrameSnap
+		if f.Fn, err = r.str(); err != nil {
+			return nil, err
+		}
+		nr, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		f.Regs = make([]*expr.Expr, nr)
+		for j := 0; j < nr; j++ {
+			if f.Regs[j], err = dec.ref(r); err != nil {
+				return nil, err
+			}
+		}
+		rd, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		f.RetDst = ir.Reg(rd)
+		rb, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		f.RetBlockID = int(rb)
+		ri, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		f.RetIndex = int(ri)
+		s.Frames = append(s.Frames, f)
+	}
+	no, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < no; i++ {
+		var o symex.ObjSnap
+		oid, err := r.uv()
+		if err != nil {
+			return nil, err
+		}
+		o.ID = uint32(oid)
+		if o.Conc, err = r.bytes(); err != nil {
+			return nil, err
+		}
+		o.Size = len(o.Conc)
+		hasSym, err := r.bool()
+		if err != nil {
+			return nil, err
+		}
+		if hasSym {
+			o.Sym = make([]*expr.Expr, o.Size)
+			for j := 0; j < o.Size; j++ {
+				if o.Sym[j], err = dec.ref(r); err != nil {
+					return nil, err
+				}
+			}
+		}
+		s.Objs = append(s.Objs, o)
+	}
+	noid, err := r.uv()
+	if err != nil {
+		return nil, err
+	}
+	s.NextObjID = uint32(noid)
+	bid, err := r.iv()
+	if err != nil {
+		return nil, err
+	}
+	s.BlockID = int(bid)
+	idx, err := r.iv()
+	if err != nil {
+		return nil, err
+	}
+	s.Idx = int(idx)
+	np, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < np; i++ {
+		c, err := dec.ref(r)
+		if err != nil {
+			return nil, err
+		}
+		if c == nil {
+			return nil, fmt.Errorf("store: state %d: nil path constraint", s.ID)
+		}
+		s.PC = append(s.PC, c)
+	}
+	d, err := r.iv()
+	if err != nil {
+		return nil, err
+	}
+	s.Depth = int(d)
+	if s.ForkTime, err = r.iv(); err != nil {
+		return nil, err
+	}
+	if s.LastNewCover, err = r.iv(); err != nil {
+		return nil, err
+	}
+	if s.StepsExecuted, err = r.iv(); err != nil {
+		return nil, err
+	}
+	sfb, err := r.iv()
+	if err != nil {
+		return nil, err
+	}
+	s.SeedForkBlockID = int(sfb)
+	sfi, err := r.iv()
+	if err != nil {
+		return nil, err
+	}
+	s.SeedForkIdx = int(sfi)
+	flags, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	s.NeedsValidation = flags&1 != 0
+	s.Terminated = flags&2 != 0
+	s.Evicted = flags&4 != 0
+	return s, nil
+}
+
+// DecodeCheckpoint parses the common part of a checkpoint; state
+// sections stay raw until DecodeSection.
+func DecodeCheckpoint(data []byte) (*CheckpointFile, error) {
+	if len(data) < len(checkpointMagic) || string(data[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("store: not a checkpoint file")
+	}
+	r := &reader{b: data, off: len(checkpointMagic)}
+	ver, err := r.uv()
+	if err != nil {
+		return nil, err
+	}
+	if ver != checkpointVersion {
+		return nil, fmt.Errorf("store: checkpoint version %d (want %d)", ver, checkpointVersion)
+	}
+	ck := &Checkpoint{}
+	if ck.Mode, err = r.str(); err != nil {
+		return nil, err
+	}
+	if ck.NextTurn, err = r.iv(); err != nil {
+		return nil, err
+	}
+	if ck.RoundsDone, err = r.iv(); err != nil {
+		return nil, err
+	}
+	if ck.RNGDraws, err = r.iv(); err != nil {
+		return nil, err
+	}
+	nsi, err := r.iv()
+	if err != nil {
+		return nil, err
+	}
+	ck.NextStateID = int(nsi)
+	if ck.DeadClock, err = r.iv(); err != nil {
+		return nil, err
+	}
+	if ck.Clock, err = r.iv(); err != nil {
+		return nil, err
+	}
+	if ck.CTime, err = r.iv(); err != nil {
+		return nil, err
+	}
+	if ck.PTimeNanos, err = r.iv(); err != nil {
+		return nil, err
+	}
+	if ck.ConStart, err = r.iv(); err != nil {
+		return nil, err
+	}
+	if ck.ConSteps, err = r.iv(); err != nil {
+		return nil, err
+	}
+	if ck.ConExited, err = r.bool(); err != nil {
+		return nil, err
+	}
+
+	nb, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nb; i++ {
+		b, err := readBBV(r)
+		if err != nil {
+			return nil, err
+		}
+		ck.BBVs = append(ck.BBVs, b)
+	}
+	if ck.Division, err = readDivision(r); err != nil {
+		return nil, err
+	}
+
+	nc, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nc; i++ {
+		id, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		ck.Covered = append(ck.Covered, int(id))
+	}
+	np, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < np; i++ {
+		var p CoveragePoint
+		if p.Time, err = r.iv(); err != nil {
+			return nil, err
+		}
+		cov, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		p.Covered = int(cov)
+		ck.Series = append(ck.Series, p)
+	}
+	nbug, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nbug; i++ {
+		b, err := readBug(r)
+		if err != nil {
+			return nil, err
+		}
+		ck.Bugs = append(ck.Bugs, b)
+	}
+	nq, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nq; i++ {
+		var q symex.QuarantineRecord
+		sid, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		q.StateID = int(sid)
+		if q.Func, err = r.str(); err != nil {
+			return nil, err
+		}
+		if q.Block, err = r.str(); err != nil {
+			return nil, err
+		}
+		if q.Panic, err = r.str(); err != nil {
+			return nil, err
+		}
+		if q.Stack, err = r.str(); err != nil {
+			return nil, err
+		}
+		ck.Quarantine = append(ck.Quarantine, q)
+	}
+
+	if ck.CarryGov, err = readGov(r); err != nil {
+		return nil, err
+	}
+	if ck.CarrySolver, err = readSolverStats(r); err != nil {
+		return nil, err
+	}
+	nw, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nw; i++ {
+		var ws WorkerStat
+		wk, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		ws.Worker = int(wk)
+		if ws.Turns, err = r.iv(); err != nil {
+			return nil, err
+		}
+		if ws.Steps, err = r.iv(); err != nil {
+			return nil, err
+		}
+		ck.CarryWorkers = append(ck.CarryWorkers, ws)
+	}
+
+	nps, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nps; i++ {
+		var ps PhaseStat
+		id, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		ps.ID = int(id)
+		if ps.Trap, err = r.bool(); err != nil {
+			return nil, err
+		}
+		ss, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		ps.SeedStates = int(ss)
+		if ps.Steps, err = r.iv(); err != nil {
+			return nil, err
+		}
+		if ps.Turns, err = r.iv(); err != nil {
+			return nil, err
+		}
+		nb, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		ps.NewBlocks = int(nb)
+		bg, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		ps.Bugs = int(bg)
+		qr, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		ps.Quarantines = int(qr)
+		ck.PhaseStats = append(ck.PhaseStats, ps)
+	}
+	nl, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nl; i++ {
+		id, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		ck.LiveIDs = append(ck.LiveIDs, int(id))
+	}
+
+	nsec, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nsec; i++ {
+		raw, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		ck.Sections = append(ck.Sections, StateSection{raw: raw})
+	}
+	return &CheckpointFile{ck: ck}, nil
+}
+
+func writeBBV(w *writer, b concolic.BBV) {
+	w.iv(int64(b.Index))
+	w.iv(b.Time)
+	ids := make([]int, 0, len(b.Counts))
+	for id := range b.Counts {
+		ids = append(ids, id)
+	}
+	// deterministic map order
+	sortInts(ids)
+	w.uv(uint64(len(ids)))
+	for _, id := range ids {
+		w.iv(int64(id))
+		w.iv(int64(b.Counts[id]))
+	}
+	w.f64(b.Coverage)
+}
+
+func readBBV(r *reader) (concolic.BBV, error) {
+	var b concolic.BBV
+	idx, err := r.iv()
+	if err != nil {
+		return b, err
+	}
+	b.Index = int(idx)
+	if b.Time, err = r.iv(); err != nil {
+		return b, err
+	}
+	n, err := r.count()
+	if err != nil {
+		return b, err
+	}
+	b.Counts = make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		id, err := r.iv()
+		if err != nil {
+			return b, err
+		}
+		cnt, err := r.iv()
+		if err != nil {
+			return b, err
+		}
+		b.Counts[int(id)] = int(cnt)
+	}
+	if b.Coverage, err = r.f64(); err != nil {
+		return b, err
+	}
+	return b, nil
+}
+
+func writeDivision(w *writer, d *phase.Division) {
+	if d == nil {
+		w.bool(false)
+		return
+	}
+	w.bool(true)
+	w.iv(int64(d.K))
+	w.uv(uint64(len(d.Assign)))
+	for _, a := range d.Assign {
+		w.iv(int64(a))
+	}
+	w.uv(uint64(len(d.Phases)))
+	for _, p := range d.Phases {
+		w.iv(int64(p.ID))
+		w.uv(uint64(len(p.BBVs)))
+		for _, b := range p.BBVs {
+			w.iv(int64(b))
+		}
+		w.iv(p.FirstTime)
+		w.bool(p.Trap)
+		w.iv(int64(p.LongestRun))
+		w.f64(p.InputLoopFrac)
+	}
+	w.iv(int64(d.NumTrap))
+}
+
+func readDivision(r *reader) (*phase.Division, error) {
+	ok, err := r.bool()
+	if err != nil || !ok {
+		return nil, err
+	}
+	d := &phase.Division{}
+	k, err := r.iv()
+	if err != nil {
+		return nil, err
+	}
+	d.K = int(k)
+	na, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < na; i++ {
+		a, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		d.Assign = append(d.Assign, int(a))
+	}
+	np, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < np; i++ {
+		var p phase.Phase
+		id, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		p.ID = int(id)
+		nb, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < nb; j++ {
+			b, err := r.iv()
+			if err != nil {
+				return nil, err
+			}
+			p.BBVs = append(p.BBVs, int(b))
+		}
+		if p.FirstTime, err = r.iv(); err != nil {
+			return nil, err
+		}
+		if p.Trap, err = r.bool(); err != nil {
+			return nil, err
+		}
+		lr, err := r.iv()
+		if err != nil {
+			return nil, err
+		}
+		p.LongestRun = int(lr)
+		if p.InputLoopFrac, err = r.f64(); err != nil {
+			return nil, err
+		}
+		d.Phases = append(d.Phases, p)
+	}
+	nt, err := r.iv()
+	if err != nil {
+		return nil, err
+	}
+	d.NumTrap = int(nt)
+	return d, nil
+}
+
+func writeBug(w *writer, b *bugs.Report) {
+	w.iv(int64(b.Kind))
+	w.str(b.Func)
+	w.str(b.Block)
+	w.iv(int64(b.BlockID))
+	w.iv(int64(b.Index))
+	w.str(b.Msg)
+	w.bool(b.Input != nil)
+	if b.Input != nil {
+		w.bytes(b.Input)
+	}
+	w.iv(b.Time)
+	w.iv(int64(b.Phase))
+}
+
+func readBug(r *reader) (*bugs.Report, error) {
+	b := &bugs.Report{}
+	k, err := r.iv()
+	if err != nil {
+		return nil, err
+	}
+	b.Kind = bugs.Kind(k)
+	if b.Func, err = r.str(); err != nil {
+		return nil, err
+	}
+	if b.Block, err = r.str(); err != nil {
+		return nil, err
+	}
+	bid, err := r.iv()
+	if err != nil {
+		return nil, err
+	}
+	b.BlockID = int(bid)
+	idx, err := r.iv()
+	if err != nil {
+		return nil, err
+	}
+	b.Index = int(idx)
+	if b.Msg, err = r.str(); err != nil {
+		return nil, err
+	}
+	hasInput, err := r.bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasInput {
+		if b.Input, err = r.bytes(); err != nil {
+			return nil, err
+		}
+	}
+	if b.Time, err = r.iv(); err != nil {
+		return nil, err
+	}
+	ph, err := r.iv()
+	if err != nil {
+		return nil, err
+	}
+	b.Phase = int(ph)
+	return b, nil
+}
+
+func writeGov(w *writer, g symex.GovStats) {
+	w.iv(g.SolverUnknowns)
+	w.iv(g.SolverRetries)
+	w.iv(g.Concretizations)
+	w.iv(g.Quarantines)
+	w.iv(g.Evictions)
+}
+
+func readGov(r *reader) (symex.GovStats, error) {
+	var g symex.GovStats
+	var err error
+	if g.SolverUnknowns, err = r.iv(); err != nil {
+		return g, err
+	}
+	if g.SolverRetries, err = r.iv(); err != nil {
+		return g, err
+	}
+	if g.Concretizations, err = r.iv(); err != nil {
+		return g, err
+	}
+	if g.Quarantines, err = r.iv(); err != nil {
+		return g, err
+	}
+	if g.Evictions, err = r.iv(); err != nil {
+		return g, err
+	}
+	return g, nil
+}
+
+func writeSolverStats(w *writer, s solver.Stats) {
+	w.iv(s.Queries)
+	w.iv(s.CacheHits)
+	w.iv(s.SharedHits)
+	w.iv(s.CandidateSat)
+	w.iv(s.IntervalFast)
+	w.iv(s.SATRuns)
+	w.iv(s.Conflicts)
+	w.iv(s.Unknowns)
+	w.iv(s.BudgetExhausted)
+	w.iv(s.DeadlineExceeded)
+	w.iv(s.InjectedUnknowns)
+	w.iv(s.InternalRecovered)
+}
+
+func readSolverStats(r *reader) (solver.Stats, error) {
+	var s solver.Stats
+	fields := []*int64{
+		&s.Queries, &s.CacheHits, &s.SharedHits, &s.CandidateSat,
+		&s.IntervalFast, &s.SATRuns, &s.Conflicts, &s.Unknowns,
+		&s.BudgetExhausted, &s.DeadlineExceeded, &s.InjectedUnknowns,
+		&s.InternalRecovered,
+	}
+	for _, f := range fields {
+		v, err := r.iv()
+		if err != nil {
+			return s, err
+		}
+		*f = v
+	}
+	return s, nil
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package store is the persistence subsystem for pbSE campaigns: a
+// deterministic binary codec for expression DAGs and execution-state
+// snapshots, an atomically updated run manifest + checkpoint so a killed
+// campaign resumes losing at most one scheduler round, a cross-run
+// solver verdict cache backing solver.ShardedCache as a write-behind
+// tier, and an on-disk bug-reproducer corpus replayable through
+// internal/interp. See DESIGN.md §9.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"pbse/internal/expr"
+)
+
+// writer builds the binary checkpoint form: varints for integers,
+// length-prefixed bytes/strings, fixed 8-byte floats.
+type writer struct {
+	b []byte
+}
+
+func (w *writer) u8(v byte)   { w.b = append(w.b, v) }
+func (w *writer) uv(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+func (w *writer) iv(v int64)  { w.b = binary.AppendVarint(w.b, v) }
+func (w *writer) f64(v float64) {
+	w.b = binary.LittleEndian.AppendUint64(w.b, math.Float64bits(v))
+}
+
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+func (w *writer) bytes(p []byte) {
+	w.uv(uint64(len(p)))
+	w.b = append(w.b, p...)
+}
+
+func (w *writer) str(s string) {
+	w.uv(uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// reader is the bounds-checked mirror of writer. Every method returns an
+// error instead of panicking, so the decoder survives corrupt or
+// truncated bytes (exercised by FuzzSnapshotRoundtrip).
+type reader struct {
+	b   []byte
+	off int
+}
+
+var errTruncated = fmt.Errorf("store: truncated data")
+
+func (r *reader) u8() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, errTruncated
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) uv() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) iv() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) f64() (float64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, errTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return math.Float64frombits(v), nil
+}
+
+func (r *reader) bool() (bool, error) {
+	v, err := r.u8()
+	return v != 0, err
+}
+
+// count reads an element count, rejecting values that could not fit in
+// the remaining bytes (each element costs at least one byte) — the guard
+// against huge allocations from corrupt length fields.
+func (r *reader) count() (int, error) {
+	v, err := r.uv()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(r.b)-r.off) {
+		return 0, fmt.Errorf("store: count %d exceeds remaining %d bytes", v, len(r.b)-r.off)
+	}
+	return int(v), nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:r.off+n])
+	r.off += n
+	return out, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.count()
+	if err != nil {
+		return "", err
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+// exprEnc serialises a set of expression DAGs as a deduplicated node
+// table. Nodes are emitted in ascending creation-id order, which is
+// automatically topological (children precede parents) and — crucially —
+// preserves the *relative* id order of the nodes after decoding, so the
+// constructors' id-based commutative canonicalisation makes the same
+// decisions in a resumed Context as it did in the original one.
+type exprEnc struct {
+	nodes  []*expr.Expr
+	idx    map[*expr.Expr]uint64
+	arrs   []*expr.Array
+	arrIdx map[*expr.Array]uint64
+}
+
+func newExprEnc() *exprEnc {
+	return &exprEnc{idx: make(map[*expr.Expr]uint64, 1024), arrIdx: make(map[*expr.Array]uint64, 2)}
+}
+
+// add registers e's whole DAG (iteratively — constraint chains can be
+// deep) for the table. Call for every root before writeTable.
+func (e *exprEnc) add(root *expr.Expr) {
+	if root == nil {
+		return
+	}
+	if _, ok := e.idx[root]; ok {
+		return
+	}
+	stack := []*expr.Expr{root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, ok := e.idx[n]; ok {
+			continue
+		}
+		e.idx[n] = 0 // placeholder; final indices assigned in writeTable
+		e.nodes = append(e.nodes, n)
+		if a := n.Array(); a != nil {
+			if _, ok := e.arrIdx[a]; !ok {
+				e.arrIdx[a] = uint64(len(e.arrs))
+				e.arrs = append(e.arrs, a)
+			}
+		}
+		for i := 0; i < n.NumKids(); i++ {
+			if k := n.Kid(i); k != nil {
+				if _, ok := e.idx[k]; !ok {
+					stack = append(stack, k)
+				}
+			}
+		}
+	}
+}
+
+// writeTable emits the array and node tables and fixes the final node
+// indices used by ref.
+func (e *exprEnc) writeTable(w *writer) {
+	sort.Slice(e.nodes, func(i, j int) bool { return e.nodes[i].ID() < e.nodes[j].ID() })
+	for i, n := range e.nodes {
+		e.idx[n] = uint64(i)
+	}
+	sort.Slice(e.arrs, func(i, j int) bool { return e.arrs[i].Name < e.arrs[j].Name })
+	for i, a := range e.arrs {
+		e.arrIdx[a] = uint64(i)
+	}
+	w.uv(uint64(len(e.arrs)))
+	for _, a := range e.arrs {
+		w.str(a.Name)
+		w.uv(uint64(a.Size))
+	}
+	w.uv(uint64(len(e.nodes)))
+	for _, n := range e.nodes {
+		w.u8(byte(n.Kind()))
+		w.u8(byte(n.Width()))
+		switch n.Kind() {
+		case expr.Const:
+			w.uv(constVal(n))
+		case expr.Read:
+			w.uv(e.arrIdx[n.Array()])
+			w.uv(uint64(n.ReadIndex()))
+		default:
+			for i := 0; i < n.NumKids(); i++ {
+				w.uv(e.idx[n.Kid(i)])
+			}
+		}
+	}
+}
+
+// constVal reads a Const's value without tripping the non-const panic on
+// adversarial inputs (the encoder only sees well-formed nodes, but keep
+// the invariant local).
+func constVal(n *expr.Expr) uint64 {
+	return n.Value()
+}
+
+// ref writes a node reference: 0 for nil, index+1 otherwise.
+func (e *exprEnc) ref(w *writer, n *expr.Expr) {
+	if n == nil {
+		w.uv(0)
+		return
+	}
+	w.uv(e.idx[n] + 1)
+}
+
+// ArrayResolver maps a serialised array (by name and size) to the live
+// array of the decode-target Context — typically the executor's input
+// array. Returning an error rejects the checkpoint.
+type ArrayResolver func(name string, size int) (*expr.Array, error)
+
+// exprDec rebuilds an encoded node table verbatim inside ctx via
+// expr.Rebuild, so decoded nodes are structurally identical — and
+// fingerprint-identical — to what was encoded.
+type exprDec struct {
+	ctx   *expr.Context
+	nodes []*expr.Expr
+	arrs  []*expr.Array
+}
+
+func readExprTable(r *reader, ctx *expr.Context, resolve ArrayResolver) (*exprDec, error) {
+	d := &exprDec{ctx: ctx}
+	na, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < na; i++ {
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		size, err := r.uv()
+		if err != nil {
+			return nil, err
+		}
+		if size > 1<<30 {
+			return nil, fmt.Errorf("store: array %q size %d too large", name, size)
+		}
+		arr, err := resolve(name, int(size))
+		if err != nil {
+			return nil, err
+		}
+		d.arrs = append(d.arrs, arr)
+	}
+	nn, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	d.nodes = make([]*expr.Expr, 0, nn)
+	for i := 0; i < nn; i++ {
+		kind, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		width, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		k := expr.Kind(kind)
+		var (
+			val  uint64
+			arr  *expr.Array
+			kids []*expr.Expr
+		)
+		switch k {
+		case expr.Const:
+			if val, err = r.uv(); err != nil {
+				return nil, err
+			}
+		case expr.Read:
+			ai, err := r.uv()
+			if err != nil {
+				return nil, err
+			}
+			if ai >= uint64(len(d.arrs)) {
+				return nil, fmt.Errorf("store: node %d: array index %d out of range", i, ai)
+			}
+			arr = d.arrs[ai]
+			if val, err = r.uv(); err != nil {
+				return nil, err
+			}
+		default:
+			n := expr.Arity(k)
+			if n < 0 {
+				return nil, fmt.Errorf("store: node %d: unknown expr kind %d", i, kind)
+			}
+			kids = make([]*expr.Expr, n)
+			for j := 0; j < n; j++ {
+				ki, err := r.uv()
+				if err != nil {
+					return nil, err
+				}
+				if ki >= uint64(i) {
+					return nil, fmt.Errorf("store: node %d: forward kid reference %d", i, ki)
+				}
+				kids[j] = d.nodes[ki]
+			}
+		}
+		e, err := d.ctx.Rebuild(k, uint(width), val, arr, kids)
+		if err != nil {
+			return nil, err
+		}
+		d.nodes = append(d.nodes, e)
+	}
+	return d, nil
+}
+
+// ref reads a node reference written by exprEnc.ref.
+func (d *exprDec) ref(r *reader) (*expr.Expr, error) {
+	v, err := r.uv()
+	if err != nil {
+		return nil, err
+	}
+	if v == 0 {
+		return nil, nil
+	}
+	if v > uint64(len(d.nodes)) {
+		return nil, fmt.Errorf("store: node reference %d out of range", v)
+	}
+	return d.nodes[v-1], nil
+}

@@ -1,0 +1,143 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pbse/internal/bugs"
+	"pbse/internal/interp"
+	"pbse/internal/ir"
+)
+
+// CorpusEntry is the JSON metadata of one stored bug reproducer. The
+// paired input lives in a sibling file so it can be fed to anything that
+// eats raw bytes (the replayer, a fuzzer, a debugger harness).
+type CorpusEntry struct {
+	ID        string `json:"id"` // bugs.Report.ID()
+	Kind      string `json:"kind"`
+	KindCode  int    `json:"kind_code"` // numeric bugs.Kind
+	Func      string `json:"func"`
+	Block     string `json:"block"`
+	BlockID   int    `json:"block_id"`
+	Index     int    `json:"index"`
+	Msg       string `json:"msg"`
+	Time      int64  `json:"time"` // virtual time of detection
+	InputFile string `json:"input_file"`
+}
+
+// AddReproducer stores r's witness input in the corpus, keyed and
+// deduplicated by stable bug ID. Reports without an input (no model
+// available) are skipped. Returns whether a new entry was written.
+//
+// The input file is written before the JSON metadata: the metadata is
+// the commit record, so a crash between the two leaves an orphan input,
+// never a dangling reference.
+func (s *Store) AddReproducer(r *bugs.Report) (bool, error) {
+	if r == nil || r.Input == nil {
+		return false, nil
+	}
+	id := r.ID()
+	metaPath := filepath.Join(s.corpusDir(), id+".json")
+	if _, err := os.Stat(metaPath); err == nil {
+		return false, nil
+	}
+	inputName := id + ".input"
+	if err := writeFileAtomic(filepath.Join(s.corpusDir(), inputName), r.Input); err != nil {
+		return false, err
+	}
+	entry := CorpusEntry{
+		ID:        id,
+		Kind:      r.Kind.String(),
+		KindCode:  int(r.Kind),
+		Func:      r.Func,
+		Block:     r.Block,
+		BlockID:   r.BlockID,
+		Index:     r.Index,
+		Msg:       r.Msg,
+		Time:      r.Time,
+		InputFile: inputName,
+	}
+	data, err := json.MarshalIndent(&entry, "", "  ")
+	if err != nil {
+		return false, fmt.Errorf("store: corpus: %w", err)
+	}
+	if err := writeFileAtomic(metaPath, append(data, '\n')); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	s.stats.CorpusAdded++
+	s.mu.Unlock()
+	return true, nil
+}
+
+// ReadReproducer loads one corpus entry and its input bytes by bug ID.
+func (s *Store) ReadReproducer(id string) (*CorpusEntry, []byte, error) {
+	data, err := os.ReadFile(filepath.Join(s.corpusDir(), id+".json"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: corpus: %w", err)
+	}
+	entry := &CorpusEntry{}
+	if err := json.Unmarshal(data, entry); err != nil {
+		return nil, nil, fmt.Errorf("store: corpus %s: %w", id, err)
+	}
+	input, err := os.ReadFile(filepath.Join(s.corpusDir(), entry.InputFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: corpus %s: %w", id, err)
+	}
+	return entry, input, nil
+}
+
+// Corpus lists all stored entries, sorted by ID (directory order is
+// already lexicographic via ReadDir).
+func (s *Store) Corpus() ([]*CorpusEntry, error) {
+	des, err := os.ReadDir(s.corpusDir())
+	if err != nil {
+		return nil, fmt.Errorf("store: corpus: %w", err)
+	}
+	var out []*CorpusEntry
+	for _, de := range des {
+		name := de.Name()
+		if filepath.Ext(name) != ".json" {
+			continue
+		}
+		entry, _, err := s.ReadReproducer(name[:len(name)-len(".json")])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entry)
+	}
+	return out, nil
+}
+
+// faultForKind maps a bug class to the concrete fault class the
+// interpreter raises for it.
+var faultForKind = map[bugs.Kind]interp.FaultKind{
+	bugs.OOBRead:    interp.FaultOOBRead,
+	bugs.OOBWrite:   interp.FaultOOBWrite,
+	bugs.DivByZero:  interp.FaultDivByZero,
+	bugs.NullDeref:  interp.FaultNullDeref,
+	bugs.AssertFail: interp.FaultAssert,
+}
+
+// Replay runs entry's input concretely through prog and reports whether
+// it reproduces the recorded bug: same fault class at the same
+// instruction. A fault elsewhere (or a clean exit) is a failed replay,
+// with the observed outcome in the returned message.
+func Replay(prog *ir.Program, entry *CorpusEntry, input []byte, maxSteps int64) (bool, string, error) {
+	want, ok := faultForKind[bugs.Kind(entry.KindCode)]
+	if !ok {
+		return false, "", fmt.Errorf("store: corpus %s: unknown bug kind %d", entry.ID, entry.KindCode)
+	}
+	m := interp.New(prog, input, interp.Options{MaxSteps: maxSteps})
+	res := m.Run()
+	if res.Reason != interp.StopFault {
+		return false, fmt.Sprintf("no fault (stop reason %d after %d steps)", res.Reason, res.Steps), nil
+	}
+	f := res.Fault
+	if f.Kind != want || f.Block.ID != entry.BlockID || f.Index != entry.Index {
+		return false, fmt.Sprintf("different fault: %v", f), nil
+	}
+	return true, fmt.Sprintf("reproduced: %v", f), nil
+}

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbse/internal/expr"
+)
+
+// FuzzSnapshotRoundtrip drives the snapshot codec with randomly generated
+// expression DAGs (via expr/gen.go) and asserts two invariants:
+//
+//  1. decode(encode(ck)) reproduces every expression structurally
+//     (expr.StructEqual) with an identical structural fingerprint
+//     (expr.Fingerprint) — the property the cross-run solver cache and
+//     resume determinism depend on;
+//  2. decoding corrupted bytes (the encoding with fuzz-chosen byte flips)
+//     returns an error or a valid checkpoint, but never panics.
+func FuzzSnapshotRoundtrip(f *testing.F) {
+	f.Add(int64(1), uint64(3), []byte{})
+	f.Add(int64(42), uint64(5), []byte{0x10, 0x00})
+	f.Add(int64(-7), uint64(1), []byte{0xff, 0x80, 0x01})
+	f.Fuzz(func(t *testing.T, seed int64, depth uint64, flip []byte) {
+		d := int(depth%6) + 1
+		rng := rand.New(rand.NewSource(seed))
+		ctx := expr.NewContext()
+		arr := expr.NewArray("input", 64)
+
+		nStates := rng.Intn(3) + 1
+		list := StateList{PhaseID: 0, Clock: rng.Int63n(1 << 20), RNGDraws: rng.Int63n(1 << 10), NextStateID: 64}
+		for i := 0; i < nStates; i++ {
+			list.States = append(list.States, synthSnap(ctx, arr, rng, i+1, rng.Intn(4)+1, d))
+		}
+		ck := &Checkpoint{
+			Mode:     "roundrobin",
+			NextTurn: rng.Int63n(64),
+			Clock:    list.Clock,
+			Sections: []StateSection{{Lists: []StateList{list}}},
+		}
+
+		data, err := EncodeCheckpoint(ck)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+
+		// Invariant 1: lossless, fingerprint-stable roundtrip.
+		cf, err := DecodeCheckpoint(data)
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		ctx2 := expr.NewContext()
+		arr2 := expr.NewArray("input", 64)
+		lists, err := cf.DecodeSection(0, ctx2, func(string, int) (*expr.Array, error) { return arr2, nil })
+		if err != nil {
+			t.Fatalf("section decode of own encoding: %v", err)
+		}
+		if len(lists) != 1 || len(lists[0].States) != nStates {
+			t.Fatalf("shape changed: %d lists", len(lists))
+		}
+		memoA := make(map[*expr.Expr]uint64)
+		memoB := make(map[*expr.Expr]uint64)
+		check := func(a, b *expr.Expr) {
+			if (a == nil) != (b == nil) {
+				t.Fatal("nil-ness changed")
+			}
+			if a == nil {
+				return
+			}
+			if !expr.StructEqual(a, b) {
+				t.Fatalf("structurally unequal:\n got %v\nwant %v", a, b)
+			}
+			if expr.Fingerprint(a, memoA) != expr.Fingerprint(b, memoB) {
+				t.Fatalf("fingerprint changed: %v", b)
+			}
+		}
+		for si, s := range lists[0].States {
+			o := list.States[si]
+			for i := range o.PC {
+				check(s.PC[i], o.PC[i])
+			}
+			for fi := range o.Frames {
+				for ri := range o.Frames[fi].Regs {
+					check(s.Frames[fi].Regs[ri], o.Frames[fi].Regs[ri])
+				}
+			}
+			for oi := range o.Objs {
+				for bi := range o.Objs[oi].Sym {
+					check(s.Objs[oi].Sym[bi], o.Objs[oi].Sym[bi])
+				}
+			}
+		}
+
+		// Invariant 2: corrupted input must not panic the decoder. flip is
+		// interpreted as (offset-delta, xor-mask) pairs over the encoding.
+		if len(flip) >= 2 {
+			mut := append([]byte(nil), data...)
+			pos := 0
+			for i := 0; i+1 < len(flip); i += 2 {
+				pos = (pos + int(flip[i])) % len(mut)
+				mut[pos] ^= flip[i+1] | 1
+			}
+			if cf, err := DecodeCheckpoint(mut); err == nil {
+				for i := 0; i < cf.NumSections(); i++ {
+					ctx3 := expr.NewContext()
+					arr3 := expr.NewArray("input", 64)
+					cf.DecodeSection(i, ctx3, func(string, int) (*expr.Array, error) { return arr3, nil })
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+
+	"pbse/internal/solver"
+)
+
+// SolverCache is the cross-run persistent tier of the solver verdict
+// cache. In memory it is an ordinary solver.ShardedCache (so it plugs
+// into solver.Options.Shared unchanged, including for concurrent phase
+// workers); on disk it is an append-only log of (fingerprint, verdict)
+// records flushed at round barriers.
+//
+// Only Sat/Unsat ever reach disk — Unknown means "gave up under this
+// run's budgets", which is not a fact about the query. Keys are
+// structural fingerprints, valid across expr.Contexts and therefore
+// across runs; a warm cache turns a repeated campaign's SAT runs into
+// shared-cache hits (measured by TestCrossRunSolverCacheWarm).
+//
+// The log format is a 16-byte header ("PBSESLVC" + version, padded) then
+// 9-byte records: 8-byte little-endian key + 1 verdict byte (1=Sat,
+// 2=Unsat). A torn tail from a crash mid-append is ignored on load, and
+// duplicate records are harmless, so appending needs no locking against
+// past runs — only against concurrent Put calls within this one.
+type SolverCache struct {
+	mem  *solver.ShardedCache
+	st   *Store
+	path string
+
+	mu    sync.Mutex
+	dirty []byte // encoded records not yet flushed
+}
+
+var _ solver.VerdictCache = (*SolverCache)(nil)
+
+const (
+	cacheMagic      = "PBSESLVC"
+	cacheVersion    = 1
+	cacheHeaderSize = 16
+	cacheRecordSize = 9
+)
+
+// SolverCache returns the store's persistent verdict cache, loading the
+// on-disk log on first call.
+func (s *Store) SolverCache() (*SolverCache, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache != nil {
+		return s.cache, nil
+	}
+	c := &SolverCache{mem: solver.NewShardedCache(), st: s, path: s.cachePath()}
+	n, err := c.load()
+	if err != nil {
+		return nil, err
+	}
+	s.stats.VerdictsLoaded = n
+	s.cache = c
+	return c, nil
+}
+
+func (c *SolverCache) load() (int64, error) {
+	data, err := os.ReadFile(c.path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: solver cache: %w", err)
+	}
+	if len(data) < cacheHeaderSize {
+		return 0, nil // torn header: treat as empty
+	}
+	if string(data[:len(cacheMagic)]) != cacheMagic || data[len(cacheMagic)] != cacheVersion {
+		return 0, fmt.Errorf("store: solver cache: bad header")
+	}
+	recs := data[cacheHeaderSize:]
+	n := int64(0)
+	for len(recs) >= cacheRecordSize { // ignore a torn tail
+		key := binary.LittleEndian.Uint64(recs)
+		var r solver.Result
+		switch recs[8] {
+		case 1:
+			r = solver.Sat
+		case 2:
+			r = solver.Unsat
+		default:
+			// Corrupt verdict byte: skip the record, keep scanning —
+			// records are fixed-size so framing survives.
+			recs = recs[cacheRecordSize:]
+			continue
+		}
+		c.mem.Put(key, r)
+		n++
+		recs = recs[cacheRecordSize:]
+	}
+	return n, nil
+}
+
+// Mem returns the in-memory tier, for wiring into schedulers that want
+// the *solver.ShardedCache concrete type.
+func (c *SolverCache) Mem() *solver.ShardedCache { return c.mem }
+
+// MemStats returns the in-memory tier's traffic counters.
+func (c *SolverCache) MemStats() solver.ShardStats { return c.mem.Stats() }
+
+// Get looks up a verdict in the in-memory tier (which holds everything
+// loaded from disk plus this run's inserts).
+func (c *SolverCache) Get(key uint64) (solver.Result, bool) {
+	return c.mem.Get(key)
+}
+
+// Put records a Sat/Unsat verdict in memory and queues it for the next
+// flush. Verdicts already present (typically: loaded from a prior run)
+// are not re-queued, keeping the log roughly one record per distinct
+// query across runs.
+func (c *SolverCache) Put(key uint64, r solver.Result) {
+	if r == solver.Unknown {
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.mem.Peek(key); !ok {
+		var rec [cacheRecordSize]byte
+		binary.LittleEndian.PutUint64(rec[:], key)
+		if r == solver.Sat {
+			rec[8] = 1
+		} else {
+			rec[8] = 2
+		}
+		c.dirty = append(c.dirty, rec[:]...)
+	}
+	c.mu.Unlock()
+	c.mem.Put(key, r)
+}
+
+// Flush appends queued verdicts to the on-disk log (creating it, with
+// header, if absent) and fsyncs.
+func (c *SolverCache) Flush() error {
+	c.mu.Lock()
+	dirty := c.dirty
+	c.dirty = nil
+	c.mu.Unlock()
+	if len(dirty) == 0 {
+		return nil
+	}
+	f, err := os.OpenFile(c.path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: solver cache: %w", err)
+	}
+	defer f.Close()
+	if fi, err := f.Stat(); err == nil && fi.Size() == 0 {
+		var hdr [cacheHeaderSize]byte
+		copy(hdr[:], cacheMagic)
+		hdr[len(cacheMagic)] = cacheVersion
+		if _, err := f.Write(hdr[:]); err != nil {
+			return fmt.Errorf("store: solver cache: %w", err)
+		}
+	}
+	if _, err := f.Write(dirty); err != nil {
+		return fmt.Errorf("store: solver cache: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: solver cache: %w", err)
+	}
+	c.st.mu.Lock()
+	c.st.stats.VerdictsFlushed += int64(len(dirty) / cacheRecordSize)
+	c.st.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,225 @@
+package store
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Layout of a store directory:
+//
+//	manifest.json    run identity + status (atomically replaced)
+//	checkpoint.bin   latest round-barrier checkpoint (atomically replaced)
+//	seed.bin         the concrete seed input of the run
+//	solvercache.bin  append-only cross-run verdict log (torn-tail tolerant)
+//	corpus/          bug reproducers: <id>.input + <id>.json per bug site
+//
+// manifest.json and checkpoint.bin are written tmp+fsync+rename, so a
+// reader never observes a half-written file and a crash between barriers
+// loses at most one round of work.
+
+// Run status values in the manifest.
+const (
+	StatusRunning  = "running"
+	StatusComplete = "complete"
+)
+
+// Manifest identifies the campaign a store directory belongs to. Resume
+// refuses a store whose manifest does not match the requested campaign —
+// mixing checkpoints across targets or option sets would be silently
+// wrong, not merely stale.
+type Manifest struct {
+	Version    int    `json:"version"`
+	Label      string `json:"label"`       // e.g. the cmd/pbse driver name
+	Program    string `json:"program"`     // target signature
+	SeedSHA256 string `json:"seed_sha256"` // hex digest of the seed input
+	InputSize  int    `json:"input_size"`
+	OptionsSig string `json:"options_sig"` // determinism-relevant options
+	Status     string `json:"status"`
+	Rounds     int64  `json:"rounds"`
+	Covered    int    `json:"covered"`
+	Bugs       int    `json:"bugs"`
+}
+
+const manifestVersion = 1
+
+// Stats counts the store's activity during one campaign.
+type Stats struct {
+	VerdictsLoaded  int64 // solver verdicts preloaded from disk at open
+	VerdictsFlushed int64 // new verdicts appended this run
+	CorpusAdded     int64 // new bug reproducers written this run
+	Checkpoints     int64 // checkpoint files written this run
+	CheckpointBytes int64 // size of the last checkpoint written
+}
+
+// Store is one on-disk run store.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	stats Stats
+	cache *SolverCache
+}
+
+// Open opens (creating if needed) the store at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "corpus"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the store's activity counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Store) manifestPath() string   { return filepath.Join(s.dir, "manifest.json") }
+func (s *Store) checkpointPath() string { return filepath.Join(s.dir, "checkpoint.bin") }
+func (s *Store) seedPath() string       { return filepath.Join(s.dir, "seed.bin") }
+func (s *Store) cachePath() string      { return filepath.Join(s.dir, "solvercache.bin") }
+func (s *Store) corpusDir() string      { return filepath.Join(s.dir, "corpus") }
+
+// SeedSig returns the manifest digest of a seed input.
+func SeedSig(seed []byte) string {
+	sum := sha256.Sum256(seed)
+	return hex.EncodeToString(sum[:])
+}
+
+// WriteManifest atomically replaces the manifest.
+func (s *Store) WriteManifest(m *Manifest) error {
+	m.Version = manifestVersion
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: manifest: %w", err)
+	}
+	return writeFileAtomic(s.manifestPath(), append(data, '\n'))
+}
+
+// ReadManifest reads the manifest; (nil, nil) when none exists yet.
+func (s *Store) ReadManifest() (*Manifest, error) {
+	data, err := os.ReadFile(s.manifestPath())
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: manifest: %w", err)
+	}
+	m := &Manifest{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("store: manifest: %w", err)
+	}
+	return m, nil
+}
+
+// WriteSeed saves the run's concrete seed input.
+func (s *Store) WriteSeed(seed []byte) error {
+	return writeFileAtomic(s.seedPath(), seed)
+}
+
+// ReadSeed loads the saved seed input.
+func (s *Store) ReadSeed() ([]byte, error) {
+	data, err := os.ReadFile(s.seedPath())
+	if err != nil {
+		return nil, fmt.Errorf("store: seed: %w", err)
+	}
+	return data, nil
+}
+
+// HasCheckpoint reports whether a checkpoint exists.
+func (s *Store) HasCheckpoint() bool {
+	_, err := os.Stat(s.checkpointPath())
+	return err == nil
+}
+
+// WriteCheckpoint encodes and atomically replaces the checkpoint. The
+// on-disk file is gzip-compressed (BestSpeed): state snapshots repeat
+// concrete object bytes and expression shapes heavily, so this cuts
+// checkpoint I/O by an order of magnitude at negligible CPU cost.
+func (s *Store) WriteCheckpoint(ck *Checkpoint) error {
+	data, err := EncodeCheckpoint(ck)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	zw, _ := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	if _, err := zw.Write(data); err != nil {
+		return fmt.Errorf("store: compress checkpoint: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("store: compress checkpoint: %w", err)
+	}
+	if err := writeFileAtomic(s.checkpointPath(), buf.Bytes()); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.stats.Checkpoints++
+	s.stats.CheckpointBytes = int64(buf.Len())
+	s.mu.Unlock()
+	return nil
+}
+
+// ReadCheckpoint parses the checkpoint's common part; sections decode
+// lazily via CheckpointFile.DecodeSection. Both gzip-compressed (the
+// format WriteCheckpoint produces) and raw encodings are accepted.
+func (s *Store) ReadCheckpoint() (*CheckpointFile, error) {
+	data, err := os.ReadFile(s.checkpointPath())
+	if err != nil {
+		return nil, fmt.Errorf("store: checkpoint: %w", err)
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("store: checkpoint: %w", err)
+		}
+		if data, err = io.ReadAll(zr); err != nil {
+			return nil, fmt.Errorf("store: checkpoint: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("store: checkpoint: %w", err)
+		}
+	}
+	return DecodeCheckpoint(data)
+}
+
+// writeFileAtomic writes path via tmp+fsync+rename so readers never see a
+// partial file and a crash leaves either the old or the new version.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, path)
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: write %s: %w", filepath.Base(path), werr)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,402 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pbse/internal/bugs"
+	"pbse/internal/concolic"
+	"pbse/internal/expr"
+	"pbse/internal/interp"
+	"pbse/internal/phase"
+	"pbse/internal/solver"
+	"pbse/internal/symex"
+	"pbse/internal/targets"
+)
+
+// synthSnap builds a StateSnap whose expressions come from the random
+// generators in expr/gen.go, rooted in ctx over arr.
+func synthSnap(ctx *expr.Context, arr *expr.Array, rng *rand.Rand, id, n, depth int) *symex.StateSnap {
+	s := &symex.StateSnap{
+		ID:              id,
+		NextObjID:       7,
+		BlockID:         3,
+		Idx:             1,
+		Depth:           n,
+		ForkTime:        int64(100 * id),
+		LastNewCover:    int64(50 * id),
+		StepsExecuted:   int64(n),
+		SeedForkBlockID: 2,
+		SeedForkIdx:     0,
+		NeedsValidation: id%2 == 0,
+	}
+	for i := 0; i < n; i++ {
+		s.PC = append(s.PC, expr.RandBoolExpr(ctx, rng, arr, depth))
+	}
+	regs := make([]*expr.Expr, 4)
+	regs[0] = expr.RandExpr(ctx, rng, arr, 64, depth)
+	regs[2] = expr.RandExpr(ctx, rng, arr, 32, depth)
+	s.Frames = []symex.FrameSnap{{Fn: "main", Regs: regs, RetDst: -1, RetBlockID: -1, RetIndex: 0}}
+	obj := symex.ObjSnap{ID: 1, Size: 4, Conc: []byte{1, 2, 3, 4}}
+	obj.Sym = make([]*expr.Expr, 4)
+	obj.Sym[1] = expr.RandExpr(ctx, rng, arr, 8, depth)
+	s.Objs = []symex.ObjSnap{obj}
+	return s
+}
+
+func synthCheckpoint(ctx *expr.Context, arr *expr.Array, rng *rand.Rand) *Checkpoint {
+	ck := &Checkpoint{
+		Mode:        "roundrobin",
+		NextTurn:    12,
+		RoundsDone:  3,
+		RNGDraws:    991,
+		NextStateID: 40,
+		DeadClock:   123,
+		Clock:       55_000,
+		CTime:       10_000,
+		PTimeNanos:  777,
+		ConStart:    5,
+		ConSteps:    9_995,
+		ConExited:   true,
+		BBVs: []concolic.BBV{
+			{Index: 0, Time: 0, Counts: map[int]int{3: 2, 1: 9}, Coverage: 0.25},
+			{Index: 1, Time: 4096, Counts: map[int]int{2: 1}, Coverage: 0.5},
+		},
+		Division: &phase.Division{
+			K:      2,
+			Assign: []int{0, 1},
+			Phases: []phase.Phase{
+				{ID: 0, BBVs: []int{0}, FirstTime: 0, Trap: false, LongestRun: 1, InputLoopFrac: 0.75},
+				{ID: 1, BBVs: []int{1}, FirstTime: 4096, Trap: true, LongestRun: 2, InputLoopFrac: 0},
+			},
+			NumTrap: 1,
+		},
+		Covered: []int{0, 1, 3, 8},
+		Series:  []CoveragePoint{{Time: 100, Covered: 2}, {Time: 900, Covered: 4}},
+		Bugs: []*bugs.Report{
+			{Kind: bugs.OOBRead, Func: "f", Block: "bb2", BlockID: 2, Index: 1, Msg: "oob", Input: []byte{9, 8}, Time: 321, Phase: 1},
+			{Kind: bugs.DivByZero, Func: "g", Block: "bb5", BlockID: 5, Index: 0, Msg: "div", Time: 77, Phase: -1},
+		},
+		Quarantine: []symex.QuarantineRecord{{StateID: 4, Func: "f", Block: "bb1", Panic: "boom", Stack: "trace"}},
+		CarryGov:   symex.GovStats{SolverUnknowns: 1, SolverRetries: 2, Concretizations: 3, Quarantines: 4, Evictions: 5},
+		CarrySolver: solver.Stats{
+			Queries: 10, CacheHits: 4, SharedHits: 1, CandidateSat: 2,
+			IntervalFast: 1, SATRuns: 2, Conflicts: 30, Unknowns: 1, BudgetExhausted: 1,
+		},
+		CarryWorkers: []WorkerStat{{Worker: 0, Turns: 5, Steps: 100}, {Worker: 1, Turns: 4, Steps: 80}},
+		PhaseStats: []PhaseStat{
+			{ID: 0, Trap: false, SeedStates: 3, Steps: 50, Turns: 2, NewBlocks: 4, Bugs: 1, Quarantines: 0},
+			{ID: 1, Trap: true, SeedStates: 1, Steps: 20, Turns: 2, NewBlocks: 0, Bugs: 1, Quarantines: 1},
+		},
+		LiveIDs: []int{1, 0},
+		Sections: []StateSection{{
+			Lists: []StateList{
+				{PhaseID: 0, Clock: 123, RNGDraws: 45, NextStateID: 17,
+					States: []*symex.StateSnap{synthSnap(ctx, arr, rng, 2, 3, 4), synthSnap(ctx, arr, rng, 5, 1, 3)}},
+				{PhaseID: 1, Clock: 99, RNGDraws: 7, NextStateID: 30,
+					States: []*symex.StateSnap{synthSnap(ctx, arr, rng, 9, 2, 5)}},
+			},
+		}},
+	}
+	return ck
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	ctx := expr.NewContext()
+	arr := expr.NewArray("input", 64)
+	rng := rand.New(rand.NewSource(1))
+	ck := synthCheckpoint(ctx, arr, rng)
+
+	data, err := EncodeCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cf.Common()
+
+	// Common fields must survive exactly (sections compared separately).
+	want := *ck
+	want.Sections = nil
+	gotCopy := *got
+	gotCopy.Sections = nil
+	if !reflect.DeepEqual(&want, &gotCopy) {
+		t.Fatalf("common fields changed:\n got %+v\nwant %+v", gotCopy, want)
+	}
+
+	// Decode the section into a fresh context: expressions must be
+	// structurally equal and fingerprint-identical.
+	ctx2 := expr.NewContext()
+	arr2 := expr.NewArray("input", 64)
+	resolve := func(name string, size int) (*expr.Array, error) { return arr2, nil }
+	lists, err := cf.DecodeSection(0, ctx2, resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lists) != len(ck.Sections[0].Lists) {
+		t.Fatalf("got %d lists, want %d", len(lists), len(ck.Sections[0].Lists))
+	}
+	memoA := make(map[*expr.Expr]uint64)
+	memoB := make(map[*expr.Expr]uint64)
+	for li, l := range lists {
+		orig := ck.Sections[0].Lists[li]
+		if l.PhaseID != orig.PhaseID || l.Clock != orig.Clock || l.RNGDraws != orig.RNGDraws || l.NextStateID != orig.NextStateID {
+			t.Fatalf("list %d header mismatch: %+v vs %+v", li, l, orig)
+		}
+		if len(l.States) != len(orig.States) {
+			t.Fatalf("list %d: %d states, want %d", li, len(l.States), len(orig.States))
+		}
+		for si, s := range l.States {
+			o := orig.States[si]
+			checkExprs := func(what string, a, b []*expr.Expr) {
+				if len(a) != len(b) {
+					t.Fatalf("list %d state %d %s: len %d vs %d", li, si, what, len(a), len(b))
+				}
+				for i := range a {
+					if (a[i] == nil) != (b[i] == nil) {
+						t.Fatalf("list %d state %d %s[%d]: nil mismatch", li, si, what, i)
+					}
+					if a[i] == nil {
+						continue
+					}
+					if !expr.StructEqual(a[i], b[i]) {
+						t.Fatalf("list %d state %d %s[%d]: structurally unequal\n got %v\nwant %v", li, si, what, i, a[i], b[i])
+					}
+					if expr.Fingerprint(a[i], memoA) != expr.Fingerprint(b[i], memoB) {
+						t.Fatalf("list %d state %d %s[%d]: fingerprint changed", li, si, what, i)
+					}
+				}
+			}
+			checkExprs("pc", s.PC, o.PC)
+			if len(s.Frames) != len(o.Frames) {
+				t.Fatalf("frame count mismatch")
+			}
+			for fi := range s.Frames {
+				if s.Frames[fi].Fn != o.Frames[fi].Fn || s.Frames[fi].RetDst != o.Frames[fi].RetDst ||
+					s.Frames[fi].RetBlockID != o.Frames[fi].RetBlockID || s.Frames[fi].RetIndex != o.Frames[fi].RetIndex {
+					t.Fatalf("frame %d header mismatch", fi)
+				}
+				checkExprs("regs", s.Frames[fi].Regs, o.Frames[fi].Regs)
+			}
+			if len(s.Objs) != len(o.Objs) {
+				t.Fatalf("obj count mismatch")
+			}
+			for oi := range s.Objs {
+				if s.Objs[oi].ID != o.Objs[oi].ID || s.Objs[oi].Size != o.Objs[oi].Size ||
+					!reflect.DeepEqual(s.Objs[oi].Conc, o.Objs[oi].Conc) {
+					t.Fatalf("obj %d mismatch", oi)
+				}
+				checkExprs("sym", s.Objs[oi].Sym, o.Objs[oi].Sym)
+			}
+			if s.ID != o.ID || s.BlockID != o.BlockID || s.Idx != o.Idx || s.Depth != o.Depth ||
+				s.ForkTime != o.ForkTime || s.NeedsValidation != o.NeedsValidation ||
+				s.Terminated != o.Terminated || s.Evicted != o.Evicted {
+				t.Fatalf("state scalar mismatch: %+v vs %+v", s, o)
+			}
+		}
+	}
+
+	// Determinism: encoding the same checkpoint twice yields equal bytes.
+	data2, err := EncodeCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(data, data2) {
+		t.Error("encoding is not deterministic")
+	}
+}
+
+func TestCheckpointDecodeCorrupt(t *testing.T) {
+	ctx := expr.NewContext()
+	arr := expr.NewArray("input", 64)
+	ck := synthCheckpoint(ctx, arr, rand.New(rand.NewSource(2)))
+	data, err := EncodeCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every prefix must error, never panic.
+	for n := 0; n < len(data); n += 17 {
+		if _, err := DecodeCheckpoint(data[:n]); err == nil {
+			// A prefix that still parses the common part is fine only if
+			// section decode then fails or the data happened to be whole.
+			continue
+		}
+	}
+	if _, err := DecodeCheckpoint([]byte("not a checkpoint")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSolverCachePersistence(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := st.SolverCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(111, solver.Sat)
+	c.Put(222, solver.Unsat)
+	c.Put(333, solver.Unknown) // must not persist
+	c.Put(111, solver.Sat)     // duplicate: one record only
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().VerdictsFlushed; got != 2 {
+		t.Errorf("flushed %d records, want 2", got)
+	}
+
+	// Reopen as a new process would.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := st2.SolverCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Stats().VerdictsLoaded != 2 {
+		t.Errorf("loaded %d verdicts, want 2", st2.Stats().VerdictsLoaded)
+	}
+	if r, ok := c2.Get(111); !ok || r != solver.Sat {
+		t.Errorf("key 111 = %v,%v want Sat", r, ok)
+	}
+	if r, ok := c2.Get(222); !ok || r != solver.Unsat {
+		t.Errorf("key 222 = %v,%v want Unsat", r, ok)
+	}
+	if _, ok := c2.Get(333); ok {
+		t.Error("Unknown verdict was persisted")
+	}
+
+	// A torn tail (partial record from a crash mid-append) is ignored.
+	f, err := os.OpenFile(filepath.Join(dir, "solvercache.bin"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	st3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := st3.SolverCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Stats().VerdictsLoaded != 2 {
+		t.Errorf("after torn tail: loaded %d verdicts, want 2", st3.Stats().VerdictsLoaded)
+	}
+	if r, ok := c3.Get(222); !ok || r != solver.Unsat {
+		t.Error("torn tail corrupted earlier records")
+	}
+}
+
+func TestManifestRoundtrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := st.ReadManifest(); err != nil || m != nil {
+		t.Fatalf("empty store: manifest = %v, %v", m, err)
+	}
+	m := &Manifest{Label: "readelf", Program: "minielf/blocks=10/instrs=100",
+		SeedSHA256: "ab", InputSize: 576, OptionsSig: "budget=1", Status: StatusRunning, Rounds: 2, Covered: 5, Bugs: 1}
+	if err := st.WriteManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.ReadManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("manifest changed: %+v vs %+v", got, m)
+	}
+	m.Status = StatusComplete
+	if err := st.WriteManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = st.ReadManifest()
+	if got.Status != StatusComplete {
+		t.Error("manifest update lost")
+	}
+}
+
+func TestCorpusDedupAndReplay(t *testing.T) {
+	tgt, err := targets.ByDriver("readelf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := tgt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := tgt.GenBuggySeed(rand.New(rand.NewSource(3)))
+	res := interp.New(prog, seed, interp.Options{MaxSteps: 5_000_000}).Run()
+	if res.Reason != interp.StopFault {
+		t.Fatalf("buggy seed did not fault: %+v", res)
+	}
+	f := res.Fault
+	kindFor := map[interp.FaultKind]bugs.Kind{
+		interp.FaultOOBRead: bugs.OOBRead, interp.FaultOOBWrite: bugs.OOBWrite,
+		interp.FaultNullDeref: bugs.NullDeref, interp.FaultDivByZero: bugs.DivByZero,
+		interp.FaultAssert: bugs.AssertFail,
+	}
+	rep := &bugs.Report{
+		Kind: kindFor[f.Kind], Func: f.Block.Fn.Name, Block: f.Block.Name,
+		BlockID: f.Block.ID, Index: f.Index, Msg: f.Msg, Input: seed, Time: res.Steps,
+	}
+
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := st.AddReproducer(rep)
+	if err != nil || !added {
+		t.Fatalf("first add = %v, %v", added, err)
+	}
+	added, err = st.AddReproducer(rep)
+	if err != nil || added {
+		t.Fatalf("duplicate add = %v, %v (want dedup)", added, err)
+	}
+	if _, err := st.AddReproducer(&bugs.Report{Kind: bugs.OOBRead}); err != nil {
+		t.Fatalf("input-less report: %v", err)
+	}
+	if n := st.Stats().CorpusAdded; n != 1 {
+		t.Errorf("corpus added %d, want 1", n)
+	}
+
+	entries, err := st.Corpus()
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("corpus = %d entries, %v", len(entries), err)
+	}
+	entry, input, err := st.ReadReproducer(rep.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(input, seed) {
+		t.Fatal("stored input differs from witness")
+	}
+	ok, msg, err := Replay(prog, entry, input, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("stored reproducer does not replay: %s", msg)
+	}
+	// Replaying against a wrong site must fail, not error.
+	bad := *entry
+	bad.Index++
+	ok, _, err = Replay(prog, &bad, input, 0)
+	if err != nil || ok {
+		t.Fatalf("wrong-site replay = %v, %v (want false, nil)", ok, err)
+	}
+}

@@ -1,0 +1,202 @@
+package symex
+
+// Plain-data state snapshots for the persistent run store
+// (internal/store). A snapshot references program locations by stable
+// identifiers — function name, global block ID — and expressions as live
+// *expr.Expr nodes, which the store's codec serialises through its
+// deterministic expression table. Two things are deliberately not
+// captured: ptNode (random-path tree linkage, scheduler-local and
+// nil-tolerated everywhere) and the copy-on-write freeze bits (the
+// restored state owns deep copies, so the next fork re-freezes).
+
+import (
+	"fmt"
+	"sort"
+
+	"pbse/internal/expr"
+	"pbse/internal/ir"
+)
+
+// StateSnap is a self-contained snapshot of one State.
+type StateSnap struct {
+	ID     int
+	Frames []FrameSnap
+	Objs   []ObjSnap // ascending object id
+	// NextObjID is the state's next allocation id.
+	NextObjID uint32
+
+	BlockID int // global block ID, -1 when the state has no position
+	Idx     int
+
+	PC []*expr.Expr // path constraints, oldest first
+
+	Depth         int
+	ForkTime      int64
+	LastNewCover  int64
+	StepsExecuted int64
+
+	SeedForkBlockID int
+	SeedForkIdx     int
+
+	NeedsValidation bool
+	Terminated      bool // pools keep terminated states until next selection
+	Evicted         bool
+}
+
+// FrameSnap is one activation record of a snapshot.
+type FrameSnap struct {
+	Fn         string
+	Regs       []*expr.Expr // nil entries are unwritten registers
+	RetDst     ir.Reg
+	RetBlockID int // -1 for the entry frame
+	RetIndex   int
+}
+
+// ObjSnap is one memory object of a snapshot.
+type ObjSnap struct {
+	ID   uint32
+	Size int
+	Conc []byte
+	Sym  []*expr.Expr // nil, or len Size with nil holes
+}
+
+// Snapshot captures st as plain data. The snapshot shares nothing mutable
+// with st (slices are copied; expressions are immutable).
+func (e *Executor) Snapshot(st *State) *StateSnap {
+	snap := &StateSnap{
+		ID:              st.ID,
+		NextObjID:       st.nextID,
+		BlockID:         -1,
+		Idx:             st.Idx,
+		PC:              append([]*expr.Expr(nil), st.PathConstraints()...),
+		Depth:           st.Depth,
+		ForkTime:        st.ForkTime,
+		LastNewCover:    st.LastNewCover,
+		StepsExecuted:   st.StepsExecuted,
+		SeedForkBlockID: st.SeedForkBlockID,
+		SeedForkIdx:     st.SeedForkIdx,
+		NeedsValidation: st.needsValidation,
+		Terminated:      st.terminated,
+		Evicted:         st.evicted,
+	}
+	if st.Blk != nil {
+		snap.BlockID = st.Blk.ID
+	}
+	for _, f := range st.frames {
+		fs := FrameSnap{
+			Fn:         f.fn.Name,
+			Regs:       append([]*expr.Expr(nil), f.regs...),
+			RetDst:     f.retDst,
+			RetBlockID: -1,
+			RetIndex:   f.retIndex,
+		}
+		if f.retBlock != nil {
+			fs.RetBlockID = f.retBlock.ID
+		}
+		snap.Frames = append(snap.Frames, fs)
+	}
+	ids := make([]uint32, 0, len(st.objs))
+	for id := range st.objs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		o := st.objs[id]
+		os := ObjSnap{ID: id, Size: o.size, Conc: append([]byte(nil), o.conc...)}
+		if o.sym != nil {
+			os.Sym = append([]*expr.Expr(nil), o.sym...)
+		}
+		snap.Objs = append(snap.Objs, os)
+	}
+	return snap
+}
+
+// RestoreState rebuilds a snapshotted state inside e. Every expression in
+// the snapshot must already live in e.Ctx (the store codec decodes them
+// there). Live states are registered with the executor; terminated ones
+// are rebuilt inert, preserving pool composition across a resume. The
+// executor's next fork ID advances past the restored ID.
+func (e *Executor) RestoreState(snap *StateSnap) (*State, error) {
+	prog := e.Prog
+	st := &State{
+		ID:              snap.ID,
+		objs:            make(map[uint32]*mobject, len(snap.Objs)),
+		nextID:          snap.NextObjID,
+		Idx:             snap.Idx,
+		Depth:           snap.Depth,
+		ForkTime:        snap.ForkTime,
+		LastNewCover:    snap.LastNewCover,
+		StepsExecuted:   snap.StepsExecuted,
+		SeedForkBlockID: snap.SeedForkBlockID,
+		SeedForkIdx:     snap.SeedForkIdx,
+		needsValidation: snap.NeedsValidation,
+		terminated:      snap.Terminated,
+		evicted:         snap.Evicted,
+	}
+	if snap.BlockID >= 0 {
+		if snap.BlockID >= len(prog.AllBlocks) {
+			return nil, fmt.Errorf("symex: restore state %d: block %d out of range", snap.ID, snap.BlockID)
+		}
+		st.Blk = prog.AllBlocks[snap.BlockID]
+		if snap.Idx < 0 || snap.Idx > len(st.Blk.Instrs) {
+			return nil, fmt.Errorf("symex: restore state %d: index %d out of range in %s", snap.ID, snap.Idx, st.Blk.Name)
+		}
+	}
+	for _, fs := range snap.Frames {
+		fn := prog.Func(fs.Fn)
+		if fn == nil {
+			return nil, fmt.Errorf("symex: restore state %d: unknown function %q", snap.ID, fs.Fn)
+		}
+		f := &frame{fn: fn, retDst: fs.RetDst, retIndex: fs.RetIndex}
+		f.regs = make([]*expr.Expr, fn.NumRegs)
+		if len(fs.Regs) > len(f.regs) {
+			return nil, fmt.Errorf("symex: restore state %d: %d regs for %q (max %d)", snap.ID, len(fs.Regs), fs.Fn, len(f.regs))
+		}
+		copy(f.regs, fs.Regs)
+		if fs.RetBlockID >= 0 {
+			if fs.RetBlockID >= len(prog.AllBlocks) {
+				return nil, fmt.Errorf("symex: restore state %d: return block %d out of range", snap.ID, fs.RetBlockID)
+			}
+			f.retBlock = prog.AllBlocks[fs.RetBlockID]
+		}
+		st.frames = append(st.frames, f)
+	}
+	for _, os := range snap.Objs {
+		if os.Size != len(os.Conc) || (os.Sym != nil && len(os.Sym) != os.Size) {
+			return nil, fmt.Errorf("symex: restore state %d: object %d size mismatch", snap.ID, os.ID)
+		}
+		o := &mobject{size: os.Size, conc: append([]byte(nil), os.Conc...)}
+		if os.Sym != nil {
+			o.sym = append([]*expr.Expr(nil), os.Sym...)
+		}
+		st.objs[os.ID] = o
+	}
+	for _, c := range snap.PC {
+		st.addConstraint(c)
+	}
+	if e.nextStateID <= st.ID {
+		e.nextStateID = st.ID + 1
+	}
+	if !st.terminated {
+		e.register(st)
+	}
+	return st, nil
+}
+
+// SetClock restores the virtual clock of a resumed executor.
+func (e *Executor) SetClock(t int64) { e.clock = t }
+
+// NextStateID returns the next fork ID the executor will assign.
+func (e *Executor) NextStateID() int { return e.nextStateID }
+
+// AdoptQuarantineRecords restores checkpointed quarantine diagnostics
+// (subject to the usual retention cap; the carried GovStats hold the true
+// count).
+func (e *Executor) AdoptQuarantineRecords(rs []QuarantineRecord) {
+	for _, r := range rs {
+		if len(e.quarantined) >= maxQuarantineRecords {
+			return
+		}
+		e.quarantined = append(e.quarantined, r)
+	}
+}
