@@ -1,0 +1,132 @@
+package pbse
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pbse/internal/store"
+)
+
+// absintPoint is one campaign measurement of the static-pruning ablation.
+type absintPoint struct {
+	Queries      int64 `json:"queries"`
+	SATRuns      int64 `json:"sat_runs"`
+	StaticPrunes int64 `json:"static_prunes"`
+	SharedHits   int64 `json:"shared_hits"`
+	Covered      int   `json:"covered"`
+	Bugs         int   `json:"bugs"`
+}
+
+// absintSweep records one driver's pass-on vs pass-off comparison, cold
+// (fresh store) and warm (second run over the same store, so the
+// cross-run solver cache is populated).
+type absintSweep struct {
+	Driver        string      `json:"driver"`
+	Budget        int64       `json:"budget"`
+	OnCold        absintPoint `json:"on_cold"`
+	OnWarm        absintPoint `json:"on_warm"`
+	OffCold       absintPoint `json:"off_cold"`
+	OffWarm       absintPoint `json:"off_warm"`
+	SATDropPct    float64     `json:"sat_drop_pct"`    // cold, on vs off
+	QueryDropPct  float64     `json:"query_drop_pct"`  // cold, on vs off
+	ResultsAgree  bool        `json:"results_agree"`   // coverage+bugs identical on vs off
+	WarmSATRatio  float64     `json:"warm_sat_ratio"`  // on_warm / on_cold SAT runs
+	StaticOffZero bool        `json:"static_off_zero"` // control arm reports no prunes
+}
+
+func absintRun(b *testing.B, driver string, disable bool, dir string) absintPoint {
+	b.Helper()
+	tgt, err := TargetByDriver(driver)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := tgt.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := tgt.GenSeed(rand.New(rand.NewSource(42)), 576)
+	st, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := Run(prog, seed,
+		Options{Budget: 400_000, Seed: 42, DisableAbsint: disable, Store: st, StoreLabel: driver},
+		ExecutorOptions{InputSize: len(seed)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return absintPoint{
+		Queries:      res.SolverStats.Queries,
+		SATRuns:      res.SolverStats.SATRuns,
+		StaticPrunes: res.SolverStats.StaticPrunes,
+		SharedHits:   res.SolverStats.SharedHits,
+		Covered:      res.Covered,
+		Bugs:         len(res.Bugs),
+	}
+}
+
+// emitAbsintSweep measures the driver with the abstract-interpretation
+// pass on and off, cold and warm, and merges the sweep into
+// BENCH_absint.json — the artifact CI uploads alongside the parallel
+// scaling numbers.
+func emitAbsintSweep(b *testing.B, benchName, driver string) {
+	b.Helper()
+	base := b.TempDir()
+	onDir := filepath.Join(base, "on")
+	offDir := filepath.Join(base, "off")
+
+	sweep := absintSweep{Driver: driver, Budget: 400_000}
+	sweep.OnCold = absintRun(b, driver, false, onDir)
+	sweep.OnWarm = absintRun(b, driver, false, onDir)
+	sweep.OffCold = absintRun(b, driver, true, offDir)
+	sweep.OffWarm = absintRun(b, driver, true, offDir)
+
+	if sweep.OffCold.SATRuns > 0 {
+		sweep.SATDropPct = 100 * float64(sweep.OffCold.SATRuns-sweep.OnCold.SATRuns) /
+			float64(sweep.OffCold.SATRuns)
+	}
+	if sweep.OffCold.Queries > 0 {
+		sweep.QueryDropPct = 100 * float64(sweep.OffCold.Queries-sweep.OnCold.Queries) /
+			float64(sweep.OffCold.Queries)
+	}
+	if sweep.OnCold.SATRuns > 0 {
+		sweep.WarmSATRatio = float64(sweep.OnWarm.SATRuns) / float64(sweep.OnCold.SATRuns)
+	}
+	sweep.ResultsAgree = sweep.OnCold.Covered == sweep.OffCold.Covered &&
+		sweep.OnCold.Bugs == sweep.OffCold.Bugs
+	sweep.StaticOffZero = sweep.OffCold.StaticPrunes == 0 && sweep.OffWarm.StaticPrunes == 0
+
+	b.ReportMetric(float64(sweep.OnCold.StaticPrunes), "static-prunes")
+	b.ReportMetric(sweep.SATDropPct, "sat-drop-pct")
+
+	const path = "BENCH_absint.json"
+	doc := make(map[string]absintSweep)
+	if raw, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(raw, &doc) // corrupt file: start over
+	}
+	doc[benchName] = sweep
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAbsintReadelf and BenchmarkAbsintGif2tiff record the static
+// pruning pass's solver-traffic effect on the two acceptance targets.
+func BenchmarkAbsintReadelf(b *testing.B) {
+	emitAbsintSweep(b, "BenchmarkAbsintReadelf", "readelf")
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+func BenchmarkAbsintGif2tiff(b *testing.B) {
+	emitAbsintSweep(b, "BenchmarkAbsintGif2tiff", "gif2tiff")
+	for i := 0; i < b.N; i++ {
+	}
+}

@@ -2,12 +2,14 @@
 // findings: dead registers, constant-foldable branches, stores never
 // loaded, calls that cannot return, unreachable functions.
 //
-//	irlint [-json] [-loops] file.ir...
+//	irlint [-json] [-loops] [-absint] file.ir...
 //
 // The exit status is 0 when every file is clean, 1 when any finding is
 // reported, and 2 on parse or I/O errors. With -loops the natural-loop
 // report (nesting and input-dependence classification) is printed for
-// each file as well.
+// each file as well. With -absint the abstract-interpretation pass also
+// runs, reporting unreachable blocks, statically dead branch edges, and
+// constant-foldable guards proven by interval/SCCP invariants.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"os"
 
 	"pbse/internal/analysis"
+	"pbse/internal/analysis/absint"
 	"pbse/internal/ir"
 )
 
@@ -29,11 +32,12 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	loops := fs.Bool("loops", false, "also print the natural-loop report")
+	abs := fs.Bool("absint", false, "also run the abstract-interpretation pass (unreachable blocks, dead edges, constant guards)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: irlint [-json] [-loops] file.ir...")
+		fmt.Fprintln(stderr, "usage: irlint [-json] [-loops] [-absint] file.ir...")
 		return 2
 	}
 
@@ -51,6 +55,9 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		inf := analysis.Analyze(prog)
 		all = append(all, inf.Lint()...)
+		if *abs {
+			all = append(all, absint.Lint(inf)...)
+		}
 		if *loops && !*jsonOut {
 			printLoops(stdout, inf)
 		}

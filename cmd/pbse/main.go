@@ -56,6 +56,7 @@ func run() (int, error) {
 		maxStates     = flag.Int("max-states", 0, "cap on live states; further forks suppressed (0 = unlimited)")
 		maxStateBytes = flag.Int64("max-state-bytes", 0, "soft cap on estimated live-state memory; evicts costliest states (0 = unlimited)")
 		injectSpec    = flag.String("inject", "", "fault-injection spec, e.g. solver-unknown=0.1,solver-slow=0.05:1ms,step-panic=0.01,alloc-pressure=0.2:1048576")
+		noAbsint      = flag.Bool("no-absint", false, "disable the abstract-interpretation pass (static branch pruning and phase annotation)")
 
 		storeDir  = flag.String("store", "", "persistent run store directory (checkpoints, solver cache, reproducer corpus)")
 		resume    = flag.Bool("resume", false, "resume the campaign from the store's checkpoint (requires -store)")
@@ -120,7 +121,8 @@ func run() (int, error) {
 	fmt.Printf("pbSE on %s (%s), seed %d bytes, budget %d\n", tgt.Name, tgt.Paper, len(seed), *budget)
 	res, err := pbse.Run(prog, seed, pbse.Options{
 		Budget: *budget, Seed: *rngSeed, Workers: *workers,
-		Store: st, Resume: *resume, MaxRounds: *maxRounds, StoreLabel: *driver,
+		DisableAbsint: *noAbsint,
+		Store:         st, Resume: *resume, MaxRounds: *maxRounds, StoreLabel: *driver,
 	}, exOpts)
 	if err != nil {
 		return 1, err
@@ -151,8 +153,8 @@ func run() (int, error) {
 		}
 	}
 	sst := res.SolverStats
-	fmt.Printf("\nsolver: %d queries, %d cache hits, %d candidate hits, %d interval hits, %d SAT runs\n",
-		sst.Queries, sst.CacheHits, sst.CandidateSat, sst.IntervalFast, sst.SATRuns)
+	fmt.Printf("\nsolver: %d queries, %d static prunes, %d cache hits, %d candidate hits, %d interval hits, %d SAT runs\n",
+		sst.Queries, sst.StaticPrunes, sst.CacheHits, sst.CandidateSat, sst.IntervalFast, sst.SATRuns)
 	fmt.Printf("solver unknowns: %d (budget %d, deadline %d, injected %d, internal %d)\n",
 		sst.Unknowns, sst.BudgetExhausted, sst.DeadlineExceeded, sst.InjectedUnknowns, sst.InternalRecovered)
 	if res.Workers > 1 {

@@ -1,0 +1,557 @@
+// Package absint is a fixpoint abstract interpreter over the IR: an
+// unsigned interval domain per register combined with sparse conditional
+// constant propagation (SCCP). Blocks start at bottom (unreached) and
+// only become live through edges the current abstract state cannot rule
+// out; interval growth is widened at natural-loop headers and narrowed
+// with two decreasing sweeps after the fixpoint. The pass produces, per
+// basic block, interval invariants at entry and at the terminator, and a
+// statically proven branch-feasibility map — flattened into
+// analysis.AbsFacts for the solver's PreCheck fast path, the symbolic
+// executor's edge pruning, and phase scoring.
+//
+// Soundness contract: every transfer function mirrors the concrete
+// interpreter's masking semantics (internal/interp) exactly — registers
+// store values masked to the defining instruction's width, reads re-mask
+// to the reading width, division by zero and failed assertions stop the
+// path. A fact is emitted only when it holds on *every* concrete
+// execution reaching the program point, so pruning a statically dead
+// edge can never cut a feasible path. The pass is deterministic: it
+// iterates blocks in reverse postorder with fixed widening thresholds
+// and never consults maps in iteration order.
+package absint
+
+import (
+	"pbse/internal/analysis"
+	"pbse/internal/ir"
+)
+
+// Widening thresholds: after this many state-changing joins into a
+// block, changing registers are widened to top. Loop headers widen
+// early; the backstop on every block bounds irreducible regions.
+const (
+	widenHeader = 8
+	widenAny    = 32
+	// maxSweeps bounds the chaotic iteration defensively; widening
+	// guarantees convergence long before this.
+	maxSweeps = 512
+	// maxDefaultTrim bounds the endpoint trimming of a switch-default
+	// edge against the case values.
+	maxDefaultTrim = 8
+	// maxCoverScan bounds the exhaustive range-covered check that proves
+	// a switch default dead.
+	maxCoverScan = 256
+)
+
+// aval is the abstract value of one register: the stored (raw) value is
+// always in [lo, hi], and w is the defining width in bits (0 unknown).
+type aval struct {
+	lo, hi uint64
+	w      uint8
+}
+
+func mask(w uint) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<w - 1
+}
+
+func topAny() aval     { return aval{lo: 0, hi: ^uint64(0), w: 0} }
+func topW(w uint) aval { return aval{lo: 0, hi: mask(w), w: uint8(w)} }
+func constW(v uint64, w uint) aval {
+	v &= mask(w)
+	return aval{lo: v, hi: v, w: uint8(w)}
+}
+
+func (a aval) isConst() bool { return a.lo == a.hi }
+
+// read models the interpreter's get(): the raw stored value masked to
+// width w. When the raw range fits the mask the range is unchanged; when
+// the range spans one aligned window the mask distributes; otherwise all
+// information is lost.
+func (a aval) read(w uint) aval {
+	m := mask(w)
+	if a.hi <= m {
+		return aval{lo: a.lo, hi: a.hi, w: uint8(w)}
+	}
+	if w < 64 && a.lo>>w == a.hi>>w {
+		return aval{lo: a.lo & m, hi: a.hi & m, w: uint8(w)}
+	}
+	return topW(w)
+}
+
+// join is the lattice join (interval hull; widths must agree to be kept).
+func join(a, b aval) aval {
+	j := a
+	if b.lo < j.lo {
+		j.lo = b.lo
+	}
+	if b.hi > j.hi {
+		j.hi = b.hi
+	}
+	if a.w != b.w {
+		j.w = 0
+	}
+	return j
+}
+
+// widened blows a value up to top at its known width.
+func widened(a aval) aval {
+	if a.w != 0 {
+		return topW(uint(a.w))
+	}
+	return topAny()
+}
+
+func sextW(v uint64, w uint) uint64 {
+	if w == 0 || w >= 64 || v>>(w-1)&1 == 0 {
+		return v
+	}
+	return v | ^mask(w)
+}
+
+// cmpProv records that a register currently holds the result of an
+// OpCmp, so a branch on it can refine the compared operands on each
+// edge. genA/genB snapshot the operands' definition generations: the
+// provenance is stale once either operand is redefined.
+type cmpProv struct {
+	pred       ir.Pred
+	a, b       ir.Reg
+	w          uint8
+	genA, genB uint32
+}
+
+// funcAbs is the per-function analysis state.
+type funcAbs struct {
+	fn *ir.Func
+	fi *analysis.FuncInfo
+
+	in     [][]aval // block-entry states; nil = unreached (bottom)
+	term   [][]aval // terminator states (after the final sweep)
+	edgeOK [][]bool // per target index, from the final sweep
+	joins  []int    // state-changing joins seen per block
+	header []bool   // natural-loop headers (widening points)
+
+	// per-walk scratch, reset by resetWalk:
+	gen    []uint32
+	prov   []cmpProv
+	provOK []bool
+}
+
+func newFuncAbs(fn *ir.Func, fi *analysis.FuncInfo) *funcAbs {
+	n := len(fn.Blocks)
+	fa := &funcAbs{
+		fn: fn, fi: fi,
+		in:     make([][]aval, n),
+		term:   make([][]aval, n),
+		edgeOK: make([][]bool, n),
+		joins:  make([]int, n),
+		header: make([]bool, n),
+		gen:    make([]uint32, fn.NumRegs),
+		prov:   make([]cmpProv, fn.NumRegs),
+		provOK: make([]bool, fn.NumRegs),
+	}
+	for _, l := range fi.Loops {
+		fa.header[l.Header] = true
+	}
+	fa.in[0] = fa.entryState()
+	return fa
+}
+
+// entryState models a fresh frame: parameters arrive with caller-chosen
+// values and widths (top), every other register reads as zero until
+// defined (the interpreter zero-fills frames; sign-extending a zero is
+// zero at any width, so the unknown width is harmless).
+func (fa *funcAbs) entryState() []aval {
+	st := make([]aval, fa.fn.NumRegs)
+	for r := range st {
+		if r < fa.fn.NumParams {
+			st[r] = topAny()
+		} else {
+			st[r] = aval{lo: 0, hi: 0, w: 0}
+		}
+	}
+	return st
+}
+
+func (fa *funcAbs) resetWalk() {
+	for i := range fa.gen {
+		fa.gen[i] = 0
+		fa.provOK[i] = false
+	}
+}
+
+// step applies one non-terminator instruction to st in place. It returns
+// false when the instruction provably stops every execution (division by
+// zero, an assertion that always fails): the rest of the block and all
+// its out-edges are then dead.
+func (fa *funcAbs) step(in *ir.Instr, st []aval) bool {
+	w := uint(in.Width)
+	def := func(v aval) {
+		st[in.Dst] = v
+		fa.gen[in.Dst]++
+		fa.provOK[in.Dst] = false
+	}
+	switch in.Op {
+	case ir.OpConst:
+		def(constW(in.Imm, w))
+	case ir.OpBin:
+		a := st[in.A].read(w)
+		b := st[in.B].read(w)
+		if isDiv(in.Bin) {
+			if b.hi == 0 {
+				return false // divisor is always zero: the path faults
+			}
+			if b.lo == 0 {
+				// executions that continue past the fault check have a
+				// non-zero divisor
+				b.lo = 1
+			}
+		}
+		def(binT(in.Bin, a, b, w))
+	case ir.OpCmp:
+		a := st[in.A].read(w)
+		b := st[in.B].read(w)
+		def(cmpT(in.Pred, a, b, w))
+		if in.A != in.Dst && in.B != in.Dst {
+			fa.prov[in.Dst] = cmpProv{
+				pred: in.Pred, a: in.A, b: in.B, w: in.Width,
+				genA: fa.gen[in.A], genB: fa.gen[in.B],
+			}
+			fa.provOK[in.Dst] = true
+		}
+	case ir.OpNot:
+		a := st[in.A].read(w)
+		def(aval{lo: ^a.hi & mask(w), hi: ^a.lo & mask(w), w: uint8(w)})
+	case ir.OpMov, ir.OpZext, ir.OpTrunc:
+		// all three are get(A, w): raw value masked to the new width
+		def(st[in.A].read(w))
+	case ir.OpSext:
+		a := st[in.A]
+		switch {
+		case a.isConst() && a.w != 0:
+			def(constW(sextW(a.lo, uint(a.w)), w))
+		case a.isConst() && a.lo == 0:
+			def(constW(0, w)) // zero sign-extends to zero at any width
+		case a.w != 0 && a.hi <= mask(uint(a.w))>>1:
+			def(a.read(w)) // provably non-negative: sext == zext
+		default:
+			def(topW(w))
+		}
+	case ir.OpSelect:
+		cond := st[in.A]
+		b := st[in.B].read(w)
+		c := st[in.C].read(w)
+		if cond.isConst() {
+			if cond.lo&1 == 1 {
+				def(b)
+			} else {
+				def(c)
+			}
+		} else {
+			def(join(b, c))
+		}
+	case ir.OpAlloca, ir.OpInput:
+		def(topW(64)) // packed object references are runtime values
+	case ir.OpInputLen:
+		def(topW(w))
+	case ir.OpLoad:
+		def(topW(w)) // memory is not modelled
+	case ir.OpStore, ir.OpPrint:
+		// no register effect
+	case ir.OpCall:
+		if in.Dst != ir.NoReg {
+			def(topAny()) // return width is the callee's choice
+		}
+	case ir.OpAssert:
+		cond := st[in.A].read(1)
+		if cond.hi == 0 {
+			return false // always fails: execution never continues
+		}
+		// executions that continue have the condition true
+		fa.refineBool(st, in.A, true)
+	default:
+		if in.Dst != ir.NoReg {
+			def(topAny())
+		}
+	}
+	return true
+}
+
+// refineBool narrows the state under "bit 0 of register r is taken":
+// the register itself (when its range is boolean) and, through cmp
+// provenance, the compared operands. It returns false when the
+// refinement proves the assumption impossible.
+func (fa *funcAbs) refineBool(st []aval, r ir.Reg, taken bool) bool {
+	v := st[r]
+	if v.hi <= 1 { // boolean-shaped: pin it
+		if taken {
+			if v.hi == 0 {
+				return false
+			}
+			st[r] = aval{lo: 1, hi: 1, w: v.w}
+		} else {
+			if v.lo == 1 {
+				return false
+			}
+			st[r] = aval{lo: 0, hi: 0, w: v.w}
+		}
+	}
+	if !fa.provOK[r] {
+		return true
+	}
+	p := fa.prov[r]
+	if fa.gen[p.a] != p.genA || fa.gen[p.b] != p.genB {
+		return true // an operand was redefined after the compare
+	}
+	return refineCmp(st, p, taken)
+}
+
+// analyzeFunc runs the chaotic iteration to a (widened) fixpoint, two
+// narrowing sweeps, and a final sweep that records terminator states and
+// the edge-feasibility map.
+func analyzeFunc(fn *ir.Func, fi *analysis.FuncInfo) *funcAbs {
+	fa := newFuncAbs(fn, fi)
+	for sweep := 0; fa.sweepJoin(); sweep++ {
+		if sweep >= maxSweeps {
+			// defensive: saturate everything reached and let the joins
+			// drain (top states cannot change again)
+			for _, st := range fa.in {
+				for r := range st {
+					st[r] = widened(st[r])
+				}
+			}
+		}
+	}
+	fa.narrowSweep()
+	fa.narrowSweep()
+	fa.finalSweep()
+	return fa
+}
+
+// sweepJoin is one Gauss-Seidel pass in reverse postorder: recompute
+// each reached block's out-edge states and join them into the targets.
+func (fa *funcAbs) sweepJoin() bool {
+	changed := false
+	for _, bi := range fa.fi.RPO {
+		if fa.in[bi] == nil {
+			continue
+		}
+		st := append([]aval(nil), fa.in[bi]...)
+		fa.forEachLiveEdge(bi, st, func(target int, out []aval) {
+			if fa.joinInto(target, out) {
+				changed = true
+			}
+		})
+	}
+	return changed
+}
+
+// narrowSweep applies the transfer once more from the current states,
+// replacing (not joining) every reached block's entry state — a
+// decreasing iteration that claws back precision lost to widening.
+// Computed Jacobi-style from a snapshot so the result is deterministic.
+func (fa *funcAbs) narrowSweep() {
+	n := len(fa.fn.Blocks)
+	next := make([][]aval, n)
+	next[0] = fa.entryState()
+	for _, bi := range fa.fi.RPO {
+		if fa.in[bi] == nil {
+			continue
+		}
+		st := append([]aval(nil), fa.in[bi]...)
+		fa.forEachLiveEdge(bi, st, func(target int, out []aval) {
+			if next[target] == nil {
+				next[target] = append([]aval(nil), out...)
+			} else {
+				cur := next[target]
+				for r := range cur {
+					cur[r] = join(cur[r], out[r])
+				}
+			}
+		})
+	}
+	fa.in = next
+}
+
+// finalSweep records, from the settled entry states, each block's
+// terminator state and edge-feasibility row.
+func (fa *funcAbs) finalSweep() {
+	for bi, b := range fa.fn.Blocks {
+		t := b.Terminator()
+		nt := 0
+		if t != nil {
+			nt = len(t.Targets)
+		}
+		fa.edgeOK[bi] = make([]bool, nt)
+		if fa.in[bi] == nil {
+			continue
+		}
+		st := append([]aval(nil), fa.in[bi]...)
+		stopped := !fa.walkBody(bi, st)
+		if stopped {
+			continue // terminator never executes; edges stay dead
+		}
+		fa.term[bi] = append([]aval(nil), st...)
+		fa.forEachEdge(bi, st, func(target, ti int, out []aval, feasible bool) {
+			fa.edgeOK[bi][ti] = feasible
+		})
+	}
+}
+
+// walkBody runs the block's non-terminator instructions over st,
+// returning false when execution provably stops mid-block.
+func (fa *funcAbs) walkBody(bi int, st []aval) bool {
+	fa.resetWalk()
+	b := fa.fn.Blocks[bi]
+	n := len(b.Instrs)
+	if b.Terminator() != nil {
+		n--
+	}
+	for i := 0; i < n; i++ {
+		if !fa.step(&b.Instrs[i], st) {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachLiveEdge walks the block body and visits every feasible
+// out-edge with its (possibly refined) state. st is consumed.
+func (fa *funcAbs) forEachLiveEdge(bi int, st []aval, visit func(target int, out []aval)) {
+	if !fa.walkBody(bi, st) {
+		return
+	}
+	fa.forEachEdge(bi, st, func(target, ti int, out []aval, feasible bool) {
+		if feasible {
+			visit(target, out)
+		}
+	})
+}
+
+// forEachEdge evaluates the terminator over st and visits every target
+// with its refined edge state and feasibility verdict. The walk scratch
+// (gen/prov) must be valid for st (set by walkBody).
+func (fa *funcAbs) forEachEdge(bi int, st []aval, visit func(target, ti int, out []aval, feasible bool)) {
+	b := fa.fn.Blocks[bi]
+	t := b.Terminator()
+	if t == nil {
+		return
+	}
+	switch t.Op {
+	case ir.OpJmp:
+		visit(t.Targets[0].Index, 0, st, true)
+	case ir.OpBr:
+		cond := st[t.A].read(1)
+		// Targets[0] is the true edge, Targets[1] the false edge.
+		for ti := 0; ti < 2; ti++ {
+			taken := ti == 0
+			feasible := (taken && cond.hi == 1) || (!taken && cond.lo == 0)
+			if !feasible {
+				visit(t.Targets[ti].Index, ti, st, false)
+				continue
+			}
+			out := append([]aval(nil), st...)
+			if !fa.refineBool(out, t.A, taken) {
+				feasible = false
+			}
+			visit(t.Targets[ti].Index, ti, out, feasible)
+		}
+	case ir.OpSwitch:
+		v := st[t.A]
+		for i, val := range t.Vals {
+			feasible := val >= v.lo && val <= v.hi
+			if !feasible {
+				visit(t.Targets[i].Index, i, st, false)
+				continue
+			}
+			out := append([]aval(nil), st...)
+			out[t.A] = aval{lo: val, hi: val, w: v.w}
+			visit(t.Targets[i].Index, i, out, true)
+		}
+		di := len(t.Vals)
+		out, feasible := switchDefault(v, t.Vals)
+		if feasible {
+			st[t.A] = out
+			visit(t.Targets[di].Index, di, st, true)
+		} else {
+			visit(t.Targets[di].Index, di, st, false)
+		}
+	}
+}
+
+// switchDefault decides feasibility of the default edge given the
+// operand range, and trims range endpoints that collide with case
+// values. The default is infeasible when the whole (small) range is
+// covered by case values.
+func switchDefault(v aval, vals []uint64) (aval, bool) {
+	isCase := func(x uint64) bool {
+		for _, c := range vals {
+			if c == x {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < maxDefaultTrim && v.lo <= v.hi && isCase(v.lo); i++ {
+		if v.lo == v.hi {
+			return v, false
+		}
+		v.lo++
+	}
+	for i := 0; i < maxDefaultTrim && v.lo <= v.hi && isCase(v.hi); i++ {
+		if v.lo == v.hi {
+			return v, false
+		}
+		v.hi--
+	}
+	if v.hi-v.lo < maxCoverScan {
+		covered := true
+		for x := v.lo; ; x++ {
+			if !isCase(x) {
+				covered = false
+				break
+			}
+			if x == v.hi {
+				break
+			}
+		}
+		if covered {
+			return v, false
+		}
+	}
+	return v, true
+}
+
+// joinInto merges an edge state into a block's entry state, applying
+// widening once the block has absorbed enough state-changing joins.
+func (fa *funcAbs) joinInto(bi int, out []aval) bool {
+	cur := fa.in[bi]
+	if cur == nil {
+		fa.in[bi] = append([]aval(nil), out...)
+		return true
+	}
+	limit := widenAny
+	if fa.header[bi] {
+		limit = widenHeader
+	}
+	changed := false
+	for r := range cur {
+		j := join(cur[r], out[r])
+		if j == cur[r] {
+			continue
+		}
+		if fa.joins[bi] >= limit {
+			j = widened(j)
+			if j == cur[r] {
+				continue
+			}
+		}
+		cur[r] = j
+		changed = true
+	}
+	if changed {
+		fa.joins[bi]++
+	}
+	return changed
+}

@@ -1,0 +1,366 @@
+package absint
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbse/internal/analysis"
+	"pbse/internal/expr"
+	"pbse/internal/interp"
+	"pbse/internal/ir"
+	"pbse/internal/targets"
+)
+
+func parse(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func build(t *testing.T, src string) (*ir.Program, *analysis.Report) {
+	t.Helper()
+	p := parse(t, src)
+	return p, BuildReport(p)
+}
+
+func blockID(t *testing.T, p *ir.Program, fn, name string) int {
+	t.Helper()
+	for _, b := range p.Func(fn).Blocks {
+		if b.Name == name {
+			return b.ID
+		}
+	}
+	t.Fatalf("no block %s in %s", name, fn)
+	return -1
+}
+
+func TestConstGuardDeadEdge(t *testing.T) {
+	p, rep := build(t, `
+program t
+func main(params=0 regs=2) {
+entry:
+	r0 = const 1 w32
+	br r0 yes no
+yes:
+	exit
+no:
+	exit
+}
+`)
+	id := blockID(t, p, "main", "entry")
+	if rep.Abs.EdgeInfeasible(id, 0) {
+		t.Fatalf("true edge of a const-1 branch marked dead")
+	}
+	if !rep.Abs.EdgeInfeasible(id, 1) {
+		t.Fatalf("false edge of a const-1 branch not marked dead")
+	}
+	if !rep.Abs.Unreached[blockID(t, p, "main", "no")] {
+		t.Fatalf("block behind a dead edge not marked unreached")
+	}
+	if rep.Abs.NumDeadEdges == 0 || rep.Abs.NumUnreached == 0 {
+		t.Fatalf("summary counters not filled: %+v", rep.Abs)
+	}
+}
+
+// A urem bounds the value into [0,4], so ult 10 is provably true even
+// though the dividend (inputlen) is unknown.
+func TestRangeProvesBranch(t *testing.T) {
+	p, rep := build(t, `
+program t
+func main(params=0 regs=4) {
+entry:
+	r0 = inputlen w32
+	r1 = const 5 w32
+	r2 = urem r0, r1 w32
+	r3 = cmp.ult r2, r1 w32
+	br r3 ok bad
+ok:
+	exit
+bad:
+	exit
+}
+`)
+	id := blockID(t, p, "main", "entry")
+	if !rep.Abs.EdgeInfeasible(id, 1) {
+		t.Fatalf("urem-bounded compare not proven: %+v", rep.Abs.TermFacts(id))
+	}
+	// the terminator facts must pin r2 into [0,4]
+	var got *analysis.RegFact
+	for i, f := range rep.Abs.TermFacts(id) {
+		if f.Reg == 2 {
+			got = &rep.Abs.TermFacts(id)[i]
+		}
+	}
+	if got == nil || got.Lo != 0 || got.Hi != 4 {
+		t.Fatalf("urem fact = %+v, want r2 in [0,4]", got)
+	}
+}
+
+// The classic widening/narrowing case: i counts 0..8; after the loop the
+// exit block must know i == 8 exactly, and the body must know i <= 7.
+func TestLoopNarrowing(t *testing.T) {
+	p, rep := build(t, `
+program t
+func main(params=0 regs=3) {
+entry:
+	r0 = const 0 w32
+	jmp head
+head:
+	r1 = const 8 w32
+	r2 = cmp.ult r0, r1 w32
+	br r2 body done
+body:
+	r1 = const 1 w32
+	r0 = add r0, r1 w32
+	jmp head
+done:
+	exit
+}
+`)
+	find := func(block string, reg ir.Reg) *analysis.RegFact {
+		for _, f := range rep.Abs.EntryFacts(blockID(t, p, "main", block)) {
+			if f.Reg == reg {
+				return &f
+			}
+		}
+		return nil
+	}
+	if f := find("done", 0); f == nil || f.Lo != 8 || f.Hi != 8 {
+		t.Errorf("exit fact for i = %+v, want exactly 8", f)
+	}
+	if f := find("body", 0); f == nil || f.Lo != 0 || f.Hi != 7 {
+		t.Errorf("body fact for i = %+v, want [0,7]", f)
+	}
+	if f := find("head", 0); f == nil || f.Lo != 0 || f.Hi != 8 {
+		t.Errorf("header fact for i = %+v, want [0,8]", f)
+	}
+}
+
+func TestSwitchDeadArm(t *testing.T) {
+	p, rep := build(t, `
+program t
+func main(params=0 regs=2) {
+entry:
+	r0 = inputlen w32
+	r1 = const 3 w32
+	r0 = urem r0, r1 w32
+	switch r0 [0:a 5:b] default c
+a:
+	exit
+b:
+	exit
+c:
+	exit
+}
+`)
+	id := blockID(t, p, "main", "entry")
+	if rep.Abs.EdgeInfeasible(id, 0) {
+		t.Fatalf("case 0 is reachable (r0 in [0,2]) but marked dead")
+	}
+	if !rep.Abs.EdgeInfeasible(id, 1) {
+		t.Fatalf("case 5 is outside [0,2] but not marked dead")
+	}
+	if rep.Abs.EdgeInfeasible(id, 2) {
+		t.Fatalf("default is reachable (r0 in 1..2) but marked dead")
+	}
+	if !rep.Abs.Unreached[blockID(t, p, "main", "b")] {
+		t.Fatalf("case-5 target not marked unreached")
+	}
+}
+
+// A small fully-covered switch range: v in [0,1] with cases 0 and 1
+// proves the default dead.
+func TestSwitchDefaultCovered(t *testing.T) {
+	p, rep := build(t, `
+program t
+func main(params=0 regs=2) {
+entry:
+	r0 = inputlen w32
+	r1 = const 2 w32
+	r0 = urem r0, r1 w32
+	switch r0 [0:a 1:b] default c
+a:
+	exit
+b:
+	exit
+c:
+	exit
+}
+`)
+	id := blockID(t, p, "main", "entry")
+	if !rep.Abs.EdgeInfeasible(id, 2) {
+		t.Fatalf("fully covered switch default not marked dead")
+	}
+}
+
+// Division by a provably-zero divisor stops the path, killing the
+// block's out-edges without marking the branch target reachable.
+func TestDivByZeroStopsPath(t *testing.T) {
+	p, rep := build(t, `
+program t
+func main(params=0 regs=3) {
+entry:
+	r0 = inputlen w32
+	r1 = const 0 w32
+	r2 = udiv r0, r1 w32
+	jmp next
+next:
+	exit
+}
+`)
+	if !rep.Abs.Unreached[blockID(t, p, "main", "next")] {
+		t.Fatalf("block after a certain div-by-zero not marked unreached")
+	}
+}
+
+// Invariants materialises entry facts as expr conjuncts with the right
+// bounds and skips width mismatches.
+func TestInvariantsExport(t *testing.T) {
+	p, rep := build(t, `
+program t
+func main(params=0 regs=4) {
+entry:
+	r0 = inputlen w32
+	r1 = const 5 w32
+	r2 = urem r0, r1 w32
+	jmp next
+next:
+	exit
+}
+`)
+	c := expr.NewContext()
+	sym := c.ByteAt(expr.NewArray("in", 8), 0)
+	val := c.ZExtE(sym, 32)
+	id := blockID(t, p, "main", "next")
+	conj := rep.Abs.Invariants(c, id, func(r ir.Reg) *expr.Expr {
+		if r == 2 {
+			return val
+		}
+		return nil
+	})
+	if len(conj) != 1 {
+		t.Fatalf("Invariants = %v, want exactly one ule bound for r2", conj)
+	}
+	// width mismatch must be skipped
+	conj = rep.Abs.Invariants(c, id, func(r ir.Reg) *expr.Expr {
+		if r == 2 {
+			return c.ZExtE(sym, 64)
+		}
+		return nil
+	})
+	if len(conj) != 0 {
+		t.Fatalf("width-mismatched invariant not skipped: %v", conj)
+	}
+}
+
+// Soundness oracle: on every bundled target, any block a concrete
+// execution enters must not be claimed unreachable by the pass.
+func TestSoundOnTargets(t *testing.T) {
+	for _, tgt := range targets.All() {
+		tgt := tgt
+		t.Run(tgt.Driver, func(t *testing.T) {
+			prog, err := tgt.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			rep := BuildReport(prog)
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 4; trial++ {
+				seed := tgt.GenSeed(rng, 256+trial*96)
+				var visited []int
+				m := interp.New(prog, seed, interp.Options{
+					MaxSteps: 2_000_000,
+					Tracer:   func(b *ir.Block, step int64) { visited = append(visited, b.ID) },
+				})
+				m.Run()
+				for _, id := range visited {
+					if rep.Abs.Unreached[id] {
+						t.Fatalf("block %s concretely visited but marked unreachable",
+							prog.AllBlocks[id])
+					}
+				}
+			}
+		})
+	}
+}
+
+// Determinism: two independent runs over the same program produce
+// identical flattened facts.
+func TestDeterministic(t *testing.T) {
+	tgt, err := targets.ByDriver("readelf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := tgt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := BuildReport(prog).Abs, BuildReport(prog).Abs
+	if a.NumDeadEdges != b.NumDeadEdges || a.NumUnreached != b.NumUnreached {
+		t.Fatalf("summary differs: %d/%d vs %d/%d",
+			a.NumDeadEdges, a.NumUnreached, b.NumDeadEdges, b.NumUnreached)
+	}
+	for id := range a.EdgeDead {
+		if len(a.EdgeDead[id]) != len(b.EdgeDead[id]) {
+			t.Fatalf("edge row %d length differs", id)
+		}
+		for ti := range a.EdgeDead[id] {
+			if a.EdgeDead[id][ti] != b.EdgeDead[id][ti] {
+				t.Fatalf("edge %d/%d differs", id, ti)
+			}
+		}
+		if len(a.Entry[id]) != len(b.Entry[id]) || len(a.Term[id]) != len(b.Term[id]) {
+			t.Fatalf("facts of block %d differ", id)
+		}
+		for i := range a.Entry[id] {
+			if a.Entry[id][i] != b.Entry[id][i] {
+				t.Fatalf("entry fact %d/%d differs", id, i)
+			}
+		}
+	}
+}
+
+func TestLintFindings(t *testing.T) {
+	p := parse(t, `
+program t
+func main(params=0 regs=3) {
+entry:
+	r0 = const 1 w32
+	br r0 yes no
+yes:
+	r1 = inputlen w32
+	r2 = const 3 w32
+	r1 = urem r1, r2 w32
+	switch r1 [0:a 7:b] default c
+no:
+	exit
+a:
+	exit
+b:
+	exit
+c:
+	exit
+}
+`)
+	inf := analysis.Analyze(p)
+	got := make(map[analysis.DiagKind]int)
+	for _, d := range Lint(inf) {
+		got[d.Kind]++
+		if d.Prog != "t" || d.Func != "main" || d.Block == "" {
+			t.Errorf("diag missing position: %+v", d)
+		}
+	}
+	if got[DiagConstGuard] != 1 {
+		t.Errorf("const-guard findings = %d, want 1", got[DiagConstGuard])
+	}
+	if got[DiagInfeasibleEdge] != 1 {
+		t.Errorf("infeasible-edge findings = %d, want 1 (case 7)", got[DiagInfeasibleEdge])
+	}
+	// no, b and the blocks behind them are unreachable
+	if got[DiagUnreachable] < 2 {
+		t.Errorf("unreachable findings = %d, want >= 2", got[DiagUnreachable])
+	}
+}

@@ -1,0 +1,146 @@
+package absint
+
+import (
+	"fmt"
+
+	"pbse/internal/analysis"
+	"pbse/internal/ir"
+)
+
+// Diagnostic kinds contributed by the abstract-interpretation pass.
+const (
+	// DiagInfeasibleEdge: a switch arm (or default) no execution can take.
+	DiagInfeasibleEdge analysis.DiagKind = "absint-infeasible-edge"
+	// DiagConstGuard: a br whose interval-proven condition always goes one
+	// way — the guard is constant-foldable.
+	DiagConstGuard analysis.DiagKind = "absint-const-guard"
+	// DiagUnreachable: a CFG-reachable block the interval/SCCP fixpoint
+	// proves no execution enters.
+	DiagUnreachable analysis.DiagKind = "absint-unreachable"
+)
+
+// Analyze runs the interval/SCCP fixpoint over every function of p and
+// flattens the results into global-block-ID form. p must be finalised.
+func Analyze(inf *analysis.Info) *analysis.AbsFacts {
+	p := inf.Prog
+	n := len(p.AllBlocks)
+	facts := &analysis.AbsFacts{
+		Entry:     make([][]analysis.RegFact, n),
+		Term:      make([][]analysis.RegFact, n),
+		EdgeDead:  make([][]bool, n),
+		Unreached: make([]bool, n),
+	}
+	for fx, fn := range p.Funcs {
+		fa := analyzeFunc(fn, inf.Funcs[fx])
+		for bi, b := range fn.Blocks {
+			id := b.ID
+			if fa.in[bi] == nil {
+				facts.Unreached[id] = true
+				facts.NumUnreached++
+				row := make([]bool, len(fa.edgeOK[bi]))
+				for ti := range row {
+					row[ti] = true
+				}
+				facts.EdgeDead[id] = row
+				continue
+			}
+			facts.Entry[id] = compactFacts(fa.in[bi])
+			if fa.term[bi] != nil {
+				facts.Term[id] = compactFacts(fa.term[bi])
+			}
+			row := make([]bool, len(fa.edgeOK[bi]))
+			for ti, ok := range fa.edgeOK[bi] {
+				if !ok {
+					row[ti] = true
+					facts.NumDeadEdges++
+				}
+			}
+			facts.EdgeDead[id] = row
+		}
+	}
+	return facts
+}
+
+// BuildReport analyses p and returns the unified static-analysis report
+// with the abstract-interpretation facts filled in.
+func BuildReport(p *ir.Program) *analysis.Report {
+	rep := analysis.NewReport(p)
+	rep.Abs = Analyze(rep.Info)
+	return rep
+}
+
+// compactFacts keeps only informative register facts: a known width and
+// a range strictly narrower than the full width (otherwise the fact says
+// nothing a reader of the register does not already know).
+func compactFacts(st []aval) []analysis.RegFact {
+	var out []analysis.RegFact
+	for r, v := range st {
+		if v.w == 0 || (v.lo == 0 && v.hi == mask(uint(v.w))) {
+			continue
+		}
+		out = append(out, analysis.RegFact{Reg: ir.Reg(r), Lo: v.lo, Hi: v.hi, Width: v.w})
+	}
+	return out
+}
+
+// Lint reports unreachable blocks, statically dead branch edges, and
+// constant-foldable guards found by the pass, in deterministic order.
+func Lint(inf *analysis.Info) []analysis.Diag {
+	var out []analysis.Diag
+	p := inf.Prog
+	for fx, fn := range p.Funcs {
+		fi := inf.Funcs[fx]
+		fa := analyzeFunc(fn, fi)
+		for bi, b := range fn.Blocks {
+			if fa.in[bi] == nil {
+				if fi.Reachable == nil || fi.Reachable[bi] {
+					out = append(out, analysis.Diag{
+						Kind: DiagUnreachable, Prog: fn.Prog.Name, Func: fn.Name,
+						Block: b.Name, Instr: -1,
+						Msg: "no execution reaches this block (interval/SCCP fixpoint)",
+					})
+				}
+				continue
+			}
+			t := b.Terminator()
+			if t == nil || fa.term[bi] == nil {
+				continue
+			}
+			ti := len(b.Instrs) - 1
+			switch t.Op {
+			case ir.OpBr:
+				dead := -1
+				for e, ok := range fa.edgeOK[bi] {
+					if !ok {
+						dead = e
+					}
+				}
+				if dead >= 0 {
+					out = append(out, analysis.Diag{
+						Kind: DiagConstGuard, Prog: fn.Prog.Name, Func: fn.Name,
+						Block: b.Name, Instr: ti,
+						Msg: fmt.Sprintf("branch condition is always %v; edge to %s is dead",
+							dead == 1, t.Targets[dead].Name),
+					})
+				}
+			case ir.OpSwitch:
+				for e, ok := range fa.edgeOK[bi] {
+					if ok {
+						continue
+					}
+					arm := "default"
+					if e < len(t.Vals) {
+						arm = fmt.Sprintf("case %d", t.Vals[e])
+					}
+					out = append(out, analysis.Diag{
+						Kind: DiagInfeasibleEdge, Prog: fn.Prog.Name, Func: fn.Name,
+						Block: b.Name, Instr: ti,
+						Msg: fmt.Sprintf("switch %s (-> %s) is statically infeasible",
+							arm, t.Targets[e].Name),
+					})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,373 @@
+package absint
+
+import (
+	"math/bits"
+
+	"pbse/internal/ir"
+)
+
+func isDiv(b ir.BinOp) bool {
+	switch b {
+	case ir.UDiv, ir.SDiv, ir.URem, ir.SRem:
+		return true
+	}
+	return false
+}
+
+// binConst folds one binary op on concrete w-bit values, mirroring the
+// interpreter exactly. ok is false for the cases the interpreter treats
+// as faults or that we decline to fold (signed division overflow).
+func binConst(op ir.BinOp, a, b, m uint64, w uint) (uint64, bool) {
+	switch op {
+	case ir.Add:
+		return (a + b) & m, true
+	case ir.Sub:
+		return (a - b) & m, true
+	case ir.Mul:
+		return (a * b) & m, true
+	case ir.UDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return (a / b) & m, true
+	case ir.URem:
+		if b == 0 {
+			return 0, false
+		}
+		return (a % b) & m, true
+	case ir.SDiv, ir.SRem:
+		if b == 0 {
+			return 0, false
+		}
+		sa, sb := int64(sextW(a, w)), int64(sextW(b, w))
+		if sb == -1 && sa == int64(sextW(1<<(w-1)&m, w)) {
+			return 0, false // MinInt / -1: leave to the engine
+		}
+		if op == ir.SDiv {
+			return uint64(sa/sb) & m, true
+		}
+		return uint64(sa%sb) & m, true
+	case ir.And:
+		return a & b & m, true
+	case ir.Or:
+		return (a | b) & m, true
+	case ir.Xor:
+		return (a ^ b) & m, true
+	case ir.Shl:
+		if b >= uint64(w) {
+			return 0, true
+		}
+		return (a << b) & m, true
+	case ir.LShr:
+		if b >= uint64(w) {
+			return 0, true
+		}
+		return (a >> b) & m, true
+	case ir.AShr:
+		sh := b
+		if sh >= uint64(w) {
+			sh = uint64(w) - 1
+		}
+		return uint64(int64(sextW(a, w))>>sh) & m, true
+	}
+	return 0, false
+}
+
+// binT is the interval transfer for one binary op; a and b are already
+// masked to w (read(w)). The result always over-approximates every
+// concrete outcome of in-range operands.
+func binT(op ir.BinOp, a, b aval, w uint) aval {
+	m := mask(w)
+	if a.isConst() && b.isConst() {
+		if v, ok := binConst(op, a.lo, b.lo, m, w); ok {
+			return aval{lo: v, hi: v, w: uint8(w)}
+		}
+		return topW(w)
+	}
+	half := m >> 1
+	nonneg := a.hi <= half && b.hi <= half
+	switch op {
+	case ir.Add:
+		// exact when the high ends cannot wrap past the mask
+		if a.hi <= m-b.hi {
+			return aval{lo: a.lo + b.lo, hi: a.hi + b.hi, w: uint8(w)}
+		}
+	case ir.Sub:
+		if a.lo >= b.hi {
+			return aval{lo: a.lo - b.hi, hi: a.hi - b.lo, w: uint8(w)}
+		}
+	case ir.Mul:
+		if a.hi == 0 || b.hi == 0 {
+			return constW(0, w)
+		}
+		if b.hi <= m/a.hi {
+			return aval{lo: a.lo * b.lo, hi: a.hi * b.hi, w: uint8(w)}
+		}
+	case ir.UDiv:
+		if b.lo >= 1 && b.lo <= b.hi {
+			return aval{lo: a.lo / b.hi, hi: a.hi / b.lo, w: uint8(w)}
+		}
+	case ir.URem:
+		if b.lo >= 1 && b.lo <= b.hi {
+			if a.hi < b.lo {
+				return aval{lo: a.lo, hi: a.hi, w: uint8(w)} // a mod b == a
+			}
+			return aval{lo: 0, hi: minU(a.hi, b.hi-1), w: uint8(w)}
+		}
+	case ir.SDiv:
+		// both operands provably non-negative: identical to UDiv
+		if nonneg && b.lo >= 1 {
+			return aval{lo: a.lo / b.hi, hi: a.hi / b.lo, w: uint8(w)}
+		}
+	case ir.SRem:
+		if nonneg && b.lo >= 1 {
+			return aval{lo: 0, hi: minU(a.hi, b.hi-1), w: uint8(w)}
+		}
+	case ir.And:
+		return aval{lo: 0, hi: minU(a.hi, b.hi), w: uint8(w)}
+	case ir.Or:
+		hb := uint(bits.Len64(a.hi | b.hi))
+		return aval{lo: maxU(a.lo, b.lo), hi: mask(hb) & m, w: uint8(w)}
+	case ir.Xor:
+		hb := uint(bits.Len64(a.hi | b.hi))
+		return aval{lo: 0, hi: mask(hb) & m, w: uint8(w)}
+	case ir.Shl:
+		if b.isConst() {
+			s := b.lo
+			if s >= uint64(w) {
+				return constW(0, w)
+			}
+			if a.hi <= m>>s {
+				return aval{lo: a.lo << s, hi: a.hi << s, w: uint8(w)}
+			}
+		}
+	case ir.LShr:
+		if b.isConst() {
+			s := b.lo
+			if s >= uint64(w) {
+				return constW(0, w)
+			}
+			return aval{lo: a.lo >> s, hi: a.hi >> s, w: uint8(w)}
+		}
+		return aval{lo: 0, hi: a.hi, w: uint8(w)} // shifting right never grows
+	case ir.AShr:
+		if a.hi <= half {
+			// non-negative: arithmetic == logical shift, never grows
+			return aval{lo: 0, hi: a.hi, w: uint8(w)}
+		}
+	}
+	return topW(w)
+}
+
+// cmpT is the interval transfer for a comparison: a width-1 result that
+// is constant exactly when the ranges decide the predicate.
+func cmpT(pred ir.Pred, a, b aval, w uint) aval {
+	f := aval{lo: 0, hi: 0, w: 1}
+	t := aval{lo: 1, hi: 1, w: 1}
+	u := aval{lo: 0, hi: 1, w: 1}
+	decide := func(yes, no bool) aval {
+		switch {
+		case yes:
+			return t
+		case no:
+			return f
+		default:
+			return u
+		}
+	}
+	switch pred {
+	case ir.Eq:
+		return decide(a.isConst() && b.isConst() && a.lo == b.lo,
+			a.hi < b.lo || b.hi < a.lo)
+	case ir.Ne:
+		return decide(a.hi < b.lo || b.hi < a.lo,
+			a.isConst() && b.isConst() && a.lo == b.lo)
+	case ir.Ult:
+		return decide(a.hi < b.lo, a.lo >= b.hi)
+	case ir.Ule:
+		return decide(a.hi <= b.lo, a.lo > b.hi)
+	case ir.Ugt:
+		return decide(a.lo > b.hi, a.hi <= b.lo)
+	case ir.Uge:
+		return decide(a.lo >= b.hi, a.hi < b.lo)
+	case ir.Slt, ir.Sle, ir.Sgt, ir.Sge:
+		half := mask(w) >> 1
+		aNeg, aPos := a.lo > half, a.hi <= half
+		bNeg, bPos := b.lo > half, b.hi <= half
+		switch {
+		case aPos && bPos || aNeg && bNeg:
+			// same sign half: two's complement preserves unsigned order
+			return cmpT(unsignedPred(pred), a, b, w)
+		case aNeg && bPos: // a < 0 <= b
+			return decide(pred == ir.Slt || pred == ir.Sle, pred == ir.Sgt || pred == ir.Sge)
+		case aPos && bNeg: // b < 0 <= a
+			return decide(pred == ir.Sgt || pred == ir.Sge, pred == ir.Slt || pred == ir.Sle)
+		}
+	}
+	return u
+}
+
+func unsignedPred(p ir.Pred) ir.Pred {
+	switch p {
+	case ir.Slt:
+		return ir.Ult
+	case ir.Sle:
+		return ir.Ule
+	case ir.Sgt:
+		return ir.Ugt
+	case ir.Sge:
+		return ir.Uge
+	}
+	return p
+}
+
+func negPred(p ir.Pred) ir.Pred {
+	switch p {
+	case ir.Eq:
+		return ir.Ne
+	case ir.Ne:
+		return ir.Eq
+	case ir.Ult:
+		return ir.Uge
+	case ir.Ule:
+		return ir.Ugt
+	case ir.Ugt:
+		return ir.Ule
+	case ir.Uge:
+		return ir.Ult
+	case ir.Slt:
+		return ir.Sge
+	case ir.Sle:
+		return ir.Sgt
+	case ir.Sgt:
+		return ir.Sle
+	case ir.Sge:
+		return ir.Slt
+	}
+	return p
+}
+
+func minU(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// refineCmp narrows st under "cmp(pred, a, b) at width w evaluated to
+// taken". It refines the masked views and writes the narrowed range back
+// only to registers whose stored value fits the compare width (so the
+// view and the raw value coincide). It returns false when the refined
+// view of either operand is empty — the assumed outcome is impossible.
+func refineCmp(st []aval, p cmpProv, taken bool) bool {
+	w := uint(p.w)
+	m := mask(w)
+	pred := p.pred
+	if !taken {
+		pred = negPred(pred)
+	}
+	ra, rb := st[p.a].read(w), st[p.b].read(w)
+
+	// Signed predicates refine only when both views are provably in the
+	// non-negative half, where they coincide with the unsigned order.
+	switch pred {
+	case ir.Slt, ir.Sle, ir.Sgt, ir.Sge:
+		half := m >> 1
+		if ra.hi > half || rb.hi > half {
+			return true
+		}
+		pred = unsignedPred(pred)
+	}
+
+	na, nb := ra, rb
+	ok := true
+	switch pred {
+	case ir.Eq:
+		lo, hi := maxU(ra.lo, rb.lo), minU(ra.hi, rb.hi)
+		if lo > hi {
+			ok = false
+		} else {
+			na = aval{lo: lo, hi: hi, w: na.w}
+			nb = aval{lo: lo, hi: hi, w: nb.w}
+		}
+	case ir.Ne:
+		if ra.isConst() && rb.isConst() && ra.lo == rb.lo {
+			ok = false
+		}
+		if ok && rb.isConst() {
+			if na.lo == rb.lo && na.lo < na.hi {
+				na.lo++
+			} else if na.hi == rb.lo && na.lo < na.hi {
+				na.hi--
+			}
+		}
+		if ok && ra.isConst() {
+			if nb.lo == ra.lo && nb.lo < nb.hi {
+				nb.lo++
+			} else if nb.hi == ra.lo && nb.lo < nb.hi {
+				nb.hi--
+			}
+		}
+	case ir.Ult:
+		if rb.hi == 0 || ra.lo >= rb.hi {
+			ok = false
+			break
+		}
+		if na.hi > rb.hi-1 {
+			na.hi = rb.hi - 1
+		}
+		if nb.lo < ra.lo+1 { // ra.lo < rb.hi <= m, so no overflow
+			nb.lo = ra.lo + 1
+		}
+	case ir.Ule:
+		if ra.lo > rb.hi {
+			ok = false
+			break
+		}
+		if na.hi > rb.hi {
+			na.hi = rb.hi
+		}
+		if nb.lo < ra.lo {
+			nb.lo = ra.lo
+		}
+	case ir.Ugt: // b < a
+		if ra.hi == 0 || rb.lo >= ra.hi {
+			ok = false
+			break
+		}
+		if nb.hi > ra.hi-1 {
+			nb.hi = ra.hi - 1
+		}
+		if na.lo < rb.lo+1 {
+			na.lo = rb.lo + 1
+		}
+	case ir.Uge: // b <= a
+		if rb.lo > ra.hi {
+			ok = false
+			break
+		}
+		if nb.hi > ra.hi {
+			nb.hi = ra.hi
+		}
+		if na.lo < rb.lo {
+			na.lo = rb.lo
+		}
+	}
+	if !ok || na.lo > na.hi || nb.lo > nb.hi {
+		return false
+	}
+	if va := st[p.a]; va.hi <= m {
+		st[p.a] = aval{lo: na.lo, hi: na.hi, w: va.w}
+	}
+	if vb := st[p.b]; vb.hi <= m {
+		st[p.b] = aval{lo: nb.lo, hi: nb.hi, w: vb.w}
+	}
+	return true
+}

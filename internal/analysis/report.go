@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"pbse/internal/expr"
+	"pbse/internal/ir"
+)
+
+// RegFact is one per-register interval invariant: at the associated
+// program point the register's stored (raw) value always lies in
+// [Lo, Hi]. Width is the register's defining width in bits at that
+// point, or 0 when the width is unknown (joins of different widths).
+type RegFact struct {
+	Reg    ir.Reg
+	Lo, Hi uint64
+	Width  uint8
+}
+
+// AbsFacts is the flattened program-wide result of the abstract
+// interpretation pass (package absint): per-block interval invariants, a
+// statically proven branch-feasibility map, and per-block summary facts
+// for subsumption. All slices are indexed by global block ID; fact
+// slices are nil for blocks the pass proved unreachable.
+type AbsFacts struct {
+	// Entry[b] holds invariants valid on every entry to block b — the
+	// per-block summary Inv(b) usable to seed subsumption checks.
+	Entry [][]RegFact
+	// Term[b] holds invariants valid whenever block b's terminator
+	// executes (entry facts refined through the block's straight-line
+	// instructions, assertions, and division guards).
+	Term [][]RegFact
+	// EdgeDead[b][ti] marks terminator target ti of block b statically
+	// infeasible: no execution reaching b can take that edge. For OpBr,
+	// index 0 is the true edge and 1 the false edge; for OpSwitch,
+	// index i is case arm i and index len(Vals) the default.
+	EdgeDead [][]bool
+	// Unreached marks blocks no abstract execution reaches (their
+	// EdgeDead rows are all true).
+	Unreached []bool
+
+	// NumDeadEdges and NumUnreached summarise the maps for reporting.
+	NumDeadEdges, NumUnreached int
+}
+
+// EdgeInfeasible reports whether target index ti of the block's
+// terminator is statically proven infeasible. Out-of-range queries are
+// false (no information).
+func (a *AbsFacts) EdgeInfeasible(blockID, ti int) bool {
+	if a == nil || blockID < 0 || blockID >= len(a.EdgeDead) {
+		return false
+	}
+	row := a.EdgeDead[blockID]
+	return ti >= 0 && ti < len(row) && row[ti]
+}
+
+// HasDeadEdge reports whether any out-edge of the block is statically
+// infeasible (the per-block signal behind phase.InfeasibleEdgeFrac).
+func (a *AbsFacts) HasDeadEdge(blockID int) bool {
+	if a == nil || blockID < 0 || blockID >= len(a.EdgeDead) {
+		return false
+	}
+	for _, dead := range a.EdgeDead[blockID] {
+		if dead {
+			return true
+		}
+	}
+	return false
+}
+
+// TermFacts returns the invariants valid at the block's terminator (nil
+// when none are known or the block is out of range).
+func (a *AbsFacts) TermFacts(blockID int) []RegFact {
+	if a == nil || blockID < 0 || blockID >= len(a.Term) {
+		return nil
+	}
+	return a.Term[blockID]
+}
+
+// EntryFacts returns the invariants valid at block entry.
+func (a *AbsFacts) EntryFacts(blockID int) []RegFact {
+	if a == nil || blockID < 0 || blockID >= len(a.Entry) {
+		return nil
+	}
+	return a.Entry[blockID]
+}
+
+// Invariants materialises the block-entry invariant Inv(b) as a
+// conjunction of expr constraints. regExpr maps a register to its
+// current symbolic expression (nil to skip a register); facts whose
+// width does not match the expression are skipped, so the result is
+// always sound to assert. The returned conjuncts are width-1 booleans.
+func (a *AbsFacts) Invariants(c *expr.Context, blockID int, regExpr func(r ir.Reg) *expr.Expr) []*expr.Expr {
+	var out []*expr.Expr
+	for _, f := range a.EntryFacts(blockID) {
+		e := regExpr(f.Reg)
+		if e == nil || e.IsConst() || f.Width == 0 || uint(f.Width) != e.Width() {
+			continue
+		}
+		w := e.Width()
+		full := ^uint64(0)
+		if w < 64 {
+			full = 1<<w - 1
+		}
+		if f.Hi > full {
+			continue // malformed fact for this width; never assert it
+		}
+		if f.Lo > 0 {
+			out = append(out, c.UleE(c.Const(f.Lo, w), e))
+		}
+		if f.Hi < full {
+			out = append(out, c.UleE(e, c.Const(f.Hi, w)))
+		}
+	}
+	return out
+}
+
+// Report unifies every static-analysis product the scheduler and engine
+// consume — the CFG/dominator/loop structure and taint results (Info),
+// the flattened loop/taint hints (Hints), and the abstract-interpretation
+// interval facts (Abs) — so downstream packages take one dependency
+// instead of three ad-hoc analysis calls.
+type Report struct {
+	Info  *Info
+	Hints *StaticHints
+	// Abs is nil when the absint pass did not run (see absint.BuildReport,
+	// which fills it in).
+	Abs *AbsFacts
+}
+
+// NewReport analyses p and bundles the CFG/loop/taint results. The
+// abstract-interpretation facts are added by absint.BuildReport, which
+// wraps this constructor; a Report built here has Abs == nil.
+func NewReport(p *ir.Program) *Report {
+	inf := Analyze(p)
+	return &Report{Info: inf, Hints: inf.Hints()}
+}

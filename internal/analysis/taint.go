@@ -88,8 +88,10 @@ func forEachSite(s BitSet, fn func(site int)) {
 
 // buildPointsTo computes the flow-insensitive may-point-to sets: which
 // allocation sites (or the input object) each register, memory slot and
-// return value can refer to.
-func (t *TaintInfo) buildPointsTo() {
+// return value can refer to. Blocks are visited through each function's
+// CFG reverse postorder (the one walk cfg.go already owns), which both
+// skips unreachable blocks and speeds fixpoint convergence.
+func (t *TaintInfo) buildPointsTo(funcs []*FuncInfo) {
 	for changed := true; changed; {
 		changed = false
 		mark := func(c bool) {
@@ -99,7 +101,8 @@ func (t *TaintInfo) buildPointsTo() {
 		}
 		for fi, f := range t.prog.Funcs {
 			pts := t.pts[fi]
-			for _, b := range f.Blocks {
+			for _, bi := range funcs[fi].RPO {
+				b := f.Blocks[bi]
 				for i := range b.Instrs {
 					in := &b.Instrs[i]
 					switch in.Op {
@@ -243,7 +246,7 @@ func (t *TaintInfo) applyInstr(fidx int, in *ir.Instr, regs BitSet, global *bool
 // run executes the whole analysis: points-to, then the interprocedural
 // taint fixpoint, then terminator classification.
 func (t *TaintInfo) run(funcs []*FuncInfo) {
-	t.buildPointsTo()
+	t.buildPointsTo(funcs)
 	t.RegIn = make([][]BitSet, len(t.prog.Funcs))
 	for changed := true; changed; {
 		changed = false
@@ -275,11 +278,10 @@ func (t *TaintInfo) run(funcs []*FuncInfo) {
 		if cap(scratch)*64 < f.NumRegs {
 			scratch = NewBitSet(f.NumRegs)
 		}
-		for _, b := range f.Blocks {
-			bi := b.Index
-			if !funcs[fi].Reachable[bi] {
-				continue
-			}
+		// the CFG's RPO lists exactly the reachable blocks — no separate
+		// reachability filter needed
+		for _, bi := range funcs[fi].RPO {
+			b := f.Blocks[bi]
 			s := scratch[:(f.NumRegs+63)/64]
 			for i := range s {
 				s[i] = 0

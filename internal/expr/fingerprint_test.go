@@ -1,0 +1,80 @@
+package expr
+
+import "testing"
+
+// Structurally distinct constraints that denote the same value range
+// (interval-equal) must still fingerprint differently: the subsumption
+// store keys summaries by structure, not by semantics, and a collision
+// here would merge states with different path conditions.
+func TestFingerprintIntervalEqualNotCollided(t *testing.T) {
+	c := NewContext()
+	arr := NewArray("in", 4)
+	x := c.ZExtE(c.ByteAt(arr, 0), 32)
+
+	// all four pin x into [0,4] but with different structure
+	shapes := []*Expr{
+		c.UltE(x, c.Const(5, 32)),
+		c.UleE(x, c.Const(4, 32)),
+		c.NotB(c.UltE(c.Const(4, 32), x)),
+		c.UltE(c.URem(x, c.Const(5, 32)), c.Const(5, 32)),
+	}
+	memo := make(map[*Expr]uint64)
+	seen := make(map[uint64]*Expr)
+	for _, s := range shapes {
+		fp := Fingerprint(s, memo)
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("fingerprint collision between %v and %v", prev, s)
+		}
+		seen[fp] = s
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	c := NewContext()
+	arr := NewArray("in", 4)
+	x := c.ZExtE(c.ByteAt(arr, 0), 32)
+	memo := make(map[*Expr]uint64)
+
+	pairs := []struct {
+		name string
+		a, b *Expr
+	}{
+		{"operand-order", c.UltE(x, c.Const(5, 32)), c.UltE(c.Const(5, 32), x)},
+		{"const-value", c.Const(1, 32), c.Const(2, 32)},
+		{"const-width", c.Const(1, 32), c.Const(1, 64)},
+		{"read-offset", c.ByteAt(arr, 0), c.ByteAt(arr, 1)},
+		{"read-array", c.ByteAt(arr, 0), c.ByteAt(NewArray("other", 4), 0)},
+		{"kind", c.Add(x, x), c.Mul(x, x)},
+	}
+	for _, p := range pairs {
+		if Fingerprint(p.a, memo) == Fingerprint(p.b, memo) {
+			t.Errorf("%s: %v and %v collide", p.name, p.a, p.b)
+		}
+	}
+}
+
+// Fingerprints are context-free: rebuilding the same structure in a
+// fresh context (as the cross-run import path does) yields the same
+// hash, memoised or not.
+func TestFingerprintStableAcrossContexts(t *testing.T) {
+	build := func() *Expr {
+		c := NewContext()
+		arr := NewArray("in", 4)
+		x := c.ZExtE(c.ByteAt(arr, 0), 32)
+		return c.UltE(c.URem(x, c.Const(5, 32)), c.Const(3, 32))
+	}
+	a, b := build(), build()
+	if a == b {
+		t.Fatal("distinct contexts interned the same pointer")
+	}
+	fa := Fingerprint(a, make(map[*Expr]uint64))
+	fb := Fingerprint(b, make(map[*Expr]uint64))
+	if fa != fb {
+		t.Fatalf("same structure, different fingerprints: %#x vs %#x", fa, fb)
+	}
+	// memoised second call returns the identical value
+	memo := map[*Expr]uint64{}
+	if Fingerprint(a, memo) != Fingerprint(a, memo) {
+		t.Fatal("memoised fingerprint unstable")
+	}
+}

@@ -1,0 +1,82 @@
+package pbse
+
+import "testing"
+
+// The acceptance bar for the static-pruning pass: with the pass on, the
+// campaign must avoid some solver work (StaticPrunes > 0, strictly fewer
+// SAT-core runs) while exploring the exact same state space — coverage
+// and the bug set are bit-identical with the pass on or off.
+func TestAbsintPrunesWithoutChangingResults(t *testing.T) {
+	skipIfShort(t)
+	for _, driver := range []string{"readelf", "gif2tiff"} {
+		driver := driver
+		t.Run(driver, func(t *testing.T) {
+			on := runPBSE(t, driver, testBudget/2, Options{})
+			off := runPBSE(t, driver, testBudget/2, Options{DisableAbsint: true})
+
+			// the Sat verdict of PreCheck assumes path conditions stay
+			// solver-validated; both arms must be free of degraded queries
+			// for the bit-identity comparison to be meaningful
+			if on.Gov.SolverUnknowns != 0 || off.Gov.SolverUnknowns != 0 {
+				t.Fatalf("solver Unknowns present (on=%d off=%d); comparison void",
+					on.Gov.SolverUnknowns, off.Gov.SolverUnknowns)
+			}
+
+			if on.SolverStats.StaticPrunes == 0 {
+				t.Errorf("pass enabled but StaticPrunes = 0")
+			}
+			if off.SolverStats.StaticPrunes != 0 {
+				t.Errorf("pass disabled but StaticPrunes = %d", off.SolverStats.StaticPrunes)
+			}
+			if on.SolverStats.SATRuns >= off.SolverStats.SATRuns {
+				t.Errorf("SAT-core runs with pass = %d, without = %d; want strictly fewer",
+					on.SolverStats.SATRuns, off.SolverStats.SATRuns)
+			}
+
+			if on.Covered != off.Covered {
+				t.Errorf("coverage differs: on=%d off=%d", on.Covered, off.Covered)
+			}
+			onIDs, offIDs := bugIDs(on), bugIDs(off)
+			if len(onIDs) != len(offIDs) {
+				t.Fatalf("bug sets differ in size: on=%v off=%v", onIDs, offIDs)
+			}
+			for i := range onIDs {
+				if onIDs[i] != offIDs[i] {
+					t.Fatalf("bug sets differ: on=%v off=%v", onIDs, offIDs)
+				}
+			}
+
+			// the unified report rides on the result in both configurations
+			// (DisableAbsint only gates the executor's use of it)
+			if on.Report == nil || on.Report.Abs == nil {
+				t.Error("enabled run missing analysis report")
+			}
+			if off.Report == nil || off.Report.Abs == nil {
+				t.Error("control run missing analysis report (annotation must not depend on the switch)")
+			}
+		})
+	}
+}
+
+// Phase annotation must populate InfeasibleEdgeFrac from the report, and
+// identically in both configurations (the control arm's schedule may not
+// drift, or the on/off comparison stops being apples to apples).
+func TestAbsintPhaseAnnotationIdentical(t *testing.T) {
+	skipIfShort(t)
+	on := runPBSE(t, "readelf", testBudget/4, Options{})
+	off := runPBSE(t, "readelf", testBudget/4, Options{DisableAbsint: true})
+	if len(on.Division.Phases) != len(off.Division.Phases) {
+		t.Fatalf("phase counts differ: on=%d off=%d",
+			len(on.Division.Phases), len(off.Division.Phases))
+	}
+	for i := range on.Division.Phases {
+		po, pf := on.Division.Phases[i], off.Division.Phases[i]
+		if po.InfeasibleEdgeFrac != pf.InfeasibleEdgeFrac {
+			t.Errorf("phase %d: InfeasibleEdgeFrac on=%f off=%f", i,
+				po.InfeasibleEdgeFrac, pf.InfeasibleEdgeFrac)
+		}
+		if po.InfeasibleEdgeFrac < 0 || po.InfeasibleEdgeFrac > 1 {
+			t.Errorf("phase %d: InfeasibleEdgeFrac out of range: %f", i, po.InfeasibleEdgeFrac)
+		}
+	}
+}

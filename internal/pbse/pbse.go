@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"pbse/internal/analysis"
+	"pbse/internal/analysis/absint"
 	"pbse/internal/bugs"
 	"pbse/internal/concolic"
 	"pbse/internal/expr"
@@ -47,10 +48,16 @@ type Options struct {
 	// TrapOnly schedules only trap phases (plus the phase containing the
 	// earliest seedStates); off by default — the paper tests every phase.
 	TrapOnly bool
-	// DisableStaticHints skips the static loop/taint analysis that boosts
-	// time slices of phases dominated by input-dependent loops — an
+	// DisableStaticHints skips the static analysis pass entirely — no
+	// loop/taint slice boosts and no abstract-interpretation facts — an
 	// ablation switch.
 	DisableStaticHints bool
+	// DisableAbsint keeps the static report (and phase annotation) but
+	// withholds the abstract-interpretation facts from the executor: no
+	// PreCheck fast path and no edge-map pruning. Scheduling is identical
+	// with the switch on or off; only solver traffic differs. This is the
+	// control arm of BENCH_absint.
+	DisableAbsint bool
 	// Seed drives in-phase state selection.
 	Seed int64
 	// Workers is the number of phases executed simultaneously. Default
@@ -123,6 +130,10 @@ type Result struct {
 	// Hints are the static-analysis results used to annotate phases (nil
 	// when DisableStaticHints was set).
 	Hints *analysis.StaticHints
+	// Report is the full unified static-analysis report (CFG/loop/taint
+	// plus abstract-interpretation facts); nil when DisableStaticHints
+	// was set.
+	Report *analysis.Report
 	// Executor exposes the underlying engine for inspection (coverage
 	// sets, solver stats).
 	Executor *symex.Executor
@@ -161,15 +172,23 @@ type phasePool struct {
 // sliceBoost scales a phase's round-robin time slice by how much of its
 // execution mass sits in statically detected input-dependent loops: a
 // phase entirely inside such loops gets a double slice, one with none
-// keeps the baseline. Mild by design — scheduling order is untouched.
+// keeps the baseline. The boost is damped by the phase's statically
+// infeasible-edge mass — a trap whose branches are mostly proven dead
+// has less to explore than its fork count suggests. Mild by design —
+// scheduling order is untouched.
 func (p *phasePool) sliceBoost() float64 {
-	f := p.info.InputLoopFrac
+	f := clamp01(p.info.InputLoopFrac)
+	return (1 + f) * (1 - 0.5*clamp01(p.info.InfeasibleEdgeFrac))
+}
+
+func clamp01(f float64) float64 {
 	if f < 0 {
-		f = 0
-	} else if f > 1 {
-		f = 1
+		return 0
 	}
-	return 1 + f
+	if f > 1 {
+		return 1
+	}
+	return f
 }
 
 // Run executes pbSE on prog with the given seed input (Algorithm 1 with a
@@ -191,6 +210,19 @@ func Run(prog *ir.Program, seed []byte, opts Options, exOpts symex.Options) (*Re
 
 	seedBytes := make([]byte, exOpts.InputSize)
 	copy(seedBytes, seed)
+
+	// Static analysis runs up front — before any executor exists — so the
+	// phase annotation, the result report, and (unless ablated) the
+	// executor's static pruning facts all come from the same pass. The
+	// report is computed whether or not DisableAbsint is set, so phase
+	// scheduling is identical in both configurations; the switch gates
+	// only the solver-facing facts.
+	if !opts.DisableStaticHints && opts.PhaseOpts.Report == nil {
+		opts.PhaseOpts.Report = absint.BuildReport(prog)
+	}
+	if rep := opts.PhaseOpts.Report; rep != nil && !opts.DisableAbsint && exOpts.Static == nil {
+		exOpts.Static = rep.Abs
+	}
 
 	camp, err := newCampaign(prog, seedBytes, opts)
 	if err != nil {
@@ -243,13 +275,14 @@ func Run(prog *ir.Program, seed []byte, opts Options, exOpts symex.Options) (*Re
 	res.CTime = con.Steps
 	res.Series = append(res.Series, CoveragePoint{Time: ex.Clock(), Covered: ex.NumCovered()})
 
-	// Step 2: phase analysis, annotated with static loop/taint hints so
-	// phases dominated by input-dependent loops can get longer slices.
+	// Step 2: phase analysis, annotated from the static report so phases
+	// dominated by input-dependent loops can get longer slices (damped by
+	// their statically dead-edge mass).
 	pStart := time.Now()
-	if !opts.DisableStaticHints && opts.PhaseOpts.Hints == nil {
-		opts.PhaseOpts.Hints = analysis.Analyze(prog).Hints()
+	if rep := opts.PhaseOpts.Report; rep != nil {
+		res.Report = rep
+		res.Hints = rep.Hints
 	}
-	res.Hints = opts.PhaseOpts.Hints
 	div := phase.Divide(con.BBVs, opts.PhaseOpts)
 	res.PTime = time.Since(pStart)
 	res.Division = div

@@ -384,9 +384,9 @@ func programSig(prog *ir.Program) string {
 // process stops. ConcolicInterval is the user-specified value (0 when
 // derived from the dry run, which is itself deterministic).
 func optionsSig(opts Options) string {
-	return fmt.Sprintf("budget=%d tp=%d ci=%d dedup=%t seq=%t trap=%t nohints=%t seed=%d",
+	return fmt.Sprintf("budget=%d tp=%d ci=%d dedup=%t seq=%t trap=%t nohints=%t noabs=%t seed=%d",
 		opts.Budget, opts.TimePeriod, opts.ConcolicInterval, opts.DisableDedup,
-		opts.Sequential, opts.TrapOnly, opts.DisableStaticHints, opts.Seed)
+		opts.Sequential, opts.TrapOnly, opts.DisableStaticHints, opts.DisableAbsint, opts.Seed)
 }
 
 // inputResolver maps the checkpoint's serialised arrays onto ex's input
@@ -464,6 +464,10 @@ func resumeRun(prog *ir.Program, seedBytes []byte, opts Options, exOpts symex.Op
 		Gov:      ck.CarryGov,
 	}
 	res.SolverStats = ck.CarrySolver
+	if rep := opts.PhaseOpts.Report; rep != nil {
+		res.Report = rep
+		res.Hints = rep.Hints
+	}
 	for _, p := range ck.Series {
 		res.Series = append(res.Series, CoveragePoint{Time: p.Time, Covered: p.Covered})
 	}

@@ -28,11 +28,13 @@ type Options struct {
 	Seed int64
 	// MaxIter bounds k-means iterations. Default 50.
 	MaxIter int
-	// Hints carries static-analysis results (loop structure,
-	// input-dependence); when set, each phase is annotated with the
-	// fraction of its execution mass spent inside statically detected
-	// input-dependent loops.
-	Hints *analysis.StaticHints
+	// Report carries the unified static-analysis results (loop
+	// structure, input-dependence hints, abstract-interpretation facts);
+	// when set, each phase is annotated with the fraction of its
+	// execution mass spent inside statically detected input-dependent
+	// loops and the fraction spent in blocks with statically dead
+	// out-edges.
+	Report *analysis.Report
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -52,6 +54,13 @@ type Phase struct {
 	// static hints were supplied). Phases dominated by such loops are the
 	// static counterpart of the dynamic trap signature.
 	InputLoopFrac float64
+	// InfeasibleEdgeFrac is the fraction of this phase's block executions
+	// spent in blocks with at least one statically proven dead out-edge
+	// (0 when the abstract-interpretation pass did not run). A phase
+	// whose trap blocks branch mostly one way statically has fewer
+	// reachable siblings than its fork count suggests, so the scheduler
+	// damps its exploration boost.
+	InfeasibleEdgeFrac float64
 }
 
 // Division is the result of phase analysis for one concolic run.
@@ -96,30 +105,36 @@ func Divide(bbvs []concolic.BBV, opts Options) *Division {
 			best = div
 		}
 	}
-	annotateStatic(best, bbvs, opts.Hints)
+	annotateStatic(best, bbvs, opts.Report)
 	return best
 }
 
-// annotateStatic fills Phase.InputLoopFrac from the static hints: the
-// share of each phase's block-execution mass that lies in blocks inside
-// input-dependent loops.
-func annotateStatic(div *Division, bbvs []concolic.BBV, hints *analysis.StaticHints) {
-	if hints == nil || div == nil {
+// annotateStatic fills Phase.InputLoopFrac and Phase.InfeasibleEdgeFrac
+// from the static report: the share of each phase's block-execution mass
+// that lies in blocks inside input-dependent loops, and the share in
+// blocks with a statically dead out-edge.
+func annotateStatic(div *Division, bbvs []concolic.BBV, rep *analysis.Report) {
+	if rep == nil || div == nil {
 		return
 	}
+	hints, abs := rep.Hints, rep.Abs
 	for i := range div.Phases {
 		p := &div.Phases[i]
-		var inLoop, total float64
+		var inLoop, deadEdge, total float64
 		for _, bi := range p.BBVs {
 			for id, c := range bbvs[bi].Counts {
 				total += float64(c)
-				if id < len(hints.InInputLoop) && hints.InInputLoop[id] {
+				if hints != nil && id < len(hints.InInputLoop) && hints.InInputLoop[id] {
 					inLoop += float64(c)
+				}
+				if abs.HasDeadEdge(id) {
+					deadEdge += float64(c)
 				}
 			}
 		}
 		if total > 0 {
 			p.InputLoopFrac = inLoop / total
+			p.InfeasibleEdgeFrac = deadEdge / total
 		}
 	}
 }

@@ -273,7 +273,7 @@ func TestAnnotateStaticHints(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.KMin, opts.KMax = 2, 2 // force one phase per BBV
-	opts.Hints = hints
+	opts.Report = &analysis.Report{Hints: hints}
 	div := Divide(bbvs, opts)
 
 	for _, p := range div.Phases {

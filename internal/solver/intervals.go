@@ -21,6 +21,30 @@ func (iv interval) isFull(w uint) bool { return iv.lo == 0 && iv.hi == maskW(w) 
 
 func (iv interval) isConst() bool { return iv.lo == iv.hi }
 
+// meet intersects two intervals at width w. Inverted inputs (lo > hi,
+// the product of wraparound in a caller) carry no usable information and
+// are widened to full rather than trusted — trusting them turns a
+// harvesting bug into a wrong Unsat. ok is false when the intersection
+// is empty (the two ranges contradict).
+func meet(a, b interval, w uint) (interval, bool) {
+	if a.lo > a.hi {
+		a = fullIval(w)
+	}
+	if b.lo > b.hi {
+		b = fullIval(w)
+	}
+	if b.lo > a.lo {
+		a.lo = b.lo
+	}
+	if b.hi < a.hi {
+		a.hi = b.hi
+	}
+	if a.lo > a.hi {
+		return fullIval(w), false
+	}
+	return a, true
+}
+
 // intervalCheck returns Unsat when unsigned interval propagation proves
 // some constraint cannot be 1; otherwise Unknown. This is a sound but
 // incomplete fast path — it never returns Sat. Before propagating, it
@@ -48,12 +72,43 @@ func intervalCheck(constraints []*expr.Expr) Result {
 // constraints over the same term is sound: the memo then reflects the
 // conjunction.
 func seedBounds(constraints []*expr.Expr, memo map[*expr.Expr]interval) bool {
+	return seedBoundsX(constraints, memo, nil, false)
+}
+
+// seedBoundsX is seedBounds with two extensions used by the static
+// PreCheck path (and kept out of the per-query hot path): order, when
+// non-nil, records each term on its first seeding so callers can run
+// deterministic propagation sweeps over the seeded set; harvestEq also
+// harvests equality-with-constant pins (X == C), which the pruning pass
+// needs to refute follow-on bounds but which rarely pays for itself in
+// the in-dispatch interval stage.
+func seedBoundsX(constraints []*expr.Expr, memo map[*expr.Expr]interval, order *[]*expr.Expr, harvestEq bool) bool {
 	structural := make(map[*expr.Expr]interval, 16)
 	for _, c := range constraints {
 		neg := false
 		if c.Kind() == expr.Xor && c.Kid(0).IsConst() && c.Kid(0).Value() == 1 && c.Kid(1).IsBool() {
 			neg = true
 			c = c.Kid(1)
+		}
+		if harvestEq && !neg && c.Kind() == expr.Eq {
+			a, b := c.Kid(0), c.Kid(1)
+			var term *expr.Expr
+			var v uint64
+			switch {
+			case a.IsConst() && !b.IsConst():
+				term, v = b, a.Value()
+			case !a.IsConst() && b.IsConst():
+				term, v = a, b.Value()
+			default:
+				continue
+			}
+			if v > maskW(term.Width()) {
+				return true // X == C with C outside X's width: unsat outright
+			}
+			if contradictory := seedTerm(term, interval{lo: v, hi: v}, memo, structural, order); contradictory {
+				return true
+			}
+			continue
 		}
 		if c.Kind() != expr.Ult && c.Kind() != expr.Ule {
 			continue
@@ -108,23 +163,30 @@ func seedBounds(constraints []*expr.Expr, memo map[*expr.Expr]interval) bool {
 		default:
 			continue
 		}
-		cur, ok := memo[term]
-		if !ok {
-			// start from the term's structural range (e.g. zext of a byte
-			// is at most 255), computed with an unseeded memo
-			cur = ivalOf(term, structural)
-		}
-		if lo > cur.lo {
-			cur.lo = lo
-		}
-		if hi < cur.hi {
-			cur.hi = hi
-		}
-		if cur.lo > cur.hi {
+		if contradictory := seedTerm(term, interval{lo: lo, hi: hi}, memo, structural, order); contradictory {
 			return true // contradictory bounds: the set is unsat
 		}
-		memo[term] = cur
 	}
+	return false
+}
+
+// seedTerm meets a harvested bound into memo[term], reporting true on an
+// empty intersection. New terms start from their structural range (e.g.
+// zext of a byte is at most 255), computed with an unseeded memo, and are
+// appended to order on first seeding.
+func seedTerm(term *expr.Expr, bound interval, memo, structural map[*expr.Expr]interval, order *[]*expr.Expr) bool {
+	cur, ok := memo[term]
+	if !ok {
+		cur = ivalOf(term, structural)
+		if order != nil {
+			*order = append(*order, term)
+		}
+	}
+	cur, ok = meet(cur, bound, term.Width())
+	if !ok {
+		return true
+	}
+	memo[term] = cur
 	return false
 }
 
@@ -171,14 +233,17 @@ func ival1(e *expr.Expr, memo map[*expr.Expr]interval) interval {
 		return interval{lo: 0, hi: 0}
 	case expr.UDiv:
 		a, b := ivalOf(e.Kid(0), memo), ivalOf(e.Kid(1), memo)
-		if b.lo > 0 {
+		// the divisor range must exclude zero AND be well-formed: an
+		// inverted range like [5, 0] still contains zero at its upper
+		// end, and dividing by b.hi == 0 would panic
+		if b.lo > 0 && b.lo <= b.hi {
 			return interval{lo: a.lo / b.hi, hi: a.hi / b.lo}
 		}
 		return fullIval(w) // divisor may be zero -> all-ones convention
 	case expr.URem:
 		b := ivalOf(e.Kid(1), memo)
 		a := ivalOf(e.Kid(0), memo)
-		if b.lo > 0 {
+		if b.lo > 0 && b.lo <= b.hi {
 			hi := b.hi - 1
 			if a.hi < hi {
 				hi = a.hi
@@ -188,6 +253,10 @@ func ival1(e *expr.Expr, memo map[*expr.Expr]interval) interval {
 		return interval{lo: 0, hi: a.hi} // x%0 = x
 	case expr.And:
 		a, b := ivalOf(e.Kid(0), memo), ivalOf(e.Kid(1), memo)
+		if a.isConst() && b.isConst() {
+			v := a.lo & b.lo & maskW(w)
+			return interval{lo: v, hi: v}
+		}
 		hi := a.hi
 		if b.hi < hi {
 			hi = b.hi
@@ -195,6 +264,10 @@ func ival1(e *expr.Expr, memo map[*expr.Expr]interval) interval {
 		return interval{lo: 0, hi: hi}
 	case expr.Or:
 		a, b := ivalOf(e.Kid(0), memo), ivalOf(e.Kid(1), memo)
+		if a.isConst() && b.isConst() {
+			v := (a.lo | b.lo) & maskW(w)
+			return interval{lo: v, hi: v}
+		}
 		lo := a.lo
 		if b.lo > lo {
 			lo = b.lo
@@ -207,6 +280,12 @@ func ival1(e *expr.Expr, memo map[*expr.Expr]interval) interval {
 		return interval{lo: lo, hi: hi}
 	case expr.Xor:
 		a, b := ivalOf(e.Kid(0), memo), ivalOf(e.Kid(1), memo)
+		if a.isConst() && b.isConst() {
+			// exact fold; in particular not(b) == xor(1, b) folds negated
+			// constant booleans, which PreCheck relies on
+			v := (a.lo ^ b.lo) & maskW(w)
+			return interval{lo: v, hi: v}
+		}
 		hi := ceilPow2Mask(a.hi | b.hi)
 		if hi > maskW(w) {
 			hi = maskW(w)

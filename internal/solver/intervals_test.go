@@ -1,0 +1,213 @@
+package solver
+
+import (
+	"testing"
+
+	"pbse/internal/expr"
+)
+
+func TestMeetTable(t *testing.T) {
+	full32 := fullIval(32)
+	tests := []struct {
+		name   string
+		a, b   interval
+		w      uint
+		want   interval
+		wantOK bool
+	}{
+		{"overlap", interval{0, 10}, interval{5, 20}, 32, interval{5, 10}, true},
+		{"nested", interval{0, 100}, interval{7, 7}, 32, interval{7, 7}, true},
+		{"identical", interval{3, 9}, interval{3, 9}, 32, interval{3, 9}, true},
+		{"touching", interval{0, 5}, interval{5, 9}, 32, interval{5, 5}, true},
+		{"disjoint", interval{0, 4}, interval{10, 20}, 32, full32, false},
+		{"disjoint-rev", interval{10, 20}, interval{0, 4}, 32, full32, false},
+		// inverted inputs are the product of wraparound in a caller and
+		// must be widened to full, not trusted
+		{"inverted-a", interval{5, 0}, interval{2, 8}, 32, interval{2, 8}, true},
+		{"inverted-b", interval{2, 8}, interval{5, 0}, 32, interval{2, 8}, true},
+		{"inverted-both", interval{5, 0}, interval{9, 1}, 32, full32, true},
+		// wraparound at the width boundary
+		{"wrap-64", interval{^uint64(0), 0}, interval{0, 10}, 64, interval{0, 10}, true},
+		{"w8-full", interval{200, 100}, interval{0, 50}, 8, interval{0, 50}, true},
+		{"w1-bool", interval{0, 1}, interval{1, 1}, 1, interval{1, 1}, true},
+		{"w1-contradiction", interval{0, 0}, interval{1, 1}, 1, interval{0, 1}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := meet(tt.a, tt.b, tt.w)
+			if got != tt.want || ok != tt.wantOK {
+				t.Errorf("meet(%v, %v, %d) = %v, %v; want %v, %v",
+					tt.a, tt.b, tt.w, got, ok, tt.want, tt.wantOK)
+			}
+		})
+	}
+}
+
+// Division by an interval that contains zero — including an inverted
+// (lo > hi) interval whose endpoints straddle zero — must return the
+// conservative full range, never panic.
+func TestDivByIntervalContainingZero(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 4)
+	x := c.ZExtE(c.ByteAt(arr, 0), 32)
+	y := c.ZExtE(c.ByteAt(arr, 1), 32) // [0, 255]: contains zero
+
+	memo := map[*expr.Expr]interval{}
+	if got := ivalOf(c.UDiv(x, y), memo); !got.isFull(32) {
+		t.Errorf("udiv by [0,255] = %v, want full", got)
+	}
+	// x % 0 = x under the engine's convention, so the range keeps the
+	// dividend's upper bound
+	if got := ivalOf(c.URem(x, y), memo); got.lo != 0 || got.hi != 255 {
+		t.Errorf("urem by [0,255] = %v, want [0,255]", got)
+	}
+
+	// now poison the divisor with an inverted interval, as a buggy
+	// harvesting pass could: [5, 0] still contains zero at its upper end
+	memo = map[*expr.Expr]interval{y: {lo: 5, hi: 0}}
+	if got := ivalOf(c.UDiv(x, y), memo); !got.isFull(32) {
+		t.Errorf("udiv by inverted [5,0] = %v, want full", got)
+	}
+	memo = map[*expr.Expr]interval{y: {lo: 5, hi: 0}}
+	if got := ivalOf(c.URem(x, y), memo); got.lo != 0 || got.hi != 255 {
+		t.Errorf("urem by inverted [5,0] = %v, want [0,255]", got)
+	}
+
+	// a well-formed zero-free divisor still divides exactly
+	memo = map[*expr.Expr]interval{y: {lo: 5, hi: 10}}
+	if got := ivalOf(c.UDiv(x, y), memo); got.lo != 0 || got.hi != 51 {
+		t.Errorf("udiv by [5,10] = %v, want [0,51]", got)
+	}
+}
+
+func TestPreCheckVerdicts(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 4)
+	x := c.ZExtE(c.ByteAt(arr, 0), 32)
+
+	t.Run("sat", func(t *testing.T) {
+		s := newTestSolver()
+		cond := c.UltE(x, c.Const(300, 32))
+		if r := s.PreCheck(cond, []RangeFact{{E: x, Lo: 0, Hi: 4}}); r != Sat {
+			t.Fatalf("x in [0,4] < 300 = %v, want Sat", r)
+		}
+		if s.Stats().StaticPrunes != 1 {
+			t.Fatalf("StaticPrunes = %d, want 1", s.Stats().StaticPrunes)
+		}
+	})
+	t.Run("unsat", func(t *testing.T) {
+		s := newTestSolver()
+		cond := c.UltE(c.Const(10, 32), x)
+		if r := s.PreCheck(cond, []RangeFact{{E: x, Lo: 0, Hi: 4}}); r != Unsat {
+			t.Fatalf("10 < x with x in [0,4] = %v, want Unsat", r)
+		}
+		if s.Stats().StaticPrunes != 1 {
+			t.Fatalf("StaticPrunes = %d, want 1", s.Stats().StaticPrunes)
+		}
+	})
+	t.Run("unknown-no-facts", func(t *testing.T) {
+		s := newTestSolver()
+		cond := c.UltE(x, c.Const(100, 32))
+		if r := s.PreCheck(cond, nil); r != Unknown {
+			t.Fatalf("unconstrained x < 100 = %v, want Unknown", r)
+		}
+		if s.Stats().StaticPrunes != 0 {
+			t.Fatalf("undecided PreCheck counted a prune")
+		}
+	})
+	t.Run("negated-condition", func(t *testing.T) {
+		// the executor queries the false edge as not(cond) == xor(1, cond);
+		// the constant fold in ival1 must see through it
+		s := newTestSolver()
+		cond := c.NotB(c.UltE(x, c.Const(300, 32)))
+		if r := s.PreCheck(cond, []RangeFact{{E: x, Lo: 0, Hi: 4}}); r != Unsat {
+			t.Fatalf("not(x < 300) with x in [0,4] = %v, want Unsat", r)
+		}
+	})
+	t.Run("facts-intersect", func(t *testing.T) {
+		s := newTestSolver()
+		cond := c.EqE(x, c.Const(7, 32))
+		facts := []RangeFact{{E: x, Lo: 0, Hi: 4}, {E: x, Lo: 5, Hi: 20}}
+		// two facts over the same term contradict: no information, never
+		// a prune on bad input
+		if r := s.PreCheck(cond, facts); r != Unknown {
+			t.Fatalf("contradictory facts = %v, want Unknown", r)
+		}
+	})
+	t.Run("malformed-facts-skipped", func(t *testing.T) {
+		s := newTestSolver()
+		cond := c.UltE(x, c.Const(5, 32))
+		facts := []RangeFact{
+			{E: nil, Lo: 0, Hi: 1},
+			{E: x, Lo: 9, Hi: 2},                  // inverted
+			{E: x, Lo: 0, Hi: 1 << 40},            // exceeds w32
+			{E: c.ByteAt(arr, 1), Lo: 0, Hi: 300}, // exceeds w8
+		}
+		if r := s.PreCheck(cond, facts); r != Unknown {
+			t.Fatalf("all-malformed facts = %v, want Unknown", r)
+		}
+	})
+	t.Run("const-shortcuts", func(t *testing.T) {
+		s := newTestSolver()
+		if r := s.PreCheck(c.True(), nil); r != Sat {
+			t.Fatalf("true = %v", r)
+		}
+		if r := s.PreCheck(c.False(), nil); r != Unsat {
+			t.Fatalf("false = %v", r)
+		}
+		// literal shortcuts are free: not counted as static prunes
+		if s.Stats().StaticPrunes != 0 {
+			t.Fatalf("StaticPrunes = %d, want 0", s.Stats().StaticPrunes)
+		}
+	})
+}
+
+// PreCheck verdicts must agree with the SAT core on fact-augmented
+// queries: encode the facts as explicit constraints and compare.
+func TestPreCheckAgreesWithSAT(t *testing.T) {
+	c := expr.NewContext()
+	arr := expr.NewArray("in", 4)
+	x := c.ZExtE(c.ByteAt(arr, 0), 32)
+	five := c.Const(5, 32)
+	conds := []*expr.Expr{
+		c.UltE(x, c.Const(1, 32)),
+		c.UltE(x, five),
+		c.UltE(five, x),
+		c.EqE(x, c.Const(3, 32)),
+		c.UleE(x, c.Const(200, 32)),
+		c.NotB(c.UleE(x, c.Const(200, 32))),
+		c.EqE(c.URem(x, five), c.Const(4, 32)),
+	}
+	fact := RangeFact{E: x, Lo: 2, Hi: 4}
+	bounds := []*expr.Expr{
+		c.UleE(c.Const(fact.Lo, 32), x),
+		c.UleE(x, c.Const(fact.Hi, 32)),
+	}
+	for i, cond := range conds {
+		pre := newTestSolver().PreCheck(cond, []RangeFact{fact})
+		if pre == Unknown {
+			continue
+		}
+		ref, _, err := noFastPaths().Check(append(bounds[:2:2], cond), nil)
+		if err != nil {
+			t.Fatalf("cond %d: %v", i, err)
+		}
+		// Sat from PreCheck is the stronger "always true": the negation
+		// must be unsat too
+		if pre == Sat {
+			if ref != Sat {
+				t.Errorf("cond %d: PreCheck Sat but SAT core says %v", i, ref)
+			}
+			negRef, _, err := noFastPaths().Check(append(bounds[:2:2], c.NotB(cond)), nil)
+			if err != nil {
+				t.Fatalf("cond %d: %v", i, err)
+			}
+			if negRef != Unsat {
+				t.Errorf("cond %d: PreCheck Sat (always true) but negation is %v", i, negRef)
+			}
+		}
+		if pre == Unsat && ref != Unsat {
+			t.Errorf("cond %d: PreCheck Unsat but SAT core says %v", i, ref)
+		}
+	}
+}

@@ -38,6 +38,7 @@ type Stats struct {
 	SharedHits   int64 // verdicts answered by the cross-worker sharded cache
 	CandidateSat int64 // decided by trying a candidate model
 	IntervalFast int64 // decided by interval reasoning
+	StaticPrunes int64 // decided before dispatch by PreCheck static facts
 	SATRuns      int64 // fell through to bit-blasting + CDCL
 	Conflicts    int64
 
@@ -56,6 +57,7 @@ func (s *Stats) Accum(o Stats) {
 	s.SharedHits += o.SharedHits
 	s.CandidateSat += o.CandidateSat
 	s.IntervalFast += o.IntervalFast
+	s.StaticPrunes += o.StaticPrunes
 	s.SATRuns += o.SATRuns
 	s.Conflicts += o.Conflicts
 	s.Unknowns += o.Unknowns

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"pbse/internal/analysis"
 	"pbse/internal/bugs"
 	"pbse/internal/expr"
 	"pbse/internal/faultinject"
@@ -33,6 +34,12 @@ type Options struct {
 	// robustness testing. It is also wired into SolverOpts.Injector
 	// unless one is already set there.
 	FaultInjector *faultinject.Injector
+	// Static, when set, enables static query pruning from the
+	// abstract-interpretation pass: branch queries consult the proven
+	// edge-feasibility map and solver.PreCheck seeded with the current
+	// block's interval invariants before any SAT dispatch. The facts must
+	// come from the same finalised program this executor runs.
+	Static *analysis.AbsFacts
 }
 
 // TermReason explains why a state terminated.
@@ -89,6 +96,10 @@ type Executor struct {
 	live               map[*State]struct{}
 	stepsSincePressure int
 	quarantined        []QuarantineRecord
+
+	// factBuf is reused scratch for materialising static invariants as
+	// solver.RangeFacts (static.go).
+	factBuf []solver.RangeFact
 }
 
 // NewExecutor returns an executor for prog with a fresh context/solver.
@@ -442,8 +453,22 @@ func (e *Executor) execBranch(st *State, in *ir.Instr, res *StepResult) (bool, b
 	if e.concolic != nil {
 		return e.concolicBranch(st, in, cond, res)
 	}
-	canTrue := e.queryFeasible(st, cond)
-	canFalse := e.queryFeasible(st, e.Ctx.NotB(cond))
+	// A statically dead edge needs no query: the pass proved no execution
+	// reaching this terminator can take it, so the solver would answer
+	// Unsat. The other side still goes through queryFeasible (where
+	// PreCheck gets a chance before the SAT core).
+	deadTrue := e.opts.Static.EdgeInfeasible(st.Blk.ID, 0)
+	deadFalse := e.opts.Static.EdgeInfeasible(st.Blk.ID, 1)
+	canTrue, canFalse := solver.Unsat, solver.Unsat
+	if deadTrue || deadFalse {
+		e.Solver.NoteStaticPrune()
+	}
+	if !deadTrue {
+		canTrue = e.queryFeasible(st, cond)
+	}
+	if !deadFalse {
+		canFalse = e.queryFeasible(st, e.Ctx.NotB(cond))
+	}
 	// A live state's path constraints are satisfiable, so an Unsat answer
 	// on one side proves the other side feasible even when its own query
 	// stayed Unknown.
@@ -536,6 +561,11 @@ func (e *Executor) execSwitch(st *State, in *ir.Instr, res *StepResult) (bool, b
 	for i, val := range in.Vals {
 		eq := c.EqE(v, c.Const(val, v.Width()))
 		defCond = c.AndB(defCond, c.NotB(eq))
+		if e.opts.Static.EdgeInfeasible(st.Blk.ID, i) {
+			// statically dead arm: the solver would answer Unsat
+			e.Solver.NoteStaticPrune()
+			continue
+		}
 		switch e.queryFeasible(st, eq) {
 		case solver.Sat:
 			feasible = append(feasible, arm{cond: eq, target: in.Targets[i]})
@@ -543,11 +573,15 @@ func (e *Executor) execSwitch(st *State, in *ir.Instr, res *StepResult) (bool, b
 			anyUnknown = true
 		}
 	}
-	switch e.queryFeasible(st, defCond) {
-	case solver.Sat:
-		feasible = append(feasible, arm{cond: defCond, target: in.Targets[len(in.Vals)]})
-	case solver.Unknown:
-		anyUnknown = true
+	if e.opts.Static.EdgeInfeasible(st.Blk.ID, len(in.Vals)) {
+		e.Solver.NoteStaticPrune()
+	} else {
+		switch e.queryFeasible(st, defCond) {
+		case solver.Sat:
+			feasible = append(feasible, arm{cond: defCond, target: in.Targets[len(in.Vals)]})
+		case solver.Unknown:
+			anyUnknown = true
+		}
 	}
 	if len(feasible) == 0 {
 		if anyUnknown {

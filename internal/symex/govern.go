@@ -90,6 +90,16 @@ func (e *Executor) queryFeasible(st *State, cond *expr.Expr) solver.Result {
 	if cond.IsFalse() {
 		return solver.Unsat
 	}
+	if e.opts.Static != nil {
+		// Static pruning: try to decide the query from interval facts
+		// alone before any SAT dispatch. Unsat verdicts are sound
+		// unconditionally; Sat verdicts rely on live states keeping
+		// satisfiable path constraints, which holds whenever no query
+		// degraded to Unknown (tracked in GovStats.SolverUnknowns).
+		if r := e.Solver.PreCheckPC(st.PathConstraints(), cond, e.staticFacts(st)); r != solver.Unknown {
+			return r
+		}
+	}
 	var hint expr.Assignment
 	if e.concolic != nil {
 		hint = e.concolic.asn

@@ -1,0 +1,70 @@
+package symex
+
+import (
+	"pbse/internal/analysis"
+	"pbse/internal/ir"
+	"pbse/internal/solver"
+)
+
+// staticFacts materialises the abstract-interpretation invariants that
+// hold at st's current program point as range facts over the state's
+// register expressions, for solver.PreCheck.
+//
+// At the block terminator the pass's Term facts describe exactly the
+// frame's register file, so all of them apply. Mid-block (the fault
+// probes: division, assertions, memory bounds) only the Entry facts are
+// available, and an entry fact survives to instruction Idx only when no
+// earlier instruction in the block redefines its register — the register
+// then still holds the block-entry value the fact ranges over.
+//
+// The returned slice is scratch owned by the executor — valid until the
+// next call.
+func (e *Executor) staticFacts(st *State) []solver.RangeFact {
+	abs := e.opts.Static
+	if abs == nil || st.Blk == nil {
+		return nil
+	}
+	var facts []analysis.RegFact
+	atTerm := st.Idx == len(st.Blk.Instrs)-1
+	if atTerm {
+		facts = abs.TermFacts(st.Blk.ID)
+	} else {
+		facts = abs.EntryFacts(st.Blk.ID)
+	}
+	if len(facts) == 0 {
+		return nil
+	}
+	buf := e.factBuf[:0]
+	regs := st.top().regs
+	for _, f := range facts {
+		if int(f.Reg) >= len(regs) {
+			continue
+		}
+		if !atTerm && redefinedBefore(st.Blk, st.Idx, f.Reg) {
+			continue
+		}
+		x := regs[f.Reg]
+		// constants carry their own exact range; width mismatches mean
+		// the fact describes a different view of the register than the
+		// stored expression, so it must not be asserted
+		if x == nil || x.IsConst() || f.Width == 0 || uint(f.Width) != x.Width() {
+			continue
+		}
+		buf = append(buf, solver.RangeFact{E: x, Lo: f.Lo, Hi: f.Hi})
+	}
+	e.factBuf = buf
+	return buf
+}
+
+// redefinedBefore reports whether any of b's first idx instructions
+// writes r. Builders may leave Dst zero-valued on no-dst ops, which reads
+// as a write to r0 here — over-approximating kills is sound, it only
+// drops a usable fact.
+func redefinedBefore(b *ir.Block, idx int, r ir.Reg) bool {
+	for j := 0; j < idx; j++ {
+		if b.Instrs[j].Dst == r {
+			return true
+		}
+	}
+	return false
+}
