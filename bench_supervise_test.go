@@ -1,0 +1,178 @@
+package pbse
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"pbse/internal/faultinject"
+	"pbse/internal/supervise"
+)
+
+// supervisePoint is one campaign measurement of the supervision layer.
+type supervisePoint struct {
+	Covered       int     `json:"covered"`
+	Bugs          int     `json:"bugs"`
+	WallMS        float64 `json:"wall_ms"`
+	Crashes       int64   `json:"crashes"`
+	Hangs         int64   `json:"hangs"`
+	WatchdogTrips int64   `json:"watchdog_trips"`
+	Requeued      int64   `json:"requeued_states"`
+	Degraded      int64   `json:"degraded_rounds"`
+}
+
+// chaosPoint is a supervised campaign under injected island faults.
+type chaosPoint struct {
+	Rate        float64        `json:"rate"` // per-turn crash AND hang probability
+	Point       supervisePoint `json:"point"`
+	CoveragePct float64        `json:"coverage_pct"` // vs the no-fault supervised run
+	Completed   bool           `json:"completed"`
+}
+
+// superviseSweep records one driver's supervision overhead and fault
+// tolerance: the no-fault overhead target is < 3% wall-clock, and the
+// supervised no-fault run must be bit-identical to the unsupervised one.
+type superviseSweep struct {
+	Driver      string         `json:"driver"`
+	Budget      int64          `json:"budget"`
+	Workers     int            `json:"workers"`
+	Off         supervisePoint `json:"off"` // unsupervised
+	On          supervisePoint `json:"on"`  // supervised, no faults
+	OverheadPct float64        `json:"overhead_pct"`
+	Identical   bool           `json:"identical"` // coverage+bugs, on vs off
+	Chaos       []chaosPoint   `json:"chaos"`
+}
+
+func superviseRun(b *testing.B, driver string, workers int, budget int64,
+	so *supervise.Options, inj *faultinject.Injector) (*Result, supervisePoint) {
+	b.Helper()
+	tgt, err := TargetByDriver(driver)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := tgt.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := tgt.GenSeed(rand.New(rand.NewSource(42)), 576)
+	start := time.Now()
+	res, err := Run(prog, seed,
+		Options{Budget: budget, Seed: 42, Workers: workers, Supervise: so},
+		ExecutorOptions{InputSize: len(seed), FaultInjector: inj})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res, supervisePoint{
+		Covered:       res.Covered,
+		Bugs:          len(res.Bugs),
+		WallMS:        float64(time.Since(start).Microseconds()) / 1000,
+		Crashes:       res.Sup.Crashes,
+		Hangs:         res.Sup.Hangs,
+		WatchdogTrips: res.Sup.WatchdogTrips,
+		Requeued:      res.Sup.RequeuedStates,
+		Degraded:      res.Sup.DegradedRounds,
+	}
+}
+
+// emitSuperviseSweep measures supervision overhead at fault rate 0 and
+// fault tolerance at escalating chaos rates, merging the sweep into
+// BENCH_supervise.json. Overhead is the median of per-pair relative
+// wall-clock differences with the arm order alternating each pair:
+// shared boxes drift (load, thermal), so an arm that always ran first
+// would systematically get the cooler slot, and a min-of-N estimator
+// inherits that bias — paired signed diffs cancel it.
+func emitSuperviseSweep(b *testing.B, benchName, driver string) {
+	b.Helper()
+	const budget = 400_000
+	const workers = 4
+	const pairs = 4
+	noFault := &supervise.Options{Enabled: true}
+
+	sweep := superviseSweep{Driver: driver, Budget: budget, Workers: workers}
+	diffs := make([]float64, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		var off, on supervisePoint
+		if i%2 == 0 {
+			_, off = superviseRun(b, driver, workers, budget, nil, nil)
+			_, on = superviseRun(b, driver, workers, budget, noFault, nil)
+		} else {
+			_, on = superviseRun(b, driver, workers, budget, noFault, nil)
+			_, off = superviseRun(b, driver, workers, budget, nil, nil)
+		}
+		if off.WallMS > 0 {
+			diffs = append(diffs, 100*(on.WallMS-off.WallMS)/off.WallMS)
+		}
+		if i == 0 {
+			sweep.Off, sweep.On = off, on
+		}
+	}
+	sort.Float64s(diffs)
+	if n := len(diffs); n > 0 {
+		sweep.OverheadPct = diffs[n/2]
+		if n%2 == 0 {
+			sweep.OverheadPct = (diffs[n/2-1] + diffs[n/2]) / 2
+		}
+	}
+	sweep.Identical = sweep.On.Covered == sweep.Off.Covered && sweep.On.Bugs == sweep.Off.Bugs
+
+	for _, rate := range []float64{0.02, 0.05, 0.10} {
+		// The injected hang (3s) clearly exceeds deadline+grace (1.8s)
+		// so every fired hang walks the watchdog/limbo path, while the
+		// 1.5s deadline stays far above real turn durations at this
+		// budget — a spurious trip sends a healthy island up the retry
+		// ladder and costs real coverage.
+		inj := faultinject.New(42, faultinject.Options{
+			IslandCrashRate: rate,
+			IslandHangRate:  rate,
+			IslandHangDelay: 3 * time.Second,
+		})
+		res, pt := superviseRun(b, driver, workers, budget, &supervise.Options{
+			Enabled:           true,
+			IslandDeadline:    1500 * time.Millisecond,
+			HangGrace:         300 * time.Millisecond,
+			MaxIslandRestarts: 20,
+		}, inj)
+		cp := chaosPoint{Rate: rate, Point: pt, Completed: !res.Interrupted}
+		if sweep.On.Covered > 0 {
+			cp.CoveragePct = 100 * float64(pt.Covered) / float64(sweep.On.Covered)
+		}
+		sweep.Chaos = append(sweep.Chaos, cp)
+	}
+
+	b.ReportMetric(sweep.OverheadPct, "overhead-pct")
+	if n := len(sweep.Chaos); n > 0 {
+		b.ReportMetric(sweep.Chaos[n-1].CoveragePct, "chaos-coverage-pct")
+	}
+
+	const path = "BENCH_supervise.json"
+	doc := make(map[string]superviseSweep)
+	if raw, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(raw, &doc) // corrupt file: start over
+	}
+	doc[benchName] = sweep
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSuperviseReadelf and BenchmarkSuperviseGif2tiff record the
+// supervision layer's no-fault overhead and chaos tolerance on the two
+// acceptance targets.
+func BenchmarkSuperviseReadelf(b *testing.B) {
+	emitSuperviseSweep(b, "BenchmarkSuperviseReadelf", "readelf")
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+func BenchmarkSuperviseGif2tiff(b *testing.B) {
+	emitSuperviseSweep(b, "BenchmarkSuperviseGif2tiff", "gif2tiff")
+	for i := 0; i < b.N; i++ {
+	}
+}

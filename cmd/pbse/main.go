@@ -14,6 +14,14 @@
 // N rounds; -replay BUG_ID re-executes a stored reproducer concretely
 // and checks it still faults at the recorded site.
 //
+// -supervise runs the campaign under the fault-isolation supervisor
+// (DESIGN.md §11): island turns are contained by recover boundaries and
+// the -island-deadline watchdog, faulting islands retry with degraded
+// budgets up to -max-island-restarts, and — when -store is also set —
+// the process itself runs under a re-exec loop that restarts it from
+// the last checkpoint after a hard crash (SIGKILL, OOM kill, panic of
+// the runtime itself).
+//
 // Exit status: 0 when the run completes without finding bugs (or a
 // replay reproduces its bug), 2 when bugs are found (or a replay fails
 // to reproduce), 1 on errors.
@@ -24,13 +32,25 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/exec"
+	"strconv"
+	"time"
 
 	"pbse/internal/faultinject"
 	"pbse/internal/pbse"
 	"pbse/internal/solver"
 	"pbse/internal/store"
+	"pbse/internal/supervise"
 	"pbse/internal/symex"
 	"pbse/internal/targets"
+)
+
+// Environment markers of the -supervise re-exec loop: the parent sets
+// both for its child, so a supervised child never becomes a parent
+// itself and can report how many times the campaign was restarted.
+const (
+	envSupervisedChild = "PBSE_SUPERVISED_CHILD"
+	envRestarts        = "PBSE_RESTARTS"
 )
 
 func main() {
@@ -62,11 +82,24 @@ func run() (int, error) {
 		resume    = flag.Bool("resume", false, "resume the campaign from the store's checkpoint (requires -store)")
 		maxRounds = flag.Int64("max-rounds", 0, "stop after N scheduler rounds with a checkpoint saved (requires -store; 0 = run to budget)")
 		replayID  = flag.String("replay", "", "replay a stored bug reproducer by ID and exit (requires -store)")
+
+		supervised        = flag.Bool("supervise", false, "run under the fault-isolation supervisor (with -store: also the crash-recovery re-exec loop)")
+		islandDeadline    = flag.Duration("island-deadline", 30*time.Second, "supervised: wall-clock watchdog per island turn (negative = no watchdog)")
+		maxIslandRestarts = flag.Int("max-island-restarts", 3, "supervised: consecutive faults before an island is quarantined")
+		maxRestarts       = flag.Int("max-restarts", 64, "supervised: process restarts before the re-exec loop gives up")
 	)
 	flag.Parse()
 
 	if *storeDir == "" && (*resume || *maxRounds > 0 || *replayID != "") {
 		return 1, fmt.Errorf("-resume, -max-rounds and -replay require -store")
+	}
+
+	// The crash-recovery loop: re-exec this binary as a supervised child
+	// and restart it from the store's checkpoint whenever it dies on a
+	// signal. Only the parent of a persisted supervised campaign loops;
+	// everything below this block is the child (or an unsupervised run).
+	if *supervised && *storeDir != "" && *replayID == "" && os.Getenv(envSupervisedChild) == "" {
+		return superviseLoop(*storeDir, *maxRestarts)
 	}
 
 	var st *store.Store
@@ -118,12 +151,22 @@ func run() (int, error) {
 		exOpts.FaultInjector = inj
 	}
 
-	fmt.Printf("pbSE on %s (%s), seed %d bytes, budget %d\n", tgt.Name, tgt.Paper, len(seed), *budget)
-	res, err := pbse.Run(prog, seed, pbse.Options{
+	popts := pbse.Options{
 		Budget: *budget, Seed: *rngSeed, Workers: *workers,
 		DisableAbsint: *noAbsint,
 		Store:         st, Resume: *resume, MaxRounds: *maxRounds, StoreLabel: *driver,
-	}, exOpts)
+	}
+	if *supervised {
+		popts.Supervise = &supervise.Options{
+			Enabled:           true,
+			IslandDeadline:    *islandDeadline,
+			MaxIslandRestarts: *maxIslandRestarts,
+			Seed:              *rngSeed,
+		}
+	}
+
+	fmt.Printf("pbSE on %s (%s), seed %d bytes, budget %d\n", tgt.Name, tgt.Paper, len(seed), *budget)
+	res, err := pbse.Run(prog, seed, popts, exOpts)
 	if err != nil {
 		return 1, err
 	}
@@ -168,6 +211,18 @@ func run() (int, error) {
 	g := res.Gov
 	fmt.Printf("governance: %d unknowns, %d retries, %d concretizations, %d quarantines, %d evictions\n",
 		g.SolverUnknowns, g.SolverRetries, g.Concretizations, g.Quarantines, g.Evictions)
+	if res.Supervised {
+		// The re-exec parent is the authority on process restarts; the
+		// checkpoint never carries them.
+		if n, err := strconv.Atoi(os.Getenv(envRestarts)); err == nil {
+			res.Sup.ProcessRestarts = int64(n)
+		}
+		sup := res.Sup
+		fmt.Printf("supervision: %d crashes, %d hangs, %d watchdog trips, %d restarts, %d backoff skips, %d degraded rounds\n",
+			sup.Crashes, sup.Hangs, sup.WatchdogTrips, sup.Restarts, sup.BackoffSkips, sup.DegradedRounds)
+		fmt.Printf("supervision: %d requeued states, %d quarantined islands (%d states), %d fault checkpoints, %d store faults, %d process restarts\n",
+			sup.RequeuedStates, sup.QuarantinedIslands, sup.QuarantinedStates, sup.FaultCheckpoints, sup.StoreFaults, sup.ProcessRestarts)
+	}
 	for _, q := range res.Executor.QuarantineRecords() {
 		fmt.Printf("  quarantined state %d at %s/%s: %s\n", q.StateID, q.Func, q.Block, q.Panic)
 	}
@@ -183,6 +238,67 @@ func run() (int, error) {
 		return 2, nil
 	}
 	return 0, nil
+}
+
+// superviseLoop is the self-healing re-exec supervisor: it runs this
+// binary again as a supervised child and, whenever the child dies on a
+// signal (kill -9, OOM kill — anything that never returns an exit code),
+// restarts it from the store's latest checkpoint by appending -resume.
+// A child that exits normally — success, bugs found, or a regular error
+// — ends the loop with that exit code. Restarting from the checkpoint
+// loses at most one round of work per crash, so a crashing-but-resumable
+// campaign still drains its whole budget.
+func superviseLoop(storeDir string, maxRestarts int) (int, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return 1, err
+	}
+	st, err := store.Open(storeDir)
+	if err != nil {
+		return 1, err
+	}
+	// The child decides fresh-vs-resume per attempt from the store, so
+	// any -resume the user passed is stripped and re-added only when a
+	// checkpoint actually exists (a first attempt has none).
+	base := stripResume(os.Args[1:])
+	for restarts := 0; ; restarts++ {
+		args := base
+		if st.HasCheckpoint() {
+			args = append(append([]string(nil), base...), "-resume")
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stdin, cmd.Stdout, cmd.Stderr = os.Stdin, os.Stdout, os.Stderr
+		cmd.Env = append(os.Environ(),
+			envSupervisedChild+"=1",
+			fmt.Sprintf("%s=%d", envRestarts, restarts))
+		err := cmd.Run()
+		code := cmd.ProcessState.ExitCode()
+		if code >= 0 {
+			// A real exit, even a failing one, is the campaign's verdict;
+			// only signal deaths are the supervisor's to heal.
+			return code, nil
+		}
+		if restarts >= maxRestarts {
+			return 1, fmt.Errorf("supervisor: child died on a signal %d times (last: %v); giving up", restarts+1, err)
+		}
+		fmt.Fprintf(os.Stderr, "pbse supervisor: child died on a signal (%v); restarting from checkpoint (%d/%d)\n",
+			err, restarts+1, maxRestarts)
+	}
+}
+
+// stripResume removes -resume (in both -resume and -resume=... spellings)
+// from an argument list.
+func stripResume(args []string) []string {
+	out := make([]string, 0, len(args))
+	for _, a := range args {
+		switch {
+		case a == "-resume" || a == "--resume":
+		case len(a) > 8 && (a[:8] == "-resume=" || (len(a) > 9 && a[:9] == "--resume=")):
+		default:
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // replay re-executes a stored reproducer concretely and verifies it still

@@ -28,6 +28,7 @@ import (
 const (
 	DefaultSlowDelay    = 200 * time.Microsecond
 	DefaultPhantomBytes = 1 << 20
+	DefaultHangDelay    = 250 * time.Millisecond
 )
 
 // Options configure injection rates (probability per consulted event in
@@ -50,6 +51,26 @@ type Options struct {
 	// state footprint.
 	AllocPressureRate float64
 	AllocPhantomBytes int64 // default DefaultPhantomBytes
+	// IslandCrashRate is the probability that a supervised island turn
+	// panics at turn start (exercising the supervisor's crash
+	// containment and state requeue).
+	IslandCrashRate float64
+	// IslandHangRate is the probability that a supervised island turn
+	// stalls for IslandHangDelay of wall time before doing any work
+	// (exercising the watchdog/limbo path).
+	IslandHangRate  float64
+	IslandHangDelay time.Duration // default DefaultHangDelay
+	// StoreIORate is the probability that a persistent-store write
+	// (checkpoint, manifest, cache flush, reproducer) fails with an
+	// injected I/O error.
+	StoreIORate float64
+	// KillRound, when positive, SIGKILLs this process mid-round after it
+	// has executed that many scheduler rounds — after the round's turns
+	// but before its barrier checkpoint, so that round's work is
+	// genuinely lost and must be recovered from the previous checkpoint.
+	// Counted per process: a resumed process starts again from 1, so a
+	// supervised re-exec loop still makes forward progress between kills.
+	KillRound int64
 }
 
 // Counts reports how many times each fault actually fired.
@@ -58,6 +79,9 @@ type Counts struct {
 	SolverSlow    int64
 	StepPanic     int64
 	AllocPressure int64
+	IslandCrash   int64
+	IslandHang    int64
+	StoreIO       int64
 }
 
 // stream is one lockable deterministic rand source. rand.Rand is not
@@ -91,8 +115,9 @@ type Injector struct {
 	opts Options
 	seed int64
 	// one stream per hook so rates stay independent of call interleaving
-	unknown, slow, panics, alloc *stream
-	counts                       atomicCounts
+	unknown, slow, panics, alloc     *stream
+	islandCrash, islandHang, storeIO *stream
+	counts                           atomicCounts
 }
 
 // atomicCounts mirrors Counts with atomic fields.
@@ -101,6 +126,9 @@ type atomicCounts struct {
 	solverSlow    atomic.Int64
 	stepPanic     atomic.Int64
 	allocPressure atomic.Int64
+	islandCrash   atomic.Int64
+	islandHang    atomic.Int64
+	storeIO       atomic.Int64
 }
 
 // New returns an injector whose fault sequence is a pure function of
@@ -112,13 +140,19 @@ func New(seed int64, opts Options) *Injector {
 	if opts.AllocPhantomBytes == 0 {
 		opts.AllocPhantomBytes = DefaultPhantomBytes
 	}
+	if opts.IslandHangDelay == 0 {
+		opts.IslandHangDelay = DefaultHangDelay
+	}
 	return &Injector{
-		opts:    opts,
-		seed:    seed,
-		unknown: newStream(seed ^ 0x736f6c76),
-		slow:    newStream(seed ^ 0x736c6f77),
-		panics:  newStream(seed ^ 0x70616e69),
-		alloc:   newStream(seed ^ 0x616c6c6f),
+		opts:        opts,
+		seed:        seed,
+		unknown:     newStream(seed ^ 0x736f6c76),
+		slow:        newStream(seed ^ 0x736c6f77),
+		panics:      newStream(seed ^ 0x70616e69),
+		alloc:       newStream(seed ^ 0x616c6c6f),
+		islandCrash: newStream(seed ^ 0x69636173),
+		islandHang:  newStream(seed ^ 0x6968616e),
+		storeIO:     newStream(seed ^ 0x73696f66),
 	}
 }
 
@@ -143,6 +177,9 @@ func (i *Injector) Counts() Counts {
 		SolverSlow:    i.counts.solverSlow.Load(),
 		StepPanic:     i.counts.stepPanic.Load(),
 		AllocPressure: i.counts.allocPressure.Load(),
+		IslandCrash:   i.counts.islandCrash.Load(),
+		IslandHang:    i.counts.islandHang.Load(),
+		StoreIO:       i.counts.storeIO.Load(),
 	}
 }
 
@@ -200,14 +237,55 @@ func (i *Injector) AllocPhantom() int64 {
 	return i.opts.AllocPhantomBytes
 }
 
+// IslandCrash reports whether the island turn about to run should panic.
+func (i *Injector) IslandCrash() bool {
+	if i == nil || !i.islandCrash.fire(i.opts.IslandCrashRate) {
+		return false
+	}
+	i.counts.islandCrash.Add(1)
+	return true
+}
+
+// IslandHang returns a stall duration for the island turn about to run,
+// and whether the fault fired.
+func (i *Injector) IslandHang() (time.Duration, bool) {
+	if i == nil || !i.islandHang.fire(i.opts.IslandHangRate) {
+		return 0, false
+	}
+	i.counts.islandHang.Add(1)
+	return i.opts.IslandHangDelay, true
+}
+
+// StoreIO reports whether the persistent-store write about to run should
+// fail with an injected I/O error.
+func (i *Injector) StoreIO() bool {
+	if i == nil || !i.storeIO.fire(i.opts.StoreIORate) {
+		return false
+	}
+	i.counts.storeIO.Add(1)
+	return true
+}
+
+// KillAtRound SIGKILLs the current process when round matches the
+// configured KillRound — the hardest fault the harness can produce: no
+// deferred functions run, no buffers flush, exactly like an external
+// kill -9. It never returns when the fault fires.
+func (i *Injector) KillAtRound(round int64) {
+	if i == nil || i.opts.KillRound <= 0 || round != i.opts.KillRound {
+		return
+	}
+	killSelf()
+}
+
 // ParseSpec builds an injector from a comma-separated spec of
 // kind=rate[:magnitude] entries, e.g.
 //
 //	solver-unknown=0.1,solver-slow=0.05:1ms,step-panic=0.01,alloc-pressure=0.2:1048576
 //
 // Magnitudes: solver-slow takes a duration (default 200µs),
-// alloc-pressure takes bytes (default 1 MiB). An empty spec returns nil
-// (no injection).
+// alloc-pressure takes bytes (default 1 MiB), island-hang takes a
+// duration (default 250ms). kill-round takes an integer round number
+// instead of a rate. An empty spec returns nil (no injection).
 func ParseSpec(spec string, seed int64) (*Injector, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -218,6 +296,14 @@ func ParseSpec(spec string, seed int64) (*Injector, error) {
 		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
 		if len(kv) != 2 {
 			return nil, fmt.Errorf("faultinject: bad entry %q (want kind=rate)", part)
+		}
+		if kv[0] == "kill-round" {
+			n, err := strconv.ParseInt(kv[1], 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("faultinject: bad round %q for kill-round (want positive integer)", kv[1])
+			}
+			opts.KillRound = n
+			continue
 		}
 		val, mag, hasMag := strings.Cut(kv[1], ":")
 		rate, err := strconv.ParseFloat(val, 64)
@@ -250,6 +336,25 @@ func ParseSpec(spec string, seed int64) (*Injector, error) {
 				}
 				opts.AllocPhantomBytes = n
 			}
+		case "island-crash":
+			if hasMag {
+				return nil, fmt.Errorf("faultinject: island-crash takes no magnitude (got %q)", mag)
+			}
+			opts.IslandCrashRate = rate
+		case "island-hang":
+			opts.IslandHangRate = rate
+			if hasMag {
+				d, err := time.ParseDuration(mag)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: bad delay %q: %v", mag, err)
+				}
+				opts.IslandHangDelay = d
+			}
+		case "store-io":
+			if hasMag {
+				return nil, fmt.Errorf("faultinject: store-io takes no magnitude (got %q)", mag)
+			}
+			opts.StoreIORate = rate
 		default:
 			return nil, fmt.Errorf("faultinject: unknown kind %q", kv[0])
 		}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package faultinject
+
+import "os"
+
+// killSelf approximates kill -9 on platforms without SIGKILL semantics:
+// an immediate exit with the conventional 137 status, skipping deferred
+// functions and flushes.
+func killSelf() { os.Exit(137) }

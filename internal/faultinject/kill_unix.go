@@ -1,0 +1,17 @@
+//go:build unix
+
+package faultinject
+
+import (
+	"os"
+	"syscall"
+)
+
+// killSelf delivers SIGKILL to the current process — uncatchable, so the
+// process dies exactly as under an external kill -9. The os.Exit is a
+// fallback for the (theoretical) case where the signal could not be
+// delivered; 137 is the shell's exit status for a SIGKILLed process.
+func killSelf() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	os.Exit(137)
+}

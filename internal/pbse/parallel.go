@@ -19,11 +19,14 @@ package pbse
 import (
 	"math/rand"
 	"sync"
+	"time"
 
 	"pbse/internal/expr"
+	"pbse/internal/faultinject"
 	"pbse/internal/ir"
 	"pbse/internal/solver"
 	"pbse/internal/store"
+	"pbse/internal/supervise"
 	"pbse/internal/symex"
 )
 
@@ -76,6 +79,21 @@ type island struct {
 	rng    *rand.Rand
 	src    *countedSource // rng's draw counter, for checkpointing
 	cache  *roundCache
+
+	// Supervision state (zero on unsupervised runs). Owned by the
+	// coordinator and the single worker running the island's turn —
+	// except while limbo is non-nil, when an abandoned turn goroutine
+	// may still be mutating ex, states, and turnStat: nothing of the
+	// island may be read until limbo reports Done (the close of its done
+	// channel is the happens-before edge).
+	inj         *faultinject.Injector // the island's private fault injector
+	turnStat    PhaseStat             // scratch stats of the in-flight turn
+	turnSteps   int64                 // steps of the in-flight turn
+	preClock    int64                 // executor clock before the turn
+	preStates   int                   // pool size before the turn
+	limbo       *supervise.Handle     // non-nil while the turn is abandoned
+	limboRounds int                   // rounds spent in limbo
+	abandoned   bool                  // quarantined while racing; never touched again
 }
 
 // runParallel drives the round-barrier scheduler. ex is the concolic-run
@@ -86,7 +104,7 @@ type island struct {
 // res.SolverStats for Run to fold in.
 func runParallel(prog *ir.Program, ex *symex.Executor, pools []*phasePool,
 	seedBytes []byte, workers int, opts Options, exOpts symex.Options, res *Result,
-	camp *campaign, rp *parallelResume) {
+	camp *campaign, rp *parallelResume, sv *supervision) {
 
 	var shared solver.VerdictCache
 	if camp.enabled() {
@@ -136,14 +154,19 @@ func runParallel(prog *ir.Program, ex *symex.Executor, pools []*phasePool,
 	}
 
 	live := append([]*island(nil), isles...)
+	var limbo []*island  // islands whose turn goroutine is abandoned
+	var limboClock int64 // their last safely observed clocks
+	supOn := sv.supervised()
 
 	// Global virtual time: the concolic clock plus every island's clock —
 	// including islands that drained (their clocks move to deadClock when
-	// pruned, and ride the checkpoint across processes). Budget is
-	// enforced at round barriers; within a round each island's turn is
-	// hard-capped at a fair share of the remaining budget.
+	// pruned, and ride the checkpoint across processes) and islands in
+	// limbo (their racing executors are accounted at the clock last read
+	// before the turn). Budget is enforced at round barriers; within a
+	// round each island's turn is hard-capped at a fair share of the
+	// remaining budget.
 	vtime := func() int64 {
-		t := ex.Clock() + deadClock
+		t := ex.Clock() + deadClock + limboClock
 		for _, is := range live {
 			t += is.ex.Clock()
 		}
@@ -160,32 +183,107 @@ func runParallel(prog *ir.Program, ex *symex.Executor, pools []*phasePool,
 		return out
 	}
 
+	// reintegrate scans limbo at the top of each round: a turn goroutine
+	// that finally returned gives its island back to the live set (in
+	// phase-ID order, with a full coverage refresh); one that overstays
+	// MaxIslandRestarts rounds takes its island to quarantine for good.
+	reintegrate := func() {
+		var still []*island
+		for _, is := range limbo {
+			if is.limbo.Done() {
+				limboClock -= is.preClock
+				if _, crashed := is.limbo.Crash(); crashed {
+					// Crashed after the watchdog had already given up on
+					// it; the states survived the contained panic.
+					sv.sup.Add(supervise.SupStats{Crashes: 1, RequeuedStates: int64(len(is.states))})
+				}
+				is.pool.absorbTurnStat(is.turnStat)
+				is.limbo = nil
+				is.ex.AbsorbCoverage(coveredIDs()) // catch up on missed broadcasts
+				live = insertIsland(live, is)
+				continue
+			}
+			is.limboRounds++
+			if is.limboRounds > sv.sup.Opts().MaxIslandRestarts {
+				sv.sup.Add(supervise.SupStats{
+					QuarantinedIslands: 1,
+					QuarantinedStates:  int64(is.preStates),
+				})
+				limboClock -= is.preClock
+				deadClock += is.preClock
+				is.abandoned = true
+				continue
+			}
+			still = append(still, is)
+		}
+		limbo = still
+	}
+
 	// Entry checkpoint: islands are built (or restored), no round has run
 	// yet in this process.
-	camp.barrierParallel(startRound, isles, live, deadClock, coveredIDs(), ws)
+	camp.barrierParallel(startRound, safeIsles(isles), live, deadClock, coveredIDs(), ws)
 
 	var executed int64
-	for round := startRound; len(live) > 0 && vtime() < opts.Budget; round++ {
-		share := (opts.Budget-vtime())/int64(len(live)) + 1
+	needFinalCk := false
+	for round := startRound; len(live)+len(limbo) > 0 && vtime() < opts.Budget; round++ {
+		if supOn {
+			reintegrate()
+		}
+		var pre supervise.SupStats
+		if supOn {
+			pre = sv.sup.Stats()
+		}
 
-		jobs := make(chan *island)
-		var turnWG sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			turnWG.Add(1)
-			go func(w int) {
-				defer turnWG.Done()
-				for is := range jobs {
-					steps := runIslandTurn(is, round, share, opts)
-					ws[w].Turns++
-					ws[w].Steps += steps
+		if len(live) > 0 {
+			share := (opts.Budget-vtime())/int64(len(live)) + 1
+
+			jobs := make(chan *island)
+			var turnWG sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				turnWG.Add(1)
+				go func(w int) {
+					defer turnWG.Done()
+					for is := range jobs {
+						var steps int64
+						if supOn {
+							steps = runSupervisedTurn(is, round, share, opts, sv)
+						} else {
+							steps = runIslandTurn(is, round, share, 1, &is.pool.stat, opts)
+						}
+						ws[w].Turns++
+						ws[w].Steps += steps
+					}
+				}(w)
+			}
+			for _, is := range live {
+				jobs <- is
+			}
+			close(jobs)
+			turnWG.Wait()
+		} else {
+			// Only limbo islands remain; give their goroutines a moment
+			// to return before polling again.
+			time.Sleep(10 * time.Millisecond)
+		}
+
+		// Islands whose turn just hung leave the live set before anyone
+		// reads their (racing) executors.
+		if supOn {
+			var sane []*island
+			for _, is := range live {
+				if is.limbo != nil {
+					limboClock += is.preClock
+					limbo = append(limbo, is)
+				} else {
+					sane = append(sane, is)
 				}
-			}(w)
+			}
+			live = sane
 		}
-		for _, is := range live {
-			jobs <- is
-		}
-		close(jobs)
-		turnWG.Wait()
+
+		// Kill-round fault: after the round's turns, before its barrier
+		// checkpoint, so this round's work is genuinely lost.
+		sv.kill(executed + 1)
 
 		// Round barrier: merge new coverage and publish solver verdicts in
 		// phase order — the fixed reduction that keeps results independent
@@ -224,16 +322,82 @@ func runParallel(prog *ir.Program, ex *symex.Executor, pools []*phasePool,
 
 		executed++
 		camp.bumpRound()
-		camp.barrierParallel(round+1, isles, live, deadClock, coveredIDs(), ws)
-		if opts.MaxRounds > 0 && executed >= opts.MaxRounds {
+		interrupting := opts.MaxRounds > 0 && executed >= opts.MaxRounds
+
+		// Checkpoint cadence: every round unless supervision stretches it;
+		// any contained fault forces the checkpoint back in (counted when
+		// it lands off-cadence), and an interrupt always checkpoints.
+		ckDue := true
+		if supOn {
+			post := sv.sup.Stats()
+			faultRound := post.Faults() > pre.Faults()
+			if faultRound || post.BackoffSkips > pre.BackoffSkips || len(limbo) > 0 {
+				sv.sup.Add(supervise.SupStats{DegradedRounds: 1})
+			}
+			every := sv.sup.Opts().CheckpointEvery
+			onCadence := every <= 1 || executed%every == 0
+			ckDue = onCadence || faultRound || interrupting
+			if faultRound && !onCadence {
+				sv.sup.Add(supervise.SupStats{FaultCheckpoints: 1})
+			}
+		}
+		if ckDue {
+			camp.barrierParallel(round+1, safeIsles(isles), live, deadClock, coveredIDs(), ws)
+			needFinalCk = false
+		} else {
+			needFinalCk = true
+		}
+		if interrupting {
 			res.Interrupted = true
 			break
 		}
 	}
 
+	// Drain limbo: give each abandoned turn one generous last chance to
+	// return (the injected hang delay is finite; real hangs are bounded
+	// by the executor's own interrupt checks). Survivors contribute their
+	// coverage and stats like any island; the rest stay quarantined and
+	// are excluded from every merge below — their goroutines may still be
+	// running.
+	if supOn {
+		for _, is := range limbo {
+			wait := sv.sup.Opts().IslandDeadline + sv.sup.Opts().HangGrace +
+				is.inj.Opts().IslandHangDelay + time.Second
+			if !is.limbo.Wait(wait) {
+				sv.sup.Add(supervise.SupStats{
+					QuarantinedIslands: 1,
+					QuarantinedStates:  int64(is.preStates),
+				})
+				is.abandoned = true
+				continue
+			}
+			if _, crashed := is.limbo.Crash(); crashed {
+				sv.sup.Add(supervise.SupStats{Crashes: 1})
+			}
+			is.pool.absorbTurnStat(is.turnStat)
+			is.limbo = nil
+			for _, id := range is.ex.CoveredBlocks() {
+				if !globalCovered[id] {
+					globalCovered[id] = true
+					numCovered++
+					is.pool.stat.NewBlocks++
+				}
+			}
+		}
+		limbo = nil
+	}
+	if needFinalCk {
+		camp.barrierParallel(executed+startRound, safeIsles(isles), live, deadClock, coveredIDs(), ws)
+	}
+
 	// Final merge into the shared executor and result, in phase order.
+	// Abandoned islands are skipped wholesale: their executors may still
+	// be racing, and their last turn's work is recorded as lost.
 	ex.AbsorbCoverage(coveredIDs())
 	for _, is := range isles {
+		if is.abandoned {
+			continue
+		}
 		for _, r := range is.ex.Bugs.Reports() {
 			ex.Bugs.Add(r)
 		}
@@ -266,6 +430,7 @@ func buildIsland(prog *ir.Program, ex *symex.Executor, is *island,
 	po := exOpts
 	po.FaultInjector = exOpts.FaultInjector.Child(int64(id)) // nil-safe
 	po.SolverOpts.Injector = nil                             // rewired from the child injector
+	is.inj = po.FaultInjector
 	cache := &roundCache{shared: shared}
 	po.SolverOpts.Shared = cache
 
@@ -290,13 +455,18 @@ func buildIsland(prog *ir.Program, ex *symex.Executor, is *island,
 // Algorithm 3 turn over the island's pool, in the island's local virtual
 // time. turnNum escalates the slice exactly as the sequential scheduler's
 // full-cycle count does; hardCap bounds the turn by the island's fair
-// share of the remaining global budget.
-func runIslandTurn(is *island, turnNum, hardCap int64, opts Options) int64 {
+// share of the remaining global budget. scale is the supervisor's budget
+// haircut (1 on healthy turns — an exact float multiply, so unsupervised
+// results are untouched); stat receives the turn's counters, which is
+// &pool.stat except for supervised turns, whose scratch stat is merged
+// only once the turn goroutine is known dead. The interrupt check makes
+// the turn wind down cooperatively when the watchdog trips.
+func runIslandTurn(is *island, turnNum, hardCap int64, scale float64, stat *PhaseStat, opts Options) int64 {
 	pool := is.pool
-	slice := int64(float64(turnNum*opts.TimePeriod) * pool.sliceBoost())
+	slice := int64(float64(turnNum*opts.TimePeriod) * pool.sliceBoost() * scale)
 	turnStart := is.ex.Clock()
 	var steps int64
-	for len(is.states) > 0 && is.ex.Clock()-turnStart < hardCap {
+	for len(is.states) > 0 && is.ex.Clock()-turnStart < hardCap && !is.ex.Interrupted() {
 		idx := is.rng.Intn(len(is.states))
 		st := is.states[idx]
 		if st.Terminated() {
@@ -306,23 +476,23 @@ func runIslandTurn(is *island, turnNum, hardCap int64, opts Options) int64 {
 		}
 		r := is.ex.StepBlock(st)
 		steps++
-		pool.stat.Steps++
+		stat.Steps++
 		is.states = append(is.states, r.Added...)
 		if r.Terminated {
 			if r.Reason == symex.TermQuarantined {
-				pool.stat.Quarantines++
+				stat.Quarantines++
 			}
 			is.states[idx] = is.states[len(is.states)-1]
 			is.states = is.states[:len(is.states)-1]
 		}
 		if r.Bug != nil {
 			r.Bug.Phase = pool.info.ID
-			pool.stat.Bugs++
+			stat.Bugs++
 		}
 		if is.ex.Clock()-turnStart > slice && !r.NewCover {
 			break // Algorithm 3 line 15
 		}
 	}
-	pool.stat.Turns++
+	stat.Turns++
 	return steps
 }

@@ -23,6 +23,7 @@ import (
 	"pbse/internal/phase"
 	"pbse/internal/solver"
 	"pbse/internal/store"
+	"pbse/internal/supervise"
 	"pbse/internal/symex"
 )
 
@@ -87,6 +88,15 @@ type Options struct {
 	MaxRounds int64
 	// StoreLabel tags the store manifest (e.g. the target driver name).
 	StoreLabel string
+	// Supervise, when non-nil with Enabled set, runs the campaign under
+	// the fault-isolation supervisor (DESIGN.md §11): island turns are
+	// contained by recover boundaries and wall-clock watchdogs, faulting
+	// islands retry under exponential backoff with degraded budgets, and
+	// store failures are tolerated instead of failing the run. When no
+	// fault fires a supervised run is bit-identical to an unsupervised
+	// one, so the option is (deliberately) not part of the store's
+	// options signature. The sequential ablation scheduler ignores it.
+	Supervise *supervise.Options
 }
 
 // CoveragePoint is one (virtual time, blocks covered) sample.
@@ -160,6 +170,13 @@ type Result struct {
 	Interrupted bool
 	// Store holds the persistence counters (zero without Options.Store).
 	Store store.Stats
+	// Supervised says the campaign ran under the fault-isolation
+	// supervisor (Options.Supervise).
+	Supervised bool
+	// Sup holds the supervision counters: faults contained, turns
+	// degraded, states requeued or lost. Includes the carry from earlier
+	// processes when the campaign was resumed.
+	Sup supervise.SupStats
 }
 
 // phasePool is the per-phase state pool driven by Algorithm 3.
@@ -228,17 +245,24 @@ func Run(prog *ir.Program, seed []byte, opts Options, exOpts symex.Options) (*Re
 	if err != nil {
 		return nil, err
 	}
+	sv := newSupervision(opts, exOpts)
+	camp.attachSupervision(sv)
 	if camp.enabled() {
 		// The persistent verdict cache doubles as the solver's shared
 		// tier, so Sat/Unsat facts survive across runs of this store.
 		if exOpts.SolverOpts.Shared == nil {
 			exOpts.SolverOpts.Shared = camp.cache
 		}
+		// Chaos runs inject store I/O faults through the same injector
+		// the executors use; production runs wire nothing.
+		if exOpts.FaultInjector != nil {
+			camp.st.SetIOInjector(exOpts.FaultInjector)
+		}
 		if opts.Resume {
 			if !camp.st.HasCheckpoint() {
 				return nil, fmt.Errorf("pbse: resume requested but store %q has no checkpoint", camp.st.Dir())
 			}
-			return resumeRun(prog, seedBytes, opts, exOpts, camp)
+			return resumeRun(prog, seedBytes, opts, exOpts, camp, sv)
 		}
 		if err := camp.beginFresh(seedBytes); err != nil {
 			return nil, err
@@ -308,16 +332,16 @@ func Run(prog *ir.Program, seed []byte, opts Options, exOpts symex.Options) (*Re
 	case opts.Sequential:
 		runSequential(ex, pools, opts, rng, res, camp, src, 0)
 	case workers <= 1 || populated < 2:
-		runRoundRobin(ex, pools, opts, rng, res, camp, src, nil, 0)
+		runRoundRobin(ex, pools, opts, rng, res, camp, src, nil, 0, sv)
 	default:
 		if workers > populated {
 			workers = populated
 		}
 		res.Workers = workers
-		runParallel(prog, ex, pools, seedBytes, workers, opts, exOpts, res, camp, nil)
+		runParallel(prog, ex, pools, seedBytes, workers, opts, exOpts, res, camp, nil, sv)
 	}
 
-	return finishRun(ex, res, camp, con, div, pools)
+	return finishRun(ex, res, camp, con, div, pools, sv)
 }
 
 // finishRun is Run's common tail, shared with the resume path: fold the
@@ -325,7 +349,7 @@ func Run(prog *ir.Program, seed []byte, opts Options, exOpts symex.Options) (*Re
 // bugs to phases, and (for persisted campaigns) write the final manifest
 // and reproducers.
 func finishRun(ex *symex.Executor, res *Result, camp *campaign,
-	con *concolic.Result, div *phase.Division, pools []*phasePool) (*Result, error) {
+	con *concolic.Result, div *phase.Division, pools []*phasePool, sv *supervision) (*Result, error) {
 
 	for _, p := range pools {
 		res.PhaseStats = append(res.PhaseStats, p.stat)
@@ -348,6 +372,13 @@ func finishRun(ex *symex.Executor, res *Result, camp *campaign,
 		if b.Phase < 0 && b.Time <= con.Start+con.Steps {
 			b.Phase = div.PhaseOfTime(con.BBVs, b.Time-con.Start)
 		}
+	}
+	if camp != nil {
+		res.Sup = camp.carrySup
+	}
+	if sv.supervised() {
+		res.Supervised = true
+		res.Sup.Merge(sv.sup.Stats())
 	}
 	return res, camp.finish(res)
 }
@@ -412,8 +443,12 @@ func buildPools(div *phase.Division, con *concolic.Result, opts Options) []*phas
 // count — there the campaign (if any) checkpoints, and MaxRounds can stop
 // the process with the checkpoint already durable. The resume path passes
 // the checkpointed live order and turn counter; fresh runs pass (nil, 0).
+// Under supervision each turn runs inside the inline recover/ladder
+// containment (supervision.turnW1); the kill-round fault fires after a
+// full cycle's turns, before that cycle's checkpoint.
 func runRoundRobin(ex *symex.Executor, pools []*phasePool, opts Options, rng *rand.Rand,
-	res *Result, camp *campaign, src *countedSource, live []*phasePool, startI int64) {
+	res *Result, camp *campaign, src *countedSource, live []*phasePool, startI int64,
+	sv *supervision) {
 
 	if live == nil {
 		live = make([]*phasePool, 0, len(pools))
@@ -432,6 +467,7 @@ func runRoundRobin(ex *symex.Executor, pools []*phasePool, opts Options, rng *ra
 			if i > startI {
 				executed++
 				camp.bumpRound()
+				sv.kill(executed)
 			}
 			camp.barrierW1(modeRoundRobin, i, live, src)
 			if opts.MaxRounds > 0 && executed >= opts.MaxRounds {
@@ -448,9 +484,13 @@ func runRoundRobin(ex *symex.Executor, pools []*phasePool, opts Options, rng *ra
 		}
 		turnStart := ex.Clock()
 		slice := int64(float64(turnNum*opts.TimePeriod) * pool.sliceBoost())
-		runPhaseTurn(ex, pool, opts, rng, res, func() bool {
-			return ex.Clock()-turnStart > slice
-		})
+		if sv.supervised() {
+			sv.turnW1(ex, pool, opts, rng, res, turnStart, slice)
+		} else {
+			runPhaseTurn(ex, pool, opts, rng, res, func() bool {
+				return ex.Clock()-turnStart > slice
+			})
+		}
 		pool.stat.Turns++
 		i++
 	}

@@ -14,6 +14,7 @@ package pbse
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 	"runtime"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"pbse/internal/phase"
 	"pbse/internal/solver"
 	"pbse/internal/store"
+	"pbse/internal/supervise"
 	"pbse/internal/symex"
 )
 
@@ -85,6 +87,12 @@ type campaign struct {
 	carryGov     symex.GovStats
 	carrySolver  solver.Stats
 	carryWorkers []store.WorkerStat
+	carrySup     supervise.SupStats
+
+	// sv is the run's supervision context (nil when unsupervised).
+	// Supervised campaigns tolerate store failures — logged and counted
+	// in SupStats.StoreFaults — instead of surfacing them from Run.
+	sv *supervision
 
 	roundsDone int64
 
@@ -126,9 +134,32 @@ func newCampaign(prog *ir.Program, seedBytes []byte, opts Options) (*campaign, e
 func (c *campaign) enabled() bool { return c != nil && c.st != nil }
 
 func (c *campaign) fail(err error) {
+	if c.sv.supervised() {
+		log.Printf("pbse: store failure tolerated: %v", err)
+		c.sv.sup.Add(supervise.SupStats{StoreFaults: 1})
+		return
+	}
 	if c.err == nil {
 		c.err = err
 	}
+}
+
+// attachSupervision hands the campaign the run's supervision context
+// (before any barrier can fire).
+func (c *campaign) attachSupervision(sv *supervision) {
+	if c != nil {
+		c.sv = sv
+	}
+}
+
+// supTotal is the supervision carry plus this process's live counters —
+// what barrier checkpoints persist as CarrySup.
+func (c *campaign) supTotal() supervise.SupStats {
+	s := c.carrySup
+	if c.sv.supervised() {
+		s.Merge(c.sv.sup.Stats())
+	}
+	return s
 }
 
 // beginFresh marks the store as owned by this campaign before any work
@@ -232,6 +263,7 @@ func (c *campaign) barrierW1(mode string, nextTurn int64, live []*phasePool, src
 	sol.Accum(c.ex.Solver.Stats())
 	ck.CarrySolver = sol
 	ck.CarryWorkers = c.carryWorkers
+	ck.CarrySup = c.supTotal()
 	for _, p := range live {
 		ck.LiveIDs = append(ck.LiveIDs, p.info.ID)
 	}
@@ -286,6 +318,7 @@ func (c *campaign) barrierParallel(nextRound int64, isles, live []*island,
 	ck.CarryGov = gov
 	ck.CarrySolver = sol
 	ck.CarryWorkers = mergeWorkerCarry(c.carryWorkers, ws)
+	ck.CarrySup = c.supTotal()
 
 	for _, is := range live {
 		ck.LiveIDs = append(ck.LiveIDs, is.pool.info.ID)
@@ -381,8 +414,11 @@ func programSig(prog *ir.Program) string {
 // optionsSig captures every option that shapes the campaign trajectory.
 // Workers and MaxRounds are deliberately absent: worker count does not
 // change results (DESIGN.md §8), and MaxRounds only decides where this
-// process stops. ConcolicInterval is the user-specified value (0 when
-// derived from the dry run, which is itself deterministic).
+// process stops. Supervise is absent too — fault-free supervision is
+// inert (DESIGN.md §11), so a supervised process may resume an
+// unsupervised store and vice versa. ConcolicInterval is the
+// user-specified value (0 when derived from the dry run, which is
+// itself deterministic).
 func optionsSig(opts Options) string {
 	return fmt.Sprintf("budget=%d tp=%d ci=%d dedup=%t seq=%t trap=%t nohints=%t noabs=%t seed=%d",
 		opts.Budget, opts.TimePeriod, opts.ConcolicInterval, opts.DisableDedup,
@@ -414,7 +450,7 @@ type parallelResume struct {
 // scheduler. Concolic tracing and phase analysis are skipped — their
 // results are part of the checkpoint.
 func resumeRun(prog *ir.Program, seedBytes []byte, opts Options, exOpts symex.Options,
-	camp *campaign) (*Result, error) {
+	camp *campaign, sv *supervision) (*Result, error) {
 
 	m, err := camp.st.ReadManifest()
 	if err != nil {
@@ -442,6 +478,7 @@ func resumeRun(prog *ir.Program, seedBytes []byte, opts Options, exOpts symex.Op
 	camp.carryGov = ck.CarryGov
 	camp.carrySolver = ck.CarrySolver
 	camp.carryWorkers = ck.CarryWorkers
+	camp.carrySup = ck.CarrySup
 
 	ex := symex.NewExecutor(prog, exOpts)
 	ex.SetClock(ck.Clock)
@@ -486,7 +523,7 @@ func resumeRun(prog *ir.Program, seedBytes []byte, opts Options, exOpts symex.Op
 			return nil, err
 		}
 		res.Workers = workers
-		runParallel(prog, ex, pools, seedBytes, workers, opts, exOpts, res, camp, rp)
+		runParallel(prog, ex, pools, seedBytes, workers, opts, exOpts, res, camp, rp, sv)
 	case modeRoundRobin, modeSequential:
 		if cf.NumSections() != 1 {
 			return nil, fmt.Errorf("pbse: resume: %s checkpoint has %d state sections (want 1)", ck.Mode, cf.NumSections())
@@ -522,13 +559,13 @@ func resumeRun(prog *ir.Program, seedBytes []byte, opts Options, exOpts symex.Op
 				}
 				live = append(live, p)
 			}
-			runRoundRobin(ex, pools, opts, rng, res, camp, src, live, ck.NextTurn)
+			runRoundRobin(ex, pools, opts, rng, res, camp, src, live, ck.NextTurn, sv)
 		}
 	default:
 		return nil, fmt.Errorf("pbse: resume: unknown scheduler mode %q", ck.Mode)
 	}
 
-	return finishRun(ex, res, camp, con, ck.Division, pools)
+	return finishRun(ex, res, camp, con, ck.Division, pools, sv)
 }
 
 // restorePools rebuilds the pool skeletons (info + accumulated stats) in
@@ -575,6 +612,7 @@ func rebuildIslands(prog *ir.Program, cf *store.CheckpointFile, ck *store.Checkp
 		po := exOpts
 		po.FaultInjector = exOpts.FaultInjector.Child(int64(id))
 		po.SolverOpts.Injector = nil
+		inj := po.FaultInjector
 		cache := &roundCache{shared: camp.cache}
 		po.SolverOpts.Shared = cache
 		pex := symex.NewExecutor(prog, po)
@@ -589,7 +627,7 @@ func rebuildIslands(prog *ir.Program, cf *store.CheckpointFile, ck *store.Checkp
 			return nil, 0, fmt.Errorf("pbse: resume: island section %d malformed", i)
 		}
 		l := lists[0]
-		is := &island{pool: pool, ex: pex, cache: cache}
+		is := &island{pool: pool, ex: pex, cache: cache, inj: inj}
 		for _, b := range l.Bugs {
 			pex.Bugs.Add(b)
 		}

@@ -1,0 +1,253 @@
+package pbse
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"pbse/internal/faultinject"
+	"pbse/internal/store"
+	"pbse/internal/supervise"
+	"pbse/internal/symex"
+	"pbse/internal/targets"
+)
+
+// killBudget keeps the SIGKILL/resume matrix affordable: the round count
+// (~Budget/TimePeriod = 50) is budget-independent, so a small budget
+// still puts kill-round=2 well inside the campaign.
+const killBudget = 30_000
+
+// runPhasedSupervised runs the parallel-scheduler regression program
+// with optional supervision and fault injection.
+func runPhasedSupervised(t *testing.T, workers int, so *supervise.Options, inj *faultinject.Injector) *Result {
+	t.Helper()
+	prog := parsePhased(t)
+	rng := rand.New(rand.NewSource(3))
+	seed := make([]byte, 16)
+	rng.Read(seed)
+	// The program's frontier exhausts around clock 31k, so the default
+	// TimePeriod (Budget/50) explores it in one giant turn per phase. A
+	// tiny explicit period forces ~25 escalating rounds instead, giving
+	// the per-turn supervision hooks a real workout.
+	res, err := Run(prog, seed, Options{Budget: 4_000_000, Seed: 5, Workers: workers, TimePeriod: 100, Supervise: so},
+		symex.Options{InputSize: len(seed), FaultInjector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSupervisedNoFaultIdentical is the supervision determinism gate:
+// with no fault injected, a supervised campaign must be bit-identical to
+// an unsupervised one — same coverage, bugs, per-phase stats, and
+// governance counters — and report an all-zero SupStats.
+func TestSupervisedNoFaultIdentical(t *testing.T) {
+	skipIfShort(t)
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			t.Parallel()
+			base := runPhasedSupervised(t, workers, nil, nil)
+			sup := runPhasedSupervised(t, workers, &supervise.Options{Enabled: true}, nil)
+			if !sup.Supervised {
+				t.Fatal("supervised run not marked Supervised")
+			}
+			if base.Supervised {
+				t.Fatal("unsupervised run marked Supervised")
+			}
+			bCov, bBugs := coverageAndBugs(base)
+			sCov, sBugs := coverageAndBugs(sup)
+			if !reflect.DeepEqual(bCov, sCov) {
+				t.Errorf("coverage diverged: base=%d blocks supervised=%d blocks", len(bCov), len(sCov))
+			}
+			if !reflect.DeepEqual(bBugs, sBugs) {
+				t.Errorf("bugs diverged:\n base       %v\n supervised %v", bBugs, sBugs)
+			}
+			if !reflect.DeepEqual(base.PhaseStats, sup.PhaseStats) {
+				t.Errorf("phase stats diverged:\n base       %+v\n supervised %+v", base.PhaseStats, sup.PhaseStats)
+			}
+			if base.Gov != sup.Gov {
+				t.Errorf("gov diverged: base=%+v supervised=%+v", base.Gov, sup.Gov)
+			}
+			if sup.Sup != (supervise.SupStats{}) {
+				t.Errorf("fault-free supervision recorded activity: %+v", sup.Sup)
+			}
+		})
+	}
+}
+
+// TestSupervisedChaosParallel: at 10% injected crash and hang rates the
+// supervised parallel campaign must complete with accurate fault
+// accounting and nearly the coverage of the undisturbed run.
+func TestSupervisedChaosParallel(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
+	base := runPhasedSupervised(t, 4, nil, nil)
+	inj := faultinject.New(99, faultinject.Options{
+		IslandCrashRate: 0.1,
+		IslandHangRate:  0.1,
+		IslandHangDelay: 250 * time.Millisecond,
+	})
+	// A hang delay well past deadline+grace forces genuine limbo trips;
+	// a roomy restart cap keeps slow reintegration from quarantining
+	// islands (the quarantine rung is unit-tested in internal/supervise).
+	res := runPhasedSupervised(t, 4, &supervise.Options{
+		Enabled:           true,
+		IslandDeadline:    50 * time.Millisecond,
+		HangGrace:         50 * time.Millisecond,
+		MaxIslandRestarts: 50,
+	}, inj)
+	if res.Interrupted {
+		t.Fatal("chaos run did not complete")
+	}
+	if res.Sup.Faults() == 0 {
+		t.Fatal("10% crash+hang rates fired no faults — injection not wired through")
+	}
+	if res.Sup.Crashes == 0 {
+		t.Errorf("no crashes contained: %+v", res.Sup)
+	}
+	if res.Sup.DegradedRounds == 0 {
+		t.Errorf("faults fired but no round marked degraded: %+v", res.Sup)
+	}
+	if res.Sup.WatchdogTrips < res.Sup.Hangs {
+		t.Errorf("every hang implies a prior watchdog trip: %+v", res.Sup)
+	}
+	bCov, _ := coverageAndBugs(base)
+	cCov, _ := coverageAndBugs(res)
+	if min := (len(bCov) * 95) / 100; len(cCov) < min {
+		t.Errorf("chaos coverage %d below 95%% of undisturbed %d", len(cCov), len(bCov))
+	}
+}
+
+// TestSupervisedW1CrashAccounting: at Workers=1 the process injector
+// feeds the inline containment directly, so the contained-crash counter
+// must match the injector's fire count exactly.
+func TestSupervisedW1CrashAccounting(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
+	base := runPhasedSupervised(t, 1, nil, nil)
+	inj := faultinject.New(17, faultinject.Options{IslandCrashRate: 0.1})
+	res := runPhasedSupervised(t, 1, &supervise.Options{Enabled: true}, inj)
+	fired := inj.Counts().IslandCrash
+	if fired == 0 {
+		t.Fatal("injector never fired")
+	}
+	if res.Sup.Crashes != fired {
+		t.Errorf("Sup.Crashes = %d, injector fired %d", res.Sup.Crashes, fired)
+	}
+	if res.Sup.RequeuedStates == 0 {
+		t.Errorf("contained crashes requeued no states: %+v", res.Sup)
+	}
+	bCov, _ := coverageAndBugs(base)
+	cCov, _ := coverageAndBugs(res)
+	if min := (len(bCov) * 95) / 100; len(cCov) < min {
+		t.Errorf("crash-ridden coverage %d below 95%% of undisturbed %d", len(cCov), len(bCov))
+	}
+}
+
+// TestSupervisedKillResume is the self-healing acceptance gate: a
+// campaign SIGKILLed mid-round (after a round's turns, before its
+// checkpoint — the injected kill-round fault) and resumed from the last
+// checkpoint must land bit-identical to the uninterrupted run.
+func TestSupervisedKillResume(t *testing.T) {
+	skipIfShort(t)
+	for _, workers := range []int{2, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			t.Parallel()
+			stFull, err := store.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := runStored(t, "readelf", killBudget, Options{
+				Workers: workers, Store: stFull, StoreLabel: "readelf",
+			})
+			if full.Interrupted {
+				t.Fatal("reference run reported Interrupted")
+			}
+
+			// Re-exec this test binary as the victim: it runs the same
+			// campaign with kill-round=2 and SIGKILLs itself mid-round.
+			dir := t.TempDir()
+			cmd := exec.Command(os.Args[0], "-test.run=^TestSupervisedKillVictim$", "-test.v")
+			cmd.Env = append(os.Environ(),
+				"PBSE_KILL_VICTIM=1",
+				"PBSE_KILL_STORE="+dir,
+				"PBSE_KILL_WORKERS="+strconv.Itoa(workers))
+			out, err := cmd.CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ProcessState.ExitCode() != -1 {
+				t.Fatalf("victim did not die on a signal (err=%v):\n%s", err, out)
+			}
+
+			stRes, err := store.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !stRes.HasCheckpoint() {
+				t.Fatal("no checkpoint survived the SIGKILL")
+			}
+			resumed := runStored(t, "readelf", killBudget, Options{
+				Workers: workers, Store: stRes, StoreLabel: "readelf", Resume: true,
+				Supervise: &supervise.Options{Enabled: true},
+			})
+			if !resumed.Resumed {
+				t.Fatal("resume run did not report Resumed")
+			}
+			if resumed.Interrupted {
+				t.Fatal("resume run reported Interrupted")
+			}
+
+			if full.Covered != resumed.Covered {
+				t.Errorf("coverage diverged: full=%d resumed=%d", full.Covered, resumed.Covered)
+			}
+			if f, r := bugIDs(full), bugIDs(resumed); !reflect.DeepEqual(f, r) {
+				t.Errorf("bug IDs diverged:\n full    %v\n resumed %v", f, r)
+			}
+			if !reflect.DeepEqual(full.PhaseStats, resumed.PhaseStats) {
+				t.Errorf("phase stats diverged:\n full    %+v\n resumed %+v", full.PhaseStats, resumed.PhaseStats)
+			}
+			if full.Gov != resumed.Gov {
+				t.Errorf("gov stats diverged: full=%+v resumed=%+v", full.Gov, resumed.Gov)
+			}
+		})
+	}
+}
+
+// TestSupervisedKillVictim is the subprocess body for
+// TestSupervisedKillResume; it only runs when re-executed with
+// PBSE_KILL_VICTIM=1 and never returns normally — the injected
+// kill-round=2 SIGKILLs the process after round 2's turns.
+func TestSupervisedKillVictim(t *testing.T) {
+	if os.Getenv("PBSE_KILL_VICTIM") != "1" {
+		t.Skip("subprocess body for TestSupervisedKillResume")
+	}
+	workers, err := strconv.Atoi(os.Getenv("PBSE_KILL_WORKERS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(os.Getenv("PBSE_KILL_STORE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := targets.ByDriver("readelf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := tgt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := tgt.GenSeed(rand.New(rand.NewSource(42)), storeSeedSize)
+	inj := faultinject.New(7, faultinject.Options{KillRound: 2})
+	_, err = Run(prog, seed, Options{
+		Budget: killBudget, Workers: workers, Store: st, StoreLabel: "readelf",
+		Supervise: &supervise.Options{Enabled: true},
+	}, symex.Options{InputSize: len(seed), FaultInjector: inj})
+	t.Fatalf("survived kill-round=2 (err=%v) — campaign ran fewer than 2 rounds?", err)
+}

@@ -1,0 +1,202 @@
+package pbse
+
+// Supervised campaigns (DESIGN.md §11). A supervision context wraps the
+// schedulers with the fault-isolation mechanics of internal/supervise:
+// island turns run under a recover boundary and a wall-clock watchdog,
+// faulting islands climb a retry/backoff ladder (full slice → half slice
+// → concretize-only → quarantine), and every contained fault is counted
+// in SupStats. The context also carries the process-level fault injector
+// so the kill-round hook (a self-inflicted SIGKILL for crash-recovery
+// tests) fires at the same point in every scheduler.
+//
+// Determinism: when no fault fires, every hook here is inert — no ladder
+// moves, no jitter rng is drawn, no turn is skipped — so a supervised
+// run is bit-identical to an unsupervised one (asserted by
+// TestSupervisedNoFaultIdentical). After the first fault the guarantee
+// weakens to "the campaign completes with accurate counters".
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pbse/internal/faultinject"
+	"pbse/internal/supervise"
+	"pbse/internal/symex"
+)
+
+// supervision is the run-wide supervision context. A nil *supervision
+// (unsupervised run without a fault injector) makes every method a
+// no-op; sup is nil when only the kill-round hook is wanted.
+type supervision struct {
+	sup *supervise.Supervisor
+	inj *faultinject.Injector // process-level injector (kill-round hook)
+}
+
+// newSupervision builds the context from the run options, or nil when
+// neither supervision nor fault injection is configured. The
+// supervisor's jitter seed defaults to the campaign seed so haircuts
+// are reproducible without extra configuration.
+func newSupervision(opts Options, exOpts symex.Options) *supervision {
+	sv := &supervision{inj: exOpts.FaultInjector}
+	if opts.Supervise != nil && opts.Supervise.Enabled {
+		so := *opts.Supervise
+		if so.Seed == 0 {
+			so.Seed = opts.Seed
+		}
+		sv.sup = supervise.New(so)
+	}
+	if sv.sup == nil && sv.inj == nil {
+		return nil
+	}
+	return sv
+}
+
+// supervised reports whether fault isolation is active (as opposed to a
+// context carrying only the kill hook).
+func (sv *supervision) supervised() bool { return sv != nil && sv.sup != nil }
+
+// kill fires the kill-round fault when this process has completed round
+// scheduler rounds. Called after a round's turns and before its barrier
+// checkpoint, so the killed round's work is genuinely lost.
+func (sv *supervision) kill(round int64) {
+	if sv != nil {
+		sv.inj.KillAtRound(round)
+	}
+}
+
+// turnW1 is the single-worker supervised turn: inline recover
+// containment plus the retry ladder. There is no watchdog — the shared
+// executor cannot be abandoned to a runaway goroutine — so W=1 covers
+// crashes, backoff, and degraded slices; hard hangs are the re-exec
+// supervisor's job (cmd/pbse -supervise).
+func (sv *supervision) turnW1(ex *symex.Executor, pool *phasePool, opts Options,
+	rng *rand.Rand, res *Result, turnStart, slice int64) {
+
+	sup := sv.sup
+	lad := sup.Island(pool.info.ID)
+	if lad.TakeSkip() {
+		sup.Add(supervise.SupStats{BackoffSkips: 1, DegradedRounds: 1})
+		return
+	}
+	if lad.Failures() > 0 {
+		sup.Add(supervise.SupStats{Restarts: 1})
+	}
+	scaled := int64(float64(slice) * lad.SliceScale())
+	ex.SetConcretizeOnly(lad.Level() >= supervise.LevelConcretize)
+	outcome, _ := sup.TurnSync(func() {
+		if sv.inj.IslandCrash() {
+			panic(fmt.Sprintf("faultinject: island %d crash", pool.info.ID))
+		}
+		if d, ok := sv.inj.IslandHang(); ok {
+			time.Sleep(d)
+		}
+		runPhaseTurn(ex, pool, opts, rng, res, func() bool {
+			return ex.Clock()-turnStart > scaled
+		})
+	})
+	ex.SetConcretizeOnly(false)
+	if outcome == supervise.Crashed {
+		// The panic fired at the turn boundary: the pool's states are
+		// intact and simply stay queued for the next turn.
+		lad.Fault()
+		sup.Add(supervise.SupStats{RequeuedStates: int64(len(pool.states)), DegradedRounds: 1})
+	} else {
+		lad.Success()
+	}
+}
+
+// runSupervisedTurn is the parallel supervised turn, run by a worker
+// goroutine. The turn body executes on its own goroutine under
+// Supervisor.Turn; its stat deltas go to the island's scratch turnStat
+// so a hung turn cannot race the coordinator's checkpoint reads, and
+// are folded into the pool only once the turn goroutine is known dead.
+func runSupervisedTurn(is *island, round, share int64, opts Options, sv *supervision) int64 {
+	sup := sv.sup
+	lad := sup.Island(is.pool.info.ID)
+	if lad.TakeSkip() {
+		sup.Add(supervise.SupStats{BackoffSkips: 1})
+		return 0
+	}
+	if lad.Failures() > 0 {
+		sup.Add(supervise.SupStats{Restarts: 1})
+	}
+	scale := lad.SliceScale()
+	is.preClock = is.ex.Clock()
+	is.preStates = len(is.states)
+	is.turnStat = PhaseStat{}
+	is.turnSteps = 0
+	is.ex.ClearInterrupt()
+	is.ex.SetConcretizeOnly(lad.Level() >= supervise.LevelConcretize)
+	outcome, _, h := sup.Turn(func() {
+		if is.inj.IslandCrash() {
+			panic(fmt.Sprintf("faultinject: island %d crash", is.pool.info.ID))
+		}
+		if d, ok := is.inj.IslandHang(); ok {
+			time.Sleep(d)
+			if is.ex.Interrupted() {
+				return // the watchdog gave up on us while we stalled
+			}
+		}
+		is.turnSteps = runIslandTurn(is, round, share, scale, &is.turnStat, opts)
+	}, is.ex.Interrupt)
+	switch outcome {
+	case supervise.Crashed:
+		// Injected crashes fire before any state is touched; real ones
+		// mid-turn are already contained per-state by the step boundary.
+		// Either way the pool keeps its states for the next turn.
+		lad.Fault()
+		sup.Add(supervise.SupStats{RequeuedStates: int64(len(is.states))})
+	case supervise.Interrupted:
+		lad.Fault()
+	case supervise.Hung:
+		// The turn goroutine is still running; park the island in limbo.
+		// Nothing of the island may be touched until h reports Done.
+		lad.Fault()
+		is.limbo = h
+		is.limboRounds = 0
+		return 0
+	default:
+		lad.Success()
+	}
+	is.pool.absorbTurnStat(is.turnStat)
+	return is.turnSteps
+}
+
+// absorbTurnStat folds one supervised turn's scratch counters into the
+// pool (NewBlocks is merged at the round barrier, not here).
+func (p *phasePool) absorbTurnStat(ts PhaseStat) {
+	p.stat.Steps += ts.Steps
+	p.stat.Turns += ts.Turns
+	p.stat.Bugs += ts.Bugs
+	p.stat.Quarantines += ts.Quarantines
+}
+
+// insertIsland returns live with is inserted in phase-ID order — the
+// order every barrier reduction runs in, restored when an island leaves
+// limbo.
+func insertIsland(live []*island, is *island) []*island {
+	at := len(live)
+	for i, l := range live {
+		if l.pool.info.ID > is.pool.info.ID {
+			at = i
+			break
+		}
+	}
+	live = append(live, nil)
+	copy(live[at+1:], live[at:])
+	live[at] = is
+	return live
+}
+
+// safeIsles filters out islands whose executors may be racing (in limbo
+// or abandoned); only these are safe for barrier aggregation.
+func safeIsles(isles []*island) []*island {
+	out := make([]*island, 0, len(isles))
+	for _, is := range isles {
+		if is.limbo == nil && !is.abandoned {
+			out = append(out, is)
+		}
+	}
+	return out
+}

@@ -1,6 +1,26 @@
 package solver
 
-import "pbse/internal/expr"
+import (
+	"time"
+
+	"pbse/internal/expr"
+)
+
+// precheckDeadline is the wall-clock cutoff for one PreCheck/PreCheckPC
+// sweep, armed from Options.QueryDeadline (zero time when unbounded).
+// The sweeps were added after the per-query deadline and originally ran
+// outside it; on pathological fact sets they could stall a turn just
+// like a runaway SAT search, so they now give up with Unknown — counted
+// in Stats.PrecheckDeadlines — and let the regular pipeline (which has
+// its own deadline) take over.
+func (s *Solver) precheckDeadline() time.Time {
+	if s.opts.QueryDeadline <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(s.opts.QueryDeadline)
+}
+
+func expiredDeadline(d time.Time) bool { return !d.IsZero() && !time.Now().Before(d) }
 
 // RangeFact asserts that expression E always evaluates to a value in
 // [Lo, Hi] on every execution reaching the current program point — a
@@ -33,8 +53,13 @@ func (s *Solver) PreCheck(cond *expr.Expr, facts []RangeFact) Result {
 	case cond.IsFalse():
 		return Unsat
 	}
+	deadline := s.precheckDeadline()
 	memo := make(map[*expr.Expr]interval, 32)
 	for _, f := range facts {
+		if expiredDeadline(deadline) {
+			s.stats.PrecheckDeadlines++
+			return Unknown
+		}
 		if f.E == nil || f.Lo > f.Hi {
 			continue
 		}
@@ -53,6 +78,10 @@ func (s *Solver) PreCheck(cond *expr.Expr, facts []RangeFact) Result {
 			return Unknown
 		}
 		memo[f.E] = cur
+	}
+	if expiredDeadline(deadline) {
+		s.stats.PrecheckDeadlines++
+		return Unknown
 	}
 	switch iv := ivalOf(cond, memo); {
 	case iv.lo == 0 && iv.hi == 0:
@@ -90,6 +119,7 @@ func (s *Solver) PreCheckPC(pc []*expr.Expr, cond *expr.Expr, facts []RangeFact)
 	if len(slice) == 0 {
 		return Unknown
 	}
+	deadline := s.precheckDeadline()
 	cs := make([]*expr.Expr, 0, len(slice)+1)
 	cs = append(cs, slice...)
 	cs = append(cs, cond)
@@ -121,6 +151,10 @@ func (s *Solver) PreCheckPC(pc []*expr.Expr, cond *expr.Expr, facts []RangeFact)
 	// wrong, so each meet stays sound.
 	for sweep := 0; sweep < 2; sweep++ {
 		for _, term := range order {
+			if expiredDeadline(deadline) {
+				s.stats.PrecheckDeadlines++
+				return Unknown
+			}
 			cur := memo[term]
 			delete(memo, term)
 			fresh := ivalOf(term, memo)
@@ -133,6 +167,10 @@ func (s *Solver) PreCheckPC(pc []*expr.Expr, cond *expr.Expr, facts []RangeFact)
 		}
 	}
 	for _, c := range cs {
+		if expiredDeadline(deadline) {
+			s.stats.PrecheckDeadlines++
+			return Unknown
+		}
 		if iv := ivalOf(c, memo); iv.lo == 0 && iv.hi == 0 {
 			s.stats.StaticPrunes++
 			return Unsat

@@ -48,6 +48,11 @@ type Stats struct {
 	DeadlineExceeded  int64 // Unknowns from the wall-clock deadline
 	InjectedUnknowns  int64 // Unknowns forced by fault injection
 	InternalRecovered int64 // internal invariant violations degraded to Unknown
+
+	// PrecheckDeadlines counts PreCheck/PreCheckPC propagation sweeps
+	// abandoned by the query deadline (the sweep answers Unknown and the
+	// query proceeds to the regular pipeline, which has its own deadline).
+	PrecheckDeadlines int64
 }
 
 // Accum adds o's counters into s (merging per-worker solver stats).
@@ -65,6 +70,7 @@ func (s *Stats) Accum(o Stats) {
 	s.DeadlineExceeded += o.DeadlineExceeded
 	s.InjectedUnknowns += o.InjectedUnknowns
 	s.InternalRecovered += o.InternalRecovered
+	s.PrecheckDeadlines += o.PrecheckDeadlines
 }
 
 // Injector is the fault-injection surface the solver consults (see

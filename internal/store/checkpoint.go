@@ -9,6 +9,7 @@ import (
 	"pbse/internal/ir"
 	"pbse/internal/phase"
 	"pbse/internal/solver"
+	"pbse/internal/supervise"
 	"pbse/internal/symex"
 )
 
@@ -52,6 +53,9 @@ type Checkpoint struct {
 	CarryGov     symex.GovStats
 	CarrySolver  solver.Stats
 	CarryWorkers []WorkerStat
+	// CarrySup is the supervision carry (format version 2; zero when
+	// resuming a v1 checkpoint or an unsupervised campaign).
+	CarrySup supervise.SupStats
 
 	PhaseStats []PhaseStat // all pools, scheduler order
 	LiveIDs    []int       // phase IDs still live, scheduler order
@@ -110,9 +114,13 @@ type StateList struct {
 	Bugs        []*bugs.Report
 }
 
+// Format versions: v1 is the original layout; v2 appends the solver
+// counters added after v1 froze (StaticPrunes, PrecheckDeadlines) and
+// the supervision carry after the CarryWorkers block. Decoding accepts
+// both — a v1 checkpoint resumes with those fields zero.
 const (
 	checkpointMagic   = "PBSECKP1"
-	checkpointVersion = 1
+	checkpointVersion = 2
 )
 
 // EncodeCheckpoint serialises ck. The encoding is deterministic: equal
@@ -171,6 +179,10 @@ func EncodeCheckpoint(ck *Checkpoint) ([]byte, error) {
 		w.iv(ws.Turns)
 		w.iv(ws.Steps)
 	}
+	// v2 extension block
+	w.iv(ck.CarrySolver.StaticPrunes)
+	w.iv(ck.CarrySolver.PrecheckDeadlines)
+	writeSup(w, ck.CarrySup)
 
 	w.uv(uint64(len(ck.PhaseStats)))
 	for _, ps := range ck.PhaseStats {
@@ -507,8 +519,8 @@ func DecodeCheckpoint(data []byte) (*CheckpointFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != checkpointVersion {
-		return nil, fmt.Errorf("store: checkpoint version %d (want %d)", ver, checkpointVersion)
+	if ver < 1 || ver > checkpointVersion {
+		return nil, fmt.Errorf("store: checkpoint version %d (want 1..%d)", ver, checkpointVersion)
 	}
 	ck := &Checkpoint{}
 	if ck.Mode, err = r.str(); err != nil {
@@ -653,6 +665,17 @@ func DecodeCheckpoint(data []byte) (*CheckpointFile, error) {
 			return nil, err
 		}
 		ck.CarryWorkers = append(ck.CarryWorkers, ws)
+	}
+	if ver >= 2 {
+		if ck.CarrySolver.StaticPrunes, err = r.iv(); err != nil {
+			return nil, err
+		}
+		if ck.CarrySolver.PrecheckDeadlines, err = r.iv(); err != nil {
+			return nil, err
+		}
+		if ck.CarrySup, err = readSup(r); err != nil {
+			return nil, err
+		}
 	}
 
 	nps, err := r.count()
@@ -978,6 +1001,39 @@ func readSolverStats(r *reader) (solver.Stats, error) {
 		&s.IntervalFast, &s.SATRuns, &s.Conflicts, &s.Unknowns,
 		&s.BudgetExhausted, &s.DeadlineExceeded, &s.InjectedUnknowns,
 		&s.InternalRecovered,
+	}
+	for _, f := range fields {
+		v, err := r.iv()
+		if err != nil {
+			return s, err
+		}
+		*f = v
+	}
+	return s, nil
+}
+
+func writeSup(w *writer, s supervise.SupStats) {
+	w.iv(s.Crashes)
+	w.iv(s.Hangs)
+	w.iv(s.WatchdogTrips)
+	w.iv(s.Restarts)
+	w.iv(s.BackoffSkips)
+	w.iv(s.DegradedRounds)
+	w.iv(s.RequeuedStates)
+	w.iv(s.QuarantinedIslands)
+	w.iv(s.QuarantinedStates)
+	w.iv(s.FaultCheckpoints)
+	w.iv(s.StoreFaults)
+	w.iv(s.ProcessRestarts)
+}
+
+func readSup(r *reader) (supervise.SupStats, error) {
+	var s supervise.SupStats
+	fields := []*int64{
+		&s.Crashes, &s.Hangs, &s.WatchdogTrips, &s.Restarts,
+		&s.BackoffSkips, &s.DegradedRounds, &s.RequeuedStates,
+		&s.QuarantinedIslands, &s.QuarantinedStates, &s.FaultCheckpoints,
+		&s.StoreFaults, &s.ProcessRestarts,
 	}
 	for _, f := range fields {
 		v, err := r.iv()

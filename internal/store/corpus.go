@@ -43,6 +43,9 @@ func (s *Store) AddReproducer(r *bugs.Report) (bool, error) {
 	if _, err := os.Stat(metaPath); err == nil {
 		return false, nil
 	}
+	if err := s.injectIO("reproducer"); err != nil {
+		return false, err
+	}
 	inputName := id + ".input"
 	if err := writeFileAtomic(filepath.Join(s.corpusDir(), inputName), r.Input); err != nil {
 		return false, err

@@ -1,0 +1,134 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pbse/internal/expr"
+	"pbse/internal/solver"
+)
+
+// TestSolverCacheCorruptionTolerated: a damaged verdict-cache file must
+// never fail the campaign — bad headers discard the file, bad verdict
+// bytes skip the record, and every event is counted in CacheCorruptions.
+func TestSolverCacheCorruptionTolerated(t *testing.T) {
+	seedCache := func(t *testing.T) string {
+		t.Helper()
+		dir := t.TempDir()
+		st, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := st.SolverCache()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Put(111, solver.Sat)
+		c.Put(222, solver.Unsat)
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	reopen := func(t *testing.T, dir string) (*Store, *SolverCache) {
+		t.Helper()
+		st, err := Open(dir)
+		if err != nil {
+			t.Fatalf("corrupt cache failed Open: %v", err)
+		}
+		c, err := st.SolverCache()
+		if err != nil {
+			t.Fatalf("corrupt cache failed load: %v", err)
+		}
+		return st, c
+	}
+
+	t.Run("bad-header", func(t *testing.T) {
+		dir := seedCache(t)
+		path := filepath.Join(dir, "solvercache.bin")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, c := reopen(t, dir)
+		if n := st.Stats().VerdictsLoaded; n != 0 {
+			t.Errorf("bad header still loaded %d verdicts", n)
+		}
+		if n := st.Stats().CacheCorruptions; n != 1 {
+			t.Errorf("CacheCorruptions = %d, want 1", n)
+		}
+		if _, ok := c.Get(111); ok {
+			t.Error("verdict survived a discarded file")
+		}
+	})
+	t.Run("bad-verdict-byte", func(t *testing.T) {
+		dir := seedCache(t)
+		path := filepath.Join(dir, "solvercache.bin")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Records follow the fixed-size header as 8-byte key + 1 verdict
+		// byte: poison the first record's verdict.
+		data[cacheHeaderSize+8] = 99
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, c := reopen(t, dir)
+		if n := st.Stats().VerdictsLoaded; n != 1 {
+			t.Errorf("loaded %d verdicts, want 1 (the undamaged record)", n)
+		}
+		if n := st.Stats().CacheCorruptions; n != 1 {
+			t.Errorf("CacheCorruptions = %d, want 1", n)
+		}
+		// The undamaged record and a fresh flush both still work.
+		c.Put(444, solver.Sat)
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		st2, c2 := reopen(t, dir)
+		if n := st2.Stats().VerdictsLoaded; n != 2 {
+			t.Errorf("after healing flush: loaded %d, want 2", n)
+		}
+		if _, ok := c2.Get(444); !ok {
+			t.Error("healed cache lost the fresh verdict")
+		}
+	})
+	t.Run("truncated-header", func(t *testing.T) {
+		dir := seedCache(t)
+		path := filepath.Join(dir, "solvercache.bin")
+		if err := os.WriteFile(path, []byte{0x50, 0x42}, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, _ := reopen(t, dir)
+		if n := st.Stats().CacheCorruptions; n != 1 {
+			t.Errorf("CacheCorruptions = %d, want 1", n)
+		}
+	})
+}
+
+// TestCheckpointVersionGuard: a checkpoint from a future format version
+// must be rejected with a clear error, never misparsed.
+func TestCheckpointVersionGuard(t *testing.T) {
+	ctx := expr.NewContext()
+	arr := expr.NewArray("input", 64)
+	ck := synthCheckpoint(ctx, arr, rand.New(rand.NewSource(3)))
+	data, err := EncodeCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The version uvarint sits right after the 8-byte magic.
+	if data[len(checkpointMagic)] != checkpointVersion {
+		t.Fatalf("version byte = %d, want %d", data[len(checkpointMagic)], checkpointVersion)
+	}
+	data[len(checkpointMagic)] = checkpointVersion + 1
+	if _, err := DecodeCheckpoint(data); err == nil {
+		t.Fatal("future-version checkpoint accepted")
+	}
+}

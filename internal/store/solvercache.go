@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/binary"
 	"fmt"
+	"log"
 	"os"
 	"sync"
 
@@ -12,8 +13,8 @@ import (
 // SolverCache is the cross-run persistent tier of the solver verdict
 // cache. In memory it is an ordinary solver.ShardedCache (so it plugs
 // into solver.Options.Shared unchanged, including for concurrent phase
-// workers); on disk it is an append-only log of (fingerprint, verdict)
-// records flushed at round barriers.
+// workers); on disk it is a log of (fingerprint, verdict) records
+// rewritten at round barriers.
 //
 // Only Sat/Unsat ever reach disk — Unknown means "gave up under this
 // run's budgets", which is not a fact about the query. Keys are
@@ -23,15 +24,21 @@ import (
 //
 // The log format is a 16-byte header ("PBSESLVC" + version, padded) then
 // 9-byte records: 8-byte little-endian key + 1 verdict byte (1=Sat,
-// 2=Unsat). A torn tail from a crash mid-append is ignored on load, and
-// duplicate records are harmless, so appending needs no locking against
-// past runs — only against concurrent Put calls within this one.
+// 2=Unsat). Flush writes the whole log tmp+fsync+rename (with a parent
+// directory fsync), so a crash mid-flush leaves either the old or the
+// new file — never a truncated one. Rewriting costs O(total records)
+// per flush instead of O(new), a fine trade at the log's size (9 bytes
+// per distinct query ever decided). Corruption found at load — a
+// foreign header, a torn tail from a pre-rewrite append, a bad verdict
+// byte — is discarded and logged, never fatal: the cache is an
+// accelerator, and the next flush replaces the damaged file wholesale.
 type SolverCache struct {
 	mem  *solver.ShardedCache
 	st   *Store
 	path string
 
 	mu    sync.Mutex
+	clean []byte // validated records already on disk
 	dirty []byte // encoded records not yet flushed
 }
 
@@ -53,32 +60,42 @@ func (s *Store) SolverCache() (*SolverCache, error) {
 		return s.cache, nil
 	}
 	c := &SolverCache{mem: solver.NewShardedCache(), st: s, path: s.cachePath()}
-	n, err := c.load()
+	n, corrupt, err := c.load()
 	if err != nil {
 		return nil, err
 	}
 	s.stats.VerdictsLoaded = n
+	s.stats.CacheCorruptions += corrupt
 	s.cache = c
 	return c, nil
 }
 
-func (c *SolverCache) load() (int64, error) {
+// load reads and validates the on-disk log into the memory tier,
+// returning the verdicts loaded and the corruption events discarded. A
+// damaged file never fails the campaign: a bad header discards the file
+// (logged), a bad record is skipped (fixed-size framing survives), and
+// a torn tail is dropped — all healed by the next flush's full rewrite.
+func (c *SolverCache) load() (loaded, corrupt int64, err error) {
 	data, err := os.ReadFile(c.path)
 	if os.IsNotExist(err) {
-		return 0, nil
+		return 0, 0, nil
 	}
 	if err != nil {
-		return 0, fmt.Errorf("store: solver cache: %w", err)
+		return 0, 0, fmt.Errorf("store: solver cache: %w", err)
 	}
 	if len(data) < cacheHeaderSize {
-		return 0, nil // torn header: treat as empty
+		if len(data) > 0 {
+			log.Printf("store: solver cache %s: torn header (%d bytes); discarding", c.path, len(data))
+			corrupt++
+		}
+		return 0, corrupt, nil
 	}
 	if string(data[:len(cacheMagic)]) != cacheMagic || data[len(cacheMagic)] != cacheVersion {
-		return 0, fmt.Errorf("store: solver cache: bad header")
+		log.Printf("store: solver cache %s: bad header; discarding %d bytes", c.path, len(data))
+		return 0, corrupt + 1, nil
 	}
 	recs := data[cacheHeaderSize:]
-	n := int64(0)
-	for len(recs) >= cacheRecordSize { // ignore a torn tail
+	for len(recs) >= cacheRecordSize {
 		key := binary.LittleEndian.Uint64(recs)
 		var r solver.Result
 		switch recs[8] {
@@ -87,16 +104,21 @@ func (c *SolverCache) load() (int64, error) {
 		case 2:
 			r = solver.Unsat
 		default:
-			// Corrupt verdict byte: skip the record, keep scanning —
-			// records are fixed-size so framing survives.
+			log.Printf("store: solver cache %s: corrupt verdict byte %d; skipping record", c.path, recs[8])
+			corrupt++
 			recs = recs[cacheRecordSize:]
 			continue
 		}
 		c.mem.Put(key, r)
-		n++
+		c.clean = append(c.clean, recs[:cacheRecordSize]...)
+		loaded++
 		recs = recs[cacheRecordSize:]
 	}
-	return n, nil
+	if len(recs) > 0 {
+		log.Printf("store: solver cache %s: torn tail (%d bytes); discarding", c.path, len(recs))
+		corrupt++
+	}
+	return loaded, corrupt, nil
 }
 
 // Mem returns the in-memory tier, for wiring into schedulers that want
@@ -135,37 +157,32 @@ func (c *SolverCache) Put(key uint64, r solver.Result) {
 	c.mem.Put(key, r)
 }
 
-// Flush appends queued verdicts to the on-disk log (creating it, with
-// header, if absent) and fsyncs.
+// Flush rewrites the on-disk log (header + every validated record +
+// queued verdicts) tmp+fsync+rename with a parent-dir fsync, so a crash
+// at any point leaves a complete old or complete new file. A no-op when
+// nothing is queued.
 func (c *SolverCache) Flush() error {
 	c.mu.Lock()
-	dirty := c.dirty
-	c.dirty = nil
-	c.mu.Unlock()
-	if len(dirty) == 0 {
+	defer c.mu.Unlock()
+	if len(c.dirty) == 0 {
 		return nil
 	}
-	f, err := os.OpenFile(c.path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
-	if err != nil {
+	if err := c.st.injectIO("solver cache"); err != nil {
+		return err
+	}
+	buf := make([]byte, cacheHeaderSize, cacheHeaderSize+len(c.clean)+len(c.dirty))
+	copy(buf, cacheMagic)
+	buf[len(cacheMagic)] = cacheVersion
+	buf = append(buf, c.clean...)
+	buf = append(buf, c.dirty...)
+	if err := writeFileAtomic(c.path, buf); err != nil {
 		return fmt.Errorf("store: solver cache: %w", err)
 	}
-	defer f.Close()
-	if fi, err := f.Stat(); err == nil && fi.Size() == 0 {
-		var hdr [cacheHeaderSize]byte
-		copy(hdr[:], cacheMagic)
-		hdr[len(cacheMagic)] = cacheVersion
-		if _, err := f.Write(hdr[:]); err != nil {
-			return fmt.Errorf("store: solver cache: %w", err)
-		}
-	}
-	if _, err := f.Write(dirty); err != nil {
-		return fmt.Errorf("store: solver cache: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		return fmt.Errorf("store: solver cache: %w", err)
-	}
+	flushed := int64(len(c.dirty) / cacheRecordSize)
+	c.clean = append(c.clean, c.dirty...)
+	c.dirty = nil
 	c.st.mu.Lock()
-	c.st.stats.VerdictsFlushed += int64(len(dirty) / cacheRecordSize)
+	c.st.stats.VerdictsFlushed += flushed
 	c.st.mu.Unlock()
 	return nil
 }

@@ -18,12 +18,13 @@ import (
 //	manifest.json    run identity + status (atomically replaced)
 //	checkpoint.bin   latest round-barrier checkpoint (atomically replaced)
 //	seed.bin         the concrete seed input of the run
-//	solvercache.bin  append-only cross-run verdict log (torn-tail tolerant)
+//	solvercache.bin  cross-run verdict log (corruption-tolerant)
 //	corpus/          bug reproducers: <id>.input + <id>.json per bug site
 //
-// manifest.json and checkpoint.bin are written tmp+fsync+rename, so a
-// reader never observes a half-written file and a crash between barriers
-// loses at most one round of work.
+// manifest.json, checkpoint.bin and solvercache.bin are written
+// tmp+fsync+rename (with a parent-dir fsync), so a reader never observes
+// a half-written file and a crash between barriers loses at most one
+// round of work.
 
 // Run status values in the manifest.
 const (
@@ -52,11 +53,21 @@ const manifestVersion = 1
 
 // Stats counts the store's activity during one campaign.
 type Stats struct {
-	VerdictsLoaded  int64 // solver verdicts preloaded from disk at open
-	VerdictsFlushed int64 // new verdicts appended this run
-	CorpusAdded     int64 // new bug reproducers written this run
-	Checkpoints     int64 // checkpoint files written this run
-	CheckpointBytes int64 // size of the last checkpoint written
+	VerdictsLoaded   int64 // solver verdicts preloaded from disk at open
+	VerdictsFlushed  int64 // new verdicts flushed to disk this run
+	CorpusAdded      int64 // new bug reproducers written this run
+	Checkpoints      int64 // checkpoint files written this run
+	CheckpointBytes  int64 // size of the last checkpoint written
+	CacheCorruptions int64 // corrupt solver-cache headers/records discarded at load
+	InjectedIOFaults int64 // store writes failed by fault injection
+}
+
+// IOInjector is the fault surface the store consults before disk
+// writes; package faultinject's Injector implements it. A nil injector
+// injects nothing.
+type IOInjector interface {
+	// StoreIO reports whether the write about to run should fail.
+	StoreIO() bool
 }
 
 // Store is one on-disk run store.
@@ -66,6 +77,7 @@ type Store struct {
 	mu    sync.Mutex
 	stats Stats
 	cache *SolverCache
+	inj   IOInjector
 }
 
 // Open opens (creating if needed) the store at dir.
@@ -86,6 +98,30 @@ func (s *Store) Stats() Stats {
 	return s.stats
 }
 
+// SetIOInjector wires a fault injector into every subsequent store
+// write (checkpoints, manifests, seeds, cache flushes, reproducers).
+// Used by supervised chaos runs to prove the campaign tolerates store
+// I/O failures instead of dying on them.
+func (s *Store) SetIOInjector(inj IOInjector) {
+	s.mu.Lock()
+	s.inj = inj
+	s.mu.Unlock()
+}
+
+// injectIO returns an injected write error for what, or nil.
+func (s *Store) injectIO(what string) error {
+	s.mu.Lock()
+	inj := s.inj
+	s.mu.Unlock()
+	if inj == nil || !inj.StoreIO() {
+		return nil
+	}
+	s.mu.Lock()
+	s.stats.InjectedIOFaults++
+	s.mu.Unlock()
+	return fmt.Errorf("store: %s: injected I/O fault", what)
+}
+
 func (s *Store) manifestPath() string   { return filepath.Join(s.dir, "manifest.json") }
 func (s *Store) checkpointPath() string { return filepath.Join(s.dir, "checkpoint.bin") }
 func (s *Store) seedPath() string       { return filepath.Join(s.dir, "seed.bin") }
@@ -100,6 +136,9 @@ func SeedSig(seed []byte) string {
 
 // WriteManifest atomically replaces the manifest.
 func (s *Store) WriteManifest(m *Manifest) error {
+	if err := s.injectIO("manifest"); err != nil {
+		return err
+	}
 	m.Version = manifestVersion
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
@@ -126,6 +165,9 @@ func (s *Store) ReadManifest() (*Manifest, error) {
 
 // WriteSeed saves the run's concrete seed input.
 func (s *Store) WriteSeed(seed []byte) error {
+	if err := s.injectIO("seed"); err != nil {
+		return err
+	}
 	return writeFileAtomic(s.seedPath(), seed)
 }
 
@@ -149,6 +191,9 @@ func (s *Store) HasCheckpoint() bool {
 // concrete object bytes and expression shapes heavily, so this cuts
 // checkpoint I/O by an order of magnitude at negligible CPU cost.
 func (s *Store) WriteCheckpoint(ck *Checkpoint) error {
+	if err := s.injectIO("checkpoint"); err != nil {
+		return err
+	}
 	data, err := EncodeCheckpoint(ck)
 	if err != nil {
 		return err

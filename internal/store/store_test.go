@@ -13,6 +13,7 @@ import (
 	"pbse/internal/interp"
 	"pbse/internal/phase"
 	"pbse/internal/solver"
+	"pbse/internal/supervise"
 	"pbse/internal/symex"
 	"pbse/internal/targets"
 )
@@ -85,6 +86,12 @@ func synthCheckpoint(ctx *expr.Context, arr *expr.Array, rng *rand.Rand) *Checkp
 		CarrySolver: solver.Stats{
 			Queries: 10, CacheHits: 4, SharedHits: 1, CandidateSat: 2,
 			IntervalFast: 1, SATRuns: 2, Conflicts: 30, Unknowns: 1, BudgetExhausted: 1,
+			StaticPrunes: 6, PrecheckDeadlines: 2, // ride the v2 extension block
+		},
+		CarrySup: supervise.SupStats{
+			Crashes: 1, Hangs: 2, WatchdogTrips: 3, Restarts: 4, BackoffSkips: 5,
+			DegradedRounds: 6, RequeuedStates: 7, QuarantinedIslands: 8,
+			QuarantinedStates: 9, FaultCheckpoints: 10, StoreFaults: 11, ProcessRestarts: 12,
 		},
 		CarryWorkers: []WorkerStat{{Worker: 0, Turns: 5, Steps: 100}, {Worker: 1, Turns: 4, Steps: 80}},
 		PhaseStats: []PhaseStat{

@@ -1,0 +1,426 @@
+// Package supervise contains the campaign supervisor's fault-isolation
+// primitives: a recover+watchdog turn runner, per-island retry ladders
+// with exponential backoff and jittered budget haircuts, and the
+// SupStats counters that make every contained fault auditable.
+//
+// The package is deliberately scheduler-agnostic — it knows nothing
+// about phases, islands' executors, or checkpoints. internal/pbse owns
+// the policy (what to requeue, when to checkpoint, how to merge
+// survivors); this package owns the mechanics (containment, timing,
+// backoff arithmetic), so the two can be tested independently.
+//
+// Determinism contract: when no fault fires, supervision is inert — no
+// ladder advances, no jitter rng is drawn, no turn is skipped — so a
+// supervised run is bit-identical to an unsupervised one. Once a fault
+// fires the contract weakens to "the campaign completes with accurate
+// counters": wall-clock watchdogs are inherently racy against real time.
+package supervise
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configure a campaign supervisor.
+type Options struct {
+	// Enabled turns supervision on. The zero Options (or a nil pointer
+	// wherever one is plumbed) leaves the schedulers exactly as they
+	// were.
+	Enabled bool
+	// IslandDeadline is the soft wall-clock watchdog per island turn:
+	// when it expires the turn is asked to wind down cooperatively
+	// (Executor.Interrupt). Default 30s; negative disables the watchdog.
+	IslandDeadline time.Duration
+	// HangGrace is how long past the soft deadline a turn may keep
+	// running before it is declared hung and abandoned. Default
+	// IslandDeadline.
+	HangGrace time.Duration
+	// MaxIslandRestarts bounds the retry ladder: an island that faults
+	// more than this many consecutive times — or sits abandoned in limbo
+	// for more than this many rounds — is quarantined. Default 3.
+	MaxIslandRestarts int
+	// CheckpointEvery is the auto-checkpoint cadence in scheduler
+	// rounds. Default 1 (every round barrier, matching unsupervised
+	// persistence); any fault forces a checkpoint at the next barrier
+	// regardless of cadence.
+	CheckpointEvery int64
+	// Seed drives the backoff jitter rngs. The jitter streams are only
+	// ever drawn after a fault, so the seed does not influence fault-free
+	// runs.
+	Seed int64
+}
+
+// withDefaults fills the zero-value fields.
+func (o Options) withDefaults() Options {
+	if o.IslandDeadline == 0 {
+		o.IslandDeadline = 30 * time.Second
+	}
+	if o.HangGrace <= 0 {
+		o.HangGrace = o.IslandDeadline
+	}
+	if o.MaxIslandRestarts <= 0 {
+		o.MaxIslandRestarts = 3
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1
+	}
+	return o
+}
+
+// SupStats count everything the supervisor contained or degraded. All
+// fields are totals over the campaign; checkpoints carry them across
+// process restarts.
+type SupStats struct {
+	Crashes            int64 // island turns that panicked and were contained
+	Hangs              int64 // island turns abandoned past deadline+grace
+	WatchdogTrips      int64 // soft deadline expiries (cooperative interrupt requested)
+	Restarts           int64 // turns granted to an island with a non-empty fault history
+	BackoffSkips       int64 // rounds an island sat out under exponential backoff
+	DegradedRounds     int64 // rounds where at least one island faulted, skipped, or sat in limbo
+	RequeuedStates     int64 // states returned to their pool after a contained crash
+	QuarantinedIslands int64 // islands removed by the ladder or abandoned for good
+	QuarantinedStates  int64 // states lost to island quarantine
+	FaultCheckpoints   int64 // checkpoints forced off-cadence by a fault
+	StoreFaults        int64 // store I/O failures tolerated instead of failing the run
+	ProcessRestarts    int64 // process re-execs performed by cmd/pbse -supervise
+}
+
+// Merge adds o's counters into s.
+func (s *SupStats) Merge(o SupStats) {
+	s.Crashes += o.Crashes
+	s.Hangs += o.Hangs
+	s.WatchdogTrips += o.WatchdogTrips
+	s.Restarts += o.Restarts
+	s.BackoffSkips += o.BackoffSkips
+	s.DegradedRounds += o.DegradedRounds
+	s.RequeuedStates += o.RequeuedStates
+	s.QuarantinedIslands += o.QuarantinedIslands
+	s.QuarantinedStates += o.QuarantinedStates
+	s.FaultCheckpoints += o.FaultCheckpoints
+	s.StoreFaults += o.StoreFaults
+	s.ProcessRestarts += o.ProcessRestarts
+}
+
+// Faults is the total number of contained island faults.
+func (s SupStats) Faults() int64 { return s.Crashes + s.Hangs + s.WatchdogTrips }
+
+// Outcome classifies one supervised turn.
+type Outcome int
+
+const (
+	// OK: the turn ran to completion.
+	OK Outcome = iota
+	// Crashed: the turn panicked; the panic was contained at the turn
+	// boundary.
+	Crashed
+	// Interrupted: the soft watchdog fired and the turn wound down
+	// cooperatively within the grace window.
+	Interrupted
+	// Hung: the turn ignored the interrupt past the grace window and its
+	// goroutine was abandoned. The island's executor must not be touched
+	// until the returned Handle reports Done.
+	Hung
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Crashed:
+		return "crashed"
+	case Interrupted:
+		return "interrupted"
+	case Hung:
+		return "hung"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Handle tracks a turn goroutine, in particular one that outlived its
+// watchdog: the scheduler parks the island in limbo and polls Done at
+// round barriers until the goroutine finally returns (or the island is
+// quarantined).
+type Handle struct {
+	done     chan struct{}
+	panicked atomic.Bool
+	panicMsg atomic.Value // string
+}
+
+// Done reports whether the turn goroutine has returned.
+func (h *Handle) Done() bool {
+	select {
+	case <-h.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks up to d for the turn goroutine to return.
+func (h *Handle) Wait(d time.Duration) bool {
+	if d <= 0 {
+		return h.Done()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-h.done:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// Crash reports whether the (finished) turn ended in a contained panic,
+// and its message.
+func (h *Handle) Crash() (string, bool) {
+	if !h.panicked.Load() {
+		return "", false
+	}
+	msg, _ := h.panicMsg.Load().(string)
+	return msg, true
+}
+
+// Supervisor is the fault-isolation core shared by one campaign's
+// schedulers. All methods are safe for concurrent use by the worker
+// goroutines.
+type Supervisor struct {
+	opts Options
+
+	mu      sync.Mutex
+	stats   SupStats
+	islands map[int]*Island
+}
+
+// New builds a supervisor with o's policy (defaults applied).
+func New(o Options) *Supervisor {
+	return &Supervisor{opts: o.withDefaults(), islands: make(map[int]*Island)}
+}
+
+// Opts returns the effective (defaulted) options.
+func (s *Supervisor) Opts() Options { return s.opts }
+
+// Stats snapshots the counters.
+func (s *Supervisor) Stats() SupStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Add folds delta into the counters.
+func (s *Supervisor) Add(delta SupStats) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.stats.Merge(delta)
+	s.mu.Unlock()
+}
+
+// Island returns id's retry ladder, creating it on first use. The
+// ladder's jitter rng is seeded from Opts().Seed and id, so haircuts are
+// reproducible given the same fault sequence.
+func (s *Supervisor) Island(id int) *Island {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	isl, ok := s.islands[id]
+	if !ok {
+		isl = &Island{
+			sup: s,
+			id:  id,
+			// -0x61c8864680b583eb is 0x9e3779b97f4a7c15 (the 64-bit golden
+			// ratio) as an int64 bit pattern.
+			rng: rand.New(rand.NewSource(s.opts.Seed ^ (int64(id)+1)*-0x61c8864680b583eb)),
+		}
+		s.islands[id] = isl
+	}
+	return isl
+}
+
+// Turn runs fn on its own goroutine under a recover boundary and a
+// wall-clock watchdog. At the soft deadline abort is invoked once to
+// request a cooperative wind-down; if fn still has not returned after
+// the grace window, Turn gives up and reports Hung — the goroutine is
+// abandoned (it keeps running; the caller must quarantine whatever it
+// may still mutate until the Handle reports Done). Panics inside fn are
+// contained and reported as Crashed with the panic message.
+func (s *Supervisor) Turn(fn func(), abort func()) (Outcome, string, *Handle) {
+	h := &Handle{done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		defer func() {
+			if p := recover(); p != nil {
+				h.panicMsg.Store(fmt.Sprint(p))
+				h.panicked.Store(true)
+			}
+		}()
+		fn()
+	}()
+
+	finish := func() (Outcome, string, *Handle) {
+		if msg, crashed := h.Crash(); crashed {
+			s.Add(SupStats{Crashes: 1})
+			return Crashed, msg, h
+		}
+		return OK, "", h
+	}
+
+	if s.opts.IslandDeadline < 0 {
+		<-h.done
+		return finish()
+	}
+	soft := time.NewTimer(s.opts.IslandDeadline)
+	defer soft.Stop()
+	select {
+	case <-h.done:
+		return finish()
+	case <-soft.C:
+	}
+
+	// Soft deadline expired: ask the turn to wind down and give it the
+	// grace window.
+	s.Add(SupStats{WatchdogTrips: 1})
+	abort()
+	grace := time.NewTimer(s.opts.HangGrace)
+	defer grace.Stop()
+	select {
+	case <-h.done:
+		if msg, crashed := h.Crash(); crashed {
+			s.Add(SupStats{Crashes: 1})
+			return Crashed, msg, h
+		}
+		return Interrupted, "", h
+	case <-grace.C:
+		s.Add(SupStats{Hangs: 1})
+		return Hung, "", h
+	}
+}
+
+// TurnSync runs fn inline under the recover boundary alone — the
+// containment used by the single-worker scheduler, where the shared
+// executor cannot be abandoned to a runaway goroutine (see DESIGN.md
+// §11 for what W=1 supervision does and does not cover).
+func (s *Supervisor) TurnSync(fn func()) (outcome Outcome, panicMsg string) {
+	outcome = OK
+	defer func() {
+		if p := recover(); p != nil {
+			s.Add(SupStats{Crashes: 1})
+			outcome, panicMsg = Crashed, fmt.Sprint(p)
+		}
+	}()
+	fn()
+	return
+}
+
+// Level is an island's rung on the retry ladder, deciding how its next
+// turn is degraded.
+type Level int
+
+const (
+	// LevelFull: no fault history — full slice, no degradation.
+	LevelFull Level = iota
+	// LevelHalf: one consecutive fault — half slice (jittered).
+	LevelHalf
+	// LevelConcretize: repeated faults — quarter slice (jittered) and
+	// concretize-only stepping (no forking, branch directions pinned to
+	// a concrete model), the cheapest mode that still makes progress.
+	LevelConcretize
+	// LevelQuarantine: the ladder is exhausted; the island is removed
+	// and its states are terminated.
+	LevelQuarantine
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelFull:
+		return "full"
+	case LevelHalf:
+		return "half-slice"
+	case LevelConcretize:
+		return "concretize-only"
+	case LevelQuarantine:
+		return "quarantine"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Island is one island's retry/backoff ladder. It is owned by whichever
+// worker runs the island's turn — the round barrier orders accesses, so
+// no internal locking is needed.
+type Island struct {
+	sup      *Supervisor
+	id       int
+	failures int   // consecutive faults
+	skip     int64 // backoff rounds remaining
+	rng      *rand.Rand
+}
+
+// Failures is the island's consecutive-fault count.
+func (i *Island) Failures() int { return i.failures }
+
+// Level maps the fault history to a ladder rung.
+func (i *Island) Level() Level {
+	switch {
+	case i.failures == 0:
+		return LevelFull
+	case i.failures > i.sup.opts.MaxIslandRestarts:
+		return LevelQuarantine
+	case i.failures == 1:
+		return LevelHalf
+	default:
+		return LevelConcretize
+	}
+}
+
+// SliceScale is the budget haircut for the island's next turn: 1 at
+// LevelFull, ~0.5 at LevelHalf, ~0.25 at LevelConcretize, each jittered
+// ±25% so retried islands do not resynchronize their expensive work.
+// The rng is only drawn when a haircut applies, keeping fault-free runs
+// free of supervision state.
+func (i *Island) SliceScale() float64 {
+	var base float64
+	switch i.Level() {
+	case LevelHalf:
+		base = 0.5
+	case LevelConcretize, LevelQuarantine:
+		base = 0.25
+	default:
+		return 1
+	}
+	return base * (0.75 + 0.5*i.rng.Float64())
+}
+
+// Fault records one contained fault: the ladder climbs a rung and the
+// island earns an exponential backoff (1, 2, 4, ... rounds, capped at 8)
+// before its next turn.
+func (i *Island) Fault() {
+	i.failures++
+	skip := int64(1) << (i.failures - 1)
+	if skip > 8 {
+		skip = 8
+	}
+	i.skip = skip
+}
+
+// Success records a clean turn: the ladder descends one rung (gradual
+// recovery — an island that crashed twice must earn its full slice
+// back) and any pending backoff is cleared.
+func (i *Island) Success() {
+	if i.failures > 0 {
+		i.failures--
+	}
+	i.skip = 0
+}
+
+// TakeSkip consumes one backoff round; true means the island sits this
+// round out.
+func (i *Island) TakeSkip() bool {
+	if i.skip > 0 {
+		i.skip--
+		return true
+	}
+	return false
+}

@@ -1,0 +1,276 @@
+package supervise
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastOpts keeps watchdog tests snappy: a turn has 40ms before the
+// interrupt and another 40ms of grace before it is declared hung.
+func fastOpts() Options {
+	return Options{Enabled: true, IslandDeadline: 40 * time.Millisecond, HangGrace: 40 * time.Millisecond}
+}
+
+func TestTurnOK(t *testing.T) {
+	t.Parallel()
+	s := New(fastOpts())
+	ran := false
+	out, msg, h := s.Turn(func() { ran = true }, func() { t.Error("abort called on a fast turn") })
+	if out != OK || msg != "" || !ran {
+		t.Fatalf("got (%v, %q, ran=%v), want (ok, \"\", true)", out, msg, ran)
+	}
+	if !h.Done() {
+		t.Error("handle not done after OK turn")
+	}
+	if st := s.Stats(); st != (SupStats{}) {
+		t.Errorf("clean turn touched counters: %+v", st)
+	}
+}
+
+func TestTurnCrashed(t *testing.T) {
+	t.Parallel()
+	s := New(fastOpts())
+	out, msg, h := s.Turn(func() { panic("boom at step 7") }, func() {})
+	if out != Crashed {
+		t.Fatalf("outcome = %v, want crashed", out)
+	}
+	if !strings.Contains(msg, "boom at step 7") {
+		t.Errorf("panic message lost: %q", msg)
+	}
+	if m, ok := h.Crash(); !ok || !strings.Contains(m, "boom") {
+		t.Errorf("handle crash = (%q, %v)", m, ok)
+	}
+	if st := s.Stats(); st.Crashes != 1 || st.WatchdogTrips != 0 || st.Hangs != 0 {
+		t.Errorf("stats = %+v, want exactly one crash", st)
+	}
+}
+
+func TestTurnInterrupted(t *testing.T) {
+	t.Parallel()
+	s := New(fastOpts())
+	var stop atomic.Bool
+	out, _, _ := s.Turn(func() {
+		for !stop.Load() {
+			time.Sleep(time.Millisecond)
+		}
+	}, func() { stop.Store(true) })
+	if out != Interrupted {
+		t.Fatalf("outcome = %v, want interrupted", out)
+	}
+	if st := s.Stats(); st.WatchdogTrips != 1 || st.Hangs != 0 || st.Crashes != 0 {
+		t.Errorf("stats = %+v, want exactly one watchdog trip", st)
+	}
+}
+
+func TestTurnHung(t *testing.T) {
+	t.Parallel()
+	s := New(fastOpts())
+	release := make(chan struct{})
+	out, _, h := s.Turn(func() { <-release }, func() {}) // ignores the abort
+	if out != Hung {
+		t.Fatalf("outcome = %v, want hung", out)
+	}
+	if h.Done() {
+		t.Fatal("abandoned goroutine reported done while still parked")
+	}
+	if h.Wait(time.Millisecond) {
+		t.Fatal("Wait returned before the goroutine did")
+	}
+	close(release)
+	if !h.Wait(5 * time.Second) {
+		t.Fatal("goroutine never reported done after release")
+	}
+	if _, crashed := h.Crash(); crashed {
+		t.Error("clean late return reported a crash")
+	}
+	if st := s.Stats(); st.Hangs != 1 || st.WatchdogTrips != 1 {
+		t.Errorf("stats = %+v, want one trip and one hang", st)
+	}
+}
+
+// TestTurnLateCrash: a turn that hangs past the grace window and then
+// panics must surface the crash through the handle so limbo
+// reintegration can count it.
+func TestTurnLateCrash(t *testing.T) {
+	t.Parallel()
+	s := New(fastOpts())
+	release := make(chan struct{})
+	out, _, h := s.Turn(func() { <-release; panic("late boom") }, func() {})
+	if out != Hung {
+		t.Fatalf("outcome = %v, want hung", out)
+	}
+	close(release)
+	if !h.Wait(5 * time.Second) {
+		t.Fatal("goroutine never finished")
+	}
+	if msg, crashed := h.Crash(); !crashed || !strings.Contains(msg, "late boom") {
+		t.Errorf("late panic lost: (%q, %v)", msg, crashed)
+	}
+}
+
+func TestTurnSync(t *testing.T) {
+	t.Parallel()
+	s := New(fastOpts())
+	if out, msg := s.TurnSync(func() {}); out != OK || msg != "" {
+		t.Fatalf("clean TurnSync = (%v, %q)", out, msg)
+	}
+	out, msg := s.TurnSync(func() { panic("inline boom") })
+	if out != Crashed || !strings.Contains(msg, "inline boom") {
+		t.Fatalf("TurnSync panic = (%v, %q)", out, msg)
+	}
+	if st := s.Stats(); st.Crashes != 1 {
+		t.Errorf("stats = %+v, want one crash", st)
+	}
+}
+
+func TestNoWatchdogWhenDisabled(t *testing.T) {
+	t.Parallel()
+	o := fastOpts()
+	o.IslandDeadline = -1
+	s := New(o)
+	out, _, _ := s.Turn(func() { time.Sleep(150 * time.Millisecond) }, func() {
+		t.Error("abort called with the watchdog disabled")
+	})
+	if out != OK {
+		t.Fatalf("outcome = %v, want ok", out)
+	}
+	if st := s.Stats(); st.WatchdogTrips != 0 {
+		t.Errorf("disabled watchdog tripped: %+v", st)
+	}
+}
+
+func TestLadderLevels(t *testing.T) {
+	t.Parallel()
+	s := New(Options{Enabled: true, MaxIslandRestarts: 3})
+	isl := s.Island(0)
+	if isl.Level() != LevelFull || isl.SliceScale() != 1 {
+		t.Fatalf("fresh island = (%v, %v), want (full, 1)", isl.Level(), isl.SliceScale())
+	}
+	want := []Level{LevelHalf, LevelConcretize, LevelConcretize, LevelQuarantine}
+	base := []float64{0.5, 0.25, 0.25, 0.25}
+	for i, lvl := range want {
+		isl.Fault()
+		if isl.Level() != lvl {
+			t.Fatalf("after %d faults Level = %v, want %v", i+1, isl.Level(), lvl)
+		}
+		lo, hi := base[i]*0.75, base[i]*1.25
+		if sc := isl.SliceScale(); sc < lo || sc > hi {
+			t.Errorf("after %d faults SliceScale = %v, want in [%v, %v]", i+1, sc, lo, hi)
+		}
+	}
+	// Gradual recovery: one Success steps down one rung, never to zero.
+	isl.Success()
+	if isl.Failures() != 3 || isl.Level() != LevelConcretize {
+		t.Fatalf("after recovery failures=%d level=%v, want 3/concretize-only", isl.Failures(), isl.Level())
+	}
+	for i := 0; i < 10; i++ {
+		isl.Success()
+	}
+	if isl.Failures() != 0 || isl.Level() != LevelFull || isl.SliceScale() != 1 {
+		t.Errorf("fully recovered island not back at full slice: failures=%d", isl.Failures())
+	}
+}
+
+func TestBackoffLadder(t *testing.T) {
+	t.Parallel()
+	s := New(Options{Enabled: true, MaxIslandRestarts: 100})
+	isl := s.Island(2)
+	takeAll := func() int {
+		n := 0
+		for isl.TakeSkip() {
+			n++
+		}
+		return n
+	}
+	if takeAll() != 0 {
+		t.Fatal("fresh island has pending backoff")
+	}
+	// 1, 2, 4, 8 rounds, then capped at 8.
+	for i, want := range []int{1, 2, 4, 8, 8, 8} {
+		isl.Fault()
+		if got := takeAll(); got != want {
+			t.Errorf("fault %d: backoff = %d rounds, want %d", i+1, got, want)
+		}
+	}
+	// Success clears any pending backoff outright.
+	isl.Fault()
+	if !isl.TakeSkip() {
+		t.Fatal("no backoff after fault")
+	}
+	isl.Success()
+	if isl.TakeSkip() {
+		t.Error("backoff survived a successful turn")
+	}
+}
+
+// TestJitterDeterministic: haircuts are a pure function of (seed, island
+// id, fault history) — and drawing SliceScale at LevelFull must not
+// consume randomness, or fault-free rounds would perturb later jitter.
+func TestJitterDeterministic(t *testing.T) {
+	t.Parallel()
+	draw := func(fullDraws int) []float64 {
+		s := New(Options{Enabled: true, Seed: 42, MaxIslandRestarts: 10})
+		isl := s.Island(3)
+		for i := 0; i < fullDraws; i++ {
+			if isl.SliceScale() != 1 {
+				t.Fatal("LevelFull scale != 1")
+			}
+		}
+		var out []float64
+		for i := 0; i < 4; i++ {
+			isl.Fault()
+			out = append(out, isl.SliceScale())
+		}
+		return out
+	}
+	a, b := draw(0), draw(50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter sequence depends on fault-free draws: %v vs %v", a, b)
+		}
+	}
+	// Different islands must not resynchronize their haircuts.
+	s := New(Options{Enabled: true, Seed: 42, MaxIslandRestarts: 10})
+	i1, i2 := s.Island(1), s.Island(2)
+	i1.Fault()
+	i2.Fault()
+	if i1.SliceScale() == i2.SliceScale() {
+		t.Error("islands 1 and 2 drew identical jitter")
+	}
+}
+
+func TestStatsMergeAndFaults(t *testing.T) {
+	t.Parallel()
+	all := SupStats{
+		Crashes: 1, Hangs: 2, WatchdogTrips: 3, Restarts: 4, BackoffSkips: 5,
+		DegradedRounds: 6, RequeuedStates: 7, QuarantinedIslands: 8,
+		QuarantinedStates: 9, FaultCheckpoints: 10, StoreFaults: 11, ProcessRestarts: 12,
+	}
+	var got SupStats
+	got.Merge(all)
+	got.Merge(all)
+	want := SupStats{
+		Crashes: 2, Hangs: 4, WatchdogTrips: 6, Restarts: 8, BackoffSkips: 10,
+		DegradedRounds: 12, RequeuedStates: 14, QuarantinedIslands: 16,
+		QuarantinedStates: 18, FaultCheckpoints: 20, StoreFaults: 22, ProcessRestarts: 24,
+	}
+	if got != want {
+		t.Fatalf("merge twice = %+v, want %+v", got, want)
+	}
+	if all.Faults() != 1+2+3 {
+		t.Errorf("Faults() = %d, want 6", all.Faults())
+	}
+}
+
+func TestDefaultsAndNilAdd(t *testing.T) {
+	t.Parallel()
+	o := New(Options{Enabled: true}).Opts()
+	if o.IslandDeadline != 30*time.Second || o.HangGrace != 30*time.Second ||
+		o.MaxIslandRestarts != 3 || o.CheckpointEvery != 1 {
+		t.Errorf("defaults = %+v", o)
+	}
+	var s *Supervisor
+	s.Add(SupStats{Crashes: 1}) // must not panic
+}

@@ -100,6 +100,14 @@ type Executor struct {
 	// factBuf is reused scratch for materialising static invariants as
 	// solver.RangeFacts (static.go).
 	factBuf []solver.RangeFact
+
+	// Supervision hooks (see internal/supervise and DESIGN.md §11).
+	// interrupted is the cooperative abort flag a watchdog raises from
+	// another goroutine; schedulers poll it between steps. concretizeOnly
+	// is only toggled between turns by whoever owns the executor, so it
+	// needs no synchronization.
+	interrupted    atomic.Bool
+	concretizeOnly bool
 }
 
 // NewExecutor returns an executor for prog with a fresh context/solver.
@@ -125,6 +133,25 @@ func NewExecutor(prog *ir.Program, opts Options) *Executor {
 
 // Clock returns the global virtual time (instructions executed).
 func (e *Executor) Clock() int64 { return e.clock }
+
+// Interrupt raises the cooperative abort flag: schedulers polling
+// Interrupted wind the current turn down at the next step boundary.
+// Safe to call from any goroutine (the supervisor's watchdog does).
+func (e *Executor) Interrupt() { e.interrupted.Store(true) }
+
+// ClearInterrupt lowers the abort flag before a new turn.
+func (e *Executor) ClearInterrupt() { e.interrupted.Store(false) }
+
+// Interrupted reports whether an abort has been requested.
+func (e *Executor) Interrupted() bool { return e.interrupted.Load() }
+
+// SetConcretizeOnly switches the executor into (or out of) degraded
+// concretize-only stepping: symbolic branches and switches stop forking
+// and instead pin their direction to a concrete model of the path —
+// the cheapest mode that still makes progress, used by the supervisor's
+// retry ladder for islands with repeated faults. Must only be toggled
+// between turns by the executor's owner.
+func (e *Executor) SetConcretizeOnly(on bool) { e.concretizeOnly = on }
 
 // NumCovered returns the number of distinct basic blocks covered.
 func (e *Executor) NumCovered() int { return e.numCovered }
@@ -453,6 +480,21 @@ func (e *Executor) execBranch(st *State, in *ir.Instr, res *StepResult) (bool, b
 	if e.concolic != nil {
 		return e.concolicBranch(st, in, cond, res)
 	}
+	if e.concretizeOnly {
+		// Degraded mode: no feasibility queries, no forking — pin the
+		// branch to its value under a concrete model of the path, exactly
+		// like the doubly-Unknown fallback below. An inconsistent pin
+		// kills the state as infeasible at a later check, never unsoundly.
+		if e.concretizeCond(st, cond) {
+			st.addConstraint(cond)
+			st.Blk = in.Targets[0]
+		} else {
+			st.addConstraint(e.Ctx.NotB(cond))
+			st.Blk = in.Targets[1]
+		}
+		st.Idx = 0
+		return false, true
+	}
 	// A statically dead edge needs no query: the pass proved no execution
 	// reaching this terminator can take it, so the solver would answer
 	// Unsat. The other side still goes through queryFeasible (where
@@ -548,6 +590,9 @@ func (e *Executor) execSwitch(st *State, in *ir.Instr, res *StepResult) (bool, b
 	if e.concolic != nil {
 		return e.concolicSwitch(st, in, v, res)
 	}
+	if e.concretizeOnly {
+		return e.concretizeSwitch(st, in, v)
+	}
 	// collect feasible (condition, target) pairs; Unknown arms are never
 	// forked into, but their presence means an empty feasible set does
 	// not prove infeasibility
@@ -628,6 +673,34 @@ func (e *Executor) execSwitch(st *State, in *ir.Instr, res *StepResult) (bool, b
 	if len(res.Added) > 0 {
 		return true, true
 	}
+	return false, true
+}
+
+// concretizeSwitch degrades a symbolic switch in concretize-only mode:
+// the switch value is evaluated under a concrete model of the path and
+// execution continues single-path into the matching arm, mirroring the
+// every-arm-Unknown fallback in execSwitch.
+func (e *Executor) concretizeSwitch(st *State, in *ir.Instr, v *expr.Expr) (bool, bool) {
+	c := e.Ctx
+	atomic.AddInt64(&e.gov.Concretizations, 1)
+	cv := e.modelEvaluator(st).Eval(v)
+	defCond := c.True()
+	target := in.Targets[len(in.Vals)]
+	var pin *expr.Expr
+	for i, val := range in.Vals {
+		eq := c.EqE(v, c.Const(val, v.Width()))
+		defCond = c.AndB(defCond, c.NotB(eq))
+		if pin == nil && cv == val {
+			pin = eq
+			target = in.Targets[i]
+		}
+	}
+	if pin == nil {
+		pin = defCond
+	}
+	st.addConstraint(pin)
+	st.Blk = target
+	st.Idx = 0
 	return false, true
 }
 
