@@ -33,6 +33,8 @@ import (
 	"math/rand"
 	"os"
 	"os/exec"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
@@ -69,7 +71,12 @@ func run() (int, error) {
 		budget   = flag.Int64("budget", 2_000_000, "virtual-time budget (instructions)")
 		rngSeed  = flag.Int64("rng", 42, "random seed (determinism)")
 		buggy    = flag.Bool("buggy-seed", false, "use the bug-triggering seed generator")
-		workers  = flag.Int("workers", 0, "phases executed simultaneously (0 = GOMAXPROCS, 1 = sequential scheduler)")
+		workers  = flag.Int("workers", 0, "worker count for the work-stealing scheduler (0 = GOMAXPROCS, 1 = round-robin scheduler)")
+		determ   = flag.Bool("deterministic", false, "use the round-barrier island scheduler: bit-identical results for any worker count, at the cost of fast-mode throughput")
+
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file at exit (sampling rate 5)")
 
 		maxConflicts  = flag.Int64("max-conflicts", 0, "solver conflict budget per query (0 = default)")
 		queryDeadline = flag.Duration("query-deadline", 0, "solver wall-clock deadline per query (0 = none)")
@@ -101,6 +108,15 @@ func run() (int, error) {
 	if *supervised && *storeDir != "" && *replayID == "" && os.Getenv(envSupervisedChild) == "" {
 		return superviseLoop(*storeDir, *maxRestarts)
 	}
+
+	// Profiling starts only here — below the re-exec dispatch — so a
+	// supervised parent and its child never race on the same profile
+	// file; the campaign-running process is the one profiled.
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile, *mutexProfile)
+	if err != nil {
+		return 1, err
+	}
+	defer stopProfiles()
 
 	var st *store.Store
 	if *storeDir != "" {
@@ -153,6 +169,7 @@ func run() (int, error) {
 
 	popts := pbse.Options{
 		Budget: *budget, Seed: *rngSeed, Workers: *workers,
+		Deterministic: *determ,
 		DisableAbsint: *noAbsint,
 		Store:         st, Resume: *resume, MaxRounds: *maxRounds, StoreLabel: *driver,
 	}
@@ -238,6 +255,52 @@ func run() (int, error) {
 		return 2, nil
 	}
 	return 0, nil
+}
+
+// startProfiles arms the requested pprof outputs and returns the stop
+// function that flushes them. CPU profiling runs for the whole campaign;
+// the heap and mutex profiles are snapshots taken at exit (the mutex
+// profile is what quantifies steal-channel and shard-lock contention in
+// the work-stealing scheduler).
+func startProfiles(cpu, mem, mutex string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	if mutex != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			if f, err := os.Create(mem); err == nil {
+				runtime.GC() // settle the heap so the snapshot reflects live data
+				_ = pprof.Lookup("heap").WriteTo(f, 0)
+				f.Close()
+			} else {
+				fmt.Fprintln(os.Stderr, "pbse: memprofile:", err)
+			}
+		}
+		if mutex != "" {
+			if f, err := os.Create(mutex); err == nil {
+				_ = pprof.Lookup("mutex").WriteTo(f, 0)
+				f.Close()
+			} else {
+				fmt.Fprintln(os.Stderr, "pbse: mutexprofile:", err)
+			}
+		}
+	}, nil
 }
 
 // superviseLoop is the self-healing re-exec supervisor: it runs this

@@ -76,12 +76,52 @@ func (k Kind) String() string {
 type Array struct {
 	Name string
 	Size int // number of bytes
+
+	// maskSeed salts the ReadMask bit positions of this array's bytes.
+	// It is a pure function of Name, so two processes (or two solver
+	// workers) building the same program assign identical bits — the
+	// property that keeps hash-sliced constraint sets, and the shared
+	// cache keys derived from them, stable across workers.
+	maskSeed uint64
 }
 
 // NewArray returns a fresh symbolic array.
 func NewArray(name string, size int) *Array {
-	return &Array{Name: name, Size: size}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return &Array{Name: name, Size: size, maskSeed: h}
 }
+
+// ReadMask is a fixed-width hash bitmask summarising an expression's
+// symbolic byte reads: each (array, byte index) pair maps to one of 1024
+// bits in W. Two expressions with disjoint masks provably share no
+// symbolic bytes; overlapping masks may be hash collisions. Consumers
+// (the solver's union slicer) only use the mask to over-approximate
+// connectivity, so collisions cost precision, never soundness. Coarse is
+// the OR of all of W's words — a one-word prefilter that rejects most
+// disjoint pairs without touching the full mask.
+type ReadMask struct {
+	W      [ReadMaskWords]uint64
+	Coarse uint64
+}
+
+// ReadMaskWords is the mask width in 64-bit words (1024 bits total).
+const ReadMaskWords = 16
+
+// ReadMask returns the node's read bitmask, or nil when the expression
+// reads no symbolic bytes (constants and constant folds). The pointer is
+// owned by the DAG and must not be modified. Masks are built eagerly at
+// hash-cons time by OR-ing the children's masks, so the amortised cost
+// is O(1) per node; nodes whose reads equal a single child's share that
+// child's mask object.
+func (e *Expr) ReadMask() *ReadMask { return e.rmask }
 
 // Expr is one immutable node of the expression DAG. Nodes are created only
 // through a Context, which hash-conses them: two structurally identical
@@ -93,7 +133,8 @@ type Expr struct {
 	arr   *Array // Read only
 	kids  [3]*Expr
 	nkids uint8
-	id    uint64 // creation order within the Context; stable sort key
+	id    uint64    // creation order within the Context; stable sort key
+	rmask *ReadMask // hash bitmask of symbolic byte reads; nil when none
 }
 
 // Kind returns the node operator.
@@ -239,6 +280,41 @@ func (c *Context) mk(k key) *Expr {
 	case k.k0 != nil:
 		e.kids = [3]*Expr{k.k0, nil, nil}
 		e.nkids = 1
+	}
+	if k.kind == Read {
+		m := new(ReadMask)
+		bit := (k.arr.maskSeed + k.val*0x9e3779b97f4a7c15) & (ReadMaskWords*64 - 1)
+		w := uint64(1) << (bit & 63)
+		m.W[bit>>6] = w
+		m.Coarse = w
+		e.rmask = m
+	} else {
+		// OR the kids' masks; when the union equals one child's mask
+		// pointer (the common chain case: one symbolic operand), share
+		// that object instead of allocating.
+		var m *ReadMask
+		owned := false
+		for i := 0; i < int(e.nkids); i++ {
+			km := e.kids[i].rmask
+			if km == nil || km == m {
+				continue
+			}
+			if m == nil {
+				m = km
+				continue
+			}
+			if !owned {
+				nm := new(ReadMask)
+				*nm = *m
+				m = nm
+				owned = true
+			}
+			for j, w := range km.W {
+				m.W[j] |= w
+			}
+			m.Coarse |= km.Coarse
+		}
+		e.rmask = m
 	}
 	c.intern[k] = e
 	return e

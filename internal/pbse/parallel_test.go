@@ -160,7 +160,7 @@ func TestParallelDeterminism(t *testing.T) {
 
 			run := func(workers int) *Result {
 				res, err := Run(prog, seed,
-					Options{Budget: 4_000_000, Seed: 5, Workers: workers},
+					Options{Budget: 4_000_000, Seed: 5, Workers: workers, Deterministic: true},
 					symex.Options{InputSize: len(seed)})
 				if err != nil {
 					t.Fatal(err)

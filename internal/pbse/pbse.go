@@ -61,15 +61,26 @@ type Options struct {
 	DisableAbsint bool
 	// Seed drives in-phase state selection.
 	Seed int64
-	// Workers is the number of phases executed simultaneously. Default
-	// (0) is runtime.GOMAXPROCS(0). With Workers <= 1 (or Sequential set,
-	// or fewer than two populated phases) the original single-goroutine
-	// round-robin runs, bit-for-bit identical to previous releases; with
-	// Workers > 1 phases run as isolated islands under the round-barrier
-	// scheduler (see parallel.go and DESIGN.md §8), whose results are
-	// deterministic in opts.Seed but use per-phase rather than global
-	// virtual-time interleaving.
+	// Workers is the number of scheduler workers. Default (0) is
+	// runtime.GOMAXPROCS(0). With Workers <= 1 (or Sequential set) the
+	// original single-goroutine round-robin runs, bit-for-bit identical
+	// to previous releases. With Workers > 1 the default is the
+	// work-stealing fast mode (worksteal.go, DESIGN.md §12): every
+	// phase's frontier is sharded across all workers, coverage and
+	// solver verdicts publish asynchronously, and sibling solver queries
+	// are batched — highest throughput, but results depend on goroutine
+	// interleaving. Set Deterministic for the reproducible island
+	// scheduler instead.
 	Workers int
+	// Deterministic selects the round-barrier island scheduler for
+	// Workers > 1 (parallel.go, DESIGN.md §8): phases run as isolated
+	// islands, cross-island observation is deferred to round barriers,
+	// and the run's coverage, bugs, and GovStats are a pure function of
+	// Seed regardless of worker count or goroutine interleaving — at the
+	// cost of capping useful workers at the populated-phase count and
+	// idling workers at every barrier. Part of the store options
+	// signature: a campaign must be resumed in the mode that started it.
+	Deterministic bool
 	// Store, when non-nil, persists the campaign: a checkpoint at every
 	// scheduler round barrier, the cross-run solver verdict cache, and
 	// the bug-reproducer corpus (see internal/store and DESIGN.md §9). A
@@ -269,6 +280,17 @@ func Run(prog *ir.Program, seed []byte, opts Options, exOpts symex.Options) (*Re
 		}
 	}
 
+	// A run headed for the work-stealing scheduler gets batched sibling
+	// dispatch on the main executor too, so the serial concolic stage
+	// shares the fast pipeline (one slice per terminator, witness solves
+	// memoised per site) instead of paying the legacy per-query slicing.
+	// W=1, Sequential, and Deterministic runs keep the legacy pipeline
+	// untouched — that is the baseline the determinism contract pins.
+	if fastWorkers := opts.Workers; !opts.Sequential && !opts.Deterministic &&
+		(fastWorkers > 1 || fastWorkers == 0 && runtime.GOMAXPROCS(0) > 1) {
+		exOpts.BatchSiblings = true
+	}
+
 	ex := symex.NewExecutor(prog, exOpts)
 	res := &Result{Executor: ex}
 
@@ -331,14 +353,21 @@ func Run(prog *ir.Program, seed []byte, opts Options, exOpts symex.Options) (*Re
 	switch {
 	case opts.Sequential:
 		runSequential(ex, pools, opts, rng, res, camp, src, 0)
-	case workers <= 1 || populated < 2:
+	case workers <= 1 || (opts.Deterministic && populated < 2) || populated < 1:
 		runRoundRobin(ex, pools, opts, rng, res, camp, src, nil, 0, sv)
-	default:
+	case opts.Deterministic:
+		// Round-barrier islands: one phase per island, so more workers
+		// than populated phases cannot help.
 		if workers > populated {
 			workers = populated
 		}
 		res.Workers = workers
 		runParallel(prog, ex, pools, seedBytes, workers, opts, exOpts, res, camp, nil, sv)
+	default:
+		// Work-stealing fast mode: frontiers are sharded across all
+		// workers (intra-phase parallelism), so no phase-count cap.
+		res.Workers = workers
+		runWorkSteal(prog, ex, pools, seedBytes, workers, opts, exOpts, res, camp, nil, sv)
 	}
 
 	return finishRun(ex, res, camp, con, div, pools, sv)

@@ -35,6 +35,7 @@ const (
 	modeRoundRobin = "roundrobin"
 	modeSequential = "sequential"
 	modeParallel   = "parallel"
+	modeWorkSteal  = "worksteal"
 )
 
 // countedSource wraps the deterministic rand source with a draw counter,
@@ -341,6 +342,116 @@ func (c *campaign) barrierParallel(nextRound int64, isles, live []*island,
 	c.persist(ck)
 }
 
+// barrierWorkSteal checkpoints the work-stealing scheduler at a
+// rendezvous: every active worker is parked (or exited), so all their
+// executors are quiescent. One state section per worker still holding
+// states, with a list per populated phase shard; states are re-dealt on
+// resume, so no per-worker clocks or rng positions are recorded — the
+// workers' total virtual time rides in DeadClock and the coverage
+// board's position in Epoch (checkpoint format v3). Abandoned workers
+// are excluded: their executors may still be racing a runaway turn.
+func (c *campaign) barrierWorkSteal(sh *wsShared) {
+	if !c.enabled() {
+		return
+	}
+	ck := c.base(modeWorkSteal)
+	ck.NextTurn = sh.rounds
+	ck.DeadClock = sh.vtime() - c.ex.Clock()
+	ck.Epoch = sh.board.epoch.Load()
+	ck.Covered = sh.board.snapshot()
+
+	col := bugs.NewCollector()
+	for _, r := range c.ex.Bugs.Reports() {
+		col.Add(r)
+	}
+	gov := c.carryGov
+	gov.Merge(c.ex.Gov())
+	sol := c.carrySolver
+	sol.Accum(c.ex.Solver.Stats())
+	ck.Quarantine = append([]symex.QuarantineRecord(nil), c.ex.QuarantineRecords()...)
+
+	// The main executor's PhaseStats miss the workers' scratch counters
+	// (they merge into the pools only when the run ends); fold them in
+	// here so the checkpointed stats match what a finished run reports.
+	ck.PhaseStats = ck.PhaseStats[:0]
+	merged := make([]PhaseStat, len(c.pools))
+	for i, p := range c.pools {
+		merged[i] = p.stat
+	}
+	ws := make([]WorkerStat, 0, len(sh.workers))
+	liveID := make(map[int]bool)
+	var maxNextID int
+	for _, w := range sh.workers {
+		if w.abandoned.Load() {
+			continue
+		}
+		ws = append(ws, w.stats)
+		for _, r := range w.ex.Bugs.Reports() {
+			col.Add(r)
+		}
+		gov.Merge(w.ex.Gov())
+		sol.Accum(w.ex.Solver.Stats())
+		ck.Quarantine = append(ck.Quarantine, w.ex.QuarantineRecords()...)
+		if n := w.ex.NextStateID(); n > maxNextID {
+			maxNextID = n
+		}
+		for pi := range merged {
+			s := w.pstats[pi]
+			merged[pi].Steps += s.Steps
+			merged[pi].Turns += s.Turns
+			merged[pi].NewBlocks += s.NewBlocks
+			merged[pi].Bugs += s.Bugs
+			merged[pi].Quarantines += s.Quarantines
+		}
+	}
+	for _, s := range merged {
+		ck.PhaseStats = append(ck.PhaseStats, store.PhaseStat{
+			ID: s.ID, Trap: s.Trap, SeedStates: s.SeedStates, Steps: s.Steps,
+			Turns: s.Turns, NewBlocks: s.NewBlocks, Bugs: s.Bugs, Quarantines: s.Quarantines,
+		})
+	}
+	if maxNextID > ck.NextStateID {
+		ck.NextStateID = maxNextID
+	}
+	ck.Bugs = col.Reports()
+	ck.CarryGov = gov
+	ck.CarrySolver = sol
+	ck.CarryWorkers = mergeWorkerCarry(c.carryWorkers, ws)
+	ck.CarrySup = c.supTotal()
+
+	for _, w := range sh.workers {
+		if w.abandoned.Load() {
+			continue
+		}
+		var sec store.StateSection
+		for pi := range w.fronts {
+			var l store.StateList
+			for _, s := range w.fronts[pi].states {
+				if s.Terminated() {
+					continue
+				}
+				l.States = append(l.States, w.ex.Snapshot(s))
+			}
+			if len(l.States) == 0 {
+				continue
+			}
+			l.PhaseID = c.pools[pi].info.ID
+			l.NextStateID = w.ex.NextStateID()
+			sec.Lists = append(sec.Lists, l)
+			liveID[l.PhaseID] = true
+		}
+		if len(sec.Lists) > 0 {
+			ck.Sections = append(ck.Sections, sec)
+		}
+	}
+	for _, p := range c.pools {
+		if liveID[p.info.ID] {
+			ck.LiveIDs = append(ck.LiveIDs, p.info.ID)
+		}
+	}
+	c.persist(ck)
+}
+
 // mergeWorkerStats folds the checkpointed per-worker carry into this
 // process's counters for Result.WorkerStats (worker counts may differ
 // across processes; indices are matched where present).
@@ -412,17 +523,21 @@ func programSig(prog *ir.Program) string {
 }
 
 // optionsSig captures every option that shapes the campaign trajectory.
-// Workers and MaxRounds are deliberately absent: worker count does not
-// change results (DESIGN.md §8), and MaxRounds only decides where this
-// process stops. Supervise is absent too — fault-free supervision is
-// inert (DESIGN.md §11), so a supervised process may resume an
-// unsupervised store and vice versa. ConcolicInterval is the
-// user-specified value (0 when derived from the dry run, which is
-// itself deterministic).
+// Workers and MaxRounds are deliberately absent: within one scheduling
+// mode the worker count does not change results (DESIGN.md §8), and
+// MaxRounds only decides where this process stops. Supervise is absent
+// too — fault-free supervision is inert (DESIGN.md §11), so a
+// supervised process may resume an unsupervised store and vice versa.
+// Deterministic IS part of the signature: the two scheduler families
+// take different trajectories and write different checkpoint modes, so
+// a fast-mode store must not be resumed deterministically or vice
+// versa. ConcolicInterval is the user-specified value (0 when derived
+// from the dry run, which is itself deterministic).
 func optionsSig(opts Options) string {
-	return fmt.Sprintf("budget=%d tp=%d ci=%d dedup=%t seq=%t trap=%t nohints=%t noabs=%t seed=%d",
+	return fmt.Sprintf("budget=%d tp=%d ci=%d dedup=%t seq=%t trap=%t nohints=%t noabs=%t seed=%d det=%t",
 		opts.Budget, opts.TimePeriod, opts.ConcolicInterval, opts.DisableDedup,
-		opts.Sequential, opts.TrapOnly, opts.DisableStaticHints, opts.DisableAbsint, opts.Seed)
+		opts.Sequential, opts.TrapOnly, opts.DisableStaticHints, opts.DisableAbsint, opts.Seed,
+		opts.Deterministic)
 }
 
 // inputResolver maps the checkpoint's serialised arrays onto ex's input
@@ -517,6 +632,47 @@ func resumeRun(prog *ir.Program, seedBytes []byte, opts Options, exOpts symex.Op
 	camp.wire(ex, res, con, ck.Division, pools)
 
 	switch ck.Mode {
+	case modeWorkSteal:
+		// Work-stealing checkpoints are re-dealt, not rebuilt: decode
+		// every worker section's states into the main executor, group
+		// them by phase, and let runWorkSteal shard them across this
+		// process's workers from scratch. No bit-identity is promised
+		// across the kill (fast mode never promises it); coverage, the
+		// bug ledger, and carry counters continue exactly.
+		maxNext := ck.NextStateID
+		for i := 0; i < cf.NumSections(); i++ {
+			lists, err := cf.DecodeSection(i, ex.Ctx, inputResolver(ex))
+			if err != nil {
+				return nil, err
+			}
+			for _, l := range lists {
+				p := byID[l.PhaseID]
+				if p == nil {
+					return nil, fmt.Errorf("pbse: resume: checkpoint references unknown phase %d", l.PhaseID)
+				}
+				for _, snap := range l.States {
+					st, err := ex.RestoreState(snap)
+					if err != nil {
+						return nil, err
+					}
+					p.states = append(p.states, st)
+				}
+				if l.NextStateID > maxNext {
+					maxNext = l.NextStateID
+				}
+			}
+		}
+		ex.SetStateIDBase(maxNext)
+		workers := opts.Workers
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		res.Workers = workers
+		rp := &wsResume{deadClock: ck.DeadClock, epoch: ck.Epoch, rounds: ck.NextTurn}
+		runWorkSteal(prog, ex, pools, seedBytes, workers, opts, exOpts, res, camp, rp, sv)
 	case modeParallel:
 		rp, workers, err := rebuildIslands(prog, cf, ck, byID, seedBytes, opts, exOpts, camp)
 		if err != nil {

@@ -75,7 +75,7 @@ func TestResumeDeterminism(t *testing.T) {
 				t.Fatal(err)
 			}
 			full := runStored(t, tc.driver, tc.budget, Options{
-				Workers: tc.workers, Store: stFull, StoreLabel: tc.driver,
+				Workers: tc.workers, Store: stFull, StoreLabel: tc.driver, Deterministic: true,
 			})
 			if full.Interrupted {
 				t.Fatal("uninterrupted run reported Interrupted")
@@ -93,7 +93,7 @@ func TestResumeDeterminism(t *testing.T) {
 				t.Fatal(err)
 			}
 			killed := runStored(t, tc.driver, tc.budget, Options{
-				Workers: tc.workers, Store: stKill, StoreLabel: tc.driver, MaxRounds: 1,
+				Workers: tc.workers, Store: stKill, StoreLabel: tc.driver, MaxRounds: 1, Deterministic: true,
 			})
 			if !killed.Interrupted {
 				t.Fatal("MaxRounds=1 run not marked Interrupted")
@@ -108,7 +108,7 @@ func TestResumeDeterminism(t *testing.T) {
 				t.Fatal(err)
 			}
 			resumed := runStored(t, tc.driver, tc.budget, Options{
-				Workers: tc.workers, Store: stRes, StoreLabel: tc.driver, Resume: true,
+				Workers: tc.workers, Store: stRes, StoreLabel: tc.driver, Resume: true, Deterministic: true,
 			})
 			if !resumed.Resumed {
 				t.Fatal("resume run did not report Resumed")

@@ -34,7 +34,7 @@ func runPhasedSupervised(t *testing.T, workers int, so *supervise.Options, inj *
 	// TimePeriod (Budget/50) explores it in one giant turn per phase. A
 	// tiny explicit period forces ~25 escalating rounds instead, giving
 	// the per-turn supervision hooks a real workout.
-	res, err := Run(prog, seed, Options{Budget: 4_000_000, Seed: 5, Workers: workers, TimePeriod: 100, Supervise: so},
+	res, err := Run(prog, seed, Options{Budget: 4_000_000, Seed: 5, Workers: workers, TimePeriod: 100, Supervise: so, Deterministic: true},
 		symex.Options{InputSize: len(seed), FaultInjector: inj})
 	if err != nil {
 		t.Fatal(err)
@@ -165,7 +165,7 @@ func TestSupervisedKillResume(t *testing.T) {
 				t.Fatal(err)
 			}
 			full := runStored(t, "readelf", killBudget, Options{
-				Workers: workers, Store: stFull, StoreLabel: "readelf",
+				Workers: workers, Store: stFull, StoreLabel: "readelf", Deterministic: true,
 			})
 			if full.Interrupted {
 				t.Fatal("reference run reported Interrupted")
@@ -194,7 +194,7 @@ func TestSupervisedKillResume(t *testing.T) {
 			}
 			resumed := runStored(t, "readelf", killBudget, Options{
 				Workers: workers, Store: stRes, StoreLabel: "readelf", Resume: true,
-				Supervise: &supervise.Options{Enabled: true},
+				Supervise: &supervise.Options{Enabled: true}, Deterministic: true,
 			})
 			if !resumed.Resumed {
 				t.Fatal("resume run did not report Resumed")
@@ -247,7 +247,7 @@ func TestSupervisedKillVictim(t *testing.T) {
 	inj := faultinject.New(7, faultinject.Options{KillRound: 2})
 	_, err = Run(prog, seed, Options{
 		Budget: killBudget, Workers: workers, Store: st, StoreLabel: "readelf",
-		Supervise: &supervise.Options{Enabled: true},
+		Supervise: &supervise.Options{Enabled: true}, Deterministic: true,
 	}, symex.Options{InputSize: len(seed), FaultInjector: inj})
 	t.Fatalf("survived kill-round=2 (err=%v) — campaign ran fewer than 2 rounds?", err)
 }

@@ -1,0 +1,176 @@
+package pbse
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pbse/internal/faultinject"
+	"pbse/internal/store"
+	"pbse/internal/supervise"
+	"pbse/internal/symex"
+)
+
+// Tests for the work-stealing fast scheduler. The deterministic-mode
+// identity gate lives in TestParallelDeterminism (parallel_test.go);
+// here we pin the fast mode's weaker but still load-bearing contract:
+// whatever order states are stolen and stepped in, no state and no
+// coverage may be lost.
+
+// stealSeeds exercises distinct path mixes through phasedIR so a
+// scheduling bug that only bites on a particular frontier shape still
+// has a chance to fire.
+var stealSeeds = [][]byte{
+	{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0, 0, 0, 0, 0, 0, 0, 0},
+	{0xff, 0xfe, 0xfd, 0xfc, 0xfb, 0xfa, 0xf9, 0xf8, 0, 0, 0, 0, 0, 0, 0, 0},
+}
+
+// TestStealOrderIndependence is the fast-mode scheduling gate on the
+// purpose-built phased program: the 4M budget fully exhausts the 256-path
+// frontier, so any worker count must reach at least the W=1 block set and
+// bug sites — states may be stepped in any interleaving and migrate
+// between workers, but none may vanish. (Bit-identical equality is the
+// deterministic mode's contract, checked by TestParallelDeterminism.)
+func TestStealOrderIndependence(t *testing.T) {
+	for si, seed := range stealSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", si), func(t *testing.T) {
+			t.Parallel()
+			prog := parsePhased(t)
+			run := func(workers int) *Result {
+				res, err := Run(prog, seed,
+					Options{Budget: 4_000_000, Seed: 5, Workers: workers},
+					symex.Options{InputSize: len(seed)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+
+			base := run(1)
+			baseBlocks, baseSites := coverageAndBugs(base)
+			baseSet := make(map[int]bool, len(baseBlocks))
+			for _, b := range baseBlocks {
+				baseSet[b] = true
+			}
+
+			for _, w := range []int{2, 8} {
+				res := run(w)
+				if res.Workers != w {
+					t.Fatalf("fast mode capped workers: got %d want %d", res.Workers, w)
+				}
+				blocks, sites := coverageAndBugs(res)
+				missing := 0
+				got := make(map[int]bool, len(blocks))
+				for _, b := range blocks {
+					got[b] = true
+				}
+				for b := range baseSet {
+					if !got[b] {
+						missing++
+					}
+				}
+				if missing > 0 {
+					t.Errorf("W=%d lost %d of %d W=1 blocks (covered %d)",
+						w, missing, len(baseBlocks), len(blocks))
+				}
+				siteSet := make(map[string]bool, len(sites))
+				for _, s := range sites {
+					siteSet[s] = true
+				}
+				for _, s := range baseSites {
+					if !siteSet[s] {
+						t.Errorf("W=%d missed W=1 bug site %q", w, s)
+					}
+				}
+				var steps int64
+				for _, ws := range res.WorkerStats {
+					steps += ws.Steps
+				}
+				if len(res.WorkerStats) != w || steps == 0 {
+					t.Errorf("W=%d worker stats empty: %+v", w, res.WorkerStats)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkStealSupervisedChaos pins supervision on the fast scheduler:
+// per-worker crash injection must be contained (not kill the run), be
+// counted in SupStats, and still leave real coverage behind.
+func TestWorkStealSupervisedChaos(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
+	prog := parsePhased(t)
+	seed := stealSeeds[0]
+	inj := faultinject.New(23, faultinject.Options{
+		IslandCrashRate: 0.1,
+		IslandHangRate:  0.05,
+		IslandHangDelay: 250 * time.Millisecond,
+	})
+	res, err := Run(prog, seed, Options{
+		Budget: 4_000_000, Seed: 5, Workers: 4, TimePeriod: 100,
+		Supervise: &supervise.Options{
+			Enabled:           true,
+			IslandDeadline:    50 * time.Millisecond,
+			HangGrace:         50 * time.Millisecond,
+			MaxIslandRestarts: 50,
+		},
+	}, symex.Options{InputSize: len(seed), FaultInjector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Supervised {
+		t.Fatal("run not marked Supervised")
+	}
+	if res.Covered == 0 {
+		t.Fatal("chaos run covered nothing")
+	}
+	if res.Sup.Faults() == 0 {
+		t.Fatalf("injected faults fired none: %+v", res.Sup)
+	}
+}
+
+// TestWorkStealSaveResume pins checkpoint/resume on the fast scheduler:
+// a MaxRounds=1 run leaves a rendezvous checkpoint behind, and resuming
+// it completes the campaign with at least the interrupted coverage.
+// (Bit-identity with the uninterrupted run is deliberately NOT claimed —
+// that is the deterministic mode's contract, see TestResumeDeterminism.)
+func TestWorkStealSaveResume(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := runStored(t, "readelf", readelfBudget, Options{
+		Workers: 4, Store: st, StoreLabel: "readelf", MaxRounds: 1,
+	})
+	if !killed.Interrupted {
+		t.Fatal("MaxRounds=1 worksteal run not marked Interrupted")
+	}
+	if m, _ := st.ReadManifest(); m == nil || m.Status != store.StatusRunning {
+		t.Fatalf("interrupted manifest = %+v (want running)", m)
+	}
+
+	stRes, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := runStored(t, "readelf", readelfBudget, Options{
+		Workers: 4, Store: stRes, StoreLabel: "readelf", Resume: true,
+	})
+	if !resumed.Resumed {
+		t.Fatal("resume run did not report Resumed")
+	}
+	if resumed.Interrupted {
+		t.Fatal("resumed run did not complete")
+	}
+	if resumed.Covered < killed.Covered {
+		t.Fatalf("resume lost coverage: %d < %d at interrupt", resumed.Covered, killed.Covered)
+	}
+	if m, _ := stRes.ReadManifest(); m == nil || m.Status != store.StatusComplete {
+		t.Fatalf("resumed manifest = %+v (want complete)", m)
+	}
+}

@@ -273,3 +273,21 @@ func (d *Division) PhaseOfTime(bbvs []concolic.BBV, t int64) int {
 	}
 	return -1
 }
+
+// Shard deals n items round-robin across w shards (shard j gets items
+// j, j+w, j+2w, ...), returning the item indices of each shard. The
+// work-stealing scheduler uses it to split every phase's seed-state
+// frontier across all workers — intra-phase parallelism, where the
+// round-barrier scheduler assigned whole phases — so each worker starts
+// with a representative cross-section of every phase. The deal is
+// deterministic in (n, w).
+func Shard(n, w int) [][]int {
+	if w < 1 {
+		w = 1
+	}
+	out := make([][]int, w)
+	for i := 0; i < n; i++ {
+		out[i%w] = append(out[i%w], i)
+	}
+	return out
+}

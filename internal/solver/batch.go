@@ -1,0 +1,347 @@
+package solver
+
+import (
+	"time"
+
+	"pbse/internal/expr"
+)
+
+// Batched sibling dispatch (DESIGN.md §12). A branch or switch
+// terminator asks one feasibility question per successor edge, and all
+// of those questions share the same path-constraint slice: cond and
+// ¬cond read the same symbolic bytes, and every switch arm reads the
+// scrutinee's. The classic pipeline answers them one Feasible call at a
+// time, re-blasting the shared slice for every sibling that falls
+// through to the SAT core. FeasibleBatch instead runs the cheap
+// pipeline (caches, candidates, intervals) per sibling and then blasts
+// the shared slice ONCE into a single fresh SAT instance, deciding each
+// leftover sibling under an assumption literal — the same mechanism
+// satCheckIncremental uses against the persistent instance, so the
+// soundness argument is identical: Tseitin gates are biconditional, an
+// unasserted sibling leaves the formula unconstrained.
+//
+// Soundness of the shared slice: each sibling's own relevant slice is a
+// subset of the union slice, and the extra constraints the union pulls
+// in share no symbolic bytes with that sibling's closure (or they would
+// be in it). Those extras are a subset of pc, and pc is satisfiable on
+// a live state, so conjoining them can never flip a Sat sibling to
+// Unsat — union ∧ cond is equisatisfiable with slice ∧ cond.
+
+// BatchVerdict is one sibling's outcome: the verdict plus, on Unknown,
+// the cause (ErrBudgetExhausted, ErrDeadlineExceeded, ErrInjected, or
+// an *InternalError) — the same error surface as Feasible.
+type BatchVerdict struct {
+	Res Result
+	Err error
+}
+
+// batchPending is a sibling that survived the cheap pipeline and needs
+// the SAT core.
+type batchPending struct {
+	idx  int // index into the caller's conds slice
+	cond *expr.Expr
+	key  string // local-cache key of the reduced constraint set
+	skey uint64 // shared-cache fingerprint of the reduced set
+}
+
+// FeasibleBatch decides pc ∧ conds[i] for every sibling condition at
+// once. Verdict semantics per sibling match Feasible with verdictOnly
+// queries (models are extracted only to feed the candidate caches).
+// Every sibling is counted as a query; Stats.Batches counts the shared
+// SAT instances and Stats.BatchedQueries the siblings decided on one.
+func (s *Solver) FeasibleBatch(pc []*expr.Expr, conds []*expr.Expr, hint expr.Assignment) []BatchVerdict {
+	return s.FeasibleBatchSliced(s.relevantSliceMulti(pc, conds), conds, hint)
+}
+
+// SliceMulti returns the union relevant slice for a terminator's sibling
+// conditions: the constraints of pc transitively connected to any cond
+// through shared symbolic bytes. The batched executor path computes it
+// once per terminator and reuses it for the static precheck
+// (PreCheckSliced) and the SAT dispatch (FeasibleBatchSliced), instead
+// of re-slicing the path for every sibling of every stage.
+func (s *Solver) SliceMulti(pc []*expr.Expr, conds []*expr.Expr) []*expr.Expr {
+	return s.relevantSliceMulti(pc, conds)
+}
+
+// FeasibleBatchSliced is FeasibleBatch with the union slice already
+// computed by the caller (via SliceMulti, possibly over a superset of
+// conds — a superset union slice is still a subset of pc, so the
+// equisatisfiability argument above is unchanged).
+func (s *Solver) FeasibleBatchSliced(slice []*expr.Expr, conds []*expr.Expr, hint expr.Assignment) []BatchVerdict {
+	out := make([]BatchVerdict, len(conds))
+	var pending []batchPending
+	cs := make([]*expr.Expr, len(slice)+1)
+	for i, cond := range conds {
+		if cond.IsTrue() {
+			out[i] = BatchVerdict{Res: Sat}
+			continue
+		}
+		if cond.IsFalse() {
+			out[i] = BatchVerdict{Res: Unsat}
+			continue
+		}
+		copy(cs, slice)
+		cs[len(slice)] = cond
+		r, p, err := s.checkFast(cs, hint)
+		if p == nil {
+			out[i] = BatchVerdict{Res: r, Err: err}
+			continue
+		}
+		p.idx = i
+		p.cond = cond
+		pending = append(pending, *p)
+	}
+	if len(pending) == 0 {
+		return out
+	}
+	if len(pending) > 1 {
+		s.stats.Batches++
+		s.stats.BatchedQueries += int64(len(pending))
+	}
+	s.batchSAT(slice, pending, out)
+	return out
+}
+
+// The union slicer runs on every terminator and every bounds check of
+// the batched pipeline, so it trades the exact SymByte set computation
+// of relevantSlice for the expression DAG's hash bitmasks
+// (expr.ReadMask): each symbolic byte maps to one of 1024 bits, every
+// node carries the OR of its reads' bits (built at hash-cons time), and
+// the transitive-closure fixpoint reduces to word-wide AND/OR sweeps —
+// no per-call read-set walks or memo probes at all. Hash collisions only
+// ever ADD constraints to the slice, and a superset slice is sound
+// everywhere the batch path uses it (see the equisatisfiability argument
+// above and PreCheckSliced): precision is a performance knob here, never
+// a correctness one. Bit assignment is a pure function of array name and
+// byte index, so sibling workers slice identically and the shared-cache
+// keys they derive from the slices keep colliding (that is what makes
+// cross-worker verdict reuse work).
+
+// relevantSliceMulti is relevantSlice seeded with the union of every
+// sibling's reads: the constraints of pc transitively connected to any
+// of the conds through shared symbolic bytes (conservatively, modulo
+// mask collisions — see above).
+func (s *Solver) relevantSliceMulti(pc []*expr.Expr, conds []*expr.Expr) []*expr.Expr {
+	var want expr.ReadMask
+	for _, cond := range conds {
+		if m := cond.ReadMask(); m != nil {
+			for i, w := range m.W {
+				want.W[i] |= w
+			}
+			want.Coarse |= m.Coarse
+		}
+	}
+	if want.Coarse == 0 {
+		return nil
+	}
+	// one pointer read per constraint; the fixpoint sweeps below are pure
+	// word arithmetic. Scratch is solver-owned and reused across calls —
+	// this runs on every terminator, so per-call allocation is real GC
+	// pressure.
+	if cap(s.maskScratch) < len(pc) {
+		s.maskScratch = make([]*expr.ReadMask, len(pc)*2)
+		s.pickScratch = make([]bool, len(pc)*2)
+	}
+	masks := s.maskScratch[:len(pc)]
+	picked := s.pickScratch[:len(pc)]
+	for i, c := range pc {
+		masks[i] = c.ReadMask()
+		// a read-free constraint is constant and can never join a slice
+		picked[i] = masks[i] == nil
+	}
+	// The fixpoint scans newest-first: path constraints grow
+	// chronologically and a sibling condition usually connects to recent
+	// constraints, which connect to older ones — a backward chain that one
+	// descending pass absorbs whole, where an ascending pass needs one
+	// round per link. The Coarse prefilter (one AND) rejects most
+	// disjoint constraints without touching the 16-word masks.
+	n := 0
+	for changed := true; changed; {
+		changed = false
+		for i := len(pc) - 1; i >= 0; i-- {
+			if picked[i] {
+				continue
+			}
+			m := masks[i]
+			if m.Coarse&want.Coarse == 0 {
+				continue
+			}
+			hit := false
+			for j, w := range m.W {
+				if w&want.W[j] != 0 {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			picked[i] = true
+			n++
+			want.Coarse |= m.Coarse
+			for j, w := range m.W {
+				if w&^want.W[j] != 0 {
+					want.W[j] |= w
+					changed = true
+				}
+			}
+		}
+	}
+	// emit in pc order, the order every worker derives cache keys from
+	out := make([]*expr.Expr, 0, n)
+	for i, c := range pc {
+		if picked[i] && masks[i] != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// checkFast runs check's cheap pipeline — injector, trivial scan, bound
+// reduction, local cache, shared cache (verdict-only), candidates,
+// intervals — and stops before SAT dispatch. A nil *batchPending means
+// the query was decided (or injected-Unknown) right here; otherwise the
+// returned pending carries the cache keys the SAT stage must publish
+// under. Counter updates mirror check exactly, so a batched worker's
+// stats stay comparable with a classic one's.
+func (s *Solver) checkFast(constraints []*expr.Expr, hint expr.Assignment) (Result, *batchPending, error) {
+	s.stats.Queries++
+
+	if inj := s.opts.Injector; inj != nil {
+		if inj.SolverUnknown() {
+			s.stats.Unknowns++
+			s.stats.InjectedUnknowns++
+			return Unknown, nil, ErrInjected
+		}
+		if d, ok := inj.SolverSlow(); ok {
+			time.Sleep(d)
+		}
+	}
+
+	live := make([]*expr.Expr, 0, len(constraints))
+	for _, c := range constraints {
+		if c.IsTrue() {
+			continue
+		}
+		if c.IsFalse() {
+			return Unsat, nil, nil
+		}
+		live = append(live, c)
+	}
+	if len(live) == 0 {
+		return Sat, nil, nil
+	}
+	live = reduceBounds(live)
+
+	key := ""
+	if !s.opts.DisableCache {
+		key = cacheKey(live)
+		if e, ok := s.cache[key]; ok {
+			s.stats.CacheHits++
+			return e.result, nil, nil
+		}
+	}
+
+	skey := uint64(0)
+	if s.opts.Shared != nil {
+		skey = s.sharedKey(live)
+		// batched siblings are always verdict-only queries, so a shared
+		// Sat is honoured too (unlike model-bearing Check calls)
+		if r, ok := s.opts.Shared.Get(skey); ok {
+			s.stats.SharedHits++
+			if r == Unsat {
+				s.remember(key, Unsat, nil)
+			}
+			return r, nil, nil
+		}
+	}
+
+	if !s.opts.DisableCandidates {
+		if m, ok := s.tryCandidates(live, hint); ok {
+			s.stats.CandidateSat++
+			s.remember(key, Sat, m)
+			if s.opts.Shared != nil {
+				s.opts.Shared.Put(skey, Sat)
+			}
+			return Sat, nil, nil
+		}
+	}
+
+	if !s.opts.DisableIntervals {
+		if r := intervalCheck(live); r == Unsat {
+			s.stats.IntervalFast++
+			s.remember(key, Unsat, nil)
+			if s.opts.Shared != nil {
+				s.opts.Shared.Put(skey, Unsat)
+			}
+			return Unsat, nil, nil
+		}
+	}
+
+	return Unknown, &batchPending{key: key, skey: skey}, nil
+}
+
+// batchSAT decides the pending siblings on one fresh SAT instance: the
+// shared slice is asserted true and blasted once, then each sibling's
+// condition becomes an assumption literal for its own bounded solve. A
+// recovered internal invariant violation degrades the current and all
+// remaining siblings to Unknown, mirroring the per-query recover
+// boundary of satCheck.
+func (s *Solver) batchSAT(slice []*expr.Expr, pending []batchPending, out []BatchVerdict) {
+	if s.opts.QueryDeadline > 0 {
+		s.queryDeadline = time.Now().Add(s.opts.QueryDeadline)
+	} else {
+		s.queryDeadline = time.Time{}
+	}
+	next := 0
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		ie, ok := p.(*InternalError)
+		if !ok {
+			panic(p)
+		}
+		s.stats.InternalRecovered++
+		for _, b := range pending[next:] {
+			s.stats.Unknowns++
+			out[b.idx] = BatchVerdict{Res: Unknown, Err: ie}
+		}
+	}()
+
+	st := newSAT()
+	st.deadline = s.queryDeadline
+	bl := newBlaster(st)
+	for _, c := range slice {
+		bl.assertTrue(c)
+	}
+	for ; next < len(pending); next++ {
+		b := &pending[next]
+		s.stats.SATRuns++
+		assump := bl.blast(b.cond)[0]
+		before := st.conflicts
+		verdict := st.solveWith([]Lit{assump}, s.opts.MaxConflicts)
+		s.stats.Conflicts += st.conflicts - before
+		switch verdict {
+		case lFalse:
+			s.remember(b.key, Unsat, nil)
+			if s.opts.Shared != nil {
+				s.opts.Shared.Put(b.skey, Unsat)
+			}
+			out[b.idx] = BatchVerdict{Res: Unsat}
+		case lUndef:
+			s.stats.Unknowns++
+			out[b.idx] = BatchVerdict{Res: Unknown, Err: s.undefError(st)}
+		default:
+			m := extractModel(bl)
+			st.reset()
+			s.remember(b.key, Sat, m)
+			if s.opts.Shared != nil {
+				s.opts.Shared.Put(b.skey, Sat)
+			}
+			s.keepRecent(m)
+			out[b.idx] = BatchVerdict{Res: Sat}
+		}
+	}
+}

@@ -115,7 +115,32 @@ func (s *Solver) PreCheckPC(pc []*expr.Expr, cond *expr.Expr, facts []RangeFact)
 	if len(facts) == 0 || len(pc) == 0 {
 		return Unknown
 	}
-	slice := s.relevantSlice(pc, cond)
+	return s.preCheckSliced(s.relevantSlice(pc, cond), cond, facts)
+}
+
+// PreCheckSliced is PreCheckPC with the slicing already done by the
+// caller — the batched dispatch path computes ONE union slice per
+// terminator (SliceMulti) and prechecks every sibling against it instead
+// of re-slicing the path per sibling. slice may be any subset of the
+// path constraints that contains the constraints relevant to cond (a
+// superset union slice is fine): the only verdict drawn from it is
+// Unsat, and slice AND cond AND facts unsat forces pc AND cond unsat for
+// any slice ⊆ pc. Extra sibling-only constraints can only seed more
+// bounds, never unsound ones — they too are implied by the path.
+func (s *Solver) PreCheckSliced(slice []*expr.Expr, cond *expr.Expr, facts []RangeFact) Result {
+	if r := s.PreCheck(cond, facts); r != Unknown {
+		return r
+	}
+	if len(facts) == 0 {
+		return Unknown
+	}
+	return s.preCheckSliced(slice, cond, facts)
+}
+
+// preCheckSliced runs the fact-seeded interval propagation over an
+// already computed constraint slice (see PreCheckPC for the soundness
+// argument; only Unsat may be concluded).
+func (s *Solver) preCheckSliced(slice []*expr.Expr, cond *expr.Expr, facts []RangeFact) Result {
 	if len(slice) == 0 {
 		return Unknown
 	}

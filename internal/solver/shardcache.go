@@ -9,7 +9,12 @@ import (
 // phase workers. It is lock-striped: entries are distributed over
 // numShards shards by constraint-set fingerprint, so workers probing
 // different shards never contend, and even same-shard probes share a
-// read lock on the hit path.
+// read lock on the hit path. Each shard is padded out to its own cache
+// line: the shard array is written under heavy contention from many
+// goroutines, and without padding two neighbouring shard locks share a
+// 64-byte line, so a store on one bounces the line out from under the
+// other ("false sharing") — BenchmarkShardedCacheParallel measures the
+// difference under 16 goroutines.
 //
 // Keys are structural fingerprints (expr.Fingerprint folded over the
 // constraint set), so solvers operating in different expr.Contexts hit
@@ -18,8 +23,16 @@ import (
 // so a cross-worker hit can change how fast a worker answers but not
 // what it answers; models are kept worker-local to keep each worker's
 // trajectory independent of scheduling (see DESIGN.md §8).
+//
+// Every Put is stamped with a process-wide publication sequence number
+// (the cache's logical epoch). The work-stealing scheduler publishes
+// verdicts asynchronously — there is no round barrier freezing the
+// cache — so the seq numbers are what make a run's verdict stream
+// reconstructible after the fact: sorting a trace of (key, verdict,
+// seq) by seq replays publication order exactly (DESIGN.md §12).
 type ShardedCache struct {
-	shards [numShards]cacheShard
+	shards [numShards]paddedShard
+	seq    atomic.Uint64 // publication epoch; stamped on every Put
 	hits   atomic.Int64
 	misses atomic.Int64
 	stores atomic.Int64
@@ -27,9 +40,24 @@ type ShardedCache struct {
 
 const numShards = 64
 
+// entry is one cached verdict plus the publication sequence number it
+// was stamped with.
+type entry struct {
+	r   Result
+	seq uint64
+}
+
 type cacheShard struct {
 	mu sync.RWMutex
-	m  map[uint64]Result
+	m  map[uint64]entry
+}
+
+// paddedShard pushes consecutive shards onto distinct cache lines.
+// sync.RWMutex is 24 bytes and the map header 8; pad the struct to two
+// full 64-byte lines so no two shards' hot words ever cohabit a line.
+type paddedShard struct {
+	cacheShard
+	_ [128 - 32]byte
 }
 
 // shardCap bounds one shard's entries; on overflow the shard is reset
@@ -40,13 +68,13 @@ const shardCap = 4096
 func NewShardedCache() *ShardedCache {
 	c := &ShardedCache{}
 	for i := range c.shards {
-		c.shards[i].m = make(map[uint64]Result, 64)
+		c.shards[i].m = make(map[uint64]entry, 64)
 	}
 	return c
 }
 
 func (c *ShardedCache) shard(key uint64) *cacheShard {
-	return &c.shards[key%numShards]
+	return &c.shards[key%numShards].cacheShard
 }
 
 // Get returns the cached verdict for the fingerprint, if present.
@@ -56,14 +84,14 @@ func (c *ShardedCache) Get(key uint64) (Result, bool) {
 	}
 	s := c.shard(key)
 	s.mu.RLock()
-	r, ok := s.m[key]
+	e, ok := s.m[key]
 	s.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
 		c.misses.Add(1)
 	}
-	return r, ok
+	return e.r, ok
 }
 
 // Peek returns the cached verdict without touching the hit/miss
@@ -75,25 +103,53 @@ func (c *ShardedCache) Peek(key uint64) (Result, bool) {
 	}
 	s := c.shard(key)
 	s.mu.RLock()
-	r, ok := s.m[key]
+	e, ok := s.m[key]
 	s.mu.RUnlock()
-	return r, ok
+	return e.r, ok
 }
 
-// Put records a Sat/Unsat verdict. Unknown is ignored: "gave up" is not
-// a fact about the query.
+// Entry returns the cached verdict together with its publication
+// sequence number (counters untouched). seq is 0 only for entries that
+// predate the first Put — i.e. never; a present entry always has a
+// positive seq.
+func (c *ShardedCache) Entry(key uint64) (r Result, seq uint64, ok bool) {
+	if c == nil {
+		return Unknown, 0, false
+	}
+	s := c.shard(key)
+	s.mu.RLock()
+	e, ok := s.m[key]
+	s.mu.RUnlock()
+	return e.r, e.seq, ok
+}
+
+// Put records a Sat/Unsat verdict, stamped with the next publication
+// sequence number. Unknown is ignored: "gave up" is not a fact about
+// the query. A key published twice keeps its first verdict's slot but
+// is restamped — the verdicts are necessarily equal (both are semantic
+// facts about the same query), so only the stamp moves.
 func (c *ShardedCache) Put(key uint64, r Result) {
 	if c == nil || r == Unknown {
 		return
 	}
+	seq := c.seq.Add(1)
 	s := c.shard(key)
 	s.mu.Lock()
 	if len(s.m) >= shardCap {
-		s.m = make(map[uint64]Result, 64)
+		s.m = make(map[uint64]entry, 64)
 	}
-	s.m[key] = r
+	s.m[key] = entry{r: r, seq: seq}
 	s.mu.Unlock()
 	c.stores.Add(1)
+}
+
+// Seq returns the current publication epoch: the sequence number of the
+// most recent Put (0 if nothing has been published).
+func (c *ShardedCache) Seq() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.seq.Load()
 }
 
 // ShardStats summarises cross-worker cache traffic.
@@ -115,7 +171,7 @@ func (c *ShardedCache) Stats() ShardStats {
 		Stores: c.stores.Load(),
 	}
 	for i := range c.shards {
-		s := &c.shards[i]
+		s := &c.shards[i].cacheShard
 		s.mu.RLock()
 		st.Entries += len(s.m)
 		s.mu.RUnlock()

@@ -42,6 +42,12 @@ type Stats struct {
 	SATRuns      int64 // fell through to bit-blasting + CDCL
 	Conflicts    int64
 
+	// Batched sibling dispatch (FeasibleBatch): shared SAT instances
+	// built, and sibling queries decided on one (each blasts the common
+	// path-constraint slice once instead of per query).
+	Batches        int64
+	BatchedQueries int64
+
 	// Resource-governance counters: Unknown verdicts by cause.
 	Unknowns          int64 // total Unknown verdicts returned
 	BudgetExhausted   int64 // Unknowns from the conflict budget
@@ -65,6 +71,8 @@ func (s *Stats) Accum(o Stats) {
 	s.StaticPrunes += o.StaticPrunes
 	s.SATRuns += o.SATRuns
 	s.Conflicts += o.Conflicts
+	s.Batches += o.Batches
+	s.BatchedQueries += o.BatchedQueries
 	s.Unknowns += o.Unknowns
 	s.BudgetExhausted += o.BudgetExhausted
 	s.DeadlineExceeded += o.DeadlineExceeded
@@ -143,6 +151,10 @@ type Solver struct {
 	readsMemo map[*expr.Expr][]expr.SymByte
 	// fpMemo caches structural fingerprints (shared-cache keys)
 	fpMemo map[*expr.Expr]uint64
+	// maskScratch/pickScratch are reused fixpoint buffers for the union
+	// slicer (one live call per solver; solvers are not concurrent).
+	maskScratch []*expr.ReadMask
+	pickScratch []bool
 
 	// persistent incremental SAT instance: every distinct constraint is
 	// bit-blasted once; queries are solved under assumptions (the

@@ -32,8 +32,13 @@ type Checkpoint struct {
 	NextStateID int
 	// DeadClock is the summed virtual clock of parallel islands that
 	// drained before this checkpoint — they have no section anymore but
-	// still count toward global virtual time.
+	// still count toward global virtual time. The work-stealing scheduler
+	// stores the workers' total virtual time here (its sections carry no
+	// per-worker clocks; states are re-dealt on resume).
 	DeadClock int64
+	// Epoch is the coverage board's publication epoch (work-stealing
+	// scheduler; format version 3). Zero for other modes.
+	Epoch int64
 
 	Clock      int64
 	CTime      int64
@@ -116,11 +121,13 @@ type StateList struct {
 
 // Format versions: v1 is the original layout; v2 appends the solver
 // counters added after v1 froze (StaticPrunes, PrecheckDeadlines) and
-// the supervision carry after the CarryWorkers block. Decoding accepts
-// both — a v1 checkpoint resumes with those fields zero.
+// the supervision carry after the CarryWorkers block; v3 appends the
+// work-stealing scheduler's coverage epoch and the batched-dispatch
+// solver counters. Decoding accepts all of them — an older checkpoint
+// resumes with the newer fields zero.
 const (
 	checkpointMagic   = "PBSECKP1"
-	checkpointVersion = 2
+	checkpointVersion = 3
 )
 
 // EncodeCheckpoint serialises ck. The encoding is deterministic: equal
@@ -183,6 +190,10 @@ func EncodeCheckpoint(ck *Checkpoint) ([]byte, error) {
 	w.iv(ck.CarrySolver.StaticPrunes)
 	w.iv(ck.CarrySolver.PrecheckDeadlines)
 	writeSup(w, ck.CarrySup)
+	// v3 extension block
+	w.iv(ck.Epoch)
+	w.iv(ck.CarrySolver.Batches)
+	w.iv(ck.CarrySolver.BatchedQueries)
 
 	w.uv(uint64(len(ck.PhaseStats)))
 	for _, ps := range ck.PhaseStats {
@@ -674,6 +685,17 @@ func DecodeCheckpoint(data []byte) (*CheckpointFile, error) {
 			return nil, err
 		}
 		if ck.CarrySup, err = readSup(r); err != nil {
+			return nil, err
+		}
+	}
+	if ver >= 3 {
+		if ck.Epoch, err = r.iv(); err != nil {
+			return nil, err
+		}
+		if ck.CarrySolver.Batches, err = r.iv(); err != nil {
+			return nil, err
+		}
+		if ck.CarrySolver.BatchedQueries, err = r.iv(); err != nil {
 			return nil, err
 		}
 	}

@@ -37,6 +37,22 @@ func (e *Executor) AbsorbCoverage(ids []int) {
 	}
 }
 
+// DetachState removes a live state from e's bookkeeping without
+// terminating it: the state stays fully usable as an ImportState source.
+// The work-stealing scheduler detaches stolen states on the victim
+// executor before the thief imports them, so the victim's eviction
+// sweeps and live-state counts no longer see states it will never step
+// again. Detaching an already-terminated state is a no-op.
+func (e *Executor) DetachState(st *State) {
+	if st.terminated {
+		return
+	}
+	if _, ok := e.live[st]; ok {
+		e.liveStates--
+		delete(e.live, st)
+	}
+}
+
 // ConcreteObjects evaluates every memory object of st under asn,
 // returning each object's bytes by id — the symbolic counterpart of the
 // concrete interpreter's final-memory snapshot, compared against it by

@@ -40,6 +40,14 @@ type Options struct {
 	// block's interval invariants before any SAT dispatch. The facts must
 	// come from the same finalised program this executor runs.
 	Static *analysis.AbsFacts
+	// BatchSiblings routes the sibling feasibility queries of one branch
+	// or switch terminator through solver.FeasibleBatch: the shared
+	// path-constraint slice is bit-blasted once and each sibling decided
+	// under an assumption literal. Verdicts are identical to individual
+	// queries but arrive in a different cache/publication order, so only
+	// the fast-mode work-stealing scheduler sets this — the deterministic
+	// schedulers keep the classic one-query-at-a-time stream.
+	BatchSiblings bool
 }
 
 // TermReason explains why a state terminated.
@@ -100,6 +108,14 @@ type Executor struct {
 	// factBuf is reused scratch for materialising static invariants as
 	// solver.RangeFacts (static.go).
 	factBuf []solver.RangeFact
+
+	// witnessTried records bug sites (BlockID<<32|instr index) where the
+	// batched bounds check already attempted the expensive full-path
+	// witness query. A successful attempt reports the bug (and Seen
+	// suppresses later ones); a failed one means the witness solve gave
+	// up — without this memo such a site would re-run the doomed query
+	// on every later execution of the same instruction (memory.go).
+	witnessTried map[int64]bool
 
 	// Supervision hooks (see internal/supervise and DESIGN.md §11).
 	// interrupted is the cooperative abort flag a watchdog raises from
@@ -260,7 +276,7 @@ func (e *Executor) stepBlock(st *State) StepResult {
 		// executed, so it is almost certainly feasible, and killing it
 		// would silently disable a phase.
 		st.needsValidation = false
-		if e.checkPC(st) == solver.Unsat {
+		if e.validatePC(st) == solver.Unsat {
 			e.terminate(st)
 			res.Terminated = true
 			res.Reason = TermInfeasible
@@ -505,11 +521,16 @@ func (e *Executor) execBranch(st *State, in *ir.Instr, res *StepResult) (bool, b
 	if deadTrue || deadFalse {
 		e.Solver.NoteStaticPrune()
 	}
-	if !deadTrue {
-		canTrue = e.queryFeasible(st, cond)
-	}
-	if !deadFalse {
-		canFalse = e.queryFeasible(st, e.Ctx.NotB(cond))
+	if e.opts.BatchSiblings && !deadTrue && !deadFalse {
+		vs := e.queryFeasibleBatch(st, []*expr.Expr{cond, e.Ctx.NotB(cond)})
+		canTrue, canFalse = vs[0], vs[1]
+	} else {
+		if !deadTrue {
+			canTrue = e.queryFeasible(st, cond)
+		}
+		if !deadFalse {
+			canFalse = e.queryFeasible(st, e.Ctx.NotB(cond))
+		}
 	}
 	// A live state's path constraints are satisfiable, so an Unsat answer
 	// on one side proves the other side feasible even when its own query
@@ -596,36 +617,36 @@ func (e *Executor) execSwitch(st *State, in *ir.Instr, res *StepResult) (bool, b
 	// collect feasible (condition, target) pairs; Unknown arms are never
 	// forked into, but their presence means an empty feasible set does
 	// not prove infeasibility
-	type arm struct {
-		cond   *expr.Expr
-		target *ir.Block
-	}
-	var feasible []arm
+	var feasible []switchArm
 	anyUnknown := false
 	defCond := c.True()
-	for i, val := range in.Vals {
-		eq := c.EqE(v, c.Const(val, v.Width()))
-		defCond = c.AndB(defCond, c.NotB(eq))
-		if e.opts.Static.EdgeInfeasible(st.Blk.ID, i) {
-			// statically dead arm: the solver would answer Unsat
-			e.Solver.NoteStaticPrune()
-			continue
-		}
-		switch e.queryFeasible(st, eq) {
-		case solver.Sat:
-			feasible = append(feasible, arm{cond: eq, target: in.Targets[i]})
-		case solver.Unknown:
-			anyUnknown = true
-		}
-	}
-	if e.opts.Static.EdgeInfeasible(st.Blk.ID, len(in.Vals)) {
-		e.Solver.NoteStaticPrune()
+	if e.opts.BatchSiblings {
+		feasible, anyUnknown, defCond = e.switchArmsBatched(st, in, v)
 	} else {
-		switch e.queryFeasible(st, defCond) {
-		case solver.Sat:
-			feasible = append(feasible, arm{cond: defCond, target: in.Targets[len(in.Vals)]})
-		case solver.Unknown:
-			anyUnknown = true
+		for i, val := range in.Vals {
+			eq := c.EqE(v, c.Const(val, v.Width()))
+			defCond = c.AndB(defCond, c.NotB(eq))
+			if e.opts.Static.EdgeInfeasible(st.Blk.ID, i) {
+				// statically dead arm: the solver would answer Unsat
+				e.Solver.NoteStaticPrune()
+				continue
+			}
+			switch e.queryFeasible(st, eq) {
+			case solver.Sat:
+				feasible = append(feasible, switchArm{cond: eq, target: in.Targets[i]})
+			case solver.Unknown:
+				anyUnknown = true
+			}
+		}
+		if e.opts.Static.EdgeInfeasible(st.Blk.ID, len(in.Vals)) {
+			e.Solver.NoteStaticPrune()
+		} else {
+			switch e.queryFeasible(st, defCond) {
+			case solver.Sat:
+				feasible = append(feasible, switchArm{cond: defCond, target: in.Targets[len(in.Vals)]})
+			case solver.Unknown:
+				anyUnknown = true
+			}
 		}
 	}
 	if len(feasible) == 0 {
@@ -674,6 +695,53 @@ func (e *Executor) execSwitch(st *State, in *ir.Instr, res *StepResult) (bool, b
 		return true, true
 	}
 	return false, true
+}
+
+// switchArm is one feasible (condition, target) pair of a symbolic
+// switch dispatch.
+type switchArm struct {
+	cond   *expr.Expr
+	target *ir.Block
+}
+
+// switchArmsBatched is execSwitch's arm-collection pass under
+// Options.BatchSiblings: all live arm conditions (plus the default's)
+// go through queryFeasibleBatch as one sibling set, so the shared
+// scrutinee slice is bit-blasted once instead of once per arm. The
+// returned arms, Unknown flag and default condition feed the same
+// fork/degrade logic as the classic per-arm loop.
+func (e *Executor) switchArmsBatched(st *State, in *ir.Instr, v *expr.Expr) ([]switchArm, bool, *expr.Expr) {
+	c := e.Ctx
+	conds := make([]*expr.Expr, 0, len(in.Vals)+1)
+	targets := make([]*ir.Block, 0, len(in.Vals)+1)
+	defCond := c.True()
+	for i, val := range in.Vals {
+		eq := c.EqE(v, c.Const(val, v.Width()))
+		defCond = c.AndB(defCond, c.NotB(eq))
+		if e.opts.Static.EdgeInfeasible(st.Blk.ID, i) {
+			e.Solver.NoteStaticPrune()
+			continue
+		}
+		conds = append(conds, eq)
+		targets = append(targets, in.Targets[i])
+	}
+	if e.opts.Static.EdgeInfeasible(st.Blk.ID, len(in.Vals)) {
+		e.Solver.NoteStaticPrune()
+	} else {
+		conds = append(conds, defCond)
+		targets = append(targets, in.Targets[len(in.Vals)])
+	}
+	var feasible []switchArm
+	anyUnknown := false
+	for i, r := range e.queryFeasibleBatch(st, conds) {
+		switch r {
+		case solver.Sat:
+			feasible = append(feasible, switchArm{cond: conds[i], target: targets[i]})
+		case solver.Unknown:
+			anyUnknown = true
+		}
+	}
+	return feasible, anyUnknown, defCond
 }
 
 // concretizeSwitch degrades a symbolic switch in concretize-only mode:

@@ -116,6 +116,107 @@ func (e *Executor) queryFeasible(st *State, cond *expr.Expr) solver.Result {
 	return r
 }
 
+// queryFeasibleBatch is queryFeasible over the sibling conditions of
+// one terminator (branch: cond/¬cond; switch: every live arm plus the
+// default). The path is sliced ONCE for the whole sibling set
+// (SliceMulti) and that union slice feeds both the static precheck and
+// the SAT dispatch — the unbatched pipeline re-slices the path twice
+// per sibling, which profiles as the dominant cost of deep paths.
+// Trivial and statically decided siblings are answered inline; the rest
+// go through solver.FeasibleBatchSliced, which blasts the shared slice
+// once. The Unknown policy matches queryFeasible exactly: each Unknown
+// sibling gets the governance counters and one individually escalated
+// retry.
+func (e *Executor) queryFeasibleBatch(st *State, conds []*expr.Expr) []solver.Result {
+	out := make([]solver.Result, len(conds))
+	pending := make([]*expr.Expr, 0, len(conds))
+	idx := make([]int, 0, len(conds))
+	var slice []*expr.Expr
+	sliced := false
+	ensureSlice := func() []*expr.Expr {
+		if !sliced {
+			slice = e.Solver.SliceMulti(st.PathConstraints(), conds)
+			sliced = true
+		}
+		return slice
+	}
+	for i, cond := range conds {
+		switch {
+		case cond.IsTrue():
+			out[i] = solver.Sat
+		case cond.IsFalse():
+			out[i] = solver.Unsat
+		default:
+			if e.opts.Static != nil {
+				if r := e.Solver.PreCheckSliced(ensureSlice(), cond, e.staticFacts(st)); r != solver.Unknown {
+					out[i] = r
+					continue
+				}
+			}
+			pending = append(pending, cond)
+			idx = append(idx, i)
+		}
+	}
+	if len(pending) == 0 {
+		return out
+	}
+	var hint expr.Assignment
+	if e.concolic != nil {
+		hint = e.concolic.asn
+	}
+	for j, v := range e.Solver.FeasibleBatchSliced(ensureSlice(), pending, hint) {
+		r := v.Res
+		if r == solver.Unknown {
+			atomic.AddInt64(&e.gov.SolverUnknowns, 1)
+			atomic.AddInt64(&e.gov.SolverRetries, 1)
+			prev := e.Solver.SetMaxConflicts(e.Solver.MaxConflicts() * budgetEscalation)
+			r, _ = e.Solver.Feasible(st.PathConstraints(), pending[j], hint)
+			e.Solver.SetMaxConflicts(prev)
+		}
+		out[idx[j]] = r
+	}
+	return out
+}
+
+// validatePC decides a lazily-validated seedState's feasibility. The
+// state's constraints are the concolic path's — satisfiable, the seed
+// input executed it — plus the one negated-branch constraint appended at
+// fork time, so the full-path check is equisatisfiable with one sliced
+// feasibility query of that last constraint against the rest (the
+// relevantSlice argument: dropped constraints share no symbolic bytes
+// with the slice's closure and are themselves satisfiable). The batched
+// pipeline uses the sliced form; the legacy pipeline keeps the full
+// check, which is the pinned baseline behaviour.
+func (e *Executor) validatePC(st *State) solver.Result {
+	if !e.opts.BatchSiblings {
+		return e.checkPC(st)
+	}
+	pc := st.PathConstraints()
+	if len(pc) == 0 {
+		return solver.Sat
+	}
+	return e.queryFeasiblePrefix(pc[:len(pc)-1], pc[len(pc)-1])
+}
+
+// queryFeasiblePrefix is queryFeasible with an explicit constraint
+// prefix instead of the state's full pc.
+func (e *Executor) queryFeasiblePrefix(prefix []*expr.Expr, cond *expr.Expr) solver.Result {
+	var hint expr.Assignment
+	if e.concolic != nil {
+		hint = e.concolic.asn
+	}
+	r, _ := e.Solver.Feasible(prefix, cond, hint)
+	if r != solver.Unknown {
+		return r
+	}
+	atomic.AddInt64(&e.gov.SolverUnknowns, 1)
+	atomic.AddInt64(&e.gov.SolverRetries, 1)
+	prev := e.Solver.SetMaxConflicts(e.Solver.MaxConflicts() * budgetEscalation)
+	r, _ = e.Solver.Feasible(prefix, cond, hint)
+	e.Solver.SetMaxConflicts(prev)
+	return r
+}
+
 // checkPC decides satisfiability of st's full path constraints with the
 // same Unknown-retry policy as queryFeasible.
 func (e *Executor) checkPC(st *State) solver.Result {
