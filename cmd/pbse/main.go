@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"pbse/internal/faultinject"
@@ -383,6 +384,19 @@ func replay(st *store.Store, driver, id string) (int, error) {
 	}
 	entry, input, err := st.ReadReproducer(id)
 	if err != nil {
+		// An unknown bug ID is the common operator mistake; answer it
+		// with the store's actual inventory instead of a raw ENOENT.
+		if entries, cerr := st.Corpus(); cerr == nil {
+			ids := make([]string, 0, len(entries))
+			for _, e := range entries {
+				ids = append(ids, e.ID)
+			}
+			if len(ids) == 0 {
+				return 1, fmt.Errorf("replay: no reproducer %q: store %s has an empty corpus", id, st.Dir())
+			}
+			return 1, fmt.Errorf("replay: no reproducer %q in store %s; stored bug IDs: %s",
+				id, st.Dir(), strings.Join(ids, ", "))
+		}
 		return 1, err
 	}
 	ok, msg, err := store.Replay(prog, entry, input, 0)

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pbse/internal/pbse"
+	"pbse/internal/store"
+	"pbse/internal/symex"
+	"pbse/internal/targets"
+)
+
+// TestReplayUnknownBugID is the regression gate for the -replay error
+// path: an ID that is not in the store's corpus must exit non-zero with
+// an error that names the missing ID and the stored inventory — not a
+// raw file-not-found from the corpus layer.
+func TestReplayUnknownBugID(t *testing.T) {
+	// Empty store: clear error, non-zero exit, mentions the empty corpus.
+	empty, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, rerr := replay(empty, "readelf", "bdeadbeefdeadbeef")
+	if code == 0 || rerr == nil {
+		t.Fatalf("replay of unknown ID in empty store: code %d, err %v", code, rerr)
+	}
+	for _, want := range []string{"bdeadbeefdeadbeef", "empty corpus"} {
+		if !strings.Contains(rerr.Error(), want) {
+			t.Errorf("error %q does not mention %q", rerr, want)
+		}
+	}
+
+	// Populated store: the error lists the real bug IDs so the operator
+	// can correct the typo, and those IDs still replay cleanly.
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := targets.ByDriver("readelf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := tgt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := tgt.GenSeed(rand.New(rand.NewSource(42)), 256)
+	res, err := pbse.Run(prog, seed, pbse.Options{
+		Budget: 20_000, Seed: 42, Workers: 1, Store: st, StoreLabel: "readelf",
+	}, symex.Options{InputSize: len(seed)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bugs) == 0 {
+		t.Fatal("readelf@20k produced no reproducers to test against")
+	}
+	knownID := res.Bugs[0].ID()
+
+	code, rerr = replay(st, "readelf", "bdeadbeefdeadbeef")
+	if code == 0 || rerr == nil {
+		t.Fatalf("replay of unknown ID: code %d, err %v", code, rerr)
+	}
+	if !strings.Contains(rerr.Error(), knownID) {
+		t.Errorf("error %q does not list stored ID %s", rerr, knownID)
+	}
+
+	code, rerr = replay(st, "readelf", knownID)
+	if code != 0 || rerr != nil {
+		t.Fatalf("replay of stored ID %s: code %d, err %v", knownID, code, rerr)
+	}
+}

@@ -1,0 +1,109 @@
+// Command pbsed is the pbSE campaign daemon: an HTTP/JSON service that
+// runs many symbolic-execution campaigns for many tenants over one
+// shared worker pool (DESIGN.md §13). Campaigns are multiplexed at
+// scheduler-round granularity through the checkpoint/resume machinery,
+// so every campaign is durable between slices: a SIGTERM drains to
+// checkpoints and exits cleanly, a SIGKILL loses at most the slices in
+// flight, and the next pbsed over the same -root resumes every
+// in-flight campaign bit-identically.
+//
+// Quick start:
+//
+//	pbsed -root /var/lib/pbse -addr :8080 &
+//	curl -s -X POST localhost:8080/v1/campaigns \
+//	    -d '{"tenant":"alice","driver":"readelf","budget":200000}'
+//	curl -N localhost:8080/v1/campaigns/c000001/events
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pbse/internal/service"
+	"pbse/internal/supervise"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		root          = flag.String("root", "", "store root directory (required): campaigns/<id>/ stores + shared/ verdict cache")
+		pool          = flag.Int("pool", 0, "shared slice-worker count (0 = GOMAXPROCS)")
+		roundsPer     = flag.Int64("rounds-per-slice", 1, "scheduler rounds one granted slice runs before checkpointing and requeueing")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight slices to checkpoint on SIGTERM/SIGINT")
+		noSupervise   = flag.Bool("no-supervise", false, "run campaign slices without the fault-isolation supervisor")
+		maxRunning    = flag.Int("quota-running", 0, "per-tenant cap on simultaneously running campaigns (0 = unlimited)")
+		maxLive       = flag.Int("quota-live", 0, "per-tenant cap on live (non-terminal) campaigns (0 = unlimited)")
+		maxBudget     = flag.Int64("quota-budget", 0, "per-tenant cap on aggregate in-flight virtual-time budget (0 = unlimited)")
+		maxWall       = flag.Float64("quota-wall-seconds", 0, "per-tenant cap on aggregate worker wall-clock seconds (0 = unlimited)")
+		islandDeadman = flag.Duration("island-deadline", 30*time.Second, "supervised: wall-clock watchdog per island turn")
+	)
+	flag.Parse()
+	if err := run(*addr, *root, *pool, *roundsPer, *drainTimeout, !*noSupervise,
+		service.Quota{MaxRunning: *maxRunning, MaxLive: *maxLive, MaxBudget: *maxBudget, MaxWallSeconds: *maxWall},
+		*islandDeadman); err != nil {
+		fmt.Fprintln(os.Stderr, "pbsed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, root string, pool int, roundsPer int64, drainTimeout time.Duration,
+	supervised bool, quota service.Quota, islandDeadline time.Duration) error {
+	if root == "" {
+		return fmt.Errorf("-root is required")
+	}
+	cfg := service.Config{
+		Pool:           pool,
+		RoundsPerSlice: roundsPer,
+		DefaultQuota:   quota,
+	}
+	if supervised {
+		// Inert without faults (DESIGN.md §11), so supervision is on by
+		// default: one campaign's injected or real faults never take the
+		// daemon down.
+		cfg.Supervise = &supervise.Options{Enabled: true, IslandDeadline: islandDeadline}
+	}
+	svc, err := service.Open(root, cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: service.NewServer(svc)}
+	log.Printf("pbsed: serving on http://%s (root %s, pool %d, %d round(s)/slice)",
+		ln.Addr(), root, cfg.Pool, roundsPer)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("pbsed: %v: draining (checkpointing in-flight slices)", sig)
+	case err := <-errc:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := svc.Close(ctx); err != nil {
+		srv.Close()
+		return err
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+	}
+	log.Printf("pbsed: drained; all campaigns checkpointed")
+	return nil
+}

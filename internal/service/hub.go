@@ -1,0 +1,221 @@
+package service
+
+// The event hub is the daemon's streaming surface: every campaign owns
+// an append-only event log, and any number of subscribers replay it
+// from an arbitrary sequence number and then follow live appends. A
+// subscriber that joins late, or reconnects after a daemon restart,
+// sees exactly the same prefix any earlier subscriber saw for the
+// rounds this process executed — the log is the single source of the
+// stream, never per-subscriber state.
+//
+// Subscribers buffer unboundedly (a pending slice, not a fixed channel)
+// so a slow SSE client can never force the scheduler to drop a bug
+// event; the logs themselves are capped per campaign by keeping every
+// bug/terminal event and compacting the oldest progress events first.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Event is one entry in a campaign's event stream.
+type Event struct {
+	// Seq is the 1-based position in the campaign's event log.
+	Seq int64 `json:"seq"`
+	// Type is one of "status", "progress", "bug", "done".
+	Type     string `json:"type"`
+	Campaign string `json:"campaign"`
+	Tenant   string `json:"tenant"`
+	// Status is the campaign status after this event (status/done).
+	Status Status `json:"status,omitempty"`
+	// Rounds/Clock/Covered/Bugs snapshot campaign progress (progress,
+	// done). Covered only ever grows — streamed coverage is monotonic.
+	Rounds  int64 `json:"rounds,omitempty"`
+	Clock   int64 `json:"clock,omitempty"`
+	Covered int   `json:"covered,omitempty"`
+	Bugs    int   `json:"bugs,omitempty"`
+	// BugID is the stable reproducer ID of a newly found bug (bug).
+	BugID string `json:"bug_id,omitempty"`
+	// Error carries the failure cause (done with status "failed").
+	Error string `json:"error,omitempty"`
+	// Final marks the campaign's last event; the stream ends after it.
+	Final bool `json:"final,omitempty"`
+}
+
+// maxLogEvents caps one campaign's in-memory log. Compaction drops the
+// oldest non-bug, non-final events; at the service's round granularity
+// a campaign emits a handful of events per slice, so the cap is only
+// ever reached by pathological submit loops.
+const maxLogEvents = 4096
+
+// Sub is one live subscription. Receive on C (a level-triggered signal),
+// then Drain the pending events.
+type Sub struct {
+	hub      *Hub
+	campaign string
+	id       int
+
+	C chan struct{}
+
+	mu      sync.Mutex
+	pending []Event
+	closed  bool
+}
+
+// Hub is the per-daemon event fan-out.
+type Hub struct {
+	mu     sync.Mutex
+	logs   map[string][]Event
+	seqs   map[string]int64
+	subs   map[string]map[int]*Sub
+	nextID int
+	closed bool
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{
+		logs: make(map[string][]Event),
+		seqs: make(map[string]int64),
+		subs: make(map[string]map[int]*Sub),
+	}
+}
+
+// Publish appends ev to its campaign's log (assigning ev.Seq) and wakes
+// every subscriber of that campaign.
+func (h *Hub) Publish(ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.seqs[ev.Campaign]++
+	ev.Seq = h.seqs[ev.Campaign]
+	log := append(h.logs[ev.Campaign], ev)
+	if len(log) > maxLogEvents {
+		log = compactLog(log)
+	}
+	h.logs[ev.Campaign] = log
+	for _, sub := range h.subs[ev.Campaign] {
+		sub.push(ev)
+	}
+}
+
+// compactLog halves a log by dropping its oldest droppable (non-bug,
+// non-final) events.
+func compactLog(log []Event) []Event {
+	drop := len(log) / 2
+	out := log[:0]
+	for _, ev := range log {
+		if drop > 0 && ev.Type != "bug" && !ev.Final {
+			drop--
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// Reopen clears the Final marker from a campaign's retained log when
+// the campaign is re-admitted (Resume): the old terminal event stays as
+// history, but no longer ends replayed streams — a subscriber replaying
+// from 0 reads the whole story through to the new terminal event.
+func (h *Hub) Reopen(campaign string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	log := h.logs[campaign]
+	for i := range log {
+		log[i].Final = false
+	}
+}
+
+// Log returns a copy of a campaign's event log (its retained prefix).
+func (h *Hub) Log(campaign string) []Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Event(nil), h.logs[campaign]...)
+}
+
+// Subscribe registers a live subscriber for one campaign and returns it
+// together with the retained log events with Seq > from (the replay
+// prefix). The registration and the replay snapshot are atomic: no
+// event can fall between them.
+func (h *Hub) Subscribe(campaign string, from int64) (*Sub, []Event, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, nil, fmt.Errorf("service: hub closed")
+	}
+	var replay []Event
+	for _, ev := range h.logs[campaign] {
+		if ev.Seq > from {
+			replay = append(replay, ev)
+		}
+	}
+	h.nextID++
+	sub := &Sub{hub: h, campaign: campaign, id: h.nextID, C: make(chan struct{}, 1)}
+	if h.subs[campaign] == nil {
+		h.subs[campaign] = make(map[int]*Sub)
+	}
+	h.subs[campaign][sub.id] = sub
+	return sub, replay, nil
+}
+
+// Close wakes and closes every subscriber; further Publishes are
+// dropped. Called when the daemon drains.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	for _, subs := range h.subs {
+		for _, sub := range subs {
+			sub.close()
+		}
+	}
+	h.subs = make(map[string]map[int]*Sub)
+}
+
+func (s *Sub) push(ev Event) {
+	s.mu.Lock()
+	s.pending = append(s.pending, ev)
+	s.mu.Unlock()
+	select {
+	case s.C <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Sub) close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.mu.Unlock()
+		select {
+		case s.C <- struct{}{}:
+		default:
+		}
+		return
+	}
+	s.mu.Unlock()
+}
+
+// Drain returns and clears the pending events, plus whether the
+// subscription has been closed by the hub.
+func (s *Sub) Drain() (evs []Event, closed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evs = s.pending
+	s.pending = nil
+	return evs, s.closed
+}
+
+// Close unregisters the subscription.
+func (s *Sub) Close() {
+	h := s.hub
+	h.mu.Lock()
+	if subs := h.subs[s.campaign]; subs != nil {
+		delete(subs, s.id)
+	}
+	h.mu.Unlock()
+	s.close()
+}

@@ -1,0 +1,54 @@
+package service
+
+// jobQueue holds the runnable campaigns waiting for a pool worker,
+// ordered by (priority desc, seq asc): strict priority, FIFO within a
+// priority class. Campaigns re-enter with a fresh seq after every
+// slice, which makes equal-priority scheduling round-robin — each
+// runnable campaign gets one slice per cycle, so tenants make
+// proportional progress instead of head-of-line blocking.
+//
+// Selection scans linearly: the queue holds campaigns (not states), its
+// length is the number of concurrently admitted campaigns, and the scan
+// must skip tenant-ineligible entries anyway — a heap would still
+// degenerate to a scan under the eligibility predicate.
+type jobQueue struct {
+	items []*Campaign
+}
+
+func (q *jobQueue) push(c *Campaign) {
+	q.items = append(q.items, c)
+}
+
+func (q *jobQueue) len() int { return len(q.items) }
+
+// popBest removes and returns the highest-priority (then oldest-seq)
+// campaign for which eligible returns true, or nil when none qualifies.
+func (q *jobQueue) popBest(eligible func(*Campaign) bool) *Campaign {
+	best := -1
+	for i, c := range q.items {
+		if !eligible(c) {
+			continue
+		}
+		if best < 0 || c.Priority > q.items[best].Priority ||
+			(c.Priority == q.items[best].Priority && c.seq < q.items[best].seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	c := q.items[best]
+	q.items = append(q.items[:best], q.items[best+1:]...)
+	return c
+}
+
+// remove deletes c from the queue, reporting whether it was present.
+func (q *jobQueue) remove(c *Campaign) bool {
+	for i, it := range q.items {
+		if it == c {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,175 @@
+package service
+
+// Daemon crash-recovery determinism: a service SIGKILLed mid-round with
+// three active campaigns, reopened over the same root, must finish all
+// three bit-identically (coverage, clock, bug IDs) to uninterrupted
+// reference runs. This extends the single-campaign re-exec harness of
+// internal/pbse/supervise_test.go to the whole daemon: the victim is
+// this test binary re-executed with PBSE_SVC_VICTIM=1, which submits
+// the campaigns, waits until every one has a durable checkpoint, and
+// SIGKILLs itself.
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// svcKillSpecs are the three campaigns in flight at the kill. Budgets
+// are ~10× the first checkpoint's round, so the SIGKILL always lands
+// mid-campaign, and the mix covers two targets and a buggy-seed run.
+func svcKillSpecs() []Spec {
+	return []Spec{
+		{Tenant: "alice", Driver: "readelf", SeedSize: 256, RNGSeed: 42, Budget: 60_000},
+		{Tenant: "alice", Driver: "dwarfdump", SeedSize: 256, RNGSeed: 7, Budget: 60_000},
+		{Tenant: "bob", Driver: "readelf", BuggySeed: true, RNGSeed: 3, Budget: 60_000},
+	}
+}
+
+func TestDaemonKillRestartDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon kill/restart matrix skipped in -short mode")
+	}
+	specs := svcKillSpecs()
+
+	// References: each campaign run to completion by an undisturbed
+	// service over its own root.
+	refs := make([]*CampaignInfo, len(specs))
+	refSvc, err := Open(t.TempDir(), testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		info, err := refSvc.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := refSvc.WaitTerminal(context.Background(), info.ID); err != nil {
+			t.Fatal(err)
+		}
+		if refs[i], err = refSvc.Info(info.ID); err != nil {
+			t.Fatal(err)
+		}
+		if refs[i].Status != StatusDone {
+			t.Fatalf("reference campaign %s ended %s", info.ID, refs[i].Status)
+		}
+	}
+	if err := refSvc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Victim: re-exec this binary; it submits the same specs over a
+	// fresh root and SIGKILLs itself once all three are checkpointed
+	// and still running.
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestDaemonKillVictim$", "-test.v")
+	cmd.Env = append(os.Environ(), "PBSE_SVC_VICTIM=1", "PBSE_SVC_ROOT="+dir)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ProcessState.ExitCode() != -1 {
+		t.Fatalf("victim did not die on a signal (err=%v):\n%s", err, out)
+	}
+
+	// Restart over the carcass: recovery must requeue all three, and
+	// they must land exactly on the reference results.
+	svc, err := Open(dir, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	infos := svc.List("")
+	if len(infos) != len(specs) {
+		t.Fatalf("recovered %d campaigns, want %d: %+v", len(infos), len(specs), infos)
+	}
+	resumedAny := false
+	for _, info := range infos {
+		if !info.Status.Terminal() {
+			resumedAny = true
+		}
+	}
+	if !resumedAny {
+		t.Fatal("victim died with no campaign left in flight — kill landed too late")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	for i, info := range infos {
+		if _, err := svc.WaitTerminal(ctx, info.ID); err != nil {
+			t.Fatalf("recovered campaign %s never finished: %v", info.ID, err)
+		}
+		got, err := svc.Info(info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := refs[i]
+		if got.Status != StatusDone {
+			t.Errorf("campaign %s ended %s (%s)", got.ID, got.Status, got.Error)
+		}
+		if got.Covered != ref.Covered {
+			t.Errorf("campaign %s coverage diverged: killed+resumed %d, reference %d",
+				got.ID, got.Covered, ref.Covered)
+		}
+		if got.Clock != ref.Clock {
+			t.Errorf("campaign %s clock diverged: killed+resumed %d, reference %d",
+				got.ID, got.Clock, ref.Clock)
+		}
+		if !reflect.DeepEqual(got.BugIDs, ref.BugIDs) {
+			t.Errorf("campaign %s bug IDs diverged:\n killed+resumed %v\n reference      %v",
+				got.ID, got.BugIDs, ref.BugIDs)
+		}
+		if got.Rounds != ref.Rounds {
+			t.Errorf("campaign %s rounds diverged: killed+resumed %d, reference %d",
+				got.ID, got.Rounds, ref.Rounds)
+		}
+	}
+}
+
+// TestDaemonKillVictim is the subprocess body for
+// TestDaemonKillRestartDeterminism. It never returns normally: once
+// every campaign has a durable checkpoint and none has finished, it
+// SIGKILLs its own process mid-flight.
+func TestDaemonKillVictim(t *testing.T) {
+	if os.Getenv("PBSE_SVC_VICTIM") != "1" {
+		t.Skip("subprocess body for TestDaemonKillRestartDeterminism")
+	}
+	svc, err := Open(os.Getenv("PBSE_SVC_ROOT"), testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, spec := range svcKillSpecs() {
+		info, err := svc.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		ready := 0
+		for _, id := range ids {
+			st, err := svc.Root().Campaign(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info, err := svc.Info(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Status.Terminal() {
+				t.Fatalf("campaign %s finished before the kill — budget too small", id)
+			}
+			if st.HasCheckpoint() {
+				ready++
+			}
+		}
+		if ready == len(ids) {
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("campaigns never all checkpointed")
+}

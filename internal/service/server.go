@@ -1,0 +1,237 @@
+package service
+
+// HTTP/JSON surface of the campaign daemon. The API is small and
+// curl-friendly:
+//
+//	POST /v1/campaigns               submit a Spec            → 201 CampaignInfo
+//	GET  /v1/campaigns[?tenant=t]    list campaigns           → 200 [CampaignInfo]
+//	GET  /v1/campaigns/{id}          one campaign             → 200 CampaignInfo
+//	POST /v1/campaigns/{id}/cancel   cancel                   → 200 {"status":…}
+//	POST /v1/campaigns/{id}/resume   re-admit failed/cancelled→ 200 {"status":…}
+//	GET  /v1/campaigns/{id}/wait     block until terminal     → 200 CampaignInfo
+//	GET  /v1/campaigns/{id}/events   SSE event stream (?from=seq resumes)
+//	GET  /v1/tenants                 tenant accounting        → 200 [TenantInfo]
+//	GET  /v1/tenants/{name}          one tenant               → 200 TenantInfo
+//	GET  /statz                      daemon snapshot          → 200 Stats
+//	GET  /healthz                    liveness                 → 200 "ok"
+//
+// Errors map: unknown campaign → 404, quota exceeded → 429, draining →
+// 503, validation → 400. The SSE stream replays the campaign's retained
+// event log past `from` and then follows live events, ending after the
+// Final event — a client that reconnects with from=<last seen seq>
+// resumes without gaps or duplicates for the retained window.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Server wires a Service into an http.Handler.
+type Server struct {
+	svc *Service
+	mux *http.ServeMux
+}
+
+// NewServer builds the HTTP surface over svc.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleInfo)
+	s.mux.HandleFunc("POST /v1/campaigns/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/campaigns/{id}/resume", s.handleResume)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/wait", s.handleWait)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/tenants", s.handleTenants)
+	s.mux.HandleFunc("GET /v1/tenants/{name}", s.handleTenant)
+	s.mux.HandleFunc("GET /statz", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON emits a JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeErr maps service errors to HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrQuota):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	info, err := s.svc.Submit(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.List(r.URL.Query().Get("tenant")))
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.svc.Info(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.svc.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]Status{"status": st})
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	st, err := s.svc.Resume(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]Status{"status": st})
+}
+
+func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if d := r.URL.Query().Get("timeout"); d != "" {
+		dur, err := time.ParseDuration(d)
+		if err != nil {
+			writeErr(w, fmt.Errorf("service: bad timeout: %w", err))
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, dur)
+		defer cancel()
+	}
+	id := r.PathValue("id")
+	if _, err := s.svc.WaitTerminal(ctx, id); err != nil {
+		if errors.Is(err, ErrNotFound) {
+			writeErr(w, err)
+		} else {
+			writeJSON(w, http.StatusRequestTimeout, map[string]string{"error": err.Error()})
+		}
+		return
+	}
+	info, err := s.svc.Info(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Tenants())
+}
+
+func (s *Server) handleTenant(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Tenant(r.PathValue("name")))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+// handleEvents streams a campaign's events as Server-Sent Events:
+// replayed from the retained log past ?from=<seq>, then live, ending
+// after the campaign's Final event (or when the client goes away or the
+// daemon drains).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.svc.Info(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	var from int64
+	if f := r.URL.Query().Get("from"); f != "" {
+		n, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			writeErr(w, fmt.Errorf("service: bad from: %w", err))
+			return
+		}
+		from = n
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, fmt.Errorf("service: streaming unsupported"))
+		return
+	}
+	sub, replay, err := s.svc.Hub().Subscribe(id, from)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	write := func(evs []Event) bool {
+		for _, ev := range evs {
+			data, err := json.Marshal(&ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			if ev.Final {
+				flusher.Flush()
+				return true
+			}
+		}
+		flusher.Flush()
+		return false
+	}
+	if write(replay) {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.C:
+		}
+		evs, closed := sub.Drain()
+		if write(evs) || closed {
+			return
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package service
+
+// End-to-end service tests: the full submit → stream → cancel →
+// resubmit → resume lifecycle over a real HTTP server, asserting the
+// daemon surfaces exactly the results the library produces — same
+// terminal status, same stable bug IDs, and a streamed coverage series
+// that only ever grows.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"pbse/internal/pbse"
+	"pbse/internal/store"
+	"pbse/internal/symex"
+	"pbse/internal/targets"
+)
+
+// Small virtual-time budgets keep the service suite inside the -short
+// tier (it runs under -race in CI): readelf@20k is a handful of rounds
+// and two seeded bugs, gif2tiff@10k a coverage-only campaign.
+const (
+	e2eBudget  = 20_000
+	tinyBudget = 10_000
+)
+
+// testConfig returns a quiet service config for tests.
+func testConfig(pool int) Config {
+	return Config{Pool: pool, Logf: func(string, ...any) {}}
+}
+
+// newTestServer opens a service over dir and serves it over httptest.
+// Both are torn down with the test.
+func newTestServer(t *testing.T, dir string, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := svc.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return svc, ts
+}
+
+// postJSON posts v and decodes the response into out, asserting the
+// status code.
+func postJSON(t *testing.T, url string, v any, wantCode int, out any) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// getJSON fetches url into out, asserting the status code.
+func getJSON(t *testing.T, url string, wantCode int, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// streamEvents consumes a campaign's SSE stream from seq `from` until
+// its Final event (or the deadline) and returns the decoded events.
+func streamEvents(t *testing.T, base, id string, from int64) []Event {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET",
+		fmt.Sprintf("%s/v1/campaigns/%s/events?from=%d", base, id, from), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events: content-type %q", ct)
+	}
+	var evs []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("events: bad data line %q: %v", line, err)
+		}
+		evs = append(evs, ev)
+		if ev.Final {
+			return evs
+		}
+	}
+	t.Fatalf("stream ended without a final event (%d events, scan err %v)", len(evs), sc.Err())
+	return nil
+}
+
+// directRun executes the same campaign a Spec describes through the
+// plain library path (own store, no service) — the bit-identity
+// reference.
+func directRun(t *testing.T, spec Spec) *pbse.Result {
+	t.Helper()
+	tgt, err := targets.ByDriver(spec.Driver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := tgt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(spec.RNGSeed))
+	var seed []byte
+	if spec.BuggySeed {
+		seed = tgt.GenBuggySeed(rng)
+	} else {
+		seed = tgt.GenSeed(rng, spec.SeedSize)
+	}
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	res, err := pbse.Run(prog, seed, pbse.Options{
+		Budget: spec.Budget, TimePeriod: spec.TimePeriod, Seed: spec.RNGSeed,
+		Workers: workers, Deterministic: spec.Deterministic,
+		Store: st, StoreLabel: spec.Driver,
+	}, symex.Options{InputSize: len(seed)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func resultBugIDs(res *pbse.Result) []string {
+	seen := map[string]bool{}
+	var ids []string
+	for _, b := range res.Bugs {
+		if id := b.ID(); !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// TestServiceLifecycle drives the whole loop over HTTP: two campaigns
+// from two tenants on one pool, streamed to completion; the streamed
+// coverage is monotonic, the terminal infos carry the same bug IDs and
+// coverage as a direct library run, and cancel → resume lands the
+// cancelled campaign on the identical final state.
+func TestServiceLifecycle(t *testing.T) {
+	svc, ts := newTestServer(t, t.TempDir(), testConfig(2))
+
+	specs := []Spec{
+		{Tenant: "alice", Driver: "readelf", SeedSize: 256, RNGSeed: 42, Budget: e2eBudget},
+		{Tenant: "bob", Driver: "gif2tiff", SeedSize: 256, RNGSeed: 7, Budget: tinyBudget},
+	}
+	var ids []string
+	for _, spec := range specs {
+		var info CampaignInfo
+		postJSON(t, ts.URL+"/v1/campaigns", spec, http.StatusCreated, &info)
+		if info.ID == "" || info.Status.Terminal() {
+			t.Fatalf("submit returned %+v", info)
+		}
+		ids = append(ids, info.ID)
+	}
+
+	for i, id := range ids {
+		evs := streamEvents(t, ts.URL, id, 0)
+		final := evs[len(evs)-1]
+		if final.Status != StatusDone {
+			t.Fatalf("campaign %s final status %q: %+v", id, final.Status, final)
+		}
+
+		// Streamed coverage is monotonic and ends at the final figure.
+		cov := -1
+		var streamedBugs []string
+		for _, ev := range evs {
+			if ev.Campaign != id {
+				t.Fatalf("cross-campaign event on %s's stream: %+v", id, ev)
+			}
+			if ev.Type == "progress" || ev.Final {
+				if ev.Covered < cov {
+					t.Fatalf("streamed coverage regressed: %d after %d (%+v)", ev.Covered, cov, ev)
+				}
+				cov = ev.Covered
+			}
+			if ev.Type == "bug" {
+				streamedBugs = append(streamedBugs, ev.BugID)
+			}
+		}
+
+		var info CampaignInfo
+		getJSON(t, ts.URL+"/v1/campaigns/"+id, http.StatusOK, &info)
+		if info.Status != StatusDone {
+			t.Fatalf("campaign %s: status %q after final event", id, info.Status)
+		}
+		if info.Covered != cov {
+			t.Errorf("campaign %s: info coverage %d, streamed %d", id, info.Covered, cov)
+		}
+		if !reflect.DeepEqual(info.BugIDs, streamedBugs) &&
+			!(len(info.BugIDs) == 0 && len(streamedBugs) == 0) {
+			t.Errorf("campaign %s: info bugs %v, streamed %v", id, info.BugIDs, streamedBugs)
+		}
+
+		// Bit-identity with the plain library path.
+		ref := directRun(t, specs[i])
+		if info.Covered != ref.Covered {
+			t.Errorf("campaign %s: service coverage %d, direct run %d", id, info.Covered, ref.Covered)
+		}
+		if refIDs := resultBugIDs(ref); !reflect.DeepEqual(info.BugIDs, refIDs) &&
+			!(len(info.BugIDs) == 0 && len(refIDs) == 0) {
+			t.Errorf("campaign %s: service bugs %v, direct run %v", id, info.BugIDs, refIDs)
+		}
+		if specs[i].Driver == "readelf" && len(info.BugIDs) == 0 {
+			t.Errorf("readelf@%d found no bugs through the service", e2eBudget)
+		}
+
+		// A reconnect from the last seen seq replays nothing stale and
+		// ends immediately on the final event.
+		tail := streamEvents(t, ts.URL, id, final.Seq-1)
+		if len(tail) != 1 || !tail[0].Final || tail[0].Seq != final.Seq {
+			t.Errorf("campaign %s: resumed stream got %+v", id, tail)
+		}
+	}
+
+	// Cancel → resume: a cancelled campaign is terminal, re-admitting it
+	// finishes the identical campaign from its checkpoint.
+	spec := Spec{Tenant: "alice", Driver: "readelf", SeedSize: 256, RNGSeed: 42, Budget: e2eBudget}
+	var info CampaignInfo
+	postJSON(t, ts.URL+"/v1/campaigns", spec, http.StatusCreated, &info)
+	id := info.ID
+	// Wait for the first checkpoint (first progress event), then cancel.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/v1/campaigns/"+id, http.StatusOK, &info)
+		if info.Slices > 0 || info.Status.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("campaign never ran a slice")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var stResp map[string]Status
+	postJSON(t, ts.URL+"/v1/campaigns/"+id+"/cancel", nil, http.StatusOK, &stResp)
+	if _, err := svc.WaitTerminal(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, ts.URL+"/v1/campaigns/"+id, http.StatusOK, &info)
+	if info.Status != StatusCancelled && info.Status != StatusDone {
+		t.Fatalf("after cancel: status %q", info.Status)
+	}
+	if info.Status == StatusCancelled {
+		postJSON(t, ts.URL+"/v1/campaigns/"+id+"/resume", nil, http.StatusOK, &stResp)
+		evs := streamEvents(t, ts.URL, id, 0)
+		if got := evs[len(evs)-1].Status; got != StatusDone {
+			t.Fatalf("resumed campaign ended %q", got)
+		}
+		getJSON(t, ts.URL+"/v1/campaigns/"+id, http.StatusOK, &info)
+	}
+	ref := directRun(t, spec)
+	if info.Covered != ref.Covered || !reflect.DeepEqual(info.BugIDs, resultBugIDs(ref)) {
+		t.Errorf("cancel→resume diverged: covered %d bugs %v, direct %d %v",
+			info.Covered, info.BugIDs, ref.Covered, resultBugIDs(ref))
+	}
+}
+
+// TestServiceValidation covers the API's error mapping: bad specs 400,
+// unknown campaigns 404, quota rejections 429.
+func TestServiceValidation(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.DefaultQuota = Quota{MaxLive: 1}
+	_, ts := newTestServer(t, t.TempDir(), cfg)
+
+	var errResp map[string]string
+	postJSON(t, ts.URL+"/v1/campaigns", Spec{Driver: "no-such-driver", Budget: 1000},
+		http.StatusBadRequest, &errResp)
+	postJSON(t, ts.URL+"/v1/campaigns", Spec{Driver: "readelf"},
+		http.StatusBadRequest, &errResp) // missing budget
+	postJSON(t, ts.URL+"/v1/campaigns", Spec{Driver: "readelf", Budget: 1000, Tenant: "../evil"},
+		http.StatusBadRequest, &errResp)
+	postJSON(t, ts.URL+"/v1/campaigns", Spec{Driver: "readelf", Budget: 1000, Inject: "bogus-fault=1"},
+		http.StatusBadRequest, &errResp)
+	getJSON(t, ts.URL+"/v1/campaigns/c999999", http.StatusNotFound, &errResp)
+	postJSON(t, ts.URL+"/v1/campaigns/c999999/cancel", nil, http.StatusNotFound, &errResp)
+
+	// MaxLive=1: the second live campaign for one tenant is rejected 429.
+	var info CampaignInfo
+	postJSON(t, ts.URL+"/v1/campaigns",
+		Spec{Tenant: "q", Driver: "readelf", Budget: e2eBudget}, http.StatusCreated, &info)
+	postJSON(t, ts.URL+"/v1/campaigns",
+		Spec{Tenant: "q", Driver: "readelf", Budget: e2eBudget}, http.StatusTooManyRequests, &errResp)
+	// Another tenant is unaffected.
+	postJSON(t, ts.URL+"/v1/campaigns",
+		Spec{Tenant: "r", Driver: "gif2tiff", Budget: tinyBudget}, http.StatusCreated, &info)
+}
+
+// TestServiceSharedCachePersists checks the root's shared verdict cache
+// spans campaigns and daemon generations: a second service over the
+// same root preloads the verdicts the first one's campaigns flushed.
+func TestServiceSharedCachePersists(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(dir, testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := svc.Submit(Spec{Driver: "readelf", Budget: tinyBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.WaitTerminal(context.Background(), info.ID); err != nil {
+		t.Fatal(err)
+	}
+	flushed := svc.Stats().Shared.VerdictsFlushed
+	if flushed == 0 {
+		t.Fatal("campaign flushed no verdicts into the shared cache")
+	}
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, err := Open(dir, testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close(context.Background())
+	if loaded := svc2.Stats().Shared.VerdictsLoaded; loaded < flushed {
+		t.Errorf("restarted root preloaded %d shared verdicts, first daemon flushed %d", loaded, flushed)
+	}
+	// The recovered terminal campaign is still visible with its results.
+	got, err := svc2.Info(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusDone {
+		t.Errorf("recovered campaign status %q", got.Status)
+	}
+}

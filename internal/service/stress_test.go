@@ -1,0 +1,170 @@
+package service
+
+// Scheduler stress: 8 tenants × 4 campaigns over a 4-worker pool, some
+// campaigns running under injected island-crash and store-I/O faults
+// (with supervision, so the faults are contained, DESIGN.md §11). The
+// assertions are the service's core invariants: per-tenant MaxRunning
+// is never exceeded at any instant, every campaign reaches a terminal
+// state, accounting drains to zero, and the daemon leaks no goroutines.
+// CI runs this under -race; the whole point is the interleavings.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"pbse/internal/supervise"
+)
+
+func TestServiceStress(t *testing.T) {
+	const (
+		tenants    = 8
+		perTenant  = 4
+		maxRunning = 2
+		stressPool = 4
+		tinyCamp   = 4_000
+	)
+	baseline := runtime.NumGoroutine()
+
+	cfg := Config{
+		Pool:         stressPool,
+		DefaultQuota: Quota{MaxRunning: maxRunning, MaxLive: perTenant},
+		Supervise:    &supervise.Options{Enabled: true},
+		Logf:         func(string, ...any) {},
+	}
+	svc, err := Open(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drivers := []string{"readelf", "dwarfdump"}
+	var ids []string
+	for ti := 0; ti < tenants; ti++ {
+		tenant := fmt.Sprintf("tenant%d", ti)
+		for ci := 0; ci < perTenant; ci++ {
+			spec := Spec{
+				Tenant:   tenant,
+				Driver:   drivers[(ti+ci)%len(drivers)],
+				SeedSize: 128,
+				RNGSeed:  int64(ti*100 + ci),
+				Budget:   tinyCamp,
+				Priority: ci % 2,
+			}
+			// A quarter of the campaigns run under injected faults:
+			// island crashes (contained by supervision) and store I/O
+			// failures (tolerated by supervised persistence). They must
+			// still terminate; the scheduler must not wedge on them.
+			switch ci {
+			case 2:
+				spec.Inject = "island-crash=0.2"
+				spec.Workers = 2
+				spec.Deterministic = true
+			case 3:
+				spec.Inject = "store-io=0.1"
+			}
+			info, err := svc.Submit(spec)
+			if err != nil {
+				t.Fatalf("submit %s/%d: %v", tenant, ci, err)
+			}
+			ids = append(ids, info.ID)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		if _, err := svc.WaitTerminal(ctx, id); err != nil {
+			t.Fatalf("campaign %s never terminated: %v", id, err)
+		}
+	}
+
+	// Every campaign is terminal; fault-free campaigns all completed.
+	for _, info := range svc.List("") {
+		if !info.Status.Terminal() {
+			t.Errorf("campaign %s not terminal: %s", info.ID, info.Status)
+		}
+		if info.Inject == "" && info.Status != StatusDone {
+			t.Errorf("fault-free campaign %s ended %s (%s)", info.ID, info.Status, info.Error)
+		}
+	}
+
+	// Quotas were respected at every instant (the service records the
+	// high-water mark under the same lock that grants slices), and the
+	// accounting drained.
+	for _, tn := range svc.Tenants() {
+		if tn.MaxRunning > maxRunning {
+			t.Errorf("tenant %s: %d campaigns ran concurrently, quota %d", tn.Name, tn.MaxRunning, maxRunning)
+		}
+		if tn.Running != 0 || tn.Live != 0 || tn.Budget != 0 {
+			t.Errorf("tenant %s: accounting not drained: %+v", tn.Name, tn)
+		}
+		if tn.Total != perTenant {
+			t.Errorf("tenant %s: total %d, want %d", tn.Name, tn.Total, perTenant)
+		}
+	}
+	if st := svc.Stats(); st.Queued != 0 || st.Running != 0 || st.Live != 0 {
+		t.Errorf("daemon not quiescent: %+v", st)
+	}
+
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// No leaked goroutines: the pool, the waiters, and every campaign's
+	// machinery are gone once the service closes. Allow the runtime a
+	// moment to retire exiting goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d now vs %d at start\n%s",
+				runtime.NumGoroutine(), baseline, buf)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServiceWallClockQuota exercises the MaxWallSeconds ladder: once a
+// tenant burns its worker-seconds, its queued campaigns fail at the
+// grant point instead of running, while other tenants keep going.
+func TestServiceWallClockQuota(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.DefaultQuota = Quota{MaxWallSeconds: 0.000001} // exhausted after the first slice
+	svc, err := Open(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+
+	a, err := svc.Submit(Spec{Tenant: "burn", Driver: "readelf", Budget: e2eBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.WaitTerminal(context.Background(), a.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The first campaign ran at least one slice (quota was intact at its
+	// first grant) and then either finished or was failed at a later
+	// grant; a second campaign must be failed outright.
+	b, err := svc.Submit(Spec{Tenant: "burn", Driver: "readelf", Budget: e2eBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.WaitTerminal(context.Background(), b.ID); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := svc.Info(b.ID)
+	if info.Status != StatusFailed {
+		t.Fatalf("exhausted tenant's campaign ended %s, want failed", info.Status)
+	}
+	if info.Slices != 0 {
+		t.Errorf("exhausted tenant's campaign ran %d slices", info.Slices)
+	}
+}

@@ -1,0 +1,126 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Root manages a multi-campaign store tree — the persistence substrate
+// of the campaign service (DESIGN.md §13). Each campaign gets its own
+// fully independent Store under campaigns/<id>/ (checkpoints, manifest,
+// seed, reproducer corpus), while all of them share ONE persistent
+// solver-verdict cache under shared/ — a Sat/Unsat verdict is a fact
+// about the query, not about any campaign, so verdicts learned by one
+// tenant's campaign accelerate every other (and sharing cannot perturb
+// trajectories: the solver takes shared Sat answers only for
+// verdict-only queries and shared Unsat answers are semantic facts).
+//
+//	root/
+//	  shared/solvercache.bin   verdict cache all campaigns read and feed
+//	  campaigns/<id>/          one Store per campaign
+//
+// Root hands out at most one *Store per campaign ID, so every handle in
+// the process observes the same store state and the shared cache is
+// wired exactly once per campaign.
+type Root struct {
+	dir string
+
+	mu     sync.Mutex
+	shared *Store
+	camps  map[string]*Store
+}
+
+// OpenRoot opens (creating if needed) the multi-campaign tree at dir.
+func OpenRoot(dir string) (*Root, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "campaigns"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: root: %w", err)
+	}
+	shared, err := Open(filepath.Join(dir, "shared"))
+	if err != nil {
+		return nil, err
+	}
+	return &Root{dir: dir, shared: shared, camps: make(map[string]*Store)}, nil
+}
+
+// Dir returns the root directory.
+func (r *Root) Dir() string { return r.dir }
+
+// SharedCache returns the verdict cache every campaign of this root
+// shares, loading the on-disk log on first call.
+func (r *Root) SharedCache() (*SolverCache, error) {
+	return r.shared.SolverCache()
+}
+
+// SharedStats returns the shared store's counters (verdicts loaded at
+// open and flushed across all campaigns of this process).
+func (r *Root) SharedStats() Stats { return r.shared.Stats() }
+
+// ValidID reports whether id is usable as a campaign directory name:
+// non-empty, at most 64 bytes, and only [A-Za-z0-9._-] with no leading
+// dot (keeps IDs path-safe and hides nothing in directory listings).
+func ValidID(id string) bool {
+	if id == "" || len(id) > 64 || id[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Campaign opens (creating if needed) the store for one campaign,
+// pre-wired to share the root's persistent verdict cache. Repeated
+// calls return the same *Store.
+func (r *Root) Campaign(id string) (*Store, error) {
+	if !ValidID(id) {
+		return nil, fmt.Errorf("store: root: invalid campaign id %q", id)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.camps[id]; ok {
+		return st, nil
+	}
+	cache, err := r.shared.SolverCache()
+	if err != nil {
+		return nil, err
+	}
+	st, err := Open(filepath.Join(r.dir, "campaigns", id))
+	if err != nil {
+		return nil, err
+	}
+	st.AdoptSolverCache(cache)
+	r.camps[id] = st
+	return st, nil
+}
+
+// CampaignDir returns the directory a campaign's store lives in (without
+// opening it).
+func (r *Root) CampaignDir(id string) string {
+	return filepath.Join(r.dir, "campaigns", id)
+}
+
+// List returns the IDs of every campaign directory under the root,
+// sorted — the crash-recovery inventory a restarting daemon walks.
+func (r *Root) List() ([]string, error) {
+	des, err := os.ReadDir(filepath.Join(r.dir, "campaigns"))
+	if err != nil {
+		return nil, fmt.Errorf("store: root: %w", err)
+	}
+	var out []string
+	for _, de := range des {
+		if de.IsDir() && ValidID(de.Name()) {
+			out = append(out, de.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+
+	"pbse/internal/solver"
+)
+
+func TestValidID(t *testing.T) {
+	for id, want := range map[string]bool{
+		"c000001":   true,
+		"alice-1.2": true,
+		"A_b-C.9":   true,
+		"":          false,
+		".hidden":   false,
+		"a/b":       false,
+		"a b":       false,
+		"über":      false,
+		"x234567890123456789012345678901234567890123456789012345678901234":  true,  // 64
+		"x2345678901234567890123456789012345678901234567890123456789012345": false, // 65
+	} {
+		if got := ValidID(id); got != want {
+			t.Errorf("ValidID(%q) = %v, want %v", id, got, want)
+		}
+	}
+}
+
+// TestRootCampaignStores checks the root's two core promises: one
+// *Store per campaign ID (idempotent, isolated directories), and one
+// shared verdict cache wired into all of them.
+func TestRootCampaignStores(t *testing.T) {
+	root, err := OpenRoot(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := root.Campaign("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := root.Campaign("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != a2 {
+		t.Error("repeated Campaign(a) returned a different *Store")
+	}
+	b, err := root.Campaign("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b || a.Dir() == b.Dir() {
+		t.Error("campaigns a and b share a store")
+	}
+	if _, err := root.Campaign("../escape"); err == nil {
+		t.Error("path-escaping campaign ID accepted")
+	}
+
+	ca, err := a.SolverCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.SolverCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := root.SharedCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != cb || ca != shared {
+		t.Error("campaign stores did not adopt the root's shared verdict cache")
+	}
+
+	ids, err := root.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a", "b"}; !reflect.DeepEqual(ids, want) {
+		t.Errorf("List() = %v, want %v", ids, want)
+	}
+}
+
+// TestRootSharedCachePersistence checks a verdict flushed through one
+// campaign's store lands in the root's shared log and is preloaded by
+// the next root over the same directory.
+func TestRootSharedCachePersistence(t *testing.T) {
+	dir := t.TempDir()
+	root, err := OpenRoot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := root.Campaign("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := a.SolverCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(101, solver.Sat)
+	cache.Put(202, solver.Unsat)
+	if err := cache.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := root.SharedStats().VerdictsFlushed; got != 2 {
+		t.Fatalf("VerdictsFlushed = %d through the shared store, want 2", got)
+	}
+
+	root2, err := OpenRoot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := root2.Campaign("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache2, err := b.SolverCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := cache2.Get(101); !ok || r != solver.Sat {
+		t.Errorf("key 101 not preloaded from the shared log (ok=%v r=%v)", ok, r)
+	}
+	if r, ok := cache2.Get(202); !ok || r != solver.Unsat {
+		t.Errorf("key 202 not preloaded from the shared log (ok=%v r=%v)", ok, r)
+	}
+	if got := root2.SharedStats().VerdictsLoaded; got != 2 {
+		t.Errorf("VerdictsLoaded = %d, want 2", got)
+	}
+}

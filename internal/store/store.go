@@ -98,6 +98,19 @@ func (s *Store) Stats() Stats {
 	return s.stats
 }
 
+// AdoptSolverCache makes s serve cache (typically a Root's shared
+// cache) from SolverCache() instead of loading a private one from its
+// own directory. Must be called before the first SolverCache() call;
+// adopting after a private cache was loaded is a programming error.
+func (s *Store) AdoptSolverCache(cache *SolverCache) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache != nil && s.cache != cache {
+		panic("store: AdoptSolverCache after a private cache was loaded")
+	}
+	s.cache = cache
+}
+
 // SetIOInjector wires a fault injector into every subsequent store
 // write (checkpoints, manifests, seeds, cache flushes, reproducers).
 // Used by supervised chaos runs to prove the campaign tolerates store
@@ -237,6 +250,14 @@ func (s *Store) ReadCheckpoint() (*CheckpointFile, error) {
 		}
 	}
 	return DecodeCheckpoint(data)
+}
+
+// AtomicWriteFile writes path via tmp+fsync+rename (with a parent-dir
+// fsync), the same crash discipline every store file uses — exported
+// for sibling layers (the campaign service's job records) that persist
+// alongside a store without belonging to one.
+func AtomicWriteFile(path string, data []byte) error {
+	return writeFileAtomic(path, data)
 }
 
 // writeFileAtomic writes path via tmp+fsync+rename so readers never see a
