@@ -13,6 +13,17 @@
 //	curl -s -X POST localhost:8080/v1/campaigns \
 //	    -d '{"tenant":"alice","driver":"readelf","budget":200000}'
 //	curl -N localhost:8080/v1/campaigns/c000001/events
+//
+// Cluster mode (DESIGN.md §14): several pbsed daemons share one -root
+// on a common filesystem. With -cluster each daemon owns its campaigns
+// through fenced lease files, mirrors its peers' campaigns, and adopts
+// the campaigns of any daemon that dies or drains. A pbsed started
+// with -join instead runs as a remote slice worker: it executes slices
+// the coordinator dispatches over HTTP against the same shared root.
+//
+//	pbsed -root /mnt/pbse -addr :8080 -cluster -node-id a &
+//	pbsed -root /mnt/pbse -addr :8081 -cluster -node-id b &   # failover peer
+//	pbsed -root /mnt/pbse -addr :8091 -join http://localhost:8080 -slots 4 &
 package main
 
 import (
@@ -24,10 +35,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"pbse/internal/cluster"
 	"pbse/internal/service"
+	"pbse/internal/store"
 	"pbse/internal/supervise"
 )
 
@@ -35,7 +51,7 @@ func main() {
 	var (
 		addr          = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
 		root          = flag.String("root", "", "store root directory (required): campaigns/<id>/ stores + shared/ verdict cache")
-		pool          = flag.Int("pool", 0, "shared slice-worker count (0 = GOMAXPROCS)")
+		pool          = flag.Int("pool", 0, "shared slice-worker count (0 = GOMAXPROCS; must be >= 1 when set)")
 		roundsPer     = flag.Int64("rounds-per-slice", 1, "scheduler rounds one granted slice runs before checkpointing and requeueing")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight slices to checkpoint on SIGTERM/SIGINT")
 		noSupervise   = flag.Bool("no-supervise", false, "run campaign slices without the fault-isolation supervisor")
@@ -44,44 +60,186 @@ func main() {
 		maxBudget     = flag.Int64("quota-budget", 0, "per-tenant cap on aggregate in-flight virtual-time budget (0 = unlimited)")
 		maxWall       = flag.Float64("quota-wall-seconds", 0, "per-tenant cap on aggregate worker wall-clock seconds (0 = unlimited)")
 		islandDeadman = flag.Duration("island-deadline", 30*time.Second, "supervised: wall-clock watchdog per island turn")
+
+		clusterOn = flag.Bool("cluster", false, "fleet mode: own campaigns via fenced leases in -root, adopt dead peers' campaigns, accept -join workers")
+		nodeID    = flag.String("node-id", "", "unique node identity for leases and campaign-ID suffixes (default <hostname>-<pid>)")
+		leaseTTL  = flag.Duration("lease-ttl", 10*time.Second, "cluster: campaign lease TTL (a silent daemon loses its campaigns after this)")
+		joinAddr  = flag.String("join", "", "worker mode: coordinator base URL to join (e.g. http://host:8080); executes dispatched slices instead of serving the API")
+		slots     = flag.Int("slots", 1, "worker mode: concurrent slices this worker accepts")
+		advertise = flag.String("advertise", "", "worker mode: base URL the coordinator should dial back (default derived from -addr)")
+
+		retain    = flag.Int("retain", 0, "keep at most this many terminal campaign trees in -root (0 = keep all)")
+		retainAge = flag.Duration("retain-age", 0, "sweep terminal campaign trees older than this (0 = no age bound)")
+		cacheMax  = flag.String("cache-max-bytes", "", "shared verdict-cache log byte budget, e.g. 64M (empty = unbounded)")
 	)
 	flag.Parse()
-	if err := run(*addr, *root, *pool, *roundsPer, *drainTimeout, !*noSupervise,
-		service.Quota{MaxRunning: *maxRunning, MaxLive: *maxLive, MaxBudget: *maxBudget, MaxWallSeconds: *maxWall},
-		*islandDeadman); err != nil {
+
+	opts := daemonOptions{
+		addr: *addr, root: *root, pool: *pool, roundsPer: *roundsPer,
+		drainTimeout: *drainTimeout, supervised: !*noSupervise,
+		quota:          service.Quota{MaxRunning: *maxRunning, MaxLive: *maxLive, MaxBudget: *maxBudget, MaxWallSeconds: *maxWall},
+		islandDeadline: *islandDeadman,
+		cluster:        *clusterOn, nodeID: *nodeID, leaseTTL: *leaseTTL,
+		join: *joinAddr, slots: *slots, advertise: *advertise,
+		retain: *retain, retainAge: *retainAge, cacheMaxSpec: *cacheMax,
+	}
+	if err := opts.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbsed:", err)
+		os.Exit(2)
+	}
+	var err error
+	if opts.join != "" {
+		err = runWorker(opts)
+	} else {
+		err = run(opts)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pbsed:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, root string, pool int, roundsPer int64, drainTimeout time.Duration,
-	supervised bool, quota service.Quota, islandDeadline time.Duration) error {
-	if root == "" {
+type daemonOptions struct {
+	addr           string
+	root           string
+	pool           int
+	roundsPer      int64
+	drainTimeout   time.Duration
+	supervised     bool
+	quota          service.Quota
+	islandDeadline time.Duration
+
+	cluster   bool
+	nodeID    string
+	leaseTTL  time.Duration
+	join      string
+	slots     int
+	advertise string
+
+	retain       int
+	retainAge    time.Duration
+	cacheMaxSpec string
+	cacheMax     int64
+}
+
+// validate rejects malformed flag combinations with one-line errors
+// before anything touches the store.
+func (o *daemonOptions) validate() error {
+	if o.root == "" {
 		return fmt.Errorf("-root is required")
 	}
-	cfg := service.Config{
-		Pool:           pool,
-		RoundsPerSlice: roundsPer,
-		DefaultQuota:   quota,
+	if parent := filepath.Dir(filepath.Clean(o.root)); parent != "." {
+		if fi, err := os.Stat(parent); err != nil || !fi.IsDir() {
+			return fmt.Errorf("-root %s: parent directory %s does not exist", o.root, parent)
+		}
 	}
-	if supervised {
+	if o.pool < 0 {
+		return fmt.Errorf("-pool must be at least 1 (or 0 for GOMAXPROCS), got %d", o.pool)
+	}
+	if o.roundsPer < 1 {
+		return fmt.Errorf("-rounds-per-slice must be at least 1, got %d", o.roundsPer)
+	}
+	if o.quota.MaxRunning < 0 || o.quota.MaxLive < 0 || o.quota.MaxBudget < 0 || o.quota.MaxWallSeconds < 0 {
+		return fmt.Errorf("quota flags must be non-negative (0 = unlimited)")
+	}
+	if o.retain < 0 {
+		return fmt.Errorf("-retain must be non-negative, got %d", o.retain)
+	}
+	if o.retainAge < 0 {
+		return fmt.Errorf("-retain-age must be non-negative, got %v", o.retainAge)
+	}
+	if o.join != "" && !strings.HasPrefix(o.join, "http://") && !strings.HasPrefix(o.join, "https://") {
+		return fmt.Errorf("-join must be a base URL like http://host:8080, got %q", o.join)
+	}
+	if o.join != "" && o.slots < 1 {
+		return fmt.Errorf("-slots must be at least 1, got %d", o.slots)
+	}
+	if o.join != "" && o.cluster {
+		return fmt.Errorf("-join (worker mode) and -cluster (coordinator mode) are mutually exclusive")
+	}
+	if o.leaseTTL < 50*time.Millisecond {
+		return fmt.Errorf("-lease-ttl must be at least 50ms, got %v", o.leaseTTL)
+	}
+	n, err := parseSize(o.cacheMaxSpec)
+	if err != nil {
+		return fmt.Errorf("-cache-max-bytes: %v", err)
+	}
+	o.cacheMax = n
+	return nil
+}
+
+// parseSize parses a byte size like "1048576", "64K", "64M", "2G"
+// (decimal multipliers of 1024). Empty means 0 (unbounded).
+func parseSize(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("want a non-negative byte count like 64M, got %q", s)
+	}
+	return n * mult, nil
+}
+
+func (o *daemonOptions) nodeName() string {
+	if o.nodeID != "" {
+		return o.nodeID
+	}
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "node"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+func (o *daemonOptions) serviceConfig() service.Config {
+	cfg := service.Config{
+		Pool:                o.pool,
+		RoundsPerSlice:      o.roundsPer,
+		DefaultQuota:        o.quota,
+		Retain:              o.retain,
+		RetainAge:           o.retainAge,
+		SharedCacheMaxBytes: o.cacheMax,
+	}
+	if o.supervised {
 		// Inert without faults (DESIGN.md §11), so supervision is on by
 		// default: one campaign's injected or real faults never take the
 		// daemon down.
-		cfg.Supervise = &supervise.Options{Enabled: true, IslandDeadline: islandDeadline}
+		cfg.Supervise = &supervise.Options{Enabled: true, IslandDeadline: o.islandDeadline}
 	}
-	svc, err := service.Open(root, cfg)
+	if o.cluster {
+		cfg.Cluster = &service.ClusterConfig{NodeID: o.nodeName(), LeaseTTL: o.leaseTTL}
+	}
+	return cfg
+}
+
+func run(o daemonOptions) error {
+	cfg := o.serviceConfig()
+	svc, err := service.Open(o.root, cfg)
 	if err != nil {
 		return err
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{Handler: service.NewServer(svc)}
-	log.Printf("pbsed: serving on http://%s (root %s, pool %d, %d round(s)/slice)",
-		ln.Addr(), root, cfg.Pool, roundsPer)
+	mode := "single-node"
+	if o.cluster {
+		mode = "cluster node " + svc.NodeID()
+	}
+	log.Printf("pbsed: serving on http://%s (root %s, pool %d, %d round(s)/slice, %s)",
+		ln.Addr(), o.root, cfg.Pool, o.roundsPer, mode)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -95,7 +253,7 @@ func run(addr, root string, pool int, roundsPer int64, drainTimeout time.Duratio
 		return err
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	if err := svc.Close(ctx); err != nil {
 		srv.Close()
@@ -105,5 +263,64 @@ func run(addr, root string, pool int, roundsPer int64, drainTimeout time.Duratio
 		srv.Close()
 	}
 	log.Printf("pbsed: drained; all campaigns checkpointed")
+	return nil
+}
+
+// runWorker is `pbsed -join`: a remote slice worker. It opens the same
+// shared root, serves /cluster/exec, and keeps its membership with the
+// coordinator alive until SIGTERM.
+func runWorker(o daemonOptions) error {
+	root, err := store.OpenRoot(o.root)
+	if err != nil {
+		return err
+	}
+	if o.cacheMax > 0 {
+		if err := root.SetSharedCacheMaxBytes(o.cacheMax); err != nil {
+			return err
+		}
+	}
+	exec := service.NewSliceExec(root, o.serviceConfig())
+	node := o.nodeName()
+	w := &cluster.Worker{ID: node, Exec: exec.Exec, Concurrency: o.slots}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	adv := o.advertise
+	if adv == "" {
+		adv = "http://" + ln.Addr().String()
+	}
+	srv := &http.Server{Handler: w.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("pbsed: worker %s serving slices on %s (advertised %s, %d slot(s), coordinator %s)",
+		node, ln.Addr(), adv, o.slots, o.join)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	joinErr := make(chan error, 1)
+	go func() {
+		joinErr <- cluster.JoinLoop(ctx, cluster.JoinConfig{
+			Coordinator: o.join, ID: node, Addr: adv, Slots: o.slots, Logf: log.Printf,
+		})
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("pbsed: worker %s: %v: finishing in-flight slices", node, sig)
+	case err := <-errc:
+		return err
+	}
+	cancel()
+	sctx, scancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+	}
+	<-joinErr
+	log.Printf("pbsed: worker %s stopped", node)
 	return nil
 }

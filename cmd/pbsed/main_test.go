@@ -1,0 +1,87 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pbse/internal/service"
+)
+
+// validOpts is a baseline that passes validation; tests mutate one
+// field at a time.
+func validOpts(t *testing.T) daemonOptions {
+	t.Helper()
+	return daemonOptions{
+		addr:      "127.0.0.1:0",
+		root:      filepath.Join(t.TempDir(), "root"),
+		roundsPer: 1,
+		leaseTTL:  10 * time.Second,
+		slots:     1,
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*daemonOptions)
+		want string // substring of the error, "" = valid
+	}{
+		{"baseline", func(o *daemonOptions) {}, ""},
+		{"missing root", func(o *daemonOptions) { o.root = "" }, "-root is required"},
+		{"orphan root", func(o *daemonOptions) { o.root = "/no/such/parent/root" }, "parent directory"},
+		{"negative pool", func(o *daemonOptions) { o.pool = -2 }, "-pool"},
+		{"zero rounds", func(o *daemonOptions) { o.roundsPer = 0 }, "-rounds-per-slice"},
+		{"negative quota", func(o *daemonOptions) { o.quota = service.Quota{MaxBudget: -1} }, "quota"},
+		{"negative retain", func(o *daemonOptions) { o.retain = -1 }, "-retain"},
+		{"negative retain age", func(o *daemonOptions) { o.retainAge = -time.Second }, "-retain-age"},
+		{"join without scheme", func(o *daemonOptions) { o.join = "localhost:8080" }, "-join"},
+		{"join zero slots", func(o *daemonOptions) { o.join = "http://localhost:8080"; o.slots = 0 }, "-slots"},
+		{"join plus cluster", func(o *daemonOptions) { o.join = "http://localhost:8080"; o.cluster = true }, "mutually exclusive"},
+		{"tiny lease ttl", func(o *daemonOptions) { o.leaseTTL = time.Millisecond }, "-lease-ttl"},
+		{"bad cache size", func(o *daemonOptions) { o.cacheMaxSpec = "64Q" }, "-cache-max-bytes"},
+		{"negative cache size", func(o *daemonOptions) { o.cacheMaxSpec = "-1M" }, "-cache-max-bytes"},
+		{"good cache size", func(o *daemonOptions) { o.cacheMaxSpec = "64M" }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := validOpts(t)
+			tc.mut(&o)
+			err := o.validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want ok", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"", 0, true},
+		{"1024", 1024, true},
+		{"64K", 64 << 10, true},
+		{"64k", 64 << 10, true},
+		{"8M", 8 << 20, true},
+		{"2G", 2 << 30, true},
+		{"-5", 0, false},
+		{"64Q", 0, false},
+		{"M", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := parseSize(tc.in)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package cluster turns several pbsed processes over one shared store
+// root into a fleet (DESIGN.md §14). It supplies the two coordination
+// primitives the daemon layer composes:
+//
+//   - A lease manager: per-campaign lease files under campaigns/<id>/
+//     carrying an owner ID, a monotonic fencing epoch, and a TTL.
+//     Acquisition is atomic (create-exclusive, steals via a rename
+//     dance that exactly one contender can win), ownership is kept
+//     alive by heartbeat renewal, and every checkpoint-class write of
+//     the owner is fenced: a stale owner — one whose lease expired and
+//     was stolen — fails its writes instead of clobbering the
+//     successor's state.
+//
+//   - A remote slice-worker protocol: a coordinator daemon dispatches
+//     slices (campaign ID + round window + fencing epoch + the spec)
+//     over HTTP/JSON to workers started with `pbsed -join <addr>`.
+//     Each worker executes the slice against the same shared root and
+//     reports the campaign-cumulative result. Dispatch carries a
+//     per-try timeout and retry/backoff; a worker dying mid-slice is
+//     harmless because slice execution is bit-deterministic and
+//     checkpoints are atomic, so the coordinator simply re-dispatches
+//     (or runs locally) from the same checkpoint.
+//
+// The store remains the only shared substrate: no consensus service,
+// no replicated log — just atomic renames on a shared filesystem plus
+// fencing epochs, which is exactly enough because every slice is a
+// pure function of the checkpoint it resumes from.
+package cluster
+
+import "encoding/json"
+
+// SliceRequest is one dispatched unit of campaign work: resume the
+// campaign from its checkpoint in the shared root, run Rounds scheduler
+// rounds, checkpoint, and report. Owner/Epoch are the coordinator's
+// lease identity; the worker fences its checkpoint writes on them so a
+// dispatch outliving its coordinator's lease cannot corrupt a
+// successor's campaign.
+type SliceRequest struct {
+	Campaign string `json:"campaign"`
+	Rounds   int64  `json:"rounds"`
+	Owner    string `json:"owner"`
+	Epoch    uint64 `json:"epoch"`
+	// Spec is the service-layer campaign spec, opaque to this package.
+	Spec json.RawMessage `json:"spec"`
+}
+
+// SliceResult is the worker's campaign-cumulative report after one
+// slice: totals as of the checkpoint the slice left behind, never
+// per-slice deltas, so a lost or duplicated dispatch cannot skew the
+// coordinator's accounting.
+type SliceResult struct {
+	// Finished reports the campaign drained its budget (the slice was
+	// not interrupted at its round bound).
+	Finished bool     `json:"finished"`
+	Rounds   int64    `json:"rounds"`
+	Clock    int64    `json:"clock"`
+	Covered  int      `json:"covered"`
+	BugIDs   []string `json:"bug_ids,omitempty"`
+	// Error is a worker-side execution failure (the slice did not
+	// complete); transport failures never produce a SliceResult.
+	Error string `json:"error,omitempty"`
+}
+
+// joinRequest announces a worker to the coordinator.
+type joinRequest struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr"`
+	Slots int    `json:"slots"`
+}
+
+// heartbeatRequest keeps a worker's membership alive.
+type heartbeatRequest struct {
+	ID string `json:"id"`
+}

@@ -1,0 +1,384 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Coordinator side of the remote slice-worker protocol: a Registry of
+// joined workers and the fenced dispatch call. The service layer owns
+// scheduling — it grants slices from its one queue to local pool
+// goroutines and per-worker dispatcher goroutines interchangeably —
+// so the Registry's job is just membership (join/heartbeat/death) and
+// the HTTP round trip with timeout/retry/backoff.
+
+// DispatchOptions tune the coordinator→worker round trip.
+type DispatchOptions struct {
+	// Timeout bounds one dispatch attempt end-to-end; it must exceed
+	// the worst-case slice duration (default 2m).
+	Timeout time.Duration
+	// Retries is how many additional attempts a transport failure
+	// gets before the worker is declared dead (default 2).
+	Retries int
+	// Backoff is the base delay between attempts, doubled each retry
+	// (default 250ms).
+	Backoff time.Duration
+	// WorkerTTL is how stale a worker's heartbeat may be before the
+	// registry stops dispatching to it (default 15s).
+	WorkerTTL time.Duration
+}
+
+func (o DispatchOptions) withDefaults() DispatchOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Minute
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 250 * time.Millisecond
+	}
+	if o.WorkerTTL <= 0 {
+		o.WorkerTTL = 15 * time.Second
+	}
+	return o
+}
+
+// RemoteWorker is one joined worker's registry record.
+type RemoteWorker struct {
+	ID    string
+	Addr  string // base URL, e.g. http://10.0.0.7:8091
+	Slots int
+
+	mu         sync.Mutex
+	lastBeat   time.Time
+	dead       bool
+	generation int // bumped on each (re)join; retires stale dispatchers
+	dispatched int64
+	completed  int64
+	failed     int64
+}
+
+// alive reports whether the worker is usable (not declared dead, and
+// heartbeat fresher than ttl).
+func (w *RemoteWorker) alive(ttl time.Duration) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !w.dead && time.Since(w.lastBeat) <= ttl
+}
+
+// WorkerInfo is a worker's externally visible state (for /cluster/statz).
+type WorkerInfo struct {
+	ID            string    `json:"id"`
+	Addr          string    `json:"addr"`
+	Slots         int       `json:"slots"`
+	Alive         bool      `json:"alive"`
+	LastHeartbeat time.Time `json:"last_heartbeat"`
+	Dispatched    int64     `json:"dispatched"`
+	Completed     int64     `json:"completed"`
+	Failed        int64     `json:"failed"`
+}
+
+// Registry tracks joined workers for one coordinator.
+type Registry struct {
+	opts   DispatchOptions
+	onJoin func(*RemoteWorker) // called (no locks held) for each fresh join
+	logf   func(string, ...any)
+	client *http.Client
+
+	mu      sync.Mutex
+	workers map[string]*RemoteWorker
+
+	statMu    sync.Mutex
+	dispatch  int64 // dispatch attempts
+	retries   int64 // transport retries
+	failures  int64 // dispatches abandoned after retries
+	completes int64 // successful slice round trips
+}
+
+// NewRegistry builds a worker registry. onJoin runs once per fresh
+// join (including a rejoin after death) — the service layer uses it to
+// spawn that worker's dispatcher goroutines.
+func NewRegistry(opts DispatchOptions, onJoin func(*RemoteWorker), logf func(string, ...any)) *Registry {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	o := opts.withDefaults()
+	return &Registry{
+		opts:    o,
+		onJoin:  onJoin,
+		logf:    logf,
+		client:  &http.Client{Timeout: o.Timeout},
+		workers: make(map[string]*RemoteWorker),
+	}
+}
+
+// Join registers (or revives) a worker and returns its record. A
+// worker re-joining with a new address or after being declared dead
+// gets fresh dispatchers via onJoin.
+func (r *Registry) Join(id, addr string, slots int) (*RemoteWorker, error) {
+	if id == "" || addr == "" {
+		return nil, fmt.Errorf("cluster: join needs id and addr")
+	}
+	if slots <= 0 {
+		slots = 1
+	}
+	r.mu.Lock()
+	w := r.workers[id]
+	fresh := false
+	if w == nil {
+		w = &RemoteWorker{ID: id, Addr: addr, Slots: slots}
+		r.workers[id] = w
+		fresh = true
+	}
+	w.mu.Lock()
+	if w.dead || w.Addr != addr || w.Slots != slots {
+		fresh = true
+	}
+	w.Addr = addr
+	w.Slots = slots
+	w.dead = false
+	w.lastBeat = time.Now()
+	if fresh {
+		w.generation++
+	}
+	gen := w.generation
+	w.mu.Unlock()
+	r.mu.Unlock()
+	if fresh {
+		r.logf("cluster: worker %s joined from %s (%d slot(s), generation %d)", id, addr, slots, gen)
+		if r.onJoin != nil {
+			r.onJoin(w)
+		}
+	}
+	return w, nil
+}
+
+// Heartbeat refreshes a worker's liveness; unknown workers get an
+// error so they re-join. A heartbeat arriving after a silence longer
+// than the worker TTL revives the worker under a fresh generation
+// (firing onJoin): its old dispatchers retired while it was stale, so
+// somebody has to spawn new ones.
+func (r *Registry) Heartbeat(id string) error {
+	r.mu.Lock()
+	w := r.workers[id]
+	r.mu.Unlock()
+	if w == nil {
+		return fmt.Errorf("cluster: heartbeat from unknown worker %s", id)
+	}
+	w.mu.Lock()
+	if w.dead {
+		w.mu.Unlock()
+		return fmt.Errorf("cluster: worker %s was declared dead; re-join", id)
+	}
+	revived := time.Since(w.lastBeat) > r.opts.WorkerTTL
+	w.lastBeat = time.Now()
+	if revived {
+		w.generation++
+	}
+	gen := w.generation
+	w.mu.Unlock()
+	if revived {
+		r.logf("cluster: worker %s heartbeat resumed (generation %d)", id, gen)
+		if r.onJoin != nil {
+			r.onJoin(w)
+		}
+	}
+	return nil
+}
+
+// WorkerSlots returns the worker's current slot count.
+func (r *Registry) WorkerSlots(w *RemoteWorker) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.Slots
+}
+
+// Usable reports whether the worker should still be dispatched to by
+// a dispatcher of the given generation.
+func (r *Registry) Usable(w *RemoteWorker, generation int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !w.dead && w.generation == generation && time.Since(w.lastBeat) <= r.opts.WorkerTTL
+}
+
+// Generation returns the worker's current join generation.
+func (r *Registry) Generation(w *RemoteWorker) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.generation
+}
+
+// markDead retires a worker until it re-joins.
+func (r *Registry) markDead(w *RemoteWorker, why error) {
+	w.mu.Lock()
+	already := w.dead
+	w.dead = true
+	w.mu.Unlock()
+	if !already {
+		r.logf("cluster: worker %s (%s) declared dead: %v", w.ID, w.Addr, why)
+	}
+}
+
+// Dispatch runs one slice on w: POST /cluster/exec with per-attempt
+// timeout, retrying transport failures with exponential backoff. A
+// worker that exhausts its retries is declared dead and the dispatch
+// returns an error — the caller requeues the slice, which is safe to
+// re-run anywhere because the worker either never wrote a checkpoint
+// or atomically wrote the bit-deterministic one.
+func (r *Registry) Dispatch(ctx context.Context, w *RemoteWorker, req SliceRequest) (*SliceResult, error) {
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dispatch encode: %w", err)
+	}
+	w.mu.Lock()
+	w.dispatched++
+	w.mu.Unlock()
+	var lastErr error
+	backoff := r.opts.Backoff
+attempts:
+	for attempt := 0; attempt <= r.opts.Retries; attempt++ {
+		if attempt > 0 {
+			r.statMu.Lock()
+			r.retries++
+			r.statMu.Unlock()
+			select {
+			case <-ctx.Done():
+				lastErr = fmt.Errorf("%v (giving up: %v)", lastErr, ctx.Err())
+				break attempts
+			case <-time.After(backoff):
+				backoff *= 2
+			}
+		}
+		r.statMu.Lock()
+		r.dispatch++
+		r.statMu.Unlock()
+		res, derr := r.tryDispatch(ctx, w, body)
+		if derr == nil {
+			w.mu.Lock()
+			w.completed++
+			w.mu.Unlock()
+			r.statMu.Lock()
+			r.completes++
+			r.statMu.Unlock()
+			return res, nil
+		}
+		lastErr = derr
+		r.logf("cluster: dispatch %s to %s attempt %d/%d failed: %v",
+			req.Campaign, w.ID, attempt+1, r.opts.Retries+1, derr)
+	}
+	w.mu.Lock()
+	w.failed++
+	w.mu.Unlock()
+	r.statMu.Lock()
+	r.failures++
+	r.statMu.Unlock()
+	r.markDead(w, lastErr)
+	return nil, fmt.Errorf("cluster: dispatch %s to worker %s: %w", req.Campaign, w.ID, lastErr)
+}
+
+// tryDispatch is one POST /cluster/exec attempt.
+func (r *Registry) tryDispatch(ctx context.Context, w *RemoteWorker, body []byte) (*SliceResult, error) {
+	actx, cancel := context.WithTimeout(ctx, r.opts.Timeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, w.Addr+"/cluster/exec", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("worker returned %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	res := &SliceResult{}
+	if err := json.Unmarshal(data, res); err != nil {
+		return nil, fmt.Errorf("bad worker response: %w", err)
+	}
+	return res, nil
+}
+
+// Workers snapshots the registry for /cluster/statz, sorted by ID.
+func (r *Registry) Workers() []WorkerInfo {
+	r.mu.Lock()
+	ws := make([]*RemoteWorker, 0, len(r.workers))
+	for _, w := range r.workers {
+		ws = append(ws, w)
+	}
+	r.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(ws))
+	for _, w := range ws {
+		w.mu.Lock()
+		out = append(out, WorkerInfo{
+			ID: w.ID, Addr: w.Addr, Slots: w.Slots,
+			Alive:         !w.dead && time.Since(w.lastBeat) <= r.opts.WorkerTTL,
+			LastHeartbeat: w.lastBeat,
+			Dispatched:    w.dispatched, Completed: w.completed, Failed: w.failed,
+		})
+		w.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DispatchStats is the coordinator's aggregate dispatch accounting.
+type DispatchStats struct {
+	Dispatches int64 `json:"dispatches"`
+	Retries    int64 `json:"retries"`
+	Failures   int64 `json:"failures"`
+	Completes  int64 `json:"completes"`
+}
+
+// Stats snapshots the dispatch counters.
+func (r *Registry) Stats() DispatchStats {
+	r.statMu.Lock()
+	defer r.statMu.Unlock()
+	return DispatchStats{Dispatches: r.dispatch, Retries: r.retries, Failures: r.failures, Completes: r.completes}
+}
+
+// HandleJoin is the coordinator's POST /cluster/join endpoint.
+func (r *Registry) HandleJoin(w http.ResponseWriter, req *http.Request) {
+	var jr joinRequest
+	if err := json.NewDecoder(req.Body).Decode(&jr); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, err := r.Join(jr.ID, jr.Addr, jr.Slots); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"ok\":true,\"ttl_ms\":%d}\n", r.opts.WorkerTTL.Milliseconds())
+}
+
+// HandleHeartbeat is the coordinator's POST /cluster/heartbeat endpoint.
+// An unknown or retired worker gets 410 so it re-joins.
+func (r *Registry) HandleHeartbeat(w http.ResponseWriter, req *http.Request) {
+	var hr heartbeatRequest
+	if err := json.NewDecoder(req.Body).Decode(&hr); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := r.Heartbeat(hr.ID); err != nil {
+		http.Error(w, err.Error(), http.StatusGone)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"ok":true}`)
+}

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Remote slice protocol unit tests: the worker HTTP surface, the
+// dispatch retry/backoff/death path, and the join/heartbeat loop.
+
+// TestWorkerExecRoundTrip: a dispatch round trip carries the request
+// through ExecFunc and back.
+func TestWorkerExecRoundTrip(t *testing.T) {
+	var got SliceRequest
+	w := &Worker{ID: "w1", Exec: func(req SliceRequest) SliceResult {
+		got = req
+		return SliceResult{Finished: true, Rounds: 7, Clock: 123, Covered: 9, BugIDs: []string{"b1"}}
+	}}
+	ts := httptest.NewServer(w.Handler())
+	defer ts.Close()
+
+	reg := NewRegistry(DispatchOptions{Timeout: 5 * time.Second}, nil, t.Logf)
+	rw, err := reg.Join("w1", ts.URL, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := reg.Dispatch(context.Background(), rw, SliceRequest{
+		Campaign: "c000001-a", Rounds: 3, Owner: "coord", Epoch: 4,
+		Spec: json.RawMessage(`{"driver":"readelf"}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Campaign != "c000001-a" || got.Rounds != 3 || got.Owner != "coord" || got.Epoch != 4 {
+		t.Errorf("worker saw %+v", got)
+	}
+	if !res.Finished || res.Rounds != 7 || res.Covered != 9 || len(res.BugIDs) != 1 {
+		t.Errorf("coordinator got %+v", res)
+	}
+	if ok, bad := w.Executed(); ok != 1 || bad != 0 {
+		t.Errorf("worker counters ok=%d err=%d", ok, bad)
+	}
+}
+
+// TestWorkerExecValidation: a dispatch without a fencing epoch is
+// rejected before reaching ExecFunc.
+func TestWorkerExecValidation(t *testing.T) {
+	w := &Worker{ID: "w1", Exec: func(SliceRequest) SliceResult {
+		t.Fatal("exec ran for an unfenced request")
+		return SliceResult{}
+	}}
+	ts := httptest.NewServer(w.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/cluster/exec", "application/json",
+		jsonBody(t, SliceRequest{Campaign: "c1", Owner: "coord"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unfenced exec got %d, want 400", resp.StatusCode)
+	}
+}
+
+func jsonBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(data)
+}
+
+// TestDispatchRetryThenDeath: transport failures are retried with
+// backoff; exhausting the retries declares the worker dead, and a
+// re-join revives it with a new generation.
+func TestDispatchRetryThenDeath(t *testing.T) {
+	var calls atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			// Kill the connection mid-response: a transport error.
+			hj, _ := w.(http.Hijacker)
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(&SliceResult{Finished: false, Rounds: 1})
+	}))
+	defer flaky.Close()
+
+	joins := 0
+	reg := NewRegistry(DispatchOptions{Timeout: 2 * time.Second, Retries: 2, Backoff: 5 * time.Millisecond},
+		func(*RemoteWorker) { joins++ }, t.Logf)
+	w, err := reg.Join("flaky", flaky.URL, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := reg.Dispatch(context.Background(), w, SliceRequest{Campaign: "c1", Rounds: 1, Owner: "o", Epoch: 1})
+	if err != nil {
+		t.Fatalf("dispatch should have succeeded on the third attempt: %v", err)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("got %+v", res)
+	}
+	if st := reg.Stats(); st.Retries != 2 || st.Completes != 1 {
+		t.Errorf("stats %+v, want 2 retries and 1 complete", st)
+	}
+
+	// Now a permanently dead endpoint: the dispatch fails and the
+	// worker is retired.
+	dead := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	dead.Close() // immediately: connection refused
+	w2, err := reg.Join("gone", dead.URL, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := reg.Generation(w2)
+	if _, err := reg.Dispatch(context.Background(), w2, SliceRequest{Campaign: "c2", Rounds: 1, Owner: "o", Epoch: 1}); err == nil {
+		t.Fatal("dispatch to a dead worker succeeded")
+	}
+	if reg.Usable(w2, gen) {
+		t.Fatal("dead worker still usable")
+	}
+	if err := reg.Heartbeat("gone"); err == nil {
+		t.Fatal("heartbeat from a retired worker accepted")
+	}
+	// Re-join revives it under a fresh generation.
+	before := joins
+	if _, err := reg.Join("gone", flaky.URL, 1); err != nil {
+		t.Fatal(err)
+	}
+	if joins != before+1 {
+		t.Errorf("re-join did not fire onJoin (%d → %d)", before, joins)
+	}
+	if reg.Usable(w2, gen) {
+		t.Error("old-generation dispatcher still considered usable after re-join")
+	}
+}
+
+// TestJoinLoopRejoins: the worker membership loop joins, survives a
+// coordinator that forgets it (410 → re-join), and stops on ctx end.
+func TestJoinLoopRejoins(t *testing.T) {
+	var joins, beats atomic.Int64
+	forget := make(chan struct{}, 1)
+	coord := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/cluster/join":
+			joins.Add(1)
+			w.Write([]byte(`{"ok":true}`))
+		case "/cluster/heartbeat":
+			select {
+			case <-forget:
+				http.Error(w, "who are you", http.StatusGone)
+			default:
+				beats.Add(1)
+				w.Write([]byte(`{"ok":true}`))
+			}
+		}
+	}))
+	defer coord.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- JoinLoop(ctx, JoinConfig{
+			Coordinator: coord.URL, ID: "w1", Addr: "http://127.0.0.1:1",
+			Slots: 1, HeartbeatEvery: 10 * time.Millisecond, Logf: t.Logf,
+		})
+	}()
+	waitFor(t, func() bool { return beats.Load() >= 2 }, "first heartbeats")
+	forget <- struct{}{} // coordinator "restarts"
+	waitFor(t, func() bool { return joins.Load() >= 2 }, "re-join after 410")
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Errorf("join loop returned %v", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

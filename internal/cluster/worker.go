@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Worker side of the remote slice protocol: an HTTP handler that
+// executes dispatched slices through a service-supplied ExecFunc, and
+// a client loop that joins a coordinator and keeps the membership
+// alive with heartbeats (re-joining whenever the coordinator restarts
+// or declares us dead).
+
+// ExecFunc executes one dispatched slice against the shared store
+// root and returns its campaign-cumulative result. Implementations
+// must fence their checkpoint writes on (req.Owner, req.Epoch).
+type ExecFunc func(req SliceRequest) SliceResult
+
+// Worker serves /cluster/exec for one node.
+type Worker struct {
+	ID   string
+	Exec ExecFunc
+
+	// Concurrency limits in-flight slices; dispatch beyond it queues
+	// in the HTTP server. 0 = no limit.
+	Concurrency int
+
+	sem     chan struct{}
+	semOnce sync.Once
+
+	executed atomic.Int64
+	errored  atomic.Int64
+}
+
+// Executed returns how many slices this worker has run (and how many
+// of those returned an execution error).
+func (w *Worker) Executed() (ok, errored int64) {
+	return w.executed.Load() - w.errored.Load(), w.errored.Load()
+}
+
+// Handler returns the worker's HTTP surface:
+//
+//	POST /cluster/exec  run one slice         → 200 SliceResult
+//	GET  /healthz       liveness              → 200 "ok"
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/exec", w.handleExec)
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func (w *Worker) handleExec(rw http.ResponseWriter, req *http.Request) {
+	var sr SliceRequest
+	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<20)).Decode(&sr); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if sr.Campaign == "" || sr.Owner == "" || sr.Epoch == 0 {
+		http.Error(rw, "cluster: exec needs campaign, owner, and epoch", http.StatusBadRequest)
+		return
+	}
+	if w.Concurrency > 0 {
+		w.semOnce.Do(func() { w.sem = make(chan struct{}, w.Concurrency) })
+		w.sem <- struct{}{}
+		defer func() { <-w.sem }()
+	}
+	res := w.Exec(sr)
+	w.executed.Add(1)
+	if res.Error != "" {
+		w.errored.Add(1)
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(&res)
+}
+
+// JoinConfig tunes a worker's membership loop.
+type JoinConfig struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// ID is this worker's node ID.
+	ID string
+	// Addr is this worker's advertised base URL for dispatches.
+	Addr string
+	// Slots is how many dispatcher goroutines the coordinator should
+	// run against this worker (default 1).
+	Slots int
+	// HeartbeatEvery is the heartbeat cadence (default 3s; must be
+	// well under the coordinator's WorkerTTL).
+	HeartbeatEvery time.Duration
+	// Logf sinks membership logs.
+	Logf func(string, ...any)
+}
+
+// JoinLoop joins the coordinator and heartbeats until ctx ends. Any
+// join or heartbeat failure falls back to re-joining with backoff, so
+// a coordinator restart (which empties its registry) heals without
+// operator action.
+func JoinLoop(ctx context.Context, cfg JoinConfig) error {
+	if cfg.Coordinator == "" || cfg.ID == "" || cfg.Addr == "" {
+		return fmt.Errorf("cluster: join loop needs coordinator, id, and addr")
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 3 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	joined := false
+	backoff := cfg.HeartbeatEvery
+	for {
+		var err error
+		if !joined {
+			err = postJSON(ctx, client, cfg.Coordinator+"/cluster/join",
+				joinRequest{ID: cfg.ID, Addr: cfg.Addr, Slots: cfg.Slots})
+			if err == nil {
+				cfg.Logf("cluster: joined coordinator %s as %s (%d slot(s))", cfg.Coordinator, cfg.ID, cfg.Slots)
+				joined = true
+				backoff = cfg.HeartbeatEvery
+			}
+		} else {
+			err = postJSON(ctx, client, cfg.Coordinator+"/cluster/heartbeat", heartbeatRequest{ID: cfg.ID})
+		}
+		if err != nil {
+			if joined {
+				cfg.Logf("cluster: heartbeat to %s failed (%v); re-joining", cfg.Coordinator, err)
+			} else {
+				cfg.Logf("cluster: join to %s failed (%v); retrying", cfg.Coordinator, err)
+			}
+			joined = false
+		}
+		wait := cfg.HeartbeatEvery
+		if !joined {
+			wait = backoff
+			if backoff < 30*time.Second {
+				backoff *= 2
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}
+
+// postJSON posts v and requires a 2xx.
+func postJSON(ctx context.Context, client *http.Client, url string, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s returned %d: %s", url, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return nil
+}

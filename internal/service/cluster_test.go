@@ -1,0 +1,435 @@
+package service
+
+// Cluster-mode tests: failover determinism (SIGKILL the owning daemon
+// mid-campaign, a second daemon over the same root adopts and finishes
+// bit-identically), remote slice-worker dispatch (coordinator with no
+// local pool, all slices over HTTP, still bit-identical), write fencing
+// against stale owners, and the retention GC's safety rails.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"pbse/internal/cluster"
+	"pbse/internal/store"
+)
+
+// testClusterConfig is testConfig plus fleet membership with timings
+// tight enough for failover tests: leases expire 1.5s after the owner
+// goes silent and peers sweep for adoptable campaigns every 250ms.
+func testClusterConfig(pool int, node string) Config {
+	cfg := testConfig(pool)
+	cfg.Cluster = &ClusterConfig{
+		NodeID:         node,
+		LeaseTTL:       1500 * time.Millisecond,
+		HeartbeatEvery: 300 * time.Millisecond,
+		AdoptEvery:     250 * time.Millisecond,
+	}
+	return cfg
+}
+
+// failoverSpecs are the campaigns in flight when the owning daemon is
+// killed: one plain coverage run, one with seeded bugs.
+func failoverSpecs() []Spec {
+	return []Spec{
+		{Tenant: "alice", Driver: "readelf", SeedSize: 256, RNGSeed: 42, Budget: 60_000},
+		{Tenant: "bob", Driver: "readelf", BuggySeed: true, RNGSeed: 3, Budget: 60_000},
+	}
+}
+
+// TestDaemonKillFailoverDeterminism is the cluster acceptance test:
+// daemon A (cluster node "victim") is SIGKILLed mid-campaign; daemon B
+// ("survivor") over the same root steals the expired leases, adopts the
+// campaigns, and must finish them bit-identically — coverage, virtual
+// clock, rounds, and bug IDs all equal to an uninterrupted run.
+func TestDaemonKillFailoverDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster failover matrix skipped in -short mode")
+	}
+	specs := failoverSpecs()
+
+	// References: same cluster config (so campaign IDs carry the same
+	// "-victim" suffix), run to completion undisturbed over its own root.
+	refs := make([]*CampaignInfo, len(specs))
+	refSvc, err := Open(t.TempDir(), testClusterConfig(2, "victim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		info, err := refSvc.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := refSvc.WaitTerminal(context.Background(), info.ID); err != nil {
+			t.Fatal(err)
+		}
+		if refs[i], err = refSvc.Info(info.ID); err != nil {
+			t.Fatal(err)
+		}
+		if refs[i].Status != StatusDone {
+			t.Fatalf("reference campaign %s ended %s", info.ID, refs[i].Status)
+		}
+	}
+	if err := refSvc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Victim: re-exec this binary as cluster node "victim"; it submits
+	// the same specs and SIGKILLs itself once both are checkpointed and
+	// still running — leases left live on disk, expiring on the TTL.
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestDaemonKillFailoverVictim$", "-test.v")
+	cmd.Env = append(os.Environ(), "PBSE_CLUSTER_VICTIM=1", "PBSE_CLUSTER_ROOT="+dir)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ProcessState.ExitCode() != -1 {
+		t.Fatalf("victim did not die on a signal (err=%v):\n%s", err, out)
+	}
+
+	// Survivor: a different node over the carcass. Recovery either
+	// mirrors the campaigns (lease still live) and adopts them when it
+	// expires, or — if the TTL already lapsed — takes them at open.
+	svc, err := Open(dir, testClusterConfig(2, "survivor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+
+	ids := []string{"c000001-victim", "c000002-victim"}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	for i, id := range ids {
+		if _, err := svc.WaitTerminal(ctx, id); err != nil {
+			t.Fatalf("adopted campaign %s never finished: %v", id, err)
+		}
+		got, err := svc.Info(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := refs[i]
+		if got.Status != StatusDone {
+			t.Errorf("campaign %s ended %s (%s)", id, got.Status, got.Error)
+		}
+		if got.Covered != ref.Covered {
+			t.Errorf("campaign %s coverage diverged: failover %d, reference %d", id, got.Covered, ref.Covered)
+		}
+		if got.Clock != ref.Clock {
+			t.Errorf("campaign %s clock diverged: failover %d, reference %d", id, got.Clock, ref.Clock)
+		}
+		if got.Rounds != ref.Rounds {
+			t.Errorf("campaign %s rounds diverged: failover %d, reference %d", id, got.Rounds, ref.Rounds)
+		}
+		if !reflect.DeepEqual(got.BugIDs, ref.BugIDs) {
+			t.Errorf("campaign %s bug IDs diverged:\n failover  %v\n reference %v", id, got.BugIDs, ref.BugIDs)
+		}
+	}
+}
+
+// TestDaemonKillFailoverVictim is the subprocess body for
+// TestDaemonKillFailoverDeterminism: it submits the failover specs as
+// cluster node "victim" and SIGKILLs itself once every campaign has a
+// durable checkpoint and none has finished.
+func TestDaemonKillFailoverVictim(t *testing.T) {
+	if os.Getenv("PBSE_CLUSTER_VICTIM") != "1" {
+		t.Skip("subprocess body for TestDaemonKillFailoverDeterminism")
+	}
+	svc, err := Open(os.Getenv("PBSE_CLUSTER_ROOT"), testClusterConfig(2, "victim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, spec := range failoverSpecs() {
+		info, err := svc.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		ready := 0
+		for _, id := range ids {
+			st, err := svc.Root().Campaign(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info, err := svc.Info(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Status.Terminal() {
+				t.Fatalf("campaign %s finished before the kill — budget too small", id)
+			}
+			if st.HasCheckpoint() {
+				ready++
+			}
+		}
+		if ready == len(ids) {
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("campaigns never all checkpointed")
+}
+
+// TestRemoteWorkerDispatchDeterminism runs a campaign on a coordinator
+// with NO local pool — every slice executes on a remote worker over
+// HTTP against the same root — and requires the result bit-identical to
+// a local-pool run of the same spec.
+func TestRemoteWorkerDispatchDeterminism(t *testing.T) {
+	spec := Spec{Tenant: "alice", Driver: "readelf", SeedSize: 256, RNGSeed: 42, Budget: e2eBudget}
+
+	// Reference: same node ID (same campaign ID), local pool.
+	refSvc, err := Open(t.TempDir(), testClusterConfig(2, "coord"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refInfo, err := refSvc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := refSvc.WaitTerminal(context.Background(), refInfo.ID); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refSvc.Info(refInfo.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refSvc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Status != StatusDone {
+		t.Fatalf("reference ended %s (%s)", ref.Status, ref.Error)
+	}
+
+	// Coordinator: Pool -1 = dispatch-only. Long worker TTL so the
+	// in-process worker never goes stale mid-test.
+	dir := t.TempDir()
+	cfg := testClusterConfig(-1, "coord")
+	cfg.Cluster.Dispatch = cluster.DispatchOptions{WorkerTTL: 10 * time.Minute}
+	svc, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+
+	// Worker: its own Root handle over the same directory (as a separate
+	// process would have), served over httptest.
+	wroot, err := store.OpenRoot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx := NewSliceExec(wroot, Config{Logf: func(string, ...any) {}})
+	w := &cluster.Worker{ID: "w1", Exec: sx.Exec, Concurrency: 2}
+	ws := httptest.NewServer(w.Handler())
+	defer ws.Close()
+	if _, err := svc.Registry().Join("w1", ws.URL, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if _, err := svc.WaitTerminal(ctx, info.ID); err != nil {
+		t.Fatalf("remote-dispatched campaign never finished: %v", err)
+	}
+	got, err := svc.Info(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != ref.ID {
+		t.Fatalf("campaign IDs diverged: %s vs %s", got.ID, ref.ID)
+	}
+	if got.Status != StatusDone {
+		t.Errorf("remote campaign ended %s (%s)", got.Status, got.Error)
+	}
+	if got.Covered != ref.Covered || got.Clock != ref.Clock || got.Rounds != ref.Rounds {
+		t.Errorf("remote run diverged: covered/clock/rounds %d/%d/%d, reference %d/%d/%d",
+			got.Covered, got.Clock, got.Rounds, ref.Covered, ref.Clock, ref.Rounds)
+	}
+	if !reflect.DeepEqual(got.BugIDs, ref.BugIDs) {
+		t.Errorf("remote bug IDs diverged:\n remote    %v\n reference %v", got.BugIDs, ref.BugIDs)
+	}
+	if n, _ := w.Executed(); n == 0 {
+		t.Error("worker executed no slices — campaign ran somewhere else?")
+	}
+	if st := svc.Registry().Stats(); st.Completes == 0 {
+		t.Errorf("registry recorded no completed dispatches: %+v", st)
+	}
+	cs := svc.ClusterStats()
+	if !cs.Enabled || cs.NodeID != "coord" || len(cs.Workers) != 1 {
+		t.Errorf("cluster stats off: %+v", cs)
+	}
+}
+
+// TestClusterFencingStaleOwnerRejected: a daemon that silently loses
+// its lease (here: never renewed, stolen by an intruder) must have its
+// checkpoint-class writes rejected by the fence, and the campaign fails
+// locally instead of clobbering the successor's state.
+func TestClusterFencingStaleOwnerRejected(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Cluster = &ClusterConfig{
+		NodeID:         "stale",
+		LeaseTTL:       300 * time.Millisecond,
+		HeartbeatEvery: time.Hour, // never renews: the lease is left to expire
+		AdoptEvery:     time.Hour,
+	}
+	svc, err := Open(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+
+	info, err := svc.Submit(Spec{Tenant: "alice", Driver: "readelf", SeedSize: 256, RNGSeed: 42, Budget: 500_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Intruder: steal the lease as soon as it expires.
+	intruder := cluster.NewLeaseManager("intruder", 10*time.Second)
+	leasePath := filepath.Join(svc.Root().CampaignDir(info.ID), cluster.LeaseFileName)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := intruder.Acquire(leasePath); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("intruder never managed to steal the lease")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The stale owner's next checkpoint write must bounce off the fence
+	// and fail the campaign locally.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := svc.WaitTerminal(ctx, info.ID); err != nil {
+		t.Fatalf("stale owner's campaign never terminated: %v", err)
+	}
+	got, err := svc.Info(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusFailed {
+		t.Fatalf("stale owner's campaign ended %s, want failed (%s)", got.Status, got.Error)
+	}
+	st, err := svc.Root().Campaign(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().FenceRejections == 0 {
+		t.Error("no write was fence-rejected — the stale owner kept writing")
+	}
+}
+
+// TestRetentionSweep: -retain/-retain-age remove only terminal,
+// unleased campaign trees, newest kept first.
+func TestRetentionSweep(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(dir, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		info, err := svc.Submit(Spec{Tenant: "alice", Driver: "gif2tiff", RNGSeed: int64(i + 1), Budget: tinyBudget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.WaitTerminal(context.Background(), info.ID); err != nil {
+			t.Fatal(err)
+		}
+		// Job-record mtimes order the retention window.
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Retain the newest 1 of the 3 terminal campaigns: the sweep at open
+	// removes the two oldest.
+	cfg := testConfig(1)
+	cfg.Retain = 1
+	svc2, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := svc2.Root().List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "c000003" {
+		t.Fatalf("after retain=1 sweep: kept %v, want [c000003]", ids)
+	}
+	if got := svc2.Stats().GCSwept; got != 2 {
+		t.Errorf("gc_swept = %d, want 2", got)
+	}
+	if infos := svc2.List(""); len(infos) != 1 {
+		t.Errorf("registry kept %d campaigns, want 1: %+v", len(infos), infos)
+	}
+
+	// Safety rails: a non-terminal record and a terminal-but-leased one
+	// survive an age sweep that removes everything else.
+	if _, err := svc2.root.Campaign("cflight"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc2.writeJob(jobRecord{Spec: Spec{ID: "cflight", Tenant: "t", Driver: "readelf", Budget: 1000}, Status: StatusCheckpointed}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc2.root.Campaign("cleased"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc2.writeJob(jobRecord{Spec: Spec{ID: "cleased", Tenant: "t", Driver: "readelf", Budget: 1000}, Status: StatusDone}); err != nil {
+		t.Fatal(err)
+	}
+	peer := cluster.NewLeaseManager("peer", time.Hour)
+	if _, err := peer.Acquire(filepath.Join(svc2.Root().CampaignDir("cleased"), cluster.LeaseFileName)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	svc2.cfg.Retain = 0
+	svc2.cfg.RetainAge = 5 * time.Millisecond
+	svc2.sweepTerminal()
+	ids, err = svc2.Root().List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"cflight", "cleased"}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("age sweep kept %v, want %v (non-terminal and leased trees must survive)", ids, want)
+	}
+	if err := svc2.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterEndpointsDisabled: the cluster routes exist on every
+// daemon but refuse politely without -cluster.
+func TestClusterEndpointsDisabled(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), testConfig(1))
+	resp, err := http.Post(ts.URL+"/cluster/join", "application/json",
+		strings.NewReader(`{"id":"w1","addr":"http://x","slots":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("join on non-cluster daemon: status %d, want 503", resp.StatusCode)
+	}
+	var cs ClusterStats
+	getJSON(t, ts.URL+"/cluster/statz", 200, &cs)
+	if cs.Enabled {
+		t.Error("cluster stats claim enabled on a single-node daemon")
+	}
+}

@@ -1,0 +1,105 @@
+package service
+
+// Campaign retention GC: terminal campaign trees accumulate under the
+// root forever unless a retention policy sweeps them. The sweep runs
+// once at Open and then on a timer, and only ever removes campaigns
+// that are (a) terminal in their durable job record, (b) terminal (or
+// unknown) in the local registry, and (c) not covered by a live lease
+// — so a campaign a peer is still running, or has just adopted, is
+// never touched no matter what the local view says.
+
+import (
+	"os"
+	"sort"
+	"time"
+
+	"pbse/internal/cluster"
+)
+
+// gcLoop runs the retention sweep on a timer until the service drains.
+func (s *Service) gcLoop() {
+	defer s.bg.Done()
+	every := s.cfg.GCEvery
+	if every <= 0 {
+		every = time.Minute
+	}
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(every):
+		}
+		s.sweepTerminal()
+	}
+}
+
+// sweepTerminal applies the retention policy: keep the Retain newest
+// terminal campaigns (0 = all), and none older than RetainAge (0 = no
+// age bound). Returns how many campaign trees were removed.
+func (s *Service) sweepTerminal() int {
+	if s.cfg.Retain <= 0 && s.cfg.RetainAge <= 0 {
+		return 0
+	}
+	ids, err := s.root.List()
+	if err != nil {
+		s.cfg.Logf("service: retention sweep: %v", err)
+		return 0
+	}
+	type candidate struct {
+		id  string
+		mod time.Time
+	}
+	var cands []candidate
+	now := time.Now()
+	for _, id := range ids {
+		s.mu.Lock()
+		c := s.camps[id]
+		liveLocally := c != nil && !c.status.Terminal()
+		s.mu.Unlock()
+		if liveLocally {
+			continue
+		}
+		rec, mod, err := s.readJobRecord(id)
+		if err != nil || !rec.Status.Terminal() {
+			continue
+		}
+		// A live lease means a peer considers this campaign its own
+		// (perhaps mid-resurrection); leave it alone.
+		if li, _ := cluster.ReadLease(s.leasePath(id)); li != nil && !li.Expired(now) {
+			continue
+		}
+		cands = append(cands, candidate{id: id, mod: mod})
+	}
+	// Newest first: the retain-count window keeps the front.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].mod.After(cands[j].mod) })
+	removed := 0
+	for i, cd := range cands {
+		overCount := s.cfg.Retain > 0 && i >= s.cfg.Retain
+		overAge := s.cfg.RetainAge > 0 && now.Sub(cd.mod) > s.cfg.RetainAge
+		if !overCount && !overAge {
+			continue
+		}
+		if err := os.RemoveAll(s.root.CampaignDir(cd.id)); err != nil {
+			s.cfg.Logf("service: retention sweep %s: %v", cd.id, err)
+			continue
+		}
+		s.root.Forget(cd.id)
+		s.mu.Lock()
+		if c := s.camps[cd.id]; c != nil && c.status.Terminal() {
+			delete(s.camps, cd.id)
+			for j, oid := range s.order {
+				if oid == cd.id {
+					s.order = append(s.order[:j], s.order[j+1:]...)
+					break
+				}
+			}
+		}
+		s.gcSwept++
+		s.mu.Unlock()
+		removed++
+	}
+	if removed > 0 {
+		s.cfg.Logf("service: retention sweep removed %d terminal campaign(s)", removed)
+	}
+	return removed
+}

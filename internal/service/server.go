@@ -13,10 +13,13 @@ package service
 //	GET  /v1/tenants                 tenant accounting        → 200 [TenantInfo]
 //	GET  /v1/tenants/{name}          one tenant               → 200 TenantInfo
 //	GET  /statz                      daemon snapshot          → 200 Stats
+//	POST /cluster/join               worker joins the fleet   → 200 {"ok":…}
+//	POST /cluster/heartbeat          worker liveness          → 200 {"ok":…}
+//	GET  /cluster/statz              fleet snapshot           → 200 ClusterStats
 //	GET  /healthz                    liveness                 → 200 "ok"
 //
 // Errors map: unknown campaign → 404, quota exceeded → 429, draining →
-// 503, validation → 400. The SSE stream replays the campaign's retained
+// 503, campaign owned by another node → 409, validation → 400. The SSE stream replays the campaign's retained
 // event log past `from` and then follows live events, ending after the
 // Final event — a client that reconnects with from=<last seen seq>
 // resumes without gaps or duplicates for the retained window.
@@ -50,6 +53,9 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	s.mux.HandleFunc("GET /v1/tenants/{name}", s.handleTenant)
 	s.mux.HandleFunc("GET /statz", s.handleStats)
+	s.mux.HandleFunc("POST /cluster/join", s.handleClusterJoin)
+	s.mux.HandleFunc("POST /cluster/heartbeat", s.handleClusterHeartbeat)
+	s.mux.HandleFunc("GET /cluster/statz", s.handleClusterStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
@@ -80,6 +86,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		code = http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotOwned):
+		code = http.StatusConflict
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
@@ -168,6 +176,32 @@ func (s *Server) handleTenant(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+// handleClusterJoin / handleClusterHeartbeat are the coordinator ends
+// of the remote slice-worker protocol; both 503 on daemons started
+// without -cluster. /cluster/statz reports membership, leases, and
+// dispatch accounting.
+func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	reg := s.svc.Registry()
+	if reg == nil {
+		http.Error(w, "cluster mode disabled (start the daemon with -cluster)", http.StatusServiceUnavailable)
+		return
+	}
+	reg.HandleJoin(w, r)
+}
+
+func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	reg := s.svc.Registry()
+	if reg == nil {
+		http.Error(w, "cluster mode disabled (start the daemon with -cluster)", http.StatusServiceUnavailable)
+		return
+	}
+	reg.HandleHeartbeat(w, r)
+}
+
+func (s *Server) handleClusterStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.ClusterStats())
 }
 
 // handleEvents streams a campaign's events as Server-Sent Events:

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"pbse/internal/cluster"
 	"pbse/internal/faultinject"
 	"pbse/internal/pbse"
 	"pbse/internal/store"
@@ -116,6 +117,8 @@ type Quota struct {
 // Config tunes a Service.
 type Config struct {
 	// Pool is the shared slice-worker count (default GOMAXPROCS).
+	// Negative means zero local workers — a dispatch-only coordinator
+	// that runs slices exclusively on joined remote workers.
 	Pool int
 	// RoundsPerSlice is how many scheduler rounds one granted slice
 	// runs before checkpointing and requeueing (default 1 — finest
@@ -126,6 +129,24 @@ type Config struct {
 	// Supervise, when non-nil, runs every campaign slice under the
 	// fault-isolation supervisor (inert without faults, DESIGN.md §11).
 	Supervise *supervise.Options
+	// Cluster, when non-nil, runs this daemon as one node of a fleet
+	// sharing the store root: campaigns are owned through fenced lease
+	// files, expired owners' campaigns are adopted, and remote slice
+	// workers may join over HTTP (DESIGN.md §14). Nil = single-node,
+	// behavior identical to pre-cluster daemons.
+	Cluster *ClusterConfig
+	// Retain keeps at most this many terminal campaign trees on disk;
+	// older ones are swept by the retention GC (0 = keep all).
+	Retain int
+	// RetainAge sweeps terminal campaign trees older than this
+	// (0 = no age bound).
+	RetainAge time.Duration
+	// GCEvery is the retention sweep cadence (default 1m; the sweep
+	// also runs once at Open).
+	GCEvery time.Duration
+	// SharedCacheMaxBytes bounds the shared verdict-cache log on disk;
+	// flushes past the budget evict the oldest records (0 = unbounded).
+	SharedCacheMaxBytes int64
 	// Logf sinks service logs (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -135,6 +156,7 @@ var (
 	ErrNotFound = fmt.Errorf("service: campaign not found")
 	ErrQuota    = fmt.Errorf("service: tenant quota exceeded")
 	ErrDraining = fmt.Errorf("service: daemon is draining")
+	ErrNotOwned = fmt.Errorf("service: campaign is owned by another node")
 )
 
 // Campaign is one submitted campaign's runtime record. All mutable
@@ -158,6 +180,14 @@ type Campaign struct {
 
 	handle *pbse.Handle
 	st     *store.Store
+
+	// Cluster state. owned reports this daemon is responsible for the
+	// campaign (always true single-node); lease is the fencing token
+	// backing that ownership; counted reports the campaign is included
+	// in its tenant's live/budget accounting on this daemon.
+	owned   bool
+	counted bool
+	lease   *cluster.Lease
 
 	done chan struct{} // closed on terminal; replaced on re-admission
 }
@@ -183,25 +213,39 @@ type Service struct {
 	root *store.Root
 	hub  *Hub
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	camps    map[string]*Campaign
-	order    []string
-	tenants  map[string]*tenantState
-	queue    jobQueue
-	seqCtr   int64
-	nextID   int64
-	draining bool
+	// Cluster plumbing (nil / zero when Config.Cluster is nil).
+	leases   *cluster.LeaseManager
+	registry *cluster.Registry
+	idSuffix string // node suffix appended to assigned campaign IDs
 
-	wg sync.WaitGroup
+	mu         sync.Mutex
+	cond       *sync.Cond
+	camps      map[string]*Campaign
+	order      []string
+	tenants    map[string]*tenantState
+	queue      jobQueue
+	seqCtr     int64
+	nextID     int64
+	draining   bool
+	adoptions  int64
+	leasesLost int64
+	gcSwept    int64
+
+	wg sync.WaitGroup // slice grantees: local pool + remote dispatchers
+
+	stop     chan struct{} // closed after the pool drains; ends bg loops
+	stopOnce sync.Once
+	bg       sync.WaitGroup // heartbeat, adoption, and GC loops
 }
 
 // Open starts a service over the store root at dir: recovers every
 // campaign already on disk (re-queueing the in-flight ones) and spins
 // up the worker pool.
 func Open(dir string, cfg Config) (*Service, error) {
-	if cfg.Pool <= 0 {
+	if cfg.Pool == 0 {
 		cfg.Pool = runtime.GOMAXPROCS(0)
+	} else if cfg.Pool < 0 {
+		cfg.Pool = 0 // dispatch-only: remote workers run every slice
 	}
 	if cfg.RoundsPerSlice <= 0 {
 		cfg.RoundsPerSlice = 1
@@ -209,9 +253,18 @@ func Open(dir string, cfg Config) (*Service, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.Cluster != nil {
+		cc := cfg.Cluster.withDefaults()
+		cfg.Cluster = &cc
+	}
 	root, err := store.OpenRoot(dir)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.SharedCacheMaxBytes > 0 {
+		if err := root.SetSharedCacheMaxBytes(cfg.SharedCacheMaxBytes); err != nil {
+			return nil, err
+		}
 	}
 	s := &Service{
 		cfg:     cfg,
@@ -220,8 +273,14 @@ func Open(dir string, cfg Config) (*Service, error) {
 		camps:   make(map[string]*Campaign),
 		tenants: make(map[string]*tenantState),
 		nextID:  1,
+		stop:    make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cc := cfg.Cluster; cc != nil {
+		s.idSuffix = sanitizeNodeID(cc.NodeID)
+		s.leases = cluster.NewLeaseManager(cc.NodeID, cc.LeaseTTL)
+		s.registry = cluster.NewRegistry(cc.Dispatch, s.onWorkerJoin, cfg.Logf)
+	}
 	// Preload the shared verdict cache at boot: every campaign will wire
 	// to it anyway, and loading it eagerly both surfaces corruption at
 	// startup and makes prior generations' verdicts visible in /statz
@@ -235,6 +294,16 @@ func Open(dir string, cfg Config) (*Service, error) {
 	for i := 0; i < cfg.Pool; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if s.leases != nil {
+		s.bg.Add(2)
+		go s.heartbeatLoop()
+		go s.adoptLoop()
+	}
+	if cfg.Retain > 0 || cfg.RetainAge > 0 {
+		s.sweepTerminal()
+		s.bg.Add(1)
+		go s.gcLoop()
 	}
 	return s, nil
 }
@@ -300,11 +369,18 @@ func (s *Service) Submit(spec Spec) (*CampaignInfo, error) {
 		return nil, fmt.Errorf("%w: tenant %s (live %d, budget in flight %d)", ErrQuota, t.name, t.live, t.budget)
 	}
 	spec.ID = fmt.Sprintf("c%06d", s.nextID)
+	if s.idSuffix != "" {
+		// Node-suffixed IDs keep concurrent daemons over one root from
+		// colliding: each daemon's counter only names its own campaigns.
+		spec.ID += "-" + s.idSuffix
+	}
 	s.nextID++
 	c := &Campaign{
 		Spec:    spec,
 		status:  StatusQueued,
 		bugSeen: make(map[string]bool),
+		owned:   true,
+		counted: true,
 		done:    make(chan struct{}),
 	}
 	s.camps[c.ID] = c
@@ -318,7 +394,14 @@ func (s *Service) Submit(spec Spec) (*CampaignInfo, error) {
 	// Make the submission durable before it becomes runnable: the job
 	// record is what a restarted daemon recovers from, so it must be on
 	// disk before any slice can run (and before the client is acked).
-	if _, err := s.root.Campaign(c.ID); err == nil {
+	// In cluster mode the lease is taken first — owning the directory
+	// before job.json exists means no peer can adopt a half-submitted
+	// campaign (the adoption sweep skips directories it cannot lease).
+	_, err := s.root.Campaign(c.ID)
+	if err == nil {
+		err = s.acquireCampaignLease(c)
+	}
+	if err == nil {
 		err = s.writeJob(rec)
 		if err == nil {
 			s.mu.Lock()
@@ -332,15 +415,15 @@ func (s *Service) Submit(spec Spec) (*CampaignInfo, error) {
 			s.mu.Unlock()
 			return info, nil
 		}
-	} else if err != nil {
-		s.cfg.Logf("service: submit %s: %v", c.ID, err)
 	}
+	s.cfg.Logf("service: submit %s: %v", c.ID, err)
 	// Persistence failed: the campaign must not run half-durable.
 	s.mu.Lock()
 	s.finalizeLocked(c, StatusFailed, "submit persistence failed")
 	rec = c.record()
 	s.mu.Unlock()
-	s.writeJobBestEffort(rec)
+	s.persistJobBestEffort(c, rec)
+	s.releaseCampaign(c)
 	return nil, fmt.Errorf("service: submit %s: persisting job record failed", c.ID)
 }
 
@@ -361,6 +444,11 @@ func (s *Service) Cancel(id string) (Status, error) {
 		st := c.status
 		s.mu.Unlock()
 		return st, nil
+	case s.leases != nil && !c.owned:
+		// Another node runs this campaign; cancelling its lease-fenced
+		// state from here would be a write we are not entitled to.
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w: cancel %s on its owner", ErrNotOwned, id)
 	case c.status == StatusRunning:
 		c.cancel = true
 		s.mu.Unlock()
@@ -371,7 +459,8 @@ func (s *Service) Cancel(id string) (Status, error) {
 		s.finalizeLocked(c, StatusCancelled, "")
 		rec := c.record()
 		s.mu.Unlock()
-		s.writeJobBestEffort(rec)
+		s.persistJobBestEffort(c, rec)
+		s.releaseCampaign(c)
 		return StatusCancelled, nil
 	}
 }
@@ -390,6 +479,13 @@ func (s *Service) Resume(id string) (Status, error) {
 	st, err := s.root.Campaign(id) // outside the lock: may create/load
 	if err != nil {
 		return "", err
+	}
+	// In cluster mode a terminal campaign's lease was released; take it
+	// back before re-admitting (refusing if another node beat us to a
+	// resurrection). Harmless when the re-admission is rejected below —
+	// the heartbeat loop just keeps a lease nobody contends for.
+	if err := s.acquireCampaignLease(c); err != nil {
+		return "", fmt.Errorf("%w (resume: %v)", ErrNotOwned, err)
 	}
 	hasCk := st.HasCheckpoint()
 
@@ -411,6 +507,7 @@ func (s *Service) Resume(id string) (Status, error) {
 	}
 	t.live++
 	t.budget += c.Budget
+	c.counted = true
 	c.cancel = false
 	c.errMsg = ""
 	c.done = make(chan struct{})
@@ -425,13 +522,16 @@ func (s *Service) Resume(id string) (Status, error) {
 	s.publishStatusLocked(c, "status")
 	s.cond.Broadcast()
 	rec := c.record()
-	go s.writeJobBestEffort(rec)
+	go s.persistJobBestEffort(c, rec)
 	return c.status, nil
 }
 
 // Drain stops granting slices, waits for in-flight slices to finish
-// (each leaves a durable checkpoint), and returns. Idempotent. After a
-// drain the service accepts no new work; restart the daemon to resume.
+// (each leaves a durable checkpoint), stops the background loops, and —
+// in cluster mode — releases every owned lease so surviving daemons
+// adopt the drained campaigns immediately instead of waiting out the
+// TTL. Idempotent. After a drain the service accepts no new work;
+// restart the daemon to resume.
 func (s *Service) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -442,6 +542,9 @@ func (s *Service) Drain(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.stopOnce.Do(func() { close(s.stop) })
+		s.bg.Wait()
+		s.releaseOwnedLeases()
 		close(done)
 	}()
 	select {
@@ -513,7 +616,10 @@ func (s *Service) next() *Campaign {
 			}
 			s.finalizeLocked(c, StatusFailed, "tenant worker-seconds quota exhausted")
 			rec := c.record()
-			go s.writeJobBestEffort(rec)
+			go func(c *Campaign, rec jobRecord) {
+				s.persistJobBestEffort(c, rec)
+				s.releaseCampaign(c)
+			}(c, rec)
 		}
 		if c := s.queue.popBest(func(c *Campaign) bool {
 			t := s.tenant(c.Tenant)
@@ -532,23 +638,60 @@ func (s *Service) next() *Campaign {
 	}
 }
 
-// runSlice executes one granted slice of c and reconciles the outcome:
-// progress and bug events, terminal transitions, or requeueing with a
-// fresh seq (the round-robin step).
+// sliceOutcome is one executed slice's report, the same shape whether
+// the slice ran on a local pool worker (runLocalSlice) or on a remote
+// worker (cluster.SliceResult): campaign-cumulative totals as of the
+// checkpoint the slice left behind, never per-slice deltas.
+type sliceOutcome struct {
+	err      error
+	noop     bool // stepped an already-finished handle
+	finished bool
+	rounds   int64
+	clock    int64
+	covered  int
+	bugIDs   []string
+}
+
+// runSlice executes one granted slice of c on this process and
+// reconciles the outcome.
 func (s *Service) runSlice(c *Campaign) {
 	start := time.Now()
-	res, err := s.stepCampaign(c)
-	elapsed := time.Since(start).Seconds()
+	out := s.runLocalSlice(c)
+	s.reconcile(c, out, time.Since(start).Seconds())
+}
 
+// runLocalSlice advances c one slice in-process and shapes the result.
+func (s *Service) runLocalSlice(c *Campaign) sliceOutcome {
+	res, err := s.stepCampaign(c)
+	if err != nil {
+		return sliceOutcome{err: err}
+	}
+	if res == nil { // already-finished handle (cannot happen in normal flow)
+		return sliceOutcome{noop: true}
+	}
+	out := sliceOutcome{
+		finished: !res.Interrupted,
+		clock:    res.Executor.Clock(),
+		covered:  res.Covered,
+	}
+	for _, b := range res.Bugs {
+		out.bugIDs = append(out.bugIDs, b.ID())
+	}
 	// Rounds live in the campaign's manifest (written at its barrier);
 	// read while the campaign is quiescent, before taking the lock.
-	var rounds int64
-	if err == nil && c.st != nil {
+	if c.st != nil {
 		if m, merr := c.st.ReadManifest(); merr == nil && m != nil {
-			rounds = m.Rounds
+			out.rounds = m.Rounds
 		}
 	}
+	return out
+}
 
+// reconcile folds one slice outcome into the campaign: progress and bug
+// events, terminal transitions, or requeueing with a fresh seq (the
+// round-robin step). Terminal campaigns get a final fenced job-record
+// write and release their lease.
+func (s *Service) reconcile(c *Campaign, out sliceOutcome, elapsed float64) {
 	s.mu.Lock()
 	t := s.tenant(c.Tenant)
 	t.running--
@@ -556,18 +699,17 @@ func (s *Service) runSlice(c *Campaign) {
 	c.wallSeconds += elapsed
 	c.slices++
 	switch {
-	case err != nil:
-		s.finalizeLocked(c, StatusFailed, err.Error())
-	case res == nil: // stepped an already-finished handle (cannot happen in normal flow)
+	case out.err != nil:
+		s.finalizeLocked(c, StatusFailed, out.err.Error())
+	case out.noop:
 		s.finalizeLocked(c, StatusDone, "")
 	default:
-		c.clock = res.Executor.Clock()
-		c.covered = res.Covered
-		if rounds > c.rounds {
-			c.rounds = rounds
+		c.clock = out.clock
+		c.covered = out.covered
+		if out.rounds > c.rounds {
+			c.rounds = out.rounds
 		}
-		for _, b := range res.Bugs {
-			id := b.ID()
+		for _, id := range out.bugIDs {
 			if !c.bugSeen[id] {
 				c.bugSeen[id] = true
 				c.bugIDs = append(c.bugIDs, id)
@@ -582,7 +724,13 @@ func (s *Service) runSlice(c *Campaign) {
 			Rounds: c.rounds, Clock: c.clock, Covered: c.covered, Bugs: len(c.bugIDs),
 		})
 		switch {
-		case !res.Interrupted:
+		case s.leases != nil && !c.owned:
+			// The lease was lost mid-slice (the fenced writes may have
+			// been rejected already). The campaign is not failed — it
+			// continues on whichever node stole the lease; the adoption
+			// sweep will mirror its progress from disk.
+			s.finalizeLocked(c, StatusFailed, "campaign lease lost; another node will adopt it")
+		case out.finished:
 			s.finalizeLocked(c, StatusDone, "")
 		case c.cancel:
 			s.finalizeLocked(c, StatusCancelled, "")
@@ -594,9 +742,13 @@ func (s *Service) runSlice(c *Campaign) {
 		}
 	}
 	rec := c.record()
+	terminal := c.status.Terminal()
 	s.cond.Broadcast()
 	s.mu.Unlock()
-	s.writeJobBestEffort(rec)
+	s.persistJobBestEffort(c, rec)
+	if terminal {
+		s.releaseCampaign(c)
+	}
 }
 
 // stepCampaign builds the campaign's handle on first use and advances
@@ -620,52 +772,7 @@ func (s *Service) stepCampaign(c *Campaign) (res *pbse.Result, err error) {
 // seed, per-campaign store wired to the root's shared verdict cache,
 // optional fault injection, optional supervision.
 func (s *Service) buildHandle(c *Campaign) error {
-	tgt, err := targets.ByDriver(c.Driver)
-	if err != nil {
-		return err
-	}
-	prog, err := tgt.Build()
-	if err != nil {
-		return err
-	}
-	rng := rand.New(rand.NewSource(c.RNGSeed))
-	var seed []byte
-	if c.BuggySeed {
-		if tgt.GenBuggySeed == nil {
-			return fmt.Errorf("service: target %s has no buggy seed generator", c.Driver)
-		}
-		seed = tgt.GenBuggySeed(rng)
-	} else {
-		seed = tgt.GenSeed(rng, c.SeedSize)
-	}
-	st, err := s.root.Campaign(c.ID)
-	if err != nil {
-		return err
-	}
-	exOpts := symex.Options{InputSize: len(seed)}
-	if c.Inject != "" {
-		inj, err := faultinject.ParseSpec(c.Inject, c.RNGSeed)
-		if err != nil {
-			return err
-		}
-		exOpts.FaultInjector = inj
-	}
-	opts := pbse.Options{
-		Budget:        c.Budget,
-		TimePeriod:    c.TimePeriod,
-		Seed:          c.RNGSeed,
-		Workers:       c.Workers,
-		Deterministic: c.Deterministic,
-		Store:         st,
-		StoreLabel:    c.Driver,
-	}
-	if s.cfg.Supervise != nil {
-		so := *s.cfg.Supervise
-		so.Enabled = true
-		so.Seed = c.RNGSeed
-		opts.Supervise = &so
-	}
-	h, err := pbse.NewHandle(prog, seed, opts, exOpts)
+	h, st, err := buildSpecHandle(s.root, c.Spec, s.cfg)
 	if err != nil {
 		return err
 	}
@@ -674,13 +781,76 @@ func (s *Service) buildHandle(c *Campaign) error {
 	return nil
 }
 
+// buildSpecHandle materializes a campaign spec into a resumable handle
+// over its store in root. The coordinator's local pool and remote slice
+// workers both build handles through this one function, so a slice
+// produces bit-identical results no matter which node runs it.
+func buildSpecHandle(root *store.Root, spec Spec, cfg Config) (*pbse.Handle, *store.Store, error) {
+	tgt, err := targets.ByDriver(spec.Driver)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := tgt.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.RNGSeed))
+	var seed []byte
+	if spec.BuggySeed {
+		if tgt.GenBuggySeed == nil {
+			return nil, nil, fmt.Errorf("service: target %s has no buggy seed generator", spec.Driver)
+		}
+		seed = tgt.GenBuggySeed(rng)
+	} else {
+		seed = tgt.GenSeed(rng, spec.SeedSize)
+	}
+	st, err := root.Campaign(spec.ID)
+	if err != nil {
+		return nil, nil, err
+	}
+	exOpts := symex.Options{InputSize: len(seed)}
+	if spec.Inject != "" {
+		inj, err := faultinject.ParseSpec(spec.Inject, spec.RNGSeed)
+		if err != nil {
+			return nil, nil, err
+		}
+		exOpts.FaultInjector = inj
+	}
+	opts := pbse.Options{
+		Budget:        spec.Budget,
+		TimePeriod:    spec.TimePeriod,
+		Seed:          spec.RNGSeed,
+		Workers:       spec.Workers,
+		Deterministic: spec.Deterministic,
+		Store:         st,
+		StoreLabel:    spec.Driver,
+	}
+	if cfg.Supervise != nil {
+		so := *cfg.Supervise
+		so.Enabled = true
+		so.Seed = spec.RNGSeed
+		opts.Supervise = &so
+	}
+	h, err := pbse.NewHandle(prog, seed, opts, exOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, st, nil
+}
+
 // finalizeLocked moves c to a terminal state, releases its tenant
-// accounting, publishes the final event, and wakes waiters. Caller
-// holds s.mu.
+// accounting (when this daemon was counting it), publishes the final
+// event, and wakes waiters. Caller holds s.mu.
 func (s *Service) finalizeLocked(c *Campaign, status Status, errMsg string) {
-	t := s.tenant(c.Tenant)
-	t.live--
-	t.budget -= c.Budget
+	if c.status.Terminal() {
+		return // already finalized (e.g. lease loss raced the slice)
+	}
+	if c.counted {
+		t := s.tenant(c.Tenant)
+		t.live--
+		t.budget -= c.Budget
+		c.counted = false
+	}
 	c.status = status
 	c.errMsg = errMsg
 	s.hub.Publish(Event{
@@ -748,6 +918,31 @@ func (s *Service) writeJobBestEffort(rec jobRecord) {
 	}
 }
 
+// persistJob writes c's job record, fenced by c's lease in cluster
+// mode: a daemon that lost the campaign refuses the write instead of
+// clobbering the new owner's record. (The check-then-write window is
+// the same one the store fence accepts — see DESIGN.md §14.)
+func (s *Service) persistJob(c *Campaign, rec jobRecord) error {
+	if s.leases != nil {
+		s.mu.Lock()
+		l, owned := c.lease, c.owned
+		s.mu.Unlock()
+		if !owned || l == nil {
+			return fmt.Errorf("service: %s: job record write without lease ownership", rec.Spec.ID)
+		}
+		if err := s.leases.Fence(l)(); err != nil {
+			return err
+		}
+	}
+	return s.writeJob(rec)
+}
+
+func (s *Service) persistJobBestEffort(c *Campaign, rec jobRecord) {
+	if err := s.persistJob(c, rec); err != nil {
+		s.cfg.Logf("service: persisting job %s: %v", rec.Spec.ID, err)
+	}
+}
+
 // recoverCampaigns walks the root's campaign directories and restores
 // the registry: terminal campaigns are re-registered as records,
 // in-flight ones re-enter the queue (status checkpointed when their
@@ -808,6 +1003,14 @@ func (s *Service) recoverCampaigns() error {
 			s.finalizeLocked(c, StatusFailed, "recovery: "+err.Error())
 			continue
 		}
+		if err := s.acquireCampaignLease(c); err != nil {
+			// A live peer owns this campaign: register it as observed
+			// (the adoption sweep mirrors its progress and will adopt
+			// it if that owner ever lapses).
+			s.cfg.Logf("service: recovery: %s owned elsewhere: %v", id, err)
+			continue
+		}
+		c.counted = true
 		t.live++
 		t.budget += c.Budget
 		if st.HasCheckpoint() {
@@ -836,6 +1039,9 @@ type CampaignInfo struct {
 	BugIDs      []string `json:"bug_ids,omitempty"`
 	Error       string   `json:"error,omitempty"`
 	WallSeconds float64  `json:"wall_seconds"`
+	// Owned reports this daemon holds the campaign's lease (always
+	// true single-node; false for campaigns mirrored from peers).
+	Owned bool `json:"owned"`
 }
 
 // infoLocked snapshots c. Caller holds s.mu.
@@ -850,6 +1056,7 @@ func (s *Service) infoLocked(c *Campaign) *CampaignInfo {
 		BugIDs:      append([]string(nil), c.bugIDs...),
 		Error:       c.errMsg,
 		WallSeconds: c.wallSeconds,
+		Owned:       c.owned,
 	}
 }
 
@@ -933,6 +1140,7 @@ type Stats struct {
 	Campaigns int         `json:"campaigns"`
 	Tenants   int         `json:"tenants"`
 	Draining  bool        `json:"draining"`
+	GCSwept   int64       `json:"gc_swept"`
 	Shared    store.Stats `json:"shared_store"`
 }
 
@@ -946,6 +1154,7 @@ func (s *Service) Stats() Stats {
 		Campaigns: len(s.camps),
 		Tenants:   len(s.tenants),
 		Draining:  s.draining,
+		GCSwept:   s.gcSwept,
 		Shared:    s.root.SharedStats(),
 	}
 	for _, t := range s.tenants {

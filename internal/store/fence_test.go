@@ -1,0 +1,153 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Write fencing (DESIGN.md §14): with a fence installed, checkpoint
+// and manifest writes consult it immediately before the file write and
+// fail — counted — when it rejects.
+
+func TestStoreFenceRejectsWrites(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Manifest{Label: "t", Program: "p", SeedSHA256: SeedSig(nil), Status: StatusRunning}
+	if err := st.WriteManifest(m); err != nil {
+		t.Fatalf("unfenced manifest write failed: %v", err)
+	}
+
+	allow := true
+	st.SetFence(func() error {
+		if allow {
+			return nil
+		}
+		return fmt.Errorf("stale owner")
+	})
+	if err := st.WriteManifest(m); err != nil {
+		t.Fatalf("fence-approved manifest write failed: %v", err)
+	}
+	ck := &Checkpoint{}
+	if err := st.WriteCheckpoint(ck); err != nil {
+		t.Fatalf("fence-approved checkpoint write failed: %v", err)
+	}
+
+	allow = false
+	if err := st.WriteManifest(m); err == nil {
+		t.Fatal("fenced manifest write succeeded for a stale owner")
+	} else if !strings.Contains(err.Error(), "fenced") {
+		t.Errorf("fence error %q does not say fenced", err)
+	}
+	if err := st.WriteCheckpoint(ck); err == nil {
+		t.Fatal("fenced checkpoint write succeeded for a stale owner")
+	}
+	if got := st.Stats().FenceRejections; got != 2 {
+		t.Errorf("FenceRejections = %d, want 2", got)
+	}
+
+	// Clearing the fence restores writes; the earlier fenced write did
+	// not corrupt the manifest.
+	st.SetFence(nil)
+	if err := st.WriteManifest(m); err != nil {
+		t.Fatalf("write after clearing the fence: %v", err)
+	}
+	back, err := st.ReadManifest()
+	if err != nil || back == nil || back.Label != "t" {
+		t.Fatalf("manifest after fencing churn: %+v, %v", back, err)
+	}
+}
+
+// TestSolverCacheSizeBound: a byte budget evicts the oldest records at
+// flush, the file never exceeds the bound, newly learned verdicts
+// survive preferentially, and a reload sees only the retained tail.
+func TestSolverCacheSizeBound(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := st.SolverCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 old records, unbounded flush.
+	for i := 0; i < 100; i++ {
+		cache.Put(uint64(i+1), 1) // solver.Sat == 1
+	}
+	if err := cache.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := st.Stats().CacheBytes
+	if full != cacheHeaderSize+100*cacheRecordSize {
+		t.Fatalf("full log %d bytes", full)
+	}
+
+	// Bound to ~40 records, add 10 new ones: flush must evict the
+	// oldest 70 and keep the newest 40 (old tail + all 10 new).
+	const keepRecs = 40
+	cache.SetMaxBytes(cacheHeaderSize + keepRecs*cacheRecordSize)
+	for i := 100; i < 110; i++ {
+		cache.Put(uint64(i+1), 1)
+	}
+	if err := cache.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.CacheBytes > cacheHeaderSize+keepRecs*cacheRecordSize {
+		t.Errorf("bounded log is %d bytes, budget %d", stats.CacheBytes, cacheHeaderSize+keepRecs*cacheRecordSize)
+	}
+	if stats.VerdictsEvicted != 70 {
+		t.Errorf("VerdictsEvicted = %d, want 70", stats.VerdictsEvicted)
+	}
+
+	// Reload in a fresh store: only the retained window comes back,
+	// and it is the *newest* records.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache2, err := st2.SolverCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded := st2.Stats().VerdictsLoaded; loaded != keepRecs {
+		t.Errorf("reload got %d verdicts, want %d", loaded, keepRecs)
+	}
+	if _, ok := cache2.Get(1); ok {
+		t.Error("oldest verdict survived eviction")
+	}
+	for _, key := range []uint64{71, 105, 110} {
+		if _, ok := cache2.Get(key); !ok {
+			t.Errorf("retained verdict %d missing after reload", key)
+		}
+	}
+}
+
+// TestSolverCacheBoundNoop: a generous budget evicts nothing and the
+// bound is invisible.
+func TestSolverCacheBoundNoop(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := st.SolverCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.SetMaxBytes(1 << 20)
+	for i := 0; i < 50; i++ {
+		cache.Put(uint64(i+1), 2) // solver.Unsat == 2
+	}
+	if err := cache.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().VerdictsEvicted != 0 {
+		t.Errorf("generous budget evicted %d", st.Stats().VerdictsEvicted)
+	}
+	if st.Stats().VerdictsFlushed != 50 {
+		t.Errorf("flushed %d, want 50", st.Stats().VerdictsFlushed)
+	}
+}

@@ -58,6 +58,18 @@ func (r *Root) SharedCache() (*SolverCache, error) {
 // open and flushed across all campaigns of this process).
 func (r *Root) SharedStats() Stats { return r.shared.Stats() }
 
+// SetSharedCacheMaxBytes bounds the shared verdict-cache log at n
+// bytes (0 = unbounded): flushes past the budget evict the oldest
+// records first (SolverCache.SetMaxBytes).
+func (r *Root) SetSharedCacheMaxBytes(n int64) error {
+	cache, err := r.shared.SolverCache()
+	if err != nil {
+		return err
+	}
+	cache.SetMaxBytes(n)
+	return nil
+}
+
 // ValidID reports whether id is usable as a campaign directory name:
 // non-empty, at most 64 bytes, and only [A-Za-z0-9._-] with no leading
 // dot (keeps IDs path-safe and hides nothing in directory listings).
@@ -100,6 +112,15 @@ func (r *Root) Campaign(id string) (*Store, error) {
 	st.AdoptSolverCache(cache)
 	r.camps[id] = st
 	return st, nil
+}
+
+// Forget drops the cached *Store for id. Used after a retention sweep
+// removes the campaign's directory; a later Campaign(id) call would
+// otherwise resurrect state for a tree that no longer exists.
+func (r *Root) Forget(id string) {
+	r.mu.Lock()
+	delete(r.camps, id)
+	r.mu.Unlock()
 }
 
 // CampaignDir returns the directory a campaign's store lives in (without

@@ -37,9 +37,10 @@ type SolverCache struct {
 	st   *Store
 	path string
 
-	mu    sync.Mutex
-	clean []byte // validated records already on disk
-	dirty []byte // encoded records not yet flushed
+	mu       sync.Mutex
+	clean    []byte // validated records already on disk
+	dirty    []byte // encoded records not yet flushed
+	maxBytes int64  // on-disk log byte budget (0 = unbounded)
 }
 
 var _ solver.VerdictCache = (*SolverCache)(nil)
@@ -157,10 +158,25 @@ func (c *SolverCache) Put(key uint64, r solver.Result) {
 	c.mem.Put(key, r)
 }
 
+// SetMaxBytes bounds the on-disk log at maxBytes (0 = unbounded,
+// the default). When a flush would exceed the budget, the oldest
+// records are evicted first — clean records loaded from prior runs
+// before anything learned this run — under the assumption that a
+// verdict untouched for generations is the least likely to recur.
+// Eviction compacts only the log: the in-memory tier keeps every
+// verdict for this process's lifetime, and the next process simply
+// starts without the evicted tail. Counted in Stats.VerdictsEvicted.
+func (c *SolverCache) SetMaxBytes(maxBytes int64) {
+	c.mu.Lock()
+	c.maxBytes = maxBytes
+	c.mu.Unlock()
+}
+
 // Flush rewrites the on-disk log (header + every validated record +
 // queued verdicts) tmp+fsync+rename with a parent-dir fsync, so a crash
 // at any point leaves a complete old or complete new file. A no-op when
-// nothing is queued.
+// nothing is queued. With a byte budget set (SetMaxBytes), the log is
+// compacted oldest-first before the rewrite.
 func (c *SolverCache) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -169,6 +185,33 @@ func (c *SolverCache) Flush() error {
 	}
 	if err := c.st.injectIO("solver cache"); err != nil {
 		return err
+	}
+	var evicted int64
+	if c.maxBytes > 0 {
+		budget := c.maxBytes - cacheHeaderSize
+		if budget < 0 {
+			budget = 0
+		}
+		keep := (budget / cacheRecordSize) * cacheRecordSize
+		total := int64(len(c.clean) + len(c.dirty))
+		if over := total - keep; over > 0 {
+			// Oldest-first: the front of clean predates everything in
+			// dirty, and dirty's own front is its oldest insert. Both
+			// buffers hold whole records, so record-aligned drops slice
+			// cleanly.
+			drop := (over + cacheRecordSize - 1) / cacheRecordSize * cacheRecordSize
+			if drop > total {
+				drop = total
+			}
+			evicted = drop / cacheRecordSize
+			if int64(len(c.clean)) >= drop {
+				c.clean = c.clean[drop:]
+			} else {
+				drop -= int64(len(c.clean))
+				c.clean = nil
+				c.dirty = c.dirty[drop:]
+			}
+		}
 	}
 	buf := make([]byte, cacheHeaderSize, cacheHeaderSize+len(c.clean)+len(c.dirty))
 	copy(buf, cacheMagic)
@@ -183,6 +226,8 @@ func (c *SolverCache) Flush() error {
 	c.dirty = nil
 	c.st.mu.Lock()
 	c.st.stats.VerdictsFlushed += flushed
+	c.st.stats.VerdictsEvicted += evicted
+	c.st.stats.CacheBytes = int64(len(buf))
 	c.st.mu.Unlock()
 	return nil
 }

@@ -60,6 +60,9 @@ type Stats struct {
 	CheckpointBytes  int64 // size of the last checkpoint written
 	CacheCorruptions int64 // corrupt solver-cache headers/records discarded at load
 	InjectedIOFaults int64 // store writes failed by fault injection
+	VerdictsEvicted  int64 // verdicts dropped from the cache log by the size bound
+	CacheBytes       int64 // size of the last solver-cache log flushed
+	FenceRejections  int64 // checkpoint-class writes refused by the cluster fence
 }
 
 // IOInjector is the fault surface the store consults before disk
@@ -78,6 +81,7 @@ type Store struct {
 	stats Stats
 	cache *SolverCache
 	inj   IOInjector
+	fence func() error
 }
 
 // Open opens (creating if needed) the store at dir.
@@ -121,6 +125,34 @@ func (s *Store) SetIOInjector(inj IOInjector) {
 	s.mu.Unlock()
 }
 
+// SetFence installs a write fence consulted immediately before every
+// checkpoint-class write (checkpoint and manifest). The cluster layer
+// wires a lease check here so a store whose owner lost its campaign
+// lease fails its writes instead of clobbering the successor's state
+// (DESIGN.md §14); a nil fence (the default) fences nothing.
+func (s *Store) SetFence(fence func() error) {
+	s.mu.Lock()
+	s.fence = fence
+	s.mu.Unlock()
+}
+
+// checkFence returns the fence's verdict for a write of what, or nil.
+func (s *Store) checkFence(what string) error {
+	s.mu.Lock()
+	fence := s.fence
+	s.mu.Unlock()
+	if fence == nil {
+		return nil
+	}
+	if err := fence(); err != nil {
+		s.mu.Lock()
+		s.stats.FenceRejections++
+		s.mu.Unlock()
+		return fmt.Errorf("store: %s write fenced: %w", what, err)
+	}
+	return nil
+}
+
 // injectIO returns an injected write error for what, or nil.
 func (s *Store) injectIO(what string) error {
 	s.mu.Lock()
@@ -150,6 +182,9 @@ func SeedSig(seed []byte) string {
 // WriteManifest atomically replaces the manifest.
 func (s *Store) WriteManifest(m *Manifest) error {
 	if err := s.injectIO("manifest"); err != nil {
+		return err
+	}
+	if err := s.checkFence("manifest"); err != nil {
 		return err
 	}
 	m.Version = manifestVersion
@@ -218,6 +253,11 @@ func (s *Store) WriteCheckpoint(ck *Checkpoint) error {
 	}
 	if err := zw.Close(); err != nil {
 		return fmt.Errorf("store: compress checkpoint: %w", err)
+	}
+	// Fence after the (slow) encode, immediately before the write, so
+	// the unguarded window is just the rename itself.
+	if err := s.checkFence("checkpoint"); err != nil {
+		return err
 	}
 	if err := writeFileAtomic(s.checkpointPath(), buf.Bytes()); err != nil {
 		return err
